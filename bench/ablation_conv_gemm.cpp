@@ -1,0 +1,54 @@
+// Ablation: GEMM-lowered convolution vs naive loops, and throughput vs
+// batch size — the real-code counterpart of Section IV-C's argument that
+// "a larger batch size means the BLAS functions can process a larger
+// matrix [which] often can improve the processors' throughput".
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "dnn/conv_gemm.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Ablation: conv lowering",
+                "naive convolution vs im2col+GEMM, throughput vs batch");
+
+  Rng rng(0xC0701);
+  Conv2d naive(3, 16, 5, 2, rng);
+  Rng rng2(0xC0701);
+  Conv2dGemm gemm(3, 16, 5, 2, rng2);
+
+  Table table({"Batch", "naive samples/s", "gemm samples/s", "gemm speedup"});
+  CsvWriter csv(bench::csv_path("ablation_conv_gemm"),
+                {"batch", "naive_sps", "gemm_sps", "speedup"});
+
+  Rng data_rng(0xC0702);
+  for (index_t batch : {1, 2, 4, 8, 16, 32}) {
+    Tensor in(batch, 3, 16, 16);
+    for (index_t i = 0; i < in.size(); ++i) {
+      in[i] = data_rng.uniform(-1.0, 1.0);
+    }
+    Tensor out_a = naive.make_output(in);
+    Tensor out_b = gemm.make_output(in);
+
+    const double t_naive =
+        time_best([&] { naive.forward(in, out_a); }, 3, 0.02);
+    const double t_gemm = time_best([&] { gemm.forward(in, out_b); }, 3, 0.02);
+    const double sps_naive = static_cast<double>(batch) / t_naive;
+    const double sps_gemm = static_cast<double>(batch) / t_gemm;
+
+    table.add_row({std::to_string(batch), fmt_double(sps_naive, 0),
+                   fmt_double(sps_gemm, 0),
+                   fmt_speedup(t_naive / t_gemm)});
+    csv.write_row({std::to_string(batch), fmt_double(sps_naive, 1),
+                   fmt_double(sps_gemm, 1), fmt_double(t_naive / t_gemm, 3)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Both implementations compute identical outputs (asserted in "
+              "the test suite);\nthe GEMM lowering restructures the same "
+              "flops into long unit-stride streams.\nPer-sample throughput "
+              "improving (or holding) with batch size is the effect the\n"
+              "paper's batch-size tuning (Section IV-C) exploits at GPU "
+              "scale.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: divide-and-conquer SVM scaling — the CA-SVM combination the
+// paper's related-work section proposes, swept over partition counts.
+// Reports the simulated-cluster critical path (max per-node time), the
+// per-partition layouts, and the accuracy cost of localisation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "data/profiles.hpp"
+#include "svm/dcsvm.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Ablation: DC-SVM scaling",
+                "divide-and-conquer SVM with per-partition layouts");
+
+  const Dataset full = profile_by_name("adult").generate();
+  const auto [train, test] = full.split(0.8);
+
+  SvmParams params;
+  params.c = 1.0;
+  params.tolerance = 1e-2;
+  params.max_iterations = 4000;
+
+  // Baseline: one machine, whole dataset.
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kEmpirical;
+  const TrainResult whole = train_adaptive(train, params, sched);
+  const double whole_acc = whole.model.accuracy(test);
+  std::printf("monolithic baseline: %.3f s train, %.3f test accuracy\n\n",
+              whole.solve_seconds, whole_acc);
+
+  Table table({"P", "strategy", "serial (s)", "critical path (s)",
+               "parallel speedup", "test acc", "acc delta", "layouts"});
+  CsvWriter csv(bench::csv_path("ablation_dcsvm"),
+                {"partitions", "strategy", "serial_seconds",
+                 "critical_seconds", "speedup", "accuracy"});
+
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kRandom, PartitionStrategy::kCluster}) {
+    const char* tag =
+        strategy == PartitionStrategy::kRandom ? "random" : "cluster";
+    for (index_t p : {2, 4, 8}) {
+      DcSvmOptions options;
+      options.partitions = p;
+      options.strategy = strategy;
+      options.params = params;
+      options.sched = sched;
+      const DcSvmResult r = train_dc_svm(train, options);
+      const double acc = r.model.accuracy(test);
+      std::string layouts;
+      for (Format f : r.partition_formats) {
+        if (!layouts.empty()) layouts += "/";
+        layouts += format_name(f);
+      }
+      const double speedup =
+          r.total_seconds / std::max(1e-12, r.critical_seconds);
+      table.add_row({std::to_string(p), tag,
+                     fmt_seconds(r.total_seconds),
+                     fmt_seconds(r.critical_seconds), fmt_speedup(speedup),
+                     fmt_double(acc, 3), fmt_double(acc - whole_acc, 3),
+                     layouts});
+      csv.write_row({std::to_string(p), tag,
+                     fmt_double(r.total_seconds, 6),
+                     fmt_double(r.critical_seconds, 6),
+                     fmt_double(speedup, 3), fmt_double(acc, 4)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Divide-and-conquer trades a small accuracy delta for "
+              "near-linear critical-path\nspeedup (SMO is superlinear in "
+              "n, so P subproblems are cheaper than 1/P of the\nwhole); "
+              "each partition gets its own layout decision — the CA-SVM "
+              "integration\nthe paper proposes in Section VI.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: do the derived formats (CSC, BCSR — Section III-A's "other
+// storage formats") ever beat the basic five? Measures the SMSV cost of
+// all seven formats on structures chosen to favour each candidate, and
+// reports what the extended autotuner picks.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "data/synthetic.hpp"
+#include "sched/selector.hpp"
+
+namespace {
+
+using namespace ls;
+
+/// Dense tile chain: 4x4 dense blocks along the diagonal (BCSR's regime).
+CooMatrix make_block_chain(index_t blocks, Rng& rng) {
+  std::vector<Triplet> t;
+  for (index_t b = 0; b < blocks; ++b) {
+    for (index_t r = 0; r < 4; ++r) {
+      for (index_t c = 0; c < 4; ++c) {
+        t.push_back({b * 4 + r, b * 4 + c, rng.uniform(0.1, 1.0)});
+      }
+    }
+  }
+  return CooMatrix(blocks * 4, blocks * 4, std::move(t));
+}
+
+/// Column-concentrated matrix: most nonzeros live in a few hot columns, so
+/// a sparse right-hand side lets CSC skip nearly everything.
+CooMatrix make_hot_columns(index_t m, index_t n, Rng& rng) {
+  std::vector<Triplet> t;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t c = 0; c < 8; ++c) {
+      t.push_back({i, c, rng.uniform(0.1, 1.0)});  // 8 hot columns
+    }
+    t.push_back({i, rng.uniform_int(8, n - 1), rng.uniform(0.1, 1.0)});
+  }
+  return CooMatrix(m, n, std::move(t));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ls;
+  bench::banner("Ablation: extended formats",
+                "CSC and BCSR vs the paper's basic five");
+
+  Rng rng(0xE87E);
+  struct Workload {
+    std::string name;
+    CooMatrix coo;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"block chain (4x4 tiles)", make_block_chain(512, rng)});
+  workloads.push_back({"hot columns (8 of 2048)",
+                       make_hot_columns(2048, 2048, rng)});
+  {
+    std::vector<index_t> lens(2048, 16);
+    workloads.push_back({"scattered sparse",
+                         make_random_sparse(2048, 1024, lens, rng)});
+  }
+  workloads.push_back({"banded (5 diagonals)",
+                       make_banded(2048, 2048, {0, 1, -1, 2, -2}, 1.0, rng)});
+
+  Table table({"Workload", "DEN", "CSR", "COO", "ELL", "DIA", "CSC", "BCSR",
+               "HYB", "JDS", "autotune pick"});
+  CsvWriter csv(bench::csv_path("ablation_extended_formats"),
+                {"workload", "format", "seconds", "picked"});
+
+  AutotuneOptions opts;
+  opts.include_extended = true;
+  opts.sample_rows = 0;
+
+  for (const Workload& w : workloads) {
+    std::vector<std::string> row = {w.name};
+    double best = 1e300;
+    for (Format f : kExtendedFormats) {
+      const double s = bench::smsv_seconds(w.coo, f);
+      best = std::min(best, s);
+      row.push_back(fmt_seconds(s));
+      csv.write_row({w.name, std::string(format_name(f)), fmt_double(s, 9),
+                     ""});
+    }
+    const ScheduleDecision d = EmpiricalAutotuner(opts).choose(w.coo);
+    row.push_back(std::string(format_name(d.format)));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "BCSR pays off when nonzeros cluster into dense tiles (fill ratio "
+      "~1); CSC when\nthe SMSV right-hand side is sparse (it skips every "
+      "column outside the gathered\nrow's support — a structural win the "
+      "paper's five formats cannot express); HYB\nbounds ELL's padding "
+      "under skewed rows; JDS streams like ELL with zero padding.\n");
+  return 0;
+}

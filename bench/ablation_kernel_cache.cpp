@@ -1,0 +1,62 @@
+// Ablation: the LRU kernel-row cache. SMO revisits a small working set of
+// rows; this bench trains the same problems with a generous cache and with
+// an effectively-disabled cache (2-row minimum) and reports kernel rows
+// computed, hit rate and wall time.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "data/profiles.hpp"
+#include "svm/trainer.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Ablation: kernel cache", "LRU kernel-row cache on vs off");
+
+  SvmParams base;
+  base.c = 1.0;
+  base.tolerance = 1e-2;
+  base.max_iterations = 1200;
+
+  Table table({"Dataset", "iters", "rows computed (cache)",
+               "rows computed (none)", "hit rate", "time (cache)",
+               "time (none)", "speedup"});
+  CsvWriter csv(bench::csv_path("ablation_kernel_cache"),
+                {"dataset", "iterations", "rows_cached", "rows_uncached",
+                 "hit_rate", "seconds_cached", "seconds_uncached"});
+
+  for (const char* name : {"adult", "aloi", "mnist", "connect-4",
+                           "trefethen"}) {
+    const Dataset ds = profile_by_name(name).generate();
+
+    SvmParams cached = base;
+    cached.cache_bytes = 256ull << 20;
+    const TrainResult with_cache =
+        train_fixed_format(ds, cached, Format::kCSR);
+
+    SvmParams uncached = base;
+    uncached.cache_bytes = 0;  // clamps to the 2-row minimum
+    const TrainResult no_cache =
+        train_fixed_format(ds, uncached, Format::kCSR);
+
+    table.add_row(
+        {name, std::to_string(with_cache.stats.iterations),
+         std::to_string(with_cache.stats.kernel_rows_computed),
+         std::to_string(no_cache.stats.kernel_rows_computed),
+         fmt_double(with_cache.stats.cache_hit_rate * 100.0, 1) + "%",
+         fmt_seconds(with_cache.solve_seconds),
+         fmt_seconds(no_cache.solve_seconds),
+         fmt_speedup(no_cache.solve_seconds / with_cache.solve_seconds)});
+    csv.write_row({name, std::to_string(with_cache.stats.iterations),
+                   std::to_string(with_cache.stats.kernel_rows_computed),
+                   std::to_string(no_cache.stats.kernel_rows_computed),
+                   fmt_double(with_cache.stats.cache_hit_rate, 4),
+                   fmt_double(with_cache.solve_seconds, 6),
+                   fmt_double(no_cache.solve_seconds, 6)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("The cache converts repeated working-set rows into O(1) hits; "
+              "the win grows\nwith iteration count and row cost (LIBSVM "
+              "ships the same mechanism).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: multi-GPU data-parallel scaling vs batch size (Section IV-B).
+//
+// Reproduces the paper's observation chain: the naive DGX port (4x P100,
+// B = 100) gives only ~1.3x over one P100 because 25 samples per GPU
+// under-saturates and the allreduce is pure overhead; tuning B toward 512+
+// recovers most of the 4x.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "hw/multigpu.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Ablation: multi-GPU scaling",
+                "DGX speedup over one P100 as a function of batch size");
+
+  const MultiGpuModel model = paper_dgx_model();
+  std::printf("model: c=%.1f us/sample, h_gpu=%.1f, allreduce(P=4)=%.2f ms\n\n",
+              model.c * 1e6, model.h_gpu, model.allreduce0 * 1e3);
+
+  Table table({"Batch", "t/iter 1 GPU", "t/iter 2 GPUs", "t/iter 4 GPUs",
+               "4-GPU scaling", "efficiency"});
+  CsvWriter csv(bench::csv_path("ablation_multigpu"),
+                {"batch", "t1", "t2", "t4", "scaling4", "efficiency4"});
+  for (index_t b : {64, 100, 128, 256, 512, 1024, 2048, 4096}) {
+    const double t1 = model.seconds_per_iteration(1, b);
+    const double t2 = model.seconds_per_iteration(2, b);
+    const double t4 = model.seconds_per_iteration(4, b);
+    const double s4 = model.scaling(4, b);
+    table.add_row({std::to_string(b), fmt_seconds(t1), fmt_seconds(t2),
+                   fmt_seconds(t4), fmt_speedup(s4),
+                   fmt_double(s4 / 4.0 * 100.0, 0) + "%"});
+    csv.write_row({std::to_string(b), fmt_double(t1, 6), fmt_double(t2, 6),
+                   fmt_double(t4, 6), fmt_double(s4, 3),
+                   fmt_double(s4 / 4.0, 3)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Paper anchors: 4-GPU scaling at B=100 is ~1.3x (\"the "
+              "straightforward porting\nfrom one P100 GPU to one DGX "
+              "station only brings 1.3x speedup\"); larger\nbatches "
+              "approach the expected ~4x, which is why Section IV-C tunes "
+              "B first.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: mid-training layout re-scheduling.
+//
+// Scenario: the initial layout decision is wrong (here: forced to each
+// dataset's *worst* format, emulating a stale or misled decision). We
+// compare (a) riding out the bad layout, (b) re-scheduling after a short
+// warm-up, and (c) the oracle (training on the measured-best format from
+// the start). The gap between (b) and (c) is the cost of the late switch:
+// the warm-up rows plus one re-materialisation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "data/profiles.hpp"
+#include "svm/reschedule.hpp"
+#include "svm/trainer.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Ablation: runtime re-scheduling",
+                "recovering from a wrong initial layout mid-training");
+
+  SvmParams params;
+  params.c = 1.0;
+  params.tolerance = 1e-2;
+  params.max_iterations = 1200;
+
+  RescheduleOptions resched;
+  resched.check_after_rows = 32;
+
+  Table table({"Dataset", "bad layout", "stuck (s)", "rescheduled (s)",
+               "final layout", "oracle (s)", "recovered"});
+  CsvWriter csv(bench::csv_path("ablation_reschedule"),
+                {"dataset", "bad_format", "stuck_seconds",
+                 "rescheduled_seconds", "final_format", "oracle_seconds"});
+
+  for (const char* name : {"adult", "mnist", "sector", "trefethen"}) {
+    const Dataset ds = profile_by_name(name).generate();
+
+    // Identify worst and best formats by the SMO-row probe.
+    KernelParams kernel;
+    Format worst = Format::kCSR, best = Format::kCSR;
+    double worst_s = 0.0, best_s = 1e300;
+    for (Format f : kAllFormats) {
+      const double s = bench::smo_row_seconds(ds.X, f, kernel, 3);
+      if (s > worst_s) {
+        worst_s = s;
+        worst = f;
+      }
+      if (s < best_s) {
+        best_s = s;
+        best = f;
+      }
+    }
+
+    const TrainResult stuck = train_fixed_format(ds, params, worst);
+    const TrainResult rescheduled =
+        train_reschedulable(ds, params, worst, resched);
+    const TrainResult oracle = train_fixed_format(ds, params, best);
+
+    // Recovery: how much of the stuck-to-oracle gap the switch reclaimed.
+    const double gap = stuck.solve_seconds - oracle.solve_seconds;
+    const double reclaimed =
+        gap > 0 ? (stuck.solve_seconds - rescheduled.solve_seconds) / gap
+                : 1.0;
+    table.add_row({name, std::string(format_name(worst)),
+                   fmt_seconds(stuck.solve_seconds),
+                   fmt_seconds(rescheduled.solve_seconds),
+                   std::string(format_name(rescheduled.decision.format)),
+                   fmt_seconds(oracle.solve_seconds),
+                   fmt_double(reclaimed * 100.0, 0) + "%"});
+    csv.write_row({name, std::string(format_name(worst)),
+                   fmt_double(stuck.solve_seconds, 6),
+                   fmt_double(rescheduled.solve_seconds, 6),
+                   std::string(format_name(rescheduled.decision.format)),
+                   fmt_double(oracle.solve_seconds, 6)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Re-scheduling converts a wrong pre-training decision into a "
+              "bounded warm-up\ncost: the switch reclaims most of the "
+              "stuck-vs-oracle gap because SMO still\nhas thousands of "
+              "iterations ahead when the check fires.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the paper-reproduction bench harness.
+//
+// Every bench binary prints (a) a human-readable table with the paper's
+// reported values side by side with ours, and (b) a machine-readable CSV
+// under ./bench_results/ for re-plotting.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "data/dataset.hpp"
+#include "formats/any_matrix.hpp"
+#include "svm/kernel_engine.hpp"
+
+namespace ls::bench {
+
+/// Creates ./bench_results/ (if needed) and returns the CSV path for `name`.
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name + ".csv";
+}
+
+/// Seconds per SMO kernel-row computation (gather + scatter + SMSV +
+/// kernel map) for `x` stored in format `f` — the paper's per-iteration
+/// bottleneck. Uses `probes` random rows; returns the mean of the best
+/// timing per row (noise-rejected).
+inline double smo_row_seconds(const CooMatrix& x, Format f,
+                              const KernelParams& kernel, int probes = 6,
+                              std::uint64_t seed = 0xBE9C4) {
+  const AnyMatrix mat = AnyMatrix::from_coo(x, f);
+  FormatKernelEngine engine(mat, kernel);
+  std::vector<real_t> row(static_cast<std::size_t>(x.rows()));
+  Rng rng(seed);
+  double total = 0.0;
+  for (int p = 0; p < probes; ++p) {
+    const index_t i = rng.uniform_int(0, x.rows() - 1);
+    total += time_best([&] { engine.compute_row(i, row); }, 3, 0.002);
+  }
+  return total / probes;
+}
+
+/// Seconds per raw SMSV (multiply only) with a scattered-row workspace.
+inline double smsv_seconds(const CooMatrix& x, Format f, int reps = 3,
+                           std::uint64_t seed = 0x5EED) {
+  const AnyMatrix mat = AnyMatrix::from_coo(x, f);
+  std::vector<real_t> w(static_cast<std::size_t>(x.cols()), 0.0);
+  std::vector<real_t> y(static_cast<std::size_t>(x.rows()), 0.0);
+  Rng rng(seed);
+  SparseVector row;
+  x.gather_row(rng.uniform_int(0, x.rows() - 1), row);
+  row.scatter(w);
+  return time_best([&] { mat.multiply_dense(w, y); }, reps, 0.005);
+}
+
+/// Pretty "12.3x" with a trailing marker for the winner.
+inline std::string speedup_cell(double v, bool winner) {
+  std::string s = fmt_speedup(v);
+  if (winner) s += " *";
+  return s;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("=== %s — %s ===\n", id.c_str(), what.c_str());
+  std::printf("(synthetic stand-in datasets; relative shape is the claim,\n"
+              " absolute times are machine-specific. See EXPERIMENTS.md.)\n\n");
+}
+
+}  // namespace ls::bench

@@ -1,0 +1,31 @@
+// Figure 5 reproduction: time to reach 0.8 CIFAR-10 test accuracy for the
+// eight methods (five platforms at Caffe defaults + three DGX tuning
+// stages), from the calibrated hardware + convergence models.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "table7_rows.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Fig. 5", "time for 0.8 CIFAR-10 accuracy by method");
+
+  const auto rows = bench::table_vii_rows();
+  Table table({"Method", "Time (model)", "Time (paper)", "delta"});
+  CsvWriter csv(bench::csv_path("fig5"),
+                {"method", "seconds_model", "seconds_paper"});
+  for (const auto& r : rows) {
+    const double delta = (r.seconds - r.paper_seconds) / r.paper_seconds;
+    table.add_row({r.method, fmt_seconds(r.seconds),
+                   fmt_seconds(r.paper_seconds),
+                   fmt_double(delta * 100.0, 1) + "%"});
+    csv.write_row({r.method, fmt_double(r.seconds, 2),
+                   fmt_double(r.paper_seconds, 2)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Headline: 8-core CPU %.1f h -> tuned DGX %.0f s (paper: "
+              "8.2 h -> ~83 s, \"roughly 1 minute\").\n",
+              rows.front().seconds / 3600.0, rows.back().seconds);
+  return 0;
+}

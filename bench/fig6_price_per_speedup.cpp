@@ -1,0 +1,56 @@
+// Figure 6 reproduction: price (dollars) per unit of speedup for the eight
+// methods, with the 8-core CPU as the 1x baseline. Lower is better; the
+// paper's conclusion is that the P100 is the most efficient platform and
+// the 8-core CPU the least.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "table7_rows.hpp"
+
+int main() {
+  using namespace ls;
+  bench::banner("Fig. 6", "price per speedup for 0.8 CIFAR-10 accuracy");
+
+  const auto rows = bench::table_vii_rows();
+  const double base = rows.front().seconds;  // 8-core CPU baseline
+
+  // Paper's Price/Speedup column for reference.
+  const double paper_pps[] = {1571, 813, 493, 196, 1039, 963, 371, 223};
+
+  Table table({"Method", "Price ($)", "Speedup", "$/speedup (model)",
+               "$/speedup (paper)"});
+  CsvWriter csv(bench::csv_path("fig6"),
+                {"method", "price", "speedup", "pps_model", "pps_paper"});
+
+  std::string best_method, worst_method;
+  double best = 1e300, worst = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    const double sp = speedup_vs_baseline(r.seconds, base);
+    const double pps = price_per_speedup(r.price, sp);
+    table.add_row({r.method, fmt_double(r.price, 0), fmt_speedup(sp),
+                   fmt_double(pps, 0), fmt_double(paper_pps[i], 0)});
+    csv.write_row({r.method, fmt_double(r.price, 0), fmt_double(sp, 2),
+                   fmt_double(pps, 1), fmt_double(paper_pps[i], 0)});
+    // Platform comparison (first five rows, untuned).
+    if (i < 5) {
+      if (pps < best) {
+        best = pps;
+        best_method = r.method;
+      }
+      if (pps > worst) {
+        worst = pps;
+        worst_method = r.method;
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Most efficient platform: %s ($%.0f/x)\n", best_method.c_str(),
+              best);
+  std::printf("Least efficient platform: %s ($%.0f/x)\n",
+              worst_method.c_str(), worst);
+  std::printf("(Paper: \"Tesla P100 GPU is the most efficient platform and "
+              "the 8-core CPU\nis the least efficient platform.\")\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The eight Table VII methods, evaluated on the hardware + convergence
+// models. Shared by fig5 (time), fig6 (price per speedup) and table7 (full
+// rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/convergence.hpp"
+#include "hw/autotune.hpp"
+#include "hw/device.hpp"
+
+namespace ls::bench {
+
+struct TableVIIRow {
+  std::string method;
+  DnnConfig config;
+  index_t iterations = 0;
+  double epochs = 0.0;
+  double seconds = 0.0;
+  double price = 0.0;
+  double paper_seconds = 0.0;  ///< Table VII "Time (s)" column
+};
+
+/// Builds all eight rows: the five platforms at Caffe defaults plus the
+/// three DGX tuning stages.
+inline std::vector<TableVIIRow> table_vii_rows() {
+  std::vector<TableVIIRow> rows;
+  const DnnConfig defaults{100, 0.001, 0.90};
+
+  const struct {
+    const char* id;
+    double paper_seconds;
+  } platforms[] = {{"cpu8", 29427}, {"knl", 4922}, {"haswell", 1997},
+                   {"p100", 503},   {"dgx", 387}};
+  for (const auto& p : platforms) {
+    const DeviceSpec& dev = device_by_id(p.id);
+    const auto eval = evaluate_config(dev, defaults);
+    TableVIIRow row;
+    row.method = dev.display;
+    row.config = defaults;
+    row.iterations = eval->iterations;
+    row.epochs = eval->epochs;
+    row.seconds = eval->seconds;
+    row.price = dev.price_usd;
+    row.paper_seconds = p.paper_seconds;
+    rows.push_back(row);
+  }
+
+  const DeviceSpec& dgx = device_by_id("dgx");
+  const auto stages = tune_sequential(dgx, defaults);
+  const char* stage_names[] = {"Tune B on DGX station",
+                               "Tune eta on DGX station",
+                               "Tune M on DGX station"};
+  const double stage_paper[] = {361, 138, 83};
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    TableVIIRow row;
+    row.method = stage_names[s];
+    row.config = stages[s].config;
+    row.iterations = stages[s].iterations;
+    row.epochs = stages[s].epochs;
+    row.seconds = stages[s].seconds;
+    row.price = dgx.price_usd;
+    row.paper_seconds = stage_paper[s];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace ls::bench

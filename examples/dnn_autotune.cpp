@@ -1,0 +1,102 @@
+// DNN hyper-parameter auto-tuning (the paper's Section IV), two ways:
+//
+//   1. Paper-scale: the three-stage B / eta / mu tuning on the modelled DGX
+//      station, reproducing Table VII's tuning rows.
+//   2. Real training: the same tuning loop executed for real on the bundled
+//      mini conv-net and synthetic CIFAR stand-in (small scale), showing
+//      the identical code path actually learning.
+//
+//   ./dnn_autotune --device dgx --real true
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "dnn/cifar.hpp"
+#include "dnn/net.hpp"
+#include "dnn/trainer.hpp"
+#include "hw/autotune.hpp"
+
+namespace {
+
+void run_model_tuning(const ls::DeviceSpec& device) {
+  using namespace ls;
+  std::printf("--- modelled tuning on %s (price $%.0f) ---\n",
+              device.display.c_str(), device.price_usd);
+  const DnnConfig defaults{100, 0.001, 0.90};
+  const auto start = evaluate_config(device, defaults);
+  std::printf("defaults  B=%-5lld eta=%.3f mu=%.2f -> %6lld iters, %7.1f s\n",
+              static_cast<long long>(defaults.batch), defaults.eta,
+              defaults.mu, static_cast<long long>(start->iterations),
+              start->seconds);
+
+  const auto stages = tune_sequential(device, defaults);
+  const char* names[] = {"tune B  ", "tune eta", "tune mu "};
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    std::printf("%s  B=%-5lld eta=%.3f mu=%.2f -> %6lld iters, %7.1f s "
+                "(%.1fx vs defaults)\n",
+                names[s], static_cast<long long>(stages[s].config.batch),
+                stages[s].config.eta, stages[s].config.mu,
+                static_cast<long long>(stages[s].iterations),
+                stages[s].seconds, start->seconds / stages[s].seconds);
+  }
+  const TunedConfig joint = tune_joint(device);
+  std::printf("joint     B=%-5lld eta=%.3f mu=%.2f -> %6lld iters, %7.1f s "
+              "(exhaustive grid)\n\n",
+              static_cast<long long>(joint.config.batch), joint.config.eta,
+              joint.config.mu, static_cast<long long>(joint.iterations),
+              joint.seconds);
+}
+
+void run_real_tuning() {
+  using namespace ls;
+  std::printf("--- real training sweep (mini net, synthetic CIFAR) ---\n");
+  CifarConfig cfg;
+  cfg.classes = 4;
+  cfg.dim = 8;
+  cfg.train_size = 512;
+  cfg.test_size = 256;
+  cfg.noise = 0.5;
+  const CifarData data = make_synthetic_cifar(cfg);
+
+  // Tune the batch size for real: same epochs budget, measure accuracy and
+  // wall time — small-scale analogue of Section IV-C.
+  double best_score = 0.0;
+  index_t best_batch = 0;
+  for (index_t batch : {16, 32, 64, 128}) {
+    Rng rng(0xD2312);  // identical init per candidate
+    Net net = make_cifar10_small(cfg.classes, cfg.channels, cfg.dim, rng);
+    DnnTrainConfig tc;
+    tc.batch_size = batch;
+    tc.learning_rate = 0.02 * static_cast<double>(batch) / 32.0;  // linear
+    tc.momentum = 0.9;
+    tc.max_epochs = 4;
+    Timer t;
+    const DnnTrainResult r = train_dnn(net, data, tc);
+    const double score = r.test_accuracy / t.seconds();
+    std::printf("B=%-4lld eta=%.3f: acc %.3f in %.2f s (%lld iters) "
+                "accuracy/second %.3f\n",
+                static_cast<long long>(batch), tc.learning_rate,
+                r.test_accuracy, t.seconds(),
+                static_cast<long long>(r.iterations), score);
+    if (score > best_score) {
+      best_score = score;
+      best_batch = batch;
+    }
+  }
+  std::printf("real-training pick: B=%lld (best accuracy per second)\n",
+              static_cast<long long>(best_batch));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ls;
+  CliParser cli("dnn_autotune", "B/eta/mu auto-tuning (paper Section IV)");
+  cli.add_flag("device", "dgx", "cpu8 | knl | haswell | p100 | dgx");
+  cli.add_flag("real", "true", "also run the real-training sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  run_model_tuning(device_by_id(cli.get("device")));
+  if (cli.get_bool("real")) run_real_tuning();
+  return 0;
+}

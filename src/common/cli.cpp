@@ -1,0 +1,17 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+
+namespace ls {
+
+void CliParser::print_help() const {
+  std::printf("%s — %s\n\nFlags:\n", program_.c_str(), description_.c_str());
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    std::printf("  --%-18s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                f.value.empty() ? "<empty>" : f.value.c_str());
+  }
+  std::printf("  --%-18s %s\n", "help", "show this message");
+}
+
+}  // namespace ls

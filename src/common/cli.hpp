@@ -1,0 +1,106 @@
+// Tiny command-line flag parser used by the examples and bench harnesses.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+/// Declarative command-line parser.
+///
+///   CliParser cli("quickstart", "Train an SVM with layout scheduling");
+///   cli.add_flag("dataset", "adult", "dataset profile name");
+///   cli.add_flag("c", "1.0", "SVM regularisation constant");
+///   cli.parse(argc, argv);
+///   double C = cli.get_double("c");
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers a flag with a default value (pass "" for required-ish flags).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help) {
+    LS_CHECK(!flags_.count(name), "duplicate flag --" << name);
+    flags_[name] = {default_value, help};
+    order_.push_back(name);
+  }
+
+  /// Parses argv; prints help and returns false if --help was given.
+  bool parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_help();
+        return false;
+      }
+      LS_CHECK(arg.rfind("--", 0) == 0, "expected --flag, got '" << arg << "'");
+      arg = arg.substr(2);
+      std::string value;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      } else {
+        LS_CHECK(i + 1 < argc, "flag --" << arg << " expects a value");
+        value = argv[++i];
+      }
+      auto it = flags_.find(arg);
+      LS_CHECK(it != flags_.end(), "unknown flag --" << arg);
+      it->second.value = value;
+    }
+    return true;
+  }
+
+  const std::string& get(const std::string& name) const {
+    auto it = flags_.find(name);
+    LS_CHECK(it != flags_.end(), "flag --" << name << " not registered");
+    return it->second.value;
+  }
+
+  double get_double(const std::string& name) const {
+    const std::string& v = get(name);
+    try {
+      return std::stod(v);
+    } catch (const std::exception&) {
+      throw Error("flag --" + name + " is not a number: '" + v + "'");
+    }
+  }
+
+  long long get_int(const std::string& name) const {
+    const std::string& v = get(name);
+    try {
+      return std::stoll(v);
+    } catch (const std::exception&) {
+      throw Error("flag --" + name + " is not an integer: '" + v + "'");
+    }
+  }
+
+  bool get_bool(const std::string& name) const {
+    const std::string& v = get(name);
+    if (v == "true" || v == "1" || v == "yes") return true;
+    if (v == "false" || v == "0" || v == "no") return false;
+    throw Error("flag --" + name + " is not a boolean: '" + v + "'");
+  }
+
+  void print_help() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace ls

@@ -1,0 +1,47 @@
+// Minimal CSV writer so every bench can dump machine-readable series next to
+// its human-readable table (useful for re-plotting the paper's figures).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+/// Streams rows of a CSV file; fields containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header)
+      : out_(path) {
+    LS_CHECK(out_.good(), "cannot open CSV output file: " << path);
+    write_row(header);
+  }
+
+  /// Writes one data row.
+  void write_row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q += c;
+    }
+    q += '"';
+    return q;
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace ls

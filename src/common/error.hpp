@@ -1,0 +1,47 @@
+// Error handling: a library-wide exception type plus check macros.
+//
+// Following the C++ Core Guidelines (E.2, E.3) errors that callers can
+// reasonably handle are reported with exceptions; programming errors inside
+// hot kernels use LS_ASSERT which compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ls {
+
+/// Exception thrown for all recoverable library errors (bad input files,
+/// inconsistent matrix dimensions, invalid configuration values, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ls
+
+/// Always-on invariant check; throws ls::Error with location info.
+#define LS_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::ls::detail::throw_error(#cond, __FILE__, __LINE__,               \
+                                (std::ostringstream{} << msg).str());    \
+    }                                                                    \
+  } while (0)
+
+/// Debug-only check for hot paths; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define LS_ASSERT(cond, msg) ((void)0)
+#else
+#define LS_ASSERT(cond, msg) LS_CHECK(cond, msg)
+#endif

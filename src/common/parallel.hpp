@@ -1,0 +1,69 @@
+// Shared-memory parallelism helpers.
+//
+// The paper's kernels were parallelised with OpenMP on Ivy Bridge + Xeon Phi;
+// we use the same model. All hot loops in src/formats and src/svm go through
+// these helpers so thread count, scheduling and the no-OpenMP fallback live
+// in exactly one place.
+#pragma once
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/types.hpp"
+
+namespace ls {
+
+/// Number of threads OpenMP will use for parallel regions (1 without OpenMP).
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Sets the OpenMP thread count (no-op without OpenMP).
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n > 0 ? n : 1);
+#else
+  (void)n;
+#endif
+}
+
+/// Index of the calling thread inside a parallel region (0 without OpenMP).
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Static-schedule parallel loop over [0, n). `fn(i)` must be thread-safe
+/// for distinct i. Falls back to a serial loop without OpenMP.
+template <class Fn>
+void parallel_for(index_t n, Fn&& fn) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) fn(i);
+#else
+  for (index_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// Parallel sum-reduction of fn(i) over [0, n).
+template <class Fn>
+real_t parallel_sum(index_t n, Fn&& fn) {
+  real_t total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (index_t i = 0; i < n; ++i) total += fn(i);
+#else
+  for (index_t i = 0; i < n; ++i) total += fn(i);
+#endif
+  return total;
+}
+
+}  // namespace ls

@@ -1,0 +1,115 @@
+// Deterministic pseudo-random number generation.
+//
+// Every synthetic dataset and every stochastic solver in this repository is
+// seeded explicitly so experiments are bit-reproducible run to run. The
+// engine is SplitMix64 feeding xoshiro256**, which is fast, has a 256-bit
+// state, and is trivially portable (no libstdc++ distribution differences).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ls {
+
+/// xoshiro256** seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into the 4-word xoshiro state.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+      w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+      s = w ^ (w >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses rejection to avoid modulo
+  /// bias (matters for the permutation-based generators).
+  index_t uniform_int(index_t lo, index_t hi) {
+    LS_ASSERT(lo <= hi, "empty integer range");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<index_t>((*this)());  // full 64-bit
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return lo + static_cast<index_t>(v % range);
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Fisher-Yates shuffle of [first, last) using our deterministic Rng.
+template <class It>
+void shuffle(It first, It last, Rng& rng) {
+  const auto n = last - first;
+  for (auto i = n - 1; i > 0; --i) {
+    const auto j = rng.uniform_int(0, i);
+    using std::swap;
+    swap(first[i], first[j]);
+  }
+}
+
+}  // namespace ls

@@ -1,0 +1,98 @@
+// Small descriptive-statistics helpers shared by the feature extractor
+// (Table IV parameters such as vdim are variances) and the benchmark
+// harness (mean / geometric-mean speedups as reported in the paper).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ls {
+
+/// Arithmetic mean; 0 for an empty range.
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Population variance (divide by N, matching the paper's vdim formula
+/// sum((dim_i - adim)^2) / M); 0 for an empty range.
+inline double variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+/// Population standard deviation.
+inline double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+/// Geometric mean; requires strictly positive values.
+inline double geometric_mean(std::span<const double> xs) {
+  LS_CHECK(!xs.empty(), "geometric_mean of empty range");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    LS_CHECK(x > 0.0, "geometric_mean requires positive values, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Median (copies and partially sorts); 0 for an empty range.
+inline double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+/// Minimum; +inf for an empty range.
+inline double min_value(std::span<const double> xs) {
+  double m = 1e300;
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+/// Maximum; -inf for an empty range.
+inline double max_value(std::span<const double> xs) {
+  double m = -1e300;
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+/// Pearson correlation coefficient of two equally-sized samples.
+/// Used by the Table IV reproduction to verify correlation signs between
+/// influencing parameters and kernel throughput.
+inline double pearson(std::span<const double> xs, std::span<const double> ys) {
+  LS_CHECK(xs.size() == ys.size(), "pearson: size mismatch");
+  LS_CHECK(xs.size() >= 2, "pearson: need at least two samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ls

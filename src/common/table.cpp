@@ -1,0 +1,119 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+namespace {
+const std::string kSeparatorSentinel = "\x01";
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LS_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  LS_CHECK(row.size() == header_.size(),
+           "row arity " << row.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  print_rule();
+  return os.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  std::string s(buf);
+  // Trim trailing zeros but keep at least one decimal ("1.0").
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.push_back('0');
+  }
+  return s;
+}
+
+std::string fmt_speedup(double v) {
+  char buf[64];
+  if (v >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fx", v);
+  }
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f h", s / 3600.0);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace ls

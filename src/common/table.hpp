@@ -1,0 +1,51 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary prints paper-style rows; this formatter keeps them
+// aligned and readable without pulling in an external dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ls {
+
+/// Column-aligned ASCII table builder.
+///
+/// Usage:
+///   Table t({"Dataset", "Best", "Speedup"});
+///   t.add_row({"adult", "ELL", "14.3x"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  /// Renders the table, ending with a newline.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the sentinel value {"\x01"} renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string fmt_double(double v, int digits = 3);
+
+/// Formats a speedup value the way the paper prints them ("14.3x").
+std::string fmt_speedup(double v);
+
+/// Formats a byte count with binary units ("1.5 MiB").
+std::string fmt_bytes(double bytes);
+
+/// Formats seconds adaptively ("83 s", "1.2 ms").
+std::string fmt_seconds(double s);
+
+}  // namespace ls

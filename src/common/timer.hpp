@@ -1,0 +1,53 @@
+// Wall-clock timing utilities for the benchmark harness and the empirical
+// autotuner. steady_clock is used so NTP adjustments cannot corrupt
+// measurements inside a tuning run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ls {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` elapsed (and at least
+/// `min_reps` repetitions), returning the best (minimum) time per rep in
+/// seconds. Minimum-of-reps is the standard noise-rejection policy for
+/// micro-benchmarks on shared machines.
+template <class Fn>
+double time_best(Fn&& fn, int min_reps = 3, double min_seconds = 0.01) {
+  double best = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < min_seconds) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    best = s < best ? s : best;
+    total += s;
+    ++reps;
+    if (reps > 1000) break;  // pathological fast functions
+  }
+  return best;
+}
+
+}  // namespace ls

@@ -1,0 +1,23 @@
+// Fundamental scalar and index types used across the library.
+//
+// All matrix dimensions and nonzero counts use `index_t` (a 64-bit signed
+// integer so that intermediate products like M*N never overflow for the
+// dataset sizes in the paper, e.g. dna: 3.6e6 x 200), and all numeric data
+// uses `real_t` (double, matching LIBSVM's precision so SMO convergence
+// behaviour is comparable).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ls {
+
+using index_t = std::int64_t;
+using real_t = double;
+
+/// Number of bytes in one `real_t` element; used by the storage cost model.
+inline constexpr std::size_t kRealBytes = sizeof(real_t);
+/// Number of bytes in one `index_t` element; used by the storage cost model.
+inline constexpr std::size_t kIndexBytes = sizeof(index_t);
+
+}  // namespace ls

@@ -1,0 +1,65 @@
+#include "data/features.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+std::string MatrixFeatures::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "M=%lld N=%lld nnz=%lld ndig=%lld dnnz=%.2f mdim=%lld "
+                "adim=%.2f vdim=%.3f density=%.3f",
+                static_cast<long long>(m), static_cast<long long>(n),
+                static_cast<long long>(nnz), static_cast<long long>(ndig),
+                dnnz, static_cast<long long>(mdim), adim, vdim, density);
+  return buf;
+}
+
+MatrixFeatures extract_features(const CooMatrix& coo) {
+  MatrixFeatures f;
+  f.m = coo.rows();
+  f.n = coo.cols();
+  f.nnz = coo.nnz();
+
+  const auto rows = coo.row_indices();
+  const auto cols = coo.col_indices();
+
+  // dim_i (per-row nonzero counts) for mdim / adim / vdim.
+  std::vector<index_t> dim(static_cast<std::size_t>(f.m), 0);
+  // Occupied-diagonal bitmap: offset (col - row) shifted by (M - 1) so the
+  // range is [0, M + N - 1).
+  std::vector<char> diag_hit(
+      static_cast<std::size_t>(f.m + f.n > 0 ? f.m + f.n - 1 : 0), 0);
+
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    ++dim[static_cast<std::size_t>(rows[k])];
+    diag_hit[static_cast<std::size_t>(cols[k] - rows[k] + f.m - 1)] = 1;
+  }
+
+  f.ndig = 0;
+  for (char hit : diag_hit) f.ndig += hit;
+  f.dnnz = f.ndig > 0 ? static_cast<double>(f.nnz) / static_cast<double>(f.ndig)
+                      : 0.0;
+
+  f.mdim = 0;
+  for (index_t d : dim) f.mdim = std::max(f.mdim, d);
+  f.adim = f.m > 0 ? static_cast<double>(f.nnz) / static_cast<double>(f.m) : 0.0;
+
+  // Population variance of dim_i, the paper's vdim = sum (dim_i - adim)^2 / M.
+  double v = 0.0;
+  for (index_t d : dim) {
+    const double delta = static_cast<double>(d) - f.adim;
+    v += delta * delta;
+  }
+  f.vdim = f.m > 0 ? v / static_cast<double>(f.m) : 0.0;
+
+  const double cells = static_cast<double>(f.m) * static_cast<double>(f.n);
+  f.density = cells > 0.0 ? static_cast<double>(f.nnz) / cells : 0.0;
+  return f;
+}
+
+}  // namespace ls

@@ -1,0 +1,35 @@
+// The nine influencing parameters of a data matrix (the paper's Table IV).
+//
+// These features fully drive the layout scheduler: the paper's claim is that
+// (M, N, nnz, ndig, dnnz, mdim, adim, vdim, density) determine which storage
+// format processes a dataset fastest under SMO.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+
+namespace ls {
+
+/// Extracted matrix features; field names match Table IV.
+struct MatrixFeatures {
+  index_t m = 0;        ///< number of rows (samples)
+  index_t n = 0;        ///< number of columns (max feature index)
+  index_t nnz = 0;      ///< number of nonzero elements
+  index_t ndig = 0;     ///< number of occupied diagonals
+  double dnnz = 0.0;    ///< nonzeros per diagonal: nnz / ndig
+  index_t mdim = 0;     ///< max nonzeros in a row: max_i dim_i
+  double adim = 0.0;    ///< average nonzeros per row: nnz / M
+  double vdim = 0.0;    ///< population variance of dim_i
+  double density = 0.0; ///< nnz / (M * N)
+
+  /// One-line summary for logs and the Table V bench.
+  std::string to_string() const;
+};
+
+/// Extracts all nine parameters in one pass over a canonical COO matrix.
+/// Cost: O(nnz + M + min(M,N)) time, O(M + M + N) scratch.
+MatrixFeatures extract_features(const CooMatrix& coo);
+
+}  // namespace ls

@@ -1,0 +1,126 @@
+#include "data/libsvm_io.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+namespace {
+
+// Parses one "index:value" token; returns false for blank/comment tails.
+bool parse_entry(const std::string& token, index_t& index, real_t& value,
+                 index_t line_no) {
+  const auto colon = token.find(':');
+  LS_CHECK(colon != std::string::npos,
+           "libsvm line " << line_no << ": bad token '" << token << "'");
+  char* end = nullptr;
+  errno = 0;
+  const long long idx = std::strtoll(token.c_str(), &end, 10);
+  LS_CHECK(end == token.c_str() + colon,
+           "libsvm line " << line_no << ": bad index in '" << token << "'");
+  LS_CHECK(errno != ERANGE && idx >= 1 && idx <= (1ll << 48),
+           "libsvm line " << line_no << ": index out of range in '" << token
+                          << "'");
+  const char* vbegin = token.c_str() + colon + 1;
+  value = std::strtod(vbegin, &end);
+  LS_CHECK(end != vbegin && *end == '\0',
+           "libsvm line " << line_no << ": bad value in '" << token << "'");
+  index = static_cast<index_t>(idx);
+  return true;
+}
+
+}  // namespace
+
+Dataset read_libsvm(std::istream& in, const std::string& name,
+                    index_t num_cols) {
+  std::vector<Triplet> triplets;
+  std::vector<real_t> labels;
+  index_t max_col = 0;
+  index_t line_no = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and skip blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string token;
+    if (!(ls >> token)) continue;
+
+    char* end = nullptr;
+    const real_t label = std::strtod(token.c_str(), &end);
+    LS_CHECK(end != token.c_str() && *end == '\0',
+             "libsvm line " << line_no << ": bad label '" << token << "'");
+    const index_t row = static_cast<index_t>(labels.size());
+    labels.push_back(label);
+
+    index_t prev_index = 0;
+    while (ls >> token) {
+      index_t idx = 0;
+      real_t value = 0.0;
+      parse_entry(token, idx, value, line_no);
+      LS_CHECK(idx > prev_index, "libsvm line "
+                                     << line_no
+                                     << ": indices must be strictly increasing");
+      prev_index = idx;
+      max_col = std::max(max_col, idx);
+      if (value != 0.0) {
+        triplets.push_back({row, idx - 1, value});  // to 0-based
+      }
+    }
+  }
+
+  if (num_cols == 0) {
+    num_cols = max_col;
+  } else {
+    LS_CHECK(max_col <= num_cols, "libsvm data has feature index "
+                                      << max_col << " > forced column count "
+                                      << num_cols);
+  }
+
+  Dataset ds;
+  ds.name = name;
+  ds.X = CooMatrix(static_cast<index_t>(labels.size()), num_cols,
+                   std::move(triplets));
+  ds.y = std::move(labels);
+  return ds;
+}
+
+Dataset read_libsvm_file(const std::string& path, index_t num_cols) {
+  std::ifstream in(path);
+  LS_CHECK(in.good(), "cannot open libsvm file: " << path);
+  return read_libsvm(in, path, num_cols);
+}
+
+void write_libsvm(std::ostream& out, const Dataset& ds) {
+  ds.validate();
+  // Full round-trip precision: doubles need 17 significant digits.
+  out.precision(17);
+  SparseVector row;
+  for (index_t i = 0; i < ds.rows(); ++i) {
+    out << ds.y[static_cast<std::size_t>(i)];
+    ds.X.gather_row(i, row);
+    const auto idx = row.indices();
+    const auto val = row.values();
+    for (index_t k = 0; k < row.nnz(); ++k) {
+      out << ' ' << (idx[static_cast<std::size_t>(k)] + 1) << ':'
+          << val[static_cast<std::size_t>(k)];
+    }
+    out << '\n';
+  }
+}
+
+void write_libsvm_file(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path);
+  LS_CHECK(out.good(), "cannot open libsvm output file: " << path);
+  write_libsvm(out, ds);
+}
+
+}  // namespace ls

@@ -1,0 +1,30 @@
+// Reader/writer for the LIBSVM text format, the de-facto interchange format
+// for all the datasets in the paper's Table V:
+//
+//   <label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based and strictly increasing per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace ls {
+
+/// Parses a dataset from a LIBSVM-format stream.
+/// `num_cols` forces the column count (0 = infer from max index seen).
+Dataset read_libsvm(std::istream& in, const std::string& name,
+                    index_t num_cols = 0);
+
+/// Parses a dataset from a LIBSVM-format file.
+Dataset read_libsvm_file(const std::string& path, index_t num_cols = 0);
+
+/// Writes a dataset in LIBSVM format.
+void write_libsvm(std::ostream& out, const Dataset& ds);
+
+/// Writes a dataset to a LIBSVM-format file.
+void write_libsvm_file(const std::string& path, const Dataset& ds);
+
+}  // namespace ls

@@ -1,0 +1,300 @@
+#include "data/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "formats/csr.hpp"
+
+namespace ls {
+
+namespace {
+
+MatrixFeatures paper_stats(index_t m, index_t n, index_t nnz, index_t ndig,
+                           double dnnz, index_t mdim, double adim, double vdim,
+                           double density) {
+  MatrixFeatures f;
+  f.m = m;
+  f.n = n;
+  f.nnz = nnz;
+  f.ndig = ndig;
+  f.dnnz = dnnz;
+  f.mdim = mdim;
+  f.adim = adim;
+  f.vdim = vdim;
+  f.density = density;
+  return f;
+}
+
+PaperReference ref(Format worst, Format selection, double avg, double max) {
+  return PaperReference{worst, selection, avg, max};
+}
+
+std::vector<DatasetProfile> build_profiles() {
+  std::vector<DatasetProfile> ps;
+
+  auto add = [&](DatasetProfile p) { ps.push_back(std::move(p)); };
+
+  // Table V rows, in paper order. gen_* sizes are the synthetic generation
+  // scale: identical to the paper where feasible, scaled down (keeping the
+  // aspect ratio and density) for the giants.
+  {
+    DatasetProfile p;
+    p.name = "adult";
+    p.application = "economy";
+    p.paper = paper_stats(2265, 119, 31404, 2347, 13.38, 14, 13.87, 0.059,
+                          0.119);
+    p.kind = GenKind::kRandomSparse;
+    p.gen_rows = 2265;
+    p.gen_cols = 119;
+    p.gen_nnz = 31404;
+    p.reference = ref(Format::kDIA, Format::kELL, 3.8, 14.3);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "breast_cancer";
+    p.application = "clinical";
+    p.paper = paper_stats(38, 7129, 270902, 7166, 37.80, 7129, 7129, 0.0, 1.0);
+    p.kind = GenKind::kDense;
+    p.gen_rows = 38;
+    p.gen_cols = 7129;
+    p.gen_nnz = 38 * 7129;
+    p.reference = ref(Format::kELL, Format::kCSR, 16.2, 35.7);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "aloi";
+    p.application = "vision";
+    p.paper = paper_stats(1000, 128, 32142, 1125, 28.57, 74, 32.14, 85.22,
+                          0.251);
+    p.kind = GenKind::kRandomSparse;
+    p.gen_rows = 1000;
+    p.gen_cols = 128;
+    p.gen_nnz = 32142;
+    p.reference = ref(Format::kCOO, Format::kCSR, 3.1, 6.6);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "gisette";
+    p.application = "selection";
+    p.paper = paper_stats(6000, 5000, 30000000, 10999, 2728, 5000, 5000, 0.0,
+                          1.0);
+    p.kind = GenKind::kDense;
+    p.gen_rows = 1200;  // 1/5 scale in both dimensions; density preserved
+    p.gen_cols = 1000;
+    p.gen_nnz = 1200 * 1000;
+    p.scaled = true;
+    p.reference = ref(Format::kDIA, Format::kDEN, 2.4, 3.7);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "mnist";
+    p.application = "recognition";
+    p.paper = paper_stats(450, 772, 66825, 1050, 63.64, 291, 148.5, 1594,
+                          0.192);
+    p.kind = GenKind::kRandomSparse;
+    p.gen_rows = 450;
+    p.gen_cols = 772;
+    p.gen_nnz = 66825;
+    p.reference = ref(Format::kELL, Format::kCOO, 3.0, 5.1);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "sector";
+    p.application = "industry";
+    p.paper = paper_stats(1500, 55188, 238790, 33770, 7.07, 1819, 159.19,
+                          17634, 0.003);
+    p.kind = GenKind::kRandomSparse;
+    p.gen_rows = 1500;
+    p.gen_cols = 5519;  // 1/10 of the feature space; row profile preserved
+    p.gen_nnz = 238790;
+    p.scaled = true;
+    p.reference = ref(Format::kDEN, Format::kCOO, 14.3, 39.6);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "epsilon";
+    p.application = "AI";
+    p.paper = paper_stats(390000, 2000, 780000000, 391999, 1990, 2000, 2000,
+                          0.0, 1.0);
+    p.kind = GenKind::kDense;
+    p.gen_rows = 1950;  // 1/200 rows, 1/4 cols: keeps M >> N and density 1
+    p.gen_cols = 500;
+    p.gen_nnz = 1950 * 500;
+    p.scaled = true;
+    add(p);  // feature-extraction only (not in Table VI)
+  }
+  {
+    DatasetProfile p;
+    p.name = "leukemia";
+    p.application = "biology";
+    p.paper = paper_stats(38, 7129, 270902, 7166, 37.8, 7129, 7129, 0.0, 1.0);
+    p.kind = GenKind::kDense;
+    p.gen_rows = 38;
+    p.gen_cols = 7129;
+    p.gen_nnz = 38 * 7129;
+    p.reference = ref(Format::kELL, Format::kDEN, 13.3, 29.0);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "connect-4";
+    p.application = "game";
+    p.paper = paper_stats(1800, 125, 75600, 1922, 39.33, 42, 42, 0.0, 0.336);
+    p.kind = GenKind::kExactRows;
+    p.gen_rows = 1800;
+    p.gen_cols = 125;
+    p.gen_nnz = 75600;  // exactly 42 per row
+    p.reference = ref(Format::kCOO, Format::kDEN, 3.3, 6.4);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "trefethen";
+    p.application = "numerical";
+    p.paper = paper_stats(2000, 2000, 21953, 12, 1829, 12, 10.98, 1.25, 0.006);
+    p.kind = GenKind::kBanded;
+    p.gen_rows = 2000;
+    p.gen_cols = 2000;
+    p.gen_nnz = 21953;
+    p.reference = ref(Format::kDEN, Format::kDIA, 1.7, 4.1);
+    add(p);
+  }
+  {
+    DatasetProfile p;
+    p.name = "dna";
+    p.application = "genomics";
+    p.paper = paper_stats(3600000, 200, 720000000, 3600199, 200.0, 200, 200,
+                          0.0, 1.0);
+    p.kind = GenKind::kDense;
+    p.gen_rows = 9000;  // 1/400 rows: keeps M >> N and density 1
+    p.gen_cols = 200;
+    p.gen_nnz = 9000 * 200;
+    p.scaled = true;
+    add(p);  // feature-extraction only (not in Table VI)
+  }
+  return ps;
+}
+
+CooMatrix generate_matrix(const DatasetProfile& p, Rng& rng) {
+  switch (p.kind) {
+    case GenKind::kDense:
+      return make_dense_matrix(p.gen_rows, p.gen_cols, rng);
+    case GenKind::kRandomSparse: {
+      // Cap row lengths at the paper's mdim (but never above N).
+      const index_t cap = std::min<index_t>(p.paper.mdim, p.gen_cols);
+      auto lens =
+          make_row_lengths(p.gen_rows, p.gen_nnz, p.paper.vdim, cap, rng);
+      return make_random_sparse(p.gen_rows, p.gen_cols, lens, rng);
+    }
+    case GenKind::kExactRows: {
+      const index_t per_row = p.gen_nnz / p.gen_rows;
+      std::vector<index_t> lens(static_cast<std::size_t>(p.gen_rows), per_row);
+      return make_random_sparse(p.gen_rows, p.gen_cols, lens, rng);
+    }
+    case GenKind::kBanded: {
+      // ndig offsets in a power-of-two pattern (trefethen-style), fill
+      // chosen so the expected nnz matches the target.
+      std::vector<index_t> offsets = {0, 1, -1, 2, -2, 4, -4, 8, -8, 16, -16,
+                                      32};
+      offsets.resize(static_cast<std::size_t>(
+          std::min<index_t>(p.paper.ndig, static_cast<index_t>(offsets.size()))));
+      index_t span = 0;
+      for (index_t off : offsets) {
+        span += std::min(p.gen_rows, p.gen_cols - off) -
+                std::max<index_t>(0, -off);
+      }
+      const double fill =
+          std::min(1.0, static_cast<double>(p.gen_nnz) /
+                            static_cast<double>(span));
+      return make_banded(p.gen_rows, p.gen_cols, offsets, fill, rng);
+    }
+  }
+  throw Error("unknown GenKind");
+}
+
+}  // namespace
+
+Dataset DatasetProfile::generate(std::uint64_t seed) const {
+  // Mix the profile name into the seed so distinct datasets are independent.
+  std::uint64_t h = seed;
+  for (char c : name) h = h * 1099511628211ull + static_cast<unsigned char>(c);
+  Rng rng(h);
+
+  Dataset ds;
+  ds.name = name;
+  ds.X = generate_matrix(*this, rng);
+  ds.y = plant_labels(ds.X, 0.1, h ^ 0xD1B54A32D192ED03ull);
+  ds.validate();
+  return ds;
+}
+
+const std::vector<DatasetProfile>& all_profiles() {
+  static const std::vector<DatasetProfile> profiles = build_profiles();
+  return profiles;
+}
+
+std::vector<DatasetProfile> evaluated_profiles() {
+  std::vector<DatasetProfile> out;
+  for (const auto& p : all_profiles()) {
+    if (p.reference.selection.has_value()) out.push_back(p);
+  }
+  return out;
+}
+
+const DatasetProfile& profile_by_name(const std::string& name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  std::string known;
+  for (const auto& p : all_profiles()) {
+    known += p.name + " ";
+  }
+  throw Error("unknown dataset profile '" + name + "' (known: " + known + ")");
+}
+
+std::vector<real_t> plant_labels(const CooMatrix& x, double noise,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  // Ground-truth weight vector.
+  std::vector<real_t> w(static_cast<std::size_t>(x.cols()));
+  for (auto& wi : w) wi = rng.normal();
+
+  // Margins via one CSR pass (cheap, reused for the median threshold).
+  const CsrMatrix csr(x);
+  std::vector<real_t> margin(static_cast<std::size_t>(x.rows()));
+  for (index_t i = 0; i < x.rows(); ++i) {
+    margin[static_cast<std::size_t>(i)] = csr.row_dot_dense(i, w);
+  }
+
+  // Threshold at the median so classes are balanced even for skewed data.
+  std::vector<real_t> sorted = margin;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const real_t threshold = sorted[sorted.size() / 2];
+
+  std::vector<real_t> y(margin.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    real_t label = margin[i] > threshold ? 1.0 : -1.0;
+    if (rng.bernoulli(noise)) label = -label;
+    y[i] = label;
+  }
+  // Guarantee both classes (degenerate tiny datasets).
+  bool has_pos = false, has_neg = false;
+  for (real_t v : y) {
+    has_pos |= v > 0;
+    has_neg |= v < 0;
+  }
+  if (!has_pos) y[0] = 1.0;
+  if (!has_neg) y[y.size() - 1] = -1.0;
+  return y;
+}
+
+}  // namespace ls

@@ -1,0 +1,81 @@
+// The eleven real-world datasets of the paper's Table V, reproduced as
+// synthetic stand-ins.
+//
+// We do not ship the original data (licensing, size: epsilon alone is 780M
+// nonzeros). Instead each profile records the paper's published statistics
+// and generates a synthetic matrix matching them — the paper's own thesis is
+// that these statistics *determine* format performance, so matching them
+// preserves the experimental shape. Large datasets are scaled down
+// (gisette, epsilon, dna, sector); the scaled dimensions keep the original
+// aspect and density so the format ranking is unchanged.
+//
+// Labels are produced by a planted linear separator with 10% label noise, so
+// the SVM training problem is realistic (support vectors exist, data is not
+// perfectly separable).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "data/features.hpp"
+#include "formats/format.hpp"
+
+namespace ls {
+
+/// Paper-reported per-dataset results used as reference points by benches.
+struct PaperReference {
+  /// Table VI: the worst format for this dataset.
+  std::optional<Format> worst;
+  /// Table VI: the format the paper's adaptive system selected.
+  std::optional<Format> selection;
+  /// Table VI: average speedup of the selection over the other four formats.
+  double avg_speedup = 0.0;
+  /// Table VI: speedup of the selection over the worst format.
+  double max_speedup = 0.0;
+};
+
+/// How a profile's synthetic matrix is constructed.
+enum class GenKind {
+  kDense,        ///< fully dense (breast_cancer, gisette, epsilon, ...)
+  kRandomSparse, ///< row lengths ~ N(adim, sqrt(vdim)) capped at mdim
+  kExactRows,    ///< every row has exactly adim nonzeros (connect-4)
+  kBanded,       ///< nonzeros confined to ndig diagonals (trefethen)
+};
+
+/// One Table V dataset profile.
+struct DatasetProfile {
+  std::string name;
+  std::string application;  ///< Table V "Application" column
+  MatrixFeatures paper;     ///< statistics as published in Table V
+
+  GenKind kind = GenKind::kRandomSparse;
+  index_t gen_rows = 0;     ///< synthetic generation size (scaled)
+  index_t gen_cols = 0;
+  index_t gen_nnz = 0;      ///< target nonzeros at generation size
+  bool scaled = false;      ///< true when gen size != paper size
+
+  PaperReference reference;
+
+  /// Generates the synthetic stand-in dataset (deterministic per seed).
+  Dataset generate(std::uint64_t seed = 7) const;
+};
+
+/// All eleven Table V profiles, in paper order.
+const std::vector<DatasetProfile>& all_profiles();
+
+/// The nine datasets evaluated in Table VI / Fig. 7 (excludes the two
+/// feature-extraction-only giants epsilon and dna).
+std::vector<DatasetProfile> evaluated_profiles();
+
+/// Looks a profile up by name; throws ls::Error for unknown names.
+const DatasetProfile& profile_by_name(const std::string& name);
+
+/// Attaches planted-separator labels to a feature matrix: y = sign(X w* + b)
+/// with `noise` fraction of labels flipped. Guarantees both classes occur.
+std::vector<real_t> plant_labels(const CooMatrix& x, double noise,
+                                 std::uint64_t seed);
+
+}  // namespace ls

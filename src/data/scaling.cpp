@@ -1,0 +1,63 @@
+#include "data/scaling.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+real_t ScalingParams::scale_value(index_t j, real_t v) const {
+  const auto ju = static_cast<std::size_t>(j);
+  if (ju >= col_min.size()) return v;  // unseen column: leave unscaled
+  const real_t mn = col_min[ju];
+  const real_t mx = col_max[ju];
+  if (!(mx > mn)) return v == 0.0 ? 0.0 : lo;  // constant column
+  return lo + (hi - lo) * (v - mn) / (mx - mn);
+}
+
+ScalingParams fit_scaling(const Dataset& ds, real_t lo, real_t hi) {
+  ds.validate();
+  LS_CHECK(hi > lo, "scaling range must be non-empty");
+  ScalingParams params;
+  params.lo = lo;
+  params.hi = hi;
+  params.col_min.assign(static_cast<std::size_t>(ds.cols()),
+                        std::numeric_limits<real_t>::infinity());
+  params.col_max.assign(static_cast<std::size_t>(ds.cols()),
+                        -std::numeric_limits<real_t>::infinity());
+  const auto cols = ds.X.col_indices();
+  const auto vals = ds.X.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    const auto j = static_cast<std::size_t>(cols[k]);
+    params.col_min[j] = std::min(params.col_min[j], vals[k]);
+    params.col_max[j] = std::max(params.col_max[j], vals[k]);
+  }
+  // Columns with no explicit entries scale as identity.
+  for (std::size_t j = 0; j < params.col_min.size(); ++j) {
+    if (params.col_min[j] > params.col_max[j]) {
+      params.col_min[j] = 0.0;
+      params.col_max[j] = 0.0;
+    }
+  }
+  return params;
+}
+
+Dataset apply_scaling(const Dataset& ds, const ScalingParams& params) {
+  ds.validate();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(ds.X.nnz()));
+  const auto rows = ds.X.row_indices();
+  const auto cols = ds.X.col_indices();
+  const auto vals = ds.X.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    triplets.push_back(
+        {rows[k], cols[k], params.scale_value(cols[k], vals[k])});
+  }
+  Dataset out;
+  out.name = ds.name + ".scaled";
+  out.X = CooMatrix(ds.rows(), ds.cols(), std::move(triplets));
+  out.y = ds.y;
+  return out;
+}
+
+}  // namespace ls

@@ -1,0 +1,40 @@
+// Feature scaling — the svm-scale step of the standard LIBSVM workflow.
+//
+// Kernel values (and hence SMO conditioning) are sensitive to feature
+// ranges; per-column linear scaling to [lo, hi] is the conventional fix.
+// The parameters are fitted on the training split and *applied* to the
+// test split (fitting on test data would leak), which is why fit and
+// apply are separate calls.
+//
+// Note for the layout scheduler: scaling never changes the sparsity
+// pattern when lo = 0 (a zero entry stays an implicit zero), so the nine
+// influencing parameters — and therefore the format decision — are
+// unaffected. With lo != 0 explicit entries keep their positions; implicit
+// zeros remain implicit either way (matching svm-scale's behaviour).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+
+namespace ls {
+
+/// Fitted per-column scaling parameters.
+struct ScalingParams {
+  real_t lo = 0.0;
+  real_t hi = 1.0;
+  std::vector<real_t> col_min;  ///< per-column minimum of explicit entries
+  std::vector<real_t> col_max;  ///< per-column maximum of explicit entries
+
+  /// Scaled value of `v` in column `j` (columns never seen keep v).
+  real_t scale_value(index_t j, real_t v) const;
+};
+
+/// Fits scaling parameters on `ds` for the target range [lo, hi].
+ScalingParams fit_scaling(const Dataset& ds, real_t lo = 0.0, real_t hi = 1.0);
+
+/// Returns a copy of `ds` with every explicit entry scaled.
+Dataset apply_scaling(const Dataset& ds, const ScalingParams& params);
+
+}  // namespace ls

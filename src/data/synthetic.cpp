@@ -1,0 +1,194 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+namespace {
+
+real_t random_value(Rng& rng) { return rng.uniform(0.1, 1.0); }
+
+}  // namespace
+
+std::vector<index_t> sample_columns(index_t n, index_t k, Rng& rng) {
+  LS_CHECK(k >= 0 && k <= n, "cannot sample " << k << " columns from " << n);
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+
+  if (k > n / 2) {
+    // Dense regime: permute all indices and take a prefix.
+    std::vector<index_t> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), index_t{0});
+    shuffle(all.begin(), all.end(), rng);
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Sparse regime: Floyd's algorithm (k hash insertions, no O(n) scan).
+    std::unordered_set<index_t> chosen;
+    chosen.reserve(static_cast<std::size_t>(k) * 2);
+    for (index_t j = n - k; j < n; ++j) {
+      const index_t t = rng.uniform_int(0, j);
+      if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    out.assign(chosen.begin(), chosen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<index_t> make_row_lengths(index_t m, index_t nnz, double vdim,
+                                      index_t cap, Rng& rng) {
+  LS_CHECK(m > 0, "make_row_lengths: no rows");
+  LS_CHECK(cap >= 1, "make_row_lengths: cap must be >= 1");
+  LS_CHECK(nnz <= m * cap, "make_row_lengths: nnz " << nnz
+                                                    << " exceeds m * cap");
+  const double adim = static_cast<double>(nnz) / static_cast<double>(m);
+  const double sd = std::sqrt(std::max(0.0, vdim));
+
+  std::vector<index_t> len(static_cast<std::size_t>(m));
+  for (auto& l : len) {
+    const double draw = rng.normal(adim, sd);
+    l = static_cast<index_t>(std::llround(draw));
+    l = std::clamp<index_t>(l, std::min<index_t>(1, cap), cap);
+  }
+
+  // Repair pass: nudge random rows until the total hits nnz exactly.
+  index_t total = std::accumulate(len.begin(), len.end(), index_t{0});
+  while (total != nnz) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, m - 1));
+    if (total < nnz && len[i] < cap) {
+      ++len[i];
+      ++total;
+    } else if (total > nnz && len[i] > 1) {
+      --len[i];
+      --total;
+    }
+  }
+  return len;
+}
+
+CooMatrix make_random_sparse(index_t m, index_t n,
+                             const std::vector<index_t>& row_lengths,
+                             Rng& rng) {
+  LS_CHECK(static_cast<index_t>(row_lengths.size()) == m,
+           "row_lengths size != m");
+  std::vector<Triplet> triplets;
+  index_t total = std::accumulate(row_lengths.begin(), row_lengths.end(),
+                                  index_t{0});
+  triplets.reserve(static_cast<std::size_t>(total));
+  for (index_t i = 0; i < m; ++i) {
+    const index_t k = row_lengths[static_cast<std::size_t>(i)];
+    for (index_t col : sample_columns(n, k, rng)) {
+      triplets.push_back({i, col, random_value(rng)});
+    }
+  }
+  return CooMatrix(m, n, std::move(triplets));
+}
+
+CooMatrix make_dense_matrix(index_t m, index_t n, Rng& rng) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      triplets.push_back({i, j, random_value(rng)});
+    }
+  }
+  return CooMatrix(m, n, std::move(triplets));
+}
+
+CooMatrix make_banded(index_t m, index_t n,
+                      const std::vector<index_t>& offsets, double fill,
+                      Rng& rng) {
+  LS_CHECK(fill > 0.0 && fill <= 1.0, "fill fraction must be in (0, 1]");
+  std::vector<Triplet> triplets;
+  for (index_t off : offsets) {
+    const index_t lo = std::max<index_t>(0, -off);
+    const index_t hi = std::min(m, n - off);
+    for (index_t i = lo; i < hi; ++i) {
+      if (fill >= 1.0 || rng.bernoulli(fill)) {
+        triplets.push_back({i, i + off, random_value(rng)});
+      }
+    }
+  }
+  return CooMatrix(m, n, std::move(triplets));
+}
+
+CooMatrix make_diag_spread(index_t m, index_t n, index_t nnz, index_t ndig,
+                           Rng& rng) {
+  LS_CHECK(ndig >= 1, "need at least one diagonal");
+  LS_CHECK(ndig <= std::min(m, n), "too many diagonals for a guaranteed "
+                                   "full-length stripe placement");
+  // Use offsets 0..ndig-1 (all full-length when n >= m): every diagonal gets
+  // nnz / ndig nonzeros at distinct random positions, matching the paper's
+  // "same M, N, nnz but different number of diagonals" construction.
+  const index_t per_diag = std::max<index_t>(1, nnz / ndig);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(per_diag * ndig));
+  for (index_t d = 0; d < ndig; ++d) {
+    const index_t lo = 0;
+    const index_t hi = std::min(m, n - d);
+    const index_t len = hi - lo;
+    const index_t count = std::min(per_diag, len);
+    // Guarantee occupancy of the diagonal even when nnz < ndig.
+    for (index_t p : sample_columns(len, count, rng)) {
+      triplets.push_back({lo + p, lo + p + d, random_value(rng)});
+    }
+  }
+  return CooMatrix(m, n, std::move(triplets));
+}
+
+CooMatrix make_mdim_spread(index_t m, index_t n, index_t nnz, index_t mdim,
+                           Rng& rng) {
+  LS_CHECK(mdim >= 1 && mdim <= n, "mdim must be in [1, n]");
+  LS_CHECK(nnz >= mdim, "need nnz >= mdim to realise the target mdim");
+  std::vector<index_t> len(static_cast<std::size_t>(m), 0);
+  const index_t full_rows = std::min<index_t>(m, nnz / mdim);
+  index_t remaining = nnz - full_rows * mdim;
+  for (index_t i = 0; i < full_rows; ++i) {
+    len[static_cast<std::size_t>(i)] = mdim;
+  }
+  // Spread the remainder one nonzero per row over the tail rows.
+  for (index_t i = full_rows; i < m && remaining > 0; ++i, --remaining) {
+    len[static_cast<std::size_t>(i)] = 1;
+  }
+  return make_random_sparse(m, n, len, rng);
+}
+
+CooMatrix make_vdim_spread(index_t m, index_t n, index_t nnz,
+                           index_t heavy_rows, double heavy_share, Rng& rng) {
+  LS_CHECK(heavy_rows >= 0 && heavy_rows < m, "heavy_rows out of range");
+  LS_CHECK(heavy_share >= 0.0 && heavy_share <= 1.0,
+           "heavy_share must be in [0, 1]");
+  std::vector<index_t> len(static_cast<std::size_t>(m), 0);
+  index_t heavy_total =
+      heavy_rows > 0
+          ? static_cast<index_t>(heavy_share * static_cast<double>(nnz))
+          : 0;
+  // Cap heavy rows at full width.
+  if (heavy_rows > 0) {
+    heavy_total = std::min(heavy_total, heavy_rows * n);
+    for (index_t i = 0; i < heavy_rows; ++i) {
+      len[static_cast<std::size_t>(i)] = heavy_total / heavy_rows;
+    }
+  }
+  const index_t light_rows = m - heavy_rows;
+  const index_t light_total = nnz - heavy_total;
+  for (index_t i = heavy_rows; i < m; ++i) {
+    len[static_cast<std::size_t>(i)] = light_total / light_rows;
+  }
+  // Distribute rounding leftovers to light rows.
+  index_t assigned = std::accumulate(len.begin(), len.end(), index_t{0});
+  for (index_t i = heavy_rows; i < m && assigned < nnz; ++i) {
+    if (len[static_cast<std::size_t>(i)] < n) {
+      ++len[static_cast<std::size_t>(i)];
+      ++assigned;
+    }
+  }
+  return make_random_sparse(m, n, len, rng);
+}
+
+}  // namespace ls

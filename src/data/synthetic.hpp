@@ -1,0 +1,60 @@
+// Synthetic sparse-matrix generators.
+//
+// Two uses in the reproduction:
+//  1. The parameter-sweep figures (Fig. 2: ndig sweep, Fig. 3: mdim sweep,
+//     Fig. 4: vdim sweep) generate matrices with one influencing parameter
+//     varied and the rest held fixed, exactly as the paper describes.
+//  2. The Table V dataset profiles (src/data/profiles.*) synthesise stand-ins
+//     for the real datasets by matching their published statistics.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+
+namespace ls {
+
+/// Samples `k` distinct column indices from [0, n), sorted ascending.
+std::vector<index_t> sample_columns(index_t n, index_t k, Rng& rng);
+
+/// Generates per-row nonzero counts with mean ~adim and population variance
+/// ~vdim, each clipped to [min(1, cap), cap]; the total is then adjusted to
+/// exactly `nnz` by incrementing/decrementing random rows within bounds.
+std::vector<index_t> make_row_lengths(index_t m, index_t nnz, double vdim,
+                                      index_t cap, Rng& rng);
+
+/// Builds an m x n matrix from explicit per-row nonzero counts; columns are
+/// sampled uniformly without replacement per row, values ~ U[0.1, 1].
+CooMatrix make_random_sparse(index_t m, index_t n,
+                             const std::vector<index_t>& row_lengths,
+                             Rng& rng);
+
+/// Fully dense m x n matrix with values ~ U[0.1, 1].
+CooMatrix make_dense_matrix(index_t m, index_t n, Rng& rng);
+
+/// Banded matrix: nonzeros only on the given diagonal offsets, each slot
+/// occupied with probability `fill`, values ~ U[0.1, 1].
+CooMatrix make_banded(index_t m, index_t n, const std::vector<index_t>& offsets,
+                      double fill, Rng& rng);
+
+/// Fig. 2 workload: m x n, ~nnz nonzeros spread evenly over exactly `ndig`
+/// distinct diagonals (so dnnz = nnz / ndig).
+CooMatrix make_diag_spread(index_t m, index_t n, index_t nnz, index_t ndig,
+                           Rng& rng);
+
+/// Fig. 3 workload: m x n with ~nnz nonzeros and max row length exactly
+/// `mdim`: floor(nnz / mdim) rows carry mdim nonzeros each, the remainder is
+/// spread one-per-row over the remaining rows (so vdim grows with mdim, as
+/// the paper's mat2 / mat4096 discussion describes).
+CooMatrix make_mdim_spread(index_t m, index_t n, index_t nnz, index_t mdim,
+                           Rng& rng);
+
+/// Fig. 4 workload: m x n with exactly-ish nnz nonzeros where `heavy_rows`
+/// rows hold `heavy_share` of the nonzeros and the rest are spread evenly;
+/// sweeping heavy_share raises vdim while M, N, nnz stay fixed.
+CooMatrix make_vdim_spread(index_t m, index_t n, index_t nnz,
+                           index_t heavy_rows, double heavy_share, Rng& rng);
+
+}  // namespace ls

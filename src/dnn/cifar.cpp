@@ -1,0 +1,86 @@
+#include "dnn/cifar.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+void ImageDataset::batch(index_t begin, index_t count, Tensor& out,
+                         std::vector<index_t>& out_labels) const {
+  LS_CHECK(begin >= 0 && begin + count <= size(), "batch range out of bounds");
+  if (out.n() != count || out.c() != images.c() || out.h() != images.h() ||
+      out.w() != images.w()) {
+    out = Tensor(count, images.c(), images.h(), images.w());
+  }
+  const index_t per_sample = images.sample_size();
+  std::copy(images.data() + begin * per_sample,
+            images.data() + (begin + count) * per_sample, out.data());
+  out_labels.assign(labels.begin() + begin, labels.begin() + begin + count);
+}
+
+namespace {
+
+/// Smooth per-class template: a sum of a few random low-frequency waves per
+/// channel, so classes differ in global structure (like object categories)
+/// rather than single pixels.
+Tensor make_templates(const CifarConfig& cfg, Rng& rng) {
+  Tensor tpl(cfg.classes, cfg.channels, cfg.dim, cfg.dim);
+  for (index_t k = 0; k < cfg.classes; ++k) {
+    for (index_t c = 0; c < cfg.channels; ++c) {
+      // Three random plane waves per channel.
+      for (int wave = 0; wave < 3; ++wave) {
+        const double fx = rng.uniform(0.5, 2.5);
+        const double fy = rng.uniform(0.5, 2.5);
+        const double phase = rng.uniform(0.0, 6.28318);
+        const double amp = rng.uniform(0.4, 1.0);
+        for (index_t y = 0; y < cfg.dim; ++y) {
+          for (index_t x = 0; x < cfg.dim; ++x) {
+            const double u = static_cast<double>(x) / cfg.dim;
+            const double v = static_cast<double>(y) / cfg.dim;
+            tpl.at(k, c, y, x) +=
+                amp * std::sin(6.28318 * (fx * u + fy * v) + phase);
+          }
+        }
+      }
+    }
+  }
+  return tpl;
+}
+
+ImageDataset sample_split(const CifarConfig& cfg, const Tensor& tpl,
+                          index_t count, Rng& rng) {
+  ImageDataset ds;
+  ds.classes = cfg.classes;
+  ds.images = Tensor(count, cfg.channels, cfg.dim, cfg.dim);
+  ds.labels.resize(static_cast<std::size_t>(count));
+  for (index_t i = 0; i < count; ++i) {
+    const index_t k = rng.uniform_int(0, cfg.classes - 1);
+    ds.labels[static_cast<std::size_t>(i)] = k;
+    const real_t brightness = rng.normal(0.0, 0.2);
+    for (index_t c = 0; c < cfg.channels; ++c) {
+      for (index_t y = 0; y < cfg.dim; ++y) {
+        for (index_t x = 0; x < cfg.dim; ++x) {
+          ds.images.at(i, c, y, x) = tpl.at(k, c, y, x) + brightness +
+                                     rng.normal(0.0, cfg.noise);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+CifarData make_synthetic_cifar(const CifarConfig& cfg) {
+  LS_CHECK(cfg.classes >= 2, "need at least two classes");
+  LS_CHECK(cfg.dim >= 8, "image dimension too small for cifar10_full pooling");
+  Rng rng(cfg.seed);
+  const Tensor tpl = make_templates(cfg, rng);
+  CifarData data;
+  data.train = sample_split(cfg, tpl, cfg.train_size, rng);
+  data.test = sample_split(cfg, tpl, cfg.test_size, rng);
+  return data;
+}
+
+}  // namespace ls

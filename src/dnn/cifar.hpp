@@ -1,0 +1,53 @@
+// Synthetic CIFAR-10 stand-in.
+//
+// The real CIFAR-10 (60,000 32x32x3 images, 162 MB) cannot be bundled; this
+// generator produces a class-conditioned image distribution with the same
+// tensor shapes and split sizes: each class k has a smooth random template
+// image, and samples are template + per-pixel Gaussian noise + a random
+// global brightness shift. The classification problem is learnable but not
+// trivial (noise keeps classes overlapping), so real training runs exercise
+// the full conv-net code path. See DESIGN.md section 3 for the substitution
+// rationale.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnn/tensor.hpp"
+
+namespace ls {
+
+/// An image-classification dataset in NCHW layout.
+struct ImageDataset {
+  Tensor images;                 ///< [n, c, h, w]
+  std::vector<index_t> labels;   ///< n entries in [0, classes)
+  index_t classes = 0;
+
+  index_t size() const { return images.n(); }
+
+  /// Copies samples [begin, begin+count) into a batch tensor + label list.
+  void batch(index_t begin, index_t count, Tensor& out,
+             std::vector<index_t>& out_labels) const;
+};
+
+/// Generation knobs.
+struct CifarConfig {
+  index_t classes = 10;
+  index_t channels = 3;
+  index_t dim = 32;        ///< height = width
+  index_t train_size = 50000;
+  index_t test_size = 10000;
+  real_t noise = 0.6;      ///< per-pixel noise stddev (template scale is 1)
+  std::uint64_t seed = 2017;
+};
+
+/// Train and test splits drawn from the same class templates.
+struct CifarData {
+  ImageDataset train;
+  ImageDataset test;
+};
+
+/// Generates the synthetic CIFAR-10 stand-in.
+CifarData make_synthetic_cifar(const CifarConfig& config);
+
+}  // namespace ls

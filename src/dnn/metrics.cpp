@@ -1,0 +1,86 @@
+#include "dnn/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+index_t ConfusionMatrix::total() const {
+  index_t t = 0;
+  for (index_t c : counts) t += c;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const index_t n = total();
+  if (n == 0) return 0.0;
+  index_t diag = 0;
+  for (index_t k = 0; k < classes; ++k) diag += at(k, k);
+  return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+  std::vector<double> out(static_cast<std::size_t>(classes), 0.0);
+  for (index_t k = 0; k < classes; ++k) {
+    index_t row = 0;
+    for (index_t j = 0; j < classes; ++j) row += at(k, j);
+    if (row > 0) {
+      out[static_cast<std::size_t>(k)] =
+          static_cast<double>(at(k, k)) / static_cast<double>(row);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::precision() const {
+  std::vector<double> out(static_cast<std::size_t>(classes), 0.0);
+  for (index_t k = 0; k < classes; ++k) {
+    index_t col = 0;
+    for (index_t i = 0; i < classes; ++i) col += at(i, k);
+    if (col > 0) {
+      out[static_cast<std::size_t>(k)] =
+          static_cast<double>(at(k, k)) / static_cast<double>(col);
+    }
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "true\\pred";
+  for (index_t j = 0; j < classes; ++j) os << '\t' << j;
+  os << '\n';
+  for (index_t i = 0; i < classes; ++i) {
+    os << i;
+    for (index_t j = 0; j < classes; ++j) os << '\t' << at(i, j);
+    os << '\n';
+  }
+  return os.str();
+}
+
+ConfusionMatrix evaluate_confusion(Net& net, const ImageDataset& ds,
+                                   index_t batch) {
+  LS_CHECK(ds.size() > 0, "cannot evaluate on an empty dataset");
+  ConfusionMatrix cm;
+  cm.classes = ds.classes;
+  cm.counts.assign(static_cast<std::size_t>(ds.classes * ds.classes), 0);
+
+  Tensor in;
+  std::vector<index_t> labels;
+  for (index_t begin = 0; begin < ds.size(); begin += batch) {
+    const index_t count = std::min(batch, ds.size() - begin);
+    ds.batch(begin, count, in, labels);
+    net.forward(in);
+    const std::vector<index_t> pred = net.predict();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      LS_CHECK(pred[i] >= 0 && pred[i] < ds.classes,
+               "prediction out of class range");
+      ++cm.at(labels[i], pred[i]);
+    }
+  }
+  return cm;
+}
+
+}  // namespace ls

@@ -1,0 +1,44 @@
+// Classification metrics beyond plain accuracy: confusion matrix and
+// per-class precision/recall, for the evaluation tooling around the DNN
+// trainer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dnn/cifar.hpp"
+#include "dnn/net.hpp"
+
+namespace ls {
+
+/// Row = true class, column = predicted class.
+struct ConfusionMatrix {
+  index_t classes = 0;
+  std::vector<index_t> counts;  ///< classes * classes, row-major
+
+  index_t at(index_t truth, index_t pred) const {
+    return counts[static_cast<std::size_t>(truth * classes + pred)];
+  }
+  index_t& at(index_t truth, index_t pred) {
+    return counts[static_cast<std::size_t>(truth * classes + pred)];
+  }
+
+  index_t total() const;
+  double accuracy() const;
+
+  /// Per-class recall: diagonal / row sum (0 when the class never occurs).
+  std::vector<double> recall() const;
+
+  /// Per-class precision: diagonal / column sum (0 when never predicted).
+  std::vector<double> precision() const;
+
+  /// ASCII rendering for logs.
+  std::string to_string() const;
+};
+
+/// Evaluates `net` on `ds` and accumulates the confusion matrix.
+ConfusionMatrix evaluate_confusion(Net& net, const ImageDataset& ds,
+                                   index_t batch = 256);
+
+}  // namespace ls

@@ -1,0 +1,127 @@
+#include "dnn/net_spec.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dnn/conv_gemm.hpp"
+
+namespace ls {
+
+namespace {
+
+/// Splits "a,b,c" into doubles; empty string -> empty vector.
+std::vector<double> parse_args(const std::string& text, int line_no) {
+  std::vector<double> args;
+  if (text.empty()) return args;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    try {
+      std::size_t used = 0;
+      args.push_back(std::stod(token, &used));
+      LS_CHECK(used == token.size(), "net spec line "
+                                         << line_no << ": bad number '"
+                                         << token << "'");
+    } catch (const std::invalid_argument&) {
+      throw Error("net spec line " + std::to_string(line_no) +
+                  ": bad number '" + token + "'");
+    }
+  }
+  return args;
+}
+
+index_t int_arg(const std::vector<double>& args, std::size_t k,
+                int line_no) {
+  LS_CHECK(k < args.size(),
+           "net spec line " << line_no << ": missing argument " << k + 1);
+  const double v = args[k];
+  LS_CHECK(v == static_cast<index_t>(v) && v > 0,
+           "net spec line " << line_no << ": argument " << k + 1
+                            << " must be a positive integer");
+  return static_cast<index_t>(v);
+}
+
+}  // namespace
+
+Net build_net_from_spec(const std::string& spec, index_t channels,
+                        index_t dim, Rng& rng) {
+  Net net(Tensor(1, channels, dim, dim));
+  Tensor shape(1, channels, dim, dim);
+  int line_no = 0;
+  int layers = 0;
+
+  std::istringstream in(spec);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+
+    std::string name = line;
+    std::string arg_text;
+    const auto colon = line.find(':');
+    if (colon != std::string::npos) {
+      name = line.substr(0, colon);
+      arg_text = line.substr(colon + 1);
+    }
+    const std::vector<double> args = parse_args(arg_text, line_no);
+
+    std::unique_ptr<Layer> layer;
+    if (name == "conv" || name == "conv_gemm") {
+      const index_t out_c = int_arg(args, 0, line_no);
+      const index_t kernel = int_arg(args, 1, line_no);
+      const index_t pad =
+          args.size() > 2 ? int_arg(args, 2, line_no) : 0;
+      if (name == "conv") {
+        layer = std::make_unique<Conv2d>(shape.c(), out_c, kernel, pad, rng);
+      } else {
+        layer =
+            std::make_unique<Conv2dGemm>(shape.c(), out_c, kernel, pad, rng);
+      }
+    } else if (name == "maxpool") {
+      layer = std::make_unique<MaxPool2d>(int_arg(args, 0, line_no),
+                                          int_arg(args, 1, line_no));
+    } else if (name == "avgpool") {
+      layer = std::make_unique<AvgPool2d>(int_arg(args, 0, line_no),
+                                          int_arg(args, 1, line_no));
+    } else if (name == "relu") {
+      layer = std::make_unique<ReLU>();
+    } else if (name == "lrn") {
+      const index_t size = args.empty() ? 3 : int_arg(args, 0, line_no);
+      const real_t alpha = args.size() > 1 ? args[1] : 5e-5;
+      const real_t beta = args.size() > 2 ? args[2] : 0.75;
+      const real_t k = args.size() > 3 ? args[3] : 1.0;
+      layer = std::make_unique<Lrn>(size, alpha, beta, k);
+    } else if (name == "linear") {
+      layer = std::make_unique<Linear>(shape.sample_size(),
+                                       int_arg(args, 0, line_no), rng);
+    } else {
+      throw Error("net spec line " + std::to_string(line_no) +
+                  ": unknown layer '" + name + "'");
+    }
+
+    shape = layer->make_output(shape);  // shape inference, throws on misfit
+    net.add(std::move(layer));
+    ++layers;
+  }
+  LS_CHECK(layers > 0, "net spec defines no layers");
+  return net;
+}
+
+std::string cifar10_full_spec(index_t classes) {
+  std::ostringstream spec;
+  spec << "# Caffe cifar10_full (conv stages + norm layers + classifier)\n"
+       << "conv:32,5,2\nmaxpool:2,2\nrelu\nlrn\n"
+       << "conv:32,5,2\nrelu\nlrn\navgpool:2,2\n"
+       << "conv:64,5,2\nrelu\navgpool:2,2\n"
+       << "linear:" << classes << "\n";
+  return spec.str();
+}
+
+}  // namespace ls

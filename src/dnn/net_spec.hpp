@@ -1,0 +1,37 @@
+// Text network specifications — a prototxt-lite for this framework.
+//
+// Caffe models (like the paper's cifar10_full) are defined in text files;
+// this parser provides the same config-driven workflow: one layer per
+// line, "name:arg,arg,..." syntax, '#' comments.
+//
+//   conv:32,5,2        # out_channels, kernel, pad
+//   conv_gemm:32,5,2   # GEMM-lowered variant, same semantics
+//   maxpool:2,2        # window, stride
+//   avgpool:2,2
+//   relu
+//   lrn:3,5e-5,0.75,1  # local_size, alpha, beta, k (all optional)
+//   linear:10          # out_features (in_features inferred)
+//
+// The parser tracks the activation shape through the stack so conv input
+// channels and linear input sizes are inferred, exactly like Caffe's shape
+// inference.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "dnn/net.hpp"
+
+namespace ls {
+
+/// Builds a network from a spec string for inputs (channels, dim, dim).
+/// Throws ls::Error with a line number on malformed specs.
+Net build_net_from_spec(const std::string& spec, index_t channels,
+                        index_t dim, Rng& rng);
+
+/// The cifar10_full topology as a spec string (norm layers included);
+/// build_net_from_spec(cifar10_full_spec(), 3, 32, rng) reproduces
+/// make_cifar10_full exactly.
+std::string cifar10_full_spec(index_t classes = 10);
+
+}  // namespace ls

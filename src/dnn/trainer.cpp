@@ -1,0 +1,143 @@
+#include "dnn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace ls {
+
+double evaluate(Net& net, const ImageDataset& ds, index_t batch) {
+  LS_CHECK(ds.size() > 0, "cannot evaluate on an empty dataset");
+  index_t correct = 0;
+  Tensor in;
+  std::vector<index_t> labels;
+  for (index_t begin = 0; begin < ds.size(); begin += batch) {
+    const index_t count = std::min(batch, ds.size() - begin);
+    ds.batch(begin, count, in, labels);
+    net.forward(in);
+    const std::vector<index_t> pred = net.predict();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (pred[i] == labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+double data_parallel_step(Net& net, SgdOptimizer& opt, const Tensor& batch,
+                          const std::vector<index_t>& labels,
+                          index_t workers) {
+  LS_CHECK(workers >= 1, "need at least one worker");
+  LS_CHECK(batch.n() % workers == 0,
+           "batch size " << batch.n() << " not divisible by " << workers
+                         << " workers");
+  const index_t shard = batch.n() / workers;
+
+  net.zero_grad();
+  double loss_sum = 0.0;
+  Tensor shard_in(shard, batch.c(), batch.h(), batch.w());
+  std::vector<index_t> shard_labels;
+  const index_t per_sample = batch.sample_size();
+  for (index_t wkr = 0; wkr < workers; ++wkr) {
+    const index_t begin = wkr * shard;
+    std::copy(batch.data() + begin * per_sample,
+              batch.data() + (begin + shard) * per_sample, shard_in.data());
+    shard_labels.assign(labels.begin() + begin,
+                        labels.begin() + begin + shard);
+    // Each worker computes the mean gradient over its shard; the blob
+    // accumulates across workers — that accumulation IS the allreduce sum.
+    net.forward(shard_in);
+    loss_sum += net.loss(shard_labels) * static_cast<double>(shard);
+    net.backward(shard_in, shard_labels);
+  }
+  // W = W - eta * (sum_i dW_i) / P    (Section IV-B update rule)
+  const real_t inv_workers = 1.0 / static_cast<real_t>(workers);
+  for (ParamBlob* p : net.params()) {
+    for (real_t& g : p->grad) g *= inv_workers;
+  }
+  opt.step();
+  return loss_sum / static_cast<double>(batch.n());
+}
+
+DnnTrainResult train_dnn(
+    Net& net, const CifarData& data, const DnnTrainConfig& config,
+    const std::function<void(index_t, double, double)>& on_epoch) {
+  LS_CHECK(config.batch_size >= 1, "batch size must be positive");
+  LS_CHECK(config.batch_size % config.workers == 0,
+           "batch size must be divisible by the worker count");
+  const ImageDataset& train = data.train;
+  LS_CHECK(train.size() >= config.batch_size,
+           "training set smaller than one batch");
+
+  Timer timer;
+  SgdOptimizer opt(net.params(), config.learning_rate, config.momentum,
+                   config.weight_decay);
+  Rng rng(config.shuffle_seed);
+
+  std::vector<index_t> order(static_cast<std::size_t>(train.size()));
+  std::iota(order.begin(), order.end(), index_t{0});
+
+  DnnTrainResult result;
+  Tensor batch(config.batch_size, train.images.c(), train.images.h(),
+               train.images.w());
+  std::vector<index_t> labels(static_cast<std::size_t>(config.batch_size));
+  const index_t per_sample = train.images.sample_size();
+  const index_t batches_per_epoch = train.size() / config.batch_size;
+
+  for (index_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // Multistep schedule: drop the learning rate every k epochs (Caffe's
+    // cifar10_full solver drops by 10x late in training).
+    if (config.lr_drop_every_epochs > 0 && epoch > 0 &&
+        epoch % config.lr_drop_every_epochs == 0) {
+      opt.set_learning_rate(opt.learning_rate() * config.lr_drop_factor);
+    }
+    shuffle(order.begin(), order.end(), rng);
+    double loss_acc = 0.0;
+    for (index_t b = 0; b < batches_per_epoch; ++b) {
+      // Gather the shuffled batch.
+      for (index_t i = 0; i < config.batch_size; ++i) {
+        const index_t src = order[static_cast<std::size_t>(
+            b * config.batch_size + i)];
+        std::copy(train.images.data() + src * per_sample,
+                  train.images.data() + (src + 1) * per_sample,
+                  batch.data() + i * per_sample);
+        labels[static_cast<std::size_t>(i)] =
+            train.labels[static_cast<std::size_t>(src)];
+      }
+      loss_acc +=
+          data_parallel_step(net, opt, batch, labels, config.workers);
+      ++result.iterations;
+
+      if (config.eval_every_iters > 0 &&
+          result.iterations % config.eval_every_iters == 0 &&
+          config.target_accuracy > 0.0) {
+        result.test_accuracy = evaluate(net, data.test);
+        if (result.test_accuracy >= config.target_accuracy) {
+          result.reached_target = true;
+          result.final_train_loss = loss_acc / static_cast<double>(b + 1);
+          result.epochs_completed = epoch;
+          result.seconds = timer.seconds();
+          return result;
+        }
+      }
+    }
+    result.epochs_completed = epoch + 1;
+    result.final_train_loss =
+        loss_acc / static_cast<double>(batches_per_epoch);
+    result.test_accuracy = evaluate(net, data.test);
+    if (on_epoch) {
+      on_epoch(epoch + 1, result.final_train_loss, result.test_accuracy);
+    }
+    if (config.target_accuracy > 0.0 &&
+        result.test_accuracy >= config.target_accuracy) {
+      result.reached_target = true;
+      break;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ls

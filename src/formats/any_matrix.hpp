@@ -1,0 +1,115 @@
+// Runtime-polymorphic matrix: the object the layout scheduler actually
+// hands to the SVM solver. A std::variant over the five concrete formats
+// keeps dispatch branch-predictable (no virtual calls in the SMSV loop —
+// one visit per multiply, not per element).
+#pragma once
+
+#include <span>
+#include <variant>
+
+#include "common/types.hpp"
+#include "formats/bcsr.hpp"
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/format.hpp"
+#include "formats/hyb.hpp"
+#include "formats/jds.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// A matrix stored in any of the five paper formats, with a uniform API.
+class AnyMatrix {
+ public:
+  AnyMatrix() = default;
+  AnyMatrix(DenseMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(CsrMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(CooMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(EllMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(DiaMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(CscMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(BcsrMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(HybMatrix m) : m_(std::move(m)) {}
+  AnyMatrix(JdsMatrix m) : m_(std::move(m)) {}
+
+  /// Materialises `coo` in the requested storage format.
+  static AnyMatrix from_coo(const CooMatrix& coo, Format f) {
+    switch (f) {
+      case Format::kDEN: return AnyMatrix(DenseMatrix(coo));
+      case Format::kCSR: return AnyMatrix(CsrMatrix(coo));
+      case Format::kCOO: return AnyMatrix(coo);
+      case Format::kELL: return AnyMatrix(EllMatrix(coo));
+      case Format::kDIA: return AnyMatrix(DiaMatrix(coo));
+      case Format::kCSC: return AnyMatrix(CscMatrix(coo));
+      case Format::kBCSR: return AnyMatrix(BcsrMatrix(coo));
+      case Format::kHYB: return AnyMatrix(HybMatrix(coo));
+      case Format::kJDS: return AnyMatrix(JdsMatrix(coo));
+    }
+    throw Error("from_coo: invalid format");
+  }
+
+  Format format() const {
+    return std::visit([](const auto& m) { return m.format(); }, m_);
+  }
+
+  index_t rows() const {
+    return std::visit([](const auto& m) { return m.rows(); }, m_);
+  }
+  index_t cols() const {
+    return std::visit([](const auto& m) { return m.cols(); }, m_);
+  }
+  index_t nnz() const {
+    return std::visit([](const auto& m) { return m.nnz(); }, m_);
+  }
+  index_t stored_elements() const {
+    return std::visit([](const auto& m) { return m.stored_elements(); }, m_);
+  }
+  std::size_t storage_bytes() const {
+    return std::visit([](const auto& m) { return m.storage_bytes(); }, m_);
+  }
+  index_t work_flops() const {
+    return std::visit([](const auto& m) { return m.work_flops(); }, m_);
+  }
+
+  /// y = A * w (dense workspace w of size cols; y of size rows).
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const {
+    std::visit([&](const auto& m) { m.multiply_dense(w, y); }, m_);
+  }
+
+  /// Extracts row i as a SparseVector.
+  void gather_row(index_t i, SparseVector& out) const {
+    std::visit([&](const auto& m) { m.gather_row(i, out); }, m_);
+  }
+
+  /// Lowers to canonical COO regardless of current format.
+  CooMatrix to_coo() const {
+    if (const auto* coo = std::get_if<CooMatrix>(&m_)) return *coo;
+    return std::visit(
+        [](const auto& m) -> CooMatrix {
+          if constexpr (std::is_same_v<std::decay_t<decltype(m)>, CooMatrix>) {
+            return m;
+          } else {
+            return m.to_coo();
+          }
+        },
+        m_);
+  }
+
+  /// Direct access to a concrete format (throws std::bad_variant_access if
+  /// the matrix is stored differently).
+  template <class M>
+  const M& as() const {
+    return std::get<M>(m_);
+  }
+
+ private:
+  std::variant<DenseMatrix, CsrMatrix, CooMatrix, EllMatrix, DiaMatrix,
+               CscMatrix, BcsrMatrix, HybMatrix, JdsMatrix>
+      m_;
+};
+
+}  // namespace ls

@@ -1,0 +1,94 @@
+// BCSR (block compressed sparse row) — the second derived format the paper
+// names (Section III-A: "block variants like BCSR are often used when there
+// are many dense sub-blocks in a sparse matrix").
+//
+// The matrix is tiled into r x c blocks; any tile containing a nonzero is
+// stored densely. Register-blocked SMSV then runs an unrolled dense
+// micro-kernel per tile — fewer index loads per nonzero than CSR at the
+// price of explicit zero fill. This is OSKI's core trade-off, which the
+// related-work section contrasts against; the fill ratio reported by
+// fill_ratio() is exactly OSKI's tuning parameter.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Result of the OSKI-style block-shape search.
+struct BlockShapeChoice {
+  index_t rows = 1;
+  index_t cols = 1;
+  double fill_ratio = 1.0;  ///< stored slots / nnz at the chosen shape
+};
+
+/// Scans block shapes r x c (1 <= r <= max_rows, 1 <= c <= max_cols) and
+/// returns the one minimising estimated SMSV cost: fill_ratio divided by a
+/// mild per-tile amortisation credit (larger tiles need fewer index loads)
+/// — OSKI's register-blocking heuristic. O(nnz) per candidate shape.
+BlockShapeChoice choose_block_shape(const CooMatrix& coo,
+                                    index_t max_rows = 4,
+                                    index_t max_cols = 4);
+
+/// Block-CSR matrix with run-time block shape (default 4 x 4).
+class BcsrMatrix {
+ public:
+  BcsrMatrix() = default;
+
+  /// Builds from canonical COO with the given block shape.
+  explicit BcsrMatrix(const CooMatrix& coo, index_t block_rows = 4,
+                      index_t block_cols = 4);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  static constexpr Format format() { return Format::kBCSR; }
+
+  index_t block_rows() const { return br_; }
+  index_t block_cols() const { return bc_; }
+  index_t num_blocks() const { return static_cast<index_t>(bcol_.size()); }
+
+  /// Stored slots / true nonzeros — OSKI's fill ratio (>= 1).
+  double fill_ratio() const {
+    return nnz_ > 0 ? static_cast<double>(stored_elements()) /
+                          static_cast<double>(nnz_)
+                    : 1.0;
+  }
+
+  index_t stored_elements() const { return num_blocks() * br_ * bc_; }
+
+  /// Bytes: dense tiles + one column index per tile + block-row pointer.
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + bcol_.size_bytes() + ptr_.size_bytes();
+  }
+
+  index_t work_flops() const { return stored_elements(); }
+
+  /// y = A * w: block-row-parallel, dense r x c micro-kernel per tile.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i (skipping fill zeros).
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO (fill dropped).
+  CooMatrix to_coo() const;
+
+ private:
+  index_t block_row_count() const { return (rows_ + br_ - 1) / br_; }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t br_ = 4;
+  index_t bc_ = 4;
+  AlignedBuffer<index_t> ptr_;    // block-row pointer (block_row_count + 1)
+  AlignedBuffer<index_t> bcol_;   // block-column index per tile
+  AlignedBuffer<real_t> values_;  // num_blocks * br * bc dense tiles
+};
+
+}  // namespace ls

@@ -1,0 +1,78 @@
+// COO (coordinate) format: parallel row/col/value arrays, sorted
+// row-major. COO is also the conversion hub — every other format can be
+// built from and lowered to canonical COO, which keeps the conversion
+// matrix (5x5) at 2*5 implementations instead of 25.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// One nonzero element during matrix assembly.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  real_t value = 0.0;
+};
+
+/// Canonical coordinate-format sparse matrix (sorted by row then column,
+/// duplicates summed, explicit zeros dropped at construction).
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+
+  /// Builds a canonical COO matrix from arbitrary-order triplets.
+  /// Duplicate (row, col) entries are summed; zero values are dropped.
+  CooMatrix(index_t rows, index_t cols, std::vector<Triplet> triplets);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  static constexpr Format format() { return Format::kCOO; }
+
+  std::span<const index_t> row_indices() const {
+    return {row_.data(), row_.size()};
+  }
+  std::span<const index_t> col_indices() const {
+    return {col_.data(), col_.size()};
+  }
+  std::span<const real_t> values() const {
+    return {values_.data(), values_.size()};
+  }
+
+  /// Number of stored value slots. COO stores exactly nnz values (plus two
+  /// index arrays; see storage_bytes for the Table II accounting).
+  index_t stored_elements() const { return nnz(); }
+
+  /// Total bytes of the data + row + col arrays (Table II: 3 * nnz words).
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + row_.size_bytes() + col_.size_bytes();
+  }
+
+  /// Multiply-add operations performed by one multiply_dense call.
+  index_t work_flops() const { return nnz(); }
+
+  /// y = A * w for a dense workspace w (size cols). y must have size rows
+  /// and is fully overwritten. Parallelised over row-aligned nonzero chunks
+  /// so no two threads write the same output row.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i as a sparse vector (appends into `out` after clearing).
+  /// COO row extraction uses binary search over the sorted row array.
+  void gather_row(index_t i, SparseVector& out) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedBuffer<index_t> row_;
+  AlignedBuffer<index_t> col_;
+  AlignedBuffer<real_t> values_;
+};
+
+}  // namespace ls

@@ -1,0 +1,85 @@
+#include "formats/csc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+CscMatrix::CscMatrix(const CooMatrix& coo)
+    : rows_(coo.rows()), cols_(coo.cols()) {
+  const auto rows = coo.row_indices();
+  const auto cols = coo.col_indices();
+  const auto vals = coo.values();
+  const std::size_t n = vals.size();
+
+  ptr_.resize(static_cast<std::size_t>(cols_) + 1);
+  row_.resize(n);
+  values_.resize(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    ++ptr_[static_cast<std::size_t>(cols[k]) + 1];
+  }
+  for (std::size_t j = 1; j < ptr_.size(); ++j) ptr_[j] += ptr_[j - 1];
+
+  // Fill pass with a moving cursor per column; COO's row-major order makes
+  // the row indices within each column come out sorted.
+  std::vector<index_t> cursor(ptr_.data(), ptr_.data() + cols_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto slot =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(cols[k])]++);
+    row_[slot] = rows[k];
+    values_[slot] = vals[k];
+  }
+}
+
+void CscMatrix::multiply_dense(std::span<const real_t> w,
+                               std::span<real_t> y) const {
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_), "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+  const index_t* __restrict rd = row_.data();
+  const real_t* __restrict vd = values_.data();
+  const index_t* __restrict pd = ptr_.data();
+  // Column-outer loop: serial because distinct columns scatter into shared
+  // y entries (the data-parallel axis of CSC is the output vector, which
+  // would need atomics; the scheduler accounts for that in its makespan
+  // model by treating CSC as nonzero-work with scatter cost).
+  for (index_t j = 0; j < cols_; ++j) {
+    const real_t wj = w[static_cast<std::size_t>(j)];
+    if (wj == 0.0) continue;  // sparse right-hand side: skip dead columns
+    const index_t b = pd[j];
+    const index_t e = pd[j + 1];
+    for (index_t k = b; k < e; ++k) {
+      y[static_cast<std::size_t>(rd[k])] += vd[k] * wj;
+    }
+  }
+}
+
+void CscMatrix::gather_row(index_t i, SparseVector& out) const {
+  LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
+  out.clear();
+  for (index_t j = 0; j < cols_; ++j) {
+    const index_t* begin = row_.data() + ptr_[static_cast<std::size_t>(j)];
+    const index_t* end = row_.data() + ptr_[static_cast<std::size_t>(j) + 1];
+    const index_t* hit = std::lower_bound(begin, end, i);
+    if (hit != end && *hit == i) {
+      out.push_back(j, values_[static_cast<std::size_t>(hit - row_.data())]);
+    }
+  }
+}
+
+CooMatrix CscMatrix::to_coo() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz()));
+  for (index_t j = 0; j < cols_; ++j) {
+    for (index_t k = ptr_[static_cast<std::size_t>(j)];
+         k < ptr_[static_cast<std::size_t>(j) + 1]; ++k) {
+      triplets.push_back({row_[static_cast<std::size_t>(k)], j,
+                          values_[static_cast<std::size_t>(k)]});
+    }
+  }
+  return CooMatrix(rows_, cols_, std::move(triplets));
+}
+
+}  // namespace ls

@@ -1,0 +1,78 @@
+// CSC (compressed sparse column) — the first of the paper's "derived"
+// formats (Section III-A: "the CSC format is similar to the CSR format.
+// The only difference is that the columns are used instead of the rows").
+//
+// For the SMSV y = A * w, CSC iterates columns and scatters AXPY updates
+// into y; when the right-hand side is sparse (a gathered row), CSC can skip
+// every column where w is zero — an access pattern none of the five basic
+// formats offers. The scheduler exposes CSC through the extended format
+// list (see format.hpp).
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Compressed-sparse-column matrix.
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Builds from canonical COO.
+  explicit CscMatrix(const CooMatrix& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  static constexpr Format format() { return Format::kCSC; }
+
+  std::span<const index_t> col_ptr() const { return {ptr_.data(), ptr_.size()}; }
+  std::span<const index_t> row_indices() const {
+    return {row_.data(), row_.size()};
+  }
+  std::span<const real_t> values() const {
+    return {values_.data(), values_.size()};
+  }
+
+  /// Number of nonzeros in column j.
+  index_t col_nnz(index_t j) const {
+    return ptr_[static_cast<std::size_t>(j) + 1] -
+           ptr_[static_cast<std::size_t>(j)];
+  }
+
+  index_t stored_elements() const { return nnz(); }
+
+  /// Bytes for data + row indices + column pointer (2*nnz + N + 1 words).
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + row_.size_bytes() + ptr_.size_bytes();
+  }
+
+  index_t work_flops() const { return nnz(); }
+
+  /// y = A * w: column-outer AXPY accumulation. Columns whose w entry is
+  /// exactly zero are skipped entirely — with a gathered-row workspace the
+  /// effective work is sum of col_nnz over the row's support only.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i (O(nnz of the row) via per-column binary searches —
+  /// CSC's weak spot; the kernel engine caches gathered rows).
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO.
+  CooMatrix to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedBuffer<index_t> ptr_;    // cols + 1 entries
+  AlignedBuffer<index_t> row_;    // nnz entries
+  AlignedBuffer<real_t> values_;  // nnz entries
+};
+
+}  // namespace ls

@@ -1,0 +1,86 @@
+#include "formats/csr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ls {
+
+CsrMatrix::CsrMatrix(const CooMatrix& coo)
+    : rows_(coo.rows()), cols_(coo.cols()) {
+  const auto rows = coo.row_indices();
+  const auto cols = coo.col_indices();
+  const auto vals = coo.values();
+  const std::size_t n = vals.size();
+
+  ptr_.resize(static_cast<std::size_t>(rows_) + 1);
+  col_.resize(n);
+  values_.resize(n);
+
+  // Counting pass: COO is already row-sorted, so a single sweep fills both
+  // the pointer array and the per-row segments.
+  for (std::size_t k = 0; k < n; ++k) {
+    ++ptr_[static_cast<std::size_t>(rows[k]) + 1];
+  }
+  for (std::size_t i = 1; i < ptr_.size(); ++i) ptr_[i] += ptr_[i - 1];
+  for (std::size_t k = 0; k < n; ++k) {
+    col_[k] = cols[k];
+    values_[k] = vals[k];
+  }
+}
+
+void CsrMatrix::multiply_dense(std::span<const real_t> w,
+                               std::span<real_t> y) const {
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_), "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  const real_t* __restrict wd = w.data();
+  const index_t* __restrict cd = col_.data();
+  const real_t* __restrict vd = values_.data();
+  const index_t* __restrict pd = ptr_.data();
+  parallel_for(rows_, [&](index_t i) {
+    const index_t b = pd[i];
+    const index_t e = pd[i + 1];
+    real_t s = 0.0;
+    for (index_t k = b; k < e; ++k) {
+      s += vd[k] * wd[cd[k]];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  });
+}
+
+real_t CsrMatrix::row_dot_dense(index_t i, std::span<const real_t> w) const {
+  LS_ASSERT(i >= 0 && i < rows_, "row index out of range");
+  const auto cols = row_cols(i);
+  const auto vals = row_values(i);
+  real_t s = 0.0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    s += vals[k] * w[static_cast<std::size_t>(cols[k])];
+  }
+  return s;
+}
+
+void CsrMatrix::gather_row(index_t i, SparseVector& out) const {
+  LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
+  out.clear();
+  const auto cols = row_cols(i);
+  const auto vals = row_values(i);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    out.push_back(cols[k], vals[k]);
+  }
+}
+
+CooMatrix CsrMatrix::to_coo() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz()));
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto cols = row_cols(i);
+    const auto vals = row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      triplets.push_back({i, cols[k], vals[k]});
+    }
+  }
+  return CooMatrix(rows_, cols_, std::move(triplets));
+}
+
+}  // namespace ls

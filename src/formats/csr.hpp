@@ -1,0 +1,91 @@
+// CSR (compressed sparse row): LIBSVM's fixed choice and the most common
+// general-purpose sparse format. Rows are contiguous, so row gathers are
+// O(1) views and the SMSV loop parallelises over rows.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Compressed-sparse-row matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from canonical COO (already sorted, deduplicated).
+  explicit CsrMatrix(const CooMatrix& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  static constexpr Format format() { return Format::kCSR; }
+
+  std::span<const index_t> row_ptr() const { return {ptr_.data(), ptr_.size()}; }
+  std::span<const index_t> col_indices() const {
+    return {col_.data(), col_.size()};
+  }
+  std::span<const real_t> values() const {
+    return {values_.data(), values_.size()};
+  }
+
+  /// Number of nonzeros in row i (the paper's dim_i).
+  index_t row_nnz(index_t i) const {
+    return ptr_[static_cast<std::size_t>(i) + 1] -
+           ptr_[static_cast<std::size_t>(i)];
+  }
+
+  /// Zero-copy view of row i's column indices.
+  std::span<const index_t> row_cols(index_t i) const {
+    const auto b = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i)]);
+    const auto e =
+        static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i) + 1]);
+    return {col_.data() + b, e - b};
+  }
+
+  /// Zero-copy view of row i's values.
+  std::span<const real_t> row_values(index_t i) const {
+    const auto b = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i)]);
+    const auto e =
+        static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  index_t stored_elements() const { return nnz(); }
+
+  /// Bytes for data + col indices + row pointer (Table II: 2*nnz + M + 1).
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + col_.size_bytes() + ptr_.size_bytes();
+  }
+
+  index_t work_flops() const { return nnz(); }
+
+  /// y = A * w (dense workspace w, size cols). Row-parallel: one thread owns
+  /// a contiguous block of rows, so skewed row lengths (high vdim) directly
+  /// cause load imbalance — the effect Fig. 4 measures against COO.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Row i dot dense workspace w (gather-dot over the row's pattern).
+  real_t row_dot_dense(index_t i, std::span<const real_t> w) const;
+
+  /// Extracts row i as a SparseVector (copy; use row_cols/row_values for
+  /// zero-copy access).
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers back to canonical COO (used by format conversion round-trips).
+  CooMatrix to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedBuffer<index_t> ptr_;   // rows + 1 entries
+  AlignedBuffer<index_t> col_;   // nnz entries
+  AlignedBuffer<real_t> values_;  // nnz entries
+};
+
+}  // namespace ls

@@ -1,0 +1,73 @@
+#include "formats/dense.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ls {
+
+DenseMatrix::DenseMatrix(index_t rows, index_t cols)
+    : rows_(rows), cols_(cols) {
+  LS_CHECK(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+}
+
+DenseMatrix::DenseMatrix(const CooMatrix& coo)
+    : DenseMatrix(coo.rows(), coo.cols()) {
+  const auto rows = coo.row_indices();
+  const auto cols = coo.col_indices();
+  const auto vals = coo.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    (*this)(rows[k], cols[k]) = vals[k];
+  }
+  nnz_ = coo.nnz();
+}
+
+void DenseMatrix::multiply_dense(std::span<const real_t> w,
+                                 std::span<real_t> y) const {
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_), "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  const real_t* __restrict wd = w.data();
+  const real_t* __restrict ad = data_.data();
+  const index_t n = cols_;
+  parallel_for(rows_, [&](index_t i) {
+    const real_t* __restrict r = ad + static_cast<std::size_t>(i * n);
+    real_t s = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      s += r[j] * wd[j];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  });
+}
+
+void DenseMatrix::gather_row(index_t i, SparseVector& out) const {
+  LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
+  out.clear();
+  const auto r = row(i);
+  for (index_t j = 0; j < cols_; ++j) {
+    const real_t v = r[static_cast<std::size_t>(j)];
+    if (v != 0.0) out.push_back(j, v);
+  }
+}
+
+CooMatrix DenseMatrix::to_coo() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(nnz_));
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto r = row(i);
+    for (index_t j = 0; j < cols_; ++j) {
+      const real_t v = r[static_cast<std::size_t>(j)];
+      if (v != 0.0) triplets.push_back({i, j, v});
+    }
+  }
+  return CooMatrix(rows_, cols_, std::move(triplets));
+}
+
+void DenseMatrix::recount_nnz() {
+  index_t n = 0;
+  for (real_t v : data_) {
+    if (v != 0.0) ++n;
+  }
+  nnz_ = n;
+}
+
+}  // namespace ls

@@ -1,0 +1,80 @@
+// DEN (dense) format: row-major M x N array, the format GPUSVM fixes for
+// all datasets. Storage and work are M*N regardless of sparsity, but each
+// multiply-add streams contiguously with no index indirection, which is why
+// DEN wins on dense ML datasets (gisette, epsilon, dna).
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a zero-filled rows x cols matrix.
+  DenseMatrix(index_t rows, index_t cols);
+
+  /// Materialises a COO matrix densely.
+  explicit DenseMatrix(const CooMatrix& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  /// Number of nonzero entries (scans; cached at construction from COO).
+  index_t nnz() const { return nnz_; }
+  static constexpr Format format() { return Format::kDEN; }
+
+  real_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  real_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Zero-copy view of row i.
+  std::span<const real_t> row(index_t i) const {
+    return {data_.data() + static_cast<std::size_t>(i * cols_),
+            static_cast<std::size_t>(cols_)};
+  }
+  std::span<real_t> row(index_t i) {
+    return {data_.data() + static_cast<std::size_t>(i * cols_),
+            static_cast<std::size_t>(cols_)};
+  }
+
+  std::span<const real_t> data() const { return {data_.data(), data_.size()}; }
+
+  index_t stored_elements() const { return rows_ * cols_; }
+
+  /// Bytes of the value array (Table II: M*N words, no index arrays).
+  std::size_t storage_bytes() const { return data_.size_bytes(); }
+
+  index_t work_flops() const { return rows_ * cols_; }
+
+  /// y = A * w, dense GEMV loop (row-parallel, unit-stride inner loop).
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts the nonzero pattern of row i into a SparseVector.
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO (zeros dropped).
+  CooMatrix to_coo() const;
+
+  /// Recounts nonzeros after in-place edits via operator().
+  void recount_nnz();
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  AlignedBuffer<real_t> data_;
+};
+
+}  // namespace ls

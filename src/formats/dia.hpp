@@ -1,0 +1,100 @@
+// DIA (diagonal) format: one padded stripe per occupied diagonal.
+//
+// Storage and work scale with the number of occupied diagonals (ndig), not
+// with nnz: a matrix whose nonzeros are scattered over many diagonals pays
+// for full-length padded stripes (Fig. 2). This is why the paper adds ndig
+// and dnnz (= nnz / ndig) to the influencing-parameter space — DIA is only
+// competitive when dnnz is high (e.g. trefethen: 12 diagonals with ~1829
+// nonzeros each).
+//
+// Stripes are uniformly min(M, N) slots long (matching the paper's Table II
+// bound of (min(M,N)+1)*(M+N-1) words for a fully occupied matrix); stripe
+// d covers rows [base_d, base_d + len_d) where base_d = max(0, -offset_d).
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Diagonal-format matrix. Element (i, i + offset[d]) of the matrix lives
+/// at stripe d, slot i - max(0, -offset[d]).
+class DiaMatrix {
+ public:
+  DiaMatrix() = default;
+
+  /// Builds from canonical COO.
+  explicit DiaMatrix(const CooMatrix& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  static constexpr Format format() { return Format::kDIA; }
+
+  /// Number of occupied diagonals (the paper's ndig).
+  index_t num_diagonals() const {
+    return static_cast<index_t>(offsets_.size());
+  }
+
+  std::span<const index_t> offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+
+  /// Uniform stripe length: min(M, N).
+  index_t stripe_len() const { return stripe_len_; }
+
+  index_t stored_elements() const { return num_diagonals() * stripe_len_; }
+
+  /// Bytes for the padded stripes plus the offsets array.
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + offsets_.size_bytes();
+  }
+
+  /// One multiply-add per in-bounds stripe slot (padded zeros inside the
+  /// valid range still cost; slots past the matrix edge are skipped by the
+  /// loop bounds).
+  index_t work_flops() const;
+
+  /// y = A * w. Stripe-outer loop; each stripe is a unit-stride AXPY-like
+  /// update over its valid row range.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i (skipping padding zeros).
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO (padding dropped).
+  CooMatrix to_coo() const;
+
+ private:
+  /// First row covered by stripe d.
+  index_t stripe_base(std::size_t d) const {
+    const index_t off = offsets_[d];
+    return off < 0 ? -off : 0;
+  }
+
+  /// One-past-last row covered by stripe d.
+  index_t stripe_end(std::size_t d) const {
+    const index_t off = offsets_[d];
+    const index_t hi = cols_ - off < rows_ ? cols_ - off : rows_;
+    return hi > stripe_base(d) ? hi : stripe_base(d);
+  }
+
+  std::size_t slot(std::size_t d, index_t row) const {
+    return d * static_cast<std::size_t>(stripe_len_) +
+           static_cast<std::size_t>(row - stripe_base(d));
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t stripe_len_ = 0;
+  AlignedBuffer<index_t> offsets_;  // sorted diagonal offsets (col - row)
+  AlignedBuffer<real_t> values_;    // ndiag * stripe_len slots, pad = 0.0
+};
+
+}  // namespace ls

@@ -1,0 +1,70 @@
+// ELL (ELLPACK/ITPACK) format: every row padded to the maximum row length
+// (mdim), stored column-major so that lane k of all rows is contiguous —
+// the classic SIMD-across-rows layout from ITPACK.
+//
+// The padding is exactly why the paper adds mdim / adim / vdim to the
+// influencing-parameter space: storage and work are M * mdim, so a single
+// long row (high vdim) inflates the whole matrix (Fig. 3).
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// ELLPACK matrix: M x mdim slots, column-major, zero-padded.
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  /// Builds from canonical COO.
+  explicit EllMatrix(const CooMatrix& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  static constexpr Format format() { return Format::kELL; }
+
+  /// Width of the padded slot array (the paper's mdim = max_i dim_i).
+  index_t max_row_nnz() const { return mdim_; }
+
+  index_t stored_elements() const { return rows_ * mdim_; }
+
+  /// Bytes for padded values + padded column indices (Table II: 2*M*mdim).
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + col_.size_bytes();
+  }
+
+  index_t work_flops() const { return rows_ * mdim_; }
+
+  /// y = A * w. Iterates lanes in the outer loop (column-major streaming):
+  /// every row pays for all mdim lanes including padding.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i (skipping padding slots).
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO (padding dropped).
+  CooMatrix to_coo() const;
+
+ private:
+  // Slot (i, k) lives at index k * rows_ + i (column-major).
+  std::size_t slot(index_t i, index_t k) const {
+    return static_cast<std::size_t>(k * rows_ + i);
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t mdim_ = 0;
+  AlignedBuffer<index_t> col_;    // rows * mdim slots, pad = 0
+  AlignedBuffer<real_t> values_;  // rows * mdim slots, pad = 0.0
+  AlignedBuffer<index_t> row_len_;  // true dim_i per row (for gather)
+};
+
+}  // namespace ls

@@ -1,0 +1,75 @@
+// Matrix storage format identifiers.
+//
+// The five *basic* formats are the ones the paper studies (Section III):
+// DEN (dense), CSR (compressed sparse row), COO (coordinate),
+// ELL (ELLPACK/ITPACK) and DIA (diagonal). The paper notes that "most of
+// the other storage formats can be derived from these basic formats" and
+// names CSC and BCSR as examples — both are implemented as *extended*
+// formats: the empirical autotuner can consider them, while the paper-
+// reproduction benches stick to the basic five.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+/// Storage format identifier. Values are stable and usable as array indices.
+enum class Format : int {
+  // The paper's five basic formats.
+  kDEN = 0,
+  kCSR = 1,
+  kCOO = 2,
+  kELL = 3,
+  kDIA = 4,
+  // Derived formats (Section III-A's "other storage formats").
+  kCSC = 5,
+  kBCSR = 6,
+  kHYB = 7,
+  kJDS = 8,
+};
+
+/// Number of basic (paper) formats.
+inline constexpr int kNumBasicFormats = 5;
+
+/// Total number of supported formats (arrays indexed by Format use this).
+inline constexpr int kNumFormats = 9;
+
+/// The paper's basic formats in Table II column order (DEN CSR COO ELL DIA).
+inline constexpr std::array<Format, kNumBasicFormats> kAllFormats = {
+    Format::kDEN, Format::kCSR, Format::kCOO, Format::kELL, Format::kDIA};
+
+/// Every supported format, basic + derived.
+inline constexpr std::array<Format, kNumFormats> kExtendedFormats = {
+    Format::kDEN, Format::kCSR, Format::kCOO,  Format::kELL, Format::kDIA,
+    Format::kCSC, Format::kBCSR, Format::kHYB, Format::kJDS};
+
+/// Short upper-case name as printed in the paper's tables.
+constexpr std::string_view format_name(Format f) {
+  switch (f) {
+    case Format::kDEN: return "DEN";
+    case Format::kCSR: return "CSR";
+    case Format::kCOO: return "COO";
+    case Format::kELL: return "ELL";
+    case Format::kDIA: return "DIA";
+    case Format::kCSC: return "CSC";
+    case Format::kBCSR: return "BCSR";
+    case Format::kHYB: return "HYB";
+    case Format::kJDS: return "JDS";
+  }
+  return "???";
+}
+
+/// Parses a format name (case-sensitive, as printed by format_name).
+inline Format parse_format(std::string_view name) {
+  for (Format f : kExtendedFormats) {
+    if (format_name(f) == name) return f;
+  }
+  throw Error("unknown format name: '" + std::string(name) +
+              "' (expected DEN, CSR, COO, ELL, DIA, CSC, BCSR, HYB or JDS)");
+}
+
+}  // namespace ls

@@ -1,0 +1,80 @@
+// HYB (hybrid ELL + COO) format — the standard cure for ELL's padding
+// pathology (cuSPARSE's historical default for irregular matrices, and a
+// natural member of the paper's "derived from the basic formats" family):
+// store each row's first `ell_width` nonzeros in a regular ELL slab and
+// spill the remainder of long rows into a small COO overflow list. Storage
+// and work become M * ell_width + overflow instead of M * mdim, so a
+// single long row no longer inflates the whole matrix.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Hybrid matrix: ELL slab of width `ell_width` + COO overflow.
+class HybMatrix {
+ public:
+  HybMatrix() = default;
+
+  /// Builds from canonical COO. `ell_width` = 0 chooses the width
+  /// automatically (the mean row length, rounded up — the classic rule
+  /// that bounds padding by ~1x while keeping most nonzeros regular).
+  explicit HybMatrix(const CooMatrix& coo, index_t ell_width = 0);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  static constexpr Format format() { return Format::kHYB; }
+
+  index_t ell_width() const { return width_; }
+  index_t overflow_nnz() const {
+    return static_cast<index_t>(coo_vals_.size());
+  }
+
+  index_t stored_elements() const {
+    return rows_ * width_ + overflow_nnz();
+  }
+
+  /// Bytes: padded ELL slab (values + cols + per-row occupancy) + COO
+  /// triples of the overflow.
+  std::size_t storage_bytes() const {
+    return ell_vals_.size_bytes() + ell_cols_.size_bytes() +
+           ell_len_.size_bytes() + coo_vals_.size_bytes() +
+           coo_rows_.size_bytes() + coo_cols_.size_bytes();
+  }
+
+  index_t work_flops() const { return stored_elements(); }
+
+  /// y = A * w: ELL slab (lane-outer) then COO overflow accumulation.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i (merging the slab and overflow parts, sorted).
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO.
+  CooMatrix to_coo() const;
+
+ private:
+  std::size_t slot(index_t i, index_t k) const {
+    return static_cast<std::size_t>(k * rows_ + i);  // column-major slab
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t width_ = 0;
+  AlignedBuffer<real_t> ell_vals_;   // rows * width slots, pad = 0
+  AlignedBuffer<index_t> ell_cols_;  // rows * width slots, pad = 0
+  AlignedBuffer<index_t> ell_len_;   // per-row slab occupancy
+  AlignedBuffer<real_t> coo_vals_;   // overflow (row-sorted)
+  AlignedBuffer<index_t> coo_rows_;
+  AlignedBuffer<index_t> coo_cols_;
+};
+
+}  // namespace ls

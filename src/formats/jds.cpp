@@ -1,0 +1,103 @@
+#include "formats/jds.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "formats/csr.hpp"
+
+namespace ls {
+
+JdsMatrix::JdsMatrix(const CooMatrix& coo)
+    : rows_(coo.rows()), cols_(coo.cols()) {
+  const CsrMatrix csr(coo);
+
+  // Stable sort rows by descending nonzero count.
+  std::vector<index_t> perm(static_cast<std::size_t>(rows_));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    return csr.row_nnz(a) > csr.row_nnz(b);
+  });
+
+  perm_.resize(perm.size());
+  inv_perm_.resize(perm.size());
+  for (std::size_t p = 0; p < perm.size(); ++p) {
+    perm_[p] = perm[p];
+    inv_perm_[static_cast<std::size_t>(perm[p])] = static_cast<index_t>(p);
+  }
+
+  const index_t mdim = rows_ > 0 ? csr.row_nnz(perm.empty() ? 0 : perm[0]) : 0;
+  jd_ptr_.resize(static_cast<std::size_t>(mdim) + 1);
+  values_.resize(static_cast<std::size_t>(coo.nnz()));
+  col_.resize(static_cast<std::size_t>(coo.nnz()));
+
+  // Jagged diagonal k holds the k-th nonzero of every row with > k
+  // nonzeros; rows are sorted, so those rows are exactly the prefix.
+  std::size_t cursor = 0;
+  for (index_t k = 0; k < mdim; ++k) {
+    jd_ptr_[static_cast<std::size_t>(k)] = static_cast<index_t>(cursor);
+    for (std::size_t p = 0; p < perm.size(); ++p) {
+      const index_t row = perm[p];
+      if (csr.row_nnz(row) <= k) break;  // sorted: the rest are shorter
+      values_[cursor] = csr.row_values(row)[static_cast<std::size_t>(k)];
+      col_[cursor] = csr.row_cols(row)[static_cast<std::size_t>(k)];
+      ++cursor;
+    }
+  }
+  jd_ptr_[static_cast<std::size_t>(mdim)] = static_cast<index_t>(cursor);
+  LS_CHECK(cursor == values_.size(), "JDS fill mismatch");
+}
+
+void JdsMatrix::multiply_dense(std::span<const real_t> w,
+                               std::span<real_t> y) const {
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_), "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+  const real_t* __restrict wd = w.data();
+  const index_t* __restrict pd = perm_.data();
+  for (index_t k = 0; k < num_jagged(); ++k) {
+    const index_t b = jd_ptr_[static_cast<std::size_t>(k)];
+    const index_t e = jd_ptr_[static_cast<std::size_t>(k) + 1];
+    const real_t* __restrict vd = values_.data() + b;
+    const index_t* __restrict cd = col_.data() + b;
+    const index_t len = e - b;
+    // Positions 0..len-1 of this diagonal belong to sorted rows 0..len-1.
+    for (index_t p = 0; p < len; ++p) {
+      y[static_cast<std::size_t>(pd[p])] += vd[p] * wd[cd[p]];
+    }
+  }
+}
+
+void JdsMatrix::gather_row(index_t i, SparseVector& out) const {
+  LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
+  out.clear();
+  const index_t p = inv_perm_[static_cast<std::size_t>(i)];
+  // The row's k-th nonzero lives at jd_ptr[k] + p while the diagonal is
+  // long enough to include sorted position p. Columns ascend with k (CSR
+  // row order), so output stays sorted.
+  for (index_t k = 0; k < num_jagged(); ++k) {
+    const index_t b = jd_ptr_[static_cast<std::size_t>(k)];
+    const index_t e = jd_ptr_[static_cast<std::size_t>(k) + 1];
+    if (p >= e - b) break;
+    const auto slot = static_cast<std::size_t>(b + p);
+    out.push_back(col_[slot], values_[slot]);
+  }
+}
+
+CooMatrix JdsMatrix::to_coo() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (index_t k = 0; k < num_jagged(); ++k) {
+    const index_t b = jd_ptr_[static_cast<std::size_t>(k)];
+    const index_t e = jd_ptr_[static_cast<std::size_t>(k) + 1];
+    for (index_t p = 0; p < e - b; ++p) {
+      const auto slot = static_cast<std::size_t>(b + p);
+      triplets.push_back({perm_[static_cast<std::size_t>(p)], col_[slot],
+                          values_[slot]});
+    }
+  }
+  return CooMatrix(rows_, cols_, std::move(triplets));
+}
+
+}  // namespace ls

@@ -1,0 +1,73 @@
+// JDS (jagged diagonal storage) — the vector-machine cousin of ELL and
+// another classic derivative of the basic formats. Rows are sorted by
+// nonzero count (descending, via a permutation), and the k-th nonzeros of
+// all rows long enough form the k-th "jagged diagonal": a dense stream
+// with no padding at all. Work is exactly nnz like CSR, but the inner
+// loops are long unit-stride streams like ELL — without ELL's padding
+// sensitivity to mdim.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "formats/coo.hpp"
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls {
+
+/// Jagged-diagonal matrix.
+class JdsMatrix {
+ public:
+  JdsMatrix() = default;
+
+  /// Builds from canonical COO.
+  explicit JdsMatrix(const CooMatrix& coo);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  static constexpr Format format() { return Format::kJDS; }
+
+  /// Number of jagged diagonals (= mdim of the matrix).
+  index_t num_jagged() const {
+    return static_cast<index_t>(jd_ptr_.size()) - 1;
+  }
+
+  /// perm[p] = original row stored at sorted position p.
+  std::span<const index_t> permutation() const {
+    return {perm_.data(), perm_.size()};
+  }
+
+  index_t stored_elements() const { return nnz(); }
+
+  /// Bytes: values + col indices + jd pointer + both permutation arrays.
+  std::size_t storage_bytes() const {
+    return values_.size_bytes() + col_.size_bytes() + jd_ptr_.size_bytes() +
+           perm_.size_bytes() + inv_perm_.size_bytes();
+  }
+
+  index_t work_flops() const { return nnz(); }
+
+  /// y = A * w: one unit-stride stream per jagged diagonal, scattering
+  /// into y through the row permutation.
+  void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
+
+  /// Extracts row i.
+  void gather_row(index_t i, SparseVector& out) const;
+
+  /// Lowers to canonical COO.
+  CooMatrix to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedBuffer<index_t> perm_;     // sorted position -> original row
+  AlignedBuffer<index_t> inv_perm_; // original row -> sorted position
+  AlignedBuffer<index_t> jd_ptr_;   // start of each jagged diagonal
+  AlignedBuffer<index_t> col_;      // nnz entries
+  AlignedBuffer<real_t> values_;    // nnz entries
+};
+
+}  // namespace ls

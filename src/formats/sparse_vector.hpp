@@ -1,0 +1,109 @@
+// Sparse vector: the right-hand side of the SMSV products that dominate SMO.
+//
+// In each SMO iteration the two selected vectors X_high and X_low are *rows
+// of the data matrix*, so they inherit the matrix's sparsity. The kernel
+// engine gathers the selected row into a SparseVector, scatters it into a
+// dense workspace, multiplies, and scatters zeros back over the same pattern
+// so the workspace stays clean in O(nnz) instead of O(N).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ls {
+
+/// Index/value pair list sorted by index with no duplicates.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Constructs from parallel index/value arrays (must be sorted, unique).
+  SparseVector(std::vector<index_t> indices, std::vector<real_t> values)
+      : indices_(std::move(indices)), values_(std::move(values)) {
+    LS_CHECK(indices_.size() == values_.size(),
+             "sparse vector index/value length mismatch");
+    for (std::size_t k = 1; k < indices_.size(); ++k) {
+      LS_CHECK(indices_[k - 1] < indices_[k],
+               "sparse vector indices must be strictly increasing");
+    }
+  }
+
+  void clear() {
+    indices_.clear();
+    values_.clear();
+  }
+
+  /// Appends an entry; index must be greater than the last appended index.
+  void push_back(index_t index, real_t value) {
+    LS_ASSERT(indices_.empty() || indices_.back() < index,
+              "push_back indices must be strictly increasing");
+    indices_.push_back(index);
+    values_.push_back(value);
+  }
+
+  index_t nnz() const { return static_cast<index_t>(indices_.size()); }
+  bool empty() const { return indices_.empty(); }
+
+  std::span<const index_t> indices() const { return indices_; }
+  std::span<const real_t> values() const { return values_; }
+
+  /// Scatters the entries into a dense workspace (workspace[idx] = val).
+  void scatter(std::span<real_t> workspace) const {
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      LS_ASSERT(static_cast<std::size_t>(indices_[k]) < workspace.size(),
+                "scatter index out of range");
+      workspace[static_cast<std::size_t>(indices_[k])] = values_[k];
+    }
+  }
+
+  /// Zeroes exactly the entries this vector scattered (O(nnz) cleanup).
+  void unscatter(std::span<real_t> workspace) const {
+    for (index_t idx : indices_) {
+      workspace[static_cast<std::size_t>(idx)] = 0.0;
+    }
+  }
+
+  /// Dot product with a dense vector.
+  real_t dot_dense(std::span<const real_t> dense) const {
+    real_t s = 0.0;
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      s += values_[k] * dense[static_cast<std::size_t>(indices_[k])];
+    }
+    return s;
+  }
+
+  /// Sparse-sparse dot product by merge join. This is the kernel LIBSVM's
+  /// `Kernel::dot` uses per pair; our baseline SVM reuses it verbatim.
+  real_t dot_sparse(const SparseVector& other) const {
+    real_t s = 0.0;
+    std::size_t i = 0, j = 0;
+    while (i < indices_.size() && j < other.indices_.size()) {
+      if (indices_[i] == other.indices_[j]) {
+        s += values_[i] * other.values_[j];
+        ++i;
+        ++j;
+      } else if (indices_[i] < other.indices_[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return s;
+  }
+
+  /// Sum of squared values (||x||^2), used by the Gaussian kernel.
+  real_t squared_norm() const {
+    real_t s = 0.0;
+    for (real_t v : values_) s += v * v;
+    return s;
+  }
+
+ private:
+  std::vector<index_t> indices_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace ls

@@ -1,0 +1,89 @@
+#include "hw/autotune.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+std::optional<TunedConfig> evaluate_config(const DeviceSpec& device,
+                                           const DnnConfig& config) {
+  const auto epochs = epochs_to_target(config);
+  if (!epochs) return std::nullopt;
+  TunedConfig out;
+  out.config = config;
+  out.epochs = *epochs;
+  out.iterations = *iterations_to_target(config);
+  out.seconds = device.training_seconds(out.iterations, config.batch);
+  return out;
+}
+
+namespace {
+
+/// Keeps the faster of two candidates (treating nullopt as +inf).
+void consider(std::optional<TunedConfig>& best,
+              const std::optional<TunedConfig>& candidate) {
+  if (!candidate) return;
+  if (!best || candidate->seconds < best->seconds) best = candidate;
+}
+
+}  // namespace
+
+TunedConfig tune_batch(const DeviceSpec& device, double eta, double mu) {
+  std::optional<TunedConfig> best;
+  for (index_t b : batch_tuning_space()) {
+    consider(best, evaluate_config(device, {b, eta, mu}));
+  }
+  LS_CHECK(best.has_value(), "no convergent batch size in the tuning space");
+  return *best;
+}
+
+TunedConfig tune_learning_rate(const DeviceSpec& device, index_t batch,
+                               double mu) {
+  std::optional<TunedConfig> best;
+  for (double eta : lr_tuning_space()) {
+    consider(best, evaluate_config(device, {batch, eta, mu}));
+  }
+  LS_CHECK(best.has_value(),
+           "no convergent learning rate in the tuning space");
+  return *best;
+}
+
+TunedConfig tune_momentum(const DeviceSpec& device, index_t batch,
+                          double eta) {
+  std::optional<TunedConfig> best;
+  for (double mu : momentum_tuning_space()) {
+    consider(best, evaluate_config(device, {batch, eta, mu}));
+  }
+  LS_CHECK(best.has_value(), "no convergent momentum in the tuning space");
+  return *best;
+}
+
+std::vector<TunedConfig> tune_sequential(const DeviceSpec& device,
+                                         const DnnConfig& start) {
+  std::vector<TunedConfig> stages;
+  // Stage 1: batch size at the starting (eta, mu)  -> Table VII "Tune B".
+  stages.push_back(tune_batch(device, start.eta, start.mu));
+  // Stage 2: learning rate at the tuned B          -> "Tune eta".
+  stages.push_back(tune_learning_rate(device, stages[0].config.batch,
+                                      start.mu));
+  // Stage 3: momentum at the tuned (B, eta)        -> "Tune M".
+  stages.push_back(tune_momentum(device, stages[1].config.batch,
+                                 stages[1].config.eta));
+  return stages;
+}
+
+TunedConfig tune_joint(const DeviceSpec& device) {
+  std::optional<TunedConfig> best;
+  for (index_t b : batch_tuning_space()) {
+    for (double eta : lr_tuning_space()) {
+      for (double mu : momentum_tuning_space()) {
+        consider(best, evaluate_config(device, {b, eta, mu}));
+      }
+    }
+  }
+  LS_CHECK(best.has_value(), "no convergent configuration at all");
+  return *best;
+}
+
+}  // namespace ls

@@ -1,0 +1,50 @@
+// Hyper-parameter auto-tuning over the convergence + hardware models —
+// the paper's Sections IV-C (batch), IV-D (learning rate), IV-E (momentum).
+//
+// The paper tuned sequentially: first B with (eta, mu) at Caffe defaults,
+// then eta at the tuned B, then mu at the tuned (B, eta) — producing the
+// DGX1 / DGX2 / DGX3 rows of Table VII. tune_sequential() reproduces that
+// procedure; tune_joint() searches the full cross-product (an extension the
+// paper left open) and verifies the sequential result is globally optimal
+// under the calibrated model.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dnn/convergence.hpp"
+#include "hw/device.hpp"
+
+namespace ls {
+
+/// A fully evaluated configuration on a device.
+struct TunedConfig {
+  DnnConfig config;
+  double epochs = 0.0;
+  index_t iterations = 0;
+  double seconds = 0.0;
+};
+
+/// Evaluates one configuration on a device; nullopt when it diverges.
+std::optional<TunedConfig> evaluate_config(const DeviceSpec& device,
+                                           const DnnConfig& config);
+
+/// Best batch size from the paper's space, holding (eta, mu) fixed.
+TunedConfig tune_batch(const DeviceSpec& device, double eta, double mu);
+
+/// Best learning rate from the paper's space, holding (B, mu) fixed.
+TunedConfig tune_learning_rate(const DeviceSpec& device, index_t batch,
+                               double mu);
+
+/// Best momentum from the paper's space, holding (B, eta) fixed.
+TunedConfig tune_momentum(const DeviceSpec& device, index_t batch,
+                          double eta);
+
+/// The paper's three-stage tuning; returns {stage1, stage2, stage3}.
+std::vector<TunedConfig> tune_sequential(const DeviceSpec& device,
+                                         const DnnConfig& start);
+
+/// Exhaustive search over the full B x eta x mu cross-product.
+TunedConfig tune_joint(const DeviceSpec& device);
+
+}  // namespace ls

@@ -1,0 +1,49 @@
+#include "hw/device.hpp"
+
+#include "common/error.hpp"
+
+namespace ls {
+
+double DeviceSpec::seconds_per_iteration(index_t batch) const {
+  LS_CHECK(batch >= 1, "batch must be positive");
+  const double h = half_saturation_batch;
+  return t100 * (static_cast<double>(batch) + h) / (100.0 + h);
+}
+
+const std::vector<DeviceSpec>& device_db() {
+  // t100 values are Table VII time / 60,000 iterations for the B = 100 rows.
+  static const std::vector<DeviceSpec> db = {
+      {"cpu8", "Intel Caffe on 8-core CPUs", 1571.0, 29427.0 / 60000.0, 16.0,
+       0},
+      {"knl", "Intel Caffe on KNL", 4876.0, 4922.0 / 60000.0, 32.0, 0},
+      {"haswell", "Intel Caffe on Haswell", 7400.0, 1997.0 / 60000.0, 32.0,
+       0},
+      {"p100", "Nvidia Caffe on Tesla P100 GPU", 11571.0, 503.0 / 60000.0,
+       128.0, 1},
+      // h calibrated from the paper's two DGX operating points:
+      // 387 s / 60,000 iters at B=100 and 361 s / 30,000 iters at B=512.
+      {"dgx", "Nvidia Caffe on DGX station", 79000.0, 387.0 / 60000.0, 375.7,
+       4},
+  };
+  return db;
+}
+
+const DeviceSpec& device_by_id(const std::string& id) {
+  for (const DeviceSpec& d : device_db()) {
+    if (d.id == id) return d;
+  }
+  throw Error("unknown device '" + id +
+              "' (expected cpu8, knl, haswell, p100 or dgx)");
+}
+
+double speedup_vs_baseline(double seconds, double baseline_seconds) {
+  LS_CHECK(seconds > 0, "seconds must be positive");
+  return baseline_seconds / seconds;
+}
+
+double price_per_speedup(double price_usd, double speedup) {
+  LS_CHECK(speedup > 0, "speedup must be positive");
+  return price_usd / speedup;
+}
+
+}  // namespace ls

@@ -1,0 +1,56 @@
+// Hardware performance and price model (Section IV-B, Table VII).
+//
+// The paper compares five platforms we do not have (8-core Xeon, KNL,
+// Haswell, P100, DGX station). Each is modelled by two parameters:
+//
+//   * t100  — measured seconds per training iteration at batch 100, taken
+//             directly from Table VII (total time / 60,000 iterations);
+//   * half_saturation_batch h — how quickly throughput saturates with
+//             batch size: time_per_iter(B) = t100 * (B + h) / (100 + h).
+//             h is calibrated for the DGX from the paper's two published
+//             DGX operating points (B=100: 6.45 ms, B=512: 12.03 ms
+//             => h ~ 376); CPUs saturate almost immediately (small h),
+//             single GPUs in between.
+//
+// Prices are Table VII's "Price ($)" column. The price-per-speedup metric
+// (Fig. 6) is price / speedup with the 8-core CPU as the 1x baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ls {
+
+/// One evaluated platform.
+struct DeviceSpec {
+  std::string id;            ///< short name ("p100")
+  std::string display;       ///< Table VII row label
+  double price_usd = 0.0;    ///< Table VII price column
+  double t100 = 0.0;         ///< seconds per iteration at B = 100
+  double half_saturation_batch = 0.0;  ///< h in the saturation model
+  int gpus = 0;              ///< device count (0 = CPU platform)
+
+  /// Modelled seconds per training iteration at batch size B.
+  double seconds_per_iteration(index_t batch) const;
+
+  /// Modelled seconds for `iterations` iterations at batch size B.
+  double training_seconds(index_t iterations, index_t batch) const {
+    return static_cast<double>(iterations) * seconds_per_iteration(batch);
+  }
+};
+
+/// The five Table VII platforms, in paper order.
+const std::vector<DeviceSpec>& device_db();
+
+/// Device lookup by id ("cpu8", "knl", "haswell", "p100", "dgx").
+const DeviceSpec& device_by_id(const std::string& id);
+
+/// Speedup of `seconds` relative to the 8-core-CPU baseline time.
+double speedup_vs_baseline(double seconds, double baseline_seconds);
+
+/// The paper's Fig. 6 metric: dollars per unit of speedup.
+double price_per_speedup(double price_usd, double speedup);
+
+}  // namespace ls

@@ -1,0 +1,36 @@
+#include "hw/multigpu.hpp"
+
+#include "common/error.hpp"
+
+namespace ls {
+
+double MultiGpuModel::seconds_per_iteration(int gpus, index_t batch) const {
+  LS_CHECK(gpus >= 1, "need at least one GPU");
+  LS_CHECK(batch >= 1, "batch must be positive");
+  const double per_gpu = static_cast<double>(batch) / gpus;
+  const double compute = c * (per_gpu + h_gpu);
+  // Ring allreduce: volume factor 2 (P - 1) / P, normalised so the stored
+  // constant is the P = 4 cost (the DGX's NCCL ring); zero at P = 1.
+  const double allreduce =
+      gpus == 1 ? 0.0
+                : allreduce0 * (4.0 * (gpus - 1) / (3.0 * gpus));
+  return compute + allreduce;
+}
+
+MultiGpuModel paper_dgx_model() {
+  // Anchors (Table VII):
+  //   P100, P=1, B=100:  503 s / 60,000 iters  = 8.3833 ms / iter
+  //   DGX,  P=4, B=100:  387 s / 60,000 iters  = 6.4500 ms / iter
+  //   DGX,  P=4, B=512:  361 s / 30,000 iters  = 12.033 ms / iter
+  // Solving t = c (B/P + h) + ar4:
+  //   c (128 - 25)  = 12.033e-3 - 6.45e-3   => c   = 54.2e-6 s/sample
+  //   c (100 + h)   = 8.3833e-3             => h   = 54.7
+  //   c (25 + h) + ar4 = 6.45e-3            => ar4 = 2.13e-3 s
+  MultiGpuModel m;
+  m.c = (12.033e-3 - 6.45e-3) / 103.0;
+  m.h_gpu = 8.3833e-3 / m.c - 100.0;
+  m.allreduce0 = 6.45e-3 - m.c * (25.0 + m.h_gpu);
+  return m;
+}
+
+}  // namespace ls

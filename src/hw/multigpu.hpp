@@ -1,0 +1,40 @@
+// Multi-GPU data-parallel scaling model (Section IV-B).
+//
+// The paper observes that "the straightforward porting from one P100 GPU
+// to one DGX station [4x P100] only brings 1.3x speedup" at B = 100, and
+// that tuning the batch size is what unlocks the extra GPUs. The mechanism:
+// each of P workers computes on B/P samples (per-GPU batches shrink below
+// the saturation point) and every iteration pays an NCCL allreduce on the
+// full weight set.
+//
+//   t_iter(P, B) = c * (B / P + h_gpu) + allreduce(P)
+//
+// with the single-GPU throughput constants (c, h_gpu) anchored to the
+// paper's P100 row and the allreduce term anchored to the DGX B = 100 row.
+// bench/ablation_multigpu_scaling sweeps P and B over this model.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ls {
+
+/// Data-parallel GPU cluster model.
+struct MultiGpuModel {
+  double c = 0.0;          ///< seconds per sample in the linear regime
+  double h_gpu = 0.0;      ///< per-GPU half-saturation batch
+  double allreduce0 = 0.0; ///< allreduce seconds at P = 2 (ring baseline)
+
+  /// Seconds per training iteration with P workers at global batch B.
+  double seconds_per_iteration(int gpus, index_t batch) const;
+
+  /// Speedup of P GPUs over 1 GPU at the same global batch size.
+  double scaling(int gpus, index_t batch) const {
+    return seconds_per_iteration(1, batch) /
+           seconds_per_iteration(gpus, batch);
+  }
+};
+
+/// Model anchored to the paper's P100 and DGX Table VII rows.
+MultiGpuModel paper_dgx_model();
+
+}  // namespace ls

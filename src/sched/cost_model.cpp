@@ -1,0 +1,150 @@
+#include "sched/cost_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "data/synthetic.hpp"
+#include "formats/any_matrix.hpp"
+
+namespace ls {
+
+double modeled_flops(Format f, const MatrixFeatures& feat) {
+  const double m = static_cast<double>(feat.m);
+  const double n = static_cast<double>(feat.n);
+  const double nnz = static_cast<double>(feat.nnz);
+  switch (f) {
+    case Format::kDEN: return m * n;
+    case Format::kCSR: return nnz;
+    case Format::kCOO: return nnz;
+    case Format::kELL: return m * static_cast<double>(feat.mdim);
+    case Format::kDIA:
+      return static_cast<double>(feat.ndig) * std::min(m, n);
+    case Format::kCSC:
+      // Only columns in the sparse right-hand side's support run, but the
+      // support is unknown until runtime; model the dense-rhs upper bound.
+      return nnz;
+    case Format::kBCSR:
+      // Fill is structure-dependent; model the pessimistic one-nonzero-per-
+      // tile bound capped at the fully tiled matrix (4x4 default tiles).
+      return std::min(nnz * 16.0, m * n);
+    case Format::kHYB:
+      // Auto-width slab (width = ceil(adim)): padding is bounded by ~M and
+      // the overflow adds no padding at all.
+      return nnz + m;
+    case Format::kJDS:
+      return nnz;  // no padding by construction
+  }
+  return 0.0;
+}
+
+double modeled_bytes(Format f, const MatrixFeatures& feat) {
+  const double m = static_cast<double>(feat.m);
+  const double flops = modeled_flops(f, feat);
+  const double vb = static_cast<double>(kRealBytes);
+  const double ib = static_cast<double>(kIndexBytes);
+  switch (f) {
+    case Format::kDEN: return flops * vb;              // values only
+    case Format::kCSR: return flops * (vb + ib) + (m + 1) * ib;
+    case Format::kCOO: return flops * (vb + 2 * ib);   // value + row + col
+    case Format::kELL: return flops * (vb + ib);       // padded value + col
+    case Format::kDIA:
+      return flops * vb + static_cast<double>(feat.ndig) * ib;
+    case Format::kCSC:
+      return flops * (vb + ib) + (static_cast<double>(feat.n) + 1) * ib;
+    case Format::kBCSR:
+      // One block-column index per 16 slots plus the block-row pointer.
+      return flops * vb + flops / 16.0 * ib + (m / 4.0 + 1) * ib;
+    case Format::kHYB:
+      return flops * (vb + ib) + m * ib;  // + per-row occupancy
+    case Format::kJDS:
+      return flops * (vb + ib) +
+             (static_cast<double>(feat.mdim) + 1 + 2 * m) * ib;
+  }
+  return 0.0;
+}
+
+CostCalibration CostCalibration::measure() {
+  CostCalibration cal;
+  Rng rng(0xCA11B8A7Eull);
+
+  // Probe matrices chosen so each format runs in its "natural" regime:
+  // moderate size, structure the format stores without pathological padding.
+  // What we extract is the per-multiply-add cost of each format's inner
+  // loop (indirection, strided access, accumulation pattern).
+  const index_t m = 512, n = 512;
+  std::vector<index_t> lens(static_cast<std::size_t>(m), 24);
+  const CooMatrix sparse = make_random_sparse(m, n, lens, rng);
+  const CooMatrix dense = make_dense_matrix(256, 256, rng);
+  const CooMatrix banded =
+      make_banded(1024, 1024, {0, 1, -1, 2, -2, 3, -3, 4}, 1.0, rng);
+
+  std::vector<real_t> w;
+  std::vector<real_t> y;
+  auto time_format = [&](const CooMatrix& coo, Format f) {
+    const AnyMatrix mat = AnyMatrix::from_coo(coo, f);
+    w.assign(static_cast<std::size_t>(mat.cols()), 0.0);
+    y.assign(static_cast<std::size_t>(mat.rows()), 0.0);
+    for (std::size_t j = 0; j < w.size(); j += 3) w[j] = 0.5;  // sparse-ish w
+    const double secs = time_best([&] { mat.multiply_dense(w, y); }, 5, 0.005);
+    const double ops = static_cast<double>(mat.work_flops());
+    return ops > 0 ? secs / ops : 1e-9;
+  };
+
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kDEN)] =
+      time_format(dense, Format::kDEN);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kCSR)] =
+      time_format(sparse, Format::kCSR);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kCOO)] =
+      time_format(sparse, Format::kCOO);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kELL)] =
+      time_format(sparse, Format::kELL);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kDIA)] =
+      time_format(banded, Format::kDIA);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kCSC)] =
+      time_format(sparse, Format::kCSC);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kBCSR)] =
+      time_format(banded, Format::kBCSR);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kHYB)] =
+      time_format(sparse, Format::kHYB);
+  cal.seconds_per_op_[static_cast<std::size_t>(Format::kJDS)] =
+      time_format(sparse, Format::kJDS);
+  return cal;
+}
+
+CostCalibration CostCalibration::uniform() {
+  CostCalibration cal;
+  cal.seconds_per_op_.fill(1.0);
+  return cal;
+}
+
+const CostCalibration& CostCalibration::instance() {
+  static const CostCalibration cal = measure();
+  return cal;
+}
+
+std::string CostCalibration::to_string() const {
+  std::string out = "seconds/op:";
+  for (Format f : kExtendedFormats) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%.3g",
+                  std::string(format_name(f)).c_str(), seconds_per_op(f));
+    out += buf;
+  }
+  return out;
+}
+
+CostPrediction predict_cost(const MatrixFeatures& feat,
+                            const CostCalibration& cal) {
+  CostPrediction p;
+  for (Format f : kAllFormats) {
+    const auto i = static_cast<std::size_t>(f);
+    p.flops[i] = modeled_flops(f, feat);
+    p.bytes[i] = modeled_bytes(f, feat);
+    p.seconds[i] = p.flops[i] * cal.seconds_per_op(f);
+  }
+  return p;
+}
+
+}  // namespace ls

@@ -1,0 +1,70 @@
+// Analytic per-format cost model driven by the nine influencing parameters.
+//
+// The model has two halves, mirroring Equation (7) of the paper
+// (time >= transferred memory / bandwidth):
+//   * work(f): multiply-adds one SMSV performs in format f — a pure function
+//     of the Table IV features (padding included for ELL/DIA, M*N for DEN);
+//   * cost_per_op(f): measured seconds per multiply-add for format f on this
+//     machine, calibrated once per process by timing probe matrices. This
+//     captures the bandwidth/indirection differences the paper measured
+//     (e.g. 25.3 GB/s for ELL vs 63.9 GB/s for CSR on gisette) without
+//     hard-coding another machine's constants.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+#include "data/features.hpp"
+#include "formats/format.hpp"
+
+namespace ls {
+
+/// Predicted cost of one SMSV (y = X * w) in each format.
+struct CostPrediction {
+  std::array<double, kNumFormats> seconds{};  // indexed by Format
+  std::array<double, kNumFormats> flops{};    // modelled multiply-adds
+  std::array<double, kNumFormats> bytes{};    // modelled bytes streamed
+
+  double seconds_of(Format f) const {
+    return seconds[static_cast<std::size_t>(f)];
+  }
+};
+
+/// Modelled multiply-add count of one SMSV in format `f` for a matrix with
+/// these features. DIA uses the ndig * min(M, N) stripe bound.
+double modeled_flops(Format f, const MatrixFeatures& feat);
+
+/// Modelled bytes streamed by one SMSV in format `f` (matrix data + index
+/// structures; the workspace vector is shared by all formats and omitted).
+double modeled_bytes(Format f, const MatrixFeatures& feat);
+
+/// Per-format seconds per multiply-add, calibrated by timing probe matrices.
+class CostCalibration {
+ public:
+  /// Runs the probe measurements (a few milliseconds per format).
+  /// Deterministic probe shapes; timing is machine-dependent by design.
+  static CostCalibration measure();
+
+  /// Returns a calibration with uniform cost 1.0 per op — turns the cost
+  /// model into a pure flop counter (useful for tests and ablations).
+  static CostCalibration uniform();
+
+  /// Process-wide lazily-measured singleton.
+  static const CostCalibration& instance();
+
+  double seconds_per_op(Format f) const {
+    return seconds_per_op_[static_cast<std::size_t>(f)];
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kNumFormats> seconds_per_op_{};
+};
+
+/// Full prediction for all five formats.
+CostPrediction predict_cost(const MatrixFeatures& feat,
+                            const CostCalibration& cal);
+
+}  // namespace ls

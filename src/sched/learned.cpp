@@ -1,0 +1,263 @@
+#include "sched/learned.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace ls {
+
+std::array<double, kNumTreeFeatures> tree_inputs(const MatrixFeatures& f) {
+  auto lg = [](double x) { return std::log1p(std::max(0.0, x)); };
+  return {lg(static_cast<double>(f.m)),
+          lg(static_cast<double>(f.n)),
+          lg(static_cast<double>(f.nnz)),
+          lg(static_cast<double>(f.ndig)),
+          lg(f.dnnz),
+          lg(static_cast<double>(f.mdim)),
+          lg(f.adim),
+          lg(f.vdim),
+          f.density};
+}
+
+const char* tree_input_name(int index) {
+  static const char* names[kNumTreeFeatures] = {
+      "log M",    "log N",    "log nnz", "log ndig", "log dnnz",
+      "log mdim", "log adim", "log vdim", "density"};
+  LS_CHECK(index >= 0 && index < kNumTreeFeatures, "bad tree feature index");
+  return names[index];
+}
+
+namespace {
+
+/// Gini impurity of a class histogram.
+double gini(const std::array<int, kNumFormats>& counts, int total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (int c : counts) {
+    const double p = static_cast<double>(c) / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+Format majority(const std::array<int, kNumFormats>& counts) {
+  int best = 0;
+  for (int k = 1; k < kNumFormats; ++k) {
+    if (counts[static_cast<std::size_t>(k)] >
+        counts[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return static_cast<Format>(best);
+}
+
+std::array<int, kNumFormats> histogram(
+    const std::vector<TrainingExample>& corpus, const std::vector<int>& ids) {
+  std::array<int, kNumFormats> counts{};
+  for (int id : ids) {
+    ++counts[static_cast<std::size_t>(
+        corpus[static_cast<std::size_t>(id)].best)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+int DecisionTree::fit_node(const std::vector<TrainingExample>& corpus,
+                           std::vector<int>& ids, int depth, int max_depth,
+                           int min_leaf) {
+  const auto counts = histogram(corpus, ids);
+  const int total = static_cast<int>(ids.size());
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_id)].label = majority(counts);
+
+  if (depth >= max_depth || total < 2 * min_leaf ||
+      gini(counts, total) == 0.0) {
+    return node_id;  // leaf
+  }
+
+  // Exhaustive search: best (feature, threshold) by weighted gini.
+  double best_score = gini(counts, total) - 1e-9;  // must strictly improve
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> order(ids.size());
+  for (int fidx = 0; fidx < kNumTreeFeatures; ++fidx) {
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const auto& ex = corpus[static_cast<std::size_t>(ids[k])];
+      order[k] = {tree_inputs(ex.features)[static_cast<std::size_t>(fidx)],
+                  ids[k]};
+    }
+    std::sort(order.begin(), order.end());
+
+    std::array<int, kNumFormats> left{};
+    std::array<int, kNumFormats> right = counts;
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+      const Format label =
+          corpus[static_cast<std::size_t>(order[k].second)].best;
+      ++left[static_cast<std::size_t>(label)];
+      --right[static_cast<std::size_t>(label)];
+      // Only split between distinct values.
+      if (order[k].first == order[k + 1].first) continue;
+      const int nl = static_cast<int>(k) + 1;
+      const int nr = total - nl;
+      if (nl < min_leaf || nr < min_leaf) continue;
+      const double score =
+          (nl * gini(left, nl) + nr * gini(right, nr)) / total;
+      if (score < best_score) {
+        best_score = score;
+        best_feature = fidx;
+        best_threshold = 0.5 * (order[k].first + order[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<int> left_ids, right_ids;
+  for (int id : ids) {
+    const auto& ex = corpus[static_cast<std::size_t>(id)];
+    const double v =
+        tree_inputs(ex.features)[static_cast<std::size_t>(best_feature)];
+    (v <= best_threshold ? left_ids : right_ids).push_back(id);
+  }
+
+  const int left = fit_node(corpus, left_ids, depth + 1, max_depth, min_leaf);
+  const int right =
+      fit_node(corpus, right_ids, depth + 1, max_depth, min_leaf);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+DecisionTree DecisionTree::fit(const std::vector<TrainingExample>& corpus,
+                               int max_depth, int min_leaf) {
+  LS_CHECK(!corpus.empty(), "cannot fit a tree on an empty corpus");
+  LS_CHECK(max_depth >= 1 && min_leaf >= 1, "bad tree hyper-parameters");
+  DecisionTree tree;
+  std::vector<int> ids(corpus.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  tree.fit_node(corpus, ids, 0, max_depth, min_leaf);
+  return tree;
+}
+
+Format DecisionTree::predict(const MatrixFeatures& f) const {
+  LS_CHECK(!nodes_.empty(), "predict on an unfitted tree");
+  const auto inputs = tree_inputs(f);
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = inputs[static_cast<std::size_t>(n.feature)] <= n.threshold
+               ? n.left
+               : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].label;
+}
+
+double DecisionTree::accuracy(
+    const std::vector<TrainingExample>& corpus) const {
+  LS_CHECK(!corpus.empty(), "accuracy on an empty corpus");
+  int correct = 0;
+  for (const auto& ex : corpus) {
+    correct += predict(ex.features) == ex.best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(corpus.size());
+}
+
+void DecisionTree::dump(int node, int indent, std::string& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (n.feature < 0) {
+    out += pad + "-> " + std::string(format_name(n.label)) + "\n";
+    return;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%sif %s <= %.3f:\n", pad.c_str(),
+                tree_input_name(n.feature), n.threshold);
+  out += buf;
+  dump(n.left, indent + 1, out);
+  out += pad + "else:\n";
+  dump(n.right, indent + 1, out);
+}
+
+std::string DecisionTree::to_string() const {
+  std::string out;
+  if (!nodes_.empty()) dump(0, 0, out);
+  return out;
+}
+
+std::vector<TrainingExample> make_training_corpus(
+    int per_family, Rng& rng, const AutotuneOptions& opts) {
+  LS_CHECK(per_family >= 1, "need at least one example per family");
+  std::vector<CooMatrix> matrices;
+
+  for (int k = 0; k < per_family; ++k) {
+    // Family 1: dense rectangles of assorted aspect ratios.
+    const index_t dm = rng.uniform_int(24, 160);
+    const index_t dn = rng.uniform_int(24, 160);
+    matrices.push_back(make_dense_matrix(dm, dn, rng));
+
+    // Family 2: scattered sparse with balanced rows.
+    const index_t sm = rng.uniform_int(200, 1200);
+    const index_t sn = rng.uniform_int(64, 800);
+    const index_t per_row = rng.uniform_int(2, std::min<index_t>(32, sn));
+    std::vector<index_t> lens(static_cast<std::size_t>(sm), per_row);
+    matrices.push_back(make_random_sparse(sm, sn, lens, rng));
+
+    // Family 3: banded.
+    const index_t bn = rng.uniform_int(256, 1024);
+    std::vector<index_t> offsets = {0};
+    const index_t extra = rng.uniform_int(1, 6);
+    for (index_t e = 1; e <= extra; ++e) {
+      offsets.push_back(e);
+      offsets.push_back(-e);
+    }
+    matrices.push_back(make_banded(bn, bn, offsets, 0.9, rng));
+
+    // Family 4: skewed row lengths (high vdim).
+    const index_t vm = rng.uniform_int(256, 1024);
+    matrices.push_back(make_vdim_spread(vm, vm, vm * 8,
+                                        rng.uniform_int(1, 8),
+                                        rng.uniform(0.2, 0.8), rng));
+  }
+
+  std::vector<TrainingExample> corpus;
+  corpus.reserve(matrices.size());
+  const EmpiricalAutotuner tuner(opts);
+  for (const CooMatrix& x : matrices) {
+    TrainingExample ex;
+    ex.features = extract_features(x);
+    ex.best = tuner.choose(x).format;  // measured ground truth
+    corpus.push_back(std::move(ex));
+  }
+  return corpus;
+}
+
+const LearnedSelector& LearnedSelector::instance() {
+  static const LearnedSelector selector = [] {
+    Rng rng(0x1EA12ED);
+    AutotuneOptions opts;
+    opts.trials = 2;  // keep the one-time training cost low
+    return LearnedSelector(
+        DecisionTree::fit(make_training_corpus(6, rng, opts)));
+  }();
+  return selector;
+}
+
+ScheduleDecision LearnedSelector::choose(const MatrixFeatures& f) const {
+  ScheduleDecision d;
+  d.format = tree_.predict(f);
+  d.rationale = "learned decision tree: predicted best format (" +
+                std::string(format_name(d.format)) + ")";
+  return d;
+}
+
+}  // namespace ls

@@ -1,0 +1,96 @@
+// Learned format selector — the natural extension of the paper's decision
+// system: instead of hand-weighting the Table IV correlations, fit a small
+// CART decision tree on a corpus of synthetic matrices labelled by the
+// empirical autotuner (measured ground truth on *this* machine).
+//
+// The tree consumes the same nine influencing parameters and predicts a
+// Format in O(depth); bench/ablation_selector compares it against the
+// heuristic and empirical policies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "data/features.hpp"
+#include "formats/format.hpp"
+#include "sched/selector.hpp"
+
+namespace ls {
+
+/// One labelled corpus entry.
+struct TrainingExample {
+  MatrixFeatures features;
+  Format best = Format::kCSR;
+};
+
+/// Number of numeric inputs the tree sees (log-scaled Table IV parameters).
+inline constexpr int kNumTreeFeatures = 9;
+
+/// Maps the nine influencing parameters to the tree's input vector
+/// (log-scaled so splits are scale-free across dataset sizes).
+std::array<double, kNumTreeFeatures> tree_inputs(const MatrixFeatures& f);
+
+/// Human-readable names of the tree inputs (for to_string dumps).
+const char* tree_input_name(int index);
+
+/// Depth-limited CART classifier with gini splits.
+class DecisionTree {
+ public:
+  /// Fits a tree; `max_depth` bounds size, `min_leaf` stops tiny splits.
+  static DecisionTree fit(const std::vector<TrainingExample>& corpus,
+                          int max_depth = 6, int min_leaf = 3);
+
+  /// Predicted best format for a feature vector.
+  Format predict(const MatrixFeatures& f) const;
+
+  /// Fraction of corpus entries the tree classifies correctly.
+  double accuracy(const std::vector<TrainingExample>& corpus) const;
+
+  index_t node_count() const { return static_cast<index_t>(nodes_.size()); }
+
+  /// Indented if/else dump of the fitted tree.
+  std::string to_string() const;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 = leaf
+    double threshold = 0.0; // go left when input <= threshold
+    int left = -1;
+    int right = -1;
+    Format label = Format::kCSR;  // leaf prediction
+  };
+
+  int fit_node(const std::vector<TrainingExample>& corpus,
+               std::vector<int>& ids, int depth, int max_depth, int min_leaf);
+  void dump(int node, int indent, std::string& out) const;
+
+  std::vector<Node> nodes_;
+};
+
+/// Generates a labelled corpus: synthetic matrices spanning the families
+/// the generators cover (dense, scattered sparse, banded, skewed rows),
+/// each labelled by the empirical autotuner's measured pick.
+std::vector<TrainingExample> make_training_corpus(int per_family, Rng& rng,
+                                                  const AutotuneOptions& opts = {});
+
+/// Selector wrapping a fitted tree.
+class LearnedSelector {
+ public:
+  explicit LearnedSelector(DecisionTree tree) : tree_(std::move(tree)) {}
+
+  /// Lazily trained process-wide instance (trains a default corpus on
+  /// first use; a few seconds of measurement).
+  static const LearnedSelector& instance();
+
+  ScheduleDecision choose(const MatrixFeatures& f) const;
+
+  const DecisionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTree tree_;
+};
+
+}  // namespace ls

@@ -1,0 +1,51 @@
+// Simulated many-core execution model.
+//
+// The paper ran on a 24-core Ivy Bridge + 61-core Xeon Phi; this repository
+// runs wherever it is built (possibly one core). Some of the paper's
+// effects — notably Fig. 4, where COO overtakes CSR as vdim grows — are
+// *load balance* effects: CSR/ELL/DEN parallelise over rows (so one heavy
+// row starves all other threads), while COO parallelises over nonzeros and
+// DIA over stripes.
+//
+// This model computes the static-partition makespan each format would see
+// on a P-thread machine: contiguous row blocks for row-parallel formats
+// (the rule of the real OpenMP kernels), stripe blocks for DIA, and an
+// even nonzero split for COO (modelling the segmented-reduction COO kernel
+// whose perfect balance the paper's Section III-B argument relies on).
+// The critical path's operation count is multiplied by the calibrated
+// per-op cost. The substitution is documented in DESIGN.md section 3.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "formats/format.hpp"
+#include "sched/cost_model.hpp"
+
+namespace ls {
+
+/// Work decomposition summary for one format on one matrix.
+struct MakespanResult {
+  double critical_ops = 0.0;  ///< multiply-adds on the slowest thread
+  double total_ops = 0.0;     ///< multiply-adds across all threads
+  double seconds = 0.0;       ///< critical_ops * calibrated cost/op
+  double imbalance = 0.0;     ///< critical_ops / (total_ops / threads)
+};
+
+/// Per-row operation counts of one SMSV in format `f` (padding included).
+/// row_nnz is the dim_i vector; `n` is the column count.
+std::vector<double> per_row_ops(Format f, const std::vector<index_t>& row_nnz,
+                                index_t n);
+
+/// Static-partition makespan of one SMSV in format `f` on `threads` threads.
+///
+/// Row-parallel formats (DEN, CSR, ELL) split rows into `threads` contiguous
+/// blocks; COO splits nonzeros into row-aligned chunks (matching
+/// CooMatrix::multiply_dense); DIA is stripe-parallel with ndig stripes of
+/// min(M, N) slots.
+MakespanResult simulate_makespan(Format f,
+                                 const std::vector<index_t>& row_nnz,
+                                 index_t n, index_t ndig, int threads,
+                                 const CostCalibration& cal);
+
+}  // namespace ls

@@ -1,0 +1,36 @@
+#include "sched/scheduler.hpp"
+
+#include "common/error.hpp"
+#include "sched/learned.hpp"
+
+namespace ls {
+
+ScheduleDecision LayoutScheduler::decide(const CooMatrix& x) const {
+  switch (opts_.policy) {
+    case SchedulePolicy::kEmpirical:
+      return EmpiricalAutotuner(opts_.autotune).choose(x);
+    case SchedulePolicy::kHeuristic:
+      return HeuristicSelector().choose(extract_features(x));
+    case SchedulePolicy::kLearned:
+      return LearnedSelector::instance().choose(extract_features(x));
+    case SchedulePolicy::kFixed: {
+      ScheduleDecision d;
+      d.format = opts_.fixed_format;
+      d.rationale = "fixed format (non-adaptive): " +
+                    std::string(format_name(d.format));
+      return d;
+    }
+  }
+  throw Error("invalid schedule policy");
+}
+
+SchedulePolicy parse_policy(const std::string& name) {
+  if (name == "empirical") return SchedulePolicy::kEmpirical;
+  if (name == "heuristic") return SchedulePolicy::kHeuristic;
+  if (name == "learned") return SchedulePolicy::kLearned;
+  if (name == "fixed") return SchedulePolicy::kFixed;
+  throw Error("unknown schedule policy '" + name +
+              "' (expected empirical, heuristic, learned or fixed)");
+}
+
+}  // namespace ls

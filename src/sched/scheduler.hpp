@@ -1,0 +1,62 @@
+// Top-level runtime layout scheduler — the public entry point that ties
+// feature extraction, selection policy and materialisation together.
+//
+// Typical use (what the quickstart example does):
+//
+//   LayoutScheduler sched;                       // empirical policy
+//   AnyMatrix X = sched.schedule(dataset.X);     // decide + materialise
+//   SvmModel model = train_svm(X, dataset.y, params);
+#pragma once
+
+#include <string>
+
+#include "data/features.hpp"
+#include "formats/any_matrix.hpp"
+#include "formats/coo.hpp"
+#include "sched/selector.hpp"
+
+namespace ls {
+
+/// Selection policy.
+enum class SchedulePolicy {
+  kEmpirical,  ///< time real SMSVs per candidate (default; ground truth)
+  kHeuristic,  ///< calibrated analytic cost model (O(1) after features)
+  kLearned,    ///< decision tree fitted on an autotuned corpus
+  kFixed,      ///< always use `fixed_format` (the non-adaptive baseline)
+};
+
+/// Scheduler configuration.
+struct SchedulerOptions {
+  SchedulePolicy policy = SchedulePolicy::kEmpirical;
+  Format fixed_format = Format::kCSR;  ///< used by kFixed only
+  AutotuneOptions autotune;            ///< used by kEmpirical only
+};
+
+/// Runtime data-layout scheduler.
+class LayoutScheduler {
+ public:
+  explicit LayoutScheduler(SchedulerOptions opts = {}) : opts_(opts) {}
+
+  /// Chooses a format for `x` under the configured policy.
+  ScheduleDecision decide(const CooMatrix& x) const;
+
+  /// Materialises `x` in the decided format.
+  AnyMatrix materialize(const CooMatrix& x, const ScheduleDecision& d) const {
+    return AnyMatrix::from_coo(x, d.format);
+  }
+
+  /// decide() + materialize() in one call.
+  AnyMatrix schedule(const CooMatrix& x) const {
+    return materialize(x, decide(x));
+  }
+
+  const SchedulerOptions& options() const { return opts_; }
+
+ private:
+  SchedulerOptions opts_;
+};
+
+/// Parses a policy name ("empirical", "heuristic", "fixed").
+SchedulePolicy parse_policy(const std::string& name);
+
+}  // namespace ls

@@ -1,0 +1,77 @@
+#include "svm/batch_predict.hpp"
+
+#include "common/error.hpp"
+
+namespace ls {
+
+BatchPredictor::BatchPredictor(const SvmModel& model,
+                               const SchedulerOptions& sched)
+    : model_(&model) {
+  LS_CHECK(!model.support_vectors.empty(),
+           "batch predictor needs at least one support vector");
+  // Assemble the SV matrix in canonical COO, then schedule its layout like
+  // any other data matrix.
+  std::vector<Triplet> triplets;
+  sv_norms_.reserve(model.support_vectors.size());
+  for (std::size_t k = 0; k < model.support_vectors.size(); ++k) {
+    const SparseVector& sv = model.support_vectors[k];
+    const auto idx = sv.indices();
+    const auto val = sv.values();
+    for (index_t e = 0; e < sv.nnz(); ++e) {
+      triplets.push_back({static_cast<index_t>(k),
+                          idx[static_cast<std::size_t>(e)],
+                          val[static_cast<std::size_t>(e)]});
+    }
+    sv_norms_.push_back(sv.squared_norm());
+  }
+  const CooMatrix coo(static_cast<index_t>(model.support_vectors.size()),
+                      model.num_features, std::move(triplets));
+  const LayoutScheduler scheduler(sched);
+  decision_ = scheduler.decide(coo);
+  sv_matrix_ = scheduler.materialize(coo, decision_);
+}
+
+std::vector<real_t> BatchPredictor::decision_values(const Dataset& ds) const {
+  ds.validate();
+  LS_CHECK(ds.cols() <= model_->num_features,
+           "dataset has more features than the model");
+  const index_t n_sv = sv_matrix_.rows();
+
+  std::vector<real_t> out(static_cast<std::size_t>(ds.rows()));
+  std::vector<real_t> workspace(
+      static_cast<std::size_t>(model_->num_features), 0.0);
+  std::vector<real_t> dots(static_cast<std::size_t>(n_sv));
+  SparseVector row;
+  for (index_t i = 0; i < ds.rows(); ++i) {
+    ds.X.gather_row(i, row);
+    row.scatter(workspace);
+    sv_matrix_.multiply_dense(workspace, dots);
+    const real_t norm_x = row.squared_norm();
+    real_t sum = 0.0;
+    for (index_t k = 0; k < n_sv; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      sum += model_->coef[ku] * kernel_from_dot(model_->kernel, dots[ku],
+                                                sv_norms_[ku], norm_x);
+    }
+    out[static_cast<std::size_t>(i)] = sum - model_->rho;
+    row.unscatter(workspace);
+  }
+  return out;
+}
+
+std::vector<real_t> BatchPredictor::predict(const Dataset& ds) const {
+  std::vector<real_t> values = decision_values(ds);
+  for (real_t& v : values) v = v >= 0 ? 1.0 : -1.0;
+  return values;
+}
+
+double BatchPredictor::accuracy(const Dataset& ds) const {
+  const std::vector<real_t> pred = predict(ds);
+  index_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == ds.y[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace ls

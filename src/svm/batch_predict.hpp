@@ -1,0 +1,48 @@
+// Batch prediction with layout scheduling.
+//
+// SvmModel::predict evaluates one sample at a time with merge-join dots
+// against every support vector — fine interactively, wasteful for bulk
+// scoring. BatchPredictor materialises the support vectors as a matrix in
+// a scheduled layout and evaluates a whole dataset with one SMSV per test
+// row (scatter the row, multiply the SV matrix, map through the kernel,
+// dot with the coefficients) — the training-time trick applied to
+// inference.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "sched/scheduler.hpp"
+#include "svm/model.hpp"
+
+namespace ls {
+
+/// Bulk scorer over a trained binary model.
+class BatchPredictor {
+ public:
+  /// Materialises the model's support vectors under `sched`'s policy.
+  /// The model must outlive the predictor.
+  explicit BatchPredictor(const SvmModel& model,
+                          const SchedulerOptions& sched = {});
+
+  /// Decision values for every row of `ds` (same sign convention as
+  /// SvmModel::decision).
+  std::vector<real_t> decision_values(const Dataset& ds) const;
+
+  /// Predicted labels (+1 / -1) for every row of `ds`.
+  std::vector<real_t> predict(const Dataset& ds) const;
+
+  /// Accuracy against ds.y.
+  double accuracy(const Dataset& ds) const;
+
+  /// The layout chosen for the support-vector matrix.
+  Format layout() const { return decision_.format; }
+
+ private:
+  const SvmModel* model_;
+  ScheduleDecision decision_;
+  AnyMatrix sv_matrix_;             // #SV x num_features
+  std::vector<real_t> sv_norms_;    // ||sv_i||^2 for the Gaussian kernel
+};
+
+}  // namespace ls

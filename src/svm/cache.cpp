@@ -1,0 +1,43 @@
+#include "svm/cache.hpp"
+
+#include <algorithm>
+
+namespace ls {
+
+KernelCache::KernelCache(RowKernelSource& source, std::size_t budget_bytes)
+    : source_(&source) {
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(source.num_rows()) * sizeof(real_t);
+  // At least two rows must be resident: SMO holds K_high and K_low spans
+  // simultaneously, and eviction must never recycle the other live row.
+  max_rows_ = row_bytes > 0 ? std::max<std::size_t>(2, budget_bytes / row_bytes)
+                            : 2;
+}
+
+std::span<const real_t> KernelCache::get_row(index_t i) {
+  const auto it = map_.find(i);
+  if (it != map_.end()) {
+    ++hits_;
+    // Move to front (most recently used).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->data;
+  }
+
+  ++misses_;
+  Entry entry;
+  if (map_.size() >= max_rows_) {
+    // Recycle the least-recently-used buffer instead of reallocating.
+    entry = std::move(lru_.back());
+    map_.erase(entry.row);
+    lru_.pop_back();
+  } else {
+    entry.data.resize(static_cast<std::size_t>(source_->num_rows()));
+  }
+  entry.row = i;
+  source_->compute_row(i, entry.data);
+  lru_.push_front(std::move(entry));
+  map_[i] = lru_.begin();
+  return lru_.front().data;
+}
+
+}  // namespace ls

@@ -1,0 +1,252 @@
+#include "svm/dcsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ls {
+
+namespace {
+
+/// Squared distance between a sparse row and a dense centroid:
+/// ||x||^2 - 2 x.c + ||c||^2.
+double distance_sq(const SparseVector& x, const std::vector<real_t>& centroid,
+                   double centroid_norm_sq) {
+  return x.squared_norm() - 2.0 * x.dot_dense(centroid) + centroid_norm_sq;
+}
+
+std::vector<std::vector<index_t>> random_partition(index_t rows,
+                                                   index_t parts, Rng& rng) {
+  std::vector<index_t> ids(static_cast<std::size_t>(rows));
+  std::iota(ids.begin(), ids.end(), index_t{0});
+  shuffle(ids.begin(), ids.end(), rng);
+  std::vector<std::vector<index_t>> partitions(
+      static_cast<std::size_t>(parts));
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    partitions[k % static_cast<std::size_t>(parts)].push_back(ids[k]);
+  }
+  return partitions;
+}
+
+struct ClusterResult {
+  std::vector<std::vector<index_t>> partitions;
+  std::vector<std::vector<real_t>> centroids;
+};
+
+ClusterResult kmeans_partition(const Dataset& ds, index_t parts,
+                               index_t iterations, Rng& rng) {
+  const auto n_features = static_cast<std::size_t>(ds.cols());
+  const index_t rows = ds.rows();
+
+  // Gather all rows once.
+  std::vector<SparseVector> samples(static_cast<std::size_t>(rows));
+  for (index_t i = 0; i < rows; ++i) {
+    ds.X.gather_row(i, samples[static_cast<std::size_t>(i)]);
+  }
+
+  // Init: centroids from random distinct samples.
+  ClusterResult result;
+  result.centroids.assign(static_cast<std::size_t>(parts),
+                          std::vector<real_t>(n_features, 0.0));
+  std::vector<index_t> seeds(static_cast<std::size_t>(rows));
+  std::iota(seeds.begin(), seeds.end(), index_t{0});
+  shuffle(seeds.begin(), seeds.end(), rng);
+  for (index_t p = 0; p < parts; ++p) {
+    samples[static_cast<std::size_t>(seeds[static_cast<std::size_t>(p)])]
+        .scatter(result.centroids[static_cast<std::size_t>(p)]);
+  }
+
+  std::vector<index_t> assignment(static_cast<std::size_t>(rows), 0);
+  for (index_t it = 0; it < iterations; ++it) {
+    // Assign.
+    std::vector<double> centroid_norms(static_cast<std::size_t>(parts));
+    for (index_t p = 0; p < parts; ++p) {
+      double s = 0.0;
+      for (real_t v : result.centroids[static_cast<std::size_t>(p)]) {
+        s += v * v;
+      }
+      centroid_norms[static_cast<std::size_t>(p)] = s;
+    }
+    bool changed = false;
+    for (index_t i = 0; i < rows; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      index_t best_p = 0;
+      for (index_t p = 0; p < parts; ++p) {
+        const double d = distance_sq(
+            samples[static_cast<std::size_t>(i)],
+            result.centroids[static_cast<std::size_t>(p)],
+            centroid_norms[static_cast<std::size_t>(p)]);
+        if (d < best) {
+          best = d;
+          best_p = p;
+        }
+      }
+      if (assignment[static_cast<std::size_t>(i)] != best_p) {
+        assignment[static_cast<std::size_t>(i)] = best_p;
+        changed = true;
+      }
+    }
+    if (!changed && it > 0) break;
+
+    // Update.
+    for (auto& c : result.centroids) std::fill(c.begin(), c.end(), 0.0);
+    std::vector<index_t> counts(static_cast<std::size_t>(parts), 0);
+    for (index_t i = 0; i < rows; ++i) {
+      const auto p = static_cast<std::size_t>(
+          assignment[static_cast<std::size_t>(i)]);
+      const SparseVector& x = samples[static_cast<std::size_t>(i)];
+      const auto idx = x.indices();
+      const auto val = x.values();
+      for (index_t e = 0; e < x.nnz(); ++e) {
+        result.centroids[p][static_cast<std::size_t>(
+            idx[static_cast<std::size_t>(e)])] +=
+            val[static_cast<std::size_t>(e)];
+      }
+      ++counts[p];
+    }
+    for (index_t p = 0; p < parts; ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      if (counts[pu] == 0) {
+        // Re-seed empty clusters from a random sample.
+        samples[static_cast<std::size_t>(
+                    rng.uniform_int(0, rows - 1))]
+            .scatter(result.centroids[pu]);
+        continue;
+      }
+      const real_t inv = 1.0 / static_cast<real_t>(counts[pu]);
+      for (real_t& v : result.centroids[pu]) v *= inv;
+    }
+  }
+
+  result.partitions.assign(static_cast<std::size_t>(parts), {});
+  for (index_t i = 0; i < rows; ++i) {
+    result.partitions[static_cast<std::size_t>(
+                          assignment[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+  return result;
+}
+
+/// Centroid of a subset (used for the random strategy's routing).
+std::vector<real_t> subset_centroid(const Dataset& ds,
+                                    const std::vector<index_t>& ids) {
+  std::vector<real_t> centroid(static_cast<std::size_t>(ds.cols()), 0.0);
+  SparseVector row;
+  for (index_t i : ids) {
+    ds.X.gather_row(i, row);
+    const auto idx = row.indices();
+    const auto val = row.values();
+    for (index_t e = 0; e < row.nnz(); ++e) {
+      centroid[static_cast<std::size_t>(idx[static_cast<std::size_t>(e)])] +=
+          val[static_cast<std::size_t>(e)];
+    }
+  }
+  if (!ids.empty()) {
+    const real_t inv = 1.0 / static_cast<real_t>(ids.size());
+    for (real_t& v : centroid) v *= inv;
+  }
+  return centroid;
+}
+
+/// A partition can end up single-class (clustering often aligns with the
+/// label structure); such partitions get a constant-prediction model.
+bool single_class(const Dataset& part) {
+  for (real_t y : part.y) {
+    if (y != part.y.front()) return false;
+  }
+  return true;
+}
+
+SvmModel constant_model(const Dataset& part) {
+  SvmModel model;
+  model.num_features = part.cols();
+  // No support vectors: decision(x) = -rho; pick rho's sign to match.
+  model.rho = part.y.front() > 0 ? -1.0 : 1.0;
+  return model;
+}
+
+}  // namespace
+
+index_t DcSvmModel::route(const SparseVector& x) const {
+  LS_CHECK(!centroids.empty(), "routing on an untrained DC-SVM model");
+  double best = std::numeric_limits<double>::infinity();
+  index_t best_p = 0;
+  for (std::size_t p = 0; p < centroids.size(); ++p) {
+    double norm_sq = 0.0;
+    for (real_t v : centroids[p]) norm_sq += v * v;
+    const double d = distance_sq(x, centroids[p], norm_sq);
+    if (d < best) {
+      best = d;
+      best_p = static_cast<index_t>(p);
+    }
+  }
+  return best_p;
+}
+
+double DcSvmModel::accuracy(const Dataset& ds) const {
+  ds.validate();
+  LS_CHECK(ds.rows() > 0, "cannot score an empty dataset");
+  index_t correct = 0;
+  SparseVector row;
+  for (index_t i = 0; i < ds.rows(); ++i) {
+    ds.X.gather_row(i, row);
+    if (predict(row) == ds.y[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.rows());
+}
+
+DcSvmResult train_dc_svm(const Dataset& ds, const DcSvmOptions& options) {
+  ds.validate();
+  LS_CHECK(options.partitions >= 1, "need at least one partition");
+  LS_CHECK(ds.rows() >= options.partitions,
+           "fewer samples than partitions");
+  Rng rng(options.seed);
+
+  std::vector<std::vector<index_t>> partitions;
+  DcSvmResult result;
+  if (options.strategy == PartitionStrategy::kCluster) {
+    ClusterResult clusters =
+        kmeans_partition(ds, options.partitions, options.kmeans_iterations,
+                         rng);
+    partitions = std::move(clusters.partitions);
+    result.model.centroids = std::move(clusters.centroids);
+  } else {
+    partitions = random_partition(ds.rows(), options.partitions, rng);
+    for (const auto& ids : partitions) {
+      result.model.centroids.push_back(subset_centroid(ds, ids));
+    }
+  }
+
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const auto& ids = partitions[p];
+    result.partition_sizes.push_back(static_cast<index_t>(ids.size()));
+    if (ids.empty()) {
+      // Empty cluster: a dummy model that never wins routing in practice.
+      result.model.locals.push_back(SvmModel{});
+      result.model.locals.back().num_features = ds.cols();
+      result.partition_formats.push_back(Format::kCSR);
+      continue;
+    }
+    const Dataset part =
+        ds.subset(ids, ".part" + std::to_string(p));
+    if (single_class(part)) {
+      result.model.locals.push_back(constant_model(part));
+      result.partition_formats.push_back(Format::kCSR);
+      continue;
+    }
+    TrainResult tr = train_adaptive(part, options.params, options.sched);
+    result.total_iterations += tr.stats.iterations;
+    result.total_seconds += tr.total_seconds;
+    result.critical_seconds = std::max(result.critical_seconds,
+                                       tr.total_seconds);
+    result.partition_formats.push_back(tr.decision.format);
+    result.model.locals.push_back(std::move(tr.model));
+  }
+  return result;
+}
+
+}  // namespace ls

@@ -1,0 +1,73 @@
+// Divide-and-conquer SVM with per-partition layout scheduling.
+//
+// The paper's related-work section positions its layout scheduling as a
+// plug-in for CA-SVM ("a general divide-and-conquer approach for
+// distributed systems. The techniques of this paper can be added to CA-SVM
+// for better performance"). This module implements that combination on a
+// simulated cluster: the training set is partitioned (randomly or by
+// k-means clustering), each partition trains an independent binary SVM
+// whose storage format is scheduled from *that partition's* statistics,
+// and prediction routes each query to its nearest partition's local model
+// (CA-SVM's communication-free early-prediction strategy).
+//
+// Because partitions differ in sparsity profile, different partitions can
+// legitimately end up with different layouts — the per-partition decisions
+// are reported so the effect is visible.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "svm/trainer.hpp"
+
+namespace ls {
+
+/// How training rows are assigned to partitions.
+enum class PartitionStrategy {
+  kRandom,   ///< uniform shuffle split (CA-SVM's baseline)
+  kCluster,  ///< k-means on the feature vectors (CA-SVM's balanced k-means)
+};
+
+/// Divide-and-conquer training configuration.
+struct DcSvmOptions {
+  index_t partitions = 4;
+  PartitionStrategy strategy = PartitionStrategy::kCluster;
+  index_t kmeans_iterations = 8;
+  SvmParams params;
+  SchedulerOptions sched;
+  std::uint64_t seed = 31337;
+};
+
+/// Trained divide-and-conquer model.
+struct DcSvmModel {
+  std::vector<SvmModel> locals;
+  /// Dense centroid per partition (size = num features); prediction goes to
+  /// the nearest centroid's local model.
+  std::vector<std::vector<real_t>> centroids;
+
+  /// Index of the partition a sample routes to.
+  index_t route(const SparseVector& x) const;
+
+  /// Predicted label via the routed local model.
+  real_t predict(const SparseVector& x) const {
+    return locals[static_cast<std::size_t>(route(x))].predict(x);
+  }
+
+  /// Fraction of correctly classified rows of `ds`.
+  double accuracy(const Dataset& ds) const;
+};
+
+/// Per-run report.
+struct DcSvmResult {
+  DcSvmModel model;
+  std::vector<Format> partition_formats;  ///< layout chosen per partition
+  std::vector<index_t> partition_sizes;
+  index_t total_iterations = 0;
+  double total_seconds = 0.0;     ///< sum of per-partition times (1 node)
+  double critical_seconds = 0.0;  ///< max per-partition time (P nodes)
+};
+
+/// Trains the divide-and-conquer ensemble. Labels must be +-1.
+DcSvmResult train_dc_svm(const Dataset& ds, const DcSvmOptions& options);
+
+}  // namespace ls

@@ -1,0 +1,38 @@
+#include "svm/grid_search.hpp"
+
+#include "common/error.hpp"
+
+namespace ls {
+
+GridSearchResult grid_search(const Dataset& ds, const SvmParams& base,
+                             const GridSearchOptions& options) {
+  ds.validate();
+  LS_CHECK(!options.c_values.empty(), "empty C grid");
+  LS_CHECK(options.folds >= 2, "grid search needs at least 2 folds");
+
+  const bool uses_gamma = base.kernel.type != KernelType::kLinear;
+  std::vector<real_t> gammas =
+      uses_gamma ? options.gamma_values : std::vector<real_t>{base.kernel.gamma};
+  LS_CHECK(!gammas.empty(), "empty gamma grid");
+
+  GridSearchResult result;
+  result.best_accuracy = -1.0;
+  for (real_t c : options.c_values) {
+    LS_CHECK(c > 0, "grid C values must be positive");
+    for (real_t gamma : gammas) {
+      SvmParams params = base;
+      params.c = c;
+      params.kernel.gamma = gamma;
+      const double accuracy =
+          cross_validate(ds, params, options.folds, options.seed);
+      result.evaluated.push_back({c, gamma, accuracy});
+      if (accuracy > result.best_accuracy) {
+        result.best_accuracy = accuracy;
+        result.best_params = params;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ls

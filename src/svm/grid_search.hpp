@@ -1,0 +1,43 @@
+// Cross-validated (C, gamma) grid search — the classical SVM counterpart
+// of the paper's Section IV hyper-parameter tuning (LIBSVM ships the same
+// procedure as grid.py). Each candidate is trained with runtime layout
+// scheduling, so the data-layout decision is made once per fold, not once
+// per grid point (the matrix does not change).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "svm/trainer.hpp"
+
+namespace ls {
+
+/// Search configuration.
+struct GridSearchOptions {
+  std::vector<real_t> c_values = {0.1, 1.0, 10.0, 100.0};
+  /// Gamma values; ignored for the linear kernel.
+  std::vector<real_t> gamma_values = {0.01, 0.1, 1.0};
+  int folds = 3;
+  std::uint64_t seed = 4242;
+};
+
+/// One evaluated grid point.
+struct GridPoint {
+  real_t c = 1.0;
+  real_t gamma = 1.0;
+  double cv_accuracy = 0.0;
+};
+
+/// Search outcome.
+struct GridSearchResult {
+  SvmParams best_params;
+  double best_accuracy = 0.0;
+  std::vector<GridPoint> evaluated;  ///< every grid point, search order
+};
+
+/// Exhaustive cross-validated grid search over C (and gamma for nonlinear
+/// kernels). `base` supplies everything not being searched.
+GridSearchResult grid_search(const Dataset& ds, const SvmParams& base,
+                             const GridSearchOptions& options = {});
+
+}  // namespace ls

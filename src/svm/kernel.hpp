@@ -1,0 +1,73 @@
+// The standard SVM kernel functions of the paper's Table I.
+//
+// All four kernels factor through the inner product X_i . X_j (the Gaussian
+// additionally needs the row norms), so one SMSV per selected row yields a
+// whole kernel row — this is the structure the data-layout scheduling
+// exploits.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ls {
+
+/// Kernel family (Table I).
+enum class KernelType {
+  kLinear,      ///< K(u, v) = u . v
+  kPolynomial,  ///< K(u, v) = (a u . v + r)^d
+  kGaussian,    ///< K(u, v) = exp(-gamma ||u - v||^2)
+  kSigmoid,     ///< K(u, v) = tanh(a u . v + r)
+};
+
+/// Kernel parameters; names follow Table I (a, r, d) with LIBSVM's `gamma`
+/// doubling as the Gaussian width and the a scale of poly/sigmoid.
+struct KernelParams {
+  KernelType type = KernelType::kLinear;
+  real_t gamma = 1.0;  ///< a (poly/sigmoid) or gamma (gaussian)
+  real_t coef0 = 0.0;  ///< r
+  int degree = 3;      ///< d
+};
+
+/// Evaluates K(u, v) from the precomputed inner product `dot` and the two
+/// squared norms (only the Gaussian uses the norms:
+/// ||u - v||^2 = ||u||^2 + ||v||^2 - 2 u.v).
+inline real_t kernel_from_dot(const KernelParams& p, real_t dot,
+                              real_t norm_u, real_t norm_v) {
+  switch (p.type) {
+    case KernelType::kLinear:
+      return dot;
+    case KernelType::kPolynomial:
+      return std::pow(p.gamma * dot + p.coef0, p.degree);
+    case KernelType::kGaussian:
+      return std::exp(-p.gamma * (norm_u + norm_v - 2.0 * dot));
+    case KernelType::kSigmoid:
+      return std::tanh(p.gamma * dot + p.coef0);
+  }
+  return 0.0;
+}
+
+/// Parses a kernel name ("linear", "polynomial", "gaussian", "sigmoid").
+inline KernelType parse_kernel(const std::string& name) {
+  if (name == "linear") return KernelType::kLinear;
+  if (name == "polynomial" || name == "poly") return KernelType::kPolynomial;
+  if (name == "gaussian" || name == "rbf") return KernelType::kGaussian;
+  if (name == "sigmoid") return KernelType::kSigmoid;
+  throw Error("unknown kernel '" + name +
+              "' (expected linear, polynomial, gaussian or sigmoid)");
+}
+
+/// Kernel name for logs.
+inline const char* kernel_name(KernelType t) {
+  switch (t) {
+    case KernelType::kLinear: return "linear";
+    case KernelType::kPolynomial: return "polynomial";
+    case KernelType::kGaussian: return "gaussian";
+    case KernelType::kSigmoid: return "sigmoid";
+  }
+  return "?";
+}
+
+}  // namespace ls

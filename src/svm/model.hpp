@@ -1,0 +1,54 @@
+// Trained SVM model and prediction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "formats/any_matrix.hpp"
+#include "formats/sparse_vector.hpp"
+#include "svm/kernel.hpp"
+
+namespace ls {
+
+/// Binary SVM model: decision(x) = sum_i coef_i K(sv_i, x) - rho, where
+/// coef_i = alpha_i y_i. Support vectors are stored sparsely so prediction
+/// cost scales with their nonzeros, independent of the training layout.
+struct SvmModel {
+  KernelParams kernel;
+  real_t rho = 0.0;
+  index_t num_features = 0;
+  std::vector<SparseVector> support_vectors;
+  std::vector<real_t> coef;  ///< alpha_i * y_i per support vector
+
+  /// Raw decision value for a sparse sample.
+  real_t decision(const SparseVector& x) const;
+
+  /// Predicted label (+1 / -1) for a sparse sample.
+  real_t predict(const SparseVector& x) const {
+    return decision(x) >= 0 ? 1.0 : -1.0;
+  }
+
+  /// Fraction of correctly classified rows of `ds` (labels must be +-1).
+  double accuracy(const Dataset& ds) const;
+
+  /// For the linear kernel only: collapses the support-vector expansion
+  /// into the primal weight vector w = sum coef_i sv_i, so that
+  /// decision(x) = w . x - rho. Throws for nonlinear kernels (no finite
+  /// primal representation).
+  std::vector<real_t> linear_weights() const;
+};
+
+/// Extracts the model from solver output: rows with alpha_i > 0 become
+/// support vectors (gathered from the training matrix).
+SvmModel build_model(const AnyMatrix& x, std::span<const real_t> y,
+                     std::span<const real_t> alpha, real_t rho,
+                     const KernelParams& kernel);
+
+/// ROC AUC of the model's decision values over a +-1-labelled dataset
+/// (Mann-Whitney rank statistic; ties contribute 1/2). 0.5 = random,
+/// 1.0 = perfect ranking. Throws when either class is absent.
+double roc_auc(const SvmModel& model, const Dataset& ds);
+
+}  // namespace ls

@@ -1,0 +1,79 @@
+// One-vs-one multiclass SVM.
+//
+// Section II-A1: "multi-class SVMs are generally implemented as several
+// independent binary-class SVMs [which] can be easily trained in parallel".
+// We train k(k-1)/2 pairwise binary machines, each with its own layout
+// decision (different class subsets can have different sparsity profiles),
+// and predict by majority vote.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "svm/trainer.hpp"
+
+namespace ls {
+
+/// One pairwise binary machine.
+struct PairwiseMachine {
+  real_t class_a = 0.0;  ///< label mapped to +1
+  real_t class_b = 0.0;  ///< label mapped to -1
+  SvmModel model;
+};
+
+/// Trained one-vs-one ensemble.
+struct MulticlassModel {
+  std::vector<PairwiseMachine> machines;
+  std::vector<real_t> classes;
+
+  /// Majority-vote prediction; ties break toward the lower class label.
+  real_t predict(const SparseVector& x) const;
+
+  /// Fraction of correctly classified rows of `ds`.
+  double accuracy(const Dataset& ds) const;
+};
+
+/// Per-ensemble training statistics.
+struct MulticlassResult {
+  MulticlassModel model;
+  index_t total_iterations = 0;
+  double total_seconds = 0.0;
+  std::vector<Format> chosen_formats;  ///< layout decision per machine
+};
+
+/// Trains the one-vs-one ensemble with runtime layout scheduling per pair.
+MulticlassResult train_one_vs_one(const Dataset& ds, const SvmParams& params,
+                                  const SchedulerOptions& sched = {});
+
+/// One-vs-rest ensemble: k binary machines, class k against everything.
+struct OvrModel {
+  std::vector<real_t> classes;
+  std::vector<SvmModel> machines;  ///< machines[k] separates classes[k]
+
+  /// argmax over per-class decision values.
+  real_t predict(const SparseVector& x) const;
+
+  /// Fraction of correctly classified rows of `ds`.
+  double accuracy(const Dataset& ds) const;
+};
+
+/// One-vs-rest training report.
+struct OvrResult {
+  OvrModel model;
+  Format layout = Format::kCSR;  ///< single decision: all machines share X
+  index_t total_iterations = 0;
+  double total_seconds = 0.0;
+  /// Kernel-cache hit rate across the whole ensemble. Because the kernel
+  /// matrix is label-independent, rows computed for machine 0 are cache
+  /// hits for machines 1..k-1 — the structural advantage of one-vs-rest
+  /// over one-vs-one here.
+  double cache_hit_rate = 0.0;
+};
+
+/// Trains the one-vs-rest ensemble: one layout decision and one shared
+/// kernel cache for all k machines.
+OvrResult train_one_vs_rest(const Dataset& ds, const SvmParams& params,
+                            const SchedulerOptions& sched = {});
+
+}  // namespace ls

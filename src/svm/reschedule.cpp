@@ -1,0 +1,64 @@
+#include "svm/reschedule.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+ReschedulingKernelEngine::ReschedulingKernelEngine(
+    const CooMatrix& x, const KernelParams& params, Format initial,
+    RescheduleOptions options)
+    : x_(&x), params_(params), options_(options), current_(initial),
+      mat_(AnyMatrix::from_coo(x, initial)),
+      inner_(std::make_unique<FormatKernelEngine>(mat_, params)) {
+  LS_CHECK(options_.check_after_rows >= 1,
+           "check_after_rows must be positive");
+  LS_CHECK(options_.switch_threshold >= 1.0,
+           "switch_threshold must be >= 1");
+}
+
+void ReschedulingKernelEngine::compute_row(index_t i,
+                                           std::span<real_t> out) {
+  inner_->compute_row(i, out);
+  ++rows_computed_;
+  if (switches_ < options_.max_switches &&
+      rows_computed_ % options_.check_after_rows == 0) {
+    maybe_reschedule();
+  }
+}
+
+void ReschedulingKernelEngine::maybe_reschedule() {
+  // Fresh measurement of every admissible candidate, current format
+  // included — relative comparison on identical probes is fair regardless
+  // of what the original decision was based on.
+  const ScheduleDecision decision =
+      EmpiricalAutotuner(options_.autotune).choose(*x_);
+  if (decision.format == current_) {
+    ++switches_;  // consume the budget: the measurement confirmed us
+    return;
+  }
+  const double current_score = decision.score_of(current_);
+  const double best_score = decision.score_of(decision.format);
+  // An infinite current score means the tuner would not even consider the
+  // current format (storage-inadmissible) — that is the strongest possible
+  // signal to switch. Otherwise require a decisive measured margin.
+  const bool decisive =
+      std::isfinite(best_score) &&
+      (!std::isfinite(current_score) ||
+       current_score >= options_.switch_threshold * best_score);
+  if (!decisive) {
+    ++switches_;  // not decisively better: stay put
+    return;
+  }
+
+  // Re-materialise and rebuild the inner engine (order matters: the engine
+  // holds a pointer into mat_).
+  inner_.reset();
+  mat_ = AnyMatrix::from_coo(*x_, decision.format);
+  inner_ = std::make_unique<FormatKernelEngine>(mat_, params_);
+  current_ = decision.format;
+  ++switches_;
+}
+
+}  // namespace ls

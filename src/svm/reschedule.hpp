@@ -1,0 +1,68 @@
+// Mid-training layout re-scheduling.
+//
+// The paper's system decides the layout once, before training. But the
+// decision can be wrong — a sampled probe can mislead, or the access
+// pattern can differ from the probe's assumption. This engine makes the
+// scheduling genuinely *runtime*: it serves kernel rows like the normal
+// engine, and after a warm-up window re-evaluates the format choice
+// against fresh measurements of the actual matrix; if another format is
+// decisively faster it re-materialises the matrix and continues — the
+// conversion cost is amortised over the remaining (typically thousands of)
+// SMO iterations.
+//
+// bench/ablation_reschedule measures the recovery when training starts
+// from a deliberately bad layout.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "sched/selector.hpp"
+#include "svm/kernel_engine.hpp"
+
+namespace ls {
+
+/// Re-scheduling policy knobs.
+struct RescheduleOptions {
+  /// Kernel rows to serve before the (first) re-evaluation.
+  index_t check_after_rows = 32;
+  /// Re-materialise only when the best candidate is at least this much
+  /// faster than the current format in the fresh measurement.
+  double switch_threshold = 1.25;
+  /// Maximum number of format switches over the engine's lifetime.
+  index_t max_switches = 1;
+  /// Probe configuration for the re-evaluation.
+  AutotuneOptions autotune;
+};
+
+/// Kernel-row engine that can swap its storage format mid-run.
+class ReschedulingKernelEngine : public RowKernelSource {
+ public:
+  /// `x` must outlive the engine; `initial` is the starting layout (e.g. a
+  /// prior decision, or a fixed default).
+  ReschedulingKernelEngine(const CooMatrix& x, const KernelParams& params,
+                           Format initial, RescheduleOptions options = {});
+
+  index_t num_rows() const override { return x_->rows(); }
+  void compute_row(index_t i, std::span<real_t> out) override;
+  real_t diagonal(index_t i) const override {
+    return inner_->diagonal(i);
+  }
+
+  Format current_format() const { return current_; }
+  index_t switches() const { return switches_; }
+
+ private:
+  /// Re-measures the candidates and switches if decisively beneficial.
+  void maybe_reschedule();
+
+  const CooMatrix* x_;
+  KernelParams params_;
+  RescheduleOptions options_;
+  Format current_;
+  index_t switches_ = 0;
+  AnyMatrix mat_;
+  std::unique_ptr<FormatKernelEngine> inner_;
+};
+
+}  // namespace ls

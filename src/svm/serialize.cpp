@@ -1,0 +1,215 @@
+#include "svm/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+namespace {
+
+constexpr const char* kModelMagic = "ls_svm_model v1";
+constexpr const char* kEnsembleMagic = "ls_svm_ovo v1";
+constexpr const char* kSvrMagic = "ls_svr_model v1";
+
+const char* kernel_tag(KernelType t) { return kernel_name(t); }
+
+void expect_line(std::istream& in, const std::string& expected,
+                 const char* what) {
+  std::string line;
+  LS_CHECK(std::getline(in, line), "model stream truncated before " << what);
+  LS_CHECK(line == expected,
+           "bad " << what << ": expected '" << expected << "', got '" << line
+                  << "'");
+}
+
+template <class T>
+T read_field(std::istream& in, const char* name) {
+  std::string line;
+  LS_CHECK(std::getline(in, line), "model stream truncated at " << name);
+  std::istringstream ls(line);
+  std::string key;
+  T value{};
+  LS_CHECK(static_cast<bool>(ls >> key >> value) && key == name,
+           "bad model field: expected '" << name << "', got '" << line << "'");
+  return value;
+}
+
+}  // namespace
+
+void save_model(std::ostream& out, const SvmModel& model) {
+  out.precision(17);
+  out << kModelMagic << '\n';
+  out << "kernel " << kernel_tag(model.kernel.type) << '\n';
+  out << "gamma " << model.kernel.gamma << '\n';
+  out << "coef0 " << model.kernel.coef0 << '\n';
+  out << "degree " << model.kernel.degree << '\n';
+  out << "rho " << model.rho << '\n';
+  out << "num_features " << model.num_features << '\n';
+  out << "num_sv " << model.support_vectors.size() << '\n';
+  for (std::size_t k = 0; k < model.support_vectors.size(); ++k) {
+    out << model.coef[k];
+    const SparseVector& sv = model.support_vectors[k];
+    const auto idx = sv.indices();
+    const auto val = sv.values();
+    for (index_t e = 0; e < sv.nnz(); ++e) {
+      out << ' ' << idx[static_cast<std::size_t>(e)] << ':'
+          << val[static_cast<std::size_t>(e)];
+    }
+    out << '\n';
+  }
+}
+
+SvmModel load_model(std::istream& in) {
+  expect_line(in, kModelMagic, "model magic");
+  SvmModel model;
+  model.kernel.type = parse_kernel(read_field<std::string>(in, "kernel"));
+  model.kernel.gamma = read_field<real_t>(in, "gamma");
+  model.kernel.coef0 = read_field<real_t>(in, "coef0");
+  model.kernel.degree = static_cast<int>(read_field<long long>(in, "degree"));
+  model.rho = read_field<real_t>(in, "rho");
+  model.num_features = read_field<index_t>(in, "num_features");
+  const auto num_sv = read_field<long long>(in, "num_sv");
+  LS_CHECK(num_sv >= 0, "negative support vector count");
+
+  for (long long k = 0; k < num_sv; ++k) {
+    std::string line;
+    LS_CHECK(std::getline(in, line),
+             "model stream truncated at support vector " << k);
+    std::istringstream ls(line);
+    real_t coef = 0.0;
+    LS_CHECK(static_cast<bool>(ls >> coef),
+             "bad support vector line: '" << line << "'");
+    SparseVector sv;
+    std::string token;
+    index_t prev = -1;
+    while (ls >> token) {
+      const auto colon = token.find(':');
+      LS_CHECK(colon != std::string::npos,
+               "bad sv entry '" << token << "'");
+      const index_t idx = std::stoll(token.substr(0, colon));
+      const real_t val = std::stod(token.substr(colon + 1));
+      LS_CHECK(idx > prev, "sv indices must be strictly increasing");
+      LS_CHECK(idx >= 0 && idx < model.num_features,
+               "sv index " << idx << " out of feature range");
+      prev = idx;
+      sv.push_back(idx, val);
+    }
+    model.coef.push_back(coef);
+    model.support_vectors.push_back(std::move(sv));
+  }
+  return model;
+}
+
+void save_model_file(const std::string& path, const SvmModel& model) {
+  std::ofstream out(path);
+  LS_CHECK(out.good(), "cannot open model output file: " << path);
+  save_model(out, model);
+}
+
+SvmModel load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  LS_CHECK(in.good(), "cannot open model file: " << path);
+  return load_model(in);
+}
+
+void save_multiclass(std::ostream& out, const MulticlassModel& model) {
+  out.precision(17);
+  out << kEnsembleMagic << '\n';
+  out << "num_classes " << model.classes.size() << '\n';
+  out << "classes";
+  for (real_t c : model.classes) out << ' ' << c;
+  out << '\n';
+  out << "num_machines " << model.machines.size() << '\n';
+  for (const PairwiseMachine& m : model.machines) {
+    out << "pair " << m.class_a << ' ' << m.class_b << '\n';
+    save_model(out, m.model);
+  }
+}
+
+MulticlassModel load_multiclass(std::istream& in) {
+  expect_line(in, kEnsembleMagic, "ensemble magic");
+  MulticlassModel model;
+  const auto num_classes = read_field<long long>(in, "num_classes");
+  LS_CHECK(num_classes >= 2, "ensemble needs at least two classes");
+  {
+    std::string line;
+    LS_CHECK(std::getline(in, line), "ensemble truncated at classes");
+    std::istringstream ls(line);
+    std::string key;
+    LS_CHECK(static_cast<bool>(ls >> key) && key == "classes",
+             "bad classes line: '" << line << "'");
+    real_t c = 0.0;
+    while (ls >> c) model.classes.push_back(c);
+    LS_CHECK(static_cast<long long>(model.classes.size()) == num_classes,
+             "class list length mismatch");
+  }
+  const auto num_machines = read_field<long long>(in, "num_machines");
+  for (long long k = 0; k < num_machines; ++k) {
+    std::string line;
+    LS_CHECK(std::getline(in, line), "ensemble truncated at machine " << k);
+    std::istringstream ls(line);
+    std::string key;
+    PairwiseMachine machine;
+    LS_CHECK(static_cast<bool>(ls >> key >> machine.class_a >>
+                               machine.class_b) &&
+                 key == "pair",
+             "bad pair line: '" << line << "'");
+    machine.model = load_model(in);
+    model.machines.push_back(std::move(machine));
+  }
+  return model;
+}
+
+void save_multiclass_file(const std::string& path,
+                          const MulticlassModel& model) {
+  std::ofstream out(path);
+  LS_CHECK(out.good(), "cannot open ensemble output file: " << path);
+  save_multiclass(out, model);
+}
+
+void save_svr(std::ostream& out, const SvrModel& model) {
+  // SvrModel shares the binary model's field layout (coef holds beta);
+  // reuse the writer behind a distinguishing magic line.
+  out << kSvrMagic << '\n';
+  SvmModel shim;
+  shim.kernel = model.kernel;
+  shim.rho = model.rho;
+  shim.num_features = model.num_features;
+  shim.support_vectors = model.support_vectors;
+  shim.coef = model.coef;
+  save_model(out, shim);
+}
+
+SvrModel load_svr(std::istream& in) {
+  expect_line(in, kSvrMagic, "svr magic");
+  SvmModel shim = load_model(in);
+  SvrModel model;
+  model.kernel = shim.kernel;
+  model.rho = shim.rho;
+  model.num_features = shim.num_features;
+  model.support_vectors = std::move(shim.support_vectors);
+  model.coef = std::move(shim.coef);
+  return model;
+}
+
+void save_svr_file(const std::string& path, const SvrModel& model) {
+  std::ofstream out(path);
+  LS_CHECK(out.good(), "cannot open svr output file: " << path);
+  save_svr(out, model);
+}
+
+SvrModel load_svr_file(const std::string& path) {
+  std::ifstream in(path);
+  LS_CHECK(in.good(), "cannot open svr file: " << path);
+  return load_svr(in);
+}
+
+MulticlassModel load_multiclass_file(const std::string& path) {
+  std::ifstream in(path);
+  LS_CHECK(in.good(), "cannot open ensemble file: " << path);
+  return load_multiclass(in);
+}
+
+}  // namespace ls

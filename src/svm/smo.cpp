@@ -1,0 +1,272 @@
+#include "svm/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+SmoSolver::SmoSolver(KernelCache& cache, std::span<const real_t> y,
+                     const SvmParams& params)
+    : SmoSolver(cache, y, std::span<const real_t>{}, params) {}
+
+SmoSolver::SmoSolver(KernelCache& cache, std::span<const real_t> y,
+                     std::span<const real_t> p, const SvmParams& params)
+    : cache_(&cache), y_(y), p_(p), params_(params),
+      n_(static_cast<index_t>(y.size())) {
+  LS_CHECK(n_ == cache.num_rows(),
+           "label count " << n_ << " != kernel source rows "
+                          << cache.num_rows());
+  LS_CHECK(params_.c > 0, "C must be positive");
+  LS_CHECK(params_.weight_positive > 0 && params_.weight_negative > 0,
+           "class weights must be positive");
+  LS_CHECK(p.empty() || p.size() == y.size(),
+           "linear term length must match label count");
+  for (real_t yi : y_) {
+    LS_CHECK(yi == 1.0 || yi == -1.0,
+             "binary SMO requires labels in {+1, -1}, got " << yi);
+  }
+
+  // alpha = 0; f_i = y_i * grad_i = y_i * p_i. Classification (p = -1)
+  // gives the paper's Algorithm 1 step 2: f_i = -y_i.
+  alpha_.assign(static_cast<std::size_t>(n_), 0.0);
+  f_.resize(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const real_t pi = p.empty() ? real_t{-1.0} : p[iu];
+    f_[iu] = y_[iu] * pi;
+  }
+  active_.resize(static_cast<std::size_t>(n_));
+  std::iota(active_.begin(), active_.end(), index_t{0});
+}
+
+bool SmoSolver::in_i_high(index_t i) const {
+  // I_high = {0 < a < C} u {y > 0, a = 0} u {y < 0, a = C}   (Alg. 1 step 6)
+  const bool lower = at_lower(i);
+  const bool upper = at_upper(i);
+  if (!lower && !upper) return true;
+  const real_t yi = y_[static_cast<std::size_t>(i)];
+  return (yi > 0 && lower) || (yi < 0 && upper);
+}
+
+bool SmoSolver::in_i_low(index_t i) const {
+  // I_low = {0 < a < C} u {y > 0, a = C} u {y < 0, a = 0}    (Alg. 1 step 7)
+  const bool lower = at_lower(i);
+  const bool upper = at_upper(i);
+  if (!lower && !upper) return true;
+  const real_t yi = y_[static_cast<std::size_t>(i)];
+  return (yi > 0 && upper) || (yi < 0 && lower);
+}
+
+bool SmoSolver::select_high(Selection& sel) const {
+  sel.high = -1;
+  sel.b_high = std::numeric_limits<real_t>::infinity();
+  sel.b_low = -std::numeric_limits<real_t>::infinity();
+  for (index_t i : active_) {
+    const real_t fi = f_[static_cast<std::size_t>(i)];
+    if (in_i_high(i) && fi < sel.b_high) {
+      sel.b_high = fi;
+      sel.high = i;
+    }
+    if (in_i_low(i) && fi > sel.b_low) {
+      sel.b_low = fi;
+    }
+  }
+  return sel.high >= 0 && std::isfinite(sel.b_low);
+}
+
+bool SmoSolver::select_low(Selection& sel,
+                           std::span<const real_t> k_high) const {
+  sel.low = -1;
+  if (params_.wss == WssPolicy::kFirstOrder) {
+    // Algorithm 1 step 9: low = argmax f over I_low.
+    real_t best = -std::numeric_limits<real_t>::infinity();
+    for (index_t j : active_) {
+      const real_t fj = f_[static_cast<std::size_t>(j)];
+      if (in_i_low(j) && fj > best) {
+        best = fj;
+        sel.low = j;
+      }
+    }
+    return sel.low >= 0;
+  }
+
+  // Second-order (WSS2): among I_low candidates that actually violate
+  // optimality w.r.t. high, maximise the guaranteed objective gain
+  // (f_j - b_high)^2 / eta_j.
+  const real_t k_hh = cache_->diagonal(sel.high);
+  real_t best_gain = -std::numeric_limits<real_t>::infinity();
+  for (index_t j : active_) {
+    if (!in_i_low(j)) continue;
+    const real_t fj = f_[static_cast<std::size_t>(j)];
+    const real_t b = fj - sel.b_high;
+    if (b <= 0) continue;
+    real_t eta = k_hh + cache_->diagonal(j) -
+                 2.0 * k_high[static_cast<std::size_t>(j)];
+    if (eta <= 0) eta = kEtaFloor;
+    const real_t gain = b * b / eta;
+    if (gain > best_gain) {
+      best_gain = gain;
+      sel.low = j;
+    }
+  }
+  return sel.low >= 0;
+}
+
+void SmoSolver::shrink(const Selection& sel) {
+  // A bound sample is certainly non-violating (and can be ignored by
+  // selection) when its f value cannot form a violating pair with the
+  // current b_high / b_low estimates. Free samples are never shrunk.
+  std::vector<index_t> keep;
+  keep.reserve(active_.size());
+  for (index_t i : active_) {
+    const real_t fi = f_[static_cast<std::size_t>(i)];
+    const real_t yi = y_[static_cast<std::size_t>(i)];
+    bool shrinkable = false;
+    if (at_lower(i)) {
+      // y > 0: only in I_high (candidate for min f) -> dull if f too big;
+      // y < 0: only in I_low (candidate for max f) -> dull if f too small.
+      shrinkable = (yi > 0) ? (fi > sel.b_low) : (fi < sel.b_high);
+    } else if (at_upper(i)) {
+      shrinkable = (yi > 0) ? (fi < sel.b_high) : (fi > sel.b_low);
+    }
+    if (!shrinkable) keep.push_back(i);
+  }
+  // Keep the problem well-posed: never shrink below two samples.
+  if (keep.size() >= 2 && keep.size() < active_.size()) {
+    active_ = std::move(keep);
+    fully_active_ = false;
+  }
+}
+
+void SmoSolver::unshrink() {
+  active_.resize(static_cast<std::size_t>(n_));
+  std::iota(active_.begin(), active_.end(), index_t{0});
+  fully_active_ = true;
+}
+
+double SmoSolver::current_objective() const {
+  // Dual objective via the gradient identity grad_i = y_i f_i = (Q a + p)_i:
+  // F = -(1/2 a' Q a + p' a) = -1/2 sum_i a_i (y_i f_i + p_i) — O(n), no
+  // extra kernel evaluations. For classification (p = -1) this is exactly
+  // Eq. (1)'s maximised objective.
+  double obj = 0.0;
+  for (index_t i = 0; i < n_; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const real_t pi = p_.empty() ? real_t{-1.0} : p_[iu];
+    obj += -0.5 * alpha_[iu] * (y_[iu] * f_[iu] + pi);
+  }
+  return obj;
+}
+
+SolveStats SmoSolver::solve() {
+  const index_t max_iter = params_.max_iterations > 0
+                               ? params_.max_iterations
+                               : 200 * n_ + 20000;
+  SolveStats stats;
+
+  index_t iter = 0;
+  Selection sel;
+  while (iter < max_iter) {
+    if (!select_high(sel)) break;  // all samples at compatible bounds
+
+    // Convergence test (Alg. 1 step 12, inverted).
+    if (sel.b_low <= sel.b_high + 2 * params_.tolerance) {
+      if (fully_active_ || unshrunk_once_) {
+        stats.converged = true;
+        break;
+      }
+      // Converged on the shrunk set: restore everything and re-check once.
+      unshrink();
+      unshrunk_once_ = true;
+      continue;
+    }
+
+    const std::span<const real_t> k_high = cache_->get_row(sel.high);
+    if (!select_low(sel, k_high)) break;
+    const std::span<const real_t> k_low = cache_->get_row(sel.low);
+
+    const index_t hi = sel.high;
+    const index_t lo = sel.low;
+    const real_t y_hi = y_[static_cast<std::size_t>(hi)];
+    const real_t y_lo = y_[static_cast<std::size_t>(lo)];
+    const real_t f_hi = f_[static_cast<std::size_t>(hi)];
+    const real_t f_lo = f_[static_cast<std::size_t>(lo)];
+    const real_t a_hi_old = alpha_[static_cast<std::size_t>(hi)];
+    const real_t a_lo_old = alpha_[static_cast<std::size_t>(lo)];
+
+    // Eq. (5) denominator with positive-definiteness floor.
+    real_t eta = cache_->diagonal(hi) + cache_->diagonal(lo) -
+                 2.0 * k_high[static_cast<std::size_t>(lo)];
+    if (eta <= 0) eta = kEtaFloor;
+
+    // Box bounds for the new alpha_low (Platt's L/H with i1 = high),
+    // generalised to per-class box constraints C_hi / C_lo.
+    const real_t s = y_hi * y_lo;
+    const real_t c_hi = c_of(hi);
+    const real_t c_lo = c_of(lo);
+    real_t lo_bound, hi_bound;
+    if (s < 0) {
+      lo_bound = std::max<real_t>(0.0, a_lo_old - a_hi_old);
+      hi_bound = std::min<real_t>(c_lo, c_hi + a_lo_old - a_hi_old);
+    } else {
+      lo_bound = std::max<real_t>(0.0, a_lo_old + a_hi_old - c_hi);
+      hi_bound = std::min<real_t>(c_lo, a_lo_old + a_hi_old);
+    }
+
+    // Eq. (5): unconstrained optimum of alpha_low, then clip to the box.
+    real_t a_lo_new = a_lo_old + y_lo * (f_hi - f_lo) / eta;
+    a_lo_new = std::clamp(a_lo_new, lo_bound, hi_bound);
+    // Eq. (6): alpha_high moves to keep sum alpha_i y_i = 0.
+    const real_t a_hi_new = a_hi_old + s * (a_lo_old - a_lo_new);
+
+    alpha_[static_cast<std::size_t>(lo)] = a_lo_new;
+    alpha_[static_cast<std::size_t>(hi)] = a_hi_new;
+
+    // Eq. (4): rank-2 update of every optimality indicator.
+    const real_t d_hi = (a_hi_new - a_hi_old) * y_hi;
+    const real_t d_lo = (a_lo_new - a_lo_old) * y_lo;
+    real_t* __restrict f = f_.data();
+    const real_t* __restrict kh = k_high.data();
+    const real_t* __restrict kl = k_low.data();
+    for (index_t i = 0; i < n_; ++i) {
+      f[i] += d_hi * kh[i] + d_lo * kl[i];
+    }
+
+    ++iter;
+    if (params_.on_trace && iter % std::max<index_t>(1, params_.trace_interval) == 0) {
+      IterationTrace trace;
+      trace.iteration = iter;
+      trace.b_high = sel.b_high;
+      trace.b_low = sel.b_low;
+      trace.objective = current_objective();
+      params_.on_trace(trace);
+    }
+    if (params_.shrinking && iter % params_.shrink_interval == 0) {
+      shrink(sel);
+    }
+  }
+
+  // Bias: midpoint of the final optimality interval. Degenerate problems
+  // (selection failed before the first step) fall back to rho = 0.
+  rho_ = (std::isfinite(sel.b_high) && std::isfinite(sel.b_low))
+             ? (sel.b_high + sel.b_low) / 2.0
+             : 0.0;
+
+  stats.iterations = iter;
+  stats.b_high = sel.b_high;
+  stats.b_low = sel.b_low;
+
+  stats.objective = current_objective();
+  stats.kernel_rows_computed = 0;  // filled by caller from the engine
+  stats.cache_hit_rate = cache_->hit_rate();
+  for (real_t a : alpha_) {
+    if (a > kBoundEps) ++stats.support_vectors;
+  }
+  return stats;
+}
+
+}  // namespace ls

@@ -1,0 +1,161 @@
+// SMO (Sequential Minimal Optimization) solver for the binary-class SVM
+// dual QP — the paper's Algorithm 1.
+//
+// State per sample i: the Lagrange multiplier alpha_i in [0, C] and the
+// optimality indicator f_i = sum_j alpha_j y_j K(X_i, X_j) - y_i (Eq. 3).
+// Each iteration selects a maximally-violating pair (high, low), solves the
+// 2-variable subproblem analytically (Eqs. 5-6 with box clipping) and
+// updates all f values with the two freshly computed kernel rows (Eq. 4).
+// Convergence: b_low <= b_high + 2 * tolerance.
+//
+// Two working-set selection policies are provided:
+//  * kFirstOrder  — Algorithm 1 verbatim (argmin/argmax of f);
+//  * kSecondOrder — Fan/Chen/Lin's WSS2 (maximal gain using the kernel
+//    diagonal), LIBSVM's default; usually converges in fewer iterations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "svm/cache.hpp"
+#include "svm/kernel.hpp"
+
+namespace ls {
+
+/// Snapshot passed to the optional per-iteration trace callback.
+struct IterationTrace {
+  index_t iteration = 0;
+  real_t b_high = 0.0;
+  real_t b_low = 0.0;
+  /// Optimality gap b_low - b_high; convergence when <= 2 * tolerance.
+  real_t gap() const { return b_low - b_high; }
+  double objective = 0.0;  ///< current dual objective (maximised form)
+};
+
+/// Working-set selection policy.
+enum class WssPolicy {
+  kFirstOrder,   ///< maximal violating pair (paper Algorithm 1)
+  kSecondOrder,  ///< second-order gain (Fan et al. 2005, LIBSVM default)
+};
+
+/// Solver parameters.
+struct SvmParams {
+  KernelParams kernel;
+  real_t c = 1.0;            ///< box constraint C
+  /// Per-class C multipliers (LIBSVM's -w option): samples with y = +1 get
+  /// C * weight_positive, y = -1 get C * weight_negative. Raising the
+  /// minority class's weight counters class imbalance.
+  real_t weight_positive = 1.0;
+  real_t weight_negative = 1.0;
+  real_t tolerance = 1e-3;   ///< KKT tolerance (LIBSVM default)
+  index_t max_iterations = 0;  ///< 0 = automatic (200 n + 20000)
+  WssPolicy wss = WssPolicy::kSecondOrder;
+  std::size_t cache_bytes = 64ull << 20;  ///< kernel row cache budget
+  bool shrinking = false;    ///< periodically drop certainly-bound samples
+  index_t shrink_interval = 1000;
+  /// Optional convergence trace, invoked every `trace_interval` iterations
+  /// (computing the objective costs O(n) per call).
+  std::function<void(const IterationTrace&)> on_trace;
+  index_t trace_interval = 1;
+};
+
+/// Solver outcome statistics.
+struct SolveStats {
+  index_t iterations = 0;
+  double objective = 0.0;   ///< dual objective F(alpha), Eq. (1)
+  real_t b_high = 0.0;
+  real_t b_low = 0.0;
+  bool converged = false;
+  std::int64_t kernel_rows_computed = 0;
+  double cache_hit_rate = 0.0;
+  index_t support_vectors = 0;
+};
+
+/// SMO solver over a cached kernel-row source.
+///
+/// Solves the generic dual  min 1/2 a' Q a + p' a  s.t.  y' a = 0,
+/// 0 <= a_i <= C, with Q_ij = y_i y_j K_ij — LIBSVM's Solver form. The
+/// classification problem of the paper is p = -1 (the default); epsilon-SVR
+/// reduces to the same solver with a duplicated kernel and p = eps -+ z
+/// (see svr.hpp).
+class SmoSolver {
+ public:
+  /// Classification form: p_i = -1. `cache` and `y` must outlive the
+  /// solver; y[i] must be +1 or -1.
+  SmoSolver(KernelCache& cache, std::span<const real_t> y,
+            const SvmParams& params);
+
+  /// Generic form with an explicit linear term (LIBSVM's p vector).
+  /// `p` must match y's length and outlive the solver.
+  SmoSolver(KernelCache& cache, std::span<const real_t> y,
+            std::span<const real_t> p, const SvmParams& params);
+
+  /// Runs the optimisation to convergence (or the iteration cap).
+  SolveStats solve();
+
+  std::span<const real_t> alpha() const { return alpha_; }
+
+  /// Bias so that decision(x) = sum_i alpha_i y_i K(X_i, x) - rho.
+  real_t rho() const { return rho_; }
+
+ private:
+  struct Selection {
+    index_t high = -1;
+    index_t low = -1;
+    real_t b_high = 0.0;
+    real_t b_low = 0.0;
+  };
+
+  bool in_i_high(index_t i) const;
+  bool in_i_low(index_t i) const;
+
+  /// Selects high and b_high/b_low over the active set. Returns false if
+  /// either index set is empty (degenerate: everything at bounds).
+  bool select_high(Selection& sel) const;
+
+  /// Selects low: first-order (argmax f) or second-order (max gain, needs
+  /// the K_high row).
+  bool select_low(Selection& sel, std::span<const real_t> k_high) const;
+
+  /// Shrinks the active set using current b_high / b_low estimates.
+  void shrink(const Selection& sel);
+
+  /// Restores all samples to the active set.
+  void unshrink();
+
+  /// Current dual objective (maximised form), O(n).
+  double current_objective() const;
+
+  KernelCache* cache_;
+  std::span<const real_t> y_;
+  std::span<const real_t> p_;  // empty = classification (p_i = -1)
+  SvmParams params_;
+  index_t n_ = 0;
+
+  std::vector<real_t> alpha_;
+  std::vector<real_t> f_;
+  std::vector<index_t> active_;  // indices currently considered by selection
+  bool fully_active_ = true;
+  bool unshrunk_once_ = false;
+  real_t rho_ = 0.0;
+
+  /// Per-sample box constraint C_i = C * class weight.
+  real_t c_of(index_t i) const {
+    return params_.c * (y_[static_cast<std::size_t>(i)] > 0
+                            ? params_.weight_positive
+                            : params_.weight_negative);
+  }
+
+  bool at_lower(index_t i) const { return alpha_[static_cast<std::size_t>(i)] <= kBoundEps; }
+  bool at_upper(index_t i) const {
+    return alpha_[static_cast<std::size_t>(i)] >= c_of(i) - kBoundEps;
+  }
+
+  static constexpr real_t kBoundEps = 1e-12;
+  static constexpr real_t kEtaFloor = 1e-12;
+};
+
+}  // namespace ls

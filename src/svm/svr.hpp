@@ -1,0 +1,81 @@
+// Epsilon support-vector regression.
+//
+// Section II-A: "The data structure of the regression problem is identical
+// to that of the classification problem. The only difference is that
+// y_i is real-valued." SVR therefore benefits from layout scheduling in
+// exactly the same way — the bottleneck is still one SMSV per kernel row.
+//
+// The dual is solved with the generic SmoSolver via LIBSVM's 2n-variable
+// reduction: variables (a_1..a_n, a*_1..a*_n) with signs y = (+1^n, -1^n),
+// kernel Q_ij = K(x_{i mod n}, x_{j mod n}) (a DuplicatedKernelSource on
+// top of the format engine), and linear term p = (eps - z, eps + z) for
+// targets z. The regressor is f(x) = sum_i beta_i K(x_i, x) - rho with
+// beta_i = a_i - a*_i.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "sched/scheduler.hpp"
+#include "svm/model.hpp"
+#include "svm/smo.hpp"
+
+namespace ls {
+
+/// SVR solver parameters: the SMO parameters plus the epsilon tube.
+struct SvrParams {
+  SvmParams svm;
+  real_t epsilon = 0.1;  ///< half-width of the insensitive tube
+};
+
+/// Trained regression model: f(x) = sum coef_i K(sv_i, x) - rho.
+struct SvrModel {
+  KernelParams kernel;
+  real_t rho = 0.0;
+  index_t num_features = 0;
+  std::vector<SparseVector> support_vectors;
+  std::vector<real_t> coef;  ///< beta_i = a_i - a*_i (nonzero only)
+
+  /// Predicted real value for a sparse sample.
+  real_t predict(const SparseVector& x) const;
+
+  /// Mean squared error over a dataset with real-valued labels.
+  double mse(const Dataset& ds) const;
+
+  /// Mean absolute error over a dataset with real-valued labels.
+  double mae(const Dataset& ds) const;
+};
+
+/// Regression training report.
+struct SvrResult {
+  SvrModel model;
+  SolveStats stats;
+  ScheduleDecision decision;
+  double total_seconds = 0.0;
+};
+
+/// Trains epsilon-SVR with runtime data-layout scheduling. `ds.y` holds the
+/// real-valued regression targets.
+SvrResult train_svr(const Dataset& ds, const SvrParams& params,
+                    const SchedulerOptions& sched = {});
+
+/// Kernel-row source over the 2n-variable duplicated problem: row i of the
+/// big matrix is row (i mod n) of the base source, tiled twice. Exposed for
+/// the unit tests.
+class DuplicatedKernelSource : public RowKernelSource {
+ public:
+  explicit DuplicatedKernelSource(RowKernelSource& base);
+
+  index_t num_rows() const override { return 2 * base_->num_rows(); }
+  void compute_row(index_t i, std::span<real_t> out) override;
+  real_t diagonal(index_t i) const override {
+    return base_->diagonal(i % base_->num_rows());
+  }
+
+ private:
+  RowKernelSource* base_;
+  std::vector<real_t> scratch_;
+};
+
+}  // namespace ls

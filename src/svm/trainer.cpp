@@ -1,0 +1,140 @@
+#include "svm/trainer.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "svm/kernel_engine.hpp"
+#include "svm/reschedule.hpp"
+
+namespace ls {
+
+namespace {
+
+TrainResult run_solver(const AnyMatrix& x, const Dataset& ds,
+                       const SvmParams& params, RowKernelSource& engine,
+                       ScheduleDecision decision, double schedule_seconds) {
+  Timer solve_timer;
+  KernelCache cache(engine, params.cache_bytes);
+  SmoSolver solver(cache, ds.y, params);
+  SolveStats stats = solver.solve();
+  stats.kernel_rows_computed = engine.rows_computed();
+
+  TrainResult result;
+  result.model =
+      build_model(x, ds.y, solver.alpha(), solver.rho(), params.kernel);
+  result.stats = stats;
+  result.decision = std::move(decision);
+  result.schedule_seconds = schedule_seconds;
+  result.solve_seconds = solve_timer.seconds();
+  result.total_seconds = schedule_seconds + result.solve_seconds;
+  return result;
+}
+
+}  // namespace
+
+TrainResult train_adaptive(const Dataset& ds, const SvmParams& params,
+                           const SchedulerOptions& sched) {
+  ds.validate();
+  Timer sched_timer;
+  const LayoutScheduler scheduler(sched);
+  ScheduleDecision decision = scheduler.decide(ds.X);
+  const AnyMatrix x = scheduler.materialize(ds.X, decision);
+  const double schedule_seconds = sched_timer.seconds();
+
+  FormatKernelEngine engine(x, params.kernel);
+  return run_solver(x, ds, params, engine, std::move(decision),
+                    schedule_seconds);
+}
+
+TrainResult train_fixed_format(const Dataset& ds, const SvmParams& params,
+                               Format format) {
+  ds.validate();
+  Timer sched_timer;
+  ScheduleDecision decision;
+  decision.format = format;
+  decision.rationale =
+      "fixed format (non-adaptive): " + std::string(format_name(format));
+  const AnyMatrix x = AnyMatrix::from_coo(ds.X, format);
+  const double schedule_seconds = sched_timer.seconds();
+
+  FormatKernelEngine engine(x, params.kernel);
+  return run_solver(x, ds, params, engine, std::move(decision),
+                    schedule_seconds);
+}
+
+TrainResult train_libsvm_baseline(const Dataset& ds, const SvmParams& params) {
+  ds.validate();
+  Timer sched_timer;
+  ScheduleDecision decision;
+  decision.format = Format::kCSR;
+  decision.rationale = "LIBSVM baseline: fixed CSR, merge-join dot kernel";
+  // The baseline still needs an AnyMatrix for model extraction.
+  const AnyMatrix x = AnyMatrix::from_coo(ds.X, Format::kCSR);
+  const double schedule_seconds = sched_timer.seconds();
+
+  LibsvmKernelEngine engine(ds.X, params.kernel);
+  return run_solver(x, ds, params, engine, std::move(decision),
+                    schedule_seconds);
+}
+
+TrainResult train_reschedulable(const Dataset& ds, const SvmParams& params,
+                                Format initial,
+                                const RescheduleOptions& reschedule) {
+  ds.validate();
+  Timer solve_timer;
+  ReschedulingKernelEngine engine(ds.X, params.kernel, initial, reschedule);
+  KernelCache cache(engine, params.cache_bytes);
+  SmoSolver solver(cache, ds.y, params);
+  SolveStats stats = solver.solve();
+  stats.kernel_rows_computed = engine.rows_computed();
+
+  // Model extraction needs a matrix view; use the engine's final layout.
+  const AnyMatrix x = AnyMatrix::from_coo(ds.X, engine.current_format());
+
+  TrainResult result;
+  result.model =
+      build_model(x, ds.y, solver.alpha(), solver.rho(), params.kernel);
+  result.stats = stats;
+  result.decision.format = engine.current_format();
+  result.decision.rationale =
+      "runtime rescheduling: started " + std::string(format_name(initial)) +
+      ", finished " + std::string(format_name(engine.current_format())) +
+      " (" + std::to_string(engine.switches()) + " re-evaluation(s))";
+  result.solve_seconds = solve_timer.seconds();
+  result.total_seconds = result.solve_seconds;
+  return result;
+}
+
+double cross_validate(const Dataset& ds, const SvmParams& params, int folds,
+                      std::uint64_t seed) {
+  ds.validate();
+  LS_CHECK(folds >= 2, "cross validation needs at least 2 folds");
+  LS_CHECK(ds.rows() >= folds, "fewer samples than folds");
+
+  std::vector<index_t> ids(static_cast<std::size_t>(ds.rows()));
+  std::iota(ids.begin(), ids.end(), index_t{0});
+  Rng rng(seed);
+  shuffle(ids.begin(), ids.end(), rng);
+
+  double weighted_accuracy = 0.0;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<index_t> train_ids, test_ids;
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      if (static_cast<int>(k % static_cast<std::size_t>(folds)) == fold) {
+        test_ids.push_back(ids[k]);
+      } else {
+        train_ids.push_back(ids[k]);
+      }
+    }
+    const Dataset train = ds.subset(train_ids, ".cv_train");
+    const Dataset test = ds.subset(test_ids, ".cv_test");
+    const TrainResult result = train_adaptive(train, params);
+    weighted_accuracy += result.model.accuracy(test) *
+                         static_cast<double>(test_ids.size());
+  }
+  return weighted_accuracy / static_cast<double>(ds.rows());
+}
+
+}  // namespace ls

@@ -1,0 +1,432 @@
+// Tests for the extension modules: the learned decision-tree selector,
+// model serialization, the divide-and-conquer distributed SVM, the LRN
+// layer, and the extended-format autotuner path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "data/profiles.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/net.hpp"
+#include "sched/learned.hpp"
+#include "svm/dcsvm.hpp"
+#include "svm/serialize.hpp"
+#include "test_util.hpp"
+
+namespace ls {
+namespace {
+
+// ------------------------------------------------------- decision tree
+
+/// Synthetic corpus with a crisp rule: dense -> DEN, banded -> DIA,
+/// everything else -> CSR. The tree must recover it exactly.
+std::vector<TrainingExample> rule_corpus() {
+  std::vector<TrainingExample> corpus;
+  Rng rng(71);
+  for (int k = 0; k < 12; ++k) {
+    {
+      TrainingExample ex;
+      ex.features = extract_features(
+          make_dense_matrix(20 + 3 * k, 15 + 2 * k, rng));
+      ex.best = Format::kDEN;
+      corpus.push_back(ex);
+    }
+    {
+      TrainingExample ex;
+      ex.features = extract_features(
+          make_banded(100 + 10 * k, 100 + 10 * k, {0, 1, -1}, 1.0, rng));
+      ex.best = Format::kDIA;
+      corpus.push_back(ex);
+    }
+    {
+      std::vector<index_t> lens(static_cast<std::size_t>(100 + 10 * k), 4);
+      TrainingExample ex;
+      ex.features = extract_features(
+          make_random_sparse(100 + 10 * k, 200, lens, rng));
+      ex.best = Format::kCSR;
+      corpus.push_back(ex);
+    }
+  }
+  return corpus;
+}
+
+TEST(DecisionTree, RecoversACrispRule) {
+  const auto corpus = rule_corpus();
+  const DecisionTree tree = DecisionTree::fit(corpus, 6, 2);
+  EXPECT_DOUBLE_EQ(tree.accuracy(corpus), 1.0);
+  EXPECT_GT(tree.node_count(), 1);
+}
+
+TEST(DecisionTree, GeneralisesToUnseenMatricesOfTheSameFamilies) {
+  const DecisionTree tree = DecisionTree::fit(rule_corpus(), 6, 2);
+  Rng rng(72);
+  MatrixFeatures dense = extract_features(make_dense_matrix(37, 29, rng));
+  MatrixFeatures banded = extract_features(
+      make_banded(333, 333, {0, 1, -1}, 1.0, rng));
+  std::vector<index_t> lens(400, 4);
+  MatrixFeatures sparse = extract_features(
+      make_random_sparse(400, 200, lens, rng));
+  EXPECT_EQ(tree.predict(dense), Format::kDEN);
+  EXPECT_EQ(tree.predict(banded), Format::kDIA);
+  EXPECT_EQ(tree.predict(sparse), Format::kCSR);
+}
+
+TEST(DecisionTree, DepthOneIsAStump) {
+  const DecisionTree tree = DecisionTree::fit(rule_corpus(), 1, 2);
+  EXPECT_LE(tree.node_count(), 3);  // root + two leaves
+}
+
+TEST(DecisionTree, PureCorpusYieldsSingleLeaf) {
+  std::vector<TrainingExample> corpus;
+  Rng rng(73);
+  for (int k = 0; k < 5; ++k) {
+    TrainingExample ex;
+    ex.features = extract_features(make_dense_matrix(10 + k, 10, rng));
+    ex.best = Format::kDEN;
+    corpus.push_back(ex);
+  }
+  const DecisionTree tree = DecisionTree::fit(corpus);
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.predict(corpus[0].features), Format::kDEN);
+}
+
+TEST(DecisionTree, ToStringShowsSplitsAndLeaves) {
+  const DecisionTree tree = DecisionTree::fit(rule_corpus(), 4, 2);
+  const std::string dump = tree.to_string();
+  EXPECT_NE(dump.find("if "), std::string::npos);
+  EXPECT_NE(dump.find("-> "), std::string::npos);
+}
+
+TEST(DecisionTree, RejectsBadInputs) {
+  EXPECT_THROW(DecisionTree::fit({}), Error);
+  EXPECT_THROW(DecisionTree::fit(rule_corpus(), 0, 1), Error);
+  DecisionTree unfitted;
+  (void)unfitted;  // predict on default-constructed is guarded by fit()
+}
+
+TEST(LearnedSelector, CorpusTrainingPicksReasonableFormats) {
+  Rng rng(74);
+  AutotuneOptions opts;
+  opts.trials = 2;
+  const auto corpus = make_training_corpus(3, rng, opts);
+  ASSERT_EQ(corpus.size(), 12u);  // 4 families x 3
+  const DecisionTree tree = DecisionTree::fit(corpus, 5, 1);
+  // Training accuracy on a measured corpus should beat random guessing (5
+  // classes -> 0.2) by a wide margin.
+  EXPECT_GT(tree.accuracy(corpus), 0.6);
+
+  const LearnedSelector selector{DecisionTree::fit(corpus, 5, 1)};
+  const ScheduleDecision d = selector.choose(corpus.front().features);
+  EXPECT_NE(d.rationale.find("learned"), std::string::npos);
+}
+
+TEST(LearnedSelector, SchedulerPolicyDispatch) {
+  Rng rng(75);
+  const CooMatrix coo = test::random_matrix(60, 60, 0.2, rng);
+  SchedulerOptions opts;
+  opts.policy = SchedulePolicy::kLearned;
+  const ScheduleDecision d = LayoutScheduler(opts).decide(coo);
+  EXPECT_NE(d.rationale.find("learned"), std::string::npos);
+  EXPECT_EQ(parse_policy("learned"), SchedulePolicy::kLearned);
+}
+
+TEST(TreeInputs, LogScalingAndNames) {
+  MatrixFeatures f;
+  f.m = 100;
+  f.n = 10;
+  f.density = 0.5;
+  const auto inputs = tree_inputs(f);
+  EXPECT_NEAR(inputs[0], std::log1p(100.0), 1e-12);
+  EXPECT_DOUBLE_EQ(inputs[8], 0.5);
+  EXPECT_STREQ(tree_input_name(0), "log M");
+  EXPECT_STREQ(tree_input_name(8), "density");
+  EXPECT_THROW(tree_input_name(9), Error);
+}
+
+// ------------------------------------------------------- serialization
+
+SvmModel trained_tiny_model() {
+  Rng rng(76);
+  Dataset ds;
+  ds.name = "ser";
+  ds.X = test::random_matrix(40, 12, 0.4, rng);
+  ds.y = plant_labels(ds.X, 0.05, 20);
+  SvmParams params;
+  params.kernel.type = KernelType::kGaussian;
+  params.kernel.gamma = 0.37;
+  return train_fixed_format(ds, params, Format::kCSR).model;
+}
+
+TEST(Serialize, ModelRoundTripsExactly) {
+  const SvmModel model = trained_tiny_model();
+  std::stringstream buffer;
+  save_model(buffer, model);
+  const SvmModel back = load_model(buffer);
+
+  EXPECT_EQ(back.kernel.type, model.kernel.type);
+  EXPECT_DOUBLE_EQ(back.kernel.gamma, model.kernel.gamma);
+  EXPECT_DOUBLE_EQ(back.rho, model.rho);
+  EXPECT_EQ(back.num_features, model.num_features);
+  ASSERT_EQ(back.coef.size(), model.coef.size());
+  for (std::size_t k = 0; k < model.coef.size(); ++k) {
+    EXPECT_DOUBLE_EQ(back.coef[k], model.coef[k]);
+    EXPECT_EQ(back.support_vectors[k].nnz(), model.support_vectors[k].nnz());
+  }
+
+  // Identical decisions on fresh probes.
+  Rng rng(77);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t j = 0; j < 12; ++j) {
+      if (rng.bernoulli(0.4)) {
+        idx.push_back(j);
+        val.push_back(rng.uniform(-1.0, 1.0));
+      }
+    }
+    SparseVector probe(idx, val);
+    EXPECT_DOUBLE_EQ(back.decision(probe), model.decision(probe));
+  }
+}
+
+TEST(Serialize, RejectsCorruptedStreams) {
+  {
+    std::stringstream buffer("not a model\n");
+    EXPECT_THROW(load_model(buffer), Error);
+  }
+  {
+    const SvmModel model = trained_tiny_model();
+    std::stringstream buffer;
+    save_model(buffer, model);
+    std::string text = buffer.str();
+    text.resize(text.size() / 2);  // truncate mid-stream
+    std::stringstream cut(text);
+    EXPECT_THROW(load_model(cut), Error);
+  }
+  {
+    std::stringstream buffer("ls_svm_model v1\nkernel warp\n");
+    EXPECT_THROW(load_model(buffer), Error);
+  }
+}
+
+TEST(Serialize, MulticlassRoundTrip) {
+  Rng rng(78);
+  std::vector<Triplet> t;
+  std::vector<real_t> y;
+  const real_t centers[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+  for (index_t i = 0; i < 60; ++i) {
+    const int k = static_cast<int>(i % 3);
+    t.push_back({i, 0, centers[k][0] + rng.normal(0, 0.4)});
+    t.push_back({i, 1, centers[k][1] + rng.normal(0, 0.4)});
+    y.push_back(static_cast<real_t>(k));
+  }
+  Dataset ds{"tri", CooMatrix(60, 2, std::move(t)), std::move(y)};
+  SvmParams params;
+  params.c = 10.0;
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kHeuristic;
+  const MulticlassResult trained = train_one_vs_one(ds, params, sched);
+
+  std::stringstream buffer;
+  save_multiclass(buffer, trained.model);
+  const MulticlassModel back = load_multiclass(buffer);
+  ASSERT_EQ(back.machines.size(), trained.model.machines.size());
+  EXPECT_EQ(back.classes, trained.model.classes);
+  EXPECT_DOUBLE_EQ(back.accuracy(ds), trained.model.accuracy(ds));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const SvmModel model = trained_tiny_model();
+  const std::string path = ::testing::TempDir() + "/ls_model.txt";
+  save_model_file(path, model);
+  const SvmModel back = load_model_file(path);
+  EXPECT_EQ(back.support_vectors.size(), model.support_vectors.size());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_model_file(path), Error);
+}
+
+// ------------------------------------------------------------- DC-SVM
+
+Dataset planted_dataset(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "dc";
+  ds.X = test::random_matrix(rows, cols, 0.3, rng);
+  ds.y = plant_labels(ds.X, 0.05, seed ^ 0xF00);
+  return ds;
+}
+
+class DcSvmStrategies : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(DcSvmStrategies, TrainsAndPredictsAboveChance) {
+  const Dataset ds = planted_dataset(240, 16, 81);
+  const auto [train, test] = ds.split(0.8, 4);
+
+  DcSvmOptions options;
+  options.partitions = 4;
+  options.strategy = GetParam();
+  options.sched.policy = SchedulePolicy::kHeuristic;
+  const DcSvmResult r = train_dc_svm(train, options);
+
+  EXPECT_EQ(r.model.locals.size(), 4u);
+  EXPECT_EQ(r.model.centroids.size(), 4u);
+  EXPECT_EQ(r.partition_formats.size(), 4u);
+  index_t total = 0;
+  for (index_t s : r.partition_sizes) total += s;
+  EXPECT_EQ(total, train.rows());
+  // Critical path (P nodes) never exceeds the serial sum (1 node).
+  EXPECT_LE(r.critical_seconds, r.total_seconds + 1e-12);
+  EXPECT_GT(r.model.accuracy(test), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Both, DcSvmStrategies,
+    ::testing::Values(PartitionStrategy::kRandom, PartitionStrategy::kCluster),
+    [](const auto& info) {
+      return info.param == PartitionStrategy::kRandom ? "random" : "cluster";
+    });
+
+TEST(DcSvm, SinglePartitionMatchesPlainTraining) {
+  const Dataset ds = planted_dataset(120, 10, 82);
+  DcSvmOptions options;
+  options.partitions = 1;
+  options.strategy = PartitionStrategy::kRandom;
+  options.sched.policy = SchedulePolicy::kHeuristic;
+  const DcSvmResult r = train_dc_svm(ds, options);
+
+  const TrainResult plain = train_adaptive(ds, options.params, options.sched);
+  // One partition containing everything: same problem, same accuracy.
+  EXPECT_NEAR(r.model.accuracy(ds), plain.model.accuracy(ds), 0.02);
+}
+
+TEST(DcSvm, RoutingPicksNearestCentroid) {
+  DcSvmModel model;
+  model.centroids = {{0.0, 0.0}, {10.0, 10.0}};
+  model.locals.resize(2);
+  SparseVector near_first({0}, {1.0});
+  SparseVector near_second({0, 1}, {9.0, 9.0});
+  EXPECT_EQ(model.route(near_first), 0);
+  EXPECT_EQ(model.route(near_second), 1);
+}
+
+TEST(DcSvm, RejectsDegenerateConfigs) {
+  const Dataset ds = planted_dataset(10, 4, 83);
+  DcSvmOptions options;
+  options.partitions = 0;
+  EXPECT_THROW(train_dc_svm(ds, options), Error);
+  options.partitions = 11;  // more partitions than samples
+  EXPECT_THROW(train_dc_svm(ds, options), Error);
+}
+
+// ----------------------------------------------------------------- LRN
+
+TEST(Lrn, ForwardMatchesHandComputation) {
+  // Single pixel, 3 channels, window 3, alpha 3 (norm = 1), beta 1, k 1:
+  // s_1 = 1 + (a0^2 + a1^2 + a2^2); b_1 = a_1 / s_1.
+  Lrn lrn(3, 3.0, 1.0, 1.0);
+  Tensor in(1, 3, 1, 1);
+  in[0] = 1.0;
+  in[1] = 2.0;
+  in[2] = 3.0;
+  Tensor out = lrn.make_output(in);
+  lrn.forward(in, out);
+  EXPECT_NEAR(out[1], 2.0 / (1.0 + 14.0), 1e-12);
+  // Edge channel 0 sees only channels {0, 1}.
+  EXPECT_NEAR(out[0], 1.0 / (1.0 + 5.0), 1e-12);
+}
+
+TEST(Lrn, GradientCheck) {
+  Lrn lrn(3, 0.5, 0.75, 2.0);
+  Rng rng(84);
+  Tensor in(2, 4, 3, 3);
+  for (index_t i = 0; i < in.size(); ++i) in[i] = rng.uniform(-1.0, 1.0);
+  Tensor out = lrn.make_output(in);
+  std::vector<real_t> c(static_cast<std::size_t>(out.size()));
+  for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+
+  auto loss_of = [&](const Tensor& input) {
+    Tensor o = lrn.make_output(input);
+    lrn.forward(input, o);
+    double loss = 0.0;
+    for (index_t i = 0; i < o.size(); ++i) {
+      loss += 0.5 * c[static_cast<std::size_t>(i)] * o[i] * o[i];
+    }
+    return loss;
+  };
+
+  lrn.forward(in, out);
+  Tensor grad_out = lrn.make_output(in);
+  for (index_t i = 0; i < out.size(); ++i) {
+    grad_out[i] = c[static_cast<std::size_t>(i)] * out[i];
+  }
+  Tensor grad_in(in.n(), in.c(), in.h(), in.w());
+  lrn.backward(in, grad_out, grad_in);
+
+  const double eps = 1e-6;
+  for (index_t i = 0; i < in.size(); i += 7) {
+    const real_t saved = in[i];
+    in[i] = saved + eps;
+    const double up = loss_of(in);
+    in[i] = saved - eps;
+    const double down = loss_of(in);
+    in[i] = saved;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, 1e-5 * (1.0 + std::abs(numeric)))
+        << "at " << i;
+  }
+}
+
+TEST(Lrn, Cifar10FullNowIncludesNormLayers) {
+  Rng rng(85);
+  Net net = make_cifar10_full(10, 3, 32, rng);
+  EXPECT_EQ(net.num_layers(), 12);  // 3 conv + 3 pool + 3 relu + 2 lrn + fc
+  // Still trains a forward/backward pass without shape errors.
+  Tensor in(2, 3, 32, 32);
+  net.forward(in);
+  net.loss({1, 2});
+  net.zero_grad();
+  net.backward(in, {1, 2});
+}
+
+// ----------------------------------------------- extended-format tuning
+
+TEST(ExtendedFormats, AutotunerCanPickCscOrBcsr) {
+  AutotuneOptions opts;
+  opts.include_extended = true;
+  opts.sample_rows = 0;
+  // Block-structured matrix: dense 4x4 tiles along the diagonal; BCSR's
+  // fill ratio is ~1 while CSR pays an index per nonzero.
+  std::vector<Triplet> t;
+  for (index_t b = 0; b < 128; ++b) {
+    for (index_t r = 0; r < 4; ++r) {
+      for (index_t c = 0; c < 4; ++c) {
+        t.push_back({b * 4 + r, b * 4 + c, 1.0});
+      }
+    }
+  }
+  const CooMatrix coo(512, 512, std::move(t));
+  const ScheduleDecision d = EmpiricalAutotuner(opts).choose(coo);
+  // All seven formats must have been scored (finite or skipped-by-storage).
+  EXPECT_TRUE(std::isfinite(d.score_of(Format::kBCSR)));
+  EXPECT_TRUE(std::isfinite(d.score_of(Format::kCSC)));
+  // The pick must be the measured argmin over the extended set.
+  for (Format f : kExtendedFormats) {
+    if (std::isfinite(d.score_of(f))) {
+      EXPECT_LE(d.score_of(d.format), d.score_of(f)) << format_name(f);
+    }
+  }
+}
+
+TEST(ExtendedFormats, BasicPolicyIgnoresDerivedFormats) {
+  Rng rng(86);
+  const CooMatrix coo = test::random_matrix(64, 64, 0.2, rng);
+  AutotuneOptions opts;
+  opts.sample_rows = 0;  // include_extended defaults to false
+  const ScheduleDecision d = EmpiricalAutotuner(opts).choose(coo);
+  EXPECT_FALSE(std::isfinite(d.score_of(Format::kCSC)));
+  EXPECT_FALSE(std::isfinite(d.score_of(Format::kBCSR)));
+}
+
+}  // namespace
+}  // namespace ls

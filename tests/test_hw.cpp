@@ -1,0 +1,302 @@
+// Tests for the convergence model, the hardware model and the B/eta/mu
+// autotuner — these jointly must reproduce Table VII and Figs. 5/6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dnn/convergence.hpp"
+#include "hw/autotune.hpp"
+#include "hw/device.hpp"
+#include "hw/multigpu.hpp"
+
+namespace ls {
+namespace {
+
+// ----------------------------------------------------- convergence model
+
+TEST(Convergence, PaperAnchorPointsReproduce) {
+  // Table VII row anchors (epochs computed from iterations x B / 50,000).
+  const auto base = epochs_to_target({100, 0.001, 0.90});
+  ASSERT_TRUE(base.has_value());
+  EXPECT_NEAR(*base, 120.0, 0.5);
+
+  const auto tuned_b = epochs_to_target({512, 0.001, 0.90});
+  ASSERT_TRUE(tuned_b.has_value());
+  EXPECT_NEAR(*tuned_b, 307.2, 2.0);
+
+  const auto tuned_eta = epochs_to_target({512, 0.003, 0.90});
+  ASSERT_TRUE(tuned_eta.has_value());
+  EXPECT_NEAR(*tuned_eta, 123.0, 2.0);
+
+  const auto tuned_mu = epochs_to_target({512, 0.003, 0.95});
+  ASSERT_TRUE(tuned_mu.has_value());
+  EXPECT_NEAR(*tuned_mu, 71.7, 2.0);
+}
+
+TEST(Convergence, IterationsDeriveFromEpochs) {
+  const auto iters = iterations_to_target({512, 0.003, 0.95});
+  ASSERT_TRUE(iters.has_value());
+  EXPECT_NEAR(static_cast<double>(*iters), 7000.0, 100.0);  // Table VII
+}
+
+TEST(Convergence, LargerEtaConvergesFasterUntilUnstable) {
+  double prev = 1e300;
+  for (double eta : {0.001, 0.002, 0.003}) {
+    const auto e = epochs_to_target({512, eta, 0.90});
+    ASSERT_TRUE(e.has_value()) << eta;
+    EXPECT_LT(*e, prev);
+    prev = *e;
+  }
+  // 0.004 overshoots at B = 512 (the paper's sweep stopped at 0.003).
+  EXPECT_FALSE(converges({512, 0.004, 0.90}));
+}
+
+TEST(Convergence, MomentumHelpsUntilOscillation) {
+  const auto mu90 = epochs_to_target({512, 0.003, 0.90});
+  const auto mu95 = epochs_to_target({512, 0.003, 0.95});
+  ASSERT_TRUE(mu90 && mu95);
+  EXPECT_LT(*mu95, *mu90);
+  // 0.96 pushes the effective learning rate past the stability bound.
+  EXPECT_FALSE(converges({512, 0.003, 0.96}));
+}
+
+TEST(Convergence, LargeBatchNeedsMoreEpochs) {
+  double prev = 0.0;
+  for (index_t b : {100, 512, 1024, 4096}) {
+    const auto e = epochs_to_target({b, 0.001, 0.90});
+    ASSERT_TRUE(e.has_value()) << b;
+    EXPECT_GT(*e, prev) << b;
+    prev = *e;
+  }
+}
+
+TEST(Convergence, TuningSpacesMatchThePaper) {
+  const auto bs = batch_tuning_space();
+  EXPECT_EQ(bs.size(), 9u);
+  EXPECT_EQ(bs.front(), 64);
+  EXPECT_EQ(bs.back(), 8192);
+  const auto lrs = lr_tuning_space();
+  EXPECT_EQ(lrs.size(), 16u);
+  EXPECT_NEAR(lrs.front(), 0.001, 1e-12);
+  EXPECT_NEAR(lrs.back(), 0.016, 1e-12);
+  const auto mus = momentum_tuning_space();
+  EXPECT_EQ(mus.size(), 10u);
+  EXPECT_NEAR(mus.front(), 0.90, 1e-12);
+  EXPECT_NEAR(mus.back(), 0.99, 1e-12);
+}
+
+TEST(Convergence, RejectsNonsenseConfigs) {
+  EXPECT_THROW(converges({0, 0.001, 0.9}), Error);
+  EXPECT_THROW(converges({100, -0.1, 0.9}), Error);
+  EXPECT_THROW(converges({100, 0.001, 1.0}), Error);
+}
+
+// ---------------------------------------------------------- device model
+
+TEST(Device, DatabaseHasAllFivePlatforms) {
+  EXPECT_EQ(device_db().size(), 5u);
+  EXPECT_EQ(device_by_id("cpu8").price_usd, 1571.0);
+  EXPECT_EQ(device_by_id("dgx").gpus, 4);
+  EXPECT_THROW(device_by_id("tpu"), Error);
+}
+
+TEST(Device, Batch100TimesMatchTableVII) {
+  // 60,000 iterations at B = 100 must land on the Table VII totals.
+  struct Row {
+    const char* id;
+    double total_seconds;
+  };
+  const Row rows[] = {{"cpu8", 29427}, {"knl", 4922},  {"haswell", 1997},
+                      {"p100", 503},   {"dgx", 387}};
+  for (const Row& r : rows) {
+    const DeviceSpec& d = device_by_id(r.id);
+    EXPECT_NEAR(d.training_seconds(60000, 100), r.total_seconds,
+                r.total_seconds * 1e-9)
+        << r.id;
+  }
+}
+
+TEST(Device, DgxSaturationReproducesTunedBatchRow) {
+  // The DGX h parameter was calibrated so 30,000 iterations at B = 512
+  // take ~361 s (Table VII "Tune B" row).
+  const DeviceSpec& dgx = device_by_id("dgx");
+  EXPECT_NEAR(dgx.training_seconds(30000, 512), 361.0, 4.0);
+}
+
+TEST(Device, ThroughputImprovesWithBatchSize) {
+  // seconds/iteration grows sublinearly in B => samples/second grows.
+  const DeviceSpec& dgx = device_by_id("dgx");
+  double prev_rate = 0.0;
+  for (index_t b : {64, 128, 512, 2048}) {
+    const double rate =
+        static_cast<double>(b) / dgx.seconds_per_iteration(b);
+    EXPECT_GT(rate, prev_rate);
+    prev_rate = rate;
+  }
+}
+
+TEST(Device, SpeedupAndPriceMetrics) {
+  EXPECT_DOUBLE_EQ(speedup_vs_baseline(100.0, 1000.0), 10.0);
+  EXPECT_DOUBLE_EQ(price_per_speedup(5000.0, 10.0), 500.0);
+  EXPECT_THROW(price_per_speedup(100.0, 0.0), Error);
+}
+
+TEST(Device, TableVIISpeedupColumn) {
+  const double base = device_by_id("cpu8").training_seconds(60000, 100);
+  struct Row {
+    const char* id;
+    double speedup;
+    double tol;
+  };
+  // Paper rounds to integers; allow 1 unit of rounding slack.
+  const Row rows[] = {
+      {"knl", 6, 0.3}, {"haswell", 15, 0.5}, {"p100", 59, 1.0},
+      {"dgx", 76, 1.0}};
+  for (const Row& r : rows) {
+    const double t = device_by_id(r.id).training_seconds(60000, 100);
+    EXPECT_NEAR(speedup_vs_baseline(t, base), r.speedup, r.tol) << r.id;
+  }
+}
+
+TEST(Device, P100IsMostCostEfficientCpu8Least) {
+  // Fig. 6's headline: P100 lowest price-per-speedup, 8-core CPU highest.
+  const double base = device_by_id("cpu8").training_seconds(60000, 100);
+  double best = 1e300, worst = 0.0;
+  std::string best_id, worst_id;
+  for (const DeviceSpec& d : device_db()) {
+    const double pps = price_per_speedup(
+        d.price_usd,
+        speedup_vs_baseline(d.training_seconds(60000, 100), base));
+    if (pps < best) {
+      best = pps;
+      best_id = d.id;
+    }
+    if (pps > worst) {
+      worst = pps;
+      worst_id = d.id;
+    }
+  }
+  EXPECT_EQ(best_id, "p100");
+  EXPECT_EQ(worst_id, "cpu8");
+}
+
+// -------------------------------------------------------------- autotune
+
+TEST(Autotune, SequentialTuningReproducesTableVIIRows) {
+  const DeviceSpec& dgx = device_by_id("dgx");
+  const auto stages = tune_sequential(dgx, {100, 0.001, 0.90});
+  ASSERT_EQ(stages.size(), 3u);
+
+  // Stage 1 (Tune B): B = 512, ~30,000 iterations, ~361 s.
+  EXPECT_EQ(stages[0].config.batch, 512);
+  EXPECT_NEAR(static_cast<double>(stages[0].iterations), 30000.0, 200.0);
+  EXPECT_NEAR(stages[0].seconds, 361.0, 10.0);
+
+  // Stage 2 (Tune eta): eta = 0.003, ~12,000 iterations.
+  EXPECT_NEAR(stages[1].config.eta, 0.003, 1e-12);
+  EXPECT_NEAR(static_cast<double>(stages[1].iterations), 12000.0, 150.0);
+
+  // Stage 3 (Tune mu): mu = 0.95, ~7,000 iterations, ~83 s.
+  EXPECT_NEAR(stages[2].config.mu, 0.95, 1e-12);
+  EXPECT_NEAR(static_cast<double>(stages[2].iterations), 7000.0, 100.0);
+  EXPECT_NEAR(stages[2].seconds, 83.0, 6.0);
+}
+
+TEST(Autotune, JointSearchAgreesWithSequential) {
+  const DeviceSpec& dgx = device_by_id("dgx");
+  const TunedConfig joint = tune_joint(dgx);
+  EXPECT_EQ(joint.config.batch, 512);
+  EXPECT_NEAR(joint.config.eta, 0.003, 1e-12);
+  EXPECT_NEAR(joint.config.mu, 0.95, 1e-12);
+}
+
+TEST(Autotune, EveryDeviceProducesAValidTuning) {
+  // The tuning spaces and convergence model are device-independent; only
+  // the time weighting differs. Every platform must yield a convergent,
+  // strictly-improving three-stage tuning.
+  for (const DeviceSpec& device : device_db()) {
+    const auto stages = tune_sequential(device, {100, 0.001, 0.90});
+    ASSERT_EQ(stages.size(), 3u) << device.id;
+    const auto start = evaluate_config(device, {100, 0.001, 0.90});
+    ASSERT_TRUE(start.has_value());
+    // Each stage never regresses on the previous one.
+    EXPECT_LE(stages[0].seconds, start->seconds + 1e-9) << device.id;
+    EXPECT_LE(stages[1].seconds, stages[0].seconds + 1e-9) << device.id;
+    EXPECT_LE(stages[2].seconds, stages[1].seconds + 1e-9) << device.id;
+    EXPECT_TRUE(converges(stages[2].config)) << device.id;
+  }
+}
+
+TEST(Autotune, CpuTuningPrefersSmallerBatchesThanDgx) {
+  // CPUs saturate almost immediately (small h), so large batches buy no
+  // throughput while still costing extra epochs — the tuned batch on the
+  // 8-core CPU must not exceed the DGX's.
+  const TunedConfig cpu = tune_batch(device_by_id("cpu8"), 0.001, 0.90);
+  const TunedConfig dgx = tune_batch(device_by_id("dgx"), 0.001, 0.90);
+  EXPECT_LE(cpu.config.batch, dgx.config.batch);
+}
+
+TEST(Autotune, DivergentConfigsAreSkipped) {
+  const DeviceSpec& dgx = device_by_id("dgx");
+  EXPECT_FALSE(evaluate_config(dgx, {512, 0.016, 0.90}).has_value());
+  const auto ok = evaluate_config(dgx, {512, 0.003, 0.90});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_GT(ok->seconds, 0.0);
+}
+
+// ------------------------------------------------------ multi-GPU model
+
+TEST(MultiGpu, AnchorsReproduceTableVIIRows) {
+  const MultiGpuModel m = paper_dgx_model();
+  // P100 row: 8.3833 ms/iter at P = 1, B = 100.
+  EXPECT_NEAR(m.seconds_per_iteration(1, 100), 503.0 / 60000.0, 1e-6);
+  // DGX rows: 6.45 ms (B = 100) and 12.033 ms (B = 512) at P = 4.
+  EXPECT_NEAR(m.seconds_per_iteration(4, 100), 387.0 / 60000.0, 1e-6);
+  EXPECT_NEAR(m.seconds_per_iteration(4, 512), 361.0 / 30000.0, 1e-6);
+}
+
+TEST(MultiGpu, NaivePortGivesOnlyAboutOnePointThreeX) {
+  // Section IV-B: "the straightforward porting from one P100 GPU to one
+  // DGX station only brings 1.3x speedup".
+  const MultiGpuModel m = paper_dgx_model();
+  EXPECT_NEAR(m.scaling(4, 100), 1.3, 0.05);
+}
+
+TEST(MultiGpu, ScalingApproachesGpuCountAtLargeBatch) {
+  const MultiGpuModel m = paper_dgx_model();
+  double prev = 0.0;
+  for (index_t b : {100, 512, 2048, 8192}) {
+    const double s = m.scaling(4, b);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_GT(m.scaling(4, 8192), 3.5);
+  EXPECT_LT(m.scaling(4, 8192), 4.0);
+}
+
+TEST(MultiGpu, SingleGpuHasNoAllreduceCost) {
+  const MultiGpuModel m = paper_dgx_model();
+  // t(1, B) must be pure compute: linear in B with slope c.
+  const double t1 = m.seconds_per_iteration(1, 100);
+  const double t2 = m.seconds_per_iteration(1, 200);
+  EXPECT_NEAR(t2 - t1, m.c * 100.0, 1e-9);
+}
+
+TEST(MultiGpu, RejectsBadArguments) {
+  const MultiGpuModel m = paper_dgx_model();
+  EXPECT_THROW(m.seconds_per_iteration(0, 100), Error);
+  EXPECT_THROW(m.seconds_per_iteration(4, 0), Error);
+}
+
+TEST(Autotune, FullPipelineSpeedupIsAbout355x) {
+  // The headline: 8.2 hours on the 8-core CPU down to ~83 s on the DGX.
+  const double base = device_by_id("cpu8").training_seconds(60000, 100);
+  EXPECT_NEAR(base / 3600.0, 8.17, 0.05);  // "8.2 hours"
+  const auto stages = tune_sequential(device_by_id("dgx"), {100, 0.001, 0.90});
+  const double speedup = speedup_vs_baseline(stages[2].seconds, base);
+  EXPECT_NEAR(speedup, 355.0, 25.0);
+}
+
+}  // namespace
+}  // namespace ls

@@ -1,0 +1,191 @@
+// Tests for the net-spec parser, the confusion-matrix metrics and the SMO
+// convergence trace hook.
+#include <gtest/gtest.h>
+
+#include "data/profiles.hpp"
+#include "dnn/metrics.hpp"
+#include "dnn/net_spec.hpp"
+#include "dnn/trainer.hpp"
+#include "svm/trainer.hpp"
+#include "test_util.hpp"
+
+namespace ls {
+namespace {
+
+// --------------------------------------------------------- net specs
+
+TEST(NetSpec, BuildsCifar10FullIdenticalToFactory) {
+  Rng rng_a(0xA1), rng_b(0xA1);
+  Net factory = make_cifar10_full(10, 3, 32, rng_a);
+  Net parsed = build_net_from_spec(cifar10_full_spec(10), 3, 32, rng_b);
+
+  EXPECT_EQ(parsed.num_layers(), factory.num_layers());
+  EXPECT_DOUBLE_EQ(parsed.flops_per_sample(), factory.flops_per_sample());
+  EXPECT_EQ(parsed.num_parameters(), factory.num_parameters());
+
+  // Same RNG consumption order -> identical outputs on identical input.
+  Rng data_rng(0xA2);
+  Tensor in(1, 3, 32, 32);
+  for (index_t i = 0; i < in.size(); ++i) in[i] = data_rng.uniform(-1, 1);
+  const Tensor& out_a = factory.forward(in);
+  const Tensor& out_b = parsed.forward(in);
+  for (index_t i = 0; i < out_a.size(); ++i) {
+    ASSERT_NEAR(out_a[i], out_b[i], 1e-12);
+  }
+}
+
+TEST(NetSpec, InfersShapesThroughTheStack) {
+  Rng rng(0xA3);
+  Net net = build_net_from_spec(
+      "conv:4,3,1\nmaxpool:2,2\nrelu\nlinear:5\n", 1, 8, rng);
+  Tensor in(2, 1, 8, 8);
+  const Tensor& logits = net.forward(in);
+  EXPECT_EQ(logits.sample_size(), 5);
+}
+
+TEST(NetSpec, SupportsGemmConvAndComments) {
+  Rng rng(0xA4);
+  Net net = build_net_from_spec(
+      "# a comment line\n"
+      "conv_gemm:4,3,1   # trailing comment\n"
+      "\n"
+      "relu\nlinear:3\n",
+      2, 6, rng);
+  EXPECT_EQ(net.num_layers(), 3);
+  Tensor in(1, 2, 6, 6);
+  net.forward(in);
+}
+
+TEST(NetSpec, LrnDefaultsAndExplicitArgs) {
+  Rng rng(0xA5);
+  Net a = build_net_from_spec("lrn\nlinear:2\n", 4, 4, rng);
+  Net b = build_net_from_spec("lrn:3,5e-5,0.75,1\nlinear:2\n", 4, 4, rng);
+  Tensor in(1, 4, 4, 4);
+  in.fill(0.5);
+  const Tensor& oa = a.forward(in);
+  const Tensor& ob = b.forward(in);
+  // Identical LRN parameters, but independent Linear inits — compare the
+  // layer count and shape only.
+  EXPECT_EQ(oa.size(), ob.size());
+}
+
+TEST(NetSpec, RejectsMalformedSpecs) {
+  Rng rng(0xA6);
+  EXPECT_THROW(build_net_from_spec("", 1, 8, rng), Error);
+  EXPECT_THROW(build_net_from_spec("warp:1\n", 1, 8, rng), Error);
+  EXPECT_THROW(build_net_from_spec("conv:abc,3\n", 1, 8, rng), Error);
+  EXPECT_THROW(build_net_from_spec("conv:4\n", 1, 8, rng), Error);  // no k
+  EXPECT_THROW(build_net_from_spec("linear:0\n", 1, 8, rng), Error);
+  // Shape misfit: pooling an 8x8 input down twice then pooling by 8 fails.
+  EXPECT_THROW(build_net_from_spec(
+                   "maxpool:2,2\nmaxpool:2,2\nmaxpool:8,8\nlinear:2\n", 1, 8,
+                   rng),
+               Error);
+}
+
+// ----------------------------------------------------------- metrics
+
+TEST(Metrics, ConfusionMatrixHandValues) {
+  ConfusionMatrix cm;
+  cm.classes = 2;
+  cm.counts = {8, 2,   // true 0: 8 right, 2 wrong
+               1, 9};  // true 1: 1 wrong, 9 right
+  EXPECT_EQ(cm.total(), 20);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 17.0 / 20.0);
+  const auto recall = cm.recall();
+  EXPECT_DOUBLE_EQ(recall[0], 0.8);
+  EXPECT_DOUBLE_EQ(recall[1], 0.9);
+  const auto precision = cm.precision();
+  EXPECT_DOUBLE_EQ(precision[0], 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(precision[1], 9.0 / 11.0);
+  EXPECT_NE(cm.to_string().find("true\\pred"), std::string::npos);
+}
+
+TEST(Metrics, EvaluateConfusionAgreesWithAccuracy) {
+  CifarConfig cfg;
+  cfg.classes = 3;
+  cfg.dim = 8;
+  cfg.train_size = 96;
+  cfg.test_size = 48;
+  cfg.noise = 0.4;
+  const CifarData data = make_synthetic_cifar(cfg);
+  Rng rng(0xA7);
+  Net net = make_cifar10_small(3, 3, 8, rng);
+  DnnTrainConfig tc;
+  tc.batch_size = 16;
+  tc.learning_rate = 0.05;
+  tc.max_epochs = 3;
+  train_dnn(net, data, tc);
+
+  const ConfusionMatrix cm = evaluate_confusion(net, data.test);
+  EXPECT_EQ(cm.total(), data.test.size());
+  EXPECT_NEAR(cm.accuracy(), evaluate(net, data.test), 1e-12);
+}
+
+// ---------------------------------------------------------- SMO trace
+
+TEST(SmoTrace, GapShrinksAndObjectiveGrows) {
+  Rng rng(0xA8);
+  Dataset ds;
+  ds.name = "trace";
+  ds.X = test::random_matrix(60, 8, 0.5, rng);
+  ds.y = plant_labels(ds.X, 0.05, 50);
+
+  std::vector<IterationTrace> traces;
+  SvmParams params;
+  params.on_trace = [&](const IterationTrace& t) { traces.push_back(t); };
+  const TrainResult r = train_fixed_format(ds, params, Format::kCSR);
+  ASSERT_TRUE(r.stats.converged);
+  ASSERT_GE(traces.size(), 3u);
+
+  // Dual objective is non-decreasing (each analytic step improves it).
+  for (std::size_t k = 1; k < traces.size(); ++k) {
+    EXPECT_GE(traces[k].objective, traces[k - 1].objective - 1e-9);
+  }
+  // The optimality gap ends below the start and under 2 * tolerance + eps.
+  EXPECT_LT(traces.back().gap(), traces.front().gap());
+  // Iterations are labelled 1..N.
+  EXPECT_EQ(traces.front().iteration, 1);
+  EXPECT_EQ(traces.back().iteration,
+            static_cast<index_t>(traces.size()));
+}
+
+TEST(SmoTrace, IntervalThinsTheTrace) {
+  Rng rng(0xA9);
+  Dataset ds;
+  ds.name = "thin";
+  ds.X = test::random_matrix(50, 6, 0.5, rng);
+  ds.y = plant_labels(ds.X, 0.05, 51);
+  index_t calls = 0;
+  SvmParams params;
+  params.on_trace = [&](const IterationTrace&) { ++calls; };
+  params.trace_interval = 10;
+  const TrainResult r = train_fixed_format(ds, params, Format::kCSR);
+  EXPECT_LE(calls, r.stats.iterations / 10 + 1);
+}
+
+TEST(GemmNetFactory, TrainsLikeTheNaiveVariant) {
+  CifarConfig cfg;
+  cfg.classes = 2;
+  cfg.dim = 8;
+  cfg.train_size = 64;
+  cfg.test_size = 32;
+  cfg.noise = 0.3;
+  const CifarData data = make_synthetic_cifar(cfg);
+  DnnTrainConfig tc;
+  tc.batch_size = 16;
+  tc.learning_rate = 0.05;
+  tc.max_epochs = 3;
+
+  Rng rng_a(0xAA), rng_b(0xAA);
+  Net naive = make_cifar10_small(2, 3, 8, rng_a, /*gemm_conv=*/false);
+  Net gemm = make_cifar10_small(2, 3, 8, rng_b, /*gemm_conv=*/true);
+  const DnnTrainResult ra = train_dnn(naive, data, tc);
+  const DnnTrainResult rb = train_dnn(gemm, data, tc);
+  // Identical math, identical shuffling: identical trajectories.
+  EXPECT_NEAR(ra.final_train_loss, rb.final_train_loss, 1e-6);
+  EXPECT_DOUBLE_EQ(ra.test_accuracy, rb.test_accuracy);
+}
+
+}  // namespace
+}  // namespace ls

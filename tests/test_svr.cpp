@@ -1,0 +1,190 @@
+// Tests for epsilon support-vector regression: the duplicated kernel
+// source, exact fits on noiseless data, the epsilon-insensitive tube,
+// nonlinear regression with the Gaussian kernel, and format invariance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "svm/kernel_engine.hpp"
+#include "svm/svr.hpp"
+#include "test_util.hpp"
+
+namespace ls {
+namespace {
+
+Dataset regression_dataset(index_t rows, index_t cols,
+                           const std::vector<real_t>& w_true, real_t noise,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "svr";
+  ds.X = test::random_matrix(rows, cols, 0.6, rng);
+  ds.y.resize(static_cast<std::size_t>(rows));
+  SparseVector row;
+  for (index_t i = 0; i < rows; ++i) {
+    ds.X.gather_row(i, row);
+    real_t target = 0.0;
+    const auto idx = row.indices();
+    const auto val = row.values();
+    for (index_t k = 0; k < row.nnz(); ++k) {
+      target += val[static_cast<std::size_t>(k)] *
+                w_true[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])];
+    }
+    ds.y[static_cast<std::size_t>(i)] = target + rng.normal(0.0, noise);
+  }
+  return ds;
+}
+
+TEST(DuplicatedKernel, TilesBaseRowsTwice) {
+  Rng rng(90);
+  const CooMatrix coo = test::random_matrix(6, 4, 0.5, rng);
+  KernelParams params;
+  const AnyMatrix mat = AnyMatrix::from_coo(coo, Format::kCSR);
+  FormatKernelEngine base(mat, params);
+  DuplicatedKernelSource dup(base);
+
+  EXPECT_EQ(dup.num_rows(), 12);
+  std::vector<real_t> big(12), small(6);
+  dup.compute_row(8, big);       // maps to base row 2
+  base.compute_row(2, small);
+  for (index_t j = 0; j < 6; ++j) {
+    EXPECT_DOUBLE_EQ(big[static_cast<std::size_t>(j)],
+                     small[static_cast<std::size_t>(j)]);
+    EXPECT_DOUBLE_EQ(big[static_cast<std::size_t>(j + 6)],
+                     small[static_cast<std::size_t>(j)]);
+  }
+  EXPECT_DOUBLE_EQ(dup.diagonal(8), base.diagonal(2));
+}
+
+TEST(Svr, FitsALinearFunctionWithinTheTube) {
+  const std::vector<real_t> w_true = {1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0,
+                                      -0.5};
+  const Dataset ds = regression_dataset(80, 8, w_true, 0.0, 91);
+  SvrParams params;
+  params.epsilon = 0.05;
+  params.svm.c = 100.0;
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kHeuristic;
+  const SvrResult r = train_svr(ds, params, sched);
+
+  ASSERT_TRUE(r.stats.converged);
+  // Every residual within (slightly more than) the epsilon tube.
+  SparseVector row;
+  for (index_t i = 0; i < ds.rows(); ++i) {
+    ds.X.gather_row(i, row);
+    EXPECT_NEAR(r.model.predict(row), ds.y[static_cast<std::size_t>(i)],
+                params.epsilon + 0.02)
+        << "sample " << i;
+  }
+  EXPECT_LT(r.model.mse(ds), 0.01);
+}
+
+TEST(Svr, PredictsConstantTargetsWithNoSupportVectors) {
+  // All targets equal c: the zero function plus bias fits inside any tube,
+  // so alpha = alpha* = 0 and rho = -c.
+  Dataset ds;
+  ds.name = "const";
+  std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 2.0}, {2, 0, 3.0}};
+  ds.X = CooMatrix(3, 1, std::move(t));
+  ds.y = {5.0, 5.0, 5.0};
+  SvrParams params;
+  params.epsilon = 0.1;
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kFixed;
+  const SvrResult r = train_svr(ds, params, sched);
+  SparseVector probe({0}, {1.5});
+  EXPECT_NEAR(r.model.predict(probe), 5.0, 0.15);
+}
+
+TEST(Svr, GaussianKernelFitsANonlinearFunction) {
+  // Targets z = sin(2 * x) on scalar inputs.
+  Dataset ds;
+  ds.name = "sin";
+  std::vector<Triplet> t;
+  std::vector<real_t> y;
+  const index_t n = 60;
+  for (index_t i = 0; i < n; ++i) {
+    const real_t x = static_cast<real_t>(i) / n * 3.0;
+    if (x != 0.0) t.push_back({i, 0, x});
+    y.push_back(std::sin(2.0 * x));
+  }
+  ds.X = CooMatrix(n, 1, std::move(t));
+  ds.y = std::move(y);
+
+  SvrParams params;
+  params.epsilon = 0.02;
+  params.svm.c = 50.0;
+  params.svm.kernel.type = KernelType::kGaussian;
+  params.svm.kernel.gamma = 4.0;
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kHeuristic;
+  const SvrResult r = train_svr(ds, params, sched);
+  ASSERT_TRUE(r.stats.converged);
+  EXPECT_LT(r.model.mae(ds), 0.05);
+}
+
+TEST(Svr, WiderTubeGivesFewerSupportVectors) {
+  const std::vector<real_t> w_true = {2.0, -1.0, 0.5, 1.5};
+  const Dataset ds = regression_dataset(60, 4, w_true, 0.05, 92);
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kHeuristic;
+
+  SvrParams narrow;
+  narrow.epsilon = 0.01;
+  narrow.svm.c = 10.0;
+  SvrParams wide;
+  wide.epsilon = 0.5;
+  wide.svm.c = 10.0;
+  const SvrResult rn = train_svr(ds, narrow, sched);
+  const SvrResult rw = train_svr(ds, wide, sched);
+  EXPECT_GT(rn.model.support_vectors.size(),
+            rw.model.support_vectors.size());
+}
+
+TEST(Svr, AllFormatsProduceTheSameRegressor) {
+  const std::vector<real_t> w_true = {1.0, -1.0, 2.0};
+  const Dataset ds = regression_dataset(40, 3, w_true, 0.02, 93);
+  SvrParams params;
+  params.epsilon = 0.05;
+  params.svm.c = 20.0;
+
+  SparseVector probe({0, 2}, {0.5, -0.3});
+  double reference = 0.0;
+  bool first = true;
+  for (Format f : kAllFormats) {
+    SchedulerOptions sched;
+    sched.policy = SchedulePolicy::kFixed;
+    sched.fixed_format = f;
+    const SvrResult r = train_svr(ds, params, sched);
+    ASSERT_TRUE(r.stats.converged) << format_name(f);
+    const double pred = r.model.predict(probe);
+    if (first) {
+      reference = pred;
+      first = false;
+    } else {
+      EXPECT_NEAR(pred, reference, 1e-3) << format_name(f);
+    }
+  }
+}
+
+TEST(Svr, LayoutSchedulingReportsADecision) {
+  const std::vector<real_t> w_true = {1.0, 1.0, 1.0, 1.0};
+  const Dataset ds = regression_dataset(50, 4, w_true, 0.01, 94);
+  SvrParams params;
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kEmpirical;
+  sched.autotune.sample_rows = 0;
+  const SvrResult r = train_svr(ds, params, sched);
+  EXPECT_NE(r.decision.rationale.find("empirical"), std::string::npos);
+  EXPECT_GT(r.stats.kernel_rows_computed, 0);
+}
+
+TEST(Svr, RejectsNegativeEpsilon) {
+  const Dataset ds = regression_dataset(10, 2, {1.0, 1.0}, 0.0, 95);
+  SvrParams params;
+  params.epsilon = -0.1;
+  EXPECT_THROW(train_svr(ds, params), Error);
+}
+
+}  // namespace
+}  // namespace ls

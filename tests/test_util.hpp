@@ -1,0 +1,60 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "formats/any_matrix.hpp"
+#include "formats/coo.hpp"
+#include "formats/dense.hpp"
+
+namespace ls::test {
+
+/// Dense reference y = A * w computed from COO by brute force.
+inline std::vector<real_t> reference_multiply(const CooMatrix& coo,
+                                              std::span<const real_t> w) {
+  std::vector<real_t> y(static_cast<std::size_t>(coo.rows()), 0.0);
+  const auto rows = coo.row_indices();
+  const auto cols = coo.col_indices();
+  const auto vals = coo.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    y[static_cast<std::size_t>(rows[k])] +=
+        vals[k] * w[static_cast<std::size_t>(cols[k])];
+  }
+  return y;
+}
+
+/// Random sparse matrix with roughly `density` occupancy.
+inline CooMatrix random_matrix(index_t m, index_t n, double density,
+                               Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(density)) {
+        triplets.push_back({i, j, rng.uniform(-1.0, 1.0)});
+      }
+    }
+  }
+  return CooMatrix(m, n, std::move(triplets));
+}
+
+/// Random dense workspace vector.
+inline std::vector<real_t> random_vector(index_t n, Rng& rng) {
+  std::vector<real_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// EXPECT element-wise closeness of two vectors.
+inline void expect_near(std::span<const real_t> a, std::span<const real_t> b,
+                        double tol = 1e-10) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+}  // namespace ls::test
