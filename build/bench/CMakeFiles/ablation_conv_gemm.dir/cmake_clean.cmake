@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conv_gemm.dir/ablation_conv_gemm.cpp.o"
+  "CMakeFiles/ablation_conv_gemm.dir/ablation_conv_gemm.cpp.o.d"
+  "ablation_conv_gemm"
+  "ablation_conv_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conv_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

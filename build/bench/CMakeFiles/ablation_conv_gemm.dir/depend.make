@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_conv_gemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dcsvm.dir/ablation_dcsvm.cpp.o"
+  "CMakeFiles/ablation_dcsvm.dir/ablation_dcsvm.cpp.o.d"
+  "ablation_dcsvm"
+  "ablation_dcsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dcsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extended_formats.dir/ablation_extended_formats.cpp.o"
+  "CMakeFiles/ablation_extended_formats.dir/ablation_extended_formats.cpp.o.d"
+  "ablation_extended_formats"
+  "ablation_extended_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extended_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_cache.dir/ablation_kernel_cache.cpp.o"
+  "CMakeFiles/ablation_kernel_cache.dir/ablation_kernel_cache.cpp.o.d"
+  "ablation_kernel_cache"
+  "ablation_kernel_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multigpu_scaling.dir/ablation_multigpu_scaling.cpp.o"
+  "CMakeFiles/ablation_multigpu_scaling.dir/ablation_multigpu_scaling.cpp.o.d"
+  "ablation_multigpu_scaling"
+  "ablation_multigpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multigpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reschedule.dir/ablation_reschedule.cpp.o"
+  "CMakeFiles/ablation_reschedule.dir/ablation_reschedule.cpp.o.d"
+  "ablation_reschedule"
+  "ablation_reschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smsv_kernels.dir/ablation_smsv_kernels.cpp.o"
+  "CMakeFiles/ablation_smsv_kernels.dir/ablation_smsv_kernels.cpp.o.d"
+  "ablation_smsv_kernels"
+  "ablation_smsv_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smsv_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

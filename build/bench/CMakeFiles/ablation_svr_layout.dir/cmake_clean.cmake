@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_svr_layout.dir/ablation_svr_layout.cpp.o"
+  "CMakeFiles/ablation_svr_layout.dir/ablation_svr_layout.cpp.o.d"
+  "ablation_svr_layout"
+  "ablation_svr_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_svr_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

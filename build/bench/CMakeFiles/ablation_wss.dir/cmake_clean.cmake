@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wss.dir/ablation_wss.cpp.o"
+  "CMakeFiles/ablation_wss.dir/ablation_wss.cpp.o.d"
+  "ablation_wss"
+  "ablation_wss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dia_diagonals.dir/fig2_dia_diagonals.cpp.o"
+  "CMakeFiles/fig2_dia_diagonals.dir/fig2_dia_diagonals.cpp.o.d"
+  "fig2_dia_diagonals"
+  "fig2_dia_diagonals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dia_diagonals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ell_mdim.dir/fig3_ell_mdim.cpp.o"
+  "CMakeFiles/fig3_ell_mdim.dir/fig3_ell_mdim.cpp.o.d"
+  "fig3_ell_mdim"
+  "fig3_ell_mdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ell_mdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_coo_vs_csr.dir/fig4_coo_vs_csr.cpp.o"
+  "CMakeFiles/fig4_coo_vs_csr.dir/fig4_coo_vs_csr.cpp.o.d"
+  "fig4_coo_vs_csr"
+  "fig4_coo_vs_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_coo_vs_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_coo_vs_csr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_libsvm.dir/fig7_vs_libsvm.cpp.o"
+  "CMakeFiles/fig7_vs_libsvm.dir/fig7_vs_libsvm.cpp.o.d"
+  "fig7_vs_libsvm"
+  "fig7_vs_libsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_libsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_kernels.cpp" "bench/CMakeFiles/table1_kernels.dir/table1_kernels.cpp.o" "gcc" "bench/CMakeFiles/table1_kernels.dir/table1_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svm/CMakeFiles/ls_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ls_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ls_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/ls_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ls_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

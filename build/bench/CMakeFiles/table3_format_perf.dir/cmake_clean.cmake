@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_format_perf.dir/table3_format_perf.cpp.o"
+  "CMakeFiles/table3_format_perf.dir/table3_format_perf.cpp.o.d"
+  "table3_format_perf"
+  "table3_format_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_format_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

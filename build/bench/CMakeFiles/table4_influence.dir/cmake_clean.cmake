@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_influence.dir/table4_influence.cpp.o"
+  "CMakeFiles/table4_influence.dir/table4_influence.cpp.o.d"
+  "table4_influence"
+  "table4_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_datasets.dir/table5_datasets.cpp.o"
+  "CMakeFiles/table5_datasets.dir/table5_datasets.cpp.o.d"
+  "table5_datasets"
+  "table5_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

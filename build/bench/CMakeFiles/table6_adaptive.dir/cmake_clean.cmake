@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_adaptive.dir/table6_adaptive.cpp.o"
+  "CMakeFiles/table6_adaptive.dir/table6_adaptive.cpp.o.d"
+  "table6_adaptive"
+  "table6_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

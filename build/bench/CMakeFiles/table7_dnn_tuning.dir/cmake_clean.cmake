@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_dnn_tuning.dir/table7_dnn_tuning.cpp.o"
+  "CMakeFiles/table7_dnn_tuning.dir/table7_dnn_tuning.cpp.o.d"
+  "table7_dnn_tuning"
+  "table7_dnn_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_dnn_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_svm.dir/dc_svm.cpp.o"
+  "CMakeFiles/dc_svm.dir/dc_svm.cpp.o.d"
+  "dc_svm"
+  "dc_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

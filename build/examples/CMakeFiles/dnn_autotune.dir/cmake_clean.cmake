@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_autotune.dir/dnn_autotune.cpp.o"
+  "CMakeFiles/dnn_autotune.dir/dnn_autotune.cpp.o.d"
+  "dnn_autotune"
+  "dnn_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_ovo.dir/multiclass_ovo.cpp.o"
+  "CMakeFiles/multiclass_ovo.dir/multiclass_ovo.cpp.o.d"
+  "multiclass_ovo"
+  "multiclass_ovo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_ovo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

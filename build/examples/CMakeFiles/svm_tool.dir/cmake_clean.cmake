@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_tool.dir/svm_tool.cpp.o"
+  "CMakeFiles/svm_tool.dir/svm_tool.cpp.o.d"
+  "svm_tool"
+  "svm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

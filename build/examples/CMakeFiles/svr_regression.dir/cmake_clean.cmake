@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svr_regression.dir/svr_regression.cpp.o"
+  "CMakeFiles/svr_regression.dir/svr_regression.cpp.o.d"
+  "svr_regression"
+  "svr_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svr_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_common.dir/cli.cpp.o"
+  "CMakeFiles/ls_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ls_common.dir/table.cpp.o"
+  "CMakeFiles/ls_common.dir/table.cpp.o.d"
+  "libls_common.a"
+  "libls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/ls_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/ls_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/features.cpp" "src/data/CMakeFiles/ls_data.dir/features.cpp.o" "gcc" "src/data/CMakeFiles/ls_data.dir/features.cpp.o.d"
+  "/root/repo/src/data/libsvm_io.cpp" "src/data/CMakeFiles/ls_data.dir/libsvm_io.cpp.o" "gcc" "src/data/CMakeFiles/ls_data.dir/libsvm_io.cpp.o.d"
+  "/root/repo/src/data/profiles.cpp" "src/data/CMakeFiles/ls_data.dir/profiles.cpp.o" "gcc" "src/data/CMakeFiles/ls_data.dir/profiles.cpp.o.d"
+  "/root/repo/src/data/scaling.cpp" "src/data/CMakeFiles/ls_data.dir/scaling.cpp.o" "gcc" "src/data/CMakeFiles/ls_data.dir/scaling.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/ls_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/ls_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/ls_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

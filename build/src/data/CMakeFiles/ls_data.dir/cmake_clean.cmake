@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_data.dir/dataset.cpp.o"
+  "CMakeFiles/ls_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ls_data.dir/features.cpp.o"
+  "CMakeFiles/ls_data.dir/features.cpp.o.d"
+  "CMakeFiles/ls_data.dir/libsvm_io.cpp.o"
+  "CMakeFiles/ls_data.dir/libsvm_io.cpp.o.d"
+  "CMakeFiles/ls_data.dir/profiles.cpp.o"
+  "CMakeFiles/ls_data.dir/profiles.cpp.o.d"
+  "CMakeFiles/ls_data.dir/scaling.cpp.o"
+  "CMakeFiles/ls_data.dir/scaling.cpp.o.d"
+  "CMakeFiles/ls_data.dir/synthetic.cpp.o"
+  "CMakeFiles/ls_data.dir/synthetic.cpp.o.d"
+  "libls_data.a"
+  "libls_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/cifar.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/cifar.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/cifar.cpp.o.d"
+  "/root/repo/src/dnn/conv_gemm.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/conv_gemm.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/conv_gemm.cpp.o.d"
+  "/root/repo/src/dnn/convergence.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/convergence.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/convergence.cpp.o.d"
+  "/root/repo/src/dnn/layers.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/layers.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/layers.cpp.o.d"
+  "/root/repo/src/dnn/metrics.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/metrics.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/metrics.cpp.o.d"
+  "/root/repo/src/dnn/net.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/net.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/net.cpp.o.d"
+  "/root/repo/src/dnn/net_spec.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/net_spec.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/net_spec.cpp.o.d"
+  "/root/repo/src/dnn/trainer.cpp" "src/dnn/CMakeFiles/ls_dnn.dir/trainer.cpp.o" "gcc" "src/dnn/CMakeFiles/ls_dnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

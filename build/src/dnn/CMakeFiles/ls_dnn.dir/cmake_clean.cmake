@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_dnn.dir/cifar.cpp.o"
+  "CMakeFiles/ls_dnn.dir/cifar.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/conv_gemm.cpp.o"
+  "CMakeFiles/ls_dnn.dir/conv_gemm.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/convergence.cpp.o"
+  "CMakeFiles/ls_dnn.dir/convergence.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/layers.cpp.o"
+  "CMakeFiles/ls_dnn.dir/layers.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/metrics.cpp.o"
+  "CMakeFiles/ls_dnn.dir/metrics.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/net.cpp.o"
+  "CMakeFiles/ls_dnn.dir/net.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/net_spec.cpp.o"
+  "CMakeFiles/ls_dnn.dir/net_spec.cpp.o.d"
+  "CMakeFiles/ls_dnn.dir/trainer.cpp.o"
+  "CMakeFiles/ls_dnn.dir/trainer.cpp.o.d"
+  "libls_dnn.a"
+  "libls_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/bcsr.cpp" "src/formats/CMakeFiles/ls_formats.dir/bcsr.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/bcsr.cpp.o.d"
+  "/root/repo/src/formats/coo.cpp" "src/formats/CMakeFiles/ls_formats.dir/coo.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/coo.cpp.o.d"
+  "/root/repo/src/formats/csc.cpp" "src/formats/CMakeFiles/ls_formats.dir/csc.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/csc.cpp.o.d"
+  "/root/repo/src/formats/csr.cpp" "src/formats/CMakeFiles/ls_formats.dir/csr.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/csr.cpp.o.d"
+  "/root/repo/src/formats/dense.cpp" "src/formats/CMakeFiles/ls_formats.dir/dense.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/dense.cpp.o.d"
+  "/root/repo/src/formats/dia.cpp" "src/formats/CMakeFiles/ls_formats.dir/dia.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/dia.cpp.o.d"
+  "/root/repo/src/formats/ell.cpp" "src/formats/CMakeFiles/ls_formats.dir/ell.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/ell.cpp.o.d"
+  "/root/repo/src/formats/hyb.cpp" "src/formats/CMakeFiles/ls_formats.dir/hyb.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/hyb.cpp.o.d"
+  "/root/repo/src/formats/jds.cpp" "src/formats/CMakeFiles/ls_formats.dir/jds.cpp.o" "gcc" "src/formats/CMakeFiles/ls_formats.dir/jds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_formats.dir/bcsr.cpp.o"
+  "CMakeFiles/ls_formats.dir/bcsr.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/coo.cpp.o"
+  "CMakeFiles/ls_formats.dir/coo.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/csc.cpp.o"
+  "CMakeFiles/ls_formats.dir/csc.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/csr.cpp.o"
+  "CMakeFiles/ls_formats.dir/csr.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/dense.cpp.o"
+  "CMakeFiles/ls_formats.dir/dense.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/dia.cpp.o"
+  "CMakeFiles/ls_formats.dir/dia.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/ell.cpp.o"
+  "CMakeFiles/ls_formats.dir/ell.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/hyb.cpp.o"
+  "CMakeFiles/ls_formats.dir/hyb.cpp.o.d"
+  "CMakeFiles/ls_formats.dir/jds.cpp.o"
+  "CMakeFiles/ls_formats.dir/jds.cpp.o.d"
+  "libls_formats.a"
+  "libls_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

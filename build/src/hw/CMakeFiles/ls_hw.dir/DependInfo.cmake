@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/autotune.cpp" "src/hw/CMakeFiles/ls_hw.dir/autotune.cpp.o" "gcc" "src/hw/CMakeFiles/ls_hw.dir/autotune.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/ls_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/ls_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/multigpu.cpp" "src/hw/CMakeFiles/ls_hw.dir/multigpu.cpp.o" "gcc" "src/hw/CMakeFiles/ls_hw.dir/multigpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/ls_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

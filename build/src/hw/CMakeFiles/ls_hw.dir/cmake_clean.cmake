@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_hw.dir/autotune.cpp.o"
+  "CMakeFiles/ls_hw.dir/autotune.cpp.o.d"
+  "CMakeFiles/ls_hw.dir/device.cpp.o"
+  "CMakeFiles/ls_hw.dir/device.cpp.o.d"
+  "CMakeFiles/ls_hw.dir/multigpu.cpp.o"
+  "CMakeFiles/ls_hw.dir/multigpu.cpp.o.d"
+  "libls_hw.a"
+  "libls_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

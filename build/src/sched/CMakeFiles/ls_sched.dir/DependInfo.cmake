@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cost_model.cpp" "src/sched/CMakeFiles/ls_sched.dir/cost_model.cpp.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sched/learned.cpp" "src/sched/CMakeFiles/ls_sched.dir/learned.cpp.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/learned.cpp.o.d"
+  "/root/repo/src/sched/parallel_model.cpp" "src/sched/CMakeFiles/ls_sched.dir/parallel_model.cpp.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/parallel_model.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/ls_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/selector.cpp" "src/sched/CMakeFiles/ls_sched.dir/selector.cpp.o" "gcc" "src/sched/CMakeFiles/ls_sched.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ls_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ls_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

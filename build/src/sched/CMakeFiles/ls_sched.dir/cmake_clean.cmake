@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_sched.dir/cost_model.cpp.o"
+  "CMakeFiles/ls_sched.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ls_sched.dir/learned.cpp.o"
+  "CMakeFiles/ls_sched.dir/learned.cpp.o.d"
+  "CMakeFiles/ls_sched.dir/parallel_model.cpp.o"
+  "CMakeFiles/ls_sched.dir/parallel_model.cpp.o.d"
+  "CMakeFiles/ls_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/ls_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ls_sched.dir/selector.cpp.o"
+  "CMakeFiles/ls_sched.dir/selector.cpp.o.d"
+  "libls_sched.a"
+  "libls_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

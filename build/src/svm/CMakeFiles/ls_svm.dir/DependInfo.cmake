@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/batch_predict.cpp" "src/svm/CMakeFiles/ls_svm.dir/batch_predict.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/batch_predict.cpp.o.d"
+  "/root/repo/src/svm/cache.cpp" "src/svm/CMakeFiles/ls_svm.dir/cache.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/cache.cpp.o.d"
+  "/root/repo/src/svm/dcsvm.cpp" "src/svm/CMakeFiles/ls_svm.dir/dcsvm.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/dcsvm.cpp.o.d"
+  "/root/repo/src/svm/grid_search.cpp" "src/svm/CMakeFiles/ls_svm.dir/grid_search.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/grid_search.cpp.o.d"
+  "/root/repo/src/svm/kernel_engine.cpp" "src/svm/CMakeFiles/ls_svm.dir/kernel_engine.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/kernel_engine.cpp.o.d"
+  "/root/repo/src/svm/model.cpp" "src/svm/CMakeFiles/ls_svm.dir/model.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/model.cpp.o.d"
+  "/root/repo/src/svm/multiclass.cpp" "src/svm/CMakeFiles/ls_svm.dir/multiclass.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/multiclass.cpp.o.d"
+  "/root/repo/src/svm/reschedule.cpp" "src/svm/CMakeFiles/ls_svm.dir/reschedule.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/reschedule.cpp.o.d"
+  "/root/repo/src/svm/serialize.cpp" "src/svm/CMakeFiles/ls_svm.dir/serialize.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/serialize.cpp.o.d"
+  "/root/repo/src/svm/smo.cpp" "src/svm/CMakeFiles/ls_svm.dir/smo.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/smo.cpp.o.d"
+  "/root/repo/src/svm/svr.cpp" "src/svm/CMakeFiles/ls_svm.dir/svr.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/svr.cpp.o.d"
+  "/root/repo/src/svm/trainer.cpp" "src/svm/CMakeFiles/ls_svm.dir/trainer.cpp.o" "gcc" "src/svm/CMakeFiles/ls_svm.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ls_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ls_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_svm.dir/batch_predict.cpp.o"
+  "CMakeFiles/ls_svm.dir/batch_predict.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/cache.cpp.o"
+  "CMakeFiles/ls_svm.dir/cache.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/dcsvm.cpp.o"
+  "CMakeFiles/ls_svm.dir/dcsvm.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/grid_search.cpp.o"
+  "CMakeFiles/ls_svm.dir/grid_search.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/kernel_engine.cpp.o"
+  "CMakeFiles/ls_svm.dir/kernel_engine.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/model.cpp.o"
+  "CMakeFiles/ls_svm.dir/model.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/multiclass.cpp.o"
+  "CMakeFiles/ls_svm.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/reschedule.cpp.o"
+  "CMakeFiles/ls_svm.dir/reschedule.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/serialize.cpp.o"
+  "CMakeFiles/ls_svm.dir/serialize.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/smo.cpp.o"
+  "CMakeFiles/ls_svm.dir/smo.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/svr.cpp.o"
+  "CMakeFiles/ls_svm.dir/svr.cpp.o.d"
+  "CMakeFiles/ls_svm.dir/trainer.cpp.o"
+  "CMakeFiles/ls_svm.dir/trainer.cpp.o.d"
+  "libls_svm.a"
+  "libls_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/ls_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/ls_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_dnn.cpp" "tests/CMakeFiles/ls_tests.dir/test_dnn.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_dnn.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/ls_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_formats.cpp" "tests/CMakeFiles/ls_tests.dir/test_formats.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_formats.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/ls_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_netspec.cpp" "tests/CMakeFiles/ls_tests.dir/test_netspec.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_netspec.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/ls_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/ls_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/ls_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_svm.cpp" "tests/CMakeFiles/ls_tests.dir/test_svm.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_svm.cpp.o.d"
+  "/root/repo/tests/test_svr.cpp" "tests/CMakeFiles/ls_tests.dir/test_svr.cpp.o" "gcc" "tests/CMakeFiles/ls_tests.dir/test_svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svm/CMakeFiles/ls_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ls_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ls_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/ls_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ls_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_tests.dir/test_common.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_data.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_data.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_dnn.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_dnn.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_formats.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_formats.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_hw.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_hw.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_netspec.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_netspec.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_runtime.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_runtime.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_sched.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_sched.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_stress.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_stress.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_svm.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_svm.cpp.o.d"
+  "CMakeFiles/ls_tests.dir/test_svr.cpp.o"
+  "CMakeFiles/ls_tests.dir/test_svr.cpp.o.d"
+  "ls_tests"
+  "ls_tests.pdb"
+  "ls_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
