@@ -25,8 +25,9 @@ namespace {
 using namespace ls;
 
 void train_mode(const std::string& data_path, const std::string& model_path,
-                const SvmParams& params, const std::string& policy,
-                bool scale) {
+                SvmParams params, const std::string& policy, bool scale,
+                const std::string& checkpoint_path = "") {
+  params.checkpoint_path = checkpoint_path;
   Dataset ds = read_libsvm_file(data_path);
   if (scale) {
     ds = apply_scaling(ds, fit_scaling(ds));
@@ -95,6 +96,9 @@ int main(int argc, char** argv) {
   cli.add_flag("gamma", "0.5", "kernel gamma");
   cli.add_flag("policy", "empirical", "layout policy");
   cli.add_flag("scale", "false", "apply [0,1] feature scaling before train");
+  cli.add_flag("checkpoint", "",
+               "checkpoint file: save snapshots while training and resume "
+               "from an interrupted run (train mode)");
   if (!cli.parse(argc, argv)) return 0;
 
   SvmParams params;
@@ -105,7 +109,7 @@ int main(int argc, char** argv) {
   const std::string mode = cli.get("mode");
   if (mode == "train") {
     train_mode(cli.get("data"), cli.get("model"), params, cli.get("policy"),
-               cli.get_bool("scale"));
+               cli.get_bool("scale"), cli.get("checkpoint"));
   } else if (mode == "predict") {
     predict_mode(cli.get("data"), cli.get("model"));
   } else if (mode == "demo") {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite twice — a plain Release
+# build, then an AddressSanitizer + UBSan build (-DLS_SANITIZE=ON). Both
+# must be green before a change lands.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "==> configuring ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S . "$@"
+  echo "==> building ${build_dir}"
+  cmake --build "${build_dir}" -j
+  echo "==> testing ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-all}"
+
+if [[ "${mode}" != "--sanitize-only" ]]; then
+  run_suite build
+fi
+
+if [[ "${mode}" != "--plain-only" ]]; then
+  # ASan's allocator dislikes being re-run in a dirty tree configured
+  # without sanitizers, so it gets its own build directory.
+  run_suite build-asan -DLS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,173 @@
+#include "common/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace ls::failpoint {
+
+namespace detail {
+std::atomic<int> g_active{0};
+}  // namespace detail
+
+namespace {
+
+struct State {
+  Spec spec;
+  int hits = 0;      // evaluate() calls since activation
+  int triggers = 0;  // actions actually injected
+  bool armed = true;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, State> sites;
+  // Trigger counts survive deactivation so tests can assert a site fired.
+  std::unordered_map<std::string, std::size_t> history;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+Action parse_action(const std::string& word) {
+  if (word == "error") return Action::kError;
+  if (word == "oom") return Action::kOom;
+  if (word == "delay") return Action::kDelay;
+  throw Error("LS_FAILPOINTS: unknown action '" + word +
+              "' (expected error, oom or delay)");
+}
+
+// One-time activation from the LS_FAILPOINTS environment variable. A static
+// initializer (rather than a lazy check in evaluate()) keeps the inactive
+// fast path down to the single atomic load.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("LS_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    try {
+      configure(env);
+    } catch (const Error& e) {
+      // A malformed diagnostic knob must not abort the program from a
+      // static initializer — warn and run with no failpoints armed.
+      std::fprintf(stderr, "warning: ignoring LS_FAILPOINTS: %s\n",
+                   e.what());
+      clear();
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void activate(const std::string& name, const Spec& spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto [it, inserted] = r.sites.insert_or_assign(name, State{spec});
+  (void)it;
+  if (inserted) {
+    detail::g_active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void deactivate(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(name) > 0) {
+    detail::g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void clear() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  detail::g_active.fetch_sub(static_cast<int>(r.sites.size()),
+                             std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+std::size_t trigger_count(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.history.find(name);
+  return it == r.history.end() ? 0 : it->second;
+}
+
+void configure(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+
+    const auto eq = entry.find('=');
+    LS_CHECK(eq != std::string::npos && eq > 0,
+             "LS_FAILPOINTS: entry '" << entry << "' is not name=action");
+    const std::string name = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    Spec s;
+    // Optional suffixes, in any order: *limit then @skip then :ms — parse
+    // from the back so the action word is whatever remains.
+    const auto take_int_suffix = [&rest](char mark, int fallback) {
+      const auto pos = rest.find(mark);
+      if (pos == std::string::npos) return fallback;
+      const std::string digits = rest.substr(pos + 1);
+      rest.resize(pos);
+      LS_CHECK(!digits.empty() &&
+                   digits.find_first_not_of("0123456789") == std::string::npos,
+               "LS_FAILPOINTS: bad '" << mark << "' suffix value '" << digits
+                                      << "'");
+      return std::atoi(digits.c_str());
+    };
+    s.limit = take_int_suffix('*', -1);
+    s.skip = take_int_suffix('@', 0);
+    s.delay_ms = take_int_suffix(':', 0);
+    s.action = parse_action(rest);
+    activate(name, s);
+  }
+}
+
+namespace detail {
+
+void hit(const char* name) {
+  Spec to_run;
+  bool fire = false;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(name);
+    if (it == r.sites.end()) return;
+    State& st = it->second;
+    ++st.hits;
+    if (!st.armed || st.hits <= st.spec.skip) return;
+    if (st.spec.limit >= 0 && st.triggers >= st.spec.limit) return;
+    ++st.triggers;
+    ++r.history[name];
+    to_run = st.spec;
+    fire = true;
+  }
+  if (!fire) return;
+  switch (to_run.action) {
+    case Action::kError:
+      throw Error(std::string("failpoint '") + name + "' injected error");
+    case Action::kOom:
+      throw std::bad_alloc{};
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(to_run.delay_ms));
+      return;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ls::failpoint

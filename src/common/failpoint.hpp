@@ -1,0 +1,92 @@
+// Named failpoints for fault-injection testing.
+//
+// Library code tags fragile sites (file IO, allocations, long loops) with
+// LS_FAILPOINT("area.site"). Tests — or an operator via the LS_FAILPOINTS
+// environment variable — activate a site to inject an ls::Error, an
+// std::bad_alloc, or a delay, and thereby exercise the recovery paths
+// (checkpoint resume, scheduler degradation, atomic-save rollback) without
+// faking streams or mocking allocators.
+//
+// When nothing is activated the macro costs one relaxed atomic load and a
+// predictable branch, so tagged hot paths stay hot.
+//
+// Environment syntax (';'- or ','-separated):
+//
+//   LS_FAILPOINTS="svm.serialize.save=error;svm.cache.alloc=oom@2"
+//
+// Each entry is  name=action[:ms][@skip][*limit]  where action is one of
+// `error` (throw ls::Error), `oom` (throw std::bad_alloc) or `delay`
+// (sleep `ms` milliseconds); `@skip` arms the site only after `skip` hits
+// and `*limit` disarms it after `limit` triggers (-1 = unlimited).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace ls::failpoint {
+
+/// What an armed failpoint injects when hit.
+enum class Action {
+  kError,  ///< throw ls::Error
+  kOom,    ///< throw std::bad_alloc
+  kDelay,  ///< sleep delay_ms, then continue normally
+};
+
+/// Activation parameters for one named site.
+struct Spec {
+  Action action = Action::kError;
+  int delay_ms = 0;  ///< sleep duration for kDelay
+  int skip = 0;      ///< number of hits to pass through before triggering
+  int limit = -1;    ///< max triggers before auto-disarm (-1 = unlimited)
+};
+
+namespace detail {
+/// Count of currently activated failpoints; 0 makes evaluate() a no-op.
+extern std::atomic<int> g_active;
+/// Slow path: looks `name` up and triggers its action if armed.
+void hit(const char* name);
+}  // namespace detail
+
+/// Arms `name` (replacing any previous activation of the same site).
+void activate(const std::string& name, const Spec& spec = {});
+
+/// Disarms `name`; unknown names are ignored.
+void deactivate(const std::string& name);
+
+/// Disarms every failpoint.
+void clear();
+
+/// Number of times `name` actually triggered its action so far.
+std::size_t trigger_count(const std::string& name);
+
+/// Parses and activates an LS_FAILPOINTS-syntax spec string.
+/// Throws ls::Error on malformed input.
+void configure(const std::string& spec);
+
+/// Evaluated at every tagged site; free when nothing is activated.
+inline void evaluate(const char* name) {
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return;
+  detail::hit(name);
+}
+
+/// RAII activation for tests: arms in the constructor, disarms in the
+/// destructor so a failed EXPECT cannot leak an armed site into later tests.
+class Scoped {
+ public:
+  explicit Scoped(std::string name, const Spec& spec = {})
+      : name_(std::move(name)) {
+    activate(name_, spec);
+  }
+  ~Scoped() { deactivate(name_); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ls::failpoint
+
+/// Tags a potential failure site. `name` must be a string literal.
+#define LS_FAILPOINT(name) ::ls::failpoint::evaluate(name)

@@ -1,0 +1,131 @@
+#include "common/fs_atomic.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace ls {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Removes the temp file on every exit path of atomic_write_file.
+struct TempGuard {
+  std::string path;
+  bool armed = true;
+  ~TempGuard() {
+    if (armed) std::remove(path.c_str());
+  }
+};
+
+std::string footer_line(std::uint32_t crc) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s%08x\n", kCrcFooterTag, crc);
+  return buf;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::string& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+void atomic_write_file(const std::string& path, const std::string& content,
+                       bool with_crc_footer) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  TempGuard guard{tmp};
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  LS_CHECK(f != nullptr, "cannot create temp file: " << tmp);
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+  // Crash simulation point: payload written, rename not yet performed — a
+  // failure here must leave the destination file untouched.
+  LS_FAILPOINT("fs.atomic.write");
+  if (ok && with_crc_footer) {
+    const std::string footer = footer_line(crc32(content));
+    ok = std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+  }
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (::fsync(::fileno(f)) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  LS_CHECK(ok, "failed writing temp file: " << tmp);
+
+  LS_FAILPOINT("fs.atomic.rename");
+  LS_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "failed renaming " << tmp << " over " << path);
+  guard.armed = false;  // the temp file no longer exists under its old name
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& producer,
+                       bool with_crc_footer) {
+  std::ostringstream os;
+  os.precision(17);
+  producer(os);
+  atomic_write_file(path, os.str(), with_crc_footer);
+}
+
+std::string read_file_verified(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LS_CHECK(in.good(), "cannot open file: " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  LS_CHECK(!in.bad(), "failed reading file: " << path);
+  std::string bytes = os.str();
+
+  // The footer, when present, is the final "#crc32 xxxxxxxx\n" line.
+  constexpr std::size_t kFooterLen = 16;  // 7 tag + 8 hex + '\n'
+  if (bytes.size() >= kFooterLen) {
+    const std::size_t at = bytes.size() - kFooterLen;
+    if (bytes.compare(at, 7, kCrcFooterTag) == 0) {
+      const std::string hex = bytes.substr(at + 7, 8);
+      LS_CHECK(hex.find_first_not_of("0123456789abcdef") == std::string::npos,
+               "malformed CRC footer in " << path);
+      const std::uint32_t stored =
+          static_cast<std::uint32_t>(std::stoul(hex, nullptr, 16));
+      bytes.resize(at);
+      const std::uint32_t actual = crc32(bytes);
+      LS_CHECK(stored == actual,
+               "CRC mismatch in " << path << ": footer says " << stored
+                                  << ", content hashes to " << actual
+                                  << " — file is corrupt");
+    }
+  }
+  return bytes;
+}
+
+bool file_exists(const std::string& path) {
+  struct ::stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace ls

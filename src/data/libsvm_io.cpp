@@ -1,20 +1,41 @@
 #include "data/libsvm_io.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "formats/sparse_vector.hpp"
 
 namespace ls {
 
 namespace {
 
-// Parses one "index:value" token; returns false for blank/comment tails.
-bool parse_entry(const std::string& token, index_t& index, real_t& value,
+/// Checked double parse: rejects trailing junk, overflow (strtod signals
+/// ERANGE and saturates to ±HUGE_VAL — previously this slipped through as
+/// a silent inf) and explicit non-finite literals.
+real_t parse_real(const char* begin, const char* what, index_t line_no) {
+  char* end = nullptr;
+  errno = 0;
+  const real_t value = std::strtod(begin, &end);
+  LS_CHECK(end != begin && *end == '\0',
+           "libsvm line " << line_no << ": bad " << what << " '" << begin
+                          << "'");
+  LS_CHECK(errno != ERANGE || std::abs(value) < HUGE_VAL,
+           "libsvm line " << line_no << ": " << what << " '" << begin
+                          << "' overflows double range");
+  LS_CHECK(std::isfinite(value),
+           "libsvm line " << line_no << ": " << what << " '" << begin
+                          << "' is not finite");
+  return value;
+}
+
+// Parses one "index:value" token.
+void parse_entry(const std::string& token, index_t& index, real_t& value,
                  index_t line_no) {
   const auto colon = token.find(':');
   LS_CHECK(colon != std::string::npos,
@@ -27,26 +48,34 @@ bool parse_entry(const std::string& token, index_t& index, real_t& value,
   LS_CHECK(errno != ERANGE && idx >= 1 && idx <= (1ll << 48),
            "libsvm line " << line_no << ": index out of range in '" << token
                           << "'");
-  const char* vbegin = token.c_str() + colon + 1;
-  value = std::strtod(vbegin, &end);
-  LS_CHECK(end != vbegin && *end == '\0',
-           "libsvm line " << line_no << ": bad value in '" << token << "'");
+  value = parse_real(token.c_str() + colon + 1, "value", line_no);
   index = static_cast<index_t>(idx);
-  return true;
 }
 
 }  // namespace
 
 Dataset read_libsvm(std::istream& in, const std::string& name,
-                    index_t num_cols) {
+                    const LibsvmReadOptions& opts,
+                    LibsvmReadReport* report) {
   std::vector<Triplet> triplets;
   std::vector<real_t> labels;
   index_t max_col = 0;
   index_t line_no = 0;
+  LibsvmReadReport local_report;
+  LibsvmReadReport& rep = report != nullptr ? *report : local_report;
+
+  // Per-line staging: a row only commits once every token parsed, so a
+  // permissive skip can never leave behind a half-read sample.
+  struct StagedEntry {
+    index_t col;
+    real_t value;
+  };
+  std::vector<StagedEntry> staged;
 
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
+    LS_FAILPOINT("data.libsvm.read");
     // Strip comments and skip blank lines.
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -54,29 +83,41 @@ Dataset read_libsvm(std::istream& in, const std::string& name,
     std::string token;
     if (!(ls >> token)) continue;
 
-    char* end = nullptr;
-    const real_t label = std::strtod(token.c_str(), &end);
-    LS_CHECK(end != token.c_str() && *end == '\0',
-             "libsvm line " << line_no << ": bad label '" << token << "'");
-    const index_t row = static_cast<index_t>(labels.size());
-    labels.push_back(label);
-
-    index_t prev_index = 0;
-    while (ls >> token) {
-      index_t idx = 0;
-      real_t value = 0.0;
-      parse_entry(token, idx, value, line_no);
-      LS_CHECK(idx > prev_index, "libsvm line "
-                                     << line_no
-                                     << ": indices must be strictly increasing");
-      prev_index = idx;
-      max_col = std::max(max_col, idx);
-      if (value != 0.0) {
-        triplets.push_back({row, idx - 1, value});  // to 0-based
+    try {
+      const real_t label = parse_real(token.c_str(), "label", line_no);
+      staged.clear();
+      index_t prev_index = 0;
+      index_t row_max_col = 0;
+      while (ls >> token) {
+        index_t idx = 0;
+        real_t value = 0.0;
+        parse_entry(token, idx, value, line_no);
+        LS_CHECK(idx > prev_index,
+                 "libsvm line " << line_no
+                                << ": indices must be strictly increasing");
+        prev_index = idx;
+        row_max_col = std::max(row_max_col, idx);
+        if (value != 0.0) {
+          staged.push_back({idx - 1, value});  // to 0-based
+        }
+      }
+      // Commit the fully parsed row.
+      const index_t row = static_cast<index_t>(labels.size());
+      labels.push_back(label);
+      max_col = std::max(max_col, row_max_col);
+      for (const StagedEntry& e : staged) {
+        triplets.push_back({row, e.col, e.value});
+      }
+    } catch (const Error& e) {
+      if (!opts.permissive) throw;
+      ++rep.lines_skipped;
+      if (rep.errors.size() < opts.max_errors) {
+        rep.errors.push_back(e.what());
       }
     }
   }
 
+  index_t num_cols = opts.num_cols;
   if (num_cols == 0) {
     num_cols = max_col;
   } else {
@@ -93,10 +134,25 @@ Dataset read_libsvm(std::istream& in, const std::string& name,
   return ds;
 }
 
-Dataset read_libsvm_file(const std::string& path, index_t num_cols) {
+Dataset read_libsvm(std::istream& in, const std::string& name,
+                    index_t num_cols) {
+  LibsvmReadOptions opts;
+  opts.num_cols = num_cols;
+  return read_libsvm(in, name, opts);
+}
+
+Dataset read_libsvm_file(const std::string& path,
+                         const LibsvmReadOptions& opts,
+                         LibsvmReadReport* report) {
   std::ifstream in(path);
   LS_CHECK(in.good(), "cannot open libsvm file: " << path);
-  return read_libsvm(in, path, num_cols);
+  return read_libsvm(in, path, opts, report);
+}
+
+Dataset read_libsvm_file(const std::string& path, index_t num_cols) {
+  LibsvmReadOptions opts;
+  opts.num_cols = num_cols;
+  return read_libsvm_file(path, opts);
 }
 
 void write_libsvm(std::ostream& out, const Dataset& ds) {

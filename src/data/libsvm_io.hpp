@@ -8,17 +8,43 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "data/dataset.hpp"
 
 namespace ls {
 
+/// Read behaviour knobs.
+struct LibsvmReadOptions {
+  index_t num_cols = 0;  ///< forced column count (0 = infer from max index)
+  /// Strict mode (default) throws ls::Error on the first malformed line.
+  /// Permissive mode skips bad lines — each is rolled back atomically, so
+  /// a half-parsed row never leaks into the dataset — and reports them.
+  bool permissive = false;
+  std::size_t max_errors = 64;  ///< cap on collected error messages
+};
+
+/// What a permissive read observed.
+struct LibsvmReadReport {
+  std::vector<std::string> errors;  ///< first max_errors messages
+  std::size_t lines_skipped = 0;    ///< all bad lines, beyond the cap too
+  bool errors_truncated() const { return lines_skipped > errors.size(); }
+};
+
 /// Parses a dataset from a LIBSVM-format stream.
+Dataset read_libsvm(std::istream& in, const std::string& name,
+                    const LibsvmReadOptions& opts,
+                    LibsvmReadReport* report = nullptr);
+
+/// Strict-mode convenience overload.
 /// `num_cols` forces the column count (0 = infer from max index seen).
 Dataset read_libsvm(std::istream& in, const std::string& name,
                     index_t num_cols = 0);
 
 /// Parses a dataset from a LIBSVM-format file.
+Dataset read_libsvm_file(const std::string& path,
+                         const LibsvmReadOptions& opts,
+                         LibsvmReadReport* report = nullptr);
 Dataset read_libsvm_file(const std::string& path, index_t num_cols = 0);
 
 /// Writes a dataset in LIBSVM format.

@@ -43,6 +43,24 @@ class SgdOptimizer {
     eta_ = eta;
   }
 
+  /// Momentum state, one vector per parameter blob in blob order — part of
+  /// the resumable training state (a resumed run must continue the same
+  /// velocity trajectory, not restart it at zero).
+  const std::vector<std::vector<real_t>>& velocity() const {
+    return velocity_;
+  }
+  void set_velocity(const std::vector<std::vector<real_t>>& v) {
+    LS_CHECK(v.size() == velocity_.size(),
+             "velocity blob count " << v.size() << " != " << velocity_.size());
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      LS_CHECK(v[k].size() == velocity_[k].size(),
+               "velocity blob " << k << " has " << v[k].size()
+                                << " entries, expected "
+                                << velocity_[k].size());
+    }
+    velocity_ = v;
+  }
+
   /// Applies one update from the currently accumulated gradients.
   void step() {
     for (std::size_t k = 0; k < params_.size(); ++k) {

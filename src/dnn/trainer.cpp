@@ -1,13 +1,107 @@
 #include "dnn/trainer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/fs_atomic.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 
 namespace ls {
+
+namespace {
+
+constexpr const char* kDnnCheckpointMagic = "ls_dnn_checkpoint v1";
+
+void write_blob_group(std::ostream& out, const char* name,
+                      const std::vector<std::vector<real_t>>& blobs) {
+  out << name << ' ' << blobs.size() << '\n';
+  for (const std::vector<real_t>& blob : blobs) {
+    out << blob.size();
+    for (real_t x : blob) out << ' ' << x;
+    out << '\n';
+  }
+}
+
+std::vector<std::vector<real_t>> read_blob_group(std::istream& in,
+                                                 const char* name) {
+  std::string line;
+  LS_CHECK(std::getline(in, line), "dnn checkpoint truncated at " << name);
+  std::istringstream header(line);
+  std::string key;
+  std::size_t count = 0;
+  LS_CHECK(static_cast<bool>(header >> key >> count) && key == name,
+           "bad dnn checkpoint group header: '" << line << "'");
+  std::vector<std::vector<real_t>> blobs(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    LS_CHECK(std::getline(in, line),
+             "dnn checkpoint truncated in group " << name);
+    std::istringstream ls(line);
+    std::size_t n = 0;
+    LS_CHECK(static_cast<bool>(ls >> n), "bad blob header in " << name);
+    blobs[k].reserve(n);
+    real_t x = 0.0;
+    while (ls >> x) blobs[k].push_back(x);
+    LS_CHECK(blobs[k].size() == n, "blob " << k << " in group " << name
+                                           << " has " << blobs[k].size()
+                                           << " entries, expected " << n);
+  }
+  return blobs;
+}
+
+}  // namespace
+
+void save_dnn_checkpoint(const std::string& path, const DnnCheckpoint& ck) {
+  LS_FAILPOINT("dnn.checkpoint.save");
+  atomic_write_file(path, [&](std::ostream& out) {
+    out << kDnnCheckpointMagic << '\n';
+    out << "epochs_completed " << ck.epochs_completed << '\n';
+    out << "iterations " << ck.iterations << '\n';
+    out << "learning_rate " << ck.learning_rate << '\n';
+    write_blob_group(out, "params", ck.params);
+    write_blob_group(out, "velocity", ck.velocity);
+  });
+}
+
+DnnCheckpoint load_dnn_checkpoint(const std::string& path) {
+  std::istringstream in(read_file_verified(path));
+  std::string line;
+  LS_CHECK(std::getline(in, line) && line == kDnnCheckpointMagic,
+           "bad dnn checkpoint magic in " << path);
+  DnnCheckpoint ck;
+  const auto read_scalar = [&](const char* name, auto& value) {
+    LS_CHECK(std::getline(in, line), "dnn checkpoint truncated at " << name);
+    std::istringstream ls(line);
+    std::string key;
+    LS_CHECK(static_cast<bool>(ls >> key >> value) && key == name,
+             "bad dnn checkpoint field: expected '" << name << "', got '"
+                                                    << line << "'");
+  };
+  read_scalar("epochs_completed", ck.epochs_completed);
+  read_scalar("iterations", ck.iterations);
+  read_scalar("learning_rate", ck.learning_rate);
+  LS_CHECK(ck.epochs_completed >= 0 && ck.iterations >= 0 &&
+               ck.learning_rate > 0,
+           "implausible dnn checkpoint scalars in " << path);
+  ck.params = read_blob_group(in, "params");
+  ck.velocity = read_blob_group(in, "velocity");
+  LS_CHECK(ck.params.size() == ck.velocity.size(),
+           "dnn checkpoint params/velocity blob count mismatch");
+  return ck;
+}
+
+std::optional<DnnCheckpoint> try_load_dnn_checkpoint(const std::string& path) {
+  if (!file_exists(path)) return std::nullopt;
+  try {
+    return load_dnn_checkpoint(path);
+  } catch (const Error&) {
+    return std::nullopt;  // corrupt snapshot: restart rather than poison
+  }
+}
 
 double evaluate(Net& net, const ImageDataset& ds, index_t batch) {
   LS_CHECK(ds.size() > 0, "cannot evaluate on an empty dataset");
@@ -80,6 +174,38 @@ DnnTrainResult train_dnn(
   std::iota(order.begin(), order.end(), index_t{0});
 
   DnnTrainResult result;
+
+  // Resume from an existing epoch snapshot. The shuffle stream is replayed
+  // below (epochs before start_epoch re-shuffle without training), so the
+  // resumed run sees the exact batch sequence of an uninterrupted one.
+  index_t start_epoch = 0;
+  if (!config.checkpoint_path.empty()) {
+    if (const auto ck = try_load_dnn_checkpoint(config.checkpoint_path)) {
+      const std::vector<ParamBlob*> blobs = net.params();
+      bool compatible = ck->params.size() == blobs.size();
+      for (std::size_t k = 0; compatible && k < blobs.size(); ++k) {
+        compatible = ck->params[k].size() == blobs[k]->value.size();
+      }
+      if (compatible) {
+        for (std::size_t k = 0; k < blobs.size(); ++k) {
+          blobs[k]->value = ck->params[k];
+        }
+        opt.set_velocity(ck->velocity);
+        opt.set_learning_rate(ck->learning_rate);
+        start_epoch = std::min(ck->epochs_completed, config.max_epochs);
+        result.iterations = ck->iterations;
+        result.epochs_completed = start_epoch;
+      }
+    }
+  }
+  if (start_epoch >= config.max_epochs) {
+    // Nothing left to train; report the restored model's quality.
+    result.test_accuracy = evaluate(net, data.test);
+    result.reached_target = config.target_accuracy > 0.0 &&
+                            result.test_accuracy >= config.target_accuracy;
+    result.seconds = timer.seconds();
+    return result;
+  }
   Tensor batch(config.batch_size, train.images.c(), train.images.h(),
                train.images.w());
   std::vector<index_t> labels(static_cast<std::size_t>(config.batch_size));
@@ -87,6 +213,13 @@ DnnTrainResult train_dnn(
   const index_t batches_per_epoch = train.size() / config.batch_size;
 
   for (index_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (epoch < start_epoch) {
+      // Replay epoch: advance the shuffle stream only. The restored
+      // learning rate already includes this epoch's multistep drops.
+      shuffle(order.begin(), order.end(), rng);
+      continue;
+    }
+    LS_FAILPOINT("dnn.trainer.epoch");
     // Multistep schedule: drop the learning rate every k epochs (Caffe's
     // cifar10_full solver drops by 10x late in training).
     if (config.lr_drop_every_epochs > 0 && epoch > 0 &&
@@ -127,6 +260,17 @@ DnnTrainResult train_dnn(
     result.final_train_loss =
         loss_acc / static_cast<double>(batches_per_epoch);
     result.test_accuracy = evaluate(net, data.test);
+    if (!config.checkpoint_path.empty() &&
+        config.checkpoint_every_epochs > 0 &&
+        (epoch + 1) % config.checkpoint_every_epochs == 0) {
+      DnnCheckpoint ck;
+      ck.epochs_completed = epoch + 1;
+      ck.iterations = result.iterations;
+      ck.learning_rate = opt.learning_rate();
+      for (ParamBlob* p : net.params()) ck.params.push_back(p->value);
+      ck.velocity = opt.velocity();
+      save_dnn_checkpoint(config.checkpoint_path, ck);
+    }
     if (on_epoch) {
       on_epoch(epoch + 1, result.final_train_loss, result.test_accuracy);
     }

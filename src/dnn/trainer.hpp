@@ -10,6 +10,9 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "dnn/cifar.hpp"
@@ -32,6 +35,14 @@ struct DnnTrainConfig {
   index_t workers = 1;           ///< simulated data-parallel workers
   index_t eval_every_iters = 0;  ///< 0 = evaluate at epoch boundaries only
   std::uint64_t shuffle_seed = 99;
+  /// Fault tolerance: when non-empty, an atomic CRC-protected snapshot
+  /// (weights + momentum + progress) is written here every
+  /// `checkpoint_every_epochs` epochs, and — if a valid snapshot already
+  /// exists — training resumes from it instead of epoch 0. The shuffle
+  /// stream is replayed deterministically, so a resumed run follows the
+  /// exact batch sequence of an uninterrupted one.
+  std::string checkpoint_path;
+  index_t checkpoint_every_epochs = 1;
 };
 
 /// Outcome of a training run.
@@ -43,6 +54,24 @@ struct DnnTrainResult {
   bool reached_target = false;
   double seconds = 0.0;
 };
+
+/// Resumable training state captured at an epoch boundary.
+struct DnnCheckpoint {
+  index_t epochs_completed = 0;
+  index_t iterations = 0;
+  real_t learning_rate = 0.0;  ///< after any multistep drops so far
+  std::vector<std::vector<real_t>> params;    ///< blob values, blob order
+  std::vector<std::vector<real_t>> velocity;  ///< momentum state
+};
+
+/// Writes a snapshot atomically (tmp + fsync + rename, CRC footer).
+void save_dnn_checkpoint(const std::string& path, const DnnCheckpoint& ck);
+
+/// Reads a snapshot; throws ls::Error on missing/corrupt/truncated files.
+DnnCheckpoint load_dnn_checkpoint(const std::string& path);
+
+/// Lenient load for resume paths: nullopt when missing or unusable.
+std::optional<DnnCheckpoint> try_load_dnn_checkpoint(const std::string& path);
 
 /// Classification accuracy of `net` on `ds` (batched evaluation).
 double evaluate(Net& net, const ImageDataset& ds, index_t batch = 256);

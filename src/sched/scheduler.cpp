@@ -1,6 +1,9 @@
 #include "sched/scheduler.hpp"
 
+#include <new>
+
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "sched/learned.hpp"
 
 namespace ls {
@@ -8,7 +11,28 @@ namespace ls {
 ScheduleDecision LayoutScheduler::decide(const CooMatrix& x) const {
   switch (opts_.policy) {
     case SchedulePolicy::kEmpirical:
-      return EmpiricalAutotuner(opts_.autotune).choose(x);
+      // Degrade, don't die: when every empirical candidate fails (injected
+      // faults, memory pressure, budgets), the heuristic cost model still
+      // yields a valid format from features alone.
+      try {
+        return EmpiricalAutotuner(opts_.autotune).choose(x);
+      } catch (const Error& e) {
+        ScheduleDecision d = HeuristicSelector().choose(extract_features(x));
+        d.degraded = true;
+        d.dropped.push_back(e.what());
+        d.rationale = "degraded: empirical autotune failed, fell back to "
+                      "heuristic cost model (" +
+                      std::string(format_name(d.format)) + ")";
+        return d;
+      } catch (const std::bad_alloc&) {
+        ScheduleDecision d = HeuristicSelector().choose(extract_features(x));
+        d.degraded = true;
+        d.dropped.push_back("empirical autotune: allocation failure");
+        d.rationale = "degraded: empirical autotune ran out of memory, fell "
+                      "back to heuristic cost model (" +
+                      std::string(format_name(d.format)) + ")";
+        return d;
+      }
     case SchedulePolicy::kHeuristic:
       return HeuristicSelector().choose(extract_features(x));
     case SchedulePolicy::kLearned:
@@ -22,6 +46,36 @@ ScheduleDecision LayoutScheduler::decide(const CooMatrix& x) const {
     }
   }
   throw Error("invalid schedule policy");
+}
+
+AnyMatrix LayoutScheduler::materialize(const CooMatrix& x,
+                                       const ScheduleDecision& d) const {
+  LS_FAILPOINT("sched.materialize");
+  return AnyMatrix::from_coo(x, d.format);
+}
+
+AnyMatrix LayoutScheduler::materialize_or_degrade(const CooMatrix& x,
+                                                  ScheduleDecision& d) const {
+  try {
+    return materialize(x, d);
+  } catch (const std::exception& e) {
+    if (d.format == Format::kCSR) throw;  // no simpler format to retry with
+    d.dropped.push_back(std::string(format_name(d.format)) +
+                        ": materialisation failed: " + e.what());
+    d.format = Format::kCSR;
+    d.degraded = true;
+    d.rationale += "; degraded: chosen format failed to materialise, "
+                   "fell back to CSR";
+    return AnyMatrix::from_coo(x, Format::kCSR);
+  }
+}
+
+AnyMatrix LayoutScheduler::schedule(const CooMatrix& x,
+                                    ScheduleDecision* decision) const {
+  ScheduleDecision d = decide(x);
+  AnyMatrix m = materialize_or_degrade(x, d);
+  if (decision != nullptr) *decision = std::move(d);
+  return m;
 }
 
 SchedulePolicy parse_policy(const std::string& name) {

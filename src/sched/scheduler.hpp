@@ -33,22 +33,35 @@ struct SchedulerOptions {
 };
 
 /// Runtime data-layout scheduler.
+///
+/// The empirical policy degrades gracefully rather than failing: a
+/// candidate format that throws, exhausts memory, or busts its budget is
+/// dropped; if every empirical candidate fails, decide() falls back to the
+/// heuristic cost model; and if even the chosen format cannot be
+/// materialised, materialize_or_degrade() falls back to CSR. Every
+/// fallback is recorded in the returned ScheduleDecision (`degraded`,
+/// `dropped`, rationale) so callers can observe the path taken.
 class LayoutScheduler {
  public:
   explicit LayoutScheduler(SchedulerOptions opts = {}) : opts_(opts) {}
 
-  /// Chooses a format for `x` under the configured policy.
+  /// Chooses a format for `x` under the configured policy. Under the
+  /// empirical policy, falls back to the heuristic model (decision flagged
+  /// `degraded`) when no empirical candidate survives.
   ScheduleDecision decide(const CooMatrix& x) const;
 
-  /// Materialises `x` in the decided format.
-  AnyMatrix materialize(const CooMatrix& x, const ScheduleDecision& d) const {
-    return AnyMatrix::from_coo(x, d.format);
-  }
+  /// Materialises `x` in the decided format; throws on failure.
+  AnyMatrix materialize(const CooMatrix& x, const ScheduleDecision& d) const;
 
-  /// decide() + materialize() in one call.
-  AnyMatrix schedule(const CooMatrix& x) const {
-    return materialize(x, decide(x));
-  }
+  /// Materialises `x` in d.format, falling back to CSR (and flagging `d`
+  /// as degraded) when that format cannot be built.
+  AnyMatrix materialize_or_degrade(const CooMatrix& x,
+                                   ScheduleDecision& d) const;
+
+  /// decide() + materialize_or_degrade() in one call. When `decision` is
+  /// non-null the final (possibly degraded) decision is stored there.
+  AnyMatrix schedule(const CooMatrix& x,
+                     ScheduleDecision* decision = nullptr) const;
 
   const SchedulerOptions& options() const { return opts_; }
 

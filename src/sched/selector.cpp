@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "formats/any_matrix.hpp"
@@ -107,19 +109,54 @@ ScheduleDecision EmpiricalAutotuner::choose(const CooMatrix& x) const {
       opts_.include_extended ? std::span<const Format>(kExtendedFormats)
                              : std::span<const Format>(kAllFormats);
   for (Format f : candidates) {
+    const std::string fname(format_name(f));
     if (!storage_admissible(f, feat, opts_.max_storage_ratio)) continue;
-    const AnyMatrix mat = AnyMatrix::from_coo(*probe, f);
-    const double secs =
-        time_best([&] { mat.multiply_dense(w, y); }, opts_.trials, 0.002) *
-        scale;
-    d.score_seconds[static_cast<std::size_t>(f)] = secs;
-    if (secs < best) {
-      best = secs;
-      d.format = f;
-      any = true;
+    if (opts_.candidate_bytes_budget > 0) {
+      const double bytes = modeled_storage_words(f, feat) *
+                           static_cast<double>(kRealBytes);
+      if (bytes > static_cast<double>(opts_.candidate_bytes_budget)) {
+        d.dropped.push_back(fname + ": modelled storage " +
+                            std::to_string(bytes) + " B over budget");
+        continue;
+      }
+    }
+    // One failed candidate must not abort the race: a build that throws,
+    // runs out of memory, or busts its wall-clock budget is dropped and
+    // the remaining candidates keep competing.
+    try {
+      LS_FAILPOINT("sched.candidate.materialize");
+      Timer candidate_timer;
+      const AnyMatrix mat = AnyMatrix::from_coo(*probe, f);
+      const double secs =
+          time_best([&] { mat.multiply_dense(w, y); }, opts_.trials, 0.002) *
+          scale;
+      if (opts_.candidate_seconds_budget > 0 &&
+          candidate_timer.seconds() > opts_.candidate_seconds_budget) {
+        d.dropped.push_back(fname + ": busted " +
+                            std::to_string(opts_.candidate_seconds_budget) +
+                            " s candidate budget");
+        continue;
+      }
+      d.score_seconds[static_cast<std::size_t>(f)] = secs;
+      if (secs < best) {
+        best = secs;
+        d.format = f;
+        any = true;
+      }
+    } catch (const Error& e) {
+      d.dropped.push_back(fname + ": " + e.what());
+    } catch (const std::bad_alloc&) {
+      d.dropped.push_back(fname + ": allocation failure");
     }
   }
-  LS_CHECK(any, "no admissible format candidates (storage ratio too strict)");
+  if (!any) {
+    std::string detail;
+    for (const std::string& note : d.dropped) {
+      detail += "; " + note;
+    }
+    throw Error("empirical autotune: no candidate survived (storage guards"
+                " or per-candidate failures)" + detail);
+  }
   d.rationale = "empirical autotune: min measured SMSV time (" +
                 std::string(format_name(d.format)) + ")";
   return d;

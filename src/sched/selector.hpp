@@ -14,6 +14,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "data/features.hpp"
@@ -29,6 +30,14 @@ struct ScheduleDecision {
   Format format = Format::kCSR;
   std::array<double, kNumFormats> score_seconds{};
   std::string rationale;
+  /// True when a fallback path produced this decision (empirical candidates
+  /// all failed, or the chosen format could not be materialised). The
+  /// decision is still valid — callers observe the degradation rather than
+  /// an exception.
+  bool degraded = false;
+  /// One human-readable note per candidate that was dropped (threw, ran
+  /// out of memory, or busted its time/space budget) on the way here.
+  std::vector<std::string> dropped;
 
   double score_of(Format f) const {
     return score_seconds[static_cast<std::size_t>(f)];
@@ -66,6 +75,13 @@ struct AutotuneOptions {
   /// Also consider the derived formats (CSC, BCSR) beyond the paper's five
   /// basic formats.
   bool include_extended = false;
+  /// Per-candidate wall-clock budget in seconds (0 = unlimited). A
+  /// candidate whose build + probe time busts the budget is dropped from
+  /// the race instead of aborting the whole autotune.
+  double candidate_seconds_budget = 0.0;
+  /// Per-candidate modelled storage budget in bytes (0 = unlimited);
+  /// candidates above it are dropped before any allocation happens.
+  std::size_t candidate_bytes_budget = 0;
 };
 
 /// Measurement-based selector.

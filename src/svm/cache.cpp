@@ -1,6 +1,9 @@
 #include "svm/cache.hpp"
 
 #include <algorithm>
+#include <new>
+
+#include "common/failpoint.hpp"
 
 namespace ls {
 
@@ -31,7 +34,21 @@ std::span<const real_t> KernelCache::get_row(index_t i) {
     map_.erase(entry.row);
     lru_.pop_back();
   } else {
-    entry.data.resize(static_cast<std::size_t>(source_->num_rows()));
+    try {
+      LS_FAILPOINT("svm.cache.alloc");
+      entry.data.resize(static_cast<std::size_t>(source_->num_rows()));
+    } catch (const std::bad_alloc&) {
+      // Memory pressure: stop growing — freeze the budget at the resident
+      // set and recycle the LRU buffer instead. Training continues with a
+      // smaller cache (more recomputes) rather than dying. Below two
+      // resident rows there is nothing safe to recycle (the caller may
+      // hold a live span to the single resident row), so propagate.
+      if (lru_.size() < 2) throw;
+      max_rows_ = std::max<std::size_t>(2, map_.size());
+      entry = std::move(lru_.back());
+      map_.erase(entry.row);
+      lru_.pop_back();
+    }
   }
   entry.row = i;
   source_->compute_row(i, entry.data);

@@ -1,0 +1,103 @@
+#include "svm/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/fs_atomic.hpp"
+
+namespace ls {
+
+namespace {
+
+constexpr const char* kCheckpointMagic = "ls_smo_checkpoint v1";
+
+void write_vector(std::ostream& out, const char* name,
+                  const std::vector<real_t>& v) {
+  out << name;
+  for (real_t x : v) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<real_t> read_vector(std::istream& in, const char* name,
+                                std::size_t n) {
+  std::string line;
+  LS_CHECK(std::getline(in, line), "checkpoint truncated at " << name);
+  std::istringstream ls(line);
+  std::string key;
+  LS_CHECK(static_cast<bool>(ls >> key) && key == name,
+           "bad checkpoint field: expected '" << name << "'");
+  std::vector<real_t> v;
+  v.reserve(n);
+  real_t x = 0.0;
+  while (ls >> x) v.push_back(x);
+  LS_CHECK(v.size() == n, "checkpoint vector '"
+                              << name << "' has " << v.size()
+                              << " entries, expected " << n);
+  return v;
+}
+
+}  // namespace
+
+void save_smo_checkpoint(const std::string& path, const SmoCheckpoint& ck) {
+  LS_FAILPOINT("svm.checkpoint.save");
+  LS_CHECK(ck.alpha.size() == ck.f.size(),
+           "inconsistent checkpoint: alpha/f size mismatch");
+  atomic_write_file(path, [&](std::ostream& out) {
+    out << kCheckpointMagic << '\n';
+    out << "iteration " << ck.iteration << '\n';
+    out << "n " << ck.alpha.size() << '\n';
+    write_vector(out, "alpha", ck.alpha);
+    write_vector(out, "f", ck.f);
+  });
+}
+
+SmoCheckpoint load_smo_checkpoint(const std::string& path) {
+  std::istringstream in(read_file_verified(path));
+  std::string line;
+  LS_CHECK(std::getline(in, line) && line == kCheckpointMagic,
+           "bad checkpoint magic in " << path);
+  SmoCheckpoint ck;
+  std::string key;
+  std::size_t n = 0;
+  LS_CHECK(std::getline(in, line), "checkpoint truncated at iteration");
+  {
+    std::istringstream ls(line);
+    LS_CHECK(static_cast<bool>(ls >> key >> ck.iteration) &&
+                 key == "iteration" && ck.iteration >= 0,
+             "bad checkpoint iteration line: '" << line << "'");
+  }
+  LS_CHECK(std::getline(in, line), "checkpoint truncated at n");
+  {
+    std::istringstream ls(line);
+    LS_CHECK(static_cast<bool>(ls >> key >> n) && key == "n",
+             "bad checkpoint n line: '" << line << "'");
+  }
+  ck.alpha = read_vector(in, "alpha", n);
+  ck.f = read_vector(in, "f", n);
+  return ck;
+}
+
+std::optional<SmoCheckpoint> try_load_smo_checkpoint(const std::string& path,
+                                                     index_t expected_n) {
+  if (!file_exists(path)) return std::nullopt;
+  try {
+    SmoCheckpoint ck = load_smo_checkpoint(path);
+    if (expected_n > 0 &&
+        ck.alpha.size() != static_cast<std::size_t>(expected_n)) {
+      return std::nullopt;
+    }
+    return ck;
+  } catch (const Error&) {
+    // Corrupt snapshot (crashed writer predating atomic saves, bit rot):
+    // resuming from garbage is worse than restarting.
+    return std::nullopt;
+  }
+}
+
+void remove_checkpoint(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace ls

@@ -1,9 +1,11 @@
 #include "svm/serialize.hpp"
 
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/fs_atomic.hpp"
 
 namespace ls {
 
@@ -86,10 +88,20 @@ SvmModel load_model(std::istream& in) {
     index_t prev = -1;
     while (ls >> token) {
       const auto colon = token.find(':');
-      LS_CHECK(colon != std::string::npos,
+      LS_CHECK(colon != std::string::npos && colon > 0,
                "bad sv entry '" << token << "'");
-      const index_t idx = std::stoll(token.substr(0, colon));
-      const real_t val = std::stod(token.substr(colon + 1));
+      // strtoll/strtod with end-pointer checks: corrupt tokens (e.g. from a
+      // truncated file) must surface as ls::Error, never std::stoll's
+      // std::invalid_argument or a silently half-parsed number.
+      char* end = nullptr;
+      const index_t idx =
+          static_cast<index_t>(std::strtoll(token.c_str(), &end, 10));
+      LS_CHECK(end == token.c_str() + colon,
+               "bad sv index in '" << token << "'");
+      const char* vbegin = token.c_str() + colon + 1;
+      const real_t val = std::strtod(vbegin, &end);
+      LS_CHECK(end != vbegin && *end == '\0',
+               "bad sv value in '" << token << "'");
       LS_CHECK(idx > prev, "sv indices must be strictly increasing");
       LS_CHECK(idx >= 0 && idx < model.num_features,
                "sv index " << idx << " out of feature range");
@@ -103,14 +115,13 @@ SvmModel load_model(std::istream& in) {
 }
 
 void save_model_file(const std::string& path, const SvmModel& model) {
-  std::ofstream out(path);
-  LS_CHECK(out.good(), "cannot open model output file: " << path);
-  save_model(out, model);
+  LS_FAILPOINT("svm.serialize.save");
+  atomic_write_file(path, [&](std::ostream& out) { save_model(out, model); });
 }
 
 SvmModel load_model_file(const std::string& path) {
-  std::ifstream in(path);
-  LS_CHECK(in.good(), "cannot open model file: " << path);
+  LS_FAILPOINT("svm.serialize.load");
+  std::istringstream in(read_file_verified(path));
   return load_model(in);
 }
 
@@ -164,9 +175,9 @@ MulticlassModel load_multiclass(std::istream& in) {
 
 void save_multiclass_file(const std::string& path,
                           const MulticlassModel& model) {
-  std::ofstream out(path);
-  LS_CHECK(out.good(), "cannot open ensemble output file: " << path);
-  save_multiclass(out, model);
+  LS_FAILPOINT("svm.serialize.save");
+  atomic_write_file(path,
+                    [&](std::ostream& out) { save_multiclass(out, model); });
 }
 
 void save_svr(std::ostream& out, const SvrModel& model) {
@@ -195,20 +206,19 @@ SvrModel load_svr(std::istream& in) {
 }
 
 void save_svr_file(const std::string& path, const SvrModel& model) {
-  std::ofstream out(path);
-  LS_CHECK(out.good(), "cannot open svr output file: " << path);
-  save_svr(out, model);
+  LS_FAILPOINT("svm.serialize.save");
+  atomic_write_file(path, [&](std::ostream& out) { save_svr(out, model); });
 }
 
 SvrModel load_svr_file(const std::string& path) {
-  std::ifstream in(path);
-  LS_CHECK(in.good(), "cannot open svr file: " << path);
+  LS_FAILPOINT("svm.serialize.load");
+  std::istringstream in(read_file_verified(path));
   return load_svr(in);
 }
 
 MulticlassModel load_multiclass_file(const std::string& path) {
-  std::ifstream in(path);
-  LS_CHECK(in.good(), "cannot open ensemble file: " << path);
+  LS_FAILPOINT("svm.serialize.load");
+  std::istringstream in(read_file_verified(path));
   return load_multiclass(in);
 }
 

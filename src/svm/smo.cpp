@@ -148,6 +148,29 @@ void SmoSolver::unshrink() {
   fully_active_ = true;
 }
 
+SmoCheckpoint SmoSolver::checkpoint(index_t iteration) const {
+  SmoCheckpoint ck;
+  ck.iteration = iteration;
+  ck.alpha = alpha_;
+  ck.f = f_;
+  return ck;
+}
+
+void SmoSolver::restore(const SmoCheckpoint& ck) {
+  LS_CHECK(ck.alpha.size() == static_cast<std::size_t>(n_) &&
+               ck.f.size() == static_cast<std::size_t>(n_),
+           "checkpoint size " << ck.alpha.size() << "/" << ck.f.size()
+                              << " does not match problem size " << n_);
+  LS_CHECK(ck.iteration >= 0, "negative checkpoint iteration");
+  alpha_ = ck.alpha;
+  f_ = ck.f;
+  resume_iteration_ = ck.iteration;
+  // The shrunk active set is not part of the snapshot — restart from the
+  // full set and let shrinking rediscover it.
+  unshrink();
+  unshrunk_once_ = false;
+}
+
 double SmoSolver::current_objective() const {
   // Dual objective via the gradient identity grad_i = y_i f_i = (Q a + p)_i:
   // F = -(1/2 a' Q a + p' a) = -1/2 sum_i a_i (y_i f_i + p_i) — O(n), no
@@ -168,7 +191,7 @@ SolveStats SmoSolver::solve() {
                                : 200 * n_ + 20000;
   SolveStats stats;
 
-  index_t iter = 0;
+  index_t iter = resume_iteration_;
   Selection sel;
   while (iter < max_iter) {
     if (!select_high(sel)) break;  // all samples at compatible bounds
@@ -244,6 +267,10 @@ SolveStats SmoSolver::solve() {
       trace.b_low = sel.b_low;
       trace.objective = current_objective();
       params_.on_trace(trace);
+    }
+    if (params_.on_checkpoint && params_.checkpoint_interval > 0 &&
+        iter % params_.checkpoint_interval == 0) {
+      params_.on_checkpoint(checkpoint(iter));
     }
     if (params_.shrinking && iter % params_.shrink_interval == 0) {
       shrink(sel);

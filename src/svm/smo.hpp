@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -41,6 +42,17 @@ enum class WssPolicy {
   kSecondOrder,  ///< second-order gain (Fan et al. 2005, LIBSVM default)
 };
 
+/// Complete resumable solver state. alpha and f are the only persistent
+/// state SMO carries between iterations (the kernel cache is a pure
+/// memoisation and the active set a recomputable optimisation), so a
+/// solver restored from a checkpoint continues on the exact trajectory the
+/// checkpointed run would have taken. File IO lives in svm/checkpoint.hpp.
+struct SmoCheckpoint {
+  index_t iteration = 0;
+  std::vector<real_t> alpha;
+  std::vector<real_t> f;  ///< optimality indicators f_i = y_i * grad_i
+};
+
 /// Solver parameters.
 struct SvmParams {
   KernelParams kernel;
@@ -60,6 +72,13 @@ struct SvmParams {
   /// (computing the objective costs O(n) per call).
   std::function<void(const IterationTrace&)> on_trace;
   index_t trace_interval = 1;
+  /// Fault tolerance: when set, invoked with a resumable snapshot every
+  /// `checkpoint_interval` iterations (0 disables). The trainer facade
+  /// wires this to an atomic checkpoint file when `checkpoint_path` is
+  /// non-empty, and resumes from that file if a valid one already exists.
+  std::function<void(const SmoCheckpoint&)> on_checkpoint;
+  index_t checkpoint_interval = 0;
+  std::string checkpoint_path;
 };
 
 /// Solver outcome statistics.
@@ -95,6 +114,14 @@ class SmoSolver {
 
   /// Runs the optimisation to convergence (or the iteration cap).
   SolveStats solve();
+
+  /// Snapshot of the current resumable state.
+  SmoCheckpoint checkpoint(index_t iteration = 0) const;
+
+  /// Restores a snapshot taken from an identical problem (same data,
+  /// labels and parameters); solve() then continues from its iteration
+  /// count. Throws ls::Error when the snapshot's size does not match.
+  void restore(const SmoCheckpoint& ck);
 
   std::span<const real_t> alpha() const { return alpha_; }
 
@@ -141,6 +168,7 @@ class SmoSolver {
   bool fully_active_ = true;
   bool unshrunk_once_ = false;
   real_t rho_ = 0.0;
+  index_t resume_iteration_ = 0;  // starting iteration after restore()
 
   /// Per-sample box constraint C_i = C * class weight.
   real_t c_of(index_t i) const {

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "svm/checkpoint.hpp"
 #include "svm/kernel_engine.hpp"
 #include "svm/reschedule.hpp"
 
@@ -17,9 +18,35 @@ TrainResult run_solver(const AnyMatrix& x, const Dataset& ds,
                        ScheduleDecision decision, double schedule_seconds) {
   Timer solve_timer;
   KernelCache cache(engine, params.cache_bytes);
-  SmoSolver solver(cache, ds.y, params);
+
+  // Fault tolerance: with a checkpoint path configured, persist a snapshot
+  // every checkpoint_interval iterations and resume from an existing valid
+  // one. Corrupt or mismatched snapshot files are ignored (fresh start).
+  SvmParams solver_params = params;
+  if (!params.checkpoint_path.empty()) {
+    if (solver_params.checkpoint_interval <= 0) {
+      solver_params.checkpoint_interval = 1000;
+    }
+    const std::string path = params.checkpoint_path;
+    const auto user_hook = params.on_checkpoint;
+    solver_params.on_checkpoint = [path, user_hook](const SmoCheckpoint& ck) {
+      save_smo_checkpoint(path, ck);
+      if (user_hook) user_hook(ck);
+    };
+  }
+
+  SmoSolver solver(cache, ds.y, solver_params);
+  if (!params.checkpoint_path.empty()) {
+    if (const auto ck =
+            try_load_smo_checkpoint(params.checkpoint_path, ds.rows())) {
+      solver.restore(*ck);
+    }
+  }
   SolveStats stats = solver.solve();
   stats.kernel_rows_computed = engine.rows_computed();
+  if (!params.checkpoint_path.empty() && stats.converged) {
+    remove_checkpoint(params.checkpoint_path);
+  }
 
   TrainResult result;
   result.model =
@@ -40,7 +67,7 @@ TrainResult train_adaptive(const Dataset& ds, const SvmParams& params,
   Timer sched_timer;
   const LayoutScheduler scheduler(sched);
   ScheduleDecision decision = scheduler.decide(ds.X);
-  const AnyMatrix x = scheduler.materialize(ds.X, decision);
+  const AnyMatrix x = scheduler.materialize_or_degrade(ds.X, decision);
   const double schedule_seconds = sched_timer.seconds();
 
   FormatKernelEngine engine(x, params.kernel);
