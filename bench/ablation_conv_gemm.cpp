@@ -50,5 +50,6 @@ int main() {
               "improving (or holding) with batch size is the effect the\n"
               "paper's batch-size tuning (Section IV-C) exploits at GPU "
               "scale.\n");
+  bench::finish(csv, "ablation_conv_gemm");
   return 0;
 }

@@ -72,5 +72,6 @@ int main() {
               "n, so P subproblems are cheaper than 1/P of the\nwhole); "
               "each partition gets its own layout decision — the CA-SVM "
               "integration\nthe paper proposes in Section VI.\n");
+  bench::finish(csv, "ablation_dcsvm");
   return 0;
 }

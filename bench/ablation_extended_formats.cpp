@@ -93,5 +93,6 @@ int main() {
       "column outside the gathered\nrow's support — a structural win the "
       "paper's five formats cannot express); HYB\nbounds ELL's padding "
       "under skewed rows; JDS streams like ELL with zero padding.\n");
+  bench::finish(csv, "ablation_extended_formats");
   return 0;
 }

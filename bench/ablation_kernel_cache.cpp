@@ -58,5 +58,6 @@ int main() {
   std::printf("The cache converts repeated working-set rows into O(1) hits; "
               "the win grows\nwith iteration count and row cost (LIBSVM "
               "ships the same mechanism).\n");
+  bench::finish(csv, "ablation_kernel_cache");
   return 0;
 }

@@ -41,5 +41,6 @@ int main() {
               "station only brings 1.3x speedup\"); larger\nbatches "
               "approach the expected ~4x, which is why Section IV-C tunes "
               "B first.\n");
+  bench::finish(csv, "ablation_multigpu");
   return 0;
 }

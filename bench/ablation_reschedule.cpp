@@ -79,5 +79,6 @@ int main() {
               "bounded warm-up\ncost: the switch reclaims most of the "
               "stuck-vs-oracle gap because SMO still\nhas thousands of "
               "iterations ahead when the check fires.\n");
+  bench::finish(csv, "ablation_reschedule");
   return 0;
 }

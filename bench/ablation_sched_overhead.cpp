@@ -85,5 +85,6 @@ int main() {
       "the heuristic or learned policy should be preferred. Grid search,\n"
       "cross validation and one-vs-one reuse the decision, amortising it\n"
       "further.\n");
+  bench::finish(csv, "ablation_sched_overhead");
   return 0;
 }

@@ -102,5 +102,6 @@ int main() {
               "O(tree depth). The empirical tuner's per-dataset\ncost is "
               "amortised over thousands of SMO iterations; the heuristic is "
               "free.\n", learned_train_s);
+  bench::finish(csv, "ablation_selector");
   return 0;
 }

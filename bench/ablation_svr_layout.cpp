@@ -104,5 +104,6 @@ int main() {
               "paper's layout\nscheduling transfers to regression unchanged "
               "because the kernel-row SMSV is\nthe same operation.\n",
               mean(speedups));
+  bench::finish(csv, "ablation_svr_layout");
   return 0;
 }

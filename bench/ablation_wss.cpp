@@ -71,5 +71,7 @@ int main() {
   std::printf("Both policies reach the same dual objective (gap column); "
               "second-order\ntypically needs fewer iterations, which is why "
               "LIBSVM adopted it.\n");
+  trace_csv.close();
+  bench::finish(csv, "ablation_wss");
   return 0;
 }

@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "data/dataset.hpp"
 #include "formats/any_matrix.hpp"
 #include "svm/kernel_engine.hpp"
@@ -71,6 +73,23 @@ inline void banner(const std::string& id, const std::string& what) {
   std::printf("=== %s — %s ===\n", id.c_str(), what.c_str());
   std::printf("(synthetic stand-in datasets; relative shape is the claim,\n"
               " absolute times are machine-specific. See EXPERIMENTS.md.)\n\n");
+}
+
+/// Standard bench epilogue: closes the CSV — verifying every buffered row
+/// actually reached the disk, so a full filesystem fails the bench instead
+/// of leaving a silently truncated file — and, when metrics/trace
+/// collection is on (LS_METRICS / LS_TRACE), exports the run's registry
+/// next to the CSV through the same atomic writers the tools use.
+inline void finish(CsvWriter& csv, const std::string& name) {
+  csv.close();
+  if (metrics::enabled()) {
+    metrics::write_json("bench_results/" + name + ".metrics.json");
+    std::printf("metrics: bench_results/%s.metrics.json\n", name.c_str());
+  }
+  if (trace::enabled()) {
+    trace::write_chrome_json("bench_results/" + name + ".trace.json");
+    std::printf("trace:   bench_results/%s.trace.json\n", name.c_str());
+  }
 }
 
 }  // namespace ls::bench

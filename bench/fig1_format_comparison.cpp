@@ -57,5 +57,6 @@ int main() {
   std::printf("Paper's observation: the best and worst formats vary per "
               "dataset\n(Table III: best-over-worst spans 3.7x-14.3x on "
               "their Ivy Bridge).\n");
+  bench::finish(csv, "fig1");
   return 0;
 }

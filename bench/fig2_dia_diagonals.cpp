@@ -42,5 +42,6 @@ int main() {
   std::printf("Expected shape (paper Fig. 2): monotonically decreasing "
               "speedup as the\ndiagonal count grows — each diagonal pads to "
               "a full stripe of %lld slots.\n", static_cast<long long>(m));
+  bench::finish(csv, "fig2");
   return 0;
 }

@@ -45,5 +45,6 @@ int main() {
   std::printf("Expected shape (paper Fig. 3): speedup decreases as mdim "
               "(and with it vdim)\ngrows — ELL pays M * mdim slots "
               "regardless of nnz.\n");
+  bench::finish(csv, "fig3");
   return 0;
 }

@@ -70,5 +70,6 @@ int main() {
               "rises with vdim\non a many-core machine; the single-thread "
               "ratio stays near 1x, confirming\nthe effect is load balance, "
               "not per-element cost.\n");
+  bench::finish(csv, "fig4");
   return 0;
 }

@@ -27,5 +27,6 @@ int main() {
   std::printf("Headline: 8-core CPU %.1f h -> tuned DGX %.0f s (paper: "
               "8.2 h -> ~83 s, \"roughly 1 minute\").\n",
               rows.front().seconds / 3600.0, rows.back().seconds);
+  bench::finish(csv, "fig5");
   return 0;
 }

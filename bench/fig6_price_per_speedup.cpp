@@ -52,5 +52,6 @@ int main() {
               worst_method.c_str(), worst);
   std::printf("(Paper: \"Tesla P100 GPU is the most efficient platform and "
               "the 8-core CPU\nis the least efficient platform.\")\n");
+  bench::finish(csv, "fig6");
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
               "1.2x-16.5x)\n", mean(vs_libsvm));
   std::printf("Average speedup vs our fixed-CSR:   %.2fx (paper: ~1.3x)\n",
               mean(vs_csr));
+  bench::finish(csv, "fig7");
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
               "scattered-sparse, DIA\nsmallest when banded, DEN smallest "
               "when fully dense (2-3x less than the\nindex-carrying "
               "formats).\n");
+  bench::finish(csv, "table2");
   return 0;
 }

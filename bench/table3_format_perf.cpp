@@ -60,5 +60,6 @@ int main() {
               "spans on Ivy Bridge + KNC;\nexact winners are architecture-"
               "dependent, which is the paper's motivation\nfor *runtime* "
               "scheduling).\n");
+  bench::finish(csv, "table3");
   return 0;
 }

@@ -134,5 +134,6 @@ int main() {
       " * COO-mdim: long same-row runs serialise the accumulator through "
       "memory on\n   out-of-order CPUs (a <2x effect) — invisible on the "
       "paper's platform.\n");
+  bench::finish(csv, "table4");
   return 0;
 }

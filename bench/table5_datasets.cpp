@@ -44,5 +44,6 @@ int main() {
   std::printf("Scaled profiles (gisette, sector, epsilon, dna) keep the "
               "aspect ratio and\ndensity of the original; see DESIGN.md "
               "section 3 for the substitution rule.\n");
+  bench::finish(csv, "table5");
   return 0;
 }

@@ -90,5 +90,6 @@ int main() {
               "format).\n", mean(max_speedups), max_value(max_speedups));
   std::printf("Scheduler picked the measured-optimal format on %d/%d "
               "datasets.\n", optimal_picks, total);
+  bench::finish(csv, "table6");
   return 0;
 }

@@ -41,5 +41,6 @@ int main() {
       " * Our times come from the calibrated device model (t100 anchored to"
       " the\n   paper's B=100 rows; DGX saturation anchored to its B=512"
       " row).\n");
+  bench::finish(csv, "table7");
   return 0;
 }

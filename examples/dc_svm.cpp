@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "data/profiles.hpp"
 #include "svm/dcsvm.hpp"
 
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   cli.add_flag("partitions", "4", "number of simulated cluster nodes");
   cli.add_flag("strategy", "cluster", "cluster | random partitioning");
   cli.add_flag("c", "1.0", "SVM regularisation constant");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   const Dataset full = profile_by_name(cli.get("dataset")).generate();
   const auto [train, test] = full.split(0.8);

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "common/timer.hpp"
 #include "dnn/cifar.hpp"
 #include "dnn/net.hpp"
@@ -94,7 +95,9 @@ int main(int argc, char** argv) {
   CliParser cli("dnn_autotune", "B/eta/mu auto-tuning (paper Section IV)");
   cli.add_flag("device", "dgx", "cpu8 | knl | haswell | p100 | dgx");
   cli.add_flag("real", "true", "also run the real-training sweep");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   run_model_tuning(device_by_id(cli.get("device")));
   if (cli.get_bool("real")) run_real_tuning();

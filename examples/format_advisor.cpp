@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "data/features.hpp"
 #include "data/libsvm_io.hpp"
 #include "data/profiles.hpp"
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   cli.add_flag("dataset", "mnist", "Table V profile name when no --file");
   cli.add_flag("extended", "false",
                "also consider the derived formats (CSC/BCSR/HYB/JDS)");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   Dataset ds;
   if (!cli.get("file").empty()) {

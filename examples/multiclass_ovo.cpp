@@ -10,6 +10,7 @@
 #include <map>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "common/rng.hpp"
 #include "svm/multiclass.hpp"
 
@@ -22,7 +23,9 @@ int main(int argc, char** argv) {
   cli.add_flag("features", "32", "feature-space dimension");
   cli.add_flag("c", "5.0", "SVM regularisation constant");
   cli.add_flag("strategy", "ovo", "ovo (one-vs-one) | ovr (one-vs-rest)");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   const auto k = static_cast<index_t>(cli.get_int("classes"));
   const auto n = static_cast<index_t>(cli.get_int("samples"));

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "data/features.hpp"
 #include "data/profiles.hpp"
 #include "svm/trainer.hpp"
@@ -22,7 +23,9 @@ int main(int argc, char** argv) {
   cli.add_flag("gamma", "0.5", "kernel gamma / a parameter");
   cli.add_flag("policy", "empirical", "empirical | heuristic | learned | fixed");
   cli.add_flag("tolerance", "1e-3", "SMO convergence tolerance");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   // 1. Obtain a dataset (synthetic stand-in matching the paper's stats).
   const Dataset full = profile_by_name(cli.get("dataset")).generate();

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "data/libsvm_io.hpp"
 #include "data/profiles.hpp"
 #include "data/scaling.hpp"
@@ -99,7 +100,9 @@ int main(int argc, char** argv) {
   cli.add_flag("checkpoint", "",
                "checkpoint file: save snapshots while training and resume "
                "from an interrupted run (train mode)");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   SvmParams params;
   params.kernel.type = parse_kernel(cli.get("kernel"));

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/observability.hpp"
 #include "common/rng.hpp"
 #include "svm/svr.hpp"
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   cli.add_flag("c", "50.0", "regularisation constant");
   cli.add_flag("gamma", "4.0", "Gaussian kernel width");
   cli.add_flag("noise", "0.05", "target noise stddev");
+  add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  const ObservabilityScope observability(cli);
 
   const auto n = static_cast<index_t>(cli.get_int("samples"));
   const real_t noise = cli.get_double("noise");

@@ -19,10 +19,32 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
+metrics_smoke() {
+  # Observability smoke: a real tool run with collection on must produce
+  # a parseable metrics report with the scheduler's decision in it.
+  local out
+  out="$(mktemp /tmp/ls_metrics_smoke.XXXXXX.json)"
+  echo "==> metrics smoke (LS_METRICS=${out})"
+  LS_METRICS="${out}" ./build/examples/quickstart \
+    --dataset breast_cancer >/dev/null
+  python3 - "${out}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for key in ("schema", "counters", "timers", "annotations"):
+    assert key in report, f"missing {key!r} in metrics report"
+assert report["counters"].get("svm.smo.iterations_total", 0) > 0
+assert "sched.chosen_format" in report["annotations"]
+print("metrics report OK:", report["annotations"]["sched.chosen_format"])
+PY
+  rm -f "${out}"
+}
+
 mode="${1:-all}"
 
 if [[ "${mode}" != "--sanitize-only" ]]; then
   run_suite build
+  metrics_smoke
 fi
 
 if [[ "${mode}" != "--plain-only" ]]; then

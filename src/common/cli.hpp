@@ -64,19 +64,36 @@ class CliParser {
     return it->second.value;
   }
 
+  /// Parses the flag as a double. The whole value must be numeric:
+  /// std::stod alone would silently accept "1.5x" as 1.5.
   double get_double(const std::string& name) const {
     const std::string& v = get(name);
     try {
-      return std::stod(v);
+      std::size_t consumed = 0;
+      const double parsed = std::stod(v, &consumed);
+      if (consumed != v.size()) {
+        throw Error("flag --" + name + " has trailing garbage: '" + v + "'");
+      }
+      return parsed;
+    } catch (const Error&) {
+      throw;
     } catch (const std::exception&) {
       throw Error("flag --" + name + " is not a number: '" + v + "'");
     }
   }
 
+  /// Parses the flag as an integer, rejecting partial parses like "12abc".
   long long get_int(const std::string& name) const {
     const std::string& v = get(name);
     try {
-      return std::stoll(v);
+      std::size_t consumed = 0;
+      const long long parsed = std::stoll(v, &consumed);
+      if (consumed != v.size()) {
+        throw Error("flag --" + name + " has trailing garbage: '" + v + "'");
+      }
+      return parsed;
+    } catch (const Error&) {
+      throw;
     } catch (const std::exception&) {
       throw Error("flag --" + name + " is not an integer: '" + v + "'");
     }

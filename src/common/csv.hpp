@@ -11,23 +11,46 @@
 namespace ls {
 
 /// Streams rows of a CSV file; fields containing commas/quotes are quoted.
+///
+/// Write failures after construction (full disk, closed stream) are loud:
+/// write_row checks the stream after every row, and close() verifies the
+/// flush so callers cannot report success over a truncated file. The
+/// destructor closes silently for backwards compatibility — benches call
+/// close() (via bench::finish) to get the verification.
 class CsvWriter {
  public:
   /// Opens (truncates) `path` and writes the header row.
   CsvWriter(const std::string& path, const std::vector<std::string>& header)
-      : out_(path) {
+      : path_(path), out_(path) {
     LS_CHECK(out_.good(), "cannot open CSV output file: " << path);
     write_row(header);
   }
 
-  /// Writes one data row.
+  /// Writes one data row; throws ls::Error if the bytes did not take.
   void write_row(const std::vector<std::string>& fields) {
+    LS_CHECK(!closed_, "write_row on closed CSV file: " << path_);
     for (std::size_t i = 0; i < fields.size(); ++i) {
       if (i) out_ << ',';
       out_ << escape(fields[i]);
     }
     out_ << '\n';
+    LS_CHECK(out_.good(),
+             "CSV write failed (disk full or stream error): " << path_);
   }
+
+  /// Flushes and closes, verifying every buffered row reached the file.
+  /// Idempotent; throws ls::Error when the stream reports a failure.
+  void close() {
+    if (closed_) return;
+    out_.flush();
+    LS_CHECK(out_.good(),
+             "CSV flush failed (disk full or stream error): " << path_);
+    out_.close();
+    LS_CHECK(!out_.fail(), "CSV close failed: " << path_);
+    closed_ = true;
+  }
+
+  const std::string& path() const { return path_; }
 
  private:
   static std::string escape(const std::string& s) {
@@ -41,7 +64,9 @@ class CsvWriter {
     return q;
   }
 
+  std::string path_;
   std::ofstream out_;
+  bool closed_ = false;
 };
 
 }  // namespace ls

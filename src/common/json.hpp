@@ -1,0 +1,50 @@
+// Minimal JSON emission helpers shared by the metrics and trace exporters.
+//
+// Emission only — the library never needs to *parse* JSON; the test suite
+// carries its own tiny syntax checker to validate what these produce.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace ls::json {
+
+/// Escapes and double-quotes `s` as a JSON string literal.
+inline std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Formats a double as a JSON number; JSON has no inf/nan, so non-finite
+/// values become null (consumers treat null as "not measured").
+inline std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace ls::json

@@ -1,0 +1,308 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/fs_atomic.hpp"
+#include "common/json.hpp"
+
+namespace ls::metrics {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread sample cap per timer; beyond it only count/total/min/max stay
+/// exact and the percentiles become an estimate over the retained prefix.
+constexpr std::size_t kMaxSamplesPerTimer = 4096;
+
+struct TimerShard {
+  std::int64_t count = 0;
+  double total = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<double> samples;
+};
+
+/// One thread's slice of the registry. The mutex is only ever contended by
+/// snapshot()/reset(), so recording stays at uncontended-lock cost.
+struct Shard {
+  std::mutex mu;
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  std::map<std::string, TimerShard, std::less<>> timers;
+};
+
+struct Registry {
+  std::mutex mu;  // guards shards, gauges, annotations
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, std::string, std::less<>> annotations;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    auto s = std::make_shared<Shard>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.shards.push_back(s);  // registry keeps data alive past thread exit
+    return s;
+  }();
+  return *shard;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Reads LS_METRICS once at startup: "" / "0" off, "1"/"true"/"on"/"yes"
+/// collect-only, anything else = collect + auto-export to that path at exit.
+const bool g_env_initialised = [] {
+  const char* env = std::getenv("LS_METRICS");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  if (value.empty() || value == "0" || value == "false" || value == "off") {
+    return true;
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+  if (value != "1" && value != "true" && value != "on" && value != "yes") {
+    static std::string export_path;
+    export_path = value;
+    std::atexit([] {
+      try {
+        write_report(export_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "LS_METRICS export to %s failed: %s\n",
+                     export_path.c_str(), e.what());
+      }
+    });
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void counter_add_slow(std::string_view name, std::int64_t delta) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.counters.find(name);
+  if (it != s.counters.end()) {
+    it->second += delta;
+  } else {
+    s.counters.emplace(std::string(name), delta);
+  }
+}
+
+void gauge_set_slow(std::string_view name, double value) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.gauges.find(name);
+  if (it != r.gauges.end()) {
+    it->second = value;
+  } else {
+    r.gauges.emplace(std::string(name), value);
+  }
+}
+
+void timer_record_slow(std::string_view name, double seconds) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.timers.find(name);
+  if (it == s.timers.end()) {
+    it = s.timers.emplace(std::string(name), TimerShard{}).first;
+  }
+  TimerShard& t = it->second;
+  ++t.count;
+  t.total += seconds;
+  t.min = std::min(t.min, seconds);
+  t.max = std::max(t.max, seconds);
+  if (t.samples.size() < kMaxSamplesPerTimer) t.samples.push_back(seconds);
+}
+
+void annotate_slow(std::string_view name, std::string_view value) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.annotations.find(name);
+  if (it != r.annotations.end()) {
+    it->second = std::string(value);
+  } else {
+    r.annotations.emplace(std::string(name), std::string(value));
+  }
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.gauges.clear();
+  r.annotations.clear();
+  for (const std::shared_ptr<Shard>& shard : r.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.clear();
+    shard->timers.clear();
+  }
+}
+
+Report snapshot() {
+  Report report;
+  std::map<std::string, TimerShard, std::less<>> merged;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    report.gauges.insert(r.gauges.begin(), r.gauges.end());
+    report.annotations.insert(r.annotations.begin(), r.annotations.end());
+    for (const std::shared_ptr<Shard>& shard : r.shards) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      for (const auto& [name, value] : shard->counters) {
+        report.counters[name] += value;
+      }
+      for (const auto& [name, t] : shard->timers) {
+        TimerShard& m = merged[name];
+        m.count += t.count;
+        m.total += t.total;
+        m.min = std::min(m.min, t.min);
+        m.max = std::max(m.max, t.max);
+        m.samples.insert(m.samples.end(), t.samples.begin(), t.samples.end());
+      }
+    }
+  }
+  for (auto& [name, t] : merged) {
+    if (t.count == 0) continue;
+    TimerStats stats;
+    stats.count = t.count;
+    stats.total = t.total;
+    stats.min = t.min;
+    stats.max = t.max;
+    stats.mean = t.total / static_cast<double>(t.count);
+    std::sort(t.samples.begin(), t.samples.end());
+    stats.p50 = percentile(t.samples, 0.50);
+    stats.p95 = percentile(t.samples, 0.95);
+    report.timers.emplace(name, stats);
+  }
+  return report;
+}
+
+std::string to_json(const Report& report) {
+  std::string out = "{\n  \"schema\": \"ls.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : report.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quote(name) + ": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : report.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quote(name) + ": " + json::number(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& [name, t] : report.timers) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quote(name) + ": {\"count\": " +
+           std::to_string(t.count) + ", \"total\": " + json::number(t.total) +
+           ", \"min\": " + json::number(t.min) +
+           ", \"mean\": " + json::number(t.mean) +
+           ", \"p50\": " + json::number(t.p50) +
+           ", \"p95\": " + json::number(t.p95) +
+           ", \"max\": " + json::number(t.max) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"annotations\": {";
+  first = true;
+  for (const auto& [name, value] : report.annotations) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quote(name) + ": " + json::quote(value);
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += "\"\"";
+    else q += c;
+  }
+  q += '"';
+  return q;
+}
+
+std::string csv_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_csv(const Report& report) {
+  std::string out = "kind,name,value,count,total,min,mean,p50,p95,max\n";
+  for (const auto& [name, value] : report.counters) {
+    out += "counter," + csv_escape(name) + "," + std::to_string(value) +
+           ",,,,,,,\n";
+  }
+  for (const auto& [name, value] : report.gauges) {
+    out += "gauge," + csv_escape(name) + "," + csv_num(value) + ",,,,,,,\n";
+  }
+  for (const auto& [name, t] : report.timers) {
+    out += "timer," + csv_escape(name) + ",," + std::to_string(t.count) +
+           "," + csv_num(t.total) + "," + csv_num(t.min) + "," +
+           csv_num(t.mean) + "," + csv_num(t.p50) + "," + csv_num(t.p95) +
+           "," + csv_num(t.max) + "\n";
+  }
+  for (const auto& [name, value] : report.annotations) {
+    out += "annotation," + csv_escape(name) + "," + csv_escape(value) +
+           ",,,,,,,\n";
+  }
+  return out;
+}
+
+void write_json(const std::string& path) {
+  atomic_write_file(path, to_json(snapshot()), /*with_crc_footer=*/false);
+}
+
+void write_csv(const std::string& path) {
+  atomic_write_file(path, to_csv(snapshot()), /*with_crc_footer=*/false);
+}
+
+void write_report(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  if (csv) {
+    write_csv(path);
+  } else {
+    write_json(path);
+  }
+}
+
+}  // namespace ls::metrics

@@ -1,0 +1,144 @@
+// Process-wide metrics registry: counters, gauges, scoped-timer histograms
+// and string annotations, exported as an atomic JSON (or CSV) report.
+//
+// Collection is off by default and every recording call starts with one
+// relaxed atomic load, so instrumented hot paths stay hot when nobody is
+// measuring. Enable with the LS_METRICS environment variable or
+// metrics::set_enabled(true) (the tools wire --metrics-out to the latter):
+//
+//   LS_METRICS=1                collect; caller exports explicitly
+//   LS_METRICS=/tmp/run.json    collect and auto-export there at exit
+//
+// Thread safety: counters and timer samples go to per-thread shards (each
+// with an uncontended mutex) that are aggregated on snapshot(); gauges and
+// annotations are last-write-wins under one registry mutex. Naming scheme:
+// dotted lower-case `component.metric`, with `_total` for counters and
+// `_seconds` for timers (see DESIGN.md §10).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ls::metrics {
+
+namespace detail {
+/// Collection switch; read on every recording call, so keep it relaxed.
+extern std::atomic<bool> g_enabled;
+void counter_add_slow(std::string_view name, std::int64_t delta);
+void gauge_set_slow(std::string_view name, double value);
+void timer_record_slow(std::string_view name, double seconds);
+void annotate_slow(std::string_view name, std::string_view value);
+}  // namespace detail
+
+/// True when the registry is recording.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off (does not clear recorded values).
+void set_enabled(bool on);
+
+/// Drops every recorded value (tests; shards stay registered).
+void reset();
+
+/// Adds `delta` to a monotonically increasing counter.
+inline void counter_add(std::string_view name, std::int64_t delta = 1) {
+  if (enabled()) detail::counter_add_slow(name, delta);
+}
+
+/// Sets a gauge to its latest observed value (last write wins).
+inline void gauge_set(std::string_view name, double value) {
+  if (enabled()) detail::gauge_set_slow(name, value);
+}
+
+/// Records one duration sample into a timer histogram.
+inline void timer_record(std::string_view name, double seconds) {
+  if (enabled()) detail::timer_record_slow(name, seconds);
+}
+
+/// Attaches a string fact (provenance, chosen format, rationale) to the
+/// report. Last write wins.
+inline void annotate(std::string_view name, std::string_view value) {
+  if (enabled()) detail::annotate_slow(name, value);
+}
+
+/// Aggregated statistics of one timer histogram.
+struct TimerStats {
+  std::int64_t count = 0;
+  double total = 0.0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;  ///< from retained samples (capped per thread)
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// One aggregated, point-in-time view of the registry.
+struct Report {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStats> timers;
+  std::map<std::string, std::string> annotations;
+};
+
+/// Aggregates all shards into one report (safe to call while recording).
+Report snapshot();
+
+/// Renders a report as pretty-printed JSON (schema "ls.metrics.v1").
+std::string to_json(const Report& report);
+
+/// Renders a report as CSV (kind,name,value,count,total,min,mean,p50,p95,max).
+std::string to_csv(const Report& report);
+
+/// Atomically writes snapshot() as JSON to `path` (no CRC footer, so the
+/// file is directly parseable by any JSON reader).
+void write_json(const std::string& path);
+
+/// Atomically writes snapshot() as CSV to `path`.
+void write_csv(const std::string& path);
+
+/// Writes CSV when `path` ends in ".csv", JSON otherwise.
+void write_report(const std::string& path);
+
+/// RAII timer: records the scope's duration into `name` on destruction.
+/// Arming is decided at construction, so enabling metrics mid-scope does
+/// not record a partially measured interval.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name) : armed_(enabled()) {
+    // The name copy and the clock read both wait behind the gate so a
+    // disabled timer costs one relaxed atomic load, nothing more.
+    if (armed_) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (armed_) detail::timer_record_slow(name_, elapsed());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at scope exit (idempotent).
+  void stop() {
+    if (armed_) detail::timer_record_slow(name_, elapsed());
+    armed_ = false;
+  }
+
+ private:
+  double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  bool armed_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace ls::metrics

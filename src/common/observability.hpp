@@ -1,0 +1,70 @@
+// Glue between the CLI tools and the metrics/trace subsystems: every
+// example binary registers --metrics-out / --trace-out via
+// add_observability_flags() and holds an ObservabilityScope for the
+// duration of its run, so one flag turns a normal run into a measured one:
+//
+//   ./svm_tool --mode demo --metrics-out run.json --trace-out run.trace.json
+//
+// The LS_METRICS / LS_TRACE environment variables work independently of
+// the flags (see metrics.hpp / trace.hpp for their syntax).
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace ls {
+
+/// Registers the standard observability flags on a tool's CLI parser.
+inline void add_observability_flags(CliParser& cli) {
+  cli.add_flag("metrics-out", "",
+               "write a metrics report here on exit (JSON, or CSV when the "
+               "path ends in .csv); implies collection");
+  cli.add_flag("trace-out", "",
+               "write a chrome://tracing JSON (or .csv) trace here on exit; "
+               "implies collection");
+}
+
+/// RAII observability session for a tool run: enables collection for every
+/// requested output and exports the reports atomically on destruction.
+/// Export failures are reported on stderr rather than thrown — a full disk
+/// must not turn a finished training run into a crash.
+class ObservabilityScope {
+ public:
+  explicit ObservabilityScope(const CliParser& cli)
+      : metrics_path_(cli.get("metrics-out")),
+        trace_path_(cli.get("trace-out")) {
+    if (!metrics_path_.empty()) metrics::set_enabled(true);
+    if (!trace_path_.empty()) trace::set_enabled(true);
+  }
+
+  ~ObservabilityScope() {
+    try {
+      if (!metrics_path_.empty()) {
+        metrics::write_report(metrics_path_);
+        std::fprintf(stderr, "metrics report written to %s\n",
+                     metrics_path_.c_str());
+      }
+      if (!trace_path_.empty()) {
+        trace::write_report(trace_path_);
+        std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                     trace_path_.c_str(), trace::event_count());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "observability export failed: %s\n", e.what());
+    }
+  }
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+}  // namespace ls

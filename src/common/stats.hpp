@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -63,14 +64,14 @@ inline double median(std::span<const double> xs) {
 
 /// Minimum; +inf for an empty range.
 inline double min_value(std::span<const double> xs) {
-  double m = 1e300;
+  double m = std::numeric_limits<double>::infinity();
   for (double x : xs) m = std::min(m, x);
   return m;
 }
 
 /// Maximum; -inf for an empty range.
 inline double max_value(std::span<const double> xs) {
-  double m = -1e300;
+  double m = -std::numeric_limits<double>::infinity();
   for (double x : xs) m = std::max(m, x);
   return m;
 }

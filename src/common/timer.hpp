@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace ls {
 
@@ -35,7 +36,7 @@ class Timer {
 /// micro-benchmarks on shared machines.
 template <class Fn>
 double time_best(Fn&& fn, int min_reps = 3, double min_seconds = 0.01) {
-  double best = 1e300;
+  double best = std::numeric_limits<double>::infinity();
   double total = 0.0;
   int reps = 0;
   while (reps < min_reps || total < min_seconds) {

@@ -1,0 +1,253 @@
+#include "common/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/fs_atomic.hpp"
+#include "common/json.hpp"
+
+namespace ls::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread event cap — bounds memory on pathological runs (a 20k-
+/// iteration SMO solve tracing the gap every iteration stays well under it).
+constexpr std::size_t kMaxEventsPerShard = 1 << 20;
+
+struct Event {
+  char phase;  // 'X' complete, 'C' counter, 'i' instant
+  std::string name;
+  const char* cat;
+  double ts_us;
+  double dur_us;
+  double value;  // counter events only
+  Args args;
+};
+
+struct Shard {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<Event> events;
+  std::size_t dropped = 0;
+};
+
+struct Recorder {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Shard>> shards;
+  int next_tid = 1;
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder;  // leaked: usable during static dtors
+  return *r;
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    auto s = std::make_shared<Shard>();
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    s->tid = r.next_tid++;
+    r.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+const std::chrono::steady_clock::time_point g_anchor =
+    std::chrono::steady_clock::now();
+
+/// LS_TRACE startup hook, same syntax as LS_METRICS (see metrics.cpp).
+const bool g_env_initialised = [] {
+  const char* env = std::getenv("LS_TRACE");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  if (value.empty() || value == "0" || value == "false" || value == "off") {
+    return true;
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+  if (value != "1" && value != "true" && value != "on" && value != "yes") {
+    static std::string export_path;
+    export_path = value;
+    std::atexit([] {
+      try {
+        write_report(export_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "LS_TRACE export to %s failed: %s\n",
+                     export_path.c_str(), e.what());
+      }
+    });
+  }
+  return true;
+}();
+
+std::string args_json(const Event& e) {
+  std::string out = "{";
+  bool first = true;
+  if (e.phase == 'C') {
+    out += json::quote(e.name) + ": " + json::number(e.value);
+    first = false;
+  }
+  for (const auto& [key, value] : e.args) {
+    if (!first) out += ", ";
+    out += json::quote(key) + ": " + json::quote(value);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void emit_slow(char phase, std::string name, const char* cat, double ts_us,
+               double dur_us, double value, Args args) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.events.size() >= kMaxEventsPerShard) {
+    ++s.dropped;
+    return;
+  }
+  s.events.push_back(Event{phase, std::move(name), cat, ts_us, dur_us, value,
+                           std::move(args)});
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const std::shared_ptr<Shard>& shard : r.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->events.clear();
+    shard->dropped = 0;
+  }
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - g_anchor)
+      .count();
+}
+
+std::size_t event_count() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const std::shared_ptr<Shard>& shard : r.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    n += shard->events.size();
+  }
+  return n;
+}
+
+std::size_t dropped_count() {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const std::shared_ptr<Shard>& shard : r.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    n += shard->dropped;
+  }
+  return n;
+}
+
+std::string to_chrome_json() {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const std::shared_ptr<Shard>& shard : r.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const Event& e : shard->events) {
+      out += first ? "\n" : ",\n";
+      out += "  {\"name\": " + json::quote(e.name) + ", \"cat\": " +
+             json::quote(e.cat) + ", \"ph\": \"" + e.phase +
+             "\", \"ts\": " + json::number(e.ts_us) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(shard->tid);
+      if (e.phase == 'X') {
+        out += ", \"dur\": " + json::number(e.dur_us);
+      }
+      if (e.phase == 'i') {
+        out += ", \"s\": \"t\"";  // thread-scoped instant
+      }
+      if (e.phase == 'C' || !e.args.empty()) {
+        out += ", \"args\": " + args_json(e);
+      }
+      out += "}";
+      first = false;
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string to_csv() {
+  std::string out = "phase,name,cat,ts_us,dur_us,value,tid,args\n";
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q += c;
+    }
+    q += '"';
+    return q;
+  };
+  char num[32];
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const std::shared_ptr<Shard>& shard : r.shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const Event& e : shard->events) {
+      std::string args;
+      for (const auto& [key, value] : e.args) {
+        if (!args.empty()) args += ';';
+        args += key + "=" + value;
+      }
+      out += e.phase;
+      out += ',' + escape(e.name) + ',' + escape(e.cat) + ',';
+      std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+      out += num;
+      out += ',';
+      std::snprintf(num, sizeof(num), "%.3f", e.dur_us);
+      out += num;
+      out += ',';
+      std::snprintf(num, sizeof(num), "%.17g", e.value);
+      out += num;
+      out += ',' + std::to_string(shard->tid) + ',' + escape(args) + '\n';
+    }
+  }
+  return out;
+}
+
+void write_chrome_json(const std::string& path) {
+  atomic_write_file(path, to_chrome_json(), /*with_crc_footer=*/false);
+}
+
+void write_csv(const std::string& path) {
+  atomic_write_file(path, to_csv(), /*with_crc_footer=*/false);
+}
+
+void write_report(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  if (csv) {
+    write_csv(path);
+  } else {
+    write_chrome_json(path);
+  }
+}
+
+}  // namespace ls::trace

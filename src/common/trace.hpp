@@ -1,0 +1,122 @@
+// Structured trace-event recorder with chrome://tracing JSON export.
+//
+// Instrumented code emits *complete* events (a named span with start and
+// duration), *counter* events (a named time series — the SMO KKT gap, the
+// DNN loss curve) and *instant* events (point markers such as a layout
+// reschedule). The export is the Trace Event Format consumed by
+// chrome://tracing / Perfetto, written atomically; a flat CSV flavour is
+// available for spreadsheet work.
+//
+// Like the metrics registry (metrics.hpp), recording is off by default and
+// costs one relaxed atomic load per call site when disabled. Enable with
+// LS_TRACE (same syntax as LS_METRICS: "1" = collect, a path = collect and
+// auto-export at exit) or trace::set_enabled(true); the tools wire
+// --trace-out to the latter. Events go to per-thread buffers (bounded;
+// overflow counts as dropped) merged on export.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ls::trace {
+
+/// Key/value pairs attached to an event's "args" object.
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void emit_slow(char phase, std::string name, const char* cat, double ts_us,
+               double dur_us, double value, Args args);
+}  // namespace detail
+
+/// True when the recorder is collecting events.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off (does not clear recorded events).
+void set_enabled(bool on);
+
+/// Drops every recorded event and the dropped-event count (tests).
+void reset();
+
+/// Microseconds since process start (steady clock — the trace timebase).
+double now_us();
+
+/// Records a complete ("X") event: a span that started at `ts_us` and
+/// lasted `dur_us`. `cat` must be a string literal.
+inline void emit_complete(std::string name, const char* cat, double ts_us,
+                          double dur_us, Args args = {}) {
+  if (enabled()) {
+    detail::emit_slow('X', std::move(name), cat, ts_us, dur_us, 0.0,
+                      std::move(args));
+  }
+}
+
+/// Records a counter ("C") sample of `name` at the current time.
+inline void emit_counter(std::string name, double value) {
+  if (enabled()) detail::emit_slow('C', std::move(name), "counter", now_us(), 0.0, value, {});
+}
+
+/// Records an instant ("i") marker at the current time.
+inline void emit_instant(std::string name, const char* cat, Args args = {}) {
+  if (enabled()) {
+    detail::emit_slow('i', std::move(name), cat, now_us(), 0.0, 0.0,
+                      std::move(args));
+  }
+}
+
+/// Number of events currently buffered across all threads.
+std::size_t event_count();
+
+/// Events discarded because a thread buffer hit its cap.
+std::size_t dropped_count();
+
+/// Renders the buffered events as a chrome://tracing JSON document.
+std::string to_chrome_json();
+
+/// Renders the buffered events as CSV (phase,name,cat,ts_us,dur_us,tid,...).
+std::string to_csv();
+
+/// Atomically writes to_chrome_json() to `path` (no CRC footer).
+void write_chrome_json(const std::string& path);
+
+/// Atomically writes to_csv() to `path`.
+void write_csv(const std::string& path);
+
+/// Writes CSV when `path` ends in ".csv", chrome JSON otherwise.
+void write_report(const std::string& path);
+
+/// RAII span: emits a complete event covering the scope's lifetime.
+/// Arming is decided at construction.
+class ScopedEvent {
+ public:
+  ScopedEvent(std::string name, const char* cat)
+      : armed_(enabled()), name_(std::move(name)), cat_(cat),
+        start_us_(armed_ ? now_us() : 0.0) {}
+  ~ScopedEvent() {
+    if (armed_) {
+      detail::emit_slow('X', std::move(name_), cat_, start_us_,
+                        now_us() - start_us_, 0.0, std::move(args_));
+    }
+  }
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+  /// Attaches a key/value pair to the event emitted at scope exit.
+  void arg(std::string key, std::string value) {
+    if (armed_) args_.emplace_back(std::move(key), std::move(value));
+  }
+
+ private:
+  bool armed_;
+  std::string name_;
+  const char* cat_;
+  double start_us_;
+  Args args_;
+};
+
+}  // namespace ls::trace

@@ -8,8 +8,10 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/fs_atomic.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace ls {
 
@@ -227,6 +229,8 @@ DnnTrainResult train_dnn(
       opt.set_learning_rate(opt.learning_rate() * config.lr_drop_factor);
     }
     shuffle(order.begin(), order.end(), rng);
+    Timer epoch_timer;  // training portion only (excludes evaluation)
+    const double epoch_start_us = trace::enabled() ? trace::now_us() : 0.0;
     double loss_acc = 0.0;
     for (index_t b = 0; b < batches_per_epoch; ++b) {
       // Gather the shuffled batch.
@@ -256,10 +260,33 @@ DnnTrainResult train_dnn(
         }
       }
     }
+    const double epoch_seconds = epoch_timer.seconds();
     result.epochs_completed = epoch + 1;
     result.final_train_loss =
         loss_acc / static_cast<double>(batches_per_epoch);
     result.test_accuracy = evaluate(net, data.test);
+
+    if (metrics::enabled()) {
+      const double images =
+          static_cast<double>(batches_per_epoch * config.batch_size);
+      metrics::timer_record("dnn.epoch_seconds", epoch_seconds);
+      metrics::counter_add("dnn.images_total",
+                           batches_per_epoch * config.batch_size);
+      if (epoch_seconds > 0.0) {
+        metrics::gauge_set("dnn.images_per_second", images / epoch_seconds);
+      }
+      metrics::gauge_set("dnn.train_loss", result.final_train_loss);
+      metrics::gauge_set("dnn.test_accuracy", result.test_accuracy);
+    }
+    if (trace::enabled()) {
+      trace::emit_complete(
+          "epoch:" + std::to_string(epoch + 1), "dnn", epoch_start_us,
+          trace::now_us() - epoch_start_us,
+          {{"train_loss", std::to_string(result.final_train_loss)},
+           {"test_accuracy", std::to_string(result.test_accuracy)}});
+      trace::emit_counter("dnn.train_loss", result.final_train_loss);
+      trace::emit_counter("dnn.test_accuracy", result.test_accuracy);
+    }
     if (!config.checkpoint_path.empty() &&
         config.checkpoint_every_epochs > 0 &&
         (epoch + 1) % config.checkpoint_every_epochs == 0) {
@@ -281,6 +308,13 @@ DnnTrainResult train_dnn(
     }
   }
   result.seconds = timer.seconds();
+  if (metrics::enabled()) {
+    metrics::timer_record("dnn.train_seconds", result.seconds);
+    metrics::gauge_set("dnn.iterations",
+                       static_cast<double>(result.iterations));
+    metrics::gauge_set("dnn.epochs_completed",
+                       static_cast<double>(result.epochs_completed));
+  }
   return result;
 }
 

@@ -1,14 +1,19 @@
 #include "sched/scheduler.hpp"
 
+#include <cmath>
 #include <new>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "sched/learned.hpp"
 
 namespace ls {
 
 ScheduleDecision LayoutScheduler::decide(const CooMatrix& x) const {
+  metrics::ScopedTimer decide_timer("sched.decide_seconds");
+  trace::ScopedEvent decide_span("decide", "sched");
   switch (opts_.policy) {
     case SchedulePolicy::kEmpirical:
       // Degrade, don't die: when every empirical candidate fails (injected
@@ -51,6 +56,10 @@ ScheduleDecision LayoutScheduler::decide(const CooMatrix& x) const {
 AnyMatrix LayoutScheduler::materialize(const CooMatrix& x,
                                        const ScheduleDecision& d) const {
   LS_FAILPOINT("sched.materialize");
+  metrics::ScopedTimer mat_timer("sched.materialize_seconds");
+  trace::ScopedEvent mat_span("materialize:" +
+                                  std::string(format_name(d.format)),
+                              "sched");
   return AnyMatrix::from_coo(x, d.format);
 }
 
@@ -74,8 +83,44 @@ AnyMatrix LayoutScheduler::schedule(const CooMatrix& x,
                                     ScheduleDecision* decision) const {
   ScheduleDecision d = decide(x);
   AnyMatrix m = materialize_or_degrade(x, d);
+  record_decision_metrics(d);
   if (decision != nullptr) *decision = std::move(d);
   return m;
+}
+
+void record_decision_metrics(const ScheduleDecision& d) {
+  if (!metrics::enabled()) return;
+  metrics::counter_add("sched.decisions_total");
+  if (d.degraded) metrics::counter_add("sched.decisions_degraded_total");
+  metrics::counter_add("sched.chosen_total." +
+                       std::string(format_name(d.format)));
+  // Per-candidate scores: measured (empirical) or predicted (heuristic)
+  // seconds per SMSV. Unprobed candidates sit at 0 or inf — skip both.
+  for (Format f : kExtendedFormats) {
+    const double s = d.score_of(f);
+    if (std::isfinite(s) && s > 0.0) {
+      metrics::gauge_set("sched.score_seconds." +
+                             std::string(format_name(f)),
+                         s);
+    }
+  }
+  metrics::gauge_set("sched.degraded", d.degraded ? 1.0 : 0.0);
+  metrics::annotate("sched.chosen_format", format_name(d.format));
+  metrics::annotate("sched.rationale", d.rationale);
+  if (!d.dropped.empty()) {
+    std::string joined;
+    for (const std::string& note : d.dropped) {
+      if (!joined.empty()) joined += " | ";
+      joined += note;
+    }
+    metrics::annotate("sched.dropped", joined);
+  }
+  if (trace::enabled()) {
+    trace::emit_instant("decision:" + std::string(format_name(d.format)),
+                        "sched",
+                        {{"rationale", d.rationale},
+                         {"degraded", d.degraded ? "true" : "false"}});
+  }
 }
 
 SchedulePolicy parse_policy(const std::string& name) {

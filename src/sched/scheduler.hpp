@@ -72,4 +72,10 @@ class LayoutScheduler {
 /// Parses a policy name ("empirical", "heuristic", "fixed").
 SchedulePolicy parse_policy(const std::string& name);
 
+/// Records a *final* schedule decision into the metrics registry: chosen
+/// format, per-candidate scores, degradation flag and drop notes. Called by
+/// the trainer facade and LayoutScheduler::schedule once per decision — a
+/// no-op when metrics collection is disabled.
+void record_decision_metrics(const ScheduleDecision& d);
+
 }  // namespace ls

@@ -8,8 +8,10 @@
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "formats/any_matrix.hpp"
 #include "formats/sparse_vector.hpp"
 #include "formats/storage.hpp"
@@ -68,7 +70,12 @@ ScheduleDecision HeuristicSelector::choose(const MatrixFeatures& feat,
 
 ScheduleDecision EmpiricalAutotuner::choose(const CooMatrix& x) const {
   LS_CHECK(x.rows() > 0 && x.cols() > 0, "cannot autotune an empty matrix");
-  const MatrixFeatures feat = extract_features(x);
+  trace::ScopedEvent tune_span("autotune", "sched");
+  const MatrixFeatures feat = [&x] {
+    metrics::ScopedTimer feat_timer("sched.features_seconds");
+    trace::ScopedEvent feat_span("extract_features", "sched");
+    return extract_features(x);
+  }();
 
   // Probe window: a contiguous block of rows preserves the row-length and
   // diagonal structure, unlike random row sampling.
@@ -117,12 +124,14 @@ ScheduleDecision EmpiricalAutotuner::choose(const CooMatrix& x) const {
       if (bytes > static_cast<double>(opts_.candidate_bytes_budget)) {
         d.dropped.push_back(fname + ": modelled storage " +
                             std::to_string(bytes) + " B over budget");
+        metrics::counter_add("sched.candidates_dropped_total");
         continue;
       }
     }
     // One failed candidate must not abort the race: a build that throws,
     // runs out of memory, or busts its wall-clock budget is dropped and
     // the remaining candidates keep competing.
+    trace::ScopedEvent probe_span("probe:" + fname, "sched");
     try {
       LS_FAILPOINT("sched.candidate.materialize");
       Timer candidate_timer;
@@ -130,11 +139,15 @@ ScheduleDecision EmpiricalAutotuner::choose(const CooMatrix& x) const {
       const double secs =
           time_best([&] { mat.multiply_dense(w, y); }, opts_.trials, 0.002) *
           scale;
+      metrics::timer_record("sched.probe_seconds." + fname,
+                            candidate_timer.seconds());
+      probe_span.arg("score_seconds", std::to_string(secs));
       if (opts_.candidate_seconds_budget > 0 &&
           candidate_timer.seconds() > opts_.candidate_seconds_budget) {
         d.dropped.push_back(fname + ": busted " +
                             std::to_string(opts_.candidate_seconds_budget) +
                             " s candidate budget");
+        metrics::counter_add("sched.candidates_dropped_total");
         continue;
       }
       d.score_seconds[static_cast<std::size_t>(f)] = secs;
@@ -145,8 +158,12 @@ ScheduleDecision EmpiricalAutotuner::choose(const CooMatrix& x) const {
       }
     } catch (const Error& e) {
       d.dropped.push_back(fname + ": " + e.what());
+      metrics::counter_add("sched.candidates_dropped_total");
+      probe_span.arg("dropped", e.what());
     } catch (const std::bad_alloc&) {
       d.dropped.push_back(fname + ": allocation failure");
+      metrics::counter_add("sched.candidates_dropped_total");
+      probe_span.arg("dropped", "allocation failure");
     }
   }
   if (!any) {

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace ls {
 
@@ -29,6 +31,7 @@ void ReschedulingKernelEngine::compute_row(index_t i,
 }
 
 void ReschedulingKernelEngine::maybe_reschedule() {
+  metrics::counter_add("svm.reschedule.checks_total");
   // Fresh measurement of every admissible candidate, current format
   // included — relative comparison on identical probes is fair regardless
   // of what the original decision was based on.
@@ -54,6 +57,10 @@ void ReschedulingKernelEngine::maybe_reschedule() {
 
   // Re-materialise and rebuild the inner engine (order matters: the engine
   // holds a pointer into mat_).
+  metrics::counter_add("svm.reschedule.switches_total");
+  trace::emit_instant("reschedule:" + std::string(format_name(current_)) +
+                          "->" + std::string(format_name(decision.format)),
+                      "svm");
   inner_.reset();
   mat_ = AnyMatrix::from_coo(*x_, decision.format);
   inner_ = std::make_unique<FormatKernelEngine>(mat_, params_);

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace ls {
 
@@ -191,6 +193,14 @@ SolveStats SmoSolver::solve() {
                                : 200 * n_ + 20000;
   SolveStats stats;
 
+  metrics::ScopedTimer solve_timer("svm.smo.solve_seconds");
+  trace::ScopedEvent solve_span("smo.solve", "svm");
+  // KKT-violation trajectory: sample the optimality gap into the trace at
+  // the user's trace granularity. The enabled check is hoisted so a
+  // disabled recorder costs nothing per iteration.
+  const bool tracing = trace::enabled();
+  const index_t gap_interval = std::max<index_t>(1, params_.trace_interval);
+
   index_t iter = resume_iteration_;
   Selection sel;
   while (iter < max_iter) {
@@ -260,6 +270,9 @@ SolveStats SmoSolver::solve() {
     }
 
     ++iter;
+    if (tracing && iter % gap_interval == 0) {
+      trace::emit_counter("svm.smo.kkt_gap", sel.b_low - sel.b_high);
+    }
     if (params_.on_trace && iter % std::max<index_t>(1, params_.trace_interval) == 0) {
       IterationTrace trace;
       trace.iteration = iter;
@@ -292,6 +305,15 @@ SolveStats SmoSolver::solve() {
   stats.cache_hit_rate = cache_->hit_rate();
   for (real_t a : alpha_) {
     if (a > kBoundEps) ++stats.support_vectors;
+  }
+
+  metrics::counter_add("svm.smo.iterations_total", iter - resume_iteration_);
+  if (metrics::enabled()) {
+    metrics::gauge_set("svm.smo.converged", stats.converged ? 1.0 : 0.0);
+    metrics::gauge_set("svm.smo.objective", stats.objective);
+    metrics::gauge_set("svm.smo.support_vectors",
+                       static_cast<double>(stats.support_vectors));
+    metrics::gauge_set("svm.smo.final_kkt_gap", sel.b_low - sel.b_high);
   }
   return stats;
 }

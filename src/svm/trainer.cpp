@@ -3,8 +3,10 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "svm/checkpoint.hpp"
 #include "svm/kernel_engine.hpp"
 #include "svm/reschedule.hpp"
@@ -56,6 +58,17 @@ TrainResult run_solver(const AnyMatrix& x, const Dataset& ds,
   result.schedule_seconds = schedule_seconds;
   result.solve_seconds = solve_timer.seconds();
   result.total_seconds = schedule_seconds + result.solve_seconds;
+
+  record_decision_metrics(result.decision);
+  if (metrics::enabled()) {
+    metrics::timer_record("svm.train.schedule_seconds", schedule_seconds);
+    metrics::timer_record("svm.train.total_seconds", result.total_seconds);
+    metrics::counter_add("svm.cache.hits_total", cache.hits());
+    metrics::counter_add("svm.cache.misses_total", cache.misses());
+    metrics::counter_add("svm.kernel_rows_computed_total",
+                         stats.kernel_rows_computed);
+    metrics::gauge_set("svm.cache.hit_rate", cache.hit_rate());
+  }
   return result;
 }
 
@@ -131,6 +144,16 @@ TrainResult train_reschedulable(const Dataset& ds, const SvmParams& params,
       " (" + std::to_string(engine.switches()) + " re-evaluation(s))";
   result.solve_seconds = solve_timer.seconds();
   result.total_seconds = result.solve_seconds;
+
+  record_decision_metrics(result.decision);
+  if (metrics::enabled()) {
+    metrics::timer_record("svm.train.total_seconds", result.total_seconds);
+    metrics::counter_add("svm.cache.hits_total", cache.hits());
+    metrics::counter_add("svm.cache.misses_total", cache.misses());
+    metrics::counter_add("svm.kernel_rows_computed_total",
+                         stats.kernel_rows_computed);
+    metrics::gauge_set("svm.cache.hit_rate", cache.hit_rate());
+  }
   return result;
 }
 

@@ -1,0 +1,529 @@
+// Observability suite: metrics registry semantics (counters, gauges, timer
+// histograms, annotations, cross-thread aggregation, disabled no-op), trace
+// recorder + chrome://tracing schema, JSON/CSV export well-formedness with
+// a real adaptive SVM training run as the golden source, the tool-side
+// ObservabilityScope wiring, and the correctness fixes riding along in this
+// change (CLI trailing-garbage rejection, infinity sentinels in stats.hpp,
+// CsvWriter stream checking).
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/observability.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+#include "data/profiles.hpp"
+#include "svm/trainer.hpp"
+
+namespace ls {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "ls_obs_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Minimal recursive-descent JSON syntax checker. Validates that the input
+// is exactly one well-formed JSON value — enough to guarantee any real
+// parser accepts our exports (the acceptance bar for the report files).
+class JsonChecker {
+ public:
+  static bool valid(const std::string& s) {
+    JsonChecker c(s);
+    c.ws();
+    if (!c.value()) return false;
+    c.ws();
+    return c.pos_ == s.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  bool eat(char c) {
+    if (eof() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+            ++pos_;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.')) {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool members(char close, bool with_keys) {
+    ws();
+    if (eat(close)) return true;
+    while (true) {
+      ws();
+      if (with_keys) {
+        if (!string()) return false;
+        ws();
+        if (!eat(':')) return false;
+        ws();
+      }
+      if (!value()) return false;
+      ws();
+      if (eat(close)) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool value() {
+    if (eof()) return false;
+    const char c = peek();
+    if (c == '{') { ++pos_; return members('}', true); }
+    if (c == '[') { ++pos_; return members(']', false); }
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Each test owns the process-wide registries: start clean, leave clean.
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(false);
+    trace::set_enabled(false);
+    metrics::reset();
+    trace::reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// ------------------------------------------------------- metrics registry
+
+TEST_F(ObservabilityTest, DisabledRecordingIsANoOp) {
+  ASSERT_FALSE(metrics::enabled());
+  metrics::counter_add("noop.counter_total", 7);
+  metrics::gauge_set("noop.gauge", 1.0);
+  metrics::timer_record("noop.timer_seconds", 0.5);
+  metrics::annotate("noop.note", "x");
+  { metrics::ScopedTimer t("noop.scope_seconds"); }
+  const metrics::Report r = metrics::snapshot();
+  EXPECT_TRUE(r.counters.empty());
+  EXPECT_TRUE(r.gauges.empty());
+  EXPECT_TRUE(r.timers.empty());
+  EXPECT_TRUE(r.annotations.empty());
+}
+
+TEST_F(ObservabilityTest, CountersAccumulateAndMergeAcrossThreads) {
+  metrics::set_enabled(true);
+  metrics::counter_add("test.hits_total");
+  metrics::counter_add("test.hits_total", 4);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics::counter_add("test.threaded_total");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const metrics::Report r = metrics::snapshot();
+  EXPECT_EQ(r.counters.at("test.hits_total"), 5);
+  EXPECT_EQ(r.counters.at("test.threaded_total"), kThreads * kPerThread);
+}
+
+TEST_F(ObservabilityTest, TimerStatsOnKnownSamples) {
+  metrics::set_enabled(true);
+  // 1ms .. 100ms in 1ms steps: every aggregate is known in closed form.
+  for (int i = 1; i <= 100; ++i) {
+    metrics::timer_record("test.step_seconds", i * 1e-3);
+  }
+  const metrics::Report r = metrics::snapshot();
+  const metrics::TimerStats& s = r.timers.at("test.step_seconds");
+  EXPECT_EQ(s.count, 100);
+  EXPECT_NEAR(s.total, 5.05, 1e-9);
+  EXPECT_NEAR(s.min, 0.001, 1e-9);
+  EXPECT_NEAR(s.max, 0.100, 1e-9);
+  EXPECT_NEAR(s.mean, 0.0505, 1e-9);
+  EXPECT_NEAR(s.p50, 0.050, 2e-3);
+  EXPECT_NEAR(s.p95, 0.095, 2e-3);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST_F(ObservabilityTest, GaugesLastWriteWinsAndAnnotations) {
+  metrics::set_enabled(true);
+  metrics::gauge_set("test.gauge", 1.0);
+  metrics::gauge_set("test.gauge", 2.5);
+  metrics::annotate("test.note", "first");
+  metrics::annotate("test.note", "second");
+  const metrics::Report r = metrics::snapshot();
+  EXPECT_DOUBLE_EQ(r.gauges.at("test.gauge"), 2.5);
+  EXPECT_EQ(r.annotations.at("test.note"), "second");
+}
+
+TEST_F(ObservabilityTest, ScopedTimerArmsAtConstruction) {
+  metrics::set_enabled(true);
+  {
+    metrics::ScopedTimer t("test.armed_seconds");
+    // Disabling mid-scope must not lose the armed sample.
+    metrics::set_enabled(false);
+  }
+  {
+    // Constructed while disabled: never records, even if enabled later.
+    metrics::ScopedTimer t("test.unarmed_seconds");
+    metrics::set_enabled(true);
+  }
+  const metrics::Report r = metrics::snapshot();
+  EXPECT_EQ(r.timers.count("test.armed_seconds"), 1u);
+  EXPECT_EQ(r.timers.count("test.unarmed_seconds"), 0u);
+}
+
+TEST_F(ObservabilityTest, ResetClearsEverything) {
+  metrics::set_enabled(true);
+  metrics::counter_add("test.c_total");
+  metrics::gauge_set("test.g", 1.0);
+  metrics::timer_record("test.t_seconds", 0.1);
+  metrics::annotate("test.a", "v");
+  metrics::reset();
+  const metrics::Report r = metrics::snapshot();
+  EXPECT_TRUE(r.counters.empty());
+  EXPECT_TRUE(r.gauges.empty());
+  EXPECT_TRUE(r.timers.empty());
+  EXPECT_TRUE(r.annotations.empty());
+}
+
+// --------------------------------------------------------- JSON rendering
+
+TEST(JsonUtil, QuoteEscapesEverythingHostile) {
+  EXPECT_EQ(json::quote("plain"), "\"plain\"");
+  EXPECT_EQ(json::quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json::quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json::quote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+  EXPECT_TRUE(JsonChecker::valid(json::quote("ctrl\x01\x1f mix\n")));
+}
+
+TEST(JsonUtil, NumberRendersNonFiniteAsNull) {
+  EXPECT_EQ(json::number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_TRUE(JsonChecker::valid(json::number(0.1)));
+  EXPECT_TRUE(JsonChecker::valid(json::number(-2.5e300)));
+}
+
+TEST_F(ObservabilityTest, ReportJsonIsWellFormedUnderHostileNames) {
+  metrics::set_enabled(true);
+  metrics::counter_add("weird\"name\\with\nescapes_total", 3);
+  metrics::gauge_set("test.nan_gauge",
+                     std::numeric_limits<double>::quiet_NaN());
+  metrics::timer_record("test.t_seconds", 0.25);
+  metrics::annotate("test.note", "value with \"quotes\" and\ttabs");
+  const std::string js = metrics::to_json(metrics::snapshot());
+  EXPECT_TRUE(JsonChecker::valid(js)) << js;
+  EXPECT_NE(js.find("ls.metrics.v1"), std::string::npos);
+  // NaN gauge must degrade to null, not poison the document.
+  EXPECT_NE(js.find("null"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ReportCsvHasStableHeaderAndRows) {
+  metrics::set_enabled(true);
+  metrics::counter_add("test.c_total", 2);
+  metrics::timer_record("test.t_seconds", 0.5);
+  const std::string csv = metrics::to_csv(metrics::snapshot());
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "kind,name,value,count,total,min,mean,p50,p95,max");
+  EXPECT_NE(csv.find("counter,test.c_total,2"), std::string::npos);
+  EXPECT_NE(csv.find("timer,test.t_seconds,"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST_F(ObservabilityTest, TraceChromeJsonSchema) {
+  trace::set_enabled(true);
+  {
+    trace::ScopedEvent span("unit.span", "test");
+    span.arg("key", "value \"quoted\"");
+  }
+  trace::emit_counter("unit.series", 42.0);
+  trace::emit_instant("unit.marker", "test");
+  EXPECT_EQ(trace::event_count(), 3u);
+  EXPECT_EQ(trace::dropped_count(), 0u);
+
+  const std::string js = trace::to_chrome_json();
+  EXPECT_TRUE(JsonChecker::valid(js)) << js;
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(js.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(js.find("\"pid\""), std::string::npos);
+  EXPECT_NE(js.find("\"tid\""), std::string::npos);
+  EXPECT_NE(js.find("\"unit.span\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TraceCsvFlavour) {
+  trace::set_enabled(true);
+  trace::emit_counter("unit.series", 1.5);
+  const std::string csv = trace::to_csv();
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "phase,name,cat,ts_us,dur_us,value,tid,args");
+  EXPECT_NE(csv.find("C,unit.series,counter,"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TraceDisabledRecordsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  trace::emit_counter("noop.series", 1.0);
+  { trace::ScopedEvent span("noop.span", "test"); }
+  EXPECT_EQ(trace::event_count(), 0u);
+}
+
+// ------------------------------------------------ golden SVM training run
+
+TEST_F(ObservabilityTest, AdaptiveTrainExportsDecisionProvenance) {
+  metrics::set_enabled(true);
+  trace::set_enabled(true);
+
+  const Dataset ds = profile_by_name("breast_cancer").generate(7);
+  SvmParams params;
+  params.max_iterations = 2000;
+  const TrainResult result = train_adaptive(ds, params);
+  ASSERT_GT(result.stats.iterations, 0);
+
+  const std::string path = tmp_path("svm_run.json");
+  metrics::write_json(path);
+  const std::string js = read_raw(path);
+  ASSERT_FALSE(js.empty());
+  EXPECT_TRUE(JsonChecker::valid(js)) << "export not parseable JSON";
+
+  const metrics::Report r = metrics::snapshot();
+  // SMO progress.
+  EXPECT_EQ(r.counters.at("svm.smo.iterations_total"),
+            result.stats.iterations);
+  // Kernel-cache effectiveness.
+  const double hit_rate = r.gauges.at("svm.cache.hit_rate");
+  EXPECT_GE(hit_rate, 0.0);
+  EXPECT_LE(hit_rate, 1.0);
+  EXPECT_TRUE(r.counters.count("svm.cache.hits_total"));
+  // Total wall time.
+  EXPECT_TRUE(r.timers.count("svm.train.total_seconds"));
+  EXPECT_GT(r.timers.at("svm.train.total_seconds").total, 0.0);
+  // Scheduler decision provenance: chosen format + per-candidate scores.
+  EXPECT_EQ(r.annotations.at("sched.chosen_format"),
+            format_name(result.decision.format));
+  EXPECT_TRUE(r.counters.count("sched.decisions_total"));
+  bool has_score = false;
+  for (const auto& [name, value] : r.gauges) {
+    if (name.rfind("sched.score_seconds.", 0) == 0) {
+      has_score = true;
+      EXPECT_GT(value, 0.0) << name;
+    }
+  }
+  EXPECT_TRUE(has_score) << "no per-candidate probe scores recorded";
+  // Probe timings feed the timer histograms too.
+  bool has_probe_timer = false;
+  for (const auto& [name, stats] : r.timers) {
+    if (name.rfind("sched.probe_seconds.", 0) == 0) {
+      has_probe_timer = true;
+      EXPECT_GT(stats.count, 0) << name;
+    }
+  }
+  EXPECT_TRUE(has_probe_timer);
+  // All of it must appear in the exported document as well.
+  EXPECT_NE(js.find("svm.smo.iterations_total"), std::string::npos);
+  EXPECT_NE(js.find("sched.chosen_format"), std::string::npos);
+  EXPECT_NE(js.find("svm.cache.hit_rate"), std::string::npos);
+
+  // The trace should have the autotune + solve spans.
+  const std::string trace_js = trace::to_chrome_json();
+  EXPECT_TRUE(JsonChecker::valid(trace_js));
+  EXPECT_NE(trace_js.find("\"smo.solve\""), std::string::npos);
+  EXPECT_NE(trace_js.find("\"decide\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObservabilityTest, WriteReportPicksFormatFromExtension) {
+  metrics::set_enabled(true);
+  metrics::counter_add("test.c_total");
+  const std::string json_path = tmp_path("report.json");
+  const std::string csv_path = tmp_path("report.csv");
+  metrics::write_report(json_path);
+  metrics::write_report(csv_path);
+  EXPECT_TRUE(JsonChecker::valid(read_raw(json_path)));
+  EXPECT_EQ(read_raw(csv_path).rfind(
+                "kind,name,value,count,total,min,mean,p50,p95,max", 0),
+            0u);
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST_F(ObservabilityTest, ObservabilityScopeWiresFlagsToExports) {
+  const std::string mpath = tmp_path("scope_metrics.json");
+  const std::string tpath = tmp_path("scope_trace.json");
+  {
+    CliParser cli("prog", "test");
+    add_observability_flags(cli);
+    const std::string marg = "--metrics-out=" + mpath;
+    const std::string targ = "--trace-out=" + tpath;
+    const char* argv[] = {"prog", marg.c_str(), targ.c_str()};
+    ASSERT_TRUE(cli.parse(3, argv));
+    const ObservabilityScope scope(cli);
+    EXPECT_TRUE(metrics::enabled());
+    EXPECT_TRUE(trace::enabled());
+    metrics::counter_add("test.scope_total");
+    trace::emit_instant("test.marker", "test");
+  }
+  EXPECT_TRUE(JsonChecker::valid(read_raw(mpath)));
+  EXPECT_TRUE(JsonChecker::valid(read_raw(tpath)));
+  EXPECT_NE(read_raw(mpath).find("test.scope_total"), std::string::npos);
+  std::remove(mpath.c_str());
+  std::remove(tpath.c_str());
+}
+
+// --------------------------------------------- satellite correctness fixes
+
+TEST(CliStrict, RejectsTrailingGarbageWithFlagName) {
+  CliParser cli("prog", "test");
+  cli.add_flag("c", "1.0", "penalty");
+  cli.add_flag("iters", "100", "iterations");
+  const char* argv[] = {"prog", "--c", "1.5x", "--iters", "12abc"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  try {
+    cli.get_double("c");
+    FAIL() << "expected Error for --c 1.5x";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("c"), std::string::npos);
+  }
+  try {
+    cli.get_int("iters");
+    FAIL() << "expected Error for --iters 12abc";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("iters"), std::string::npos);
+  }
+}
+
+TEST(CliStrict, StillAcceptsCleanNumbers) {
+  CliParser cli("prog", "test");
+  cli.add_flag("c", "1.0", "penalty");
+  cli.add_flag("iters", "100", "iterations");
+  const char* argv[] = {"prog", "--c", "1.5", "--iters", "12"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("c"), 1.5);
+  EXPECT_EQ(cli.get_int("iters"), 12);
+}
+
+TEST(StatsSentinels, EmptyRangesReturnInfinities) {
+  const std::vector<double> empty;
+  EXPECT_EQ(min_value(empty), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(max_value(empty), -std::numeric_limits<double>::infinity());
+  const std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 3.0);
+  // Values beyond the old ±1e300 sentinels are now handled correctly.
+  const std::vector<double> huge = {1e301, -1e301};
+  EXPECT_DOUBLE_EQ(min_value(huge), -1e301);
+  EXPECT_DOUBLE_EQ(max_value(huge), 1e301);
+}
+
+TEST(CsvWriterChecks, WriteAfterCloseFailsLoudly) {
+  const std::string path = tmp_path("csv_close.csv");
+  CsvWriter csv(path, {"a", "b"});
+  csv.write_row({"1", "2"});
+  csv.close();
+  csv.close();  // idempotent
+  EXPECT_THROW(csv.write_row({"3", "4"}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterChecks, FullDiskSurfacesAsError) {
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  auto csv = std::make_unique<CsvWriter>("/dev/full",
+                                         std::vector<std::string>{"a"});
+  try {
+    // The stream buffers, so the failure may surface on a later write_row
+    // or at close(); either way it must be an Error, not silence.
+    for (int i = 0; i < 100000; ++i) {
+      csv->write_row({"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"});
+    }
+    csv->close();
+    FAIL() << "writing to /dev/full should have thrown";
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace ls
