@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build and run the full test suite twice — a plain Release
-# build, then an AddressSanitizer + UBSan build (-DLS_SANITIZE=ON). Both
-# must be green before a change lands.
+# Tier-1 gate: build and run the full test suite three times — a plain
+# Release build (run twice: serial and OMP_NUM_THREADS=2, which must agree),
+# an AddressSanitizer + UBSan build (-DLS_SANITIZE=ON), and a
+# ThreadSanitizer build (-DLS_SANITIZE=thread) that checks the kernel-cache
+# prefetch pipeline's std::thread machinery. All must be green before a
+# change lands.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,15 +45,27 @@ PY
 
 mode="${1:-all}"
 
-if [[ "${mode}" != "--sanitize-only" ]]; then
+if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   run_suite build
+  # Thread-count invariance gate: the same suite must pass with OpenMP
+  # parallel regions actually running multiple threads (the deterministic
+  # WSS folds and the bit-identical-model tests do the real checking).
+  echo "==> re-testing build with OMP_NUM_THREADS=2"
+  OMP_NUM_THREADS=2 ctest --test-dir build --output-on-failure -j "$(nproc)"
   metrics_smoke
 fi
 
-if [[ "${mode}" != "--plain-only" ]]; then
+if [[ "${mode}" == "all" || "${mode}" == "--sanitize-only" ]]; then
   # ASan's allocator dislikes being re-run in a dirty tree configured
   # without sanitizers, so it gets its own build directory.
   run_suite build-asan -DLS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
+  # TSan stage: compiled without OpenMP (libgomp is not TSan-instrumented,
+  # see the top-level CMakeLists), so this exercises the std::thread code —
+  # the prefetch pipeline, its atomic counters and the worker join paths.
+  run_suite build-tsan -DLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 
 echo "==> all checks passed"

@@ -10,6 +10,9 @@
 #include <omp.h>
 #endif
 
+#include <limits>
+#include <vector>
+
 #include "common/types.hpp"
 
 namespace ls {
@@ -64,6 +67,58 @@ real_t parallel_sum(index_t n, Fn&& fn) {
   for (index_t i = 0; i < n; ++i) total += fn(i);
 #endif
   return total;
+}
+
+/// Deterministic parallel reduction of fn(i) over [0, n): each of the T
+/// chunks folds its range serially in index order, then the T partials are
+/// combined left to right. For an associative `combine` the result is
+/// independent of the thread count — unlike an OpenMP `reduction`, whose
+/// combine order is unspecified. Used by the WSS scans, where the SVM
+/// model must come out bit-identical at any OMP_NUM_THREADS.
+template <class T, class Fn, class Combine>
+T parallel_reduce(index_t n, T init, Fn&& fn, Combine&& combine) {
+  const int t = num_threads();
+  if (t <= 1 || n < 4096) {
+    T acc = init;
+    for (index_t i = 0; i < n; ++i) acc = combine(acc, fn(i));
+    return acc;
+  }
+  const index_t chunks = static_cast<index_t>(t);
+  std::vector<T> partial(static_cast<std::size_t>(chunks), init);
+  parallel_for(chunks, [&](index_t c) {
+    const index_t lo = n * c / chunks;
+    const index_t hi = n * (c + 1) / chunks;
+    T acc = init;
+    for (index_t i = lo; i < hi; ++i) acc = combine(acc, fn(i));
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Deterministic parallel argmax: the smallest index attaining the maximum
+/// of score(i) over [0, n), or -1 when n == 0 or no score exceeds `floor`.
+/// Ties and chunk merging both keep the first (lowest-index) winner, so the
+/// result matches the serial loop for any thread count.
+template <class Score>
+index_t parallel_argmax(index_t n, Score&& score,
+                        real_t floor = -std::numeric_limits<real_t>::infinity()) {
+  struct Best {
+    real_t value;
+    index_t index;
+  };
+  const Best init{floor, -1};
+  const Best best = parallel_reduce(
+      n, init,
+      [&](index_t i) -> Best { return {score(i), i}; },
+      [](const Best& a, const Best& b) -> Best {
+        if (b.index < 0) return a;
+        // Strictly greater: on ties the earlier index wins, which makes the
+        // fold invariant to how [0, n) was chunked.
+        return b.value > a.value ? b : a;
+      });
+  return best.index;
 }
 
 }  // namespace ls

@@ -76,6 +76,9 @@ Dataset read_libsvm(std::istream& in, const std::string& name,
   while (std::getline(in, line)) {
     ++line_no;
     LS_FAILPOINT("data.libsvm.read");
+    // CRLF tolerance: getline keeps the '\r' of Windows line endings, which
+    // would otherwise reject the last token of every line as trailing junk.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     // Strip comments and skip blank lines.
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);

@@ -7,6 +7,8 @@
 #include <span>
 #include <variant>
 
+#include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/types.hpp"
 #include "formats/bcsr.hpp"
 #include "formats/coo.hpp"
@@ -80,9 +82,48 @@ class AnyMatrix {
     std::visit([&](const auto& m) { m.multiply_dense(w, y); }, m_);
   }
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k] = entry j of rhs k, Y[i*b + k] likewise). One traversal of
+  /// the stored matrix serves all b vectors; each output element accumulates
+  /// in the same order as multiply_dense, so results match the single-rhs
+  /// loop to within at most a -0.0 vs +0.0 difference (CSC dead columns).
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const {
+    LS_CHECK(b >= 1 && b <= kMaxSmsvBatch,
+             "multiply_dense_batch: batch size " << b << " out of range [1, "
+                                                 << kMaxSmsvBatch << "]");
+    LS_CHECK(w.size() == static_cast<std::size_t>(cols()) *
+                             static_cast<std::size_t>(b),
+             "multiply_dense_batch: w has " << w.size() << " entries, want "
+                                            << cols() << " x " << b);
+    LS_CHECK(y.size() == static_cast<std::size_t>(rows()) *
+                             static_cast<std::size_t>(b),
+             "multiply_dense_batch: y has " << y.size() << " entries, want "
+                                            << rows() << " x " << b);
+    std::visit([&](const auto& m) { m.multiply_dense_batch(w, b, y); }, m_);
+  }
+
   /// Extracts row i as a SparseVector.
   void gather_row(index_t i, SparseVector& out) const {
     std::visit([&](const auto& m) { m.gather_row(i, out); }, m_);
+  }
+
+  /// Gathers rows[k] into out[k] for every k, dispatching the format visit
+  /// once and parallelising across rows (each SparseVector is private to
+  /// its index, so the loop is race-free).
+  void gather_rows_batch(std::span<const index_t> rows,
+                         std::span<SparseVector> out) const {
+    LS_CHECK(rows.size() == out.size(),
+             "gather_rows_batch: " << rows.size() << " row indices but "
+                                   << out.size() << " outputs");
+    std::visit(
+        [&](const auto& m) {
+          parallel_for(static_cast<index_t>(rows.size()), [&](index_t k) {
+            m.gather_row(rows[static_cast<std::size_t>(k)],
+                         out[static_cast<std::size_t>(k)]);
+          });
+        },
+        m_);
   }
 
   /// Lowers to canonical COO regardless of current format.

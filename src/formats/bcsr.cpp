@@ -117,6 +117,48 @@ void BcsrMatrix::multiply_dense(std::span<const real_t> w,
   });
 }
 
+void BcsrMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                      std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+
+  const real_t* __restrict wd = w.data();
+  real_t* __restrict yd = y.data();
+  const real_t* __restrict vd = values_.data();
+  const index_t* __restrict bcd = bcol_.data();
+  const index_t* __restrict pd = ptr_.data();
+  const index_t tile_size = br_ * bc_;
+
+  parallel_for(block_row_count(), [&](index_t bi) {
+    const index_t row0 = bi * br_;
+    const index_t rlim = std::min(br_, rows_ - row0);
+    for (index_t t = pd[bi]; t < pd[bi + 1]; ++t) {
+      const index_t col0 = bcd[t] * bc_;
+      const index_t clim = std::min(bc_, cols_ - col0);
+      const real_t* __restrict tile = vd + t * tile_size;
+      for (index_t r = 0; r < rlim; ++r) {
+        real_t acc[kMaxSmsvBatch] = {};
+        const real_t* __restrict trow = tile + r * bc_;
+        for (index_t c = 0; c < clim; ++c) {
+          const real_t v = trow[c];
+          const real_t* __restrict wj =
+              wd + static_cast<std::size_t>((col0 + c) * b);
+          for (index_t q = 0; q < b; ++q) acc[q] += v * wj[q];
+        }
+        real_t* __restrict yi =
+            yd + static_cast<std::size_t>((row0 + r) * b);
+        for (index_t q = 0; q < b; ++q) yi[q] += acc[q];
+      }
+    }
+  });
+}
+
 void BcsrMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();

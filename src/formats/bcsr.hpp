@@ -72,6 +72,13 @@ class BcsrMatrix {
   /// y = A * w: block-row-parallel, dense r x c micro-kernel per tile.
   void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k], Y[i*b + k], 1 <= b <= kMaxSmsvBatch); each tile is
+  /// applied once to all b vectors via stack accumulators. Accumulation
+  /// order per output element matches multiply_dense.
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const;
+
   /// Extracts row i (skipping fill zeros).
   void gather_row(index_t i, SparseVector& out) const;
 

@@ -89,6 +89,53 @@ void CooMatrix::multiply_dense(std::span<const real_t> w,
   });
 }
 
+void CooMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                     std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+
+  const real_t* __restrict wd = w.data();
+  real_t* __restrict yd = y.data();
+  const auto apply = [&](index_t lo, index_t hi) {
+    for (index_t k = lo; k < hi; ++k) {
+      const real_t v = values_[static_cast<std::size_t>(k)];
+      const real_t* __restrict wj =
+          wd + static_cast<std::size_t>(col_[static_cast<std::size_t>(k)] * b);
+      real_t* __restrict yi =
+          yd + static_cast<std::size_t>(row_[static_cast<std::size_t>(k)] * b);
+      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
+    }
+  };
+
+  const index_t n = nnz();
+  const int t = num_threads();
+  if (t <= 1 || n < 4096) {
+    apply(0, n);
+    return;
+  }
+
+  // Same row-aligned chunking as multiply_dense: no output row is shared.
+  std::vector<index_t> starts(static_cast<std::size_t>(t) + 1);
+  for (int c = 0; c <= t; ++c) {
+    index_t s = n * c / t;
+    while (s > 0 && s < n && row_[static_cast<std::size_t>(s)] ==
+                                 row_[static_cast<std::size_t>(s - 1)]) {
+      ++s;
+    }
+    starts[static_cast<std::size_t>(c)] = s;
+  }
+  parallel_for(t, [&](index_t c) {
+    apply(starts[static_cast<std::size_t>(c)],
+          starts[static_cast<std::size_t>(c) + 1]);
+  });
+}
+
 void CooMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();
@@ -100,6 +147,17 @@ void CooMatrix::gather_row(index_t i, SparseVector& out) const {
     const std::size_t k = static_cast<std::size_t>(p - begin);
     out.push_back(col_[k], values_[k]);
   }
+}
+
+void CooMatrix::gather_rows_batch(std::span<const index_t> rows,
+                                  std::span<SparseVector> out) const {
+  LS_CHECK(rows.size() == out.size(),
+           "gather_rows_batch: " << rows.size() << " row ids but "
+                                 << out.size() << " output slots");
+  parallel_for(static_cast<index_t>(rows.size()), [&](index_t k) {
+    gather_row(rows[static_cast<std::size_t>(k)],
+               out[static_cast<std::size_t>(k)]);
+  });
 }
 
 }  // namespace ls

@@ -63,9 +63,21 @@ class CooMatrix {
   /// so no two threads write the same output row.
   void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k], Y[i*b + k], 1 <= b <= kMaxSmsvBatch); one pass over the
+  /// triplets serves all b vectors. Accumulation order per output element
+  /// matches multiply_dense.
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const;
+
   /// Extracts row i as a sparse vector (appends into `out` after clearing).
   /// COO row extraction uses binary search over the sorted row array.
   void gather_row(index_t i, SparseVector& out) const;
+
+  /// Gathers rows[k] into out[k] for every k (parallel across rows). The
+  /// batched entry point the SVM layers use to amortise per-row dispatch.
+  void gather_rows_batch(std::span<const index_t> rows,
+                         std::span<SparseVector> out) const;
 
  private:
   index_t rows_ = 0;

@@ -56,6 +56,45 @@ void CscMatrix::multiply_dense(std::span<const real_t> w,
   }
 }
 
+void CscMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                     std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+  const index_t* __restrict rd = row_.data();
+  const real_t* __restrict vd = values_.data();
+  const index_t* __restrict pd = ptr_.data();
+  const real_t* __restrict wd = w.data();
+  real_t* __restrict yd = y.data();
+  // Column-outer, serial, like multiply_dense. A column is dead only when
+  // all b right-hand sides are zero there; live columns update every rhs so
+  // each output element sees columns in the same order as the single-rhs
+  // loop (zero terms contribute exactly 0 either way).
+  for (index_t j = 0; j < cols_; ++j) {
+    const real_t* __restrict wj = wd + static_cast<std::size_t>(j * b);
+    bool live = false;
+    for (index_t q = 0; q < b; ++q) {
+      if (wj[q] != 0.0) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) continue;
+    const index_t lo = pd[j];
+    const index_t hi = pd[j + 1];
+    for (index_t k = lo; k < hi; ++k) {
+      const real_t v = vd[k];
+      real_t* __restrict yi = yd + static_cast<std::size_t>(rd[k] * b);
+      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
+    }
+  }
+}
+
 void CscMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();

@@ -60,6 +60,13 @@ class CscMatrix {
   /// effective work is sum of col_nnz over the row's support only.
   void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k], Y[i*b + k], 1 <= b <= kMaxSmsvBatch). A column is skipped
+  /// only when all b of its w entries are zero, so each surviving output
+  /// element accumulates in multiply_dense order.
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const;
+
   /// Extracts row i (O(nnz of the row) via per-column binary searches —
   /// CSC's weak spot; the kernel engine caches gathered rows).
   void gather_row(index_t i, SparseVector& out) const;

@@ -49,6 +49,33 @@ void CsrMatrix::multiply_dense(std::span<const real_t> w,
   });
 }
 
+void CsrMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                     std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  const real_t* __restrict wd = w.data();
+  const index_t* __restrict cd = col_.data();
+  const real_t* __restrict vd = values_.data();
+  const index_t* __restrict pd = ptr_.data();
+  parallel_for(rows_, [&](index_t i) {
+    const index_t lo = pd[i];
+    const index_t hi = pd[i + 1];
+    real_t acc[kMaxSmsvBatch] = {};
+    for (index_t k = lo; k < hi; ++k) {
+      const real_t v = vd[k];
+      const real_t* __restrict wj = wd + static_cast<std::size_t>(cd[k] * b);
+      for (index_t q = 0; q < b; ++q) acc[q] += v * wj[q];
+    }
+    real_t* __restrict yi = y.data() + static_cast<std::size_t>(i * b);
+    for (index_t q = 0; q < b; ++q) yi[q] = acc[q];
+  });
+}
+
 real_t CsrMatrix::row_dot_dense(index_t i, std::span<const real_t> w) const {
   LS_ASSERT(i >= 0 && i < rows_, "row index out of range");
   const auto cols = row_cols(i);

@@ -70,6 +70,13 @@ class CsrMatrix {
   /// cause load imbalance — the effect Fig. 4 measures against COO.
   void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k], Y[i*b + k], 1 <= b <= kMaxSmsvBatch); one sweep of the
+  /// row data serves all b vectors. Accumulation order per output element
+  /// matches multiply_dense.
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const;
+
   /// Row i dot dense workspace w (gather-dot over the row's pattern).
   real_t row_dot_dense(index_t i, std::span<const real_t> w) const;
 

@@ -39,6 +39,31 @@ void DenseMatrix::multiply_dense(std::span<const real_t> w,
   });
 }
 
+void DenseMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                       std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  const real_t* __restrict wd = w.data();
+  const real_t* __restrict ad = data_.data();
+  const index_t n = cols_;
+  parallel_for(rows_, [&](index_t i) {
+    const real_t* __restrict r = ad + static_cast<std::size_t>(i * n);
+    real_t acc[kMaxSmsvBatch] = {};
+    for (index_t j = 0; j < n; ++j) {
+      const real_t a = r[j];
+      const real_t* __restrict wj = wd + static_cast<std::size_t>(j * b);
+      for (index_t q = 0; q < b; ++q) acc[q] += a * wj[q];
+    }
+    real_t* __restrict yi = y.data() + static_cast<std::size_t>(i * b);
+    for (index_t q = 0; q < b; ++q) yi[q] = acc[q];
+  });
+}
+
 void DenseMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();

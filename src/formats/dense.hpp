@@ -61,6 +61,14 @@ class DenseMatrix {
   /// y = A * w, dense GEMV loop (row-parallel, unit-stride inner loop).
   void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k] = entry j of rhs k, Y[i*b + k] likewise, 1 <= b <=
+  /// kMaxSmsvBatch). One pass over the matrix serves all b vectors, so the
+  /// matrix bytes — the SMSV bottleneck — are amortised b-fold. Each output
+  /// element accumulates in the same order as multiply_dense.
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const;
+
   /// Extracts the nonzero pattern of row i into a SparseVector.
   void gather_row(index_t i, SparseVector& out) const;
 

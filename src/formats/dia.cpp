@@ -68,6 +68,34 @@ void DiaMatrix::multiply_dense(std::span<const real_t> w,
   }
 }
 
+void DiaMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                     std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+
+  const real_t* __restrict wd = w.data();
+  real_t* __restrict yd = y.data();
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    const index_t off = offsets_[d];
+    const index_t lo = stripe_base(d);
+    const index_t hi = stripe_end(d);
+    const real_t* __restrict stripe = values_.data() + slot(d, lo);
+    for (index_t i = lo; i < hi; ++i) {
+      const real_t v = stripe[i - lo];
+      const real_t* __restrict wj =
+          wd + static_cast<std::size_t>((i + off) * b);
+      real_t* __restrict yi = yd + static_cast<std::size_t>(i * b);
+      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
+    }
+  }
+}
+
 void DiaMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();

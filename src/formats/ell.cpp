@@ -58,6 +58,32 @@ void EllMatrix::multiply_dense(std::span<const real_t> w,
   }
 }
 
+void EllMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                     std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+  if (rows_ == 0 || mdim_ == 0) return;
+
+  const real_t* __restrict wd = w.data();
+  real_t* __restrict yd = y.data();
+  for (index_t k = 0; k < mdim_; ++k) {
+    const index_t* __restrict ck = col_.data() + slot(0, k);
+    const real_t* __restrict vk = values_.data() + slot(0, k);
+    parallel_for(rows_, [&](index_t i) {
+      const real_t v = vk[i];
+      const real_t* __restrict wj = wd + static_cast<std::size_t>(ck[i] * b);
+      real_t* __restrict yi = yd + static_cast<std::size_t>(i * b);
+      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
+    });
+  }
+}
+
 void EllMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();

@@ -35,6 +35,11 @@ enum class Format : int {
 /// Number of basic (paper) formats.
 inline constexpr int kNumBasicFormats = 5;
 
+/// Upper bound on the right-hand-side count of one multiply_dense_batch
+/// call (keeps per-thread accumulator blocks on the stack). Callers wanting
+/// more rows per batch split into chunks of at most this size.
+inline constexpr int kMaxSmsvBatch = 64;
+
 /// Total number of supported formats (arrays indexed by Format use this).
 inline constexpr int kNumFormats = 9;
 

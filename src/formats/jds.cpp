@@ -69,6 +69,34 @@ void JdsMatrix::multiply_dense(std::span<const real_t> w,
   }
 }
 
+void JdsMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
+                                     std::span<real_t> y) const {
+  LS_ASSERT(b >= 1 && b <= kMaxSmsvBatch, "batch size out of range");
+  LS_ASSERT(w.size() == static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(b),
+            "w size mismatch");
+  LS_ASSERT(y.size() == static_cast<std::size_t>(rows_) *
+                            static_cast<std::size_t>(b),
+            "y size mismatch");
+  std::fill(y.begin(), y.end(), real_t{0});
+  const real_t* __restrict wd = w.data();
+  real_t* __restrict yd = y.data();
+  const index_t* __restrict prm = perm_.data();
+  for (index_t k = 0; k < num_jagged(); ++k) {
+    const index_t lo = jd_ptr_[static_cast<std::size_t>(k)];
+    const index_t hi = jd_ptr_[static_cast<std::size_t>(k) + 1];
+    const real_t* __restrict vd = values_.data() + lo;
+    const index_t* __restrict cd = col_.data() + lo;
+    const index_t len = hi - lo;
+    for (index_t p = 0; p < len; ++p) {
+      const real_t v = vd[p];
+      const real_t* __restrict wj = wd + static_cast<std::size_t>(cd[p] * b);
+      real_t* __restrict yi = yd + static_cast<std::size_t>(prm[p] * b);
+      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
+    }
+  }
+}
+
 void JdsMatrix::gather_row(index_t i, SparseVector& out) const {
   LS_CHECK(i >= 0 && i < rows_, "gather_row index out of range");
   out.clear();

@@ -54,6 +54,13 @@ class JdsMatrix {
   /// into y through the row permutation.
   void multiply_dense(std::span<const real_t> w, std::span<real_t> y) const;
 
+  /// Batched SMSV: Y = A * W for `b` interleaved right-hand sides
+  /// (W[j*b + k], Y[i*b + k], 1 <= b <= kMaxSmsvBatch); one sweep of the
+  /// jagged-diagonal streams serves all b vectors. Accumulation order per
+  /// output element matches multiply_dense.
+  void multiply_dense_batch(std::span<const real_t> w, index_t b,
+                            std::span<real_t> y) const;
+
   /// Extracts row i.
   void gather_row(index_t i, SparseVector& out) const;
 

@@ -89,33 +89,38 @@ CostCalibration CostCalibration::measure() {
     for (std::size_t j = 0; j < w.size(); j += 3) w[j] = 0.5;  // sparse-ish w
     const double secs = time_best([&] { mat.multiply_dense(w, y); }, 5, 0.005);
     const double ops = static_cast<double>(mat.work_flops());
-    return ops > 0 ? secs / ops : 1e-9;
+    cal.seconds_per_op_[static_cast<std::size_t>(f)] =
+        ops > 0 ? secs / ops : 1e-9;
+
+    // Batched dimension: same matrix, kCalibrationBatchRows interleaved
+    // right-hand sides, cost normalised per op per rhs.
+    const auto b = static_cast<std::size_t>(kCalibrationBatchRows);
+    w.assign(static_cast<std::size_t>(mat.cols()) * b, 0.0);
+    y.assign(static_cast<std::size_t>(mat.rows()) * b, 0.0);
+    for (std::size_t j = 0; j < w.size(); j += 3) w[j] = 0.5;
+    const double batch_secs = time_best(
+        [&] { mat.multiply_dense_batch(w, kCalibrationBatchRows, y); }, 5,
+        0.005);
+    cal.batch_seconds_per_op_[static_cast<std::size_t>(f)] =
+        ops > 0 ? batch_secs / (ops * static_cast<double>(b)) : 1e-9;
   };
 
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kDEN)] =
-      time_format(dense, Format::kDEN);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kCSR)] =
-      time_format(sparse, Format::kCSR);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kCOO)] =
-      time_format(sparse, Format::kCOO);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kELL)] =
-      time_format(sparse, Format::kELL);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kDIA)] =
-      time_format(banded, Format::kDIA);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kCSC)] =
-      time_format(sparse, Format::kCSC);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kBCSR)] =
-      time_format(banded, Format::kBCSR);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kHYB)] =
-      time_format(sparse, Format::kHYB);
-  cal.seconds_per_op_[static_cast<std::size_t>(Format::kJDS)] =
-      time_format(sparse, Format::kJDS);
+  time_format(dense, Format::kDEN);
+  time_format(sparse, Format::kCSR);
+  time_format(sparse, Format::kCOO);
+  time_format(sparse, Format::kELL);
+  time_format(banded, Format::kDIA);
+  time_format(sparse, Format::kCSC);
+  time_format(banded, Format::kBCSR);
+  time_format(sparse, Format::kHYB);
+  time_format(sparse, Format::kJDS);
   return cal;
 }
 
 CostCalibration CostCalibration::uniform() {
   CostCalibration cal;
   cal.seconds_per_op_.fill(1.0);
+  cal.batch_seconds_per_op_.fill(1.0);
   return cal;
 }
 
@@ -132,6 +137,15 @@ std::string CostCalibration::to_string() const {
                   std::string(format_name(f)).c_str(), seconds_per_op(f));
     out += buf;
   }
+  out += "; batched seconds/op/rhs (b=" +
+         std::to_string(kCalibrationBatchRows) + "):";
+  for (Format f : kExtendedFormats) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%.3g",
+                  std::string(format_name(f)).c_str(),
+                  batch_seconds_per_op(f));
+    out += buf;
+  }
   return out;
 }
 
@@ -143,6 +157,7 @@ CostPrediction predict_cost(const MatrixFeatures& feat,
     p.flops[i] = modeled_flops(f, feat);
     p.bytes[i] = modeled_bytes(f, feat);
     p.seconds[i] = p.flops[i] * cal.seconds_per_op(f);
+    p.batch_seconds[i] = p.flops[i] * cal.batch_seconds_per_op(f);
   }
   return p;
 }

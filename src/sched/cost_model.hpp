@@ -20,14 +20,23 @@
 
 namespace ls {
 
+/// Right-hand-side count used to calibrate the batched-kernel dimension.
+inline constexpr index_t kCalibrationBatchRows = 8;
+
 /// Predicted cost of one SMSV (y = X * w) in each format.
 struct CostPrediction {
   std::array<double, kNumFormats> seconds{};  // indexed by Format
   std::array<double, kNumFormats> flops{};    // modelled multiply-adds
   std::array<double, kNumFormats> bytes{};    // modelled bytes streamed
+  /// Predicted seconds per *row* of one batched SMSV at
+  /// kCalibrationBatchRows right-hand sides (amortised matrix streaming).
+  std::array<double, kNumFormats> batch_seconds{};
 
   double seconds_of(Format f) const {
     return seconds[static_cast<std::size_t>(f)];
+  }
+  double batch_seconds_of(Format f) const {
+    return batch_seconds[static_cast<std::size_t>(f)];
   }
 };
 
@@ -57,10 +66,18 @@ class CostCalibration {
     return seconds_per_op_[static_cast<std::size_t>(f)];
   }
 
+  /// Seconds per multiply-add per right-hand side when the format runs its
+  /// batched kernel (multiply_dense_batch) at kCalibrationBatchRows rhs.
+  /// Lower than seconds_per_op where batching amortises matrix streaming.
+  double batch_seconds_per_op(Format f) const {
+    return batch_seconds_per_op_[static_cast<std::size_t>(f)];
+  }
+
   std::string to_string() const;
 
  private:
   std::array<double, kNumFormats> seconds_per_op_{};
+  std::array<double, kNumFormats> batch_seconds_per_op_{};
 };
 
 /// Full prediction for all five formats.

@@ -29,6 +29,14 @@ namespace ls {
 struct ScheduleDecision {
   Format format = Format::kCSR;
   std::array<double, kNumFormats> score_seconds{};
+  /// Per-format seconds per *row* when the format runs its batched kernel
+  /// (multiply_dense_batch). Heuristic: predicted from the batched
+  /// calibration dimension. Empirical: measured when
+  /// AutotuneOptions::batch_rows > 1, else left infinite.
+  std::array<double, kNumFormats> batch_score_seconds{};
+  /// Right-hand sides per probe multiply that produced batch_score_seconds
+  /// (1 = batched dimension not probed).
+  index_t probe_batch_rows = 1;
   std::string rationale;
   /// True when a fallback path produced this decision (empirical candidates
   /// all failed, or the chosen format could not be materialised). The
@@ -41,6 +49,9 @@ struct ScheduleDecision {
 
   double score_of(Format f) const {
     return score_seconds[static_cast<std::size_t>(f)];
+  }
+  double batch_score_of(Format f) const {
+    return batch_score_seconds[static_cast<std::size_t>(f)];
   }
 };
 
@@ -82,6 +93,12 @@ struct AutotuneOptions {
   /// Per-candidate modelled storage budget in bytes (0 = unlimited);
   /// candidates above it are dropped before any allocation happens.
   std::size_t candidate_bytes_budget = 0;
+  /// Right-hand sides per probe multiply. 1 probes the single-rhs SMSV the
+  /// solver's hot loop issues; > 1 (clamped to kMaxSmsvBatch) additionally
+  /// probes multiply_dense_batch and races candidates on the per-row
+  /// batched score — the regime batch_predict and the prefetch pipeline
+  /// run in.
+  index_t batch_rows = 1;
 };
 
 /// Measurement-based selector.

@@ -1,12 +1,17 @@
 #include "svm/batch_predict.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace ls {
 
 BatchPredictor::BatchPredictor(const SvmModel& model,
-                               const SchedulerOptions& sched)
-    : model_(&model) {
+                               const SchedulerOptions& sched,
+                               index_t batch_rows)
+    : model_(&model),
+      batch_rows_(std::clamp<index_t>(batch_rows, 1, kMaxSmsvBatch)) {
   LS_CHECK(!model.support_vectors.empty(),
            "batch predictor needs at least one support vector");
   // Assemble the SV matrix in canonical COO, then schedule its layout like
@@ -38,23 +43,62 @@ std::vector<real_t> BatchPredictor::decision_values(const Dataset& ds) const {
   const index_t n_sv = sv_matrix_.rows();
 
   std::vector<real_t> out(static_cast<std::size_t>(ds.rows()));
+  const index_t d = model_->num_features;
+
+  // Block-wise evaluation: gather `batch_rows_` test rows, scatter them
+  // into one interleaved workspace and stream the SV matrix once for the
+  // whole block instead of once per test row.
+  const index_t bmax = batch_rows_;
   std::vector<real_t> workspace(
-      static_cast<std::size_t>(model_->num_features), 0.0);
-  std::vector<real_t> dots(static_cast<std::size_t>(n_sv));
-  SparseVector row;
-  for (index_t i = 0; i < ds.rows(); ++i) {
-    ds.X.gather_row(i, row);
-    row.scatter(workspace);
-    sv_matrix_.multiply_dense(workspace, dots);
-    const real_t norm_x = row.squared_norm();
-    real_t sum = 0.0;
-    for (index_t k = 0; k < n_sv; ++k) {
-      const auto ku = static_cast<std::size_t>(k);
-      sum += model_->coef[ku] * kernel_from_dot(model_->kernel, dots[ku],
-                                                sv_norms_[ku], norm_x);
+      static_cast<std::size_t>(d) * static_cast<std::size_t>(bmax), 0.0);
+  std::vector<real_t> dots(static_cast<std::size_t>(n_sv) *
+                           static_cast<std::size_t>(bmax));
+  std::vector<SparseVector> rows(static_cast<std::size_t>(bmax));
+  std::vector<index_t> row_ids(static_cast<std::size_t>(bmax));
+
+  for (index_t base = 0; base < ds.rows(); base += bmax) {
+    const index_t b = std::min<index_t>(bmax, ds.rows() - base);
+    for (index_t k = 0; k < b; ++k) {
+      row_ids[static_cast<std::size_t>(k)] = base + k;
     }
-    out[static_cast<std::size_t>(i)] = sum - model_->rho;
-    row.unscatter(workspace);
+    ds.X.gather_rows_batch(
+        std::span<const index_t>(row_ids.data(), static_cast<std::size_t>(b)),
+        std::span<SparseVector>(rows.data(), static_cast<std::size_t>(b)));
+
+    for (index_t k = 0; k < b; ++k) {
+      const SparseVector& row = rows[static_cast<std::size_t>(k)];
+      const auto idx = row.indices();
+      const auto val = row.values();
+      for (std::size_t e = 0; e < idx.size(); ++e) {
+        workspace[static_cast<std::size_t>(idx[e] * b + k)] = val[e];
+      }
+    }
+
+    const auto need_w =
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(b);
+    const auto need_y =
+        static_cast<std::size_t>(n_sv) * static_cast<std::size_t>(b);
+    sv_matrix_.multiply_dense_batch(
+        std::span<const real_t>(workspace.data(), need_w), b,
+        std::span<real_t>(dots.data(), need_y));
+    metrics::counter_add("svm.predict.batch_rows_total", b);
+
+    for (index_t k = 0; k < b; ++k) {
+      const SparseVector& row = rows[static_cast<std::size_t>(k)];
+      const real_t norm_x = row.squared_norm();
+      real_t sum = 0.0;
+      for (index_t sv = 0; sv < n_sv; ++sv) {
+        const auto ku = static_cast<std::size_t>(sv);
+        sum += model_->coef[ku] *
+               kernel_from_dot(model_->kernel,
+                               dots[static_cast<std::size_t>(sv * b + k)],
+                               sv_norms_[ku], norm_x);
+      }
+      out[static_cast<std::size_t>(base + k)] = sum - model_->rho;
+      for (index_t c : row.indices()) {
+        workspace[static_cast<std::size_t>(c * b + k)] = 0.0;
+      }
+    }
   }
   return out;
 }

@@ -21,9 +21,12 @@ namespace ls {
 class BatchPredictor {
  public:
   /// Materialises the model's support vectors under `sched`'s policy.
-  /// The model must outlive the predictor.
+  /// The model must outlive the predictor. `batch_rows` test rows are
+  /// evaluated per SMSV against the SV matrix (clamped to
+  /// [1, kMaxSmsvBatch]); larger blocks amortise the SV-matrix streaming.
   explicit BatchPredictor(const SvmModel& model,
-                          const SchedulerOptions& sched = {});
+                          const SchedulerOptions& sched = {},
+                          index_t batch_rows = 16);
 
   /// Decision values for every row of `ds` (same sign convention as
   /// SvmModel::decision).
@@ -43,6 +46,7 @@ class BatchPredictor {
   ScheduleDecision decision_;
   AnyMatrix sv_matrix_;             // #SV x num_features
   std::vector<real_t> sv_norms_;    // ||sv_i||^2 for the Gaussian kernel
+  index_t batch_rows_ = 16;         // test rows per batched SMSV
 };
 
 }  // namespace ls

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <span>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -42,11 +43,11 @@ ClusterResult kmeans_partition(const Dataset& ds, index_t parts,
   const auto n_features = static_cast<std::size_t>(ds.cols());
   const index_t rows = ds.rows();
 
-  // Gather all rows once.
+  // Gather all rows once (batched: one format dispatch, parallel rows).
   std::vector<SparseVector> samples(static_cast<std::size_t>(rows));
-  for (index_t i = 0; i < rows; ++i) {
-    ds.X.gather_row(i, samples[static_cast<std::size_t>(i)]);
-  }
+  std::vector<index_t> all_rows(static_cast<std::size_t>(rows));
+  std::iota(all_rows.begin(), all_rows.end(), index_t{0});
+  ds.X.gather_rows_batch(all_rows, samples);
 
   // Init: centroids from random distinct samples.
   ClusterResult result;
@@ -135,9 +136,10 @@ ClusterResult kmeans_partition(const Dataset& ds, index_t parts,
 std::vector<real_t> subset_centroid(const Dataset& ds,
                                     const std::vector<index_t>& ids) {
   std::vector<real_t> centroid(static_cast<std::size_t>(ds.cols()), 0.0);
-  SparseVector row;
-  for (index_t i : ids) {
-    ds.X.gather_row(i, row);
+  std::vector<SparseVector> rows(ids.size());
+  ds.X.gather_rows_batch(std::span<const index_t>(ids.data(), ids.size()),
+                         rows);
+  for (const SparseVector& row : rows) {
     const auto idx = row.indices();
     const auto val = row.values();
     for (index_t e = 0; e < row.nnz(); ++e) {
@@ -191,10 +193,24 @@ double DcSvmModel::accuracy(const Dataset& ds) const {
   ds.validate();
   LS_CHECK(ds.rows() > 0, "cannot score an empty dataset");
   index_t correct = 0;
-  SparseVector row;
-  for (index_t i = 0; i < ds.rows(); ++i) {
-    ds.X.gather_row(i, row);
-    if (predict(row) == ds.y[static_cast<std::size_t>(i)]) ++correct;
+  // Block-wise gather: one format dispatch per block instead of per row.
+  const index_t block = kMaxSmsvBatch;
+  std::vector<SparseVector> rows(static_cast<std::size_t>(block));
+  std::vector<index_t> row_ids(static_cast<std::size_t>(block));
+  for (index_t base = 0; base < ds.rows(); base += block) {
+    const index_t b = std::min<index_t>(block, ds.rows() - base);
+    for (index_t k = 0; k < b; ++k) {
+      row_ids[static_cast<std::size_t>(k)] = base + k;
+    }
+    ds.X.gather_rows_batch(
+        std::span<const index_t>(row_ids.data(), static_cast<std::size_t>(b)),
+        std::span<SparseVector>(rows.data(), static_cast<std::size_t>(b)));
+    for (index_t k = 0; k < b; ++k) {
+      if (predict(rows[static_cast<std::size_t>(k)]) ==
+          ds.y[static_cast<std::size_t>(base + k)]) {
+        ++correct;
+      }
+    }
   }
   return static_cast<double>(correct) / static_cast<double>(ds.rows());
 }

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/trace.hpp"
 
 namespace ls {
@@ -67,15 +68,27 @@ bool SmoSolver::select_high(Selection& sel) const {
   sel.high = -1;
   sel.b_high = std::numeric_limits<real_t>::infinity();
   sel.b_low = -std::numeric_limits<real_t>::infinity();
-  for (index_t i : active_) {
-    const real_t fi = f_[static_cast<std::size_t>(i)];
-    if (in_i_high(i) && fi < sel.b_high) {
-      sel.b_high = fi;
-      sel.high = i;
-    }
-    if (in_i_low(i) && fi > sel.b_low) {
-      sel.b_low = fi;
-    }
+  const index_t na = static_cast<index_t>(active_.size());
+  // Both scans run as deterministic parallel argmax folds: ties keep the
+  // lowest active-set position, matching the serial loop at any thread
+  // count (the thread-invariance tests rely on this).
+  const index_t high_pos = parallel_argmax(na, [&](index_t k) {
+    const index_t i = active_[static_cast<std::size_t>(k)];
+    return in_i_high(i) ? -f_[static_cast<std::size_t>(i)]
+                        : -std::numeric_limits<real_t>::infinity();
+  });
+  if (high_pos >= 0) {
+    sel.high = active_[static_cast<std::size_t>(high_pos)];
+    sel.b_high = f_[static_cast<std::size_t>(sel.high)];
+  }
+  const index_t low_pos = parallel_argmax(na, [&](index_t k) {
+    const index_t i = active_[static_cast<std::size_t>(k)];
+    return in_i_low(i) ? f_[static_cast<std::size_t>(i)]
+                       : -std::numeric_limits<real_t>::infinity();
+  });
+  if (low_pos >= 0) {
+    sel.b_low =
+        f_[static_cast<std::size_t>(active_[static_cast<std::size_t>(low_pos)])];
   }
   return sel.high >= 0 && std::isfinite(sel.b_low);
 }
@@ -83,16 +96,15 @@ bool SmoSolver::select_high(Selection& sel) const {
 bool SmoSolver::select_low(Selection& sel,
                            std::span<const real_t> k_high) const {
   sel.low = -1;
+  const index_t na = static_cast<index_t>(active_.size());
   if (params_.wss == WssPolicy::kFirstOrder) {
     // Algorithm 1 step 9: low = argmax f over I_low.
-    real_t best = -std::numeric_limits<real_t>::infinity();
-    for (index_t j : active_) {
-      const real_t fj = f_[static_cast<std::size_t>(j)];
-      if (in_i_low(j) && fj > best) {
-        best = fj;
-        sel.low = j;
-      }
-    }
+    const index_t pos = parallel_argmax(na, [&](index_t k) {
+      const index_t j = active_[static_cast<std::size_t>(k)];
+      return in_i_low(j) ? f_[static_cast<std::size_t>(j)]
+                         : -std::numeric_limits<real_t>::infinity();
+    });
+    if (pos >= 0) sel.low = active_[static_cast<std::size_t>(pos)];
     return sel.low >= 0;
   }
 
@@ -100,22 +112,61 @@ bool SmoSolver::select_low(Selection& sel,
   // optimality w.r.t. high, maximise the guaranteed objective gain
   // (f_j - b_high)^2 / eta_j.
   const real_t k_hh = cache_->diagonal(sel.high);
-  real_t best_gain = -std::numeric_limits<real_t>::infinity();
-  for (index_t j : active_) {
-    if (!in_i_low(j)) continue;
-    const real_t fj = f_[static_cast<std::size_t>(j)];
-    const real_t b = fj - sel.b_high;
-    if (b <= 0) continue;
+  const index_t pos = parallel_argmax(na, [&](index_t k) {
+    const index_t j = active_[static_cast<std::size_t>(k)];
+    if (!in_i_low(j)) return -std::numeric_limits<real_t>::infinity();
+    const real_t b = f_[static_cast<std::size_t>(j)] - sel.b_high;
+    if (b <= 0) return -std::numeric_limits<real_t>::infinity();
     real_t eta = k_hh + cache_->diagonal(j) -
                  2.0 * k_high[static_cast<std::size_t>(j)];
     if (eta <= 0) eta = kEtaFloor;
-    const real_t gain = b * b / eta;
-    if (gain > best_gain) {
-      best_gain = gain;
-      sel.low = j;
+    return b * b / eta;
+  });
+  if (pos >= 0) sel.low = active_[static_cast<std::size_t>(pos)];
+  return sel.low >= 0;
+}
+
+std::vector<index_t> SmoSolver::predict_candidates(index_t count) const {
+  std::vector<index_t> out;
+  if (count <= 0) return out;
+
+  // Two bounded top-k scans over the active set (k is tiny, so insertion
+  // into a sorted array beats a heap). Half the budget goes to I_high
+  // (smallest f first — the next b_high candidates), half to I_low
+  // (largest f first — the next b_low / second-order candidates).
+  struct Scored {
+    real_t score;
+    index_t row;
+  };
+  const std::size_t high_cap = static_cast<std::size_t>((count + 1) / 2);
+  const std::size_t low_cap = static_cast<std::size_t>(count) - high_cap;
+  std::vector<Scored> high, low;
+  high.reserve(high_cap + 1);
+  low.reserve(low_cap + 1);
+  const auto push_top = [](std::vector<Scored>& v, std::size_t cap,
+                           Scored s) {
+    if (cap == 0) return;
+    auto it = std::find_if(v.begin(), v.end(), [&](const Scored& o) {
+      return s.score > o.score;
+    });
+    if (it == v.end() && v.size() >= cap) return;
+    v.insert(it, s);
+    if (v.size() > cap) v.pop_back();
+  };
+  for (index_t i : active_) {
+    const real_t fi = f_[static_cast<std::size_t>(i)];
+    if (in_i_high(i)) push_top(high, high_cap, {-fi, i});
+    if (in_i_low(i)) push_top(low, low_cap, {fi, i});
+  }
+
+  out.reserve(high.size() + low.size());
+  for (const Scored& s : high) out.push_back(s.row);
+  for (const Scored& s : low) {
+    if (std::find(out.begin(), out.end(), s.row) == out.end()) {
+      out.push_back(s.row);
     }
   }
-  return sel.low >= 0;
+  return out;
 }
 
 void SmoSolver::shrink(const Selection& sel) {
@@ -269,6 +320,15 @@ SolveStats SmoSolver::solve() {
       f[i] += d_hi * kh[i] + d_lo * kl[i];
     }
 
+    // Pipeline: hand the predicted next working set to the cache's worker
+    // while this thread goes on to selection. Purely a cache warmer — the
+    // chosen pair and the iterates are identical with or without it.
+    if (params_.prefetch_rows > 0) {
+      const std::vector<index_t> next =
+          predict_candidates(params_.prefetch_rows);
+      if (!next.empty()) cache_->prefetch(next);
+    }
+
     ++iter;
     if (tracing && iter % gap_interval == 0) {
       trace::emit_counter("svm.smo.kkt_gap", sel.b_low - sel.b_high);
@@ -303,6 +363,8 @@ SolveStats SmoSolver::solve() {
   stats.objective = current_objective();
   stats.kernel_rows_computed = 0;  // filled by caller from the engine
   stats.cache_hit_rate = cache_->hit_rate();
+  stats.pipeline_hits = cache_->pipeline_hits();
+  stats.pipeline_misses = cache_->pipeline_misses();
   for (real_t a : alpha_) {
     if (a > kBoundEps) ++stats.support_vectors;
   }

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "svm/batch_predict.hpp"
 #include "svm/checkpoint.hpp"
 #include "svm/kernel_engine.hpp"
 #include "svm/reschedule.hpp"
@@ -181,8 +182,16 @@ double cross_validate(const Dataset& ds, const SvmParams& params, int folds,
     const Dataset train = ds.subset(train_ids, ".cv_train");
     const Dataset test = ds.subset(test_ids, ".cv_test");
     const TrainResult result = train_adaptive(train, params);
-    weighted_accuracy += result.model.accuracy(test) *
-                         static_cast<double>(test_ids.size());
+    // Score the fold block-wise (one batched SMSV per block of test rows)
+    // instead of per-row merge joins. A model with no support vectors
+    // cannot build an SV matrix — fall back to the per-row path.
+    double fold_accuracy;
+    if (result.model.support_vectors.empty()) {
+      fold_accuracy = result.model.accuracy(test);
+    } else {
+      fold_accuracy = BatchPredictor(result.model).accuracy(test);
+    }
+    weighted_accuracy += fold_accuracy * static_cast<double>(test_ids.size());
   }
   return weighted_accuracy / static_cast<double>(ds.rows());
 }

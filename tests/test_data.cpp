@@ -373,5 +373,165 @@ TEST(PlantLabels, NoiseZeroIsLinearlySeparableish) {
   EXPECT_NEAR(pos, 50, 2);
 }
 
+// ---------------------------------------------------------------------------
+// libsvm reader fuzz corpus: every malformed-line family observed in the
+// wild must throw (strict) or be skipped atomically (permissive), and
+// well-formed variants must parse no matter the line-ending or whitespace
+// convention they were written with.
+
+TEST(LibsvmFuzz, RejectsNonFiniteValues) {
+  const char* corpus[] = {
+      "+1 1:nan\n",  "+1 1:NaN\n",      "+1 1:inf\n",
+      "-1 2:-inf\n", "+1 1:infinity\n", "+1 3:1e999\n",  // overflow -> inf
+      "nan 1:1\n",                                       // non-finite label
+      "inf 1:1\n",
+  };
+  for (const char* text : corpus) {
+    std::stringstream in(text);
+    EXPECT_THROW(read_libsvm(in, "nonfinite"), Error) << text;
+  }
+}
+
+TEST(LibsvmFuzz, RejectsTruncatedTokens) {
+  const char* corpus[] = {
+      "+1 1:1 2:\n",    // value truncated away
+      "+1 1:1 2\n",     // colon truncated away
+      "+1 1:1 :\n",     // both halves missing
+      "+1 1:1 :2\n",    // index missing
+      "+1 1:1 2:3.5e\n",  // exponent cut mid-token
+      "+1\t1:1\t2:\n",  // tab-separated truncation
+  };
+  for (const char* text : corpus) {
+    std::stringstream in(text);
+    EXPECT_THROW(read_libsvm(in, "truncated"), Error) << text;
+  }
+}
+
+TEST(LibsvmFuzz, RejectsOutOfOrderIndices) {
+  const char* corpus[] = {
+      "+1 2:1 1:1\n",      // decreasing
+      "+1 1:1 1:2\n",      // duplicate
+      "+1 5:1 5:1 6:1\n",  // duplicate then increasing again
+  };
+  for (const char* text : corpus) {
+    std::stringstream in(text);
+    EXPECT_THROW(read_libsvm(in, "order"), Error) << text;
+  }
+}
+
+TEST(LibsvmFuzz, CrlfLinesParseIdenticallyToLf) {
+  const std::string lf = "+1 1:0.5 3:2.5\n-1 2:1.25 # comment\n";
+  const std::string crlf = "+1 1:0.5 3:2.5\r\n-1 2:1.25 # comment\r\n";
+  std::stringstream in_lf(lf);
+  std::stringstream in_crlf(crlf);
+  const Dataset a = read_libsvm(in_lf, "lf");
+  const Dataset b = read_libsvm(in_crlf, "crlf");
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.X.nnz(), b.X.nnz());
+  test::expect_bit_identical(a.X.values(), b.X.values());
+  test::expect_bit_identical(a.y, b.y);
+}
+
+TEST(LibsvmFuzz, WhitespaceAndCommentVariantsParse) {
+  std::stringstream in("+1   1:1\t2:2   \n"
+                       "# a full-line comment\n"
+                       "   \n"
+                       "\r\n"
+                       "-1 3:3\n");
+  const Dataset ds = read_libsvm(in, "ws");
+  ASSERT_EQ(ds.rows(), 2);
+  EXPECT_EQ(ds.X.nnz(), 3);
+  EXPECT_EQ(ds.y[0], 1.0);
+  EXPECT_EQ(ds.y[1], -1.0);
+}
+
+TEST(LibsvmFuzz, PermissiveModeSkipsBadLinesAtomically) {
+  // The third line fails AFTER two valid tokens: atomic rollback means none
+  // of its entries may leak into the dataset.
+  std::stringstream in("+1 1:1 2:2\n"
+                       "bad_label 1:1\n"
+                       "-1 1:7 2:8 3:nan\n"
+                       "-1 3:3\n"
+                       "+1 2:0 4:4\n");  // explicit zero is dropped, row kept
+  LibsvmReadOptions opts;
+  opts.permissive = true;
+  LibsvmReadReport report;
+  const Dataset ds = read_libsvm(in, "permissive", opts, &report);
+  EXPECT_EQ(ds.rows(), 3);
+  EXPECT_EQ(ds.X.nnz(), 4);  // 1:1 2:2 | 3:3 | 4:4
+  EXPECT_EQ(report.lines_skipped, 2u);
+  ASSERT_EQ(report.errors.size(), 2u);
+  EXPECT_NE(report.errors[0].find("label"), std::string::npos);
+  EXPECT_NE(report.errors[1].find("finite"), std::string::npos);
+}
+
+TEST(LibsvmFuzz, PermissiveErrorCapTruncatesReport) {
+  std::string text;
+  for (int i = 0; i < 10; ++i) text += "junk 1:1\n";
+  std::stringstream in(text);
+  LibsvmReadOptions opts;
+  opts.permissive = true;
+  opts.max_errors = 3;
+  LibsvmReadReport report;
+  const Dataset ds = read_libsvm(in, "cap", opts, &report);
+  EXPECT_EQ(ds.rows(), 0);
+  EXPECT_EQ(report.lines_skipped, 10u);
+  EXPECT_EQ(report.errors.size(), 3u);
+  EXPECT_TRUE(report.errors_truncated());
+}
+
+TEST(LibsvmFuzz, RoundTripIsBitExact) {
+  // 17-significant-digit formatting must reproduce every double bit-for-bit,
+  // including awkward ones (0.1, 1/3, huge, tiny-but-normal, negative zero
+  // is unrepresentable in a sparse file so it is not in the corpus).
+  Dataset ds;
+  ds.name = "bitexact";
+  ds.X = CooMatrix(
+      3, 4,
+      {{0, 0, 0.1},
+       {0, 2, 1.0 / 3.0},
+       {1, 1, -2.5e17},
+       {1, 3, 4.9e-300},
+       {2, 0, std::nextafter(1.0, 2.0)}});
+  ds.y = {1.0, -1.0, 1.0};
+  std::stringstream buffer;
+  write_libsvm(buffer, ds);
+  const Dataset back = read_libsvm(buffer, "back", 4);
+  ASSERT_EQ(back.X.nnz(), ds.X.nnz());
+  test::expect_bit_identical(back.X.values(), ds.X.values());
+  test::expect_bit_identical(back.y, ds.y);
+}
+
+TEST(LibsvmFuzz, RandomizedCorruptionNeverCrashes) {
+  // Start from a valid serialized dataset, flip random bytes, and require
+  // the strict reader to either parse or throw ls::Error — never crash,
+  // hang, or (under ASan) touch memory it should not.
+  Rng rng(0xFADEull);
+  Dataset ds;
+  ds.name = "fuzzbase";
+  ds.X = test::random_matrix(12, 9, 0.4, rng);
+  ds.y = plant_labels(ds.X, 0.1, 5);
+  std::stringstream base;
+  write_libsvm(base, ds);
+  const std::string clean = base.str();
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = clean;
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    for (int k = 0; k < flips; ++k) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<index_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.uniform_int(1, 127));
+    }
+    std::stringstream in(mutated);
+    try {
+      const Dataset parsed = read_libsvm(in, "mutated");
+      EXPECT_LE(parsed.rows(), ds.rows() + 20);  // sanity, not correctness
+    } catch (const Error&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ls

@@ -1,0 +1,287 @@
+// Property-based differential tests: every storage format is checked
+// against the brute-force COO oracle (and against its own single-rhs
+// kernel) on randomized matrices spanning the structural regimes the
+// scheduler distinguishes — sparse, dense, diagonal, empty rows, single
+// column/row, all-zero.
+//
+// Two comparison regimes:
+//  * format vs oracle: accumulation ORDER differs by format (CSC folds in
+//    column order, DIA in stripe order, ...), so results are compared with
+//    the ULP-aware helper;
+//  * batched vs single-rhs: every multiply_dense_batch implementation
+//    mirrors its format's multiply_dense traversal per output element, so
+//    lane k of a batched product must be BIT-identical to the single-rhs
+//    product of that lane.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "formats/any_matrix.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace ls;
+
+struct MatrixCase {
+  std::string name;
+  CooMatrix coo;
+};
+
+/// A matrix with deliberately empty rows (first, middle, last).
+CooMatrix matrix_with_empty_rows(index_t m, index_t n, Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (index_t i = 0; i < m; ++i) {
+    if (i == 0 || i == m / 2 || i == m - 1) continue;
+    for (index_t j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.3)) triplets.push_back({i, j, rng.uniform(-1, 1)});
+    }
+  }
+  return CooMatrix(m, n, std::move(triplets));
+}
+
+const std::vector<MatrixCase>& structural_cases() {
+  static const std::vector<MatrixCase> cases = [] {
+    Rng rng(0xD1FFull);
+    std::vector<MatrixCase> cs;
+    cs.push_back({"sparse_1pct", test::random_matrix(48, 37, 0.01, rng)});
+    cs.push_back({"sparse_10pct", test::random_matrix(33, 61, 0.10, rng)});
+    cs.push_back({"half_dense", test::random_matrix(40, 40, 0.5, rng)});
+    cs.push_back({"dense", make_dense_matrix(29, 23, rng)});
+    cs.push_back({"tridiagonal", make_banded(50, 50, {0, 1, -1}, 1.0, rng)});
+    cs.push_back(
+        {"wide_band", make_banded(41, 41, {0, 2, -2, 5, -5, 9}, 0.8, rng)});
+    cs.push_back({"empty_rows", matrix_with_empty_rows(21, 18, rng)});
+    cs.push_back({"single_column", test::random_matrix(30, 1, 0.6, rng)});
+    cs.push_back({"single_row", test::random_matrix(1, 25, 0.6, rng)});
+    cs.push_back({"all_zero", CooMatrix(9, 7, {})});
+    cs.push_back({"tall_skinny", test::random_matrix(120, 5, 0.25, rng)});
+    cs.push_back({"short_fat", test::random_matrix(4, 90, 0.25, rng)});
+    return cs;
+  }();
+  return cases;
+}
+
+/// Runs `fn(case, format, mat)` for every structural case x format pair.
+template <class Fn>
+void for_each_case_and_format(Fn&& fn) {
+  for (const MatrixCase& c : structural_cases()) {
+    for (Format f : kExtendedFormats) {
+      SCOPED_TRACE(c.name + " / " + std::string(format_name(f)));
+      fn(c, AnyMatrix::from_coo(c.coo, f));
+    }
+  }
+}
+
+/// Interleaved batch rhs: lane k of the block is `lanes[k]`.
+std::vector<real_t> interleave(const std::vector<std::vector<real_t>>& lanes) {
+  const auto b = lanes.size();
+  const auto n = lanes.front().size();
+  std::vector<real_t> w(n * b);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < b; ++k) w[j * b + k] = lanes[k][j];
+  }
+  return w;
+}
+
+/// Lane k extracted from an interleaved batch result.
+std::vector<real_t> lane(const std::vector<real_t>& y, std::size_t b,
+                         std::size_t k) {
+  std::vector<real_t> out(y.size() / b);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = y[i * b + k];
+  return out;
+}
+
+void check_batch_matches_single(index_t b_rows) {
+  for_each_case_and_format([&](const MatrixCase&, const AnyMatrix& mat) {
+    Rng rng(0xBEEFull + static_cast<std::uint64_t>(b_rows));
+    const auto b = static_cast<std::size_t>(b_rows);
+    std::vector<std::vector<real_t>> lanes(b);
+    for (auto& l : lanes) l = test::random_vector(mat.cols(), rng);
+
+    const std::vector<real_t> w = interleave(lanes);
+    std::vector<real_t> y(static_cast<std::size_t>(mat.rows()) * b, -7.0);
+    mat.multiply_dense_batch(w, b_rows, y);
+
+    std::vector<real_t> single(static_cast<std::size_t>(mat.rows()));
+    for (std::size_t k = 0; k < b; ++k) {
+      mat.multiply_dense(lanes[k], single);
+      test::expect_bit_identical(lane(y, b, k), single);
+    }
+  });
+}
+
+TEST(Differential, MultiplyMatchesOracleAllFormats) {
+  for_each_case_and_format([](const MatrixCase& c, const AnyMatrix& mat) {
+    Rng rng(0xACE5ull);
+    const std::vector<real_t> w = test::random_vector(mat.cols(), rng);
+    std::vector<real_t> y(static_cast<std::size_t>(mat.rows()), -3.0);
+    mat.multiply_dense(w, y);
+    test::expect_ulp_near(y, test::reference_multiply(c.coo, w));
+  });
+}
+
+TEST(Differential, MultiplyWithSparseRhsMatchesOracle) {
+  // The SMO workspace is a scattered matrix row: mostly exact zeros. This
+  // drives the CSC dead-column skip and the zero-product paths.
+  for_each_case_and_format([](const MatrixCase& c, const AnyMatrix& mat) {
+    Rng rng(0x5A5Aull);
+    std::vector<real_t> w(static_cast<std::size_t>(mat.cols()), 0.0);
+    for (auto& x : w) {
+      if (rng.bernoulli(0.2)) x = rng.uniform(-2.0, 2.0);
+    }
+    std::vector<real_t> y(static_cast<std::size_t>(mat.rows()), 1.0);
+    mat.multiply_dense(w, y);
+    test::expect_ulp_near(y, test::reference_multiply(c.coo, w));
+  });
+}
+
+TEST(Differential, BatchMatchesOracleAllFormats) {
+  for_each_case_and_format([](const MatrixCase& c, const AnyMatrix& mat) {
+    Rng rng(0xFACEull);
+    constexpr std::size_t b = 5;
+    std::vector<std::vector<real_t>> lanes(b);
+    for (auto& l : lanes) l = test::random_vector(mat.cols(), rng);
+    const std::vector<real_t> w = interleave(lanes);
+    std::vector<real_t> y(static_cast<std::size_t>(mat.rows()) * b);
+    mat.multiply_dense_batch(w, static_cast<index_t>(b), y);
+    for (std::size_t k = 0; k < b; ++k) {
+      test::expect_ulp_near(lane(y, b, k),
+                            test::reference_multiply(c.coo, lanes[k]));
+    }
+  });
+}
+
+TEST(Differential, BatchLaneBitIdenticalToSingleB1) {
+  check_batch_matches_single(1);
+}
+
+TEST(Differential, BatchLaneBitIdenticalToSingleB3) {
+  check_batch_matches_single(3);
+}
+
+TEST(Differential, BatchLaneBitIdenticalToSingleB8) {
+  check_batch_matches_single(8);
+}
+
+TEST(Differential, BatchLaneBitIdenticalToSingleMaxBatch) {
+  check_batch_matches_single(kMaxSmsvBatch);
+}
+
+TEST(Differential, BatchWithSparseLanesMatchesOracle) {
+  // Lanes with exact zeros: the batched CSC column skip only fires when
+  // ALL lanes are zero in that column, which must not change any lane's
+  // value beyond accumulation-order noise.
+  for_each_case_and_format([](const MatrixCase& c, const AnyMatrix& mat) {
+    Rng rng(0x0FF5ull);
+    constexpr std::size_t b = 4;
+    std::vector<std::vector<real_t>> lanes(
+        b, std::vector<real_t>(static_cast<std::size_t>(mat.cols()), 0.0));
+    for (auto& l : lanes) {
+      for (auto& x : l) {
+        if (rng.bernoulli(0.15)) x = rng.uniform(-1.0, 1.0);
+      }
+    }
+    const std::vector<real_t> w = interleave(lanes);
+    std::vector<real_t> y(static_cast<std::size_t>(mat.rows()) * b);
+    mat.multiply_dense_batch(w, static_cast<index_t>(b), y);
+    for (std::size_t k = 0; k < b; ++k) {
+      test::expect_ulp_near(lane(y, b, k),
+                            test::reference_multiply(c.coo, lanes[k]));
+    }
+  });
+}
+
+TEST(Differential, GatherRowMatchesOracleAllFormats) {
+  for_each_case_and_format([](const MatrixCase& c, const AnyMatrix& mat) {
+    SparseVector row;
+    std::vector<real_t> dense(static_cast<std::size_t>(mat.cols()));
+    for (index_t i = 0; i < mat.rows(); ++i) {
+      mat.gather_row(i, row);
+      std::fill(dense.begin(), dense.end(), 0.0);
+      row.scatter(dense);
+
+      std::vector<real_t> expected(static_cast<std::size_t>(c.coo.cols()),
+                                   0.0);
+      const auto rows = c.coo.row_indices();
+      const auto cols = c.coo.col_indices();
+      const auto vals = c.coo.values();
+      for (std::size_t k = 0; k < vals.size(); ++k) {
+        if (rows[k] == i) expected[static_cast<std::size_t>(cols[k])] = vals[k];
+      }
+      test::expect_bit_identical(dense, expected);
+    }
+  });
+}
+
+TEST(Differential, GatherRowsBatchMatchesPerRowGather) {
+  // Includes duplicate and out-of-order ids — the batch contract is purely
+  // elementwise: out[k] = gather_row(rows[k]).
+  for_each_case_and_format([](const MatrixCase&, const AnyMatrix& mat) {
+    const index_t m = mat.rows();
+    std::vector<index_t> ids = {m - 1, 0, m / 2, 0, m - 1};
+    std::vector<SparseVector> batch(ids.size());
+    mat.gather_rows_batch(ids, batch);
+
+    SparseVector expected;
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      mat.gather_row(ids[k], expected);
+      ASSERT_EQ(batch[k].nnz(), expected.nnz()) << "slot " << k;
+      for (index_t e = 0; e < expected.nnz(); ++e) {
+        const auto eu = static_cast<std::size_t>(e);
+        EXPECT_EQ(batch[k].indices()[eu], expected.indices()[eu]);
+        EXPECT_EQ(batch[k].values()[eu], expected.values()[eu]);
+      }
+    }
+  });
+}
+
+TEST(Differential, CooGatherRowsBatchMatchesPerRowGather) {
+  Rng rng(0xC00ull);
+  const CooMatrix coo = test::random_matrix(17, 11, 0.3, rng);
+  std::vector<index_t> ids = {16, 3, 3, 0, 8};
+  std::vector<SparseVector> batch(ids.size());
+  coo.gather_rows_batch(ids, batch);
+  SparseVector expected;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    coo.gather_row(ids[k], expected);
+    ASSERT_EQ(batch[k].nnz(), expected.nnz()) << "slot " << k;
+    for (index_t e = 0; e < expected.nnz(); ++e) {
+      const auto eu = static_cast<std::size_t>(e);
+      EXPECT_EQ(batch[k].indices()[eu], expected.indices()[eu]);
+      EXPECT_EQ(batch[k].values()[eu], expected.values()[eu]);
+    }
+  }
+}
+
+TEST(Differential, BatchRejectsBadArguments) {
+  Rng rng(0xBADull);
+  const AnyMatrix mat =
+      AnyMatrix::from_coo(test::random_matrix(6, 5, 0.5, rng), Format::kCSR);
+  std::vector<real_t> w(5 * 2, 0.0);
+  std::vector<real_t> y(6 * 2, 0.0);
+  EXPECT_THROW(mat.multiply_dense_batch(w, 0, y), Error);
+  EXPECT_THROW(mat.multiply_dense_batch(w, kMaxSmsvBatch + 1, y), Error);
+  EXPECT_THROW(mat.multiply_dense_batch(w, 3, y), Error);  // w sized for b=2
+  std::vector<real_t> y_short(6, 0.0);
+  EXPECT_THROW(mat.multiply_dense_batch(w, 2, y_short), Error);
+  std::vector<SparseVector> out(3);
+  std::vector<index_t> two_ids = {0, 1};
+  EXPECT_THROW(mat.gather_rows_batch(two_ids, out), Error);
+}
+
+TEST(Differential, UlpHelperSanity) {
+  EXPECT_EQ(test::ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(test::ulp_distance(0.0, -0.0), 0u);
+  EXPECT_EQ(
+      test::ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(test::ulp_distance(-1.0, std::nextafter(-1.0, -2.0)), 1u);
+  EXPECT_GT(test::ulp_distance(1.0, 1.0 + 1e-9), 1000u);
+  EXPECT_EQ(test::ulp_distance(std::numeric_limits<double>::quiet_NaN(), 1.0),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace

@@ -276,8 +276,11 @@ TEST(Reschedule, RecoversFromADeliberatelyBadLayout) {
 
   RescheduleOptions opts;
   opts.check_after_rows = 8;
-  const TrainResult r =
-      train_reschedulable(ds, params, Format::kDEN, opts);
+  // Rescheduling races wall-clock probes; pin to one thread so an
+  // oversubscribed OMP_NUM_THREADS run cannot skew the measurements.
+  const TrainResult r = test::with_threads(1, [&] {
+    return train_reschedulable(ds, params, Format::kDEN, opts);
+  });
   EXPECT_NE(r.decision.format, Format::kDEN);  // switched away
   EXPECT_NE(r.decision.rationale.find("started DEN"), std::string::npos);
 }
@@ -294,8 +297,11 @@ TEST(Reschedule, StaysPutWhenTheLayoutIsAlreadyGood) {
   RescheduleOptions opts;
   opts.check_after_rows = 8;
   opts.switch_threshold = 1.5;
-  const TrainResult r =
-      train_reschedulable(ds, params, Format::kCSR, opts);
+  // Timing-based: with oversubscribed OpenMP threads the probe can
+  // legitimately measure another format faster, so pin to one thread.
+  const TrainResult r = test::with_threads(1, [&] {
+    return train_reschedulable(ds, params, Format::kCSR, opts);
+  });
   EXPECT_EQ(r.decision.format, Format::kCSR);
 }
 

@@ -3,15 +3,39 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "formats/any_matrix.hpp"
 #include "formats/coo.hpp"
 #include "formats/dense.hpp"
 
 namespace ls::test {
+
+/// Runs `fn` with the OpenMP thread count set to `t`, restoring after.
+/// Used both to assert thread-count invariance of deterministic code and
+/// to pin wall-clock-racing tests (empirical probes) to one thread so an
+/// oversubscribed OMP_NUM_THREADS run cannot skew their measurements.
+template <class Fn>
+auto with_threads(int t, Fn&& fn) {
+  const int before = num_threads();
+  set_num_threads(t);
+  auto restore = [&] { set_num_threads(before); };
+  try {
+    auto result = fn();
+    restore();
+    return result;
+  } catch (...) {
+    restore();
+    throw;
+  }
+}
 
 /// Dense reference y = A * w computed from COO by brute force.
 inline std::vector<real_t> reference_multiply(const CooMatrix& coo,
@@ -54,6 +78,55 @@ inline void expect_near(std::span<const real_t> a, std::span<const real_t> b,
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+/// Distance between two doubles in units in the last place. Maps the IEEE
+/// bit patterns onto a monotone integer line (two's-complement trick) so
+/// adjacent representable doubles are exactly 1 apart; +0 and -0 are 0
+/// apart. NaN anywhere yields the maximum distance.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  auto key = [](double x) -> std::int64_t {
+    const auto i = std::bit_cast<std::int64_t>(x);
+    return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+  };
+  const std::int64_t ka = key(a);
+  const std::int64_t kb = key(b);
+  return ka >= kb ? static_cast<std::uint64_t>(ka) -
+                        static_cast<std::uint64_t>(kb)
+                  : static_cast<std::uint64_t>(kb) -
+                        static_cast<std::uint64_t>(ka);
+}
+
+/// ULP-aware closeness: passes when the values are within `max_ulps`
+/// representable doubles of each other OR within `abs_tol` absolutely.
+/// The absolute escape hatch matters near zero, where cancellation can
+/// leave two mathematically-equal sums astronomically many ULPs apart
+/// (ULP size at 1e-18 is ~1e-34).
+inline void expect_ulp_near(std::span<const real_t> a,
+                            std::span<const real_t> b,
+                            std::uint64_t max_ulps = 256,
+                            double abs_tol = 1e-12) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) <= abs_tol) continue;
+    EXPECT_LE(ulp_distance(a[i], b[i]), max_ulps)
+        << "at index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+/// EXPECT bit-identical vectors (reported as values, compared as bits —
+/// catches -0.0 vs +0.0 and NaN-payload drift that == would hide).
+inline void expect_bit_identical(std::span<const real_t> a,
+                                 std::span<const real_t> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "at index " << i << ": " << a[i] << " vs " << b[i];
   }
 }
 
