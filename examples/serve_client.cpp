@@ -1,0 +1,176 @@
+// serve_client — command-line client for a running serve_tool daemon.
+//
+// Modes:
+//   ping      round-trip liveness check
+//   predict   score row --row of --data against --model, print the result
+//   bench     closed-loop load: --concurrency connections send --count
+//             requests total, cycling through the rows of --data; prints a
+//             parseable summary line (requests= ok= shed= p50_ms= p95_ms=
+//             rps=) that scripts/check.sh asserts on
+//   stats     fetch and print the engine's stats block
+//   reload    ask the server to hot-reload --model from its source path
+//   shutdown  stop the daemon
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "data/libsvm_io.hpp"
+#include "formats/sparse_vector.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using ls::serve::ServeClient;
+
+ServeClient connect(const ls::CliParser& cli) {
+  const std::string path = cli.get("socket");
+  const int port = static_cast<int>(cli.get_int("port"));
+  LS_CHECK(!path.empty() || port >= 0, "pass --socket PATH or --port N");
+  return path.empty() ? ServeClient::connect_tcp(port)
+                      : ServeClient::connect_unix(path);
+}
+
+/// Gathers every row of a libsvm file into standalone sparse vectors.
+std::vector<ls::SparseVector> load_rows(const std::string& path) {
+  LS_CHECK(!path.empty(), "this mode needs --data FILE.libsvm");
+  const ls::Dataset ds = ls::read_libsvm_file(path);
+  std::vector<ls::SparseVector> rows(static_cast<std::size_t>(ds.rows()));
+  for (ls::index_t i = 0; i < ds.rows(); ++i) {
+    ds.X.gather_row(i, rows[static_cast<std::size_t>(i)]);
+  }
+  LS_CHECK(!rows.empty(), "dataset '" << path << "' has no rows");
+  return rows;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+int run_bench(const ls::CliParser& cli) {
+  const std::string model = cli.get("model");
+  const auto count = static_cast<std::size_t>(cli.get_int("count"));
+  const int concurrency =
+      std::max(1, static_cast<int>(cli.get_int("concurrency")));
+  const std::vector<ls::SparseVector> rows = load_rows(cli.get("data"));
+
+  struct PerThread {
+    std::vector<double> latencies_ms;
+    std::size_t ok = 0, shed = 0, errors = 0;
+  };
+  std::vector<PerThread> results(static_cast<std::size_t>(concurrency));
+  std::vector<std::thread> threads;
+  const ls::Timer wall;
+  for (int t = 0; t < concurrency; ++t) {
+    threads.emplace_back([&, t] {
+      PerThread& mine = results[static_cast<std::size_t>(t)];
+      ServeClient client = connect(cli);
+      // Thread t sends requests t, t+C, t+2C, ... of the closed loop.
+      for (std::size_t r = static_cast<std::size_t>(t); r < count;
+           r += static_cast<std::size_t>(concurrency)) {
+        const ls::SparseVector& x = rows[r % rows.size()];
+        const ls::Timer timer;
+        const ls::serve::PredictResult res = client.predict(model, x);
+        mine.latencies_ms.push_back(timer.millis());
+        if (res.status == ls::serve::Status::kOk) {
+          ++mine.ok;
+        } else if (res.status == ls::serve::Status::kOverloaded) {
+          ++mine.shed;
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const double wall_s = wall.seconds();
+
+  std::vector<double> all_ms;
+  std::size_t ok = 0, shed = 0, errors = 0;
+  for (const PerThread& r : results) {
+    all_ms.insert(all_ms.end(), r.latencies_ms.begin(),
+                  r.latencies_ms.end());
+    ok += r.ok;
+    shed += r.shed;
+    errors += r.errors;
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  std::printf("requests=%zu ok=%zu shed=%zu errors=%zu p50_ms=%.3f "
+              "p95_ms=%.3f rps=%.1f\n",
+              all_ms.size(), ok, shed, errors, percentile(all_ms, 0.50),
+              percentile(all_ms, 0.95),
+              wall_s > 0 ? static_cast<double>(all_ms.size()) / wall_s : 0.0);
+  return errors == 0 ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  ls::CliParser cli("serve_client",
+                    "Client for the serve_tool prediction daemon");
+  cli.add_flag("mode", "ping",
+               "ping | predict | bench | stats | reload | shutdown");
+  cli.add_flag("socket", "", "unix-domain socket path of the server");
+  cli.add_flag("port", "-1", "loopback TCP port of the server");
+  cli.add_flag("model", "demo", "model name for predict/bench/reload");
+  cli.add_flag("data", "", "libsvm file providing request vectors");
+  cli.add_flag("row", "0", "row of --data to score in predict mode");
+  cli.add_flag("count", "1000", "total requests in bench mode");
+  cli.add_flag("concurrency", "8", "concurrent connections in bench mode");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string mode = cli.get("mode");
+
+  if (mode == "bench") return run_bench(cli);
+
+  ServeClient client = connect(cli);
+  if (mode == "ping") {
+    const bool alive = client.ping();
+    std::printf("%s\n", alive ? "pong" : "no pong");
+    return alive ? 0 : 1;
+  }
+  if (mode == "predict") {
+    const std::vector<ls::SparseVector> rows = load_rows(cli.get("data"));
+    const auto row = static_cast<std::size_t>(cli.get_int("row"));
+    LS_CHECK(row < rows.size(),
+             "--row " << row << " out of range (dataset has " << rows.size()
+                      << " rows)");
+    const ls::serve::PredictResult res =
+        client.predict(cli.get("model"), rows[row]);
+    std::printf("status=%s decision=%+.6f label=%+g\n",
+                ls::serve::status_name(res.status), res.decision, res.label);
+    return res.status == ls::serve::Status::kOk ? 0 : 1;
+  }
+  if (mode == "stats") {
+    std::printf("%s", client.stats().c_str());
+    return 0;
+  }
+  if (mode == "reload") {
+    std::string message;
+    const ls::serve::Status s = client.reload(cli.get("model"), &message);
+    std::printf("status=%s %s\n", ls::serve::status_name(s),
+                message.c_str());
+    return s == ls::serve::Status::kOk ? 0 : 1;
+  }
+  if (mode == "shutdown") {
+    const ls::serve::Status s = client.shutdown_server();
+    std::printf("status=%s\n", ls::serve::status_name(s));
+    return s == ls::serve::Status::kOk ? 0 : 1;
+  }
+  throw ls::Error("unknown --mode '" + mode + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,140 @@
+// serve_tool — the standalone prediction-serving daemon.
+//
+// Hosts one or more trained SVM model files behind the framed socket
+// protocol (see src/serve/protocol.hpp) and serves predict / reload /
+// stats / ping / shutdown requests until a client asks it to stop:
+//
+//   # train something first (writes /tmp/ls_demo_model.txt)
+//   ./svm_tool --mode demo --dataset breast_cancer
+//
+//   # serve it on a unix socket
+//   ./serve_tool --socket /tmp/ls_serve.sock --models demo=/tmp/ls_demo_model.txt
+//
+//   # talk to it from another terminal
+//   ./serve_client --socket /tmp/ls_serve.sock --mode ping
+//   ./serve_client --socket /tmp/ls_serve.sock --mode bench --model demo
+//       --data /tmp/ls_demo_test.libsvm   (one line)
+//   ./serve_client --socket /tmp/ls_serve.sock --mode shutdown
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/observability.hpp"
+#include "sched/scheduler.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+/// Parses "name=path[,name=path...]" into (name, path) pairs.
+std::vector<std::pair<std::string, std::string>> parse_models(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    LS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+             "--models expects name=path[,name=path...], got '" << item
+                                                                << "'");
+    out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    pos = comma + 1;
+  }
+  LS_CHECK(!out.empty(), "--models must name at least one model");
+  return out;
+}
+
+int run(int argc, char** argv) {
+  ls::CliParser cli("serve_tool",
+                    "Persistent prediction-serving daemon with request "
+                    "batching, admission control and hot model reload");
+  cli.add_flag("models", "", "models to host: name=path[,name=path...]");
+  cli.add_flag("socket", "", "unix-domain socket path to listen on");
+  cli.add_flag("port", "-1",
+               "loopback TCP port to listen on instead of --socket "
+               "(0 = kernel-assigned, printed at startup)");
+  cli.add_flag("workers", "2", "scoring worker threads");
+  cli.add_flag("max-batch", "64", "requests coalesced per SMSV flush");
+  cli.add_flag("deadline-ms", "2",
+               "micro-batch flush deadline in ms (0 = greedy flush)");
+  cli.add_flag("max-queue", "1024",
+               "admission limit: queued requests beyond this are shed");
+  cli.add_flag("latency-budget-ms", "0",
+               "shed requests older than this at dequeue (0 = off)");
+  cli.add_flag("policy", "empirical",
+               "layout policy: empirical|heuristic|learned|fixed");
+  cli.add_flag("hint", "throughput",
+               "deployment hint for load-time layout probes: "
+               "latency|throughput");
+  ls::add_observability_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const ls::ObservabilityScope observability(cli);
+
+  ls::serve::ServeOptions opts;
+  opts.workers = static_cast<int>(cli.get_int("workers"));
+  opts.batcher.max_batch = static_cast<ls::index_t>(cli.get_int("max-batch"));
+  opts.batcher.deadline_ms = cli.get_double("deadline-ms");
+  opts.batcher.max_queue =
+      static_cast<std::size_t>(cli.get_int("max-queue"));
+  opts.latency_budget_ms = cli.get_double("latency-budget-ms");
+  opts.sched.policy = ls::parse_policy(cli.get("policy"));
+  opts.hint = ls::parse_deployment_hint(cli.get("hint"));
+
+  ls::serve::ServerOptions listen;
+  listen.unix_path = cli.get("socket");
+  listen.tcp_port = static_cast<int>(cli.get_int("port"));
+  LS_CHECK(!listen.unix_path.empty() || listen.tcp_port >= 0,
+           "pass --socket PATH or --port N (0 = kernel-assigned)");
+
+  ls::serve::ServeEngine engine(opts);
+  for (const auto& [name, path] : parse_models(cli.get("models"))) {
+    engine.load_model(name, path);
+    const auto m = engine.model(name);
+    std::printf("loaded %-16s v%lld  layout=%s  from %s\n", name.c_str(),
+                static_cast<long long>(m->version),
+                std::string(ls::format_name(m->predictor.layout())).c_str(),
+                path.c_str());
+  }
+  engine.start();
+
+  ls::serve::ServeServer server(engine, listen);
+  server.start();
+  if (!listen.unix_path.empty()) {
+    std::printf("serving on unix:%s  (workers=%d batch=%d deadline=%gms "
+                "queue=%zu hint=%s)\n",
+                listen.unix_path.c_str(), opts.workers,
+                static_cast<int>(opts.batcher.max_batch),
+                opts.batcher.deadline_ms, opts.batcher.max_queue,
+                ls::deployment_hint_name(opts.hint));
+  } else {
+    std::printf("serving on tcp:127.0.0.1:%d  (workers=%d batch=%d "
+                "deadline=%gms queue=%zu hint=%s)\n",
+                server.port(), opts.workers,
+                static_cast<int>(opts.batcher.max_batch),
+                opts.batcher.deadline_ms, opts.batcher.max_queue,
+                ls::deployment_hint_name(opts.hint));
+  }
+  std::fflush(stdout);
+
+  server.wait();  // until a client sends kShutdownReq
+  server.stop();
+  engine.stop();
+
+  std::printf("--- final stats ---\n%s", engine.stats_text().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_tool: %s\n", e.what());
+    return 1;
+  }
+}

@@ -43,6 +43,49 @@ PY
   rm -f "${out}"
 }
 
+serve_smoke() {
+  # Serving smoke: the whole daemon lifecycle against a real trained model.
+  # Train the demo model, start serve_tool on a unix socket, push 1k
+  # requests through serve_client, assert nothing was shed and the p95 is
+  # sane, then shut the daemon down over the wire. Runs again in the TSan
+  # stage so the batcher/worker/reload threading is race-checked end to end.
+  local build_dir="$1"
+  local sock
+  sock="$(mktemp -u /tmp/ls_serve_smoke.XXXXXX.sock)"
+  echo "==> serve smoke (${build_dir}, socket ${sock})"
+  "./${build_dir}/examples/svm_tool" --mode demo \
+    --dataset breast_cancer >/dev/null
+  "./${build_dir}/examples/serve_tool" --socket "${sock}" \
+    --models demo=/tmp/ls_demo_model.txt --workers 2 >/dev/null &
+  local serve_pid=$!
+  # The daemon creates the socket file once it is accepting connections.
+  for _ in $(seq 1 100); do
+    [[ -S "${sock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${sock}" ]] || { echo "serve_tool never came up"; exit 1; }
+  "./${build_dir}/examples/serve_client" --socket "${sock}" --mode ping
+  local bench_out
+  bench_out="$("./${build_dir}/examples/serve_client" --socket "${sock}" \
+    --mode bench --model demo --data /tmp/ls_demo_test.libsvm \
+    --count 1000 --concurrency 8)"
+  echo "${bench_out}"
+  local line
+  line="$(grep -E 'requests=[0-9]+ ok=' <<<"${bench_out}")"
+  python3 - "${line}" <<'PY'
+import sys
+fields = dict(kv.split("=") for kv in sys.argv[1].split())
+assert int(fields["ok"]) == int(fields["requests"]), fields
+assert int(fields["shed"]) == 0, f"requests shed under smoke load: {fields}"
+assert int(fields["errors"]) == 0, fields
+assert 0.0 < float(fields["p95_ms"]) < 1000.0, fields
+print("serve bench OK: p95_ms=%s rps=%s" % (fields["p95_ms"], fields["rps"]))
+PY
+  "./${build_dir}/examples/serve_client" --socket "${sock}" --mode shutdown
+  wait "${serve_pid}"
+  rm -f "${sock}"
+}
+
 mode="${1:-all}"
 
 if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
@@ -53,6 +96,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   echo "==> re-testing build with OMP_NUM_THREADS=2"
   OMP_NUM_THREADS=2 ctest --test-dir build --output-on-failure -j "$(nproc)"
   metrics_smoke
+  serve_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--sanitize-only" ]]; then
@@ -66,6 +110,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
   # see the top-level CMakeLists), so this exercises the std::thread code —
   # the prefetch pipeline, its atomic counters and the worker join paths.
   run_suite build-tsan -DLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  serve_smoke build-tsan
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,108 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ls::serve {
+
+namespace {
+
+std::future<PredictResult> ready_future(Status s) {
+  std::promise<PredictResult> p;
+  p.set_value(PredictResult{s, 0.0, 0.0});
+  return p.get_future();
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(BatcherOptions opts) : opts_(opts) {
+  opts_.max_batch = std::max<index_t>(1, opts_.max_batch);
+  opts_.max_queue = std::max<std::size_t>(1, opts_.max_queue);
+}
+
+std::optional<std::future<PredictResult>> MicroBatcher::submit(
+    std::shared_ptr<const LoadedModel> model, SparseVector x) {
+  BatchRequest req;
+  req.model = std::move(model);
+  req.x = std::move(x);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<PredictResult> fut = req.done.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return ready_future(Status::kShuttingDown);
+    if (queue_.size() >= opts_.max_queue) return std::nullopt;
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stopped_ || !queue_.empty(); });
+    if (stopped_) return false;
+
+    // A batch is open: it flushes when the same-model cohort at the front
+    // is full, or when its oldest member has waited out the deadline.
+    // Greedy mode (deadline 0) takes whatever is pending right away —
+    // under load, batches still form while the workers are busy scoring.
+    if (opts_.deadline_ms > 0) {
+      const auto flush_at =
+          queue_.front().enqueued +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(opts_.deadline_ms));
+      const bool full_or_stopped = cv_.wait_until(lk, flush_at, [&] {
+        return stopped_ || static_cast<index_t>(queue_.size()) >=
+                               opts_.max_batch;
+      });
+      if (stopped_) return false;
+      if (queue_.empty()) continue;  // another worker drained the queue
+      (void)full_or_stopped;  // timeout = deadline flush, equally valid
+    }
+
+    // Extract the front request's model cohort, preserving arrival order.
+    const LoadedModel* cohort = queue_.front().model.get();
+    std::deque<BatchRequest> rest;
+    while (!queue_.empty() &&
+           static_cast<index_t>(out.size()) < opts_.max_batch) {
+      if (queue_.front().model.get() == cohort) {
+        out.push_back(std::move(queue_.front()));
+      } else {
+        rest.push_back(std::move(queue_.front()));
+      }
+      queue_.pop_front();
+    }
+    // Re-prepend the skipped other-model requests in their original order.
+    for (auto it = rest.rbegin(); it != rest.rend(); ++it) {
+      queue_.push_front(std::move(*it));
+    }
+    if (!queue_.empty()) {
+      // Leftover work (other models, or overflow past max_batch): hand it
+      // to another worker instead of waiting for the next submit.
+      cv_.notify_one();
+    }
+    return true;
+  }
+}
+
+void MicroBatcher::stop() {
+  std::deque<BatchRequest> drained;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = true;
+    drained.swap(queue_);
+  }
+  cv_.notify_all();
+  for (BatchRequest& req : drained) {
+    req.done.set_value(PredictResult{Status::kShuttingDown, 0.0, 0.0});
+  }
+}
+
+std::size_t MicroBatcher::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace ls::serve

@@ -1,0 +1,95 @@
+// Adaptive micro-batcher: the bounded request queue of the serving engine.
+//
+// Concurrent predict requests are coalesced into batches that the worker
+// pool scores with one multiply_dense_batch stream instead of one SMSV per
+// request. Flush policy (the batcher state machine, DESIGN.md §12):
+//
+//   empty   --submit-->  filling
+//   filling --pending >= max_batch--------------->  flush (full)
+//   filling --oldest pending older than deadline-->  flush (deadline)
+//   filling --deadline == 0----------------------->  flush (greedy: take
+//                                                    whatever is pending)
+//
+// A flush extracts the longest same-model prefix cohort (batches never mix
+// models — they share one BatchPredictor call), up to max_batch requests.
+// Admission control happens at submit(): when the queue already holds
+// max_queue requests the submission is rejected immediately — shedding at
+// the door is cheaper than timing out after queueing (the PR 1 degradation
+// philosophy applied to traffic).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "formats/sparse_vector.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace ls::serve {
+
+/// One queued request: the model version pinned at submit time, the
+/// request vector, and the promise the worker fulfills.
+struct BatchRequest {
+  std::shared_ptr<const LoadedModel> model;
+  SparseVector x;
+  std::chrono::steady_clock::time_point enqueued;
+  std::promise<PredictResult> done;
+};
+
+/// Batcher configuration.
+struct BatcherOptions {
+  /// Requests per flush; also the SMSV batch width (clamped to
+  /// [1, kMaxSmsvBatch] by the engine).
+  index_t max_batch = 64;
+  /// Maximum time a pending request waits for its batch to fill before a
+  /// partial flush. 0 = greedy: flush whatever is pending as soon as a
+  /// worker is free (batches still form naturally while workers are busy).
+  double deadline_ms = 2.0;
+  /// Admission limit: submissions beyond this queue depth are shed.
+  std::size_t max_queue = 1024;
+};
+
+/// Bounded, deadline-flushed request queue (thread-safe).
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherOptions opts);
+
+  /// Enqueues a request and returns the future its worker will fulfill, or
+  /// std::nullopt when the queue is full (admission control; the caller
+  /// maps that to Status::kOverloaded). After stop() the returned future is
+  /// already satisfied with kShuttingDown.
+  std::optional<std::future<PredictResult>> submit(
+      std::shared_ptr<const LoadedModel> model, SparseVector x);
+
+  /// Blocks until a batch is ready under the flush policy, then moves it
+  /// into `out` (previous contents discarded). Returns false when the
+  /// batcher was stopped and the queue fully drained — the worker's exit
+  /// signal.
+  bool next_batch(std::vector<BatchRequest>& out);
+
+  /// Fails every queued request with kShuttingDown and wakes all waiting
+  /// workers, whose next_batch() calls then return false. Idempotent;
+  /// submissions after stop() are rejected with kShuttingDown.
+  void stop();
+
+  /// Current queue depth (requests admitted but not yet extracted).
+  std::size_t depth() const;
+
+  const BatcherOptions& options() const { return opts_; }
+
+ private:
+  BatcherOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<BatchRequest> queue_;
+  bool stopped_ = false;
+};
+
+}  // namespace ls::serve

@@ -1,0 +1,130 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ls::serve {
+
+ServeClient ServeClient::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  LS_CHECK(fd >= 0, "serve client: socket() failed: " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LS_CHECK(path.size() < sizeof(addr.sun_path),
+           "unix socket path too long: " << path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("serve client: connect(" + path +
+                ") failed: " + std::strerror(err));
+  }
+  return ServeClient(fd);
+}
+
+ServeClient ServeClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LS_CHECK(fd >= 0, "serve client: socket() failed: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("serve client: connect(127.0.0.1:" + std::to_string(port) +
+                ") failed: " + std::strerror(err));
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Frame ServeClient::round_trip(MsgType type, std::string_view payload,
+                              MsgType expected) {
+  LS_CHECK(fd_ >= 0, "serve client: not connected");
+  write_frame(fd_, type, payload);
+  Frame reply;
+  LS_CHECK(read_frame(fd_, reply),
+           "serve client: server closed the connection");
+  LS_CHECK(reply.type == expected,
+           "serve client: expected message type "
+               << static_cast<int>(expected) << ", got "
+               << static_cast<int>(reply.type));
+  return reply;
+}
+
+PredictResult ServeClient::predict(std::string_view model,
+                                   const SparseVector& x) {
+  const Frame reply = round_trip(MsgType::kPredictReq,
+                                 encode_predict_request(model, x),
+                                 MsgType::kPredictResp);
+  return decode_predict_response(reply.payload);
+}
+
+Status ServeClient::reload(std::string_view model, std::string* message) {
+  const Frame reply = round_trip(MsgType::kReloadReq,
+                                 encode_reload_request(model),
+                                 MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  if (message) *message = std::move(text);
+  return status;
+}
+
+std::string ServeClient::stats() {
+  const Frame reply = round_trip(MsgType::kStatsReq, "", MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  LS_CHECK(status == Status::kOk, "serve client: stats returned "
+                                      << status_name(status));
+  return text;
+}
+
+bool ServeClient::ping() {
+  const Frame reply = round_trip(MsgType::kPingReq, "", MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  return status == Status::kOk && text == "pong";
+}
+
+Status ServeClient::shutdown_server() {
+  const Frame reply = round_trip(MsgType::kShutdownReq, "",
+                                 MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  return status;
+}
+
+}  // namespace ls::serve

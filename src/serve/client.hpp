@@ -1,0 +1,61 @@
+// Blocking client for the serving protocol — the library behind
+// examples/serve_client, the load bench and the serve tests.
+//
+// One ServeClient owns one connection and issues one request at a time
+// (the protocol is strict request/response per connection); concurrency
+// comes from opening one client per thread, which is exactly how the
+// closed-loop bench and the server's per-connection handlers pair up.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace ls::serve {
+
+/// Connected protocol client. Methods throw ls::Error on connection-level
+/// failures; application-level failures come back as Status codes.
+class ServeClient {
+ public:
+  /// Connects to a Unix-domain socket path.
+  static ServeClient connect_unix(const std::string& path);
+
+  /// Connects to a loopback TCP port.
+  static ServeClient connect_tcp(int port);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Scores one sparse sample against a hosted model.
+  PredictResult predict(std::string_view model, const SparseVector& x);
+
+  /// Asks the server to hot-reload `model` from its source path.
+  /// Returns the server's status and human-readable message.
+  Status reload(std::string_view model, std::string* message = nullptr);
+
+  /// Fetches the engine's stats block.
+  std::string stats();
+
+  /// Round-trip liveness check.
+  bool ping();
+
+  /// Requests a server shutdown; returns the acknowledged status.
+  Status shutdown_server();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  /// Sends one frame and reads the one response frame of expected type.
+  Frame round_trip(MsgType type, std::string_view payload,
+                   MsgType expected);
+
+  int fd_ = -1;
+};
+
+}  // namespace ls::serve

@@ -1,0 +1,256 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+#include "formats/format.hpp"
+
+namespace ls::serve {
+
+namespace {
+
+PredictResult immediate(Status s) { return PredictResult{s, 0.0, 0.0}; }
+
+std::future<PredictResult> ready_future(PredictResult r) {
+  std::promise<PredictResult> p;
+  p.set_value(r);
+  return p.get_future();
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(ServeOptions opts)
+    : opts_(opts),
+      predictor_batch_rows_(
+          std::clamp<index_t>(opts.batcher.max_batch, 1, kMaxSmsvBatch)),
+      batcher_(opts.batcher) {
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.sched = tuned_for_deployment(opts_.sched, opts_.hint);
+  metrics::annotate("serve.deployment_hint", deployment_hint_name(opts_.hint));
+}
+
+ServeEngine::~ServeEngine() { stop(); }
+
+void ServeEngine::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ServeEngine::stop() {
+  batcher_.stop();
+  running_.store(false);
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void ServeEngine::load_model(const std::string& name,
+                             const std::string& path) {
+  LS_FAILPOINT("serve.load_model");
+  const auto previous = registry_.get(name);
+  const std::int64_t version = previous ? previous->version + 1 : 1;
+  // The expensive part — deserialize + layout decision + materialise —
+  // happens off the registry lock; traffic keeps hitting the previous
+  // version until the single-pointer swap below.
+  auto loaded = std::make_shared<const LoadedModel>(
+      name, path, opts_.sched, predictor_batch_rows_, version);
+  registry_.put(loaded);
+  if (previous) {
+    reloads_total_.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("serve.reloads_total");
+  }
+}
+
+void ServeEngine::reload_model(const std::string& name) {
+  const auto current = registry_.get(name);
+  LS_CHECK(current != nullptr, "cannot reload unknown model '" << name << "'");
+  load_model(name, current->source_path);
+}
+
+bool ServeEngine::unload_model(const std::string& name) {
+  return registry_.erase(name);
+}
+
+std::shared_ptr<const LoadedModel> ServeEngine::model(
+    const std::string& name) const {
+  return registry_.get(name);
+}
+
+std::vector<std::shared_ptr<const LoadedModel>> ServeEngine::models() const {
+  return registry_.list();
+}
+
+std::future<PredictResult> ServeEngine::predict_async(const std::string& model,
+                                                      SparseVector x) {
+  requests_total_.fetch_add(1, std::memory_order_release);
+  metrics::counter_add("serve.requests_total");
+  if (!running_.load(std::memory_order_acquire)) {
+    return ready_future(immediate(Status::kShuttingDown));
+  }
+  auto loaded = registry_.get(model);
+  if (!loaded) {
+    unknown_model_total_.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("serve.unknown_model_total");
+    return ready_future(immediate(Status::kUnknownModel));
+  }
+  // Dimension gate: a request vector wider than the model would scatter
+  // out of bounds in the dense SMSV workspace. Reject it as a protocol
+  // error instead of reading past the buffer.
+  if (!loaded->model.accepts(x)) {
+    bad_dimension_total_.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("serve.bad_dimension_total");
+    return ready_future(immediate(Status::kBadDimension));
+  }
+  auto fut = batcher_.submit(std::move(loaded), std::move(x));
+  if (!fut) {
+    shed_queue_total_.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("serve.shed_total");
+    metrics::counter_add("serve.shed_queue_total");
+    return ready_future(immediate(Status::kOverloaded));
+  }
+  return std::move(*fut);
+}
+
+PredictResult ServeEngine::predict(const std::string& model, SparseVector x) {
+  return predict_async(model, std::move(x)).get();
+}
+
+void ServeEngine::worker_loop() {
+  std::vector<BatchRequest> batch;
+  while (batcher_.next_batch(batch)) {
+    score_batch(batch);
+  }
+}
+
+void ServeEngine::score_batch(std::vector<BatchRequest>& batch) {
+  const auto now = std::chrono::steady_clock::now();
+
+  // Latency-budget shedding: a request that already overstayed its budget
+  // in the queue is answered kOverloaded without spending compute on it.
+  std::vector<BatchRequest*> live;
+  live.reserve(batch.size());
+  for (BatchRequest& req : batch) {
+    if (opts_.latency_budget_ms > 0 &&
+        ms_since(req.enqueued, now) > opts_.latency_budget_ms) {
+      shed_deadline_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("serve.shed_total");
+      metrics::counter_add("serve.shed_deadline_total");
+      req.done.set_value(immediate(Status::kOverloaded));
+    } else {
+      live.push_back(&req);
+    }
+  }
+  if (live.empty()) return;
+
+  const LoadedModel& model = *live.front()->model;
+  std::vector<SparseVector> rows;
+  std::vector<real_t> values(live.size());
+  rows.reserve(live.size());
+  for (BatchRequest* req : live) rows.push_back(std::move(req->x));
+
+  batches_total_.fetch_add(1, std::memory_order_release);
+  batched_rows_total_.fetch_add(static_cast<std::int64_t>(live.size()),
+                                std::memory_order_release);
+  metrics::counter_add("serve.batches_total");
+  metrics::counter_add("serve.batched_rows_total",
+                       static_cast<std::int64_t>(live.size()));
+  metrics::gauge_set("serve.batch_occupancy",
+                     static_cast<double>(live.size()));
+  metrics::gauge_set("serve.queue_depth",
+                     static_cast<double>(batcher_.depth()));
+
+  try {
+    LS_FAILPOINT("serve.batch.compute");
+    metrics::ScopedTimer timer("serve.batch_seconds");
+    model.predictor.decision_values(rows, values);
+  } catch (const std::exception&) {
+    // Scoring died (failpoint, OOM, ...): fail this batch, keep serving.
+    for (BatchRequest* req : live) {
+      internal_error_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("serve.internal_error_total");
+      req->done.set_value(immediate(Status::kInternal));
+    }
+    return;
+  }
+
+  const auto done = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    PredictResult r;
+    r.status = Status::kOk;
+    r.decision = values[k];
+    r.label = values[k] >= 0 ? 1.0 : -1.0;
+    ok_total_.fetch_add(1, std::memory_order_release);
+    metrics::timer_record("serve.request_seconds",
+                          ms_since(live[k]->enqueued, done) / 1e3);
+    live[k]->done.set_value(r);
+  }
+}
+
+ServeStats ServeEngine::stats() const {
+  ServeStats s;
+  // Outcome counters are read BEFORE requests_total: every outcome
+  // increment happens after its request's requests_total increment, so
+  // this order keeps `ok + shed + errors <= requests_total` true in any
+  // snapshot taken while traffic is in flight (the reverse order can
+  // observe outcomes of requests it has not counted yet).
+  s.ok_total = ok_total_.load(std::memory_order_acquire);
+  s.shed_queue_total = shed_queue_total_.load(std::memory_order_acquire);
+  s.shed_deadline_total =
+      shed_deadline_total_.load(std::memory_order_acquire);
+  s.unknown_model_total =
+      unknown_model_total_.load(std::memory_order_acquire);
+  s.bad_dimension_total =
+      bad_dimension_total_.load(std::memory_order_acquire);
+  s.internal_error_total =
+      internal_error_total_.load(std::memory_order_acquire);
+  s.requests_total = requests_total_.load(std::memory_order_acquire);
+  s.batches_total = batches_total_.load(std::memory_order_acquire);
+  s.batched_rows_total = batched_rows_total_.load(std::memory_order_acquire);
+  s.reloads_total = reloads_total_.load(std::memory_order_acquire);
+  s.queue_depth = batcher_.depth();
+  s.models = registry_.size();
+  return s;
+}
+
+std::string ServeEngine::stats_text() const {
+  const ServeStats s = stats();
+  std::ostringstream os;
+  os << "requests_total " << s.requests_total << '\n'
+     << "ok_total " << s.ok_total << '\n'
+     << "shed_queue_total " << s.shed_queue_total << '\n'
+     << "shed_deadline_total " << s.shed_deadline_total << '\n'
+     << "unknown_model_total " << s.unknown_model_total << '\n'
+     << "bad_dimension_total " << s.bad_dimension_total << '\n'
+     << "internal_error_total " << s.internal_error_total << '\n'
+     << "batches_total " << s.batches_total << '\n'
+     << "batched_rows_total " << s.batched_rows_total << '\n'
+     << "mean_batch_occupancy " << s.mean_batch_occupancy() << '\n'
+     << "reloads_total " << s.reloads_total << '\n'
+     << "queue_depth " << s.queue_depth << '\n'
+     << "models " << s.models << '\n';
+  for (const auto& m : registry_.list()) {
+    os << "model " << m->name << " version " << m->version << " format "
+       << format_name(m->predictor.layout()) << " num_features "
+       << m->model.num_features << " num_sv "
+       << m->model.support_vectors.size() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ls::serve

@@ -1,0 +1,155 @@
+// ServeEngine: the persistent in-process prediction-serving runtime.
+//
+// The one-shot CLI path pays the scheduler's layout decision and the
+// support-vector materialisation on every invocation; the engine pays them
+// once per model *load* and then amortises them over a long-lived request
+// stream — the paper's runtime-scheduling argument applied to inference.
+// Components:
+//
+//   ModelRegistry   N hosted models, layouts chosen at load time
+//                   (latency- or throughput-optimized, sched hint)
+//   MicroBatcher    bounded queue; coalesces concurrent requests
+//   worker pool     scores batches via BatchPredictor's re-entrant
+//                   span API (one multiply_dense_batch per flush)
+//   admission ctl   queue-depth shedding at submit, latency-budget
+//                   shedding at dequeue
+//
+// All statistics are atomics written with release and read with acquire,
+// so stats() is a race-free snapshot while workers run (TSan-clean).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "serve/batcher.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace ls::serve {
+
+/// Engine configuration.
+struct ServeOptions {
+  int workers = 2;                  ///< scoring threads
+  BatcherOptions batcher;           ///< flush policy + admission limit
+  /// Requests that already waited longer than this when a worker dequeues
+  /// them are shed with kOverloaded instead of scored — compute spent on a
+  /// request the client has given up on is pure waste. 0 disables.
+  double latency_budget_ms = 0.0;
+  /// Load-time layout decision shape (see sched::tuned_for_deployment).
+  DeploymentHint hint = DeploymentHint::kThroughput;
+  /// Base scheduler options; the hint tunes these at load time.
+  SchedulerOptions sched;
+};
+
+/// Race-free point-in-time statistics snapshot.
+struct ServeStats {
+  std::int64_t requests_total = 0;       ///< admitted + rejected
+  std::int64_t ok_total = 0;             ///< scored successfully
+  std::int64_t shed_queue_total = 0;     ///< rejected at submit (queue full)
+  std::int64_t shed_deadline_total = 0;  ///< dropped at dequeue (stale)
+  std::int64_t unknown_model_total = 0;
+  std::int64_t bad_dimension_total = 0;
+  std::int64_t internal_error_total = 0;
+  std::int64_t batches_total = 0;
+  std::int64_t batched_rows_total = 0;   ///< sum of batch occupancies
+  std::int64_t reloads_total = 0;        ///< load_model calls that replaced
+  std::size_t queue_depth = 0;
+  std::size_t models = 0;
+
+  /// Mean requests per flush — the micro-batching payoff indicator.
+  double mean_batch_occupancy() const {
+    return batches_total > 0 ? static_cast<double>(batched_rows_total) /
+                                   static_cast<double>(batches_total)
+                             : 0.0;
+  }
+  std::int64_t shed_total() const {
+    return shed_queue_total + shed_deadline_total;
+  }
+};
+
+/// Persistent serving engine. start() spawns the worker pool; predict()
+/// blocks the calling thread (one server connection handler each) until
+/// its batch is scored. Thread-safe throughout.
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions opts = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Spawns the worker pool (idempotent).
+  void start();
+
+  /// Drains the queue (pending requests fail with kShuttingDown) and joins
+  /// the workers. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Loads (or hot-reloads) `name` from `path`: deserializes the
+  /// CRC-verified model file, runs the load-time layout decision under the
+  /// deployment hint, and atomically swaps the registry entry. In-flight
+  /// requests keep the version they resolved at submit. Throws ls::Error
+  /// on unreadable/corrupt files — the previously served version (if any)
+  /// stays live, so a bad reload never takes a model down.
+  void load_model(const std::string& name, const std::string& path);
+
+  /// Reloads `name` from the path it was originally loaded from.
+  void reload_model(const std::string& name);
+
+  /// Removes `name`; returns false when it was not hosted.
+  bool unload_model(const std::string& name);
+
+  /// Current version of a hosted model (nullptr when absent).
+  std::shared_ptr<const LoadedModel> model(const std::string& name) const;
+
+  /// Every hosted model, ordered by name.
+  std::vector<std::shared_ptr<const LoadedModel>> models() const;
+
+  /// Validates and enqueues one request; the future resolves when a worker
+  /// scores its batch (or immediately for rejections — unknown model, bad
+  /// dimension, shed, shutting down). Never throws on bad requests: the
+  /// status codes are the error contract.
+  std::future<PredictResult> predict_async(const std::string& model,
+                                           SparseVector x);
+
+  /// Blocking convenience wrapper around predict_async().
+  PredictResult predict(const std::string& model, SparseVector x);
+
+  ServeStats stats() const;
+
+  /// Human-readable stats block (the kStatsReq reply).
+  std::string stats_text() const;
+
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  void worker_loop();
+  void score_batch(std::vector<BatchRequest>& batch);
+
+  ServeOptions opts_;
+  index_t predictor_batch_rows_;  ///< SMSV width models are built with
+  ModelRegistry registry_;
+  MicroBatcher batcher_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+
+  // Statistics: release on write, acquire on read (stats()).
+  std::atomic<std::int64_t> requests_total_{0};
+  std::atomic<std::int64_t> ok_total_{0};
+  std::atomic<std::int64_t> shed_queue_total_{0};
+  std::atomic<std::int64_t> shed_deadline_total_{0};
+  std::atomic<std::int64_t> unknown_model_total_{0};
+  std::atomic<std::int64_t> bad_dimension_total_{0};
+  std::atomic<std::int64_t> internal_error_total_{0};
+  std::atomic<std::int64_t> batches_total_{0};
+  std::atomic<std::int64_t> batched_rows_total_{0};
+  std::atomic<std::int64_t> reloads_total_{0};
+};
+
+}  // namespace ls::serve

@@ -1,0 +1,275 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace ls::serve {
+
+namespace {
+
+// Appenders build payloads in a std::string; readers walk a Cursor with
+// hard bounds checks so a truncated or hostile payload surfaces as
+// ls::Error (mapped to Status::kBadFrame by the server), never as a read
+// past the buffer.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+template <class T>
+void put_raw(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+struct Cursor {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  void need(std::size_t n, const char* what) const {
+    LS_CHECK(pos + n <= data.size(),
+             "truncated payload while reading " << what);
+  }
+
+  std::uint8_t get_u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+
+  template <class T>
+  T get_raw(const char* what) {
+    need(sizeof(T), what);
+    T v;
+    std::memcpy(&v, data.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  std::string get_string(std::size_t n, const char* what) {
+    need(n, what);
+    std::string s(data.substr(pos, n));
+    pos += n;
+    return s;
+  }
+
+  void expect_end() const {
+    LS_CHECK(pos == data.size(),
+             "payload has " << data.size() - pos << " trailing bytes");
+  }
+};
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kUnknownModel: return "unknown_model";
+    case Status::kBadDimension: return "bad_dimension";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kBadFrame: return "bad_frame";
+    case Status::kInternal: return "internal_error";
+    case Status::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+std::string encode_predict_request(std::string_view model,
+                                   const SparseVector& x) {
+  LS_CHECK(model.size() <= std::numeric_limits<std::uint16_t>::max(),
+           "model name too long for the wire format");
+  std::string out;
+  out.reserve(2 + model.size() + 4 +
+              static_cast<std::size_t>(x.nnz()) * (4 + sizeof(real_t)));
+  put_raw(out, static_cast<std::uint16_t>(model.size()));
+  out.append(model);
+  put_raw(out, static_cast<std::uint32_t>(x.nnz()));
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (index_t k = 0; k < x.nnz(); ++k) {
+    const index_t i = idx[static_cast<std::size_t>(k)];
+    LS_CHECK(i >= 0 && i <= std::numeric_limits<std::uint32_t>::max(),
+             "feature index " << i << " does not fit the wire format");
+    put_raw(out, static_cast<std::uint32_t>(i));
+    put_raw(out, val[static_cast<std::size_t>(k)]);
+  }
+  return out;
+}
+
+void decode_predict_request(std::string_view payload, std::string& model,
+                            SparseVector& x) {
+  Cursor c{payload};
+  const auto name_len = c.get_raw<std::uint16_t>("model name length");
+  model = c.get_string(name_len, "model name");
+  const auto nnz = c.get_raw<std::uint32_t>("nnz");
+  // Structural bound before trusting nnz: every entry needs 12 bytes.
+  LS_CHECK(static_cast<std::size_t>(nnz) * (4 + sizeof(real_t)) <=
+               payload.size(),
+           "nnz " << nnz << " exceeds the payload size");
+  x.clear();
+  index_t prev = -1;
+  for (std::uint32_t k = 0; k < nnz; ++k) {
+    const auto idx = static_cast<index_t>(c.get_raw<std::uint32_t>("index"));
+    const auto value = c.get_raw<real_t>("value");
+    LS_CHECK(idx > prev, "request indices must be strictly increasing");
+    prev = idx;
+    x.push_back(idx, value);
+  }
+  c.expect_end();
+}
+
+std::string encode_predict_response(const PredictResult& r) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(r.status));
+  put_raw(out, r.decision);
+  put_raw(out, r.label);
+  return out;
+}
+
+PredictResult decode_predict_response(std::string_view payload) {
+  Cursor c{payload};
+  PredictResult r;
+  const std::uint8_t status = c.get_u8("status");
+  LS_CHECK(status <= static_cast<std::uint8_t>(Status::kShuttingDown),
+           "unknown status code " << int{status});
+  r.status = static_cast<Status>(status);
+  r.decision = c.get_raw<real_t>("decision");
+  r.label = c.get_raw<real_t>("label");
+  c.expect_end();
+  return r;
+}
+
+std::string encode_reload_request(std::string_view model) {
+  LS_CHECK(model.size() <= std::numeric_limits<std::uint16_t>::max(),
+           "model name too long for the wire format");
+  std::string out;
+  put_raw(out, static_cast<std::uint16_t>(model.size()));
+  out.append(model);
+  return out;
+}
+
+std::string decode_reload_request(std::string_view payload) {
+  Cursor c{payload};
+  const auto name_len = c.get_raw<std::uint16_t>("model name length");
+  std::string model = c.get_string(name_len, "model name");
+  c.expect_end();
+  return model;
+}
+
+std::string encode_status_response(Status status, std::string_view text) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(status));
+  put_raw(out, static_cast<std::uint32_t>(text.size()));
+  out.append(text);
+  return out;
+}
+
+void decode_status_response(std::string_view payload, Status& status,
+                            std::string& text) {
+  Cursor c{payload};
+  const std::uint8_t s = c.get_u8("status");
+  LS_CHECK(s <= static_cast<std::uint8_t>(Status::kShuttingDown),
+           "unknown status code " << int{s});
+  status = static_cast<Status>(s);
+  const auto len = c.get_raw<std::uint32_t>("text length");
+  text = c.get_string(len, "text");
+  c.expect_end();
+}
+
+namespace {
+
+// Frame header layout; serialized field by field so padding never leaks.
+struct Header {
+  std::uint32_t magic;
+  std::uint8_t version;
+  std::uint8_t type;
+  std::uint16_t reserved;
+  std::uint32_t length;
+};
+constexpr std::size_t kHeaderBytes = 12;
+
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("serve: write failed: ") + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on immediate EOF (nothing
+/// read); throws on EOF after a partial read or on errors.
+bool read_exact(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("serve: read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw Error("serve: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, MsgType type, std::string_view payload) {
+  LS_FAILPOINT("serve.frame.write");
+  LS_CHECK(payload.size() <= kMaxPayload,
+           "frame payload of " << payload.size() << " bytes exceeds the "
+                               << kMaxPayload << "-byte limit");
+  std::string buf;
+  buf.reserve(kHeaderBytes + payload.size());
+  put_raw(buf, kMagic);
+  put_u8(buf, kVersion);
+  put_u8(buf, static_cast<std::uint8_t>(type));
+  put_raw(buf, std::uint16_t{0});
+  put_raw(buf, static_cast<std::uint32_t>(payload.size()));
+  buf.append(payload);
+  // One write_all for header + payload: a frame is either fully queued to
+  // the kernel or the connection is declared broken.
+  write_all(fd, buf.data(), buf.size());
+}
+
+bool read_frame(int fd, Frame& out) {
+  LS_FAILPOINT("serve.frame.read");
+  char header[kHeaderBytes];
+  if (!read_exact(fd, header, kHeaderBytes)) return false;
+  Cursor c{std::string_view(header, kHeaderBytes)};
+  const auto magic = c.get_raw<std::uint32_t>("magic");
+  LS_CHECK(magic == kMagic, "bad frame magic 0x" << std::hex << magic);
+  const auto version = c.get_u8("version");
+  LS_CHECK(version == kVersion, "unsupported protocol version "
+                                    << int{version});
+  const auto type = c.get_u8("type");
+  LS_CHECK(type >= static_cast<std::uint8_t>(MsgType::kPredictReq) &&
+               type <= static_cast<std::uint8_t>(MsgType::kStatusResp),
+           "unknown message type " << int{type});
+  (void)c.get_raw<std::uint16_t>("reserved");
+  const auto length = c.get_raw<std::uint32_t>("length");
+  LS_CHECK(length <= kMaxPayload, "frame payload of "
+                                      << length << " bytes exceeds the "
+                                      << kMaxPayload << "-byte limit");
+  out.type = static_cast<MsgType>(type);
+  out.payload.resize(length);
+  if (length > 0 && !read_exact(fd, out.payload.data(), length)) {
+    throw Error("serve: connection closed mid-frame");
+  }
+  return true;
+}
+
+}  // namespace ls::serve

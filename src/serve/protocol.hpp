@@ -1,0 +1,105 @@
+// Wire protocol of the prediction-serving subsystem.
+//
+// Every message is one length-prefixed binary frame:
+//
+//   [u32 magic "LSRV"][u8 version][u8 type][u16 reserved][u32 payload_len]
+//   [payload_len bytes of payload]
+//
+// Integers and doubles are native-endian (the server and its clients share
+// a machine or at least an architecture — this is a local serving protocol,
+// not an interchange format). The payload layout per message type:
+//
+//   kPredictReq   u16 name_len, name, u32 nnz, nnz x (u32 index, f64 value)
+//   kPredictResp  u8 status, f64 decision, f64 label
+//   kReloadReq    u16 name_len, name
+//   kStatsReq / kPingReq / kShutdownReq    (empty)
+//   kStatusResp   u8 status, u32 text_len, text
+//                 (reload / stats / ping / shutdown / error responses)
+//
+// Encoding and decoding are pure functions over byte strings so they are
+// unit-testable without sockets; read_frame()/write_frame() add the POSIX
+// fd plumbing shared by the server and the client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "formats/sparse_vector.hpp"
+
+namespace ls::serve {
+
+/// Frame magic ("LSRV" little-endian) and protocol version.
+inline constexpr std::uint32_t kMagic = 0x5652534C;
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Frames larger than this are rejected before any allocation happens, so a
+/// corrupt or hostile length prefix cannot OOM the server.
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+/// Message types.
+enum class MsgType : std::uint8_t {
+  kPredictReq = 1,
+  kPredictResp = 2,
+  kReloadReq = 3,
+  kStatsReq = 4,
+  kPingReq = 5,
+  kShutdownReq = 6,
+  kStatusResp = 7,  ///< status + text; reply to reload/stats/ping/shutdown
+};
+
+/// Result codes carried in responses (the serving error contract).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kUnknownModel = 1,   ///< no model registered under the requested name
+  kBadDimension = 2,   ///< request vector indices exceed the model's width
+  kOverloaded = 3,     ///< shed: queue full or latency budget exceeded
+  kBadFrame = 4,       ///< malformed frame or payload
+  kInternal = 5,       ///< scoring failed server-side
+  kShuttingDown = 6,   ///< engine is stopping; request not served
+};
+
+/// Human-readable status name for logs and tool output.
+const char* status_name(Status s);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kPingReq;
+  std::string payload;
+};
+
+/// Outcome of one predict call (engine-level and wire-level).
+struct PredictResult {
+  Status status = Status::kInternal;
+  real_t decision = 0.0;
+  real_t label = 0.0;
+};
+
+// --- payload encoders (pure) ---
+
+std::string encode_predict_request(std::string_view model,
+                                   const SparseVector& x);
+std::string encode_predict_response(const PredictResult& r);
+std::string encode_reload_request(std::string_view model);
+std::string encode_status_response(Status status, std::string_view text);
+
+// --- payload decoders (pure; throw ls::Error on malformed input) ---
+
+void decode_predict_request(std::string_view payload, std::string& model,
+                            SparseVector& x);
+PredictResult decode_predict_response(std::string_view payload);
+std::string decode_reload_request(std::string_view payload);
+void decode_status_response(std::string_view payload, Status& status,
+                            std::string& text);
+
+// --- framed fd I/O ---
+
+/// Writes one complete frame to `fd`; throws ls::Error on I/O failure.
+void write_frame(int fd, MsgType type, std::string_view payload);
+
+/// Reads one complete frame. Returns false on clean EOF at a frame
+/// boundary; throws ls::Error on bad magic/version, oversized payloads,
+/// truncation mid-frame, or I/O errors.
+bool read_frame(int fd, Frame& out);
+
+}  // namespace ls::serve

@@ -1,0 +1,55 @@
+#include "serve/registry.hpp"
+
+#include <utility>
+
+#include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+#include "svm/serialize.hpp"
+
+namespace ls::serve {
+
+LoadedModel::LoadedModel(std::string name_, std::string path_,
+                         const SchedulerOptions& sched,
+                         index_t predictor_batch_rows, std::int64_t version_)
+    : name(std::move(name_)),
+      source_path(std::move(path_)),
+      version(version_),
+      model((LS_FAILPOINT("serve.model.load"), load_model_file(source_path))),
+      predictor(model, sched, predictor_batch_rows),
+      loaded_at(std::chrono::system_clock::now()) {
+  metrics::counter_add("serve.models_loaded_total");
+  metrics::annotate("serve.model." + name + ".format",
+                    format_name(predictor.layout()));
+}
+
+void ModelRegistry::put(std::shared_ptr<const LoadedModel> m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  models_[m->name] = std::move(m);
+}
+
+std::shared_ptr<const LoadedModel> ModelRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::shared_ptr<const LoadedModel>> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::shared_ptr<const LoadedModel>> out;
+  out.reserve(models_.size());
+  for (const auto& [name, m] : models_) out.push_back(m);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return models_.size();
+}
+
+}  // namespace ls::serve

@@ -1,0 +1,71 @@
+// Model registry: the set of models a ServeEngine currently hosts.
+//
+// Each entry is an immutable LoadedModel — the deserialized (CRC-verified)
+// SvmModel plus a BatchPredictor whose support-vector matrix was laid out
+// by the scheduler at load time. Hot reload builds a fresh LoadedModel off
+// the request path and swaps the shared_ptr under a short-lived mutex;
+// in-flight batches keep scoring against the version they resolved at
+// submit time, so a reload can never tear a running prediction.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "svm/batch_predict.hpp"
+#include "svm/model.hpp"
+
+namespace ls::serve {
+
+/// One immutable, fully materialised model. Not movable: the predictor
+/// holds a pointer to `model`, so instances live behind shared_ptr from
+/// construction on.
+struct LoadedModel {
+  /// Deserializes `path` (atomic-write + CRC32-verified via fs_atomic) and
+  /// materialises the support vectors under `sched`'s policy.
+  /// `predictor_batch_rows` is the SMSV block size the batcher will score
+  /// with (clamped inside BatchPredictor).
+  LoadedModel(std::string name_, std::string path_,
+              const SchedulerOptions& sched, index_t predictor_batch_rows,
+              std::int64_t version_);
+
+  LoadedModel(const LoadedModel&) = delete;
+  LoadedModel& operator=(const LoadedModel&) = delete;
+
+  std::string name;
+  std::string source_path;
+  std::int64_t version = 1;
+  SvmModel model;
+  BatchPredictor predictor;
+  std::chrono::system_clock::time_point loaded_at;
+};
+
+/// Thread-safe name -> LoadedModel map with atomic replacement.
+class ModelRegistry {
+ public:
+  /// Inserts or replaces the entry for `m->name` (the hot-reload swap).
+  void put(std::shared_ptr<const LoadedModel> m);
+
+  /// Current version for `name`, or nullptr when absent. The returned
+  /// shared_ptr pins the model for the caller's lifetime regardless of
+  /// later reloads.
+  std::shared_ptr<const LoadedModel> get(const std::string& name) const;
+
+  /// Removes `name`; returns false when it was not present.
+  bool erase(const std::string& name);
+
+  /// Snapshot of every hosted model, ordered by name.
+  std::vector<std::shared_ptr<const LoadedModel>> list() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const LoadedModel>> models_;
+};
+
+}  // namespace ls::serve

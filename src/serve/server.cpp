@@ -1,0 +1,260 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+
+namespace ls::serve {
+
+namespace {
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServeEngine& engine, ServerOptions opts)
+    : engine_(&engine), opts_(std::move(opts)) {}
+
+ServeServer::~ServeServer() { stop(); }
+
+void ServeServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  LS_FAILPOINT("serve.server.start");
+
+  if (!opts_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    LS_CHECK(listen_fd_ >= 0,
+             "serve: socket() failed: " << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    LS_CHECK(opts_.unix_path.size() < sizeof(addr.sun_path),
+             "unix socket path too long: " << opts_.unix_path);
+    std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket file from a crashed predecessor would fail the bind.
+    ::unlink(opts_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int err = errno;
+      close_quiet(listen_fd_);
+      listen_fd_ = -1;
+      running_.store(false);
+      throw Error("serve: bind(" + opts_.unix_path +
+                  ") failed: " + std::strerror(err));
+    }
+  } else {
+    LS_CHECK(opts_.tcp_port >= 0, "serve: no unix path and no tcp port");
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    LS_CHECK(listen_fd_ >= 0,
+             "serve: socket() failed: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int err = errno;
+      close_quiet(listen_fd_);
+      listen_fd_ = -1;
+      running_.store(false);
+      throw Error("serve: bind(127.0.0.1:" + std::to_string(opts_.tcp_port) +
+                  ") failed: " + std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+
+  LS_CHECK(::listen(listen_fd_, opts_.backlog) == 0,
+           "serve: listen() failed: " << std::strerror(errno));
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServeServer::accept_loop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() already claimed the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // stop() closed the listener (EBADF/EINVAL) — a clean exit.
+      return;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      close_quiet(fd);
+      return;
+    }
+    metrics::counter_add("serve.connections_total");
+    std::lock_guard<std::mutex> lk(mu_);
+    open_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void ServeServer::handle_connection(int fd) {
+  Frame frame;
+  for (;;) {
+    bool alive = false;
+    try {
+      LS_FAILPOINT("serve.conn.read");
+      alive = read_frame(fd, frame);
+    } catch (const std::exception&) {
+      // Garbage on the wire or a torn connection: answer kBadFrame on a
+      // best-effort basis and drop only this client.
+      metrics::counter_add("serve.protocol_errors_total");
+      try {
+        write_frame(fd, MsgType::kStatusResp,
+                    encode_status_response(Status::kBadFrame, "bad frame"));
+      } catch (const std::exception&) {
+      }
+      break;
+    }
+    if (!alive) break;
+
+    try {
+      if (!handle_frame(fd, frame)) break;
+    } catch (const std::exception&) {
+      // Writing the response failed — nothing left to say to this client.
+      metrics::counter_add("serve.protocol_errors_total");
+      break;
+    }
+  }
+
+  ::shutdown(fd, SHUT_RDWR);
+  close_quiet(fd);
+  std::lock_guard<std::mutex> lk(mu_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+}
+
+bool ServeServer::handle_frame(int fd, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPredictReq: {
+      std::string model;
+      SparseVector x;
+      try {
+        decode_predict_request(frame.payload, model, x);
+      } catch (const std::exception&) {
+        metrics::counter_add("serve.protocol_errors_total");
+        write_frame(fd, MsgType::kPredictResp,
+                    encode_predict_response(
+                        PredictResult{Status::kBadFrame, 0.0, 0.0}));
+        return true;
+      }
+      const PredictResult r = engine_->predict(model, std::move(x));
+      LS_FAILPOINT("serve.conn.write");
+      write_frame(fd, MsgType::kPredictResp, encode_predict_response(r));
+      return true;
+    }
+    case MsgType::kReloadReq: {
+      std::string model;
+      try {
+        model = decode_reload_request(frame.payload);
+      } catch (const std::exception&) {
+        write_frame(fd, MsgType::kStatusResp,
+                    encode_status_response(Status::kBadFrame, "bad frame"));
+        return true;
+      }
+      try {
+        engine_->reload_model(model);
+        write_frame(fd, MsgType::kStatusResp,
+                    encode_status_response(Status::kOk, "reloaded " + model));
+      } catch (const std::exception& e) {
+        // A failed reload leaves the previous version serving.
+        write_frame(fd, MsgType::kStatusResp,
+                    encode_status_response(Status::kInternal, e.what()));
+      }
+      return true;
+    }
+    case MsgType::kStatsReq:
+      write_frame(fd, MsgType::kStatusResp,
+                  encode_status_response(Status::kOk, engine_->stats_text()));
+      return true;
+    case MsgType::kPingReq:
+      write_frame(fd, MsgType::kStatusResp,
+                  encode_status_response(Status::kOk, "pong"));
+      return true;
+    case MsgType::kShutdownReq:
+      write_frame(fd, MsgType::kStatusResp,
+                  encode_status_response(Status::kOk, "shutting down"));
+      request_stop();
+      return false;
+    case MsgType::kPredictResp:
+    case MsgType::kStatusResp:
+      // Response types are not valid requests.
+      metrics::counter_add("serve.protocol_errors_total");
+      write_frame(fd, MsgType::kStatusResp,
+                  encode_status_response(Status::kBadFrame,
+                                         "response type sent as request"));
+      return true;
+  }
+  return true;
+}
+
+void ServeServer::request_stop() {
+  {
+    // The lock pairs with wait()'s predicate check so the notify cannot
+    // slip between a waiter's check and its block.
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void ServeServer::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  stop_cv_.wait(lk, [&] {
+    return stop_requested_.load(std::memory_order_acquire) ||
+           !running_.load(std::memory_order_acquire);
+  });
+}
+
+void ServeServer::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  request_stop();
+
+  // Closing the listener unblocks accept(); shutting down the client fds
+  // unblocks any handler parked in read_frame(). exchange() claims the fd
+  // so the accept thread never touches it after the close.
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    close_quiet(lfd);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Handlers remove themselves from open_fds_ but their threads are joined
+  // here, after the accept loop is down, so no new ones can appear.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+}
+
+}  // namespace ls::serve

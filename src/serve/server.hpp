@@ -1,0 +1,89 @@
+// Socket front-end of the serving engine.
+//
+// Listens on a Unix-domain socket (the default for local serving: no
+// network stack, filesystem permissions) or a loopback TCP port, accepts
+// connections on a dedicated thread and runs one handler thread per
+// connection. Handlers speak the framed protocol of serve/protocol.hpp and
+// call straight into the ServeEngine — concurrency control (batching,
+// admission, shedding) lives there, not in the socket layer.
+//
+// Failure containment: a malformed frame is answered with kBadFrame and
+// the connection is closed; an I/O error (failpoint-injectable via
+// serve.frame.read / serve.frame.write) tears down only its own
+// connection. The accept loop and every other client keep running.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace ls::serve {
+
+/// Listener configuration: set `unix_path` for AF_UNIX (preferred), or
+/// leave it empty and set `tcp_port` (0 = kernel-assigned, see port())
+/// for loopback TCP.
+struct ServerOptions {
+  std::string unix_path;
+  int tcp_port = -1;
+  int backlog = 64;
+};
+
+/// Threaded socket server over a ServeEngine. The engine must outlive the
+/// server and is shared — in-process callers can keep using it directly.
+class ServeServer {
+ public:
+  ServeServer(ServeEngine& engine, ServerOptions opts);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Throws ls::Error when
+  /// the address cannot be bound.
+  void start();
+
+  /// Closes the listener and every open connection, then joins all
+  /// threads. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Blocks until a client sends kShutdownReq or another thread calls
+  /// stop(). The caller still runs stop() afterwards to join threads.
+  void wait();
+
+  /// Actual TCP port after start() (useful with tcp_port = 0).
+  int port() const { return port_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// Serves one decoded frame; returns false when the connection (or the
+  /// whole server, for kShutdownReq) should wind down.
+  bool handle_frame(int fd, const Frame& frame);
+  void request_stop();
+
+  ServeEngine* engine_;
+  ServerOptions opts_;
+  /// Atomic because stop() claims-and-closes it (exchange to -1) while the
+  /// accept thread re-reads it each iteration.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;                  // guards conns_ and handler bookkeeping
+  std::condition_variable stop_cv_;
+  /// One entry per accepted connection, joined in stop(). Finished threads
+  /// stay joinable until then — cheap (a few KB each) at the connection
+  /// counts a local serving socket sees, and it keeps shutdown a plain
+  /// join-everything with no detach races.
+  std::vector<std::thread> handlers_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace ls::serve

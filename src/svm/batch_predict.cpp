@@ -40,22 +40,14 @@ std::vector<real_t> BatchPredictor::decision_values(const Dataset& ds) const {
   ds.validate();
   LS_CHECK(ds.cols() <= model_->num_features,
            "dataset has more features than the model");
-  const index_t n_sv = sv_matrix_.rows();
-
   std::vector<real_t> out(static_cast<std::size_t>(ds.rows()));
-  const index_t d = model_->num_features;
 
-  // Block-wise evaluation: gather `batch_rows_` test rows, scatter them
-  // into one interleaved workspace and stream the SV matrix once for the
-  // whole block instead of once per test row.
+  // Block-wise evaluation: gather `batch_rows_` test rows and hand each
+  // block to the re-entrant span scorer, so the gather buffers stay
+  // O(block) for arbitrarily large datasets.
   const index_t bmax = batch_rows_;
-  std::vector<real_t> workspace(
-      static_cast<std::size_t>(d) * static_cast<std::size_t>(bmax), 0.0);
-  std::vector<real_t> dots(static_cast<std::size_t>(n_sv) *
-                           static_cast<std::size_t>(bmax));
   std::vector<SparseVector> rows(static_cast<std::size_t>(bmax));
   std::vector<index_t> row_ids(static_cast<std::size_t>(bmax));
-
   for (index_t base = 0; base < ds.rows(); base += bmax) {
     const index_t b = std::min<index_t>(bmax, ds.rows() - base);
     for (index_t k = 0; k < b; ++k) {
@@ -64,9 +56,41 @@ std::vector<real_t> BatchPredictor::decision_values(const Dataset& ds) const {
     ds.X.gather_rows_batch(
         std::span<const index_t>(row_ids.data(), static_cast<std::size_t>(b)),
         std::span<SparseVector>(rows.data(), static_cast<std::size_t>(b)));
+    decision_values(
+        std::span<const SparseVector>(rows.data(), static_cast<std::size_t>(b)),
+        std::span<real_t>(out.data() + base, static_cast<std::size_t>(b)));
+  }
+  return out;
+}
 
+void BatchPredictor::decision_values(std::span<const SparseVector> rows,
+                                     std::span<real_t> out) const {
+  LS_CHECK(rows.size() == out.size(),
+           "decision_values: " << rows.size() << " rows but " << out.size()
+                               << " output slots");
+  const index_t d = model_->num_features;
+  const index_t n_sv = sv_matrix_.rows();
+  const index_t bmax = batch_rows_;
+  const auto n = static_cast<index_t>(rows.size());
+
+  // All scratch lives on this call's stack frame so concurrent callers
+  // never share buffers (the serving engine relies on this re-entrancy).
+  std::vector<real_t> workspace(
+      static_cast<std::size_t>(d) * static_cast<std::size_t>(bmax), 0.0);
+  std::vector<real_t> dots(static_cast<std::size_t>(n_sv) *
+                           static_cast<std::size_t>(bmax));
+
+  for (index_t base = 0; base < n; base += bmax) {
+    const index_t b = std::min<index_t>(bmax, n - base);
+
+    // Scatter the block interleaved (W[idx * b + k]); the dimension gate
+    // runs first because an out-of-range index would land outside the
+    // workspace.
     for (index_t k = 0; k < b; ++k) {
-      const SparseVector& row = rows[static_cast<std::size_t>(k)];
+      const SparseVector& row = rows[static_cast<std::size_t>(base + k)];
+      LS_CHECK(model_->accepts(row),
+               "request row " << base + k << " has feature indices outside "
+                              << "the model's width " << d);
       const auto idx = row.indices();
       const auto val = row.values();
       for (std::size_t e = 0; e < idx.size(); ++e) {
@@ -84,7 +108,7 @@ std::vector<real_t> BatchPredictor::decision_values(const Dataset& ds) const {
     metrics::counter_add("svm.predict.batch_rows_total", b);
 
     for (index_t k = 0; k < b; ++k) {
-      const SparseVector& row = rows[static_cast<std::size_t>(k)];
+      const SparseVector& row = rows[static_cast<std::size_t>(base + k)];
       const real_t norm_x = row.squared_norm();
       real_t sum = 0.0;
       for (index_t sv = 0; sv < n_sv; ++sv) {
@@ -100,7 +124,6 @@ std::vector<real_t> BatchPredictor::decision_values(const Dataset& ds) const {
       }
     }
   }
-  return out;
 }
 
 std::vector<real_t> BatchPredictor::predict(const Dataset& ds) const {

@@ -9,6 +9,7 @@
 // inference.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -31,6 +32,18 @@ class BatchPredictor {
   /// Decision values for every row of `ds` (same sign convention as
   /// SvmModel::decision).
   std::vector<real_t> decision_values(const Dataset& ds) const;
+
+  /// Re-entrant bulk scorer over already-gathered sparse rows:
+  /// out[k] = decision(rows[k]), with `out.size() == rows.size()`. Rows are
+  /// evaluated in blocks of `batch_rows` via multiply_dense_batch, and each
+  /// lane is bit-identical to the single-rhs path (PR 3 invariant), so the
+  /// scores do not depend on how requests were batched. All scratch is
+  /// local to the call — concurrent calls on one predictor are safe, which
+  /// is how the serving engine's worker pool shares a predictor. Throws
+  /// ls::Error when a row's indices exceed the model's feature width (the
+  /// dense scatter would write out of bounds otherwise).
+  void decision_values(std::span<const SparseVector> rows,
+                       std::span<real_t> out) const;
 
   /// Predicted labels (+1 / -1) for every row of `ds`.
   std::vector<real_t> predict(const Dataset& ds) const;

@@ -33,18 +33,20 @@ KernelCache::~KernelCache() {
 void KernelCache::insert_front(Entry entry) {
   lru_.push_front(std::move(entry));
   map_[lru_.front().row] = lru_.begin();
+  resident_.store(map_.size(), std::memory_order_release);
 }
 
 void KernelCache::evict_to_capacity() {
   while (map_.size() > max_rows_) {
     const index_t victim = lru_.back().row;
     if (unused_prefetch_.erase(victim) > 0) {
-      pipeline_misses_.fetch_add(1, std::memory_order_relaxed);
+      pipeline_misses_.fetch_add(1, std::memory_order_release);
       metrics::counter_add("svm.cache.pipeline_misses_total");
     }
     map_.erase(victim);
     lru_.pop_back();
   }
+  resident_.store(map_.size(), std::memory_order_release);
 }
 
 void KernelCache::wait_idle_and_drain(std::unique_lock<std::mutex>& lk) {
@@ -69,9 +71,9 @@ void KernelCache::wait_idle_and_drain(std::unique_lock<std::mutex>& lk) {
 std::span<const real_t> KernelCache::get_row(index_t i) {
   const auto it = map_.find(i);
   if (it != map_.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_release);
     if (unused_prefetch_.erase(i) > 0) {
-      pipeline_hits_.fetch_add(1, std::memory_order_relaxed);
+      pipeline_hits_.fetch_add(1, std::memory_order_release);
       metrics::counter_add("svm.cache.pipeline_hits_total");
     }
     // Move to front (most recently used).
@@ -87,9 +89,9 @@ std::span<const real_t> KernelCache::get_row(index_t i) {
     wait_idle_and_drain(lk);
     const auto again = map_.find(i);
     if (again != map_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_release);
       if (unused_prefetch_.erase(i) > 0) {
-        pipeline_hits_.fetch_add(1, std::memory_order_relaxed);
+        pipeline_hits_.fetch_add(1, std::memory_order_release);
         metrics::counter_add("svm.cache.pipeline_hits_total");
       }
       lru_.splice(lru_.begin(), lru_, again->second);
@@ -97,17 +99,18 @@ std::span<const real_t> KernelCache::get_row(index_t i) {
     }
   }
 
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_release);
   Entry entry;
   if (map_.size() >= max_rows_) {
     // Recycle the least-recently-used buffer instead of reallocating.
     entry = std::move(lru_.back());
     if (unused_prefetch_.erase(entry.row) > 0) {
-      pipeline_misses_.fetch_add(1, std::memory_order_relaxed);
+      pipeline_misses_.fetch_add(1, std::memory_order_release);
       metrics::counter_add("svm.cache.pipeline_misses_total");
     }
     map_.erase(entry.row);
     lru_.pop_back();
+    resident_.store(map_.size(), std::memory_order_release);
   } else {
     try {
       LS_FAILPOINT("svm.cache.alloc");
@@ -122,11 +125,12 @@ std::span<const real_t> KernelCache::get_row(index_t i) {
       max_rows_ = std::max<std::size_t>(2, map_.size());
       entry = std::move(lru_.back());
       if (unused_prefetch_.erase(entry.row) > 0) {
-        pipeline_misses_.fetch_add(1, std::memory_order_relaxed);
+        pipeline_misses_.fetch_add(1, std::memory_order_release);
         metrics::counter_add("svm.cache.pipeline_misses_total");
       }
       map_.erase(entry.row);
       lru_.pop_back();
+      resident_.store(map_.size(), std::memory_order_release);
     }
   }
   entry.row = i;
@@ -155,7 +159,7 @@ void KernelCache::prefetch(std::span<const index_t> rows) {
   if (req_.empty()) return;
 
   prefetched_rows_.fetch_add(static_cast<std::int64_t>(req_.size()),
-                             std::memory_order_relaxed);
+                             std::memory_order_release);
   metrics::counter_add("svm.cache.prefetch_rows_total",
                        static_cast<std::int64_t>(req_.size()));
   worker_busy_ = true;

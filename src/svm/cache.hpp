@@ -58,9 +58,14 @@ class KernelCache {
   real_t diagonal(index_t i) const { return source_->diagonal(i); }
   index_t num_rows() const { return source_->num_rows(); }
 
-  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  // Statistics accessors are safe to call from any thread while the solver
+  // and the prefetch worker run: every counter update is a release store
+  // and every read here an acquire load, so a snapshot (e.g. the serving
+  // engine's stats endpoint) observes a consistent monotone value instead
+  // of racing a plain increment.
+  std::int64_t hits() const { return hits_.load(std::memory_order_acquire); }
   std::int64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
+    return misses_.load(std::memory_order_acquire);
   }
   double hit_rate() const {
     const double total = static_cast<double>(hits() + misses());
@@ -69,19 +74,22 @@ class KernelCache {
 
   /// Rows handed to the prefetch worker so far.
   std::int64_t prefetched_rows() const {
-    return prefetched_rows_.load(std::memory_order_relaxed);
+    return prefetched_rows_.load(std::memory_order_acquire);
   }
   /// Prefetched rows later served from cache (the pipeline paid off).
   std::int64_t pipeline_hits() const {
-    return pipeline_hits_.load(std::memory_order_relaxed);
+    return pipeline_hits_.load(std::memory_order_acquire);
   }
   /// Prefetched rows evicted before anyone asked for them (wasted work).
   std::int64_t pipeline_misses() const {
-    return pipeline_misses_.load(std::memory_order_relaxed);
+    return pipeline_misses_.load(std::memory_order_acquire);
   }
 
-  /// Rows currently resident.
-  std::size_t resident_rows() const { return map_.size(); }
+  /// Rows currently resident. Mirrors map_.size() through an atomic so
+  /// off-thread snapshots never touch the (unlocked) map itself.
+  std::size_t resident_rows() const {
+    return resident_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Entry {
@@ -102,6 +110,7 @@ class KernelCache {
   std::unordered_map<index_t, std::list<Entry>::iterator> map_;
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::size_t> resident_{0};  // == map_.size(), for snapshots
 
   // Pipeline state. mu_ guards req_/done_*/worker_busy_/stop_; the LRU
   // structures above are touched only by the caller thread.

@@ -46,7 +46,7 @@ FormatKernelEngine::FormatKernelEngine(const AnyMatrix& x,
 void FormatKernelEngine::compute_row(index_t i, std::span<real_t> out) {
   LS_CHECK(out.size() == static_cast<std::size_t>(x_->rows()),
            "kernel row buffer size mismatch");
-  ++rows_computed_;
+  rows_computed_.fetch_add(1, std::memory_order_release);
 
   // Gather + scatter: workspace becomes the dense image of row i.
   x_->gather_row(i, row_);
@@ -81,7 +81,7 @@ void FormatKernelEngine::compute_rows(std::span<const index_t> rows,
   for (std::size_t base = 0; base < rows.size(); base += kMaxSmsvBatch) {
     const index_t b = static_cast<index_t>(
         std::min<std::size_t>(kMaxSmsvBatch, rows.size() - base));
-    rows_computed_.fetch_add(b, std::memory_order_relaxed);
+    rows_computed_.fetch_add(b, std::memory_order_release);
     metrics::counter_add("kernel.batch_rows_total", b);
 
     // Lazy grow: the buffers track the widest chunk seen. Slots left over
@@ -176,7 +176,7 @@ real_t LibsvmKernelEngine::dot_rows(index_t i, index_t j) const {
 void LibsvmKernelEngine::compute_row(index_t i, std::span<real_t> out) {
   LS_CHECK(out.size() == static_cast<std::size_t>(x_.rows()),
            "kernel row buffer size mismatch");
-  ++rows_computed_;
+  rows_computed_.fetch_add(1, std::memory_order_release);
   const real_t norm_i = norms_[static_cast<std::size_t>(i)];
   const index_t m = x_.rows();
   // "Parallel LIBSVM": the row loop is parallelised (as OpenMP-patched

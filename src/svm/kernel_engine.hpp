@@ -48,10 +48,12 @@ class RowKernelSource {
   /// K(X_i, X_i) — needed by the second-order working-set selection.
   virtual real_t diagonal(index_t i) const = 0;
 
-  /// Number of kernel rows computed so far (cache misses only). Atomic so a
-  /// prefetch thread computing rows can be observed from the solver thread.
+  /// Number of kernel rows computed so far (cache misses only). Updates are
+  /// release stores and this read an acquire load, so the counter can be
+  /// snapshotted from any thread (the solver, a stats endpoint) while the
+  /// prefetch worker is mid-batch.
   std::int64_t rows_computed() const {
-    return rows_computed_.load(std::memory_order_relaxed);
+    return rows_computed_.load(std::memory_order_acquire);
   }
 
  protected:

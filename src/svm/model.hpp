@@ -30,6 +30,17 @@ struct SvmModel {
     return decision(x) >= 0 ? 1.0 : -1.0;
   }
 
+  /// True when `x` is dimensionally compatible with the model: every
+  /// feature index lies in [0, num_features). Indices are sorted, so only
+  /// the two ends need checking — an O(1) gate the batch-scoring paths run
+  /// before scattering a request into a num_features-wide dense workspace,
+  /// where an oversized index would otherwise write out of bounds. The
+  /// serving layer maps a failure to a protocol error (kBadDimension).
+  bool accepts(const SparseVector& x) const {
+    return x.empty() || (x.indices().front() >= 0 &&
+                         x.indices().back() < num_features);
+  }
+
   /// Fraction of correctly classified rows of `ds` (labels must be +-1).
   double accuracy(const Dataset& ds) const;
 

@@ -1,0 +1,775 @@
+// Tests of the serving subsystem: wire protocol, micro-batcher, engine
+// semantics (admission control, hot reload, error contract) and the socket
+// front-end.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "svm/serialize.hpp"
+
+namespace ls::serve {
+namespace {
+
+// --- shared fixtures ---------------------------------------------------
+
+/// Hand-built Gaussian model over `d` features.
+SvmModel make_model(index_t n_sv, index_t d, std::uint64_t seed,
+                    double coef_scale = 1.0) {
+  Rng rng(seed);
+  SvmModel model;
+  model.kernel.type = KernelType::kGaussian;
+  model.kernel.gamma = 0.5;
+  model.rho = 0.0;  // keeps coef-scaling FP-exact (see HotReload test)
+  model.num_features = d;
+  for (index_t s = 0; s < n_sv; ++s) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < d; ++c) {
+      if (rng.bernoulli(0.3)) {
+        idx.push_back(c);
+        val.push_back(rng.normal());
+      }
+    }
+    if (idx.empty()) {
+      idx.push_back(0);
+      val.push_back(1.0);
+    }
+    model.support_vectors.emplace_back(std::move(idx), std::move(val));
+    model.coef.push_back((s % 2 == 0 ? 1.0 : -1.0) * coef_scale);
+  }
+  return model;
+}
+
+std::vector<SparseVector> make_requests(index_t count, index_t d,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SparseVector> rows;
+  for (index_t r = 0; r < count; ++r) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < d; ++c) {
+      if (rng.bernoulli(0.3)) {
+        idx.push_back(c);
+        val.push_back(rng.normal());
+      }
+    }
+    if (idx.empty()) {
+      idx.push_back(0);
+      val.push_back(1.0);
+    }
+    rows.emplace_back(std::move(idx), std::move(val));
+  }
+  return rows;
+}
+
+std::string temp_model_path(const std::string& name) {
+  return ::testing::TempDir() + "ls_serve_" + name;
+}
+
+/// Deterministic engine configuration for value-comparison tests: fixed
+/// CSR layout, so two engines always score through identical kernels.
+ServeOptions fixed_layout_options() {
+  ServeOptions opts;
+  opts.sched.policy = SchedulePolicy::kFixed;
+  opts.sched.fixed_format = Format::kCSR;
+  return opts;
+}
+
+// --- protocol: pure encode/decode --------------------------------------
+
+TEST(ServeProtocol, PredictRequestRoundTrip) {
+  const SparseVector x({1, 5, 9}, {0.5, -2.0, 3.25});
+  const std::string payload = encode_predict_request("mymodel", x);
+  std::string model;
+  SparseVector decoded;
+  decode_predict_request(payload, model, decoded);
+  EXPECT_EQ(model, "mymodel");
+  ASSERT_EQ(decoded.nnz(), 3);
+  EXPECT_EQ(decoded.indices()[1], 5);
+  EXPECT_EQ(decoded.values()[2], 3.25);
+}
+
+TEST(ServeProtocol, EmptyVectorRoundTrip) {
+  const SparseVector x;
+  const std::string payload = encode_predict_request("m", x);
+  std::string model;
+  SparseVector decoded;
+  decode_predict_request(payload, model, decoded);
+  EXPECT_EQ(model, "m");
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ServeProtocol, PredictResponseRoundTrip) {
+  const PredictResult r{Status::kOk, -1.25, -1.0};
+  const PredictResult back =
+      decode_predict_response(encode_predict_response(r));
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.decision, -1.25);
+  EXPECT_EQ(back.label, -1.0);
+}
+
+TEST(ServeProtocol, StatusResponseRoundTrip) {
+  const std::string payload =
+      encode_status_response(Status::kOverloaded, "queue full");
+  Status s = Status::kOk;
+  std::string text;
+  decode_status_response(payload, s, text);
+  EXPECT_EQ(s, Status::kOverloaded);
+  EXPECT_EQ(text, "queue full");
+}
+
+TEST(ServeProtocol, ReloadRequestRoundTrip) {
+  EXPECT_EQ(decode_reload_request(encode_reload_request("demo")), "demo");
+}
+
+TEST(ServeProtocol, TruncatedPayloadThrows) {
+  const SparseVector x({1, 2}, {1.0, 2.0});
+  std::string payload = encode_predict_request("model", x);
+  payload.resize(payload.size() - 3);  // cut mid-value
+  std::string model;
+  SparseVector decoded;
+  EXPECT_THROW(decode_predict_request(payload, model, decoded), Error);
+}
+
+TEST(ServeProtocol, TrailingGarbageThrows) {
+  std::string payload = encode_reload_request("demo");
+  payload += "extra";
+  EXPECT_THROW(decode_reload_request(payload), Error);
+}
+
+TEST(ServeProtocol, UnsortedIndicesThrow) {
+  // Forge a predict request whose indices are not strictly increasing
+  // (SparseVector itself refuses to build one, so patch the bytes).
+  const SparseVector x({1, 2}, {1.0, 2.0});
+  std::string payload = encode_predict_request("m", x);
+  // Layout: u16 name_len, name "m", u32 nnz, then (u32 idx, f64 val) pairs;
+  // the second pair's index starts at offset 2 + 1 + 4 + 12.
+  const std::size_t second_idx = 2 + 1 + 4 + 12;
+  const std::uint32_t dup = 1;
+  std::memcpy(payload.data() + second_idx, &dup, sizeof(dup));
+  std::string model;
+  SparseVector decoded;
+  EXPECT_THROW(decode_predict_request(payload, model, decoded), Error);
+}
+
+TEST(ServeProtocol, StatusNamesAreStable) {
+  EXPECT_STREQ(status_name(Status::kOk), "ok");
+  EXPECT_STREQ(status_name(Status::kOverloaded), "overloaded");
+}
+
+// --- protocol: framed fd I/O -------------------------------------------
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(ServeProtocol, FrameRoundTripOverSocket) {
+  SocketPair sp;
+  write_frame(sp.a, MsgType::kPingReq, "hello");
+  Frame f;
+  ASSERT_TRUE(read_frame(sp.b, f));
+  EXPECT_EQ(f.type, MsgType::kPingReq);
+  EXPECT_EQ(f.payload, "hello");
+}
+
+TEST(ServeProtocol, CleanEofReturnsFalse) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  Frame f;
+  EXPECT_FALSE(read_frame(sp.b, f));
+}
+
+TEST(ServeProtocol, BadMagicThrows) {
+  SocketPair sp;
+  const char garbage[12] = {'n', 'o', 'p', 'e', 1, 1, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::write(sp.a, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  Frame f;
+  EXPECT_THROW(read_frame(sp.b, f), Error);
+}
+
+TEST(ServeProtocol, OversizedPayloadRejectedBeforeAllocation) {
+  SocketPair sp;
+  // Forge a header announcing a payload beyond kMaxPayload.
+  std::string header;
+  const std::uint32_t magic = kMagic;
+  const std::uint8_t version = kVersion;
+  const std::uint8_t type = static_cast<std::uint8_t>(MsgType::kPingReq);
+  const std::uint16_t reserved = 0;
+  const std::uint32_t len = kMaxPayload + 1;
+  header.append(reinterpret_cast<const char*>(&magic), 4);
+  header.append(reinterpret_cast<const char*>(&version), 1);
+  header.append(reinterpret_cast<const char*>(&type), 1);
+  header.append(reinterpret_cast<const char*>(&reserved), 2);
+  header.append(reinterpret_cast<const char*>(&len), 4);
+  ASSERT_EQ(::write(sp.a, header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  Frame f;
+  EXPECT_THROW(read_frame(sp.b, f), Error);
+}
+
+// --- engine: request semantics -----------------------------------------
+
+TEST(ServeEngine, PredictMatchesDirectModelEvaluation) {
+  const std::string path = temp_model_path("basic.txt");
+  const SvmModel model = make_model(12, 24, 0xA11CE);
+  save_model_file(path, model);
+
+  ServeEngine engine(fixed_layout_options());
+  engine.load_model("m", path);
+  engine.start();
+  for (const SparseVector& x : make_requests(16, 24, 0xB0B)) {
+    const PredictResult r = engine.predict("m", x);
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_NEAR(r.decision, model.decision(x), 1e-9);
+    EXPECT_EQ(r.label, r.decision >= 0 ? 1.0 : -1.0);
+  }
+  engine.stop();
+}
+
+TEST(ServeEngine, UnknownModelIsRejected) {
+  ServeEngine engine;
+  engine.start();
+  const PredictResult r = engine.predict("nope", SparseVector({0}, {1.0}));
+  EXPECT_EQ(r.status, Status::kUnknownModel);
+  EXPECT_EQ(engine.stats().unknown_model_total, 1);
+}
+
+TEST(ServeEngine, OversizedFeatureIndexIsRejectedNotScored) {
+  const std::string path = temp_model_path("dim.txt");
+  save_model_file(path, make_model(8, 16, 0xD1));
+  ServeEngine engine(fixed_layout_options());
+  engine.load_model("m", path);
+  engine.start();
+  // Feature 16 is one past the model's width — scattering it would write
+  // out of bounds; the engine must answer kBadDimension instead.
+  const PredictResult r =
+      engine.predict("m", SparseVector({3, 16}, {1.0, 1.0}));
+  EXPECT_EQ(r.status, Status::kBadDimension);
+  EXPECT_EQ(engine.stats().bad_dimension_total, 1);
+  // An in-range request still works.
+  EXPECT_EQ(engine.predict("m", SparseVector({15}, {1.0})).status,
+            Status::kOk);
+}
+
+TEST(ServeEngine, RequestsAfterStopAreShuttingDown) {
+  const std::string path = temp_model_path("stopped.txt");
+  save_model_file(path, make_model(4, 8, 0x51));
+  ServeEngine engine(fixed_layout_options());
+  engine.load_model("m", path);
+  engine.start();
+  engine.stop();
+  EXPECT_EQ(engine.predict("m", SparseVector({0}, {1.0})).status,
+            Status::kShuttingDown);
+}
+
+TEST(ServeEngine, UnloadedModelBecomesUnknown) {
+  const std::string path = temp_model_path("unload.txt");
+  save_model_file(path, make_model(4, 8, 0x52));
+  ServeEngine engine(fixed_layout_options());
+  engine.load_model("m", path);
+  engine.start();
+  EXPECT_EQ(engine.predict("m", SparseVector({0}, {1.0})).status, Status::kOk);
+  EXPECT_TRUE(engine.unload_model("m"));
+  EXPECT_FALSE(engine.unload_model("m"));
+  EXPECT_EQ(engine.predict("m", SparseVector({0}, {1.0})).status,
+            Status::kUnknownModel);
+}
+
+// The micro-batching correctness keystone: scores must not depend on how
+// requests were coalesced. A single-threaded batch=1 engine and a
+// concurrent batch=64 engine must produce bit-identical decisions (the
+// per-lane bit-identity of multiply_dense_batch, PR 3).
+TEST(ServeEngine, ConcurrentBatchedScoresBitIdenticalToSequential) {
+  const std::string path = temp_model_path("bitident.txt");
+  save_model_file(path, make_model(20, 40, 0xB17));
+  const std::vector<SparseVector> requests = make_requests(64, 40, 0x1DE);
+
+  ServeOptions seq = fixed_layout_options();
+  seq.workers = 1;
+  seq.batcher.max_batch = 1;
+  ServeEngine sequential(seq);
+  sequential.load_model("m", path);
+  sequential.start();
+  std::vector<real_t> expected;
+  for (const SparseVector& x : requests) {
+    const PredictResult r = sequential.predict("m", x);
+    ASSERT_EQ(r.status, Status::kOk);
+    expected.push_back(r.decision);
+  }
+  sequential.stop();
+
+  ServeOptions par = fixed_layout_options();
+  par.workers = 4;
+  par.batcher.max_batch = 64;
+  par.batcher.deadline_ms = 0.0;  // greedy: maximal batching under load
+  ServeEngine batched(par);
+  batched.load_model("m", path);
+  batched.start();
+  std::vector<real_t> got(requests.size());
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t r = static_cast<std::size_t>(t); r < requests.size();
+           r += 8) {
+        const PredictResult res = batched.predict("m", requests[r]);
+        ASSERT_EQ(res.status, Status::kOk);
+        got[r] = res.decision;
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  const double occupancy = batched.stats().mean_batch_occupancy();
+  batched.stop();
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    EXPECT_EQ(got[r], expected[r]) << "request " << r;
+  }
+  EXPECT_GE(occupancy, 1.0);
+}
+
+// --- engine: batcher flush policy --------------------------------------
+
+TEST(ServeEngine, DeadlineFlushCoalescesConcurrentRequests) {
+  const std::string path = temp_model_path("deadline.txt");
+  save_model_file(path, make_model(8, 16, 0xDEAD));
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 1;
+  opts.batcher.max_batch = 64;
+  opts.batcher.deadline_ms = 50.0;  // far above the submit spread
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        engine.predict_async("m", SparseVector({i}, {1.0})));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+
+  // All three waited out the deadline together: one flush, occupancy 3.
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.batches_total, 1);
+  EXPECT_EQ(s.batched_rows_total, 3);
+  engine.stop();
+}
+
+TEST(ServeEngine, GreedyModeDoesNotDelaySoloRequests) {
+  const std::string path = temp_model_path("greedy.txt");
+  save_model_file(path, make_model(8, 16, 0x64EE));
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 1;
+  opts.batcher.max_batch = 64;
+  opts.batcher.deadline_ms = 0.0;
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(engine.predict("m", SparseVector({1}, {1.0})).status, Status::kOk);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  // A greedy flush must not wait for more traffic. Generous bound: the
+  // score itself is microseconds.
+  EXPECT_LT(ms, 500.0);
+  engine.stop();
+}
+
+// --- engine: admission control -----------------------------------------
+
+TEST(ServeEngine, QueueFullSubmissionsAreShed) {
+  const std::string path = temp_model_path("shed.txt");
+  save_model_file(path, make_model(8, 16, 0x5ED));
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 1;
+  opts.batcher.max_batch = 1;  // one request per (delayed) flush
+  opts.batcher.deadline_ms = 0.0;
+  opts.batcher.max_queue = 2;
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+
+  // Each scored batch sleeps 30 ms, so 20 rapid submissions overwhelm a
+  // queue of 2: most must be shed at the door.
+  failpoint::Scoped slow("serve.batch.compute",
+                         {failpoint::Action::kDelay, 30, 0, -1});
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(engine.predict_async("m", SparseVector({1}, {1.0})));
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const Status s = f.get().status;
+    if (s == Status::kOk) ++ok;
+    if (s == Status::kOverloaded) ++shed;
+  }
+  EXPECT_EQ(ok + shed, 20);
+  EXPECT_GE(shed, 10);
+  EXPECT_GE(ok, 1);
+  EXPECT_EQ(engine.stats().shed_queue_total, shed);
+  engine.stop();
+}
+
+TEST(ServeEngine, StaleRequestsAreShedAtDequeue) {
+  const std::string path = temp_model_path("stale.txt");
+  save_model_file(path, make_model(8, 16, 0x57A1E));
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 1;
+  opts.batcher.max_batch = 1;
+  opts.batcher.deadline_ms = 0.0;
+  opts.latency_budget_ms = 5.0;
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+
+  // The worker spends 40 ms per batch; queued requests age past the 5 ms
+  // budget and must be dropped at dequeue instead of scored.
+  failpoint::Scoped slow("serve.batch.compute",
+                         {failpoint::Action::kDelay, 40, 0, -1});
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(engine.predict_async("m", SparseVector({1}, {1.0})));
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const Status s = f.get().status;
+    if (s == Status::kOk) ++ok;
+    if (s == Status::kOverloaded) ++shed;
+  }
+  EXPECT_EQ(ok + shed, 6);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(engine.stats().shed_deadline_total, shed);
+  engine.stop();
+}
+
+// --- engine: hot reload -------------------------------------------------
+
+// Reload swaps an immutable LoadedModel behind a shared_ptr, so every
+// response must come entirely from one version — never a torn mix. Version
+// B's coefficients are exactly 2x version A's (rho = 0), and scaling by a
+// power of two is FP-exact, so every decision must equal v or exactly 2v.
+TEST(ServeEngine, HotReloadNeverTearsInFlightPredictions) {
+  const std::string path = temp_model_path("reload.txt");
+  const SvmModel a = make_model(10, 20, 0x4E10, 1.0);
+  const SvmModel b = make_model(10, 20, 0x4E10, 2.0);  // same SVs, coef x2
+  save_model_file(path, a);
+
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 2;
+  opts.batcher.max_batch = 8;
+  opts.batcher.deadline_ms = 0.0;
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+
+  const std::vector<SparseVector> requests = make_requests(8, 20, 0x77);
+  std::vector<real_t> v_a;
+  for (const SparseVector& x : requests) {
+    const PredictResult r = engine.predict("m", x);
+    ASSERT_EQ(r.status, Status::kOk);
+    v_a.push_back(r.decision);
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+          const PredictResult res = engine.predict("m", requests[r]);
+          if (res.status != Status::kOk) continue;  // shutdown race only
+          if (res.decision != v_a[r] && res.decision != 2.0 * v_a[r]) {
+            torn.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (int reload = 0; reload < 10; ++reload) {
+    save_model_file(path, reload % 2 == 0 ? b : a);
+    engine.reload_model("m");
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& th : hammers) th.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(engine.stats().reloads_total, 10);
+  EXPECT_EQ(engine.model("m")->version, 11);
+  engine.stop();
+}
+
+TEST(ServeEngine, FailedReloadKeepsPreviousVersionServing) {
+  const std::string path = temp_model_path("failedreload.txt");
+  save_model_file(path, make_model(6, 12, 0xFA11));
+  ServeEngine engine(fixed_layout_options());
+  engine.load_model("m", path);
+  engine.start();
+
+  {
+    // Deserialization blows up mid-reload; the registry must be untouched.
+    failpoint::Scoped broken("serve.model.load");
+    EXPECT_THROW(engine.reload_model("m"), Error);
+  }
+  EXPECT_EQ(engine.model("m")->version, 1);
+  EXPECT_EQ(engine.predict("m", SparseVector({0}, {1.0})).status, Status::kOk);
+  engine.stop();
+}
+
+// --- engine: stats under concurrency ------------------------------------
+
+TEST(ServeEngine, StatsSnapshotsAreConsistentUnderLoad) {
+  const std::string path = temp_model_path("stats.txt");
+  save_model_file(path, make_model(8, 16, 0x57A7));
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 2;
+  opts.batcher.deadline_ms = 0.0;
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    // Hammer the snapshot path while workers score — the acquire/release
+    // discipline makes this TSan-clean and monotone.
+    std::int64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const ServeStats s = engine.stats();
+      EXPECT_GE(s.ok_total, last);
+      EXPECT_LE(s.ok_total, s.requests_total);
+      last = s.ok_total;
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        engine.predict("m", SparseVector({1}, {0.5}));
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.ok_total, 800);
+  EXPECT_EQ(s.requests_total, 800);
+  engine.stop();
+}
+
+// --- socket server end-to-end -------------------------------------------
+
+struct ServerFixture {
+  std::string model_path;
+  SvmModel model;
+  ServeEngine engine;
+  ServeServer server;
+
+  explicit ServerFixture(ServerOptions listen)
+      : model_path(temp_model_path("server.txt")),
+        model(make_model(10, 20, 0x5E4E)),
+        engine(fixed_layout_options()),
+        server(engine, std::move(listen)) {
+    save_model_file(model_path, model);
+    engine.load_model("m", model_path);
+    engine.start();
+    server.start();
+  }
+  ~ServerFixture() {
+    server.stop();
+    engine.stop();
+  }
+};
+
+std::string unique_socket_path(const char* tag) {
+  return ::testing::TempDir() + "ls_serve_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServeServer, UnixSocketEndToEnd) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("e2e");
+  ServerFixture fx(listen);
+
+  ServeClient client = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_TRUE(client.ping());
+
+  for (const SparseVector& x : make_requests(8, 20, 0xC11)) {
+    const PredictResult wire = client.predict("m", x);
+    ASSERT_EQ(wire.status, Status::kOk);
+    // The wire path must agree with the in-process path bit-for-bit: same
+    // engine, same layout, the protocol only moves doubles around.
+    const PredictResult local = fx.engine.predict("m", x);
+    EXPECT_EQ(wire.decision, local.decision);
+  }
+
+  const std::string stats = client.stats();
+  EXPECT_NE(stats.find("requests_total"), std::string::npos);
+  EXPECT_NE(stats.find("model m version 1"), std::string::npos);
+
+  std::string msg;
+  EXPECT_EQ(client.reload("m", &msg), Status::kOk);
+  EXPECT_EQ(client.reload("ghost", &msg), Status::kInternal);
+  EXPECT_EQ(client.predict("ghost", SparseVector({0}, {1.0})).status,
+            Status::kUnknownModel);
+}
+
+TEST(ServeServer, TcpLoopbackEndToEnd) {
+  ServerOptions listen;
+  listen.tcp_port = 0;  // kernel-assigned
+  ServerFixture fx(listen);
+  ASSERT_GT(fx.server.port(), 0);
+
+  ServeClient client = ServeClient::connect_tcp(fx.server.port());
+  EXPECT_TRUE(client.ping());
+  const PredictResult r =
+      client.predict("m", SparseVector({2, 7}, {1.0, -1.0}));
+  EXPECT_EQ(r.status, Status::kOk);
+}
+
+TEST(ServeServer, ShutdownRequestStopsWait) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("shutdown");
+  ServerFixture fx(listen);
+
+  std::thread waiter([&] { fx.server.wait(); });
+  ServeClient client = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_EQ(client.shutdown_server(), Status::kOk);
+  waiter.join();  // wait() must return once the shutdown frame is handled
+}
+
+TEST(ServeServer, ConcurrentWireClientsAllSucceed) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("conc");
+  ServerFixture fx(listen);
+  const std::vector<SparseVector> requests = make_requests(32, 20, 0xCC);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&] {
+      ServeClient c = ServeClient::connect_unix(listen.unix_path);
+      for (const SparseVector& x : requests) {
+        if (c.predict("m", x).status != Status::kOk) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(fx.engine.stats().ok_total, 6 * 32);
+}
+
+TEST(ServeServer, GarbageBytesGetBadFrameAndOnlyThatConnectionDies) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("garbage");
+  ServerFixture fx(listen);
+
+  // Hand-rolled client sending 12 bytes of garbage where a header belongs.
+  ServeClient good = ServeClient::connect_unix(listen.unix_path);
+  ServeClient bad = ServeClient::connect_unix(listen.unix_path);
+  // Reach into the protocol layer directly: connect, then write junk.
+  // (ServeClient has no raw-write API, so open a separate raw socket.)
+  bad.close();
+  int raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, listen.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char junk[12] = {'x', 'x', 'x', 'x', 9, 9, 9, 9, 9, 9, 9, 9};
+  ASSERT_EQ(::write(raw, junk, sizeof(junk)),
+            static_cast<ssize_t>(sizeof(junk)));
+  // The server answers kBadFrame (best effort) and closes the connection.
+  Frame reply;
+  bool got_reply = false;
+  try {
+    got_reply = read_frame(raw, reply);
+  } catch (const Error&) {
+    // A torn read is acceptable: the server may close first.
+  }
+  if (got_reply) {
+    Status s = Status::kOk;
+    std::string text;
+    decode_status_response(reply.payload, s, text);
+    EXPECT_EQ(s, Status::kBadFrame);
+  }
+  ::close(raw);
+
+  // The other client is unaffected.
+  EXPECT_TRUE(good.ping());
+  EXPECT_EQ(good.predict("m", SparseVector({1}, {1.0})).status, Status::kOk);
+}
+
+TEST(ServeServer, ConnectionReadFaultDegradesGracefully) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("readfault");
+  ServerFixture fx(listen);
+
+  {
+    // The first connection's first read throws (injected I/O error); the
+    // handler drops that client and the server keeps accepting. Depending
+    // on timing the doomed client sees either a best-effort kBadFrame
+    // answer (ping() returns false) or a torn connection (ping() throws).
+    failpoint::Scoped fault("serve.conn.read",
+                            {failpoint::Action::kError, 0, 0, 1});
+    ServeClient doomed = ServeClient::connect_unix(listen.unix_path);
+    bool failed = false;
+    try {
+      failed = !doomed.ping();
+    } catch (const Error&) {
+      failed = true;
+    }
+    EXPECT_TRUE(failed);
+  }
+  ServeClient healthy = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_TRUE(healthy.ping());
+}
+
+TEST(ServeServer, ConnectionWriteFaultDropsOnlyThatClient) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("writefault");
+  ServerFixture fx(listen);
+
+  {
+    failpoint::Scoped fault("serve.conn.write",
+                            {failpoint::Action::kError, 0, 0, 1});
+    ServeClient doomed = ServeClient::connect_unix(listen.unix_path);
+    EXPECT_THROW(doomed.predict("m", SparseVector({1}, {1.0})), Error);
+  }
+  ServeClient healthy = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_EQ(healthy.predict("m", SparseVector({1}, {1.0})).status,
+            Status::kOk);
+}
+
+}  // namespace
+}  // namespace ls::serve
