@@ -2,14 +2,20 @@
 //
 // Modes:
 //   ping      round-trip liveness check
+//   health    lifecycle probe: live / ready / draining / degraded
 //   predict   score row --row of --data against --model, print the result
 //   bench     closed-loop load: --concurrency connections send --count
 //             requests total, cycling through the rows of --data; prints a
-//             parseable summary line (requests= ok= shed= p50_ms= p95_ms=
-//             rps=) that scripts/check.sh asserts on
-//   stats     fetch and print the engine's stats block
+//             parseable summary line (requests= ok= shed= errors= p50_ms=
+//             p95_ms= rps= retries=) that scripts/check.sh asserts on
+//   stats     fetch and print the engine + socket-layer stats block
 //   reload    ask the server to hot-reload --model from its source path
 //   shutdown  stop the daemon
+//
+// --retries and --timeout-ms feed the client library's resilience layer:
+// idempotent requests are retried with exponential backoff across
+// reconnects, and the timeout doubles as the server-side deadline carried
+// in the predict header.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -27,12 +33,23 @@ namespace {
 
 using ls::serve::ServeClient;
 
-ServeClient connect(const ls::CliParser& cli) {
+ls::serve::ClientOptions client_options(const ls::CliParser& cli,
+                                        std::uint64_t seed_salt = 0) {
+  ls::serve::ClientOptions opts;
+  opts.max_retries = static_cast<int>(cli.get_int("retries"));
+  opts.request_timeout_ms = cli.get_double("timeout-ms");
+  opts.connect_timeout_ms = cli.get_double("connect-timeout-ms");
+  opts.jitter_seed ^= seed_salt * 0x9E3779B97F4A7C15ULL;
+  return opts;
+}
+
+ServeClient connect(const ls::CliParser& cli, std::uint64_t seed_salt = 0) {
   const std::string path = cli.get("socket");
   const int port = static_cast<int>(cli.get_int("port"));
   LS_CHECK(!path.empty() || port >= 0, "pass --socket PATH or --port N");
-  return path.empty() ? ServeClient::connect_tcp(port)
-                      : ServeClient::connect_unix(path);
+  const ls::serve::ClientOptions opts = client_options(cli, seed_salt);
+  return path.empty() ? ServeClient::connect_tcp(port, opts)
+                      : ServeClient::connect_unix(path, opts);
 }
 
 /// Gathers every row of a libsvm file into standalone sparse vectors.
@@ -64,6 +81,7 @@ int run_bench(const ls::CliParser& cli) {
   struct PerThread {
     std::vector<double> latencies_ms;
     std::size_t ok = 0, shed = 0, errors = 0;
+    std::int64_t retries = 0;
   };
   std::vector<PerThread> results(static_cast<std::size_t>(concurrency));
   std::vector<std::thread> threads;
@@ -71,19 +89,37 @@ int run_bench(const ls::CliParser& cli) {
   for (int t = 0; t < concurrency; ++t) {
     threads.emplace_back([&, t] {
       PerThread& mine = results[static_cast<std::size_t>(t)];
-      ServeClient client = connect(cli);
-      // Thread t sends requests t, t+C, t+2C, ... of the closed loop.
-      for (std::size_t r = static_cast<std::size_t>(t); r < count;
-           r += static_cast<std::size_t>(concurrency)) {
-        const ls::SparseVector& x = rows[r % rows.size()];
-        const ls::Timer timer;
-        const ls::serve::PredictResult res = client.predict(model, x);
-        mine.latencies_ms.push_back(timer.millis());
-        if (res.status == ls::serve::Status::kOk) {
-          ++mine.ok;
-        } else if (res.status == ls::serve::Status::kOverloaded) {
-          ++mine.shed;
-        } else {
+      try {
+        ServeClient client =
+            connect(cli, static_cast<std::uint64_t>(t) + 1);
+        // Thread t sends requests t, t+C, t+2C, ... of the closed loop.
+        for (std::size_t r = static_cast<std::size_t>(t); r < count;
+             r += static_cast<std::size_t>(concurrency)) {
+          const ls::SparseVector& x = rows[r % rows.size()];
+          const ls::Timer timer;
+          try {
+            const ls::serve::PredictResult res = client.predict(model, x);
+            mine.latencies_ms.push_back(timer.millis());
+            if (res.status == ls::serve::Status::kOk) {
+              ++mine.ok;
+            } else if (res.status == ls::serve::Status::kOverloaded) {
+              ++mine.shed;
+            } else {
+              ++mine.errors;
+            }
+          } catch (const std::exception&) {
+            // Retries exhausted: count it and keep the loop alive — a
+            // bench thread dying would understate the error rate.
+            mine.latencies_ms.push_back(timer.millis());
+            ++mine.errors;
+          }
+        }
+        mine.retries = client.retries_observed();
+      } catch (const std::exception&) {
+        // Could not even connect: everything this thread would have sent
+        // counts as failed.
+        for (std::size_t r = static_cast<std::size_t>(t); r < count;
+             r += static_cast<std::size_t>(concurrency)) {
           ++mine.errors;
         }
       }
@@ -94,19 +130,22 @@ int run_bench(const ls::CliParser& cli) {
 
   std::vector<double> all_ms;
   std::size_t ok = 0, shed = 0, errors = 0;
+  std::int64_t retries = 0;
   for (const PerThread& r : results) {
     all_ms.insert(all_ms.end(), r.latencies_ms.begin(),
                   r.latencies_ms.end());
     ok += r.ok;
     shed += r.shed;
     errors += r.errors;
+    retries += r.retries;
   }
   std::sort(all_ms.begin(), all_ms.end());
   std::printf("requests=%zu ok=%zu shed=%zu errors=%zu p50_ms=%.3f "
-              "p95_ms=%.3f rps=%.1f\n",
-              all_ms.size(), ok, shed, errors, percentile(all_ms, 0.50),
-              percentile(all_ms, 0.95),
-              wall_s > 0 ? static_cast<double>(all_ms.size()) / wall_s : 0.0);
+              "p95_ms=%.3f rps=%.1f retries=%lld\n",
+              ok + shed + errors, ok, shed, errors,
+              percentile(all_ms, 0.50), percentile(all_ms, 0.95),
+              wall_s > 0 ? static_cast<double>(all_ms.size()) / wall_s : 0.0,
+              static_cast<long long>(retries));
   return errors == 0 ? 0 : 1;
 }
 
@@ -114,7 +153,7 @@ int run(int argc, char** argv) {
   ls::CliParser cli("serve_client",
                     "Client for the serve_tool prediction daemon");
   cli.add_flag("mode", "ping",
-               "ping | predict | bench | stats | reload | shutdown");
+               "ping | health | predict | bench | stats | reload | shutdown");
   cli.add_flag("socket", "", "unix-domain socket path of the server");
   cli.add_flag("port", "-1", "loopback TCP port of the server");
   cli.add_flag("model", "demo", "model name for predict/bench/reload");
@@ -122,6 +161,13 @@ int run(int argc, char** argv) {
   cli.add_flag("row", "0", "row of --data to score in predict mode");
   cli.add_flag("count", "1000", "total requests in bench mode");
   cli.add_flag("concurrency", "8", "concurrent connections in bench mode");
+  cli.add_flag("retries", "0",
+               "retry idempotent requests up to N times across reconnects");
+  cli.add_flag("timeout-ms", "0",
+               "per-request budget, also sent as the server-side deadline "
+               "(0 = unbounded)");
+  cli.add_flag("connect-timeout-ms", "5000",
+               "budget for establishing one connection");
   if (!cli.parse(argc, argv)) return 0;
   const std::string mode = cli.get("mode");
 
@@ -132,6 +178,13 @@ int run(int argc, char** argv) {
     const bool alive = client.ping();
     std::printf("%s\n", alive ? "pong" : "no pong");
     return alive ? 0 : 1;
+  }
+  if (mode == "health") {
+    const std::string state = client.health();
+    std::printf("%s\n", state.c_str());
+    // "draining" and "degraded" are truthful answers, not probe failures:
+    // the daemon is up and talking. Operators grep the text.
+    return 0;
   }
   if (mode == "predict") {
     const std::vector<ls::SparseVector> rows = load_rows(cli.get("data"));

@@ -2,7 +2,10 @@
 //
 // Hosts one or more trained SVM model files behind the framed socket
 // protocol (see src/serve/protocol.hpp) and serves predict / reload /
-// stats / ping / shutdown requests until a client asks it to stop:
+// stats / ping / health / shutdown requests until a client asks it to stop
+// or the process receives SIGTERM/SIGINT — either way it drains first:
+// the listener closes, in-flight requests finish (bounded by --drain-ms)
+// and only then do the worker pool and the handler threads come down.
 //
 //   # train something first (writes /tmp/ls_demo_model.txt)
 //   ./svm_tool --mode demo --dataset breast_cancer
@@ -12,12 +15,18 @@
 //
 //   # talk to it from another terminal
 //   ./serve_client --socket /tmp/ls_serve.sock --mode ping
+//   ./serve_client --socket /tmp/ls_serve.sock --mode health
 //   ./serve_client --socket /tmp/ls_serve.sock --mode bench --model demo
 //       --data /tmp/ls_demo_test.libsvm   (one line)
 //   ./serve_client --socket /tmp/ls_serve.sock --mode shutdown
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
@@ -27,6 +36,17 @@
 #include "serve/server.hpp"
 
 namespace {
+
+/// Self-pipe for SIGTERM/SIGINT: the handler only writes one byte (the
+/// single async-signal-safe thing worth doing) and a watcher thread runs
+/// the actual drain sequence outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_terminate_signal(int) {
+  const char byte = 1;
+  // Best-effort: if the pipe is already closed we are shutting down anyway.
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
 
 /// Parses "name=path[,name=path...]" into (name, path) pairs.
 std::vector<std::pair<std::string, std::string>> parse_models(
@@ -51,7 +71,8 @@ std::vector<std::pair<std::string, std::string>> parse_models(
 int run(int argc, char** argv) {
   ls::CliParser cli("serve_tool",
                     "Persistent prediction-serving daemon with request "
-                    "batching, admission control and hot model reload");
+                    "batching, admission control, graceful drain and hot "
+                    "model reload");
   cli.add_flag("models", "", "models to host: name=path[,name=path...]");
   cli.add_flag("socket", "", "unix-domain socket path to listen on");
   cli.add_flag("port", "-1",
@@ -65,6 +86,19 @@ int run(int argc, char** argv) {
                "admission limit: queued requests beyond this are shed");
   cli.add_flag("latency-budget-ms", "0",
                "shed requests older than this at dequeue (0 = off)");
+  cli.add_flag("max-connections", "256",
+               "connection cap; at the cap the oldest idle connection is "
+               "evicted (0 = unlimited)");
+  cli.add_flag("read-timeout-ms", "5000",
+               "per-frame receive budget once the first byte arrived "
+               "(0 = unbounded)");
+  cli.add_flag("write-timeout-ms", "5000",
+               "per-frame send budget (0 = unbounded)");
+  cli.add_flag("idle-timeout-ms", "0",
+               "close connections idle between frames for this long "
+               "(0 = keep forever)");
+  cli.add_flag("drain-ms", "5000",
+               "bound on finishing in-flight work after SIGTERM/SIGINT");
   cli.add_flag("policy", "empirical",
                "layout policy: empirical|heuristic|learned|fixed");
   cli.add_flag("hint", "throughput",
@@ -87,6 +121,12 @@ int run(int argc, char** argv) {
   ls::serve::ServerOptions listen;
   listen.unix_path = cli.get("socket");
   listen.tcp_port = static_cast<int>(cli.get_int("port"));
+  listen.max_connections =
+      static_cast<std::size_t>(cli.get_int("max-connections"));
+  listen.read_timeout_ms = cli.get_double("read-timeout-ms");
+  listen.write_timeout_ms = cli.get_double("write-timeout-ms");
+  listen.idle_timeout_ms = cli.get_double("idle-timeout-ms");
+  const double drain_ms = cli.get_double("drain-ms");
   LS_CHECK(!listen.unix_path.empty() || listen.tcp_port >= 0,
            "pass --socket PATH or --port N (0 = kernel-assigned)");
 
@@ -120,11 +160,48 @@ int run(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  server.wait();  // until a client sends kShutdownReq
+  // A dead peer must surface as a write error on its own connection, not
+  // kill the whole daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  LS_CHECK(::pipe(g_signal_pipe) == 0, "serve_tool: pipe() failed");
+  struct sigaction sa{};
+  sa.sa_handler = on_terminate_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::thread signal_watcher([&] {
+    char byte = 0;
+    ssize_t n;
+    do {
+      n = ::read(g_signal_pipe[0], &byte, 1);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return;  // write end closed: normal shutdown, nothing to do
+    std::printf("signal received, draining (bound %gms)...\n", drain_ms);
+    std::fflush(stdout);
+    const bool quiesced = server.drain(drain_ms);
+    std::printf("drain %s in %.3fs\n",
+                quiesced ? "complete" : "timed out",
+                server.server_stats().drain_seconds);
+    std::fflush(stdout);
+    server.stop();  // wakes server.wait() below
+  });
+
+  server.wait();  // until kShutdownReq, SIGTERM/SIGINT drain, or stop()
+
+  // Unblock the watcher if it is still parked on the pipe (shutdown came
+  // through the protocol verb), then finish teardown in one place.
+  ::close(g_signal_pipe[1]);
+  g_signal_pipe[1] = -1;
+  signal_watcher.join();
+  ::close(g_signal_pipe[0]);
+  g_signal_pipe[0] = -1;
+
   server.stop();
   engine.stop();
 
-  std::printf("--- final stats ---\n%s", engine.stats_text().c_str());
+  std::printf("--- final stats ---\n%s%s", engine.stats_text().c_str(),
+              server.stats_text().c_str());
   return 0;
 }
 

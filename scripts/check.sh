@@ -86,6 +86,55 @@ PY
   rm -f "${sock}"
 }
 
+chaos_smoke() {
+  # Robustness smoke, two layers:
+  #   1. the in-process chaos soak (bench/serve_chaos): concurrent clients,
+  #      garbage/torn/slow-loris connections, injected read faults and a
+  #      mid-run server restart must end with zero errors, a bounded shed
+  #      rate and a clean drain (the binary asserts all of it and exits 1
+  #      otherwise);
+  #   2. the real daemon under failpoint-injected socket faults: a
+  #      retrying bench run must see zero caller-visible errors, and
+  #      SIGTERM must drain the daemon to zero open connections.
+  local build_dir="$1"
+  echo "==> chaos smoke (${build_dir})"
+  "./${build_dir}/bench/serve_chaos" --requests 2000 --concurrency 6
+  local sock log
+  sock="$(mktemp -u /tmp/ls_serve_chaos.XXXXXX.sock)"
+  log="$(mktemp /tmp/ls_serve_chaos.XXXXXX.log)"
+  [[ -f /tmp/ls_demo_model.txt ]] || "./${build_dir}/examples/svm_tool" \
+    --mode demo --dataset breast_cancer >/dev/null
+  # Daemon-side faults only (env is per-process): 1 ms stutter on the
+  # first 100 connection reads, plus three torn response frames that the
+  # client's retry loop must absorb.
+  LS_FAILPOINTS='serve.conn.read=delay:1*100;serve.frame.partial=error@40*3' \
+    "./${build_dir}/examples/serve_tool" --socket "${sock}" \
+    --models demo=/tmp/ls_demo_model.txt --workers 2 \
+    --read-timeout-ms 2000 --idle-timeout-ms 10000 \
+    --drain-ms 5000 >"${log}" &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${sock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${sock}" ]] || { echo "serve_tool never came up"; cat "${log}"; exit 1; }
+  # serve_client exits non-zero when any request failed after retries.
+  "./${build_dir}/examples/serve_client" --socket "${sock}" \
+    --mode bench --model demo --data /tmp/ls_demo_test.libsvm \
+    --count 500 --concurrency 4 --retries 8 --timeout-ms 2000
+  "./${build_dir}/examples/serve_client" --socket "${sock}" --mode health
+  kill -TERM "${serve_pid}"
+  if ! wait "${serve_pid}"; then
+    echo "daemon exited non-zero after SIGTERM"; cat "${log}"; exit 1
+  fi
+  grep -q 'drain complete' "${log}" || {
+    echo "daemon did not drain cleanly"; cat "${log}"; exit 1; }
+  grep -q 'connections_open 0' "${log}" || {
+    echo "daemon leaked connections"; cat "${log}"; exit 1; }
+  echo "chaos smoke OK: daemon drained clean under injected socket faults"
+  rm -f "${sock}" "${log}"
+}
+
 mode="${1:-all}"
 
 if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
@@ -97,6 +146,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   OMP_NUM_THREADS=2 ctest --test-dir build --output-on-failure -j "$(nproc)"
   metrics_smoke
   serve_smoke build
+  chaos_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--sanitize-only" ]]; then
@@ -111,6 +161,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
   # the prefetch pipeline, its atomic counters and the worker join paths.
   run_suite build-tsan -DLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   serve_smoke build-tsan
+  chaos_smoke build-tsan
 fi
 
 echo "==> all checks passed"

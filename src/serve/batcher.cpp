@@ -21,10 +21,12 @@ MicroBatcher::MicroBatcher(BatcherOptions opts) : opts_(opts) {
 }
 
 std::optional<std::future<PredictResult>> MicroBatcher::submit(
-    std::shared_ptr<const LoadedModel> model, SparseVector x) {
+    std::shared_ptr<const LoadedModel> model, SparseVector x,
+    double deadline_ms) {
   BatchRequest req;
   req.model = std::move(model);
   req.x = std::move(x);
+  req.deadline_ms = deadline_ms;
   req.enqueued = std::chrono::steady_clock::now();
   std::future<PredictResult> fut = req.done.get_future();
   {

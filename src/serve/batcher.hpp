@@ -35,10 +35,12 @@
 namespace ls::serve {
 
 /// One queued request: the model version pinned at submit time, the
-/// request vector, and the promise the worker fulfills.
+/// request vector, the client's remaining latency budget (0 = none) and
+/// the promise the worker fulfills.
 struct BatchRequest {
   std::shared_ptr<const LoadedModel> model;
   SparseVector x;
+  double deadline_ms = 0.0;
   std::chrono::steady_clock::time_point enqueued;
   std::promise<PredictResult> done;
 };
@@ -66,7 +68,8 @@ class MicroBatcher {
   /// maps that to Status::kOverloaded). After stop() the returned future is
   /// already satisfied with kShuttingDown.
   std::optional<std::future<PredictResult>> submit(
-      std::shared_ptr<const LoadedModel> model, SparseVector x);
+      std::shared_ptr<const LoadedModel> model, SparseVector x,
+      double deadline_ms = 0.0);
 
   /// Blocks until a batch is ready under the flush policy, then moves it
   /// into `out` (previous contents discarded). Returns false when the

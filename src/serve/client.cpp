@@ -2,58 +2,70 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace ls::serve {
 
-ServeClient ServeClient::connect_unix(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  LS_CHECK(fd >= 0, "serve client: socket() failed: " << std::strerror(errno));
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  LS_CHECK(path.size() < sizeof(addr.sun_path),
-           "unix socket path too long: " << path);
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw Error("serve client: connect(" + path +
-                ") failed: " + std::strerror(err));
-  }
-  return ServeClient(fd);
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
-ServeClient ServeClient::connect_tcp(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  LS_CHECK(fd >= 0, "serve client: socket() failed: " << std::strerror(errno));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw Error("serve client: connect(127.0.0.1:" + std::to_string(port) +
-                ") failed: " + std::strerror(err));
-  }
-  return ServeClient(fd);
+}  // namespace
+
+ServeClient ServeClient::connect_unix(const std::string& path,
+                                      ClientOptions opts) {
+  Endpoint ep;
+  ep.unix_path = path;
+  ServeClient c(std::move(ep), opts);
+  c.ensure_connected();
+  return c;
+}
+
+ServeClient ServeClient::connect_tcp(int port, ClientOptions opts) {
+  Endpoint ep;
+  ep.tcp_port = port;
+  ServeClient c(std::move(ep), opts);
+  c.ensure_connected();
+  return c;
+}
+
+ServeClient::ServeClient(Endpoint ep, ClientOptions opts)
+    : ep_(std::move(ep)), opts_(opts) {
+  rng_state_ = opts_.jitter_seed ? opts_.jitter_seed : 1;
 }
 
 ServeClient::ServeClient(ServeClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      ep_(std::move(other.ep_)),
+      opts_(other.opts_),
+      rng_state_(other.rng_state_),
+      retries_(other.retries_) {}
 
 ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    ep_ = std::move(other.ep_);
+    opts_ = other.opts_;
+    rng_state_ = other.rng_state_;
+    retries_ = other.retries_;
   }
   return *this;
 }
@@ -67,13 +79,127 @@ void ServeClient::close() {
   }
 }
 
-Frame ServeClient::round_trip(MsgType type, std::string_view payload,
-                              MsgType expected) {
+int ServeClient::open_socket() {
+  int fd = -1;
+  sockaddr_un ua{};
+  sockaddr_in ta{};
+  const sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+  std::string where;
+  if (!ep_.unix_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    LS_CHECK(fd >= 0,
+             "serve client: socket() failed: " << std::strerror(errno));
+    ua.sun_family = AF_UNIX;
+    if (ep_.unix_path.size() >= sizeof(ua.sun_path)) {
+      ::close(fd);
+      throw Error("unix socket path too long: " + ep_.unix_path);
+    }
+    std::strncpy(ua.sun_path, ep_.unix_path.c_str(),
+                 sizeof(ua.sun_path) - 1);
+    addr = reinterpret_cast<const sockaddr*>(&ua);
+    addr_len = sizeof(ua);
+    where = ep_.unix_path;
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    LS_CHECK(fd >= 0,
+             "serve client: socket() failed: " << std::strerror(errno));
+    ta.sin_family = AF_INET;
+    ta.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ta.sin_port = htons(static_cast<std::uint16_t>(ep_.tcp_port));
+    addr = reinterpret_cast<const sockaddr*>(&ta);
+    addr_len = sizeof(ta);
+    where = "127.0.0.1:" + std::to_string(ep_.tcp_port);
+  }
+
+  try {
+    // Nonblocking connect + poll: a dead or unreachable endpoint costs at
+    // most connect_timeout_ms, never the kernel's multi-minute default.
+    make_nonblocking(fd);
+    if (::connect(fd, addr, addr_len) != 0) {
+      const int err = errno;
+      // EINTR on a nonblocking connect leaves it proceeding in the
+      // background, exactly like EINPROGRESS.
+      if (err != EINPROGRESS && err != EINTR) {
+        throw IoError(IoErrorKind::kSys, "serve client: connect(" + where +
+                                             ") failed: " +
+                                             std::strerror(err));
+      }
+      if (!wait_fd_ready(fd, POLLOUT, opts_.connect_timeout_ms)) {
+        throw IoError(IoErrorKind::kTimeout,
+                      "serve client: connect(" + where + ") timed out");
+      }
+      int soerr = 0;
+      socklen_t slen = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0) {
+        soerr = errno;
+      }
+      if (soerr != 0) {
+        throw IoError(IoErrorKind::kSys, "serve client: connect(" + where +
+                                             ") failed: " +
+                                             std::strerror(soerr));
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
+
+void ServeClient::ensure_connected() {
+  if (fd_ < 0) fd_ = open_socket();
+}
+
+double ServeClient::jitter() {
+  // xorshift64: cheap, deterministic per seed, plenty for backoff jitter.
+  std::uint64_t s = rng_state_;
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  rng_state_ = s;
+  return static_cast<double>(s >> 11) * (1.0 / 9007199254740992.0);
+}
+
+void ServeClient::note_retry() {
+  ++retries_;
+  metrics::counter_add("serve.client.retries_total");
+}
+
+void ServeClient::backoff_sleep(int attempt) {
+  double pause = opts_.backoff_base_ms;
+  for (int k = 0; k < attempt && pause < opts_.backoff_max_ms; ++k) {
+    pause *= 2.0;
+  }
+  pause = std::min(pause, opts_.backoff_max_ms);
+  // Jitter in [0.5, 1.0): concurrent clients retrying after one server
+  // event must not resynchronise into a thundering herd.
+  pause *= 0.5 + 0.5 * jitter();
+  if (pause > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(pause));
+  }
+}
+
+Frame ServeClient::round_trip_once(MsgType type, std::string_view payload,
+                                   MsgType expected) {
   LS_CHECK(fd_ >= 0, "serve client: not connected");
-  write_frame(fd_, type, payload);
+  const auto t0 = std::chrono::steady_clock::now();
+  const double budget = opts_.request_timeout_ms;
+  FrameTimeouts send;
+  send.write_ms = budget;
+  write_frame(fd_, type, payload, send);
+  FrameTimeouts recv;
+  if (budget > 0) {
+    // Whatever the send left of the budget bounds the wait for the reply.
+    const double rem = std::max(budget - elapsed_ms(t0), 1.0);
+    recv.read_ms = rem;
+    recv.idle_ms = rem;
+  }
   Frame reply;
-  LS_CHECK(read_frame(fd_, reply),
-           "serve client: server closed the connection");
+  if (!read_frame(fd_, reply, recv)) {
+    throw IoError(IoErrorKind::kClosed,
+                  "serve client: server closed the connection");
+  }
   LS_CHECK(reply.type == expected,
            "serve client: expected message type "
                << static_cast<int>(expected) << ", got "
@@ -81,18 +207,61 @@ Frame ServeClient::round_trip(MsgType type, std::string_view payload,
   return reply;
 }
 
+Frame ServeClient::round_trip_retry(MsgType type, std::string_view payload,
+                                    MsgType expected) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      return round_trip_once(type, payload, expected);
+    } catch (const IoError&) {
+      // Transient by definition (timeout / torn / closed / reset): the
+      // connection state is unknown, so drop it and redo the whole
+      // exchange on a fresh one. Decode errors propagate — never retried.
+      close();
+      if (attempt >= opts_.max_retries) throw;
+      note_retry();
+      backoff_sleep(attempt);
+    }
+  }
+}
+
 PredictResult ServeClient::predict(std::string_view model,
                                    const SparseVector& x) {
-  const Frame reply = round_trip(MsgType::kPredictReq,
-                                 encode_predict_request(model, x),
-                                 MsgType::kPredictResp);
-  return decode_predict_response(reply.payload);
+  // The request deadline travels in the header: the server sheds the work
+  // when the budget expires in its queue instead of scoring it for a
+  // caller that has already timed out.
+  const std::string payload =
+      encode_predict_request(model, x, opts_.request_timeout_ms);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      const Frame reply =
+          round_trip_once(MsgType::kPredictReq, payload, MsgType::kPredictResp);
+      const PredictResult r = decode_predict_response(reply.payload);
+      if (r.status == Status::kShuttingDown && attempt < opts_.max_retries) {
+        // Draining or restarting server: its successor (same endpoint)
+        // will take the request. Predict is idempotent, so resending is
+        // safe.
+        close();
+        note_retry();
+        backoff_sleep(attempt);
+        continue;
+      }
+      return r;
+    } catch (const IoError&) {
+      close();
+      if (attempt >= opts_.max_retries) throw;
+      note_retry();
+      backoff_sleep(attempt);
+    }
+  }
 }
 
 Status ServeClient::reload(std::string_view model, std::string* message) {
-  const Frame reply = round_trip(MsgType::kReloadReq,
-                                 encode_reload_request(model),
-                                 MsgType::kStatusResp);
+  ensure_connected();
+  const Frame reply = round_trip_once(MsgType::kReloadReq,
+                                      encode_reload_request(model),
+                                      MsgType::kStatusResp);
   Status status = Status::kInternal;
   std::string text;
   decode_status_response(reply.payload, status, text);
@@ -101,7 +270,8 @@ Status ServeClient::reload(std::string_view model, std::string* message) {
 }
 
 std::string ServeClient::stats() {
-  const Frame reply = round_trip(MsgType::kStatsReq, "", MsgType::kStatusResp);
+  const Frame reply =
+      round_trip_retry(MsgType::kStatsReq, "", MsgType::kStatusResp);
   Status status = Status::kInternal;
   std::string text;
   decode_status_response(reply.payload, status, text);
@@ -110,8 +280,20 @@ std::string ServeClient::stats() {
   return text;
 }
 
+std::string ServeClient::health() {
+  const Frame reply =
+      round_trip_retry(MsgType::kHealthReq, "", MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  LS_CHECK(status == Status::kOk, "serve client: health returned "
+                                      << status_name(status));
+  return text;
+}
+
 bool ServeClient::ping() {
-  const Frame reply = round_trip(MsgType::kPingReq, "", MsgType::kStatusResp);
+  const Frame reply =
+      round_trip_retry(MsgType::kPingReq, "", MsgType::kStatusResp);
   Status status = Status::kInternal;
   std::string text;
   decode_status_response(reply.payload, status, text);
@@ -119,8 +301,9 @@ bool ServeClient::ping() {
 }
 
 Status ServeClient::shutdown_server() {
-  const Frame reply = round_trip(MsgType::kShutdownReq, "",
-                                 MsgType::kStatusResp);
+  ensure_connected();
+  const Frame reply = round_trip_once(MsgType::kShutdownReq, "",
+                                      MsgType::kStatusResp);
   Status status = Status::kInternal;
   std::string text;
   decode_status_response(reply.payload, status, text);

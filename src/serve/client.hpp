@@ -1,12 +1,27 @@
 // Blocking client for the serving protocol — the library behind
-// examples/serve_client, the load bench and the serve tests.
+// examples/serve_client, the load/chaos benches and the serve tests.
 //
 // One ServeClient owns one connection and issues one request at a time
 // (the protocol is strict request/response per connection); concurrency
 // comes from opening one client per thread, which is exactly how the
 // closed-loop bench and the server's per-connection handlers pair up.
+//
+// Resilience model (ClientOptions):
+//   - connect() is poll()-based and bounded by connect_timeout_ms;
+//   - every request is bounded by request_timeout_ms end to end, and that
+//     budget is propagated inside the predict request header so the server
+//     can shed the work when it expires in the queue;
+//   - idempotent verbs (predict / ping / stats / health) are retried up to
+//     max_retries times on transient failures — any IoError (timeout, torn
+//     frame, closed or reset connection) and kShuttingDown predict
+//     responses — with exponential backoff plus jitter, reconnecting to
+//     the stored endpoint each attempt. Payload decode errors are never
+//     retried: a malformed reply is a bug, not weather.
+//   - reload and shutdown_server never retry (not idempotent from the
+//     operator's point of view).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -14,15 +29,36 @@
 
 namespace ls::serve {
 
-/// Connected protocol client. Methods throw ls::Error on connection-level
-/// failures; application-level failures come back as Status codes.
+/// Client-side resilience knobs. The defaults keep the old behaviour for
+/// existing callers: no retries, no request deadline.
+struct ClientOptions {
+  /// Budget for establishing one connection (0 = unbounded).
+  double connect_timeout_ms = 5000.0;
+  /// End-to-end budget for one request attempt: send + server + receive.
+  /// Also propagated in the predict header as the server-side deadline.
+  /// 0 = unbounded.
+  double request_timeout_ms = 0.0;
+  /// Additional attempts after the first for idempotent verbs.
+  int max_retries = 0;
+  /// First backoff pause; attempt k sleeps ~ base * 2^k, capped below.
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 500.0;
+  /// Seed of the per-client jitter stream (deterministic for tests; give
+  /// each bench thread its own seed to decorrelate retry storms).
+  std::uint64_t jitter_seed = 0x5EEDBEEFCAFEF00DULL;
+};
+
+/// Connected protocol client. Methods throw IoError (an ls::Error with a
+/// transient-failure kind) on connection-level failures once retries are
+/// exhausted; application-level failures come back as Status codes.
 class ServeClient {
  public:
   /// Connects to a Unix-domain socket path.
-  static ServeClient connect_unix(const std::string& path);
+  static ServeClient connect_unix(const std::string& path,
+                                  ClientOptions opts = {});
 
   /// Connects to a loopback TCP port.
-  static ServeClient connect_tcp(int port);
+  static ServeClient connect_tcp(int port, ClientOptions opts = {});
 
   ServeClient(ServeClient&& other) noexcept;
   ServeClient& operator=(ServeClient&& other) noexcept;
@@ -30,32 +66,71 @@ class ServeClient {
   ServeClient& operator=(const ServeClient&) = delete;
   ~ServeClient();
 
-  /// Scores one sparse sample against a hosted model.
+  /// Scores one sparse sample against a hosted model. Retries transient
+  /// failures (including a draining/restarting server answering
+  /// kShuttingDown) up to max_retries times — safe because predict is
+  /// idempotent.
   PredictResult predict(std::string_view model, const SparseVector& x);
 
   /// Asks the server to hot-reload `model` from its source path.
-  /// Returns the server's status and human-readable message.
+  /// Returns the server's status and human-readable message. Never
+  /// retried.
   Status reload(std::string_view model, std::string* message = nullptr);
 
-  /// Fetches the engine's stats block.
+  /// Fetches the engine + socket-layer stats block (retried).
   std::string stats();
 
-  /// Round-trip liveness check.
+  /// Lifecycle probe: "live" / "ready" / "draining" / "degraded"
+  /// (retried).
+  std::string health();
+
+  /// Round-trip liveness check (retried).
   bool ping();
 
-  /// Requests a server shutdown; returns the acknowledged status.
+  /// Requests a server shutdown; returns the acknowledged status. Never
+  /// retried.
   Status shutdown_server();
 
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Retries performed over this client's lifetime (reconnect + resend).
+  std::int64_t retries_observed() const { return retries_; }
+
+  const ClientOptions& options() const { return opts_; }
+
  private:
-  explicit ServeClient(int fd) : fd_(fd) {}
-  /// Sends one frame and reads the one response frame of expected type.
-  Frame round_trip(MsgType type, std::string_view payload,
-                   MsgType expected);
+  /// Reconnect target: exactly one of the two fields is set.
+  struct Endpoint {
+    std::string unix_path;
+    int tcp_port = -1;
+  };
+
+  ServeClient(Endpoint ep, ClientOptions opts);
+
+  /// Opens, connects (nonblocking + poll, bounded by connect_timeout_ms)
+  /// and returns a fresh socket to the stored endpoint.
+  int open_socket();
+  /// Reconnects if the previous attempt closed the connection.
+  void ensure_connected();
+  /// One request/response exchange under request_timeout_ms. Throws
+  /// IoError on any transport failure (no retry at this level).
+  Frame round_trip_once(MsgType type, std::string_view payload,
+                        MsgType expected);
+  /// round_trip_once with the retry/backoff/reconnect loop — only for
+  /// idempotent verbs.
+  Frame round_trip_retry(MsgType type, std::string_view payload,
+                         MsgType expected);
+  void note_retry();
+  void backoff_sleep(int attempt);
+  /// Uniform [0,1) from the deterministic per-client jitter stream.
+  double jitter();
 
   int fd_ = -1;
+  Endpoint ep_;
+  ClientOptions opts_;
+  std::uint64_t rng_state_ = 1;
+  std::int64_t retries_ = 0;
 };
 
 }  // namespace ls::serve

@@ -30,6 +30,15 @@ double ms_since(std::chrono::steady_clock::time_point t0,
 
 }  // namespace
 
+const char* engine_health_name(EngineHealth h) {
+  switch (h) {
+    case EngineHealth::kLive: return "live";
+    case EngineHealth::kReady: return "ready";
+    case EngineHealth::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
 ServeEngine::ServeEngine(ServeOptions opts)
     : opts_(opts),
       predictor_batch_rows_(
@@ -71,6 +80,11 @@ void ServeEngine::load_model(const std::string& name,
   auto loaded = std::make_shared<const LoadedModel>(
       name, path, opts_.sched, predictor_batch_rows_, version);
   registry_.put(loaded);
+  {
+    // A successful load clears any degraded flag a failed reload left.
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    degraded_.erase(name);
+  }
   if (previous) {
     reloads_total_.fetch_add(1, std::memory_order_release);
     metrics::counter_add("serve.reloads_total");
@@ -80,7 +94,18 @@ void ServeEngine::load_model(const std::string& name,
 void ServeEngine::reload_model(const std::string& name) {
   const auto current = registry_.get(name);
   LS_CHECK(current != nullptr, "cannot reload unknown model '" << name << "'");
-  load_model(name, current->source_path);
+  try {
+    load_model(name, current->source_path);
+  } catch (const std::exception&) {
+    // Last-good version keeps serving; report it through the health verb.
+    reload_failures_total_.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("serve.reload_failures_total");
+    {
+      std::lock_guard<std::mutex> lk(degraded_mu_);
+      degraded_.insert(name);
+    }
+    throw;
+  }
 }
 
 bool ServeEngine::unload_model(const std::string& name) {
@@ -97,7 +122,8 @@ std::vector<std::shared_ptr<const LoadedModel>> ServeEngine::models() const {
 }
 
 std::future<PredictResult> ServeEngine::predict_async(const std::string& model,
-                                                      SparseVector x) {
+                                                      SparseVector x,
+                                                      double deadline_ms) {
   requests_total_.fetch_add(1, std::memory_order_release);
   metrics::counter_add("serve.requests_total");
   if (!running_.load(std::memory_order_acquire)) {
@@ -117,7 +143,7 @@ std::future<PredictResult> ServeEngine::predict_async(const std::string& model,
     metrics::counter_add("serve.bad_dimension_total");
     return ready_future(immediate(Status::kBadDimension));
   }
-  auto fut = batcher_.submit(std::move(loaded), std::move(x));
+  auto fut = batcher_.submit(std::move(loaded), std::move(x), deadline_ms);
   if (!fut) {
     shed_queue_total_.fetch_add(1, std::memory_order_release);
     metrics::counter_add("serve.shed_total");
@@ -127,27 +153,54 @@ std::future<PredictResult> ServeEngine::predict_async(const std::string& model,
   return std::move(*fut);
 }
 
-PredictResult ServeEngine::predict(const std::string& model, SparseVector x) {
-  return predict_async(model, std::move(x)).get();
+PredictResult ServeEngine::predict(const std::string& model, SparseVector x,
+                                   double deadline_ms) {
+  return predict_async(model, std::move(x), deadline_ms).get();
+}
+
+bool ServeEngine::idle() const {
+  return batcher_.depth() == 0 &&
+         in_flight_batches_.load(std::memory_order_acquire) == 0;
+}
+
+EngineHealth ServeEngine::health() const {
+  {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    if (!degraded_.empty()) return EngineHealth::kDegraded;
+  }
+  if (running_.load(std::memory_order_acquire) && registry_.size() > 0) {
+    return EngineHealth::kReady;
+  }
+  return EngineHealth::kLive;
 }
 
 void ServeEngine::worker_loop() {
   std::vector<BatchRequest> batch;
   while (batcher_.next_batch(batch)) {
+    in_flight_batches_.fetch_add(1, std::memory_order_acq_rel);
     score_batch(batch);
+    in_flight_batches_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
 void ServeEngine::score_batch(std::vector<BatchRequest>& batch) {
   const auto now = std::chrono::steady_clock::now();
 
-  // Latency-budget shedding: a request that already overstayed its budget
-  // in the queue is answered kOverloaded without spending compute on it.
+  // Deadline + latency-budget shedding: a request whose propagated client
+  // deadline already expired in the queue, or that overstayed the server's
+  // own latency budget, is answered kOverloaded without spending compute
+  // on it — the client has given up (or will before the reply lands).
   std::vector<BatchRequest*> live;
   live.reserve(batch.size());
   for (BatchRequest& req : batch) {
-    if (opts_.latency_budget_ms > 0 &&
-        ms_since(req.enqueued, now) > opts_.latency_budget_ms) {
+    const double waited_ms = ms_since(req.enqueued, now);
+    if (req.deadline_ms > 0 && waited_ms > req.deadline_ms) {
+      shed_expired_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("serve.shed_total");
+      metrics::counter_add("serve.shed_expired_total");
+      req.done.set_value(immediate(Status::kOverloaded));
+    } else if (opts_.latency_budget_ms > 0 &&
+               waited_ms > opts_.latency_budget_ms) {
       shed_deadline_total_.fetch_add(1, std::memory_order_release);
       metrics::counter_add("serve.shed_total");
       metrics::counter_add("serve.shed_deadline_total");
@@ -213,6 +266,7 @@ ServeStats ServeEngine::stats() const {
   s.shed_queue_total = shed_queue_total_.load(std::memory_order_acquire);
   s.shed_deadline_total =
       shed_deadline_total_.load(std::memory_order_acquire);
+  s.shed_expired_total = shed_expired_total_.load(std::memory_order_acquire);
   s.unknown_model_total =
       unknown_model_total_.load(std::memory_order_acquire);
   s.bad_dimension_total =
@@ -223,6 +277,12 @@ ServeStats ServeEngine::stats() const {
   s.batches_total = batches_total_.load(std::memory_order_acquire);
   s.batched_rows_total = batched_rows_total_.load(std::memory_order_acquire);
   s.reloads_total = reloads_total_.load(std::memory_order_acquire);
+  s.reload_failures_total =
+      reload_failures_total_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    s.degraded_models = degraded_.size();
+  }
   s.queue_depth = batcher_.depth();
   s.models = registry_.size();
   return s;
@@ -235,6 +295,7 @@ std::string ServeEngine::stats_text() const {
      << "ok_total " << s.ok_total << '\n'
      << "shed_queue_total " << s.shed_queue_total << '\n'
      << "shed_deadline_total " << s.shed_deadline_total << '\n'
+     << "shed_expired_total " << s.shed_expired_total << '\n'
      << "unknown_model_total " << s.unknown_model_total << '\n'
      << "bad_dimension_total " << s.bad_dimension_total << '\n'
      << "internal_error_total " << s.internal_error_total << '\n'
@@ -242,6 +303,9 @@ std::string ServeEngine::stats_text() const {
      << "batched_rows_total " << s.batched_rows_total << '\n'
      << "mean_batch_occupancy " << s.mean_batch_occupancy() << '\n'
      << "reloads_total " << s.reloads_total << '\n'
+     << "reload_failures_total " << s.reload_failures_total << '\n'
+     << "degraded_models " << s.degraded_models << '\n'
+     << "health " << health_name() << '\n'
      << "queue_depth " << s.queue_depth << '\n'
      << "models " << s.models << '\n';
   for (const auto& m : registry_.list()) {

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,18 +49,33 @@ struct ServeOptions {
   SchedulerOptions sched;
 };
 
+/// Engine-level health, surfaced through the protocol's health verb (the
+/// server adds the "draining" state on top).
+enum class EngineHealth {
+  kLive,      ///< process up, but not serving (no models or not started)
+  kReady,     ///< serving traffic
+  kDegraded,  ///< serving, but the latest reload of >=1 model failed and
+              ///< the last-good version is still live
+};
+
+/// Human-readable health-state name (the health verb's reply text).
+const char* engine_health_name(EngineHealth h);
+
 /// Race-free point-in-time statistics snapshot.
 struct ServeStats {
   std::int64_t requests_total = 0;       ///< admitted + rejected
   std::int64_t ok_total = 0;             ///< scored successfully
   std::int64_t shed_queue_total = 0;     ///< rejected at submit (queue full)
   std::int64_t shed_deadline_total = 0;  ///< dropped at dequeue (stale)
+  std::int64_t shed_expired_total = 0;   ///< client deadline already blown
   std::int64_t unknown_model_total = 0;
   std::int64_t bad_dimension_total = 0;
   std::int64_t internal_error_total = 0;
   std::int64_t batches_total = 0;
   std::int64_t batched_rows_total = 0;   ///< sum of batch occupancies
   std::int64_t reloads_total = 0;        ///< load_model calls that replaced
+  std::int64_t reload_failures_total = 0;
+  std::size_t degraded_models = 0;       ///< models serving a stale version
   std::size_t queue_depth = 0;
   std::size_t models = 0;
 
@@ -69,7 +86,7 @@ struct ServeStats {
                              : 0.0;
   }
   std::int64_t shed_total() const {
-    return shed_queue_total + shed_deadline_total;
+    return shed_queue_total + shed_deadline_total + shed_expired_total;
   }
 };
 
@@ -99,7 +116,9 @@ class ServeEngine {
   /// stays live, so a bad reload never takes a model down.
   void load_model(const std::string& name, const std::string& path);
 
-  /// Reloads `name` from the path it was originally loaded from.
+  /// Reloads `name` from the path it was originally loaded from. On
+  /// failure the previous version keeps serving and the model is flagged
+  /// degraded (cleared by the next successful load).
   void reload_model(const std::string& name);
 
   /// Removes `name`; returns false when it was not hosted.
@@ -115,11 +134,23 @@ class ServeEngine {
   /// scores its batch (or immediately for rejections — unknown model, bad
   /// dimension, shed, shutting down). Never throws on bad requests: the
   /// status codes are the error contract.
+  /// `deadline_ms` is the client's remaining latency budget (propagated
+  /// from the request header; 0 = none): a request still queued past it is
+  /// shed with kOverloaded before any compute is spent on it.
   std::future<PredictResult> predict_async(const std::string& model,
-                                           SparseVector x);
+                                           SparseVector x,
+                                           double deadline_ms = 0.0);
 
   /// Blocking convenience wrapper around predict_async().
-  PredictResult predict(const std::string& model, SparseVector x);
+  PredictResult predict(const std::string& model, SparseVector x,
+                        double deadline_ms = 0.0);
+
+  /// True when no request is queued and no batch is being scored — the
+  /// drain predicate of the socket server.
+  bool idle() const;
+
+  EngineHealth health() const;
+  const char* health_name() const { return engine_health_name(health()); }
 
   ServeStats stats() const;
 
@@ -144,12 +175,19 @@ class ServeEngine {
   std::atomic<std::int64_t> ok_total_{0};
   std::atomic<std::int64_t> shed_queue_total_{0};
   std::atomic<std::int64_t> shed_deadline_total_{0};
+  std::atomic<std::int64_t> shed_expired_total_{0};
   std::atomic<std::int64_t> unknown_model_total_{0};
   std::atomic<std::int64_t> bad_dimension_total_{0};
   std::atomic<std::int64_t> internal_error_total_{0};
   std::atomic<std::int64_t> batches_total_{0};
   std::atomic<std::int64_t> batched_rows_total_{0};
   std::atomic<std::int64_t> reloads_total_{0};
+  std::atomic<std::int64_t> reload_failures_total_{0};
+  std::atomic<int> in_flight_batches_{0};
+
+  /// Models whose latest reload failed (last-good version still serving).
+  mutable std::mutex degraded_mu_;
+  std::set<std::string> degraded_;
 };
 
 }  // namespace ls::serve

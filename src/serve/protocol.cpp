@@ -1,8 +1,12 @@
 #include "serve/protocol.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <limits>
 
@@ -80,15 +84,28 @@ const char* status_name(Status s) {
   return "?";
 }
 
+const char* io_error_kind_name(IoErrorKind k) {
+  switch (k) {
+    case IoErrorKind::kTimeout: return "timeout";
+    case IoErrorKind::kIdle: return "idle";
+    case IoErrorKind::kClosed: return "closed";
+    case IoErrorKind::kTorn: return "torn";
+    case IoErrorKind::kSys: return "sys";
+  }
+  return "?";
+}
+
 std::string encode_predict_request(std::string_view model,
-                                   const SparseVector& x) {
+                                   const SparseVector& x,
+                                   double deadline_ms) {
   LS_CHECK(model.size() <= std::numeric_limits<std::uint16_t>::max(),
            "model name too long for the wire format");
   std::string out;
-  out.reserve(2 + model.size() + 4 +
+  out.reserve(2 + model.size() + 8 + 4 +
               static_cast<std::size_t>(x.nnz()) * (4 + sizeof(real_t)));
   put_raw(out, static_cast<std::uint16_t>(model.size()));
   out.append(model);
+  put_raw(out, deadline_ms);
   put_raw(out, static_cast<std::uint32_t>(x.nnz()));
   const auto idx = x.indices();
   const auto val = x.values();
@@ -103,10 +120,14 @@ std::string encode_predict_request(std::string_view model,
 }
 
 void decode_predict_request(std::string_view payload, std::string& model,
-                            SparseVector& x) {
+                            SparseVector& x, double* deadline_ms) {
   Cursor c{payload};
   const auto name_len = c.get_raw<std::uint16_t>("model name length");
   model = c.get_string(name_len, "model name");
+  const double deadline = c.get_raw<double>("deadline");
+  LS_CHECK(deadline >= 0.0 && deadline == deadline,
+           "negative or NaN request deadline");
+  if (deadline_ms) *deadline_ms = deadline;
   const auto nnz = c.get_raw<std::uint32_t>("nnz");
   // Structural bound before trusting nnz: every entry needs 12 bytes.
   LS_CHECK(static_cast<std::size_t>(nnz) * (4 + sizeof(real_t)) <=
@@ -185,49 +206,146 @@ void decode_status_response(std::string_view payload, Status& status,
 namespace {
 
 // Frame header layout; serialized field by field so padding never leaks.
-struct Header {
-  std::uint32_t magic;
-  std::uint8_t version;
-  std::uint8_t type;
-  std::uint16_t reserved;
-  std::uint32_t length;
-};
 constexpr std::size_t kHeaderBytes = 12;
 
-void write_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
+using Clock = std::chrono::steady_clock;
+
+/// Absolute deadline for one frame's worth of I/O; unbounded when the
+/// configured budget is 0.
+struct Deadline {
+  bool bounded = false;
+  Clock::time_point at{};
+
+  static Deadline after_ms(double ms) {
+    Deadline d;
+    if (ms > 0.0) {
+      d.bounded = true;
+      d.at = Clock::now() +
+             std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  /// Remaining budget as a poll() timeout: -1 = unbounded, else >= 0 ms
+  /// (rounded up so a 0.4 ms remainder still polls once, not busy-spins).
+  int poll_ms() const {
+    if (!bounded) return -1;
+    const auto rem = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         at - Clock::now())
+                         .count() +
+                     1;
+    if (rem <= 0) return 0;
+    return rem > std::numeric_limits<int>::max()
+               ? std::numeric_limits<int>::max()
+               : static_cast<int>(rem);
+  }
+};
+
+[[noreturn]] void throw_sys(const char* op) {
+  const int err = errno;
+  const IoErrorKind kind = (err == EPIPE || err == ECONNRESET)
+                               ? IoErrorKind::kClosed
+                               : IoErrorKind::kSys;
+  throw IoError(kind, std::string("serve: ") + op +
+                          " failed: " + std::strerror(err));
+}
+
+/// Waits until `fd` is ready for `events` or `dl` expires. Returns false on
+/// timeout. POLLERR/POLLHUP count as ready: the following read()/write()
+/// surfaces the actual condition.
+bool wait_ready(int fd, short events, const Deadline& dl) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, dl.poll_ms());
+    if (rc < 0) {
       if (errno == EINTR) continue;
-      throw Error(std::string("serve: write failed: ") + std::strerror(errno));
+      throw_sys("poll");
+    }
+    if (rc == 0) {
+      if (dl.bounded && Clock::now() >= dl.at) return false;
+      continue;  // poll_ms() rounding woke us a hair early
+    }
+    return true;
+  }
+}
+
+/// Reads 1..size bytes (whatever is available). Returns 0 on clean EOF.
+/// Throws IoError(`timeout_kind`) when `dl` expires first.
+std::size_t read_some(int fd, char* data, std::size_t size,
+                      const Deadline& dl, IoErrorKind timeout_kind,
+                      const char* what) {
+  for (;;) {
+    if (!wait_ready(fd, POLLIN, dl)) {
+      throw IoError(timeout_kind, std::string("serve: ") + what);
+    }
+    const ssize_t n = ::read(fd, data, size);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET) {
+      throw IoError(IoErrorKind::kClosed,
+                    "serve: connection reset by peer");
+    }
+    throw_sys("read");
+  }
+}
+
+/// Reads exactly `size` bytes under `dl`; mid-stream EOF is kClosed, a
+/// stall is kTimeout.
+void read_exact(int fd, char* data, std::size_t size, const Deadline& dl,
+                const char* what) {
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = read_some(fd, data + got, size - got, dl,
+                                    IoErrorKind::kTimeout, what);
+    if (n == 0) {
+      throw IoError(IoErrorKind::kClosed,
+                    "serve: connection closed mid-frame");
+    }
+    got += n;
+  }
+}
+
+/// Writes exactly `size` bytes under `dl`. MSG_NOSIGNAL: a dead peer is an
+/// IoError(kClosed), never a process-killing SIGPIPE.
+void write_all(int fd, const char* data, std::size_t size,
+               const Deadline& dl) {
+  while (size > 0) {
+    if (!wait_ready(fd, POLLOUT, dl)) {
+      throw IoError(IoErrorKind::kTimeout,
+                    "serve: write stalled past its deadline");
+    }
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      throw_sys("write");
     }
     data += n;
     size -= static_cast<std::size_t>(n);
   }
 }
 
-/// Reads exactly `size` bytes. Returns false on immediate EOF (nothing
-/// read); throws on EOF after a partial read or on errors.
-bool read_exact(int fd, char* data, std::size_t size) {
-  std::size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::read(fd, data + got, size - got);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw Error(std::string("serve: read failed: ") + std::strerror(errno));
-    }
-    if (n == 0) {
-      if (got == 0) return false;
-      throw Error("serve: connection closed mid-frame");
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
-void write_frame(int fd, MsgType type, std::string_view payload) {
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  LS_CHECK(flags >= 0, "serve: fcntl(F_GETFL) failed: "
+                           << std::strerror(errno));
+  LS_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+           "serve: fcntl(F_SETFL) failed: " << std::strerror(errno));
+}
+
+bool wait_fd_ready(int fd, short events, double timeout_ms) {
+  return wait_ready(fd, events, Deadline::after_ms(timeout_ms));
+}
+
+void write_frame(int fd, MsgType type, std::string_view payload,
+                 const FrameTimeouts& t) {
   LS_FAILPOINT("serve.frame.write");
   LS_CHECK(payload.size() <= kMaxPayload,
            "frame payload of " << payload.size() << " bytes exceeds the "
@@ -240,34 +358,66 @@ void write_frame(int fd, MsgType type, std::string_view payload) {
   put_raw(buf, std::uint16_t{0});
   put_raw(buf, static_cast<std::uint32_t>(payload.size()));
   buf.append(payload);
+  const Deadline dl = Deadline::after_ms(t.write_ms);
+  // Torn-frame injection for the chaos harness: push a prefix of the frame
+  // into the socket, then fail the connection so the peer observes a
+  // genuine mid-frame cut instead of a clean close.
+  bool tear = false;
+  try {
+    LS_FAILPOINT("serve.frame.partial");
+  } catch (const std::exception&) {
+    tear = true;
+  }
+  if (tear) {
+    write_all(fd, buf.data(), buf.size() / 2, dl);
+    throw IoError(IoErrorKind::kTorn, "serve: injected torn frame");
+  }
   // One write_all for header + payload: a frame is either fully queued to
   // the kernel or the connection is declared broken.
-  write_all(fd, buf.data(), buf.size());
+  write_all(fd, buf.data(), buf.size(), dl);
 }
 
-bool read_frame(int fd, Frame& out) {
+bool read_frame(int fd, Frame& out, const FrameTimeouts& t) {
   LS_FAILPOINT("serve.frame.read");
   char header[kHeaderBytes];
-  if (!read_exact(fd, header, kHeaderBytes)) return false;
+  // Phase 1 — wait for the first byte of the next frame under the idle
+  // budget. A timeout here means the peer simply has nothing to say.
+  const std::size_t first =
+      read_some(fd, header, kHeaderBytes, Deadline::after_ms(t.idle_ms),
+                IoErrorKind::kIdle, "idle timeout waiting for a frame");
+  if (first == 0) return false;  // clean EOF at a frame boundary
+  // Phase 2 — the frame has started: the rest of the header and the whole
+  // payload must arrive within the read budget (anti-slow-loris).
+  const Deadline dl = Deadline::after_ms(t.read_ms);
+  read_exact(fd, header + first, kHeaderBytes - first, dl, "frame header");
   Cursor c{std::string_view(header, kHeaderBytes)};
   const auto magic = c.get_raw<std::uint32_t>("magic");
-  LS_CHECK(magic == kMagic, "bad frame magic 0x" << std::hex << magic);
+  if (magic != kMagic) {
+    throw IoError(IoErrorKind::kTorn, "serve: bad frame magic");
+  }
   const auto version = c.get_u8("version");
-  LS_CHECK(version == kVersion, "unsupported protocol version "
-                                    << int{version});
+  if (version != kVersion) {
+    throw IoError(IoErrorKind::kTorn,
+                  "serve: unsupported protocol version " +
+                      std::to_string(int{version}));
+  }
   const auto type = c.get_u8("type");
-  LS_CHECK(type >= static_cast<std::uint8_t>(MsgType::kPredictReq) &&
-               type <= static_cast<std::uint8_t>(MsgType::kStatusResp),
-           "unknown message type " << int{type});
+  if (type < static_cast<std::uint8_t>(MsgType::kPredictReq) ||
+      type > static_cast<std::uint8_t>(MsgType::kHealthReq)) {
+    throw IoError(IoErrorKind::kTorn, "serve: unknown message type " +
+                                          std::to_string(int{type}));
+  }
   (void)c.get_raw<std::uint16_t>("reserved");
   const auto length = c.get_raw<std::uint32_t>("length");
-  LS_CHECK(length <= kMaxPayload, "frame payload of "
-                                      << length << " bytes exceeds the "
-                                      << kMaxPayload << "-byte limit");
+  if (length > kMaxPayload) {
+    throw IoError(IoErrorKind::kTorn,
+                  "serve: frame payload of " + std::to_string(length) +
+                      " bytes exceeds the limit");
+  }
   out.type = static_cast<MsgType>(type);
   out.payload.resize(length);
-  if (length > 0 && !read_exact(fd, out.payload.data(), length)) {
-    throw Error("serve: connection closed mid-frame");
+  if (length > 0) {
+    read_exact(fd, out.payload.data(), length, dl, "frame payload");
   }
   return true;
 }

@@ -9,29 +9,40 @@
 // a machine or at least an architecture — this is a local serving protocol,
 // not an interchange format). The payload layout per message type:
 //
-//   kPredictReq   u16 name_len, name, u32 nnz, nnz x (u32 index, f64 value)
+//   kPredictReq   u16 name_len, name, f64 deadline_ms,
+//                 u32 nnz, nnz x (u32 index, f64 value)
 //   kPredictResp  u8 status, f64 decision, f64 label
 //   kReloadReq    u16 name_len, name
-//   kStatsReq / kPingReq / kShutdownReq    (empty)
+//   kStatsReq / kPingReq / kShutdownReq / kHealthReq    (empty)
 //   kStatusResp   u8 status, u32 text_len, text
-//                 (reload / stats / ping / shutdown / error responses)
+//                 (reload / stats / ping / health / shutdown / error)
+//
+// `deadline_ms` is the client's remaining latency budget when it sent the
+// request (0 = no deadline). The server sheds a request whose queue wait
+// already exceeded the propagated deadline instead of scoring work the
+// caller has given up on.
 //
 // Encoding and decoding are pure functions over byte strings so they are
 // unit-testable without sockets; read_frame()/write_frame() add the POSIX
-// fd plumbing shared by the server and the client.
+// fd plumbing shared by the server and the client. All fd I/O is
+// poll()-based and deadline-aware (FrameTimeouts): a stalled or dead peer
+// surfaces as an IoError with a classified kind instead of pinning the
+// calling thread forever.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "common/error.hpp"
 #include "formats/sparse_vector.hpp"
 
 namespace ls::serve {
 
-/// Frame magic ("LSRV" little-endian) and protocol version.
+/// Frame magic ("LSRV" little-endian) and protocol version. Version 2
+/// added the predict-request deadline field and the health verb.
 inline constexpr std::uint32_t kMagic = 0x5652534C;
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 
 /// Frames larger than this are rejected before any allocation happens, so a
 /// corrupt or hostile length prefix cannot OOM the server.
@@ -46,6 +57,7 @@ enum class MsgType : std::uint8_t {
   kPingReq = 5,
   kShutdownReq = 6,
   kStatusResp = 7,  ///< status + text; reply to reload/stats/ping/shutdown
+  kHealthReq = 8,   ///< lifecycle probe: live / ready / draining / degraded
 };
 
 /// Result codes carried in responses (the serving error contract).
@@ -53,14 +65,55 @@ enum class Status : std::uint8_t {
   kOk = 0,
   kUnknownModel = 1,   ///< no model registered under the requested name
   kBadDimension = 2,   ///< request vector indices exceed the model's width
-  kOverloaded = 3,     ///< shed: queue full or latency budget exceeded
+  kOverloaded = 3,     ///< shed: queue full, latency budget or deadline hit
   kBadFrame = 4,       ///< malformed frame or payload
   kInternal = 5,       ///< scoring failed server-side
-  kShuttingDown = 6,   ///< engine is stopping; request not served
+  kShuttingDown = 6,   ///< engine is stopping or draining; request not served
 };
 
 /// Human-readable status name for logs and tool output.
 const char* status_name(Status s);
+
+/// Classification of connection-level failures. The retry policy keys off
+/// this: every kind is transient from the client's point of view (close the
+/// connection, reconnect, resend), while payload decode errors stay plain
+/// ls::Error and are never retried.
+enum class IoErrorKind : std::uint8_t {
+  kTimeout,  ///< frame stalled mid-transfer (read or write budget hit)
+  kIdle,     ///< no next frame arrived within the idle window
+  kClosed,   ///< peer closed the connection (mid-frame, or EPIPE/ECONNRESET)
+  kTorn,     ///< stream desync: bad magic/version/type or oversized length
+  kSys,      ///< errno-level socket failure
+};
+
+/// Human-readable kind name for logs and metrics.
+const char* io_error_kind_name(IoErrorKind k);
+
+/// Connection-level I/O failure with a retry-relevant classification.
+class IoError : public Error {
+ public:
+  IoError(IoErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  IoErrorKind kind() const { return kind_; }
+
+ private:
+  IoErrorKind kind_;
+};
+
+/// Per-frame I/O budgets in milliseconds; 0 disables that bound.
+///
+/// Timeout hierarchy (outermost first):
+///   idle_ms   how long read_frame() waits for the FIRST byte of the next
+///             frame — the "is this connection still alive" bound;
+///   read_ms   total budget to receive the rest of a frame once its first
+///             byte arrived — defeats slow-loris half-frames;
+///   write_ms  total budget to push one frame into the socket — defeats
+///             peers that stop draining their receive buffer.
+struct FrameTimeouts {
+  double read_ms = 0.0;
+  double write_ms = 0.0;
+  double idle_ms = 0.0;
+};
 
 /// One decoded frame.
 struct Frame {
@@ -78,7 +131,8 @@ struct PredictResult {
 // --- payload encoders (pure) ---
 
 std::string encode_predict_request(std::string_view model,
-                                   const SparseVector& x);
+                                   const SparseVector& x,
+                                   double deadline_ms = 0.0);
 std::string encode_predict_response(const PredictResult& r);
 std::string encode_reload_request(std::string_view model);
 std::string encode_status_response(Status status, std::string_view text);
@@ -86,7 +140,7 @@ std::string encode_status_response(Status status, std::string_view text);
 // --- payload decoders (pure; throw ls::Error on malformed input) ---
 
 void decode_predict_request(std::string_view payload, std::string& model,
-                            SparseVector& x);
+                            SparseVector& x, double* deadline_ms = nullptr);
 PredictResult decode_predict_response(std::string_view payload);
 std::string decode_reload_request(std::string_view payload);
 void decode_status_response(std::string_view payload, Status& status,
@@ -94,12 +148,24 @@ void decode_status_response(std::string_view payload, Status& status,
 
 // --- framed fd I/O ---
 
-/// Writes one complete frame to `fd`; throws ls::Error on I/O failure.
-void write_frame(int fd, MsgType type, std::string_view payload);
+/// Sets O_NONBLOCK so the poll()-based frame I/O can never block past its
+/// deadline in the read()/write() call itself.
+void make_nonblocking(int fd);
+
+/// poll()-based readiness wait with EINTR retry. `timeout_ms <= 0` waits
+/// forever. Returns false on timeout; throws IoError(kSys) on poll failure.
+bool wait_fd_ready(int fd, short events, double timeout_ms);
+
+/// Writes one complete frame to `fd` under `t.write_ms`; throws IoError on
+/// timeout or connection failure. Writes use MSG_NOSIGNAL, so a dead peer
+/// produces IoError(kClosed) instead of SIGPIPE.
+void write_frame(int fd, MsgType type, std::string_view payload,
+                 const FrameTimeouts& t = {});
 
 /// Reads one complete frame. Returns false on clean EOF at a frame
-/// boundary; throws ls::Error on bad magic/version, oversized payloads,
-/// truncation mid-frame, or I/O errors.
-bool read_frame(int fd, Frame& out);
+/// boundary. Throws IoError with a classified kind on idle timeout (kIdle),
+/// mid-frame stall (kTimeout), mid-frame close (kClosed), stream desync /
+/// oversized payloads (kTorn) or socket errors (kSys).
+bool read_frame(int fd, Frame& out, const FrameTimeouts& t = {});
 
 }  // namespace ls::serve

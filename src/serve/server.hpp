@@ -7,14 +7,26 @@
 // call straight into the ServeEngine — concurrency control (batching,
 // admission, shedding) lives there, not in the socket layer.
 //
-// Failure containment: a malformed frame is answered with kBadFrame and
-// the connection is closed; an I/O error (failpoint-injectable via
-// serve.frame.read / serve.frame.write) tears down only its own
-// connection. The accept loop and every other client keep running.
+// Overload and failure containment:
+//   - Every connection's frame I/O is deadline-bounded (read / write /
+//     idle timeouts), so a slow-loris peer can never pin a handler thread.
+//   - A max-connections cap with oldest-idle eviction bounds the handler
+//     pool; EMFILE/ENFILE on accept() backs off briefly instead of
+//     crashing the accept loop.
+//   - A malformed frame is answered with kBadFrame and the connection is
+//     closed; an I/O error (failpoint-injectable via serve.frame.read /
+//     serve.frame.write / serve.frame.partial / serve.conn.read /
+//     serve.conn.write / serve.accept.overload) tears down only its own
+//     connection. The accept loop and every other client keep running.
+//   - begin_drain()/drain() implement graceful shutdown: stop accepting,
+//     answer new predicts with kShuttingDown, let accepted work finish
+//     under a bound, then stop() closes what is left.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +44,37 @@ struct ServerOptions {
   std::string unix_path;
   int tcp_port = -1;
   int backlog = 64;
+  /// Connection cap (0 = unlimited). At the cap, the oldest connection
+  /// that is idle between frames is evicted to admit the newcomer; when
+  /// every connection is mid-request the newcomer is rejected instead.
+  std::size_t max_connections = 256;
+  /// Whole-frame receive budget once a frame's first byte arrived
+  /// (anti-slow-loris). 0 = unbounded.
+  double read_timeout_ms = 5000.0;
+  /// Whole-frame send budget (peer stops draining its buffer). 0 = off.
+  double write_timeout_ms = 5000.0;
+  /// How long a connection may sit between frames before it is closed.
+  /// 0 = forever (the eviction policy still bounds the total).
+  double idle_timeout_ms = 0.0;
+  /// Pause after an fd-exhaustion accept() failure (EMFILE/ENFILE/...)
+  /// before retrying, so the accept loop degrades instead of spinning.
+  double accept_backoff_ms = 20.0;
+};
+
+/// Point-in-time socket-layer statistics (engine stats live in ServeStats).
+struct ServerStats {
+  std::int64_t connections_total = 0;
+  std::int64_t frames_total = 0;
+  std::int64_t evictions_total = 0;       ///< oldest-idle evicted at the cap
+  std::int64_t rejected_total = 0;        ///< cap hit with no idle victim
+  std::int64_t idle_timeouts_total = 0;
+  std::int64_t read_timeouts_total = 0;
+  std::int64_t write_timeouts_total = 0;
+  std::int64_t accept_overload_total = 0; ///< EMFILE-class accept backoffs
+  std::int64_t protocol_errors_total = 0;
+  std::size_t connections_open = 0;
+  bool draining = false;
+  double drain_seconds = 0.0;             ///< duration of the last drain()
 };
 
 /// Threaded socket server over a ServeEngine. The engine must outlive the
@@ -56,16 +99,54 @@ class ServeServer {
   /// stop(). The caller still runs stop() afterwards to join threads.
   void wait();
 
+  /// Enters the draining state: stops accepting new connections and
+  /// answers further predict requests with kShuttingDown, while accepted
+  /// work keeps flowing. Idempotent.
+  void begin_drain();
+
+  /// begin_drain(), then blocks until every in-flight frame is answered
+  /// and the engine queue is empty, or `bound_ms` elapses. Returns true
+  /// when fully quiesced within the bound. Call stop() afterwards.
+  bool drain(double bound_ms);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Socket-layer counters; engine counters come from ServeEngine::stats().
+  ServerStats server_stats() const;
+
+  /// Human-readable socket-layer stats block (appended to the engine's
+  /// block in the kStatsReq reply).
+  std::string stats_text() const;
+
   /// Actual TCP port after start() (useful with tcp_port = 0).
   int port() const { return port_; }
 
  private:
+  /// Per-connection bookkeeping shared between its handler thread and the
+  /// accept loop's governance (eviction victim selection).
+  struct Conn {
+    explicit Conn(int fd_) : fd(fd_) {}
+    const int fd;
+    std::atomic<std::int64_t> frames{0};
+    std::atomic<std::int64_t> last_active_us{0};
+    /// False while parked between frames — the eviction predicate.
+    std::atomic<bool> in_request{false};
+  };
+
   void accept_loop();
-  void handle_connection(int fd);
+  void accept_overload_backoff();
+  void handle_connection(std::shared_ptr<Conn> conn);
   /// Serves one decoded frame; returns false when the connection (or the
   /// whole server, for kShutdownReq) should wind down.
   bool handle_frame(int fd, const Frame& frame);
   void request_stop();
+  /// Joins handler threads whose connections already finished. mu_ held.
+  void reap_finished_locked();
+  /// Admits `fd` under the connection cap, evicting the oldest idle
+  /// connection if needed. Returns false when the newcomer was rejected.
+  bool govern_and_register(int fd);
 
   ServeEngine* engine_;
   ServerOptions opts_;
@@ -75,15 +156,31 @@ class ServeServer {
   int port_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
-  std::mutex mu_;                  // guards conns_ and handler bookkeeping
+  mutable std::mutex mu_;          // guards conns_ / handlers_ / finished_
   std::condition_variable stop_cv_;
-  /// One entry per accepted connection, joined in stop(). Finished threads
-  /// stay joinable until then — cheap (a few KB each) at the connection
-  /// counts a local serving socket sees, and it keeps shutdown a plain
-  /// join-everything with no detach races.
-  std::vector<std::thread> handlers_;
-  std::vector<int> open_fds_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  /// Live handler threads by id; finished handlers enqueue their id in
+  /// finished_ and are joined on the next accept (or in stop()), so the
+  /// thread table stays proportional to open connections, not to the
+  /// connection churn since startup.
+  std::map<std::thread::id, std::thread> handlers_;
+  std::vector<std::thread::id> finished_;
+
+  /// Frames currently being served (read done, response not yet written) —
+  /// the drain() predicate, together with ServeEngine::idle().
+  std::atomic<int> active_frames_{0};
+  std::atomic<std::int64_t> connections_total_{0};
+  std::atomic<std::int64_t> frames_total_{0};
+  std::atomic<std::int64_t> evictions_total_{0};
+  std::atomic<std::int64_t> rejected_total_{0};
+  std::atomic<std::int64_t> idle_timeouts_total_{0};
+  std::atomic<std::int64_t> read_timeouts_total_{0};
+  std::atomic<std::int64_t> write_timeouts_total_{0};
+  std::atomic<std::int64_t> accept_overload_total_{0};
+  std::atomic<std::int64_t> protocol_errors_total_{0};
+  std::atomic<double> drain_seconds_{0.0};
 };
 
 }  // namespace ls::serve

@@ -2,13 +2,18 @@
 // semantics (admission control, hot reload, error contract) and the socket
 // front-end.
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -157,9 +162,10 @@ TEST(ServeProtocol, UnsortedIndicesThrow) {
   // (SparseVector itself refuses to build one, so patch the bytes).
   const SparseVector x({1, 2}, {1.0, 2.0});
   std::string payload = encode_predict_request("m", x);
-  // Layout: u16 name_len, name "m", u32 nnz, then (u32 idx, f64 val) pairs;
-  // the second pair's index starts at offset 2 + 1 + 4 + 12.
-  const std::size_t second_idx = 2 + 1 + 4 + 12;
+  // Layout: u16 name_len, name "m", f64 deadline_ms, u32 nnz, then
+  // (u32 idx, f64 val) pairs; the second pair's index starts at offset
+  // 2 + 1 + 8 + 4 + 12.
+  const std::size_t second_idx = 2 + 1 + 8 + 4 + 12;
   const std::uint32_t dup = 1;
   std::memcpy(payload.data() + second_idx, &dup, sizeof(dup));
   std::string model;
@@ -769,6 +775,447 @@ TEST(ServeServer, ConnectionWriteFaultDropsOnlyThatClient) {
   ServeClient healthy = ServeClient::connect_unix(listen.unix_path);
   EXPECT_EQ(healthy.predict("m", SparseVector({1}, {1.0})).status,
             Status::kOk);
+}
+
+// --- protocol: deadlines and torn/partial frames ------------------------
+
+TEST(ServeProtocol, PredictRequestCarriesDeadline) {
+  const SparseVector x({1, 3}, {1.0, -1.0});
+  const std::string payload = encode_predict_request("m", x, 123.5);
+  std::string model;
+  SparseVector decoded;
+  double deadline = 0.0;
+  decode_predict_request(payload, model, decoded, &deadline);
+  EXPECT_EQ(model, "m");
+  EXPECT_EQ(deadline, 123.5);
+  ASSERT_EQ(decoded.nnz(), 2);
+  // Callers that don't care may omit the out-param; the field is still
+  // consumed so the vector decodes correctly.
+  decode_predict_request(payload, model, decoded);
+  ASSERT_EQ(decoded.nnz(), 2);
+  EXPECT_EQ(decoded.values()[1], -1.0);
+}
+
+TEST(ServeProtocol, HalfFrameStallHitsReadTimeout) {
+  SocketPair sp;
+  // A valid header prefix that then stalls forever: classic slow-loris.
+  const unsigned char half[6] = {0x4C, 0x53, 0x52, 0x56, kVersion, 5};
+  ASSERT_EQ(::write(sp.a, half, sizeof(half)),
+            static_cast<ssize_t>(sizeof(half)));
+  FrameTimeouts t;
+  t.read_ms = 50.0;
+  Frame f;
+  try {
+    read_frame(sp.b, f, t);
+    FAIL() << "read_frame should have timed out on the half frame";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTimeout);
+  }
+}
+
+TEST(ServeProtocol, SilentConnectionHitsIdleTimeout) {
+  SocketPair sp;
+  FrameTimeouts t;
+  t.idle_ms = 50.0;
+  Frame f;
+  try {
+    read_frame(sp.b, f, t);
+    FAIL() << "read_frame should have hit the idle timeout";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kIdle);
+  }
+}
+
+TEST(ServeProtocol, MidFrameDisconnectIsClosed) {
+  SocketPair sp;
+  // Full header announcing 100 payload bytes, but only 10 arrive before
+  // the peer dies.
+  std::string bytes;
+  const std::uint32_t magic = kMagic;
+  bytes.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  bytes.push_back(static_cast<char>(kVersion));
+  bytes.push_back(static_cast<char>(MsgType::kPingReq));
+  bytes.push_back(0);
+  bytes.push_back(0);  // reserved
+  const std::uint32_t len = 100;
+  bytes.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  bytes.append(10, 'x');
+  ASSERT_EQ(::write(sp.a, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(sp.a);
+  sp.a = -1;
+  Frame f;
+  try {
+    read_frame(sp.b, f);
+    FAIL() << "mid-frame EOF must not look like a clean close";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kClosed);
+  }
+}
+
+TEST(ServeProtocol, PartialHeaderThenCloseIsClosed) {
+  SocketPair sp;
+  const unsigned char some[6] = {0x4C, 0x53, 0x52, 0x56, kVersion, 5};
+  ASSERT_EQ(::write(sp.a, some, sizeof(some)),
+            static_cast<ssize_t>(sizeof(some)));
+  ::close(sp.a);
+  sp.a = -1;
+  Frame f;
+  try {
+    read_frame(sp.b, f);
+    FAIL() << "EOF inside the header must not look like a clean close";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kClosed);
+  }
+}
+
+TEST(ServeProtocol, TornFrameFailpointTearsMidFrame) {
+  SocketPair sp;
+  failpoint::Scoped tear("serve.frame.partial",
+                         {failpoint::Action::kError, 0, 0, 1});
+  try {
+    write_frame(sp.a, MsgType::kPingReq, "payload");
+    FAIL() << "write_frame should have torn the frame";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTorn);
+  }
+  // The peer received only a prefix of the frame; with the writer gone the
+  // stream is unrecoverable.
+  ::close(sp.a);
+  sp.a = -1;
+  Frame f;
+  EXPECT_THROW(read_frame(sp.b, f), Error);
+}
+
+TEST(ServeProtocol, EintrDuringBlockedReadIsRetried) {
+  // Install a do-nothing SIGUSR1 handler WITHOUT SA_RESTART so blocking
+  // syscalls genuinely return EINTR instead of auto-resuming.
+  struct sigaction sa{};
+  sa.sa_handler = +[](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  std::atomic<bool> got{false};
+  std::thread reader([&] {
+    Frame f;
+    if (read_frame(sp.b, f)) {
+      got.store(f.type == MsgType::kPingReq && f.payload == "eintr");
+    }
+  });
+  // Let the reader park inside poll(), then interrupt it a few times —
+  // each EINTR must be absorbed, not surfaced as a failure.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (int i = 0; i < 3; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  write_frame(sp.a, MsgType::kPingReq, "eintr");
+  reader.join();
+  EXPECT_TRUE(got.load());
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+// --- engine: deadline propagation + health ------------------------------
+
+TEST(ServeEngine, ExpiredClientDeadlineIsShedBeforeCompute) {
+  const std::string path = temp_model_path("deadline.txt");
+  save_model_file(path, make_model(6, 12, 0xDEAD));
+  ServeOptions opts = fixed_layout_options();
+  opts.workers = 1;
+  opts.batcher.max_batch = 1;
+  opts.batcher.deadline_ms = 0.0;  // greedy flush
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  engine.start();
+
+  // The worker grabs the first (deadline-free) request and stalls in
+  // compute; the second request's 5 ms budget expires while it queues, so
+  // it must be shed at dequeue without any compute spent on it.
+  failpoint::Scoped slow("serve.batch.compute",
+                         {failpoint::Action::kDelay, 60, 0, -1});
+  auto f1 = engine.predict_async("m", SparseVector({1}, {1.0}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto f2 = engine.predict_async("m", SparseVector({2}, {1.0}), 5.0);
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOverloaded);
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.shed_expired_total, 1);
+  EXPECT_EQ(s.ok_total, 1);
+  engine.stop();
+}
+
+TEST(ServeEngine, HealthTracksDegradedReloads) {
+  ServeEngine engine(fixed_layout_options());
+  EXPECT_STREQ(engine.health_name(), "live");  // up, but not serving yet
+
+  const std::string path = temp_model_path("health.txt");
+  save_model_file(path, make_model(6, 12, 0x11EA));
+  engine.load_model("m", path);
+  engine.start();
+  EXPECT_STREQ(engine.health_name(), "ready");
+
+  {
+    failpoint::Scoped broken("serve.model.load");
+    EXPECT_THROW(engine.reload_model("m"), Error);
+  }
+  // The failed reload leaves the last-good version serving, flagged
+  // degraded.
+  EXPECT_STREQ(engine.health_name(), "degraded");
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.reload_failures_total, 1);
+  EXPECT_EQ(s.degraded_models, 1u);
+  EXPECT_EQ(engine.predict("m", SparseVector({1}, {1.0})).status,
+            Status::kOk);
+
+  engine.reload_model("m");  // success clears the flag
+  EXPECT_STREQ(engine.health_name(), "ready");
+  EXPECT_EQ(engine.stats().degraded_models, 0u);
+  engine.stop();
+}
+
+// --- server: timeouts, governance, drain, retries -----------------------
+
+/// Raw (non-ServeClient) connection to a unix path, for byte-level abuse.
+int raw_unix_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(ServeServer, StalledHalfFrameClientIsEvictedByReadTimeout) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("loris");
+  listen.read_timeout_ms = 150.0;
+  ServerFixture fx(listen);
+
+  // Slow-loris: send a valid header prefix and go silent. Pre-hardening,
+  // the handler's blocking read would pin a thread forever (and this test
+  // would hang); now the read budget expires and the server closes us.
+  const int raw = raw_unix_connect(listen.unix_path);
+  const unsigned char half[6] = {0x4C, 0x53, 0x52, 0x56, kVersion, 1};
+  ASSERT_EQ(::write(raw, half, sizeof(half)),
+            static_cast<ssize_t>(sizeof(half)));
+  pollfd p{};
+  p.fd = raw;
+  p.events = POLLIN;
+  ASSERT_GT(::poll(&p, 1, 3000), 0) << "server never closed the stalled fd";
+  char buf[16];
+  EXPECT_EQ(::read(raw, buf, sizeof(buf)), 0);  // EOF: server hung up
+  ::close(raw);
+  EXPECT_GE(fx.server.server_stats().read_timeouts_total, 1);
+
+  // The freed handler slot serves the next client normally.
+  ServeClient ok = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_TRUE(ok.ping());
+}
+
+TEST(ServeServer, IdleConnectionsAreClosedAfterIdleTimeout) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("idle");
+  listen.idle_timeout_ms = 100.0;
+  ServerFixture fx(listen);
+
+  const int raw = raw_unix_connect(listen.unix_path);
+  write_frame(raw, MsgType::kPingReq, "");
+  Frame reply;
+  ASSERT_TRUE(read_frame(raw, reply));  // first frame served normally
+  // Then go quiet: the idle window elapses and the server closes us.
+  pollfd p{};
+  p.fd = raw;
+  p.events = POLLIN;
+  ASSERT_GT(::poll(&p, 1, 3000), 0) << "server never closed the idle fd";
+  char buf[16];
+  EXPECT_EQ(::read(raw, buf, sizeof(buf)), 0);
+  ::close(raw);
+  EXPECT_GE(fx.server.server_stats().idle_timeouts_total, 1);
+}
+
+TEST(ServeServer, MaxConnectionsEvictsOldestIdle) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("evict");
+  listen.max_connections = 1;
+  ServerFixture fx(listen);
+
+  ServeClient a = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_TRUE(a.ping());
+  // Let a's handler park between frames — only idle connections are
+  // eviction candidates; a newcomer racing a still-in-request a would be
+  // rejected instead (which b's retry budget also absorbs).
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ClientOptions copts;
+  copts.max_retries = 5;
+  copts.backoff_base_ms = 5.0;
+  // b's accept hits the cap; a is idle between frames, so it is evicted.
+  ServeClient b = ServeClient::connect_unix(listen.unix_path, copts);
+  EXPECT_TRUE(b.ping());
+  EXPECT_THROW(a.ping(), Error);  // a's connection was shut down
+  EXPECT_EQ(fx.server.server_stats().evictions_total, 1);
+  EXPECT_TRUE(b.ping());  // the admitted newcomer is unaffected
+}
+
+TEST(ServeServer, AcceptOverloadBacksOffAndRecovers) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("emfile");
+  listen.accept_backoff_ms = 5.0;
+  ServerFixture fx(listen);
+
+  // Simulate EMFILE-class accept failures for the next two connections:
+  // they are dropped (with backoff), not fatal, and the client's retry
+  // loop rides through.
+  failpoint::Scoped overload("serve.accept.overload",
+                             {failpoint::Action::kError, 0, 0, 2});
+  ClientOptions copts;
+  copts.max_retries = 6;
+  copts.backoff_base_ms = 5.0;
+  copts.backoff_max_ms = 40.0;
+  ServeClient c = ServeClient::connect_unix(listen.unix_path, copts);
+  EXPECT_TRUE(c.ping());
+  EXPECT_GE(c.retries_observed(), 1);
+  EXPECT_EQ(fx.server.server_stats().accept_overload_total, 2);
+  EXPECT_NE(c.stats().find("accept_overload_total 2"), std::string::npos);
+}
+
+TEST(ServeServer, HealthVerbReportsLifecycle) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("health");
+  ServerFixture fx(listen);
+
+  ServeClient client = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_EQ(client.health(), "ready");
+  {
+    failpoint::Scoped broken("serve.model.load");
+    std::string msg;
+    EXPECT_EQ(client.reload("m", &msg), Status::kInternal);
+    EXPECT_EQ(client.health(), "degraded");
+  }
+  std::string msg;
+  EXPECT_EQ(client.reload("m", &msg), Status::kOk);
+  EXPECT_EQ(client.health(), "ready");
+}
+
+TEST(ServeServer, DrainFinishesInFlightAndRefusesNew) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("drain");
+  ServerFixture fx(listen);
+  // Accepted before the drain starts: keeps being served throughout.
+  ServeClient pre = ServeClient::connect_unix(listen.unix_path);
+  EXPECT_TRUE(pre.ping());
+
+  std::vector<std::future<PredictResult>> inflight;
+  {
+    failpoint::Scoped slow("serve.batch.compute",
+                           {failpoint::Action::kDelay, 50, 0, -1});
+    for (int i = 0; i < 3; ++i) {
+      inflight.push_back(
+          fx.engine.predict_async("m", SparseVector({1}, {1.0})));
+    }
+    fx.server.begin_drain();
+    EXPECT_TRUE(fx.server.draining());
+    // Existing connections still get answers; predicts are refused with
+    // kShuttingDown, probes tell the truth.
+    EXPECT_EQ(pre.health(), "draining");
+    EXPECT_EQ(pre.predict("m", SparseVector({1}, {1.0})).status,
+              Status::kShuttingDown);
+    // The listener is closed: nobody new gets in.
+    EXPECT_THROW(ServeClient::connect_unix(listen.unix_path), Error);
+    // In-flight work finishes within the bound.
+    EXPECT_TRUE(fx.server.drain(5000.0));
+  }
+  for (auto& f : inflight) {
+    EXPECT_EQ(f.get().status, Status::kOk);  // drained, not dropped
+  }
+  const ServerStats s = fx.server.server_stats();
+  EXPECT_TRUE(s.draining);
+  EXPECT_GT(s.drain_seconds, 0.0);
+}
+
+TEST(ServeServer, ClientRequestTimeoutBoundsStalledServer) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("reqtimeout");
+  ServerFixture fx(listen);
+
+  ClientOptions copts;
+  copts.request_timeout_ms = 60.0;
+  ServeClient c = ServeClient::connect_unix(listen.unix_path, copts);
+  // The engine stalls well past the client's budget; the client must give
+  // up at ~60ms instead of riding out the full compute delay.
+  failpoint::Scoped slow("serve.batch.compute",
+                         {failpoint::Action::kDelay, 400, 0, 1});
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    c.predict("m", SparseVector({1}, {1.0}));
+    FAIL() << "predict should have hit the request timeout";
+  } catch (const IoError& e) {
+    EXPECT_TRUE(e.kind() == IoErrorKind::kIdle ||
+                e.kind() == IoErrorKind::kTimeout)
+        << io_error_kind_name(e.kind());
+  }
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited_ms, 3000.0);
+}
+
+TEST(ServeServer, ClientRetriesBridgeServerRestart) {
+  const std::string model_path = temp_model_path("restart_model.txt");
+  save_model_file(model_path, make_model(8, 16, 0x4E57));
+  ServeEngine engine(fixed_layout_options());
+  engine.load_model("m", model_path);
+  engine.start();
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("restart");
+  auto s1 = std::make_unique<ServeServer>(engine, listen);
+  s1->start();
+
+  ClientOptions copts;
+  copts.max_retries = 10;
+  copts.backoff_base_ms = 2.0;
+  copts.backoff_max_ms = 20.0;
+  ServeClient client = ServeClient::connect_unix(listen.unix_path, copts);
+  EXPECT_EQ(client.predict("m", SparseVector({1}, {1.0})).status,
+            Status::kOk);
+
+  // Bounce the server. The client's connection dies with it; the next
+  // predict must reconnect-and-resend without surfacing an error.
+  s1->stop();
+  s1.reset();
+  ServeServer s2(engine, listen);
+  s2.start();
+  EXPECT_EQ(client.predict("m", SparseVector({1}, {1.0})).status,
+            Status::kOk);
+  EXPECT_GE(client.retries_observed(), 1);
+  s2.stop();
+  engine.stop();
+}
+
+TEST(ServeServer, TornResponseIsRetriedTransparently) {
+  ServerOptions listen;
+  listen.unix_path = unique_socket_path("tornresp");
+  ServerFixture fx(listen);
+
+  ClientOptions copts;
+  copts.max_retries = 3;
+  copts.backoff_base_ms = 1.0;
+  ServeClient c = ServeClient::connect_unix(listen.unix_path, copts);
+  EXPECT_TRUE(c.ping());
+  {
+    // skip=1: the client's request write passes through, the server's
+    // response write tears (exactly once). The client sees a torn/closed
+    // reply and must recover by reconnecting and resending.
+    failpoint::Scoped tear("serve.frame.partial",
+                           {failpoint::Action::kError, 0, 1, 1});
+    EXPECT_EQ(c.predict("m", SparseVector({1}, {1.0})).status, Status::kOk);
+  }
+  EXPECT_GE(c.retries_observed(), 1);
 }
 
 }  // namespace
