@@ -6,8 +6,11 @@
 //   predict   score row --row of --data against --model, print the result
 //   bench     closed-loop load: --concurrency connections send --count
 //             requests total, cycling through the rows of --data; prints a
-//             parseable summary line (requests= ok= shed= errors= p50_ms=
-//             p95_ms= rps= retries=) that scripts/check.sh asserts on
+//             parseable summary line (requests= ok= shed= errors= lost=
+//             p50_ms= p95_ms= rps= retries=) plus an error-kind breakdown,
+//             and exits non-zero when any request errored or was lost
+//             (retries exhausted with no definitive answer) — so CI can
+//             use a bench run as a zero-loss assertion
 //   stats     fetch and print the engine + socket-layer stats block
 //   reload    ask the server to hot-reload --model from its source path
 //   shutdown  stop the daemon
@@ -18,6 +21,7 @@
 // in the predict header.
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -78,10 +82,19 @@ int run_bench(const ls::CliParser& cli) {
       std::max(1, static_cast<int>(cli.get_int("concurrency")));
   const std::vector<ls::SparseVector> rows = load_rows(cli.get("data"));
 
+  // The distinction the exit code hinges on:
+  //   errors  the server answered, but with a non-retryable error status
+  //           (unknown model, bad dimension, ...) — a bug in the request
+  //           or the deployment, not in delivery;
+  //   lost    the request ultimately got NO definitive answer: retries
+  //           exhausted on transport failures or on shutting_down
+  //           refusals, or the connection never came up. Under a rolling
+  //           restart with enough --retries this must be zero.
   struct PerThread {
     std::vector<double> latencies_ms;
-    std::size_t ok = 0, shed = 0, errors = 0;
+    std::size_t ok = 0, shed = 0, errors = 0, lost = 0;
     std::int64_t retries = 0;
+    std::map<std::string, std::size_t> by_kind;
   };
   std::vector<PerThread> results(static_cast<std::size_t>(concurrency));
   std::vector<std::thread> threads;
@@ -104,23 +117,37 @@ int run_bench(const ls::CliParser& cli) {
               ++mine.ok;
             } else if (res.status == ls::serve::Status::kOverloaded) {
               ++mine.shed;
+            } else if (res.status == ls::serve::Status::kShuttingDown) {
+              // Retries exhausted against a fleet that only ever said
+              // "come back later": nobody answered this request.
+              ++mine.lost;
+              ++mine.by_kind["status_shutting_down"];
             } else {
               ++mine.errors;
+              ++mine.by_kind[std::string("status_") +
+                             ls::serve::status_name(res.status)];
             }
-          } catch (const std::exception&) {
-            // Retries exhausted: count it and keep the loop alive — a
-            // bench thread dying would understate the error rate.
+          } catch (const ls::serve::IoError& e) {
+            // Retries exhausted on transport: count it and keep the loop
+            // alive — a bench thread dying would understate the loss rate.
             mine.latencies_ms.push_back(timer.millis());
-            ++mine.errors;
+            ++mine.lost;
+            ++mine.by_kind[std::string("io_") +
+                           ls::serve::io_error_kind_name(e.kind())];
+          } catch (const std::exception&) {
+            mine.latencies_ms.push_back(timer.millis());
+            ++mine.lost;
+            ++mine.by_kind["exception"];
           }
         }
         mine.retries = client.retries_observed();
       } catch (const std::exception&) {
         // Could not even connect: everything this thread would have sent
-        // counts as failed.
+        // is lost.
         for (std::size_t r = static_cast<std::size_t>(t); r < count;
              r += static_cast<std::size_t>(concurrency)) {
-          ++mine.errors;
+          ++mine.lost;
+          ++mine.by_kind["connect"];
         }
       }
     });
@@ -129,24 +156,34 @@ int run_bench(const ls::CliParser& cli) {
   const double wall_s = wall.seconds();
 
   std::vector<double> all_ms;
-  std::size_t ok = 0, shed = 0, errors = 0;
+  std::size_t ok = 0, shed = 0, errors = 0, lost = 0;
   std::int64_t retries = 0;
+  std::map<std::string, std::size_t> by_kind;
   for (const PerThread& r : results) {
     all_ms.insert(all_ms.end(), r.latencies_ms.begin(),
                   r.latencies_ms.end());
     ok += r.ok;
     shed += r.shed;
     errors += r.errors;
+    lost += r.lost;
     retries += r.retries;
+    for (const auto& [kind, n] : r.by_kind) by_kind[kind] += n;
   }
   std::sort(all_ms.begin(), all_ms.end());
-  std::printf("requests=%zu ok=%zu shed=%zu errors=%zu p50_ms=%.3f "
-              "p95_ms=%.3f rps=%.1f retries=%lld\n",
-              ok + shed + errors, ok, shed, errors,
+  std::printf("requests=%zu ok=%zu shed=%zu errors=%zu lost=%zu "
+              "p50_ms=%.3f p95_ms=%.3f rps=%.1f retries=%lld\n",
+              ok + shed + errors + lost, ok, shed, errors, lost,
               percentile(all_ms, 0.50), percentile(all_ms, 0.95),
               wall_s > 0 ? static_cast<double>(all_ms.size()) / wall_s : 0.0,
               static_cast<long long>(retries));
-  return errors == 0 ? 0 : 1;
+  std::printf("retries_observed=%lld error_breakdown:",
+              static_cast<long long>(retries));
+  if (by_kind.empty()) std::printf(" none");
+  for (const auto& [kind, n] : by_kind) {
+    std::printf(" %s=%zu", kind.c_str(), n);
+  }
+  std::printf("\n");
+  return (errors == 0 && lost == 0) ? 0 : 1;
 }
 
 int run(int argc, char** argv) {

@@ -78,6 +78,7 @@ fields = dict(kv.split("=") for kv in sys.argv[1].split())
 assert int(fields["ok"]) == int(fields["requests"]), fields
 assert int(fields["shed"]) == 0, f"requests shed under smoke load: {fields}"
 assert int(fields["errors"]) == 0, fields
+assert int(fields["lost"]) == 0, fields
 assert 0.0 < float(fields["p95_ms"]) < 1000.0, fields
 print("serve bench OK: p95_ms=%s rps=%s" % (fields["p95_ms"], fields["rps"]))
 PY
@@ -135,6 +136,95 @@ chaos_smoke() {
   rm -f "${sock}" "${log}"
 }
 
+route_smoke() {
+  # Replicated-serving smoke: three real serve_tool daemons behind a real
+  # route_tool, with router-side failpoints armed (slow probes plus two
+  # forced breaker-opens mid-run). A retrying bench pushes 1k requests
+  # through the router while one replica is SIGTERMed mid-run; the bench
+  # must lose nothing (its exit code asserts lost=0), the router must
+  # answer health/stats afterwards, and SIGTERM must drain it to zero
+  # open connections.
+  local build_dir="$1"
+  echo "==> route smoke (${build_dir})"
+  [[ -f /tmp/ls_demo_model.txt ]] || "./${build_dir}/examples/svm_tool" \
+    --mode demo --dataset breast_cancer >/dev/null
+  local base
+  base="$(mktemp -u /tmp/ls_route_smoke.XXXXXX)"
+  local rep_pids=() rep_socks=()
+  local i
+  for i in 0 1 2; do
+    "./${build_dir}/examples/serve_tool" --socket "${base}_r${i}.sock" \
+      --models demo=/tmp/ls_demo_model.txt --workers 2 \
+      >"${base}_r${i}.log" &
+    rep_pids+=($!)
+    rep_socks+=("${base}_r${i}.sock")
+  done
+  local sock
+  for sock in "${rep_socks[@]}"; do
+    for _ in $(seq 1 100); do
+      [[ -S "${sock}" ]] && break
+      sleep 0.1
+    done
+    [[ -S "${sock}" ]] || { echo "replica ${sock} never came up"; exit 1; }
+  done
+  local router_sock="${base}_router.sock" router_log="${base}_router.log"
+  LS_FAILPOINTS='route.probe.delay=delay:1*20;route.breaker.force_open=error@50*2' \
+    "./${build_dir}/examples/route_tool" --socket "${router_sock}" \
+    --replicas "unix:${rep_socks[0]},unix:${rep_socks[1]},unix:${rep_socks[2]}" \
+    --probe-interval-ms 100 --drain-ms 5000 >"${router_log}" &
+  local router_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${router_sock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${router_sock}" ]] || {
+    echo "route_tool never came up"; cat "${router_log}"; exit 1; }
+  "./${build_dir}/examples/serve_client" --socket "${router_sock}" --mode ping
+  local bench_out="${base}_bench.out"
+  "./${build_dir}/examples/serve_client" --socket "${router_sock}" \
+    --mode bench --model demo --data /tmp/ls_demo_test.libsvm \
+    --count 1000 --concurrency 6 --retries 8 --timeout-ms 2000 \
+    >"${bench_out}" &
+  local bench_pid=$!
+  sleep 0.2
+  # Rolling-restart rehearsal: take one replica down mid-bench. serve_tool
+  # drains on SIGTERM; router failover + client retries must hide it.
+  kill -TERM "${rep_pids[1]}"
+  if ! wait "${bench_pid}"; then
+    echo "bench lost requests during the replica kill:"
+    cat "${bench_out}"; cat "${router_log}"; exit 1
+  fi
+  cat "${bench_out}"
+  local line
+  line="$(grep -E 'requests=[0-9]+ ok=' "${bench_out}")"
+  python3 - "${line}" <<'PY'
+import sys
+fields = dict(kv.split("=") for kv in sys.argv[1].split())
+assert int(fields["errors"]) == 0, fields
+assert int(fields["lost"]) == 0, fields
+assert int(fields["ok"]) + int(fields["shed"]) == int(fields["requests"]), fields
+print("route bench OK: p95_ms=%s retries=%s" % (fields["p95_ms"], fields["retries"]))
+PY
+  wait "${rep_pids[1]}" || { echo "killed replica exited non-zero"; exit 1; }
+  "./${build_dir}/examples/serve_client" --socket "${router_sock}" --mode health
+  "./${build_dir}/examples/serve_client" --socket "${router_sock}" --mode stats \
+    | grep -q 'route_requests_total' || {
+    echo "router stats missing route counters"; exit 1; }
+  kill -TERM "${router_pid}"
+  if ! wait "${router_pid}"; then
+    echo "router exited non-zero after SIGTERM"; cat "${router_log}"; exit 1
+  fi
+  grep -q 'drain complete' "${router_log}" || {
+    echo "router did not drain cleanly"; cat "${router_log}"; exit 1; }
+  grep -q 'connections_open 0' "${router_log}" || {
+    echo "router leaked connections"; cat "${router_log}"; exit 1; }
+  kill -TERM "${rep_pids[0]}" "${rep_pids[2]}"
+  wait "${rep_pids[0]}" "${rep_pids[2]}" || {
+    echo "replica exited non-zero after SIGTERM"; exit 1; }
+  echo "route smoke OK: replica killed mid-run, zero lost requests"
+  rm -f "${base}"_*
+}
+
 mode="${1:-all}"
 
 if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
@@ -147,6 +237,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   metrics_smoke
   serve_smoke build
   chaos_smoke build
+  route_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--sanitize-only" ]]; then
@@ -162,6 +253,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
   run_suite build-tsan -DLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   serve_smoke build-tsan
   chaos_smoke build-tsan
+  route_smoke build-tsan
 fi
 
 echo "==> all checks passed"

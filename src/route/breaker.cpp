@@ -1,0 +1,95 @@
+#include "route/breaker.hpp"
+
+#include "common/metrics.hpp"
+
+namespace ls::route {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions opts) : opts_(opts) {
+  if (opts_.failure_threshold < 1) opts_.failure_threshold = 1;
+  if (opts_.half_open_trials < 1) opts_.half_open_trials = 1;
+}
+
+void CircuitBreaker::open_locked(double now_ms) {
+  state_ = BreakerState::kOpen;
+  opened_at_ms_ = now_ms;
+  trials_in_flight_ = 0;
+  ++opens_;
+  metrics::counter_add("route.breaker.open_total");
+}
+
+bool CircuitBreaker::allow(double now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kClosed) return true;
+  if (state_ == BreakerState::kOpen) {
+    if (now_ms - opened_at_ms_ < opts_.open_ms) return false;
+    state_ = BreakerState::kHalfOpen;
+    trials_in_flight_ = 0;
+    metrics::counter_add("route.breaker.half_open_total");
+  }
+  if (trials_in_flight_ >= opts_.half_open_trials) return false;
+  ++trials_in_flight_;
+  return true;
+}
+
+void CircuitBreaker::record_success(double) {
+  std::lock_guard<std::mutex> lk(mu_);
+  failures_ = 0;
+  trials_in_flight_ = 0;
+  if (state_ != BreakerState::kClosed) {
+    state_ = BreakerState::kClosed;
+    metrics::counter_add("route.breaker.close_total");
+  }
+}
+
+void CircuitBreaker::record_failure(double now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++failures_ >= opts_.failure_threshold) open_locked(now_ms);
+      break;
+    case BreakerState::kHalfOpen:
+      // The trial failed: back to a full cooldown.
+      open_locked(now_ms);
+      break;
+    case BreakerState::kOpen:
+      // A straggler that was admitted before the trip; the cooldown is
+      // already running and is not extended (traffic is blocked anyway).
+      break;
+  }
+}
+
+void CircuitBreaker::force_open(double now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  failures_ = opts_.failure_threshold;
+  open_locked(now_ms);
+}
+
+BreakerState CircuitBreaker::state(double now_ms) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kOpen &&
+      now_ms - opened_at_ms_ >= opts_.open_ms) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failures_;
+}
+
+std::int64_t CircuitBreaker::opens_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return opens_;
+}
+
+}  // namespace ls::route

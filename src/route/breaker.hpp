@@ -1,0 +1,90 @@
+// Per-replica circuit breaker: the fast path of failure detection.
+//
+// The health prober notices a dead replica within one probe interval; the
+// breaker notices within `failure_threshold` consecutive request failures,
+// which under load is milliseconds. Between the two, a sick replica stops
+// receiving traffic almost immediately and is retried on a controlled
+// budget instead of by every caller at once.
+//
+// States:
+//
+//   kClosed    traffic flows; consecutive classified failures are counted
+//              and `failure_threshold` of them trips the breaker
+//   kOpen      traffic is short-circuited (allow() == false) for open_ms
+//   kHalfOpen  after the cooldown, up to `half_open_trials` requests are
+//              let through as trials; one success closes the breaker, one
+//              failure re-opens it for another cooldown
+//
+// Only *classified transport failures* (serve::IoError: timeout, torn,
+// closed, reset) should be recorded as failures — an application-level
+// kShuttingDown or kOverloaded reply proves the replica is alive and must
+// not trip the breaker.
+//
+// Time is passed in explicitly (milliseconds on any monotone clock), so
+// every transition is a pure deterministic function unit-testable without
+// sleeping. The router feeds it steady_now_ms() (replica.hpp).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace ls::route {
+
+/// Breaker tuning.
+struct BreakerOptions {
+  /// Consecutive classified failures that trip kClosed -> kOpen.
+  int failure_threshold = 5;
+  /// Cooldown before an open breaker admits half-open trials.
+  double open_ms = 1000.0;
+  /// Concurrent trial requests admitted in kHalfOpen.
+  int half_open_trials = 1;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+/// Human-readable state name for stats and logs.
+const char* breaker_state_name(BreakerState s);
+
+/// Thread-safe three-state circuit breaker. Metrics: every trip adds to
+/// route.breaker.open_total, every recovery to route.breaker.close_total,
+/// every cooldown expiry to route.breaker.half_open_total.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions opts = {});
+
+  /// True when a request may proceed. In kOpen this performs the
+  /// cooldown-expiry transition to kHalfOpen; in kHalfOpen it claims one
+  /// trial slot (callers MUST report the outcome via record_success() /
+  /// record_failure(), or the slot stays claimed).
+  bool allow(double now_ms);
+
+  /// Reports a successful exchange: resets the failure streak and closes
+  /// the breaker from any state.
+  void record_success(double now_ms);
+
+  /// Reports one classified transport failure.
+  void record_failure(double now_ms);
+
+  /// Trips the breaker immediately (failpoint / operator hook).
+  void force_open(double now_ms);
+
+  /// Current state; reflects an elapsed cooldown as kHalfOpen without
+  /// mutating (allow() performs the real transition).
+  BreakerState state(double now_ms) const;
+
+  int consecutive_failures() const;
+  std::int64_t opens_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  BreakerOptions opts_;
+  BreakerState state_ = BreakerState::kClosed;
+  int failures_ = 0;           ///< consecutive, in kClosed
+  int trials_in_flight_ = 0;   ///< claimed slots, in kHalfOpen
+  double opened_at_ms_ = 0.0;
+  std::int64_t opens_ = 0;
+
+  void open_locked(double now_ms);
+};
+
+}  // namespace ls::route

@@ -1,0 +1,136 @@
+#include "route/prober.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+
+namespace ls::route {
+
+HealthProber::HealthProber(std::vector<std::shared_ptr<Replica>> replicas,
+                           ProberOptions opts)
+    : replicas_(std::move(replicas)), opts_(opts) {
+  if (opts_.interval_ms < 1.0) opts_.interval_ms = 1.0;
+  if (opts_.backoff_max_ms < opts_.interval_ms) {
+    opts_.backoff_max_ms = opts_.interval_ms;
+  }
+  opts_.jitter_frac = std::clamp(opts_.jitter_frac, 0.0, 0.9);
+  rng_state_ = opts_.seed ? opts_.seed : 1;
+}
+
+HealthProber::~HealthProber() { stop(); }
+
+void HealthProber::start() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthProber::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+double HealthProber::jitter_factor() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t s = rng_state_;  // xorshift64
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  rng_state_ = s;
+  const double u =
+      static_cast<double>(s >> 11) * (1.0 / 9007199254740992.0);
+  return 1.0 + opts_.jitter_frac * (2.0 * u - 1.0);
+}
+
+void HealthProber::probe_now(Replica& r) {
+  const double started = steady_now_ms();
+  bool ok = false;
+  ReplicaState probed = ReplicaState::kDown;
+  try {
+    // Injectable probe weather: delay simulates a slow health endpoint,
+    // error a probe that fails before any socket traffic.
+    LS_FAILPOINT("route.probe.delay");
+    serve::ClientOptions copts;
+    copts.connect_timeout_ms = opts_.probe_timeout_ms;
+    copts.request_timeout_ms = opts_.probe_timeout_ms;
+    copts.max_retries = 0;  // the backoff schedule is the retry policy
+    serve::ServeClient probe = r.endpoint.connect(copts);
+    probed = replica_state_from_health(probe.health());
+    ok = true;
+  } catch (const std::exception&) {
+    ok = false;
+  }
+
+  const double now = steady_now_ms();
+  if (ok) {
+    r.probe_ok_total.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("route.probe.ok_total");
+    r.probe_failures.store(0, std::memory_order_release);
+    r.state.store(probed, std::memory_order_release);
+    if (replica_state_routable(probed)) {
+      // A full health round trip is as good as a successful trial
+      // request: close a tripped breaker instead of waiting for real
+      // traffic to risk the half-open slot.
+      r.breaker.record_success(now);
+    }
+    r.next_probe_ms.store(now + opts_.interval_ms * jitter_factor(),
+                          std::memory_order_release);
+  } else {
+    r.probe_fail_total.fetch_add(1, std::memory_order_release);
+    metrics::counter_add("route.probe.fail_total");
+    const int fails =
+        r.probe_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+    r.state.store(ReplicaState::kDown, std::memory_order_release);
+    // Exponential backoff, capped: a dead replica is re-checked on a calm
+    // schedule instead of at the base cadence.
+    double pause = opts_.interval_ms;
+    for (int k = 1; k < fails && pause < opts_.backoff_max_ms; ++k) {
+      pause *= 2.0;
+    }
+    pause = std::min(pause, opts_.backoff_max_ms);
+    if (pause > opts_.interval_ms) {
+      metrics::counter_add("route.probe.backoff_total");
+    }
+    r.next_probe_ms.store(now + pause * jitter_factor(),
+                          std::memory_order_release);
+  }
+  (void)started;
+}
+
+void HealthProber::loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!running_) return;
+      // Tick at a fraction of the base interval: due times move as
+      // backoffs change, so a fixed short tick beats computing the exact
+      // next deadline under churn.
+      cv_.wait_for(lk, std::chrono::duration<double, std::milli>(
+                           std::min(opts_.interval_ms / 4.0, 50.0)),
+                   [&] { return !running_; });
+      if (!running_) return;
+    }
+    const double now = steady_now_ms();
+    for (const auto& r : replicas_) {
+      if (now >= r->next_probe_ms.load(std::memory_order_acquire)) {
+        probe_now(*r);
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!running_) return;
+      }
+    }
+  }
+}
+
+}  // namespace ls::route

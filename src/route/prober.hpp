@@ -1,0 +1,87 @@
+// Background health prober of the router tier.
+//
+// One thread polls every replica's protocol-v2 health verb and writes the
+// parsed state into the shared Replica records. Three properties keep the
+// prober from becoming its own availability hazard:
+//
+//   - every probe runs under a short hard deadline (connect + request),
+//     so one wedged replica cannot stall the probe loop past it;
+//   - per-replica intervals are jittered, so N routers (or one router's N
+//     replicas) never synchronize into probe bursts;
+//   - repeated failures back off exponentially (capped), so a dead
+//     replica is re-checked on a calm schedule instead of being hammered
+//     at the base cadence by every prober that noticed it (no
+//     thundering-herd re-probe).
+//
+// A successful probe of a tripped replica also feeds the circuit breaker
+// (record_success), so recovery does not have to wait for a half-open
+// trial request to happen to land there.
+//
+// Failpoint: "route.probe.delay" is evaluated at the top of every probe —
+// a delay action simulates a slow health endpoint, an error action a
+// probe that fails without any socket traffic.
+//
+// Metrics: route.probe.ok_total / route.probe.fail_total /
+// route.probe.backoff_total (probes deferred beyond the base interval).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "route/replica.hpp"
+
+namespace ls::route {
+
+/// Prober tuning.
+struct ProberOptions {
+  /// Base probe cadence per healthy replica.
+  double interval_ms = 200.0;
+  /// Hard per-probe deadline (connect and request budgets both).
+  double probe_timeout_ms = 250.0;
+  /// Cap of the exponential per-replica failure backoff.
+  double backoff_max_ms = 2000.0;
+  /// Intervals are scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter_frac = 0.2;
+  /// Seed of the deterministic jitter stream.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Owns the probe thread; replicas are shared with the router.
+class HealthProber {
+ public:
+  HealthProber(std::vector<std::shared_ptr<Replica>> replicas,
+               ProberOptions opts);
+  ~HealthProber();
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  /// Spawns the probe thread (idempotent).
+  void start();
+
+  /// Stops and joins it (idempotent; the destructor calls it).
+  void stop();
+
+  /// One synchronous probe of `r`, updating its state, counters and next
+  /// due time. Exposed for tests and for the loop itself.
+  void probe_now(Replica& r);
+
+ private:
+  void loop();
+  /// Uniform jitter factor in [1-jitter_frac, 1+jitter_frac].
+  double jitter_factor();
+
+  std::vector<std::shared_ptr<Replica>> replicas_;
+  ProberOptions opts_;
+  std::thread thread_;
+  std::mutex mu_;  ///< guards rng_state_ and the stop wait
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace ls::route

@@ -1,0 +1,106 @@
+#include "route/replica.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace ls::route {
+
+const char* replica_state_name(ReplicaState s) {
+  switch (s) {
+    case ReplicaState::kUnknown: return "unknown";
+    case ReplicaState::kReady: return "ready";
+    case ReplicaState::kLive: return "live";
+    case ReplicaState::kDegraded: return "degraded";
+    case ReplicaState::kDraining: return "draining";
+    case ReplicaState::kDown: return "down";
+  }
+  return "?";
+}
+
+ReplicaState replica_state_from_health(std::string_view text) {
+  if (text == "ready") return ReplicaState::kReady;
+  if (text == "live") return ReplicaState::kLive;
+  if (text == "degraded") return ReplicaState::kDegraded;
+  if (text == "draining") return ReplicaState::kDraining;
+  return ReplicaState::kDown;
+}
+
+bool replica_state_routable(ReplicaState s) {
+  switch (s) {
+    case ReplicaState::kUnknown:
+    case ReplicaState::kReady:
+    case ReplicaState::kLive:      // may still answer kUnknownModel, but it
+    case ReplicaState::kDegraded:  // is up and truthful — let it speak
+      return true;
+    case ReplicaState::kDraining:
+    case ReplicaState::kDown:
+      return false;
+  }
+  return false;
+}
+
+std::string ReplicaEndpoint::id() const {
+  return unix_path.empty() ? "tcp:" + std::to_string(tcp_port)
+                           : "unix:" + unix_path;
+}
+
+serve::ServeClient ReplicaEndpoint::connect(
+    const serve::ClientOptions& opts) const {
+  return unix_path.empty() ? serve::ServeClient::connect_tcp(tcp_port, opts)
+                           : serve::ServeClient::connect_unix(unix_path,
+                                                              opts);
+}
+
+ReplicaEndpoint parse_replica_endpoint(std::string_view spec) {
+  LS_CHECK(!spec.empty(), "empty replica endpoint");
+  const auto all_digits = [](std::string_view s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  ReplicaEndpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.unix_path = std::string(spec.substr(5));
+    LS_CHECK(!ep.unix_path.empty(), "replica endpoint 'unix:' has no path");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string_view port = spec.substr(4);
+    LS_CHECK(all_digits(port) && port.size() <= 5,
+             "replica endpoint '" << std::string(spec)
+                                  << "' has a bad tcp port");
+    ep.tcp_port = std::stoi(std::string(port));
+    return ep;
+  }
+  if (all_digits(spec) && spec.size() <= 5) {  // bare port number
+    ep.tcp_port = std::stoi(std::string(spec));
+    return ep;
+  }
+  ep.unix_path = std::string(spec);  // bare filesystem path
+  return ep;
+}
+
+std::vector<ReplicaEndpoint> parse_replica_list(std::string_view specs) {
+  std::vector<ReplicaEndpoint> out;
+  std::size_t pos = 0;
+  while (pos <= specs.size()) {
+    std::size_t comma = specs.find(',', pos);
+    if (comma == std::string_view::npos) comma = specs.size();
+    const std::string_view item = specs.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(parse_replica_endpoint(item));
+    pos = comma + 1;
+  }
+  LS_CHECK(!out.empty(), "replica list names no endpoints");
+  return out;
+}
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ls::route

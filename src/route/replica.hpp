@@ -1,0 +1,93 @@
+// Shared per-replica record of the router tier.
+//
+// One Replica aggregates everything the router knows about one upstream
+// serve-engine process: where it listens, the latest probed health state,
+// its circuit breaker, and request/probe counters. The prober writes the
+// state, the request path consults it and drives the breaker; all shared
+// fields are atomics (or internally locked), so there is no replica-wide
+// lock on the request path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "route/breaker.hpp"
+#include "serve/client.hpp"
+
+namespace ls::route {
+
+/// Probed lifecycle state of a replica (the serve health verb's answer,
+/// plus kUnknown before the first probe and kDown for unreachable).
+enum class ReplicaState : std::uint8_t {
+  kUnknown,   ///< never probed yet — optimistically routable
+  kReady,     ///< serving traffic
+  kLive,      ///< process up but not serving models yet
+  kDegraded,  ///< serving on a stale model version (reload failed)
+  kDraining,  ///< refusing new work; do not route to it
+  kDown,      ///< probe could not reach it
+};
+
+const char* replica_state_name(ReplicaState s);
+
+/// Maps a health-verb reply ("live"/"ready"/"draining"/"degraded") to a
+/// state; anything unrecognized is treated as kDown.
+ReplicaState replica_state_from_health(std::string_view text);
+
+/// True when requests may be routed to a replica in this state. The
+/// breaker is a second, independent gate on top.
+bool replica_state_routable(ReplicaState s);
+
+/// Where one replica listens. Parsed from "unix:/path", a bare "/path",
+/// "tcp:PORT" or a bare port number.
+struct ReplicaEndpoint {
+  std::string unix_path;
+  int tcp_port = -1;
+
+  /// Canonical id ("unix:/path" or "tcp:PORT") — the ring member name.
+  std::string id() const;
+
+  /// Opens a client to this endpoint (throws serve::IoError on failure).
+  serve::ServeClient connect(const serve::ClientOptions& opts) const;
+};
+
+/// Throws ls::Error on an empty or malformed spec.
+ReplicaEndpoint parse_replica_endpoint(std::string_view spec);
+
+/// Parses a comma-separated replica list ("unix:/a.sock,tcp:9000,...").
+std::vector<ReplicaEndpoint> parse_replica_list(std::string_view specs);
+
+/// Monotone wall time in milliseconds — the clock fed to the breakers.
+double steady_now_ms();
+
+/// One upstream replica as the router sees it.
+struct Replica {
+  Replica(ReplicaEndpoint ep, const BreakerOptions& bopts)
+      : endpoint(std::move(ep)), id(endpoint.id()), breaker(bopts) {}
+
+  const ReplicaEndpoint endpoint;
+  const std::string id;
+  CircuitBreaker breaker;
+
+  std::atomic<ReplicaState> state{ReplicaState::kUnknown};
+  /// Consecutive failed probes — drives the prober's backoff.
+  std::atomic<int> probe_failures{0};
+  /// steady_now_ms() timestamp of the next due probe.
+  std::atomic<double> next_probe_ms{0.0};
+
+  std::atomic<std::int64_t> probe_ok_total{0};
+  std::atomic<std::int64_t> probe_fail_total{0};
+  std::atomic<std::int64_t> requests_total{0};   ///< answered by this replica
+  std::atomic<std::int64_t> failures_total{0};   ///< transport failures
+
+  /// State-gate of the routing decision (the breaker gate is separate,
+  /// because CircuitBreaker::allow() claims half-open trial slots).
+  bool routable_state() const {
+    return replica_state_routable(state.load(std::memory_order_acquire));
+  }
+};
+
+}  // namespace ls::route

@@ -1,0 +1,110 @@
+#include "route/ring.hpp"
+
+#include <algorithm>
+
+namespace ls::route {
+
+namespace {
+
+/// splitmix64 finalizer: FNV-1a alone clusters for short similar strings
+/// (replica ids differ in a few characters); the avalanche spreads them.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t HashRing::hash_key(std::string_view key) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return mix(h);
+}
+
+HashRing::HashRing(RingOptions opts) : opts_(opts) {
+  if (opts_.vnodes < 1) opts_.vnodes = 1;
+}
+
+void HashRing::rebuild_locked() {
+  points_.clear();
+  points_.reserve(members_.size() * static_cast<std::size_t>(opts_.vnodes));
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    for (int v = 0; v < opts_.vnodes; ++v) {
+      points_.push_back(
+          Point{hash_key(members_[m] + '#' + std::to_string(v)), m});
+    }
+  }
+  // Tie-break equal hashes by member id so the point order — and with it
+  // every key's preference order — is a function of the membership set
+  // alone, not of insertion history.
+  std::sort(points_.begin(), points_.end(),
+            [&](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return members_[a.member] < members_[b.member];
+            });
+}
+
+void HashRing::add(const std::string& replica) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it =
+      std::lower_bound(members_.begin(), members_.end(), replica);
+  if (it != members_.end() && *it == replica) return;
+  members_.insert(it, replica);
+  rebuild_locked();
+}
+
+bool HashRing::remove(const std::string& replica) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it =
+      std::lower_bound(members_.begin(), members_.end(), replica);
+  if (it == members_.end() || *it != replica) return false;
+  members_.erase(it);
+  rebuild_locked();
+  return true;
+}
+
+std::vector<std::string> HashRing::members() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return members_;
+}
+
+std::size_t HashRing::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return members_.size();
+}
+
+std::vector<std::string> HashRing::route(std::string_view key,
+                                         std::size_t n) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  if (members_.empty() || n == 0) return out;
+  n = std::min(n, members_.size());
+  out.reserve(n);
+
+  const std::uint64_t h = hash_key(key);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t lhs, const Point& p) { return lhs < p.hash; });
+
+  std::vector<bool> seen(members_.size(), false);
+  for (std::size_t walked = 0; walked < points_.size() && out.size() < n;
+       ++walked, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (seen[it->member]) continue;
+    seen[it->member] = true;
+    out.push_back(members_[it->member]);
+  }
+  return out;
+}
+
+std::string HashRing::owner(std::string_view key) const {
+  const std::vector<std::string> r = route(key, 1);
+  return r.empty() ? std::string() : r.front();
+}
+
+}  // namespace ls::route

@@ -1,0 +1,85 @@
+// Consistent-hash ring: the placement function of the router tier.
+//
+// Each replica contributes `vnodes` virtual points on a 64-bit hash
+// circle; a key routes to the first point clockwise of its own hash, and
+// its failover order is the sequence of *distinct* replicas encountered
+// continuing clockwise. Two properties make this the right structure for
+// replicated serving:
+//
+//   - bounded remap: adding or removing one replica only remaps the keys
+//     whose owning arc changed (~1/N of the keyspace), so a membership
+//     change never reshuffles every client's affinity — hot per-replica
+//     caches and hot-reload state stay warm for everyone else;
+//   - deterministic preference order: the failover sequence for a key is
+//     a pure function of the membership set, independent of add/remove
+//     history, so every router instance (and every test) agrees.
+//
+// Membership changes rebuild the point table under a mutex; route() also
+// takes the mutex, which is fine because a routing decision costs one
+// binary search and a request costs a network round trip. Sick replicas
+// are NOT removed here — the router skips them in preference order
+// (probe state + circuit breaker), which is equivalent to removal for the
+// affected keys while keeping everyone else's mapping untouched.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ls::route {
+
+/// Ring construction knobs.
+struct RingOptions {
+  /// Virtual points per replica. More vnodes → tighter load spread at the
+  /// cost of a larger point table; 64 keeps the max/mean share under ~1.5
+  /// for small clusters.
+  int vnodes = 64;
+};
+
+/// Thread-safe consistent-hash ring over replica ids.
+class HashRing {
+ public:
+  explicit HashRing(RingOptions opts = {});
+
+  /// Adds a replica (idempotent: re-adding an existing id is a no-op).
+  void add(const std::string& replica);
+
+  /// Removes a replica; returns false when it was not a member.
+  bool remove(const std::string& replica);
+
+  /// Current membership, sorted by id.
+  std::vector<std::string> members() const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// The first `n` distinct replicas clockwise of hash(key) — the key's
+  /// owner followed by its failover order. `n >= size()` yields the full
+  /// preference order (a permutation of the membership).
+  std::vector<std::string> route(std::string_view key, std::size_t n) const;
+
+  /// route(key, 1), or "" on an empty ring.
+  std::string owner(std::string_view key) const;
+
+  /// The ring's key/vnode hash (FNV-1a 64 with an avalanche finalizer);
+  /// exposed for tests that reason about placement.
+  static std::uint64_t hash_key(std::string_view key);
+
+ private:
+  /// One virtual point: a position on the circle owned by members_[member].
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t member;
+  };
+
+  void rebuild_locked();
+
+  RingOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<std::string> members_;  ///< sorted by id
+  std::vector<Point> points_;         ///< sorted by (hash, member id)
+};
+
+}  // namespace ls::route

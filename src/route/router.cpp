@@ -1,0 +1,323 @@
+#include "route/router.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+
+namespace ls::route {
+
+using serve::Frame;
+using serve::FrameContext;
+using serve::FrameDisposition;
+using serve::IoError;
+using serve::MsgType;
+using serve::PredictResult;
+using serve::Status;
+
+namespace {
+
+/// Per-thread upstream connection cache. Handler threads are
+/// per-connection and die with it, so the cache's lifetime is exactly one
+/// downstream client session — which is also what gives that client a
+/// persistent (warm) path to its ring replica.
+thread_local std::map<std::string, std::unique_ptr<serve::ServeClient>>
+    tl_upstreams;
+
+}  // namespace
+
+Router::Router(const std::vector<ReplicaEndpoint>& replicas,
+               RouterOptions opts)
+    : opts_(std::move(opts)), ring_(opts_.ring) {
+  LS_CHECK(!replicas.empty(), "router needs at least one replica");
+  for (const ReplicaEndpoint& ep : replicas) {
+    auto rep = std::make_shared<Replica>(ep, opts_.breaker);
+    LS_CHECK(by_id_.emplace(rep->id, rep).second,
+             "duplicate replica endpoint " << rep->id);
+    replicas_.push_back(std::move(rep));
+    ring_.add(replicas_.back()->id);
+  }
+  prober_ = std::make_unique<HealthProber>(replicas_, opts_.probe);
+}
+
+Router::~Router() { stop(); }
+
+void Router::start() { prober_->start(); }
+
+void Router::stop() { prober_->stop(); }
+
+serve::ClientOptions Router::upstream_options() const {
+  serve::ClientOptions copts;
+  copts.connect_timeout_ms = opts_.upstream_connect_timeout_ms;
+  copts.request_timeout_ms = opts_.upstream_request_timeout_ms;
+  copts.max_retries = 0;  // failover to the next replica IS the retry
+  return copts;
+}
+
+serve::ServeClient* Router::upstream(const Replica& r) {
+  auto it = tl_upstreams.find(r.id);
+  if (it == tl_upstreams.end()) {
+    it = tl_upstreams
+             .emplace(r.id, std::make_unique<serve::ServeClient>(
+                                r.endpoint.connect(upstream_options())))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Router::drop_upstream(const Replica& r) { tl_upstreams.erase(r.id); }
+
+std::string Router::route_predict(const std::string& model,
+                                  std::uint64_t conn_id,
+                                  const std::string& payload) {
+  requests_total_.fetch_add(1, std::memory_order_release);
+  metrics::counter_add("route.requests_total");
+
+  // (model, client) is the placement key: one client's stream for one
+  // model sticks to one replica until membership or health moves it.
+  const std::string key = model + '\x1f' + std::to_string(conn_id);
+  const std::vector<std::string> order = ring_.route(key, ring_.size());
+  const std::size_t max_attempts =
+      opts_.max_failover > 0
+          ? std::min<std::size_t>(order.size(),
+                                  static_cast<std::size_t>(
+                                      opts_.max_failover))
+          : order.size();
+
+  std::size_t attempts = 0;
+  for (const std::string& id : order) {
+    if (attempts >= max_attempts) break;
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) continue;  // ring raced a membership change
+    Replica& rep = *it->second;
+    if (!rep.routable_state()) continue;
+
+    double now = steady_now_ms();
+    try {
+      // Operator/test hook: force this replica's breaker open without
+      // needing a sick process behind it.
+      LS_FAILPOINT("route.breaker.force_open");
+    } catch (const std::exception&) {
+      rep.breaker.force_open(now);
+    }
+    if (!rep.breaker.allow(now)) {
+      breaker_short_circuit_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("route.breaker.short_circuit_total");
+      continue;
+    }
+
+    ++attempts;
+    try {
+      serve::ServeClient* up = upstream(rep);
+      const Frame reply =
+          up->forward(MsgType::kPredictReq, payload, MsgType::kPredictResp);
+      const PredictResult r = serve::decode_predict_response(reply.payload);
+      now = steady_now_ms();
+      // Transport worked either way — the breaker only counts transport.
+      rep.breaker.record_success(now);
+      if (r.status == Status::kShuttingDown) {
+        // Healthy refusal: the replica is draining for a restart. Remember
+        // that ahead of the next probe and move on — predict is
+        // idempotent, the next replica can answer it.
+        rep.state.store(ReplicaState::kDraining,
+                        std::memory_order_release);
+        failover_total_.fetch_add(1, std::memory_order_release);
+        metrics::counter_add("route.failover_total");
+        continue;
+      }
+      rep.requests_total.fetch_add(1, std::memory_order_release);
+      proxied_ok_total_.fetch_add(1, std::memory_order_release);
+      return reply.payload;
+    } catch (const IoError&) {
+      // Classified transport failure: feed the breaker, drop the dead
+      // connection, try the next replica in ring order.
+      rep.failures_total.fetch_add(1, std::memory_order_release);
+      rep.breaker.record_failure(steady_now_ms());
+      drop_upstream(rep);
+      failover_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("route.failover_total");
+      continue;
+    } catch (const std::exception&) {
+      // Malformed upstream reply: not transport weather, but this replica
+      // cannot be trusted with the request either.
+      rep.failures_total.fetch_add(1, std::memory_order_release);
+      drop_upstream(rep);
+      failover_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("route.failover_total");
+      continue;
+    }
+  }
+
+  // Every replica is down, draining, tripped or failed: answer with the
+  // retryable refusal so a client with retries bridges the gap (exactly
+  // how it would bridge a single restarting server).
+  exhausted_total_.fetch_add(1, std::memory_order_release);
+  metrics::counter_add("route.exhausted_total");
+  return serve::encode_predict_response(
+      PredictResult{Status::kShuttingDown, 0.0, 0.0});
+}
+
+std::pair<Status, std::string> Router::fan_out_reload(
+    const std::string& payload) {
+  reload_fanouts_total_.fetch_add(1, std::memory_order_release);
+  metrics::counter_add("route.reload_fanouts_total");
+  bool all_ok = true;
+  std::ostringstream report;
+  for (const auto& rep : replicas_) {
+    Status s = Status::kInternal;
+    std::string text;
+    try {
+      // A fresh connection per replica: reload is rare and must not ride
+      // (or poison) the request path's cached connections.
+      serve::ServeClient c = rep->endpoint.connect(upstream_options());
+      const Frame reply =
+          c.forward(MsgType::kReloadReq, payload, MsgType::kStatusResp);
+      serve::decode_status_response(reply.payload, s, text);
+    } catch (const std::exception& e) {
+      s = Status::kInternal;
+      text = e.what();
+    }
+    if (s != Status::kOk) all_ok = false;
+    report << rep->id << ": " << serve::status_name(s)
+           << (text.empty() ? "" : " " + text) << '\n';
+  }
+  return {all_ok ? Status::kOk : Status::kInternal, report.str()};
+}
+
+FrameDisposition Router::on_frame(const FrameContext& ctx,
+                                  const Frame& frame) {
+  const int fd = ctx.fd;
+  const serve::FrameTimeouts& t = ctx.timeouts;
+  switch (frame.type) {
+    case MsgType::kPredictReq: {
+      std::string model;
+      try {
+        model = serve::decode_predict_model(frame.payload);
+      } catch (const std::exception&) {
+        ctx.server->note_protocol_error();
+        serve::write_frame(fd, MsgType::kPredictResp,
+                           serve::encode_predict_response(
+                               PredictResult{Status::kBadFrame, 0.0, 0.0}),
+                           t);
+        return FrameDisposition::kKeep;
+      }
+      if (ctx.draining) {
+        serve::write_frame(
+            fd, MsgType::kPredictResp,
+            serve::encode_predict_response(
+                PredictResult{Status::kShuttingDown, 0.0, 0.0}),
+            t);
+        return FrameDisposition::kKeep;
+      }
+      const std::string reply =
+          route_predict(model, ctx.conn_id, frame.payload);
+      serve::write_frame(fd, MsgType::kPredictResp, reply, t);
+      return FrameDisposition::kKeep;
+    }
+    case MsgType::kReloadReq: {
+      const auto [status, report] = fan_out_reload(frame.payload);
+      serve::write_frame(fd, MsgType::kStatusResp,
+                         serve::encode_status_response(status, report), t);
+      return FrameDisposition::kKeep;
+    }
+    case MsgType::kStatsReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(
+              Status::kOk, stats_text() + ctx.server->stats_text()),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kHealthReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(
+              Status::kOk, ctx.draining ? "draining" : health_name()),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kPingReq:
+      serve::write_frame(fd, MsgType::kStatusResp,
+                         serve::encode_status_response(Status::kOk, "pong"),
+                         t);
+      return FrameDisposition::kKeep;
+    case MsgType::kShutdownReq:
+      // Stops the router tier only — replicas have their own lifecycles.
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kOk, "router shutting down"),
+          t);
+      return FrameDisposition::kStopServer;
+    case MsgType::kPredictResp:
+    case MsgType::kStatusResp:
+      ctx.server->note_protocol_error();
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kBadFrame,
+                                        "response type sent as request"),
+          t);
+      return FrameDisposition::kKeep;
+  }
+  return FrameDisposition::kKeep;
+}
+
+const char* Router::health_name() const {
+  std::size_t routable = 0;
+  for (const auto& rep : replicas_) {
+    if (rep->routable_state()) ++routable;
+  }
+  if (routable == replicas_.size()) return "ready";
+  if (routable > 0) return "degraded";
+  return "live";
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.requests_total = requests_total_.load(std::memory_order_acquire);
+  s.proxied_ok_total = proxied_ok_total_.load(std::memory_order_acquire);
+  s.failover_total = failover_total_.load(std::memory_order_acquire);
+  s.exhausted_total = exhausted_total_.load(std::memory_order_acquire);
+  s.breaker_short_circuit_total =
+      breaker_short_circuit_total_.load(std::memory_order_acquire);
+  s.reload_fanouts_total =
+      reload_fanouts_total_.load(std::memory_order_acquire);
+  s.replicas = replicas_.size();
+  for (const auto& rep : replicas_) {
+    if (rep->routable_state()) ++s.routable_replicas;
+  }
+  return s;
+}
+
+std::string Router::stats_text() const {
+  const RouterStats s = stats();
+  const double now = steady_now_ms();
+  std::ostringstream os;
+  os << "router_replicas " << s.replicas << '\n'
+     << "router_routable_replicas " << s.routable_replicas << '\n'
+     << "route_requests_total " << s.requests_total << '\n'
+     << "route_proxied_ok_total " << s.proxied_ok_total << '\n'
+     << "route_failover_total " << s.failover_total << '\n'
+     << "route_exhausted_total " << s.exhausted_total << '\n'
+     << "route_breaker_short_circuit_total "
+     << s.breaker_short_circuit_total << '\n'
+     << "route_reload_fanouts_total " << s.reload_fanouts_total << '\n';
+  for (const auto& rep : replicas_) {
+    os << "replica " << rep->id << " state="
+       << replica_state_name(rep->state.load(std::memory_order_acquire))
+       << " breaker=" << breaker_state_name(rep->breaker.state(now))
+       << " breaker_opens="
+       << rep->breaker.opens_total()
+       << " probe_failures="
+       << rep->probe_failures.load(std::memory_order_acquire)
+       << " probe_ok=" << rep->probe_ok_total.load(std::memory_order_acquire)
+       << " probe_fail="
+       << rep->probe_fail_total.load(std::memory_order_acquire)
+       << " requests="
+       << rep->requests_total.load(std::memory_order_acquire)
+       << " failures="
+       << rep->failures_total.load(std::memory_order_acquire) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ls::route

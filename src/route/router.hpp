@@ -1,0 +1,146 @@
+// Router: the replicated-serving front door.
+//
+// A Router is a serve::FrameHandler, so a stock serve::ServeServer gives
+// it the hardened socket front-end (deadline-bounded frame I/O,
+// connection governance, graceful drain) for free, and clients speak the
+// unchanged LSRV protocol — a client cannot tell a router from a single
+// serve_tool daemon. Behind the handler:
+//
+//   placement   consistent-hash ring over replica ids, keyed by
+//               (model, connection): one client's stream for one model
+//               sticks to one replica (warm caches, hot-reload affinity),
+//               and membership changes remap only the affected arc
+//   health      a background HealthProber drives per-replica lifecycle
+//               state off the protocol-v2 health verb (jittered, deadline-
+//               bounded, backing off on failure)
+//   containment a per-replica circuit breaker trips on consecutive
+//               classified transport failures, short-circuiting a sick
+//               replica out of the rotation within milliseconds
+//   failover    predict is idempotent, so a kShuttingDown reply, an open
+//               breaker or any transport failure moves the request to the
+//               next distinct replica in the key's ring order; a rolling
+//               restart of every replica in sequence loses zero requests
+//
+// What is and is not forwarded:
+//   predict   proxied pass-through (payload forwarded verbatim; only the
+//             model-name prefix is peeked for the ring key), failover on
+//   reload    fanned out to EVERY replica — a hot reload must land on the
+//             whole fleet or report which part of it it missed; never
+//             retried (not idempotent from the operator's view)
+//   stats     answered by the router: route.* counters, per-replica state
+//             lines, then the socket layer's own block
+//   ping      answered by the router ("pong" — the router is alive)
+//   health    answered by the router: aggregate of the replica states
+//   shutdown  stops the ROUTER only; replicas are owned by their own
+//             operators/supervisors
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "route/prober.hpp"
+#include "route/replica.hpp"
+#include "route/ring.hpp"
+#include "serve/server.hpp"
+
+namespace ls::route {
+
+/// Router configuration.
+struct RouterOptions {
+  RingOptions ring;
+  BreakerOptions breaker;
+  ProberOptions probe;
+  /// Per-attempt budget for one upstream exchange (0 = unbounded). Kept
+  /// separate from the client's own end-to-end deadline: a short upstream
+  /// budget converts a wedged replica into a fast failover.
+  double upstream_request_timeout_ms = 2000.0;
+  /// Budget for opening one upstream connection.
+  double upstream_connect_timeout_ms = 1000.0;
+  /// Max distinct replicas tried per predict (0 = all of them).
+  int max_failover = 0;
+};
+
+/// Point-in-time router statistics.
+struct RouterStats {
+  std::int64_t requests_total = 0;    ///< predicts arriving at the router
+  std::int64_t proxied_ok_total = 0;  ///< answered by some replica
+  std::int64_t failover_total = 0;    ///< attempts moved to the next replica
+  std::int64_t exhausted_total = 0;   ///< no replica could answer
+  std::int64_t breaker_short_circuit_total = 0;  ///< skipped: breaker open
+  std::int64_t reload_fanouts_total = 0;
+  std::size_t replicas = 0;
+  std::size_t routable_replicas = 0;  ///< state-routable right now
+};
+
+/// The router tier's frame handler. Construct, start(), then hand it to a
+/// serve::ServeServer. Thread-safe: on_frame runs on the server's
+/// per-connection handler threads concurrently with the prober.
+class Router final : public serve::FrameHandler {
+ public:
+  Router(const std::vector<ReplicaEndpoint>& replicas,
+         RouterOptions opts = {});
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Starts the health prober (idempotent).
+  void start();
+
+  /// Stops it (idempotent; the destructor calls it).
+  void stop();
+
+  serve::FrameDisposition on_frame(const serve::FrameContext& ctx,
+                                   const serve::Frame& frame) override;
+
+  /// Aggregate health: "ready" when every replica is routable, "degraded"
+  /// when only some are, "live" when none is (router up, fleet dark).
+  const char* health_name() const;
+
+  RouterStats stats() const;
+
+  /// Human-readable stats block (route.* counters + one line per
+  /// replica); the stats verb appends the socket layer's block to it.
+  std::string stats_text() const;
+
+  /// Shared replica records (tests and tools poke probe/breaker state).
+  const std::vector<std::shared_ptr<Replica>>& replicas() const {
+    return replicas_;
+  }
+
+  HashRing& ring() { return ring_; }
+
+ private:
+  /// Proxies one predict payload along the key's ring order; returns the
+  /// raw upstream response payload (or an encoded local error reply).
+  std::string route_predict(const std::string& model, std::uint64_t conn_id,
+                            const std::string& payload);
+
+  /// Fans a reload out to every replica; returns (status, report).
+  std::pair<serve::Status, std::string> fan_out_reload(
+      const std::string& payload);
+
+  /// Thread-local persistent upstream connection for `r` (created on
+  /// first use per handler thread, dropped on transport failure).
+  serve::ServeClient* upstream(const Replica& r);
+  void drop_upstream(const Replica& r);
+  serve::ClientOptions upstream_options() const;
+
+  RouterOptions opts_;
+  std::vector<std::shared_ptr<Replica>> replicas_;
+  std::map<std::string, std::shared_ptr<Replica>> by_id_;
+  HashRing ring_;
+  std::unique_ptr<HealthProber> prober_;
+
+  std::atomic<std::int64_t> requests_total_{0};
+  std::atomic<std::int64_t> proxied_ok_total_{0};
+  std::atomic<std::int64_t> failover_total_{0};
+  std::atomic<std::int64_t> exhausted_total_{0};
+  std::atomic<std::int64_t> breaker_short_circuit_total_{0};
+  std::atomic<std::int64_t> reload_fanouts_total_{0};
+};
+
+}  // namespace ls::route

@@ -300,6 +300,19 @@ bool ServeClient::ping() {
   return status == Status::kOk && text == "pong";
 }
 
+Frame ServeClient::forward(MsgType type, std::string_view payload,
+                           MsgType expected) {
+  ensure_connected();
+  try {
+    return round_trip_once(type, payload, expected);
+  } catch (const IoError&) {
+    // The connection state is unknown; the caller decides where (and
+    // whether) to resend, so only the teardown happens here.
+    close();
+    throw;
+  }
+}
+
 Status ServeClient::shutdown_server() {
   ensure_connected();
   const Frame reply = round_trip_once(MsgType::kShutdownReq, "",

@@ -91,6 +91,13 @@ class ServeClient {
   /// retried.
   Status shutdown_server();
 
+  /// Proxy pass-through: one request/response exchange with an
+  /// already-encoded payload, no retries and no payload interpretation.
+  /// The router tier forwards predict payloads verbatim through this and
+  /// owns its own failover policy (next ring replica, not resend-here).
+  /// Throws IoError on transport failure.
+  Frame forward(MsgType type, std::string_view payload, MsgType expected);
+
   void close();
   bool connected() const { return fd_ >= 0; }
 

@@ -145,6 +145,12 @@ void decode_predict_request(std::string_view payload, std::string& model,
   c.expect_end();
 }
 
+std::string decode_predict_model(std::string_view payload) {
+  Cursor c{payload};
+  const auto name_len = c.get_raw<std::uint16_t>("model name length");
+  return c.get_string(name_len, "model name");
+}
+
 std::string encode_predict_response(const PredictResult& r) {
   std::string out;
   put_u8(out, static_cast<std::uint8_t>(r.status));

@@ -141,6 +141,11 @@ std::string encode_status_response(Status status, std::string_view text);
 
 void decode_predict_request(std::string_view payload, std::string& model,
                             SparseVector& x, double* deadline_ms = nullptr);
+/// Reads only the model-name prefix of a predict-request payload. The
+/// router tier needs the consistent-hash key without paying for (and
+/// without re-validating) the full vector decode — the payload itself is
+/// forwarded to a replica verbatim, which validates it as usual.
+std::string decode_predict_model(std::string_view payload);
 PredictResult decode_predict_response(std::string_view payload);
 std::string decode_reload_request(std::string_view payload);
 void decode_status_response(std::string_view payload, Status& status,

@@ -57,7 +57,14 @@ struct FrameGuard {
 }  // namespace
 
 ServeServer::ServeServer(ServeEngine& engine, ServerOptions opts)
-    : engine_(&engine), opts_(std::move(opts)) {}
+    : handler_(nullptr),
+      owned_handler_(std::make_unique<EngineFrameHandler>(engine)),
+      opts_(std::move(opts)) {
+  handler_ = owned_handler_.get();
+}
+
+ServeServer::ServeServer(FrameHandler& handler, ServerOptions opts)
+    : handler_(&handler), opts_(std::move(opts)) {}
 
 ServeServer::~ServeServer() { stop(); }
 
@@ -207,10 +214,12 @@ bool ServeServer::govern_and_register(int fd) {
     evictions_total_.fetch_add(1, std::memory_order_release);
     metrics::counter_add("serve.evictions_total");
   }
-  auto conn = std::make_shared<Conn>(fd);
+  const std::int64_t conn_id =
+      connections_total_.fetch_add(1, std::memory_order_release) + 1;
+  auto conn =
+      std::make_shared<Conn>(fd, static_cast<std::uint64_t>(conn_id));
   conn->last_active_us.store(now, std::memory_order_release);
   conns_.push_back(conn);
-  connections_total_.fetch_add(1, std::memory_order_release);
   metrics::counter_add("serve.connections_total");
   std::thread t([this, conn] { handle_connection(conn); });
   const std::thread::id id = t.get_id();
@@ -307,7 +316,15 @@ void ServeServer::handle_connection(std::shared_ptr<Conn> conn) {
     bool keep = false;
     try {
       FrameGuard g(active_frames_);
-      keep = handle_frame(fd, frame);
+      FrameContext ctx;
+      ctx.fd = fd;
+      ctx.timeouts = t;
+      ctx.draining = draining_.load(std::memory_order_acquire);
+      ctx.conn_id = conn->id;
+      ctx.server = this;
+      const FrameDisposition d = handler_->on_frame(ctx, frame);
+      if (d == FrameDisposition::kStopServer) request_stop();
+      keep = d == FrameDisposition::kKeep;
     } catch (const IoError& e) {
       if (e.kind() == IoErrorKind::kTimeout) {
         write_timeouts_total_.fetch_add(1, std::memory_order_release);
@@ -336,8 +353,10 @@ void ServeServer::handle_connection(std::shared_ptr<Conn> conn) {
   close_quiet(fd);
 }
 
-bool ServeServer::handle_frame(int fd, const Frame& frame) {
-  const FrameTimeouts t = io_timeouts(opts_);
+FrameDisposition EngineFrameHandler::on_frame(const FrameContext& ctx,
+                                              const Frame& frame) {
+  const int fd = ctx.fd;
+  const FrameTimeouts& t = ctx.timeouts;
   switch (frame.type) {
     case MsgType::kPredictReq: {
       std::string model;
@@ -346,28 +365,27 @@ bool ServeServer::handle_frame(int fd, const Frame& frame) {
       try {
         decode_predict_request(frame.payload, model, x, &deadline_ms);
       } catch (const std::exception&) {
-        protocol_errors_total_.fetch_add(1, std::memory_order_release);
-        metrics::counter_add("serve.protocol_errors_total");
+        ctx.server->note_protocol_error();
         write_frame(fd, MsgType::kPredictResp,
                     encode_predict_response(
                         PredictResult{Status::kBadFrame, 0.0, 0.0}),
                     t);
-        return true;
+        return FrameDisposition::kKeep;
       }
-      if (draining_.load(std::memory_order_acquire)) {
+      if (ctx.draining) {
         // New work is refused during drain; only requests accepted before
         // begin_drain() still flow to completion.
         write_frame(fd, MsgType::kPredictResp,
                     encode_predict_response(
                         PredictResult{Status::kShuttingDown, 0.0, 0.0}),
                     t);
-        return true;
+        return FrameDisposition::kKeep;
       }
       const PredictResult r =
           engine_->predict(model, std::move(x), deadline_ms);
       LS_FAILPOINT("serve.conn.write");
       write_frame(fd, MsgType::kPredictResp, encode_predict_response(r), t);
-      return true;
+      return FrameDisposition::kKeep;
     }
     case MsgType::kReloadReq: {
       std::string model;
@@ -377,7 +395,7 @@ bool ServeServer::handle_frame(int fd, const Frame& frame) {
         write_frame(fd, MsgType::kStatusResp,
                     encode_status_response(Status::kBadFrame, "bad frame"),
                     t);
-        return true;
+        return FrameDisposition::kKeep;
       }
       try {
         engine_->reload_model(model);
@@ -389,45 +407,47 @@ bool ServeServer::handle_frame(int fd, const Frame& frame) {
         write_frame(fd, MsgType::kStatusResp,
                     encode_status_response(Status::kInternal, e.what()), t);
       }
-      return true;
+      return FrameDisposition::kKeep;
     }
     case MsgType::kStatsReq:
       write_frame(fd, MsgType::kStatusResp,
-                  encode_status_response(
-                      Status::kOk, engine_->stats_text() + stats_text()),
+                  encode_status_response(Status::kOk,
+                                         engine_->stats_text() +
+                                             ctx.server->stats_text()),
                   t);
-      return true;
+      return FrameDisposition::kKeep;
     case MsgType::kHealthReq: {
       // Drain state outranks the engine view: a draining server must stop
       // receiving traffic even though the engine is still healthy.
-      const char* state = draining_.load(std::memory_order_acquire)
-                              ? "draining"
-                              : engine_->health_name();
+      const char* state = ctx.draining ? "draining" : engine_->health_name();
       write_frame(fd, MsgType::kStatusResp,
                   encode_status_response(Status::kOk, state), t);
-      return true;
+      return FrameDisposition::kKeep;
     }
     case MsgType::kPingReq:
       write_frame(fd, MsgType::kStatusResp,
                   encode_status_response(Status::kOk, "pong"), t);
-      return true;
+      return FrameDisposition::kKeep;
     case MsgType::kShutdownReq:
       write_frame(fd, MsgType::kStatusResp,
                   encode_status_response(Status::kOk, "shutting down"), t);
-      request_stop();
-      return false;
+      return FrameDisposition::kStopServer;
     case MsgType::kPredictResp:
     case MsgType::kStatusResp:
       // Response types are not valid requests.
-      protocol_errors_total_.fetch_add(1, std::memory_order_release);
-      metrics::counter_add("serve.protocol_errors_total");
+      ctx.server->note_protocol_error();
       write_frame(fd, MsgType::kStatusResp,
                   encode_status_response(Status::kBadFrame,
                                          "response type sent as request"),
                   t);
-      return true;
+      return FrameDisposition::kKeep;
   }
-  return true;
+  return FrameDisposition::kKeep;
+}
+
+void ServeServer::note_protocol_error() {
+  protocol_errors_total_.fetch_add(1, std::memory_order_release);
+  metrics::counter_add("serve.protocol_errors_total");
 }
 
 void ServeServer::request_stop() {
@@ -471,7 +491,7 @@ bool ServeServer::drain(double bound_ms) {
   bool quiesced = false;
   for (;;) {
     if (active_frames_.load(std::memory_order_acquire) == 0 &&
-        engine_->idle()) {
+        handler_->quiesced()) {
       quiesced = true;
       break;
     }

@@ -37,6 +37,62 @@
 
 namespace ls::serve {
 
+class ServeServer;
+
+/// What on_frame() tells the server to do once the frame is answered.
+enum class FrameDisposition : std::uint8_t {
+  kKeep,        ///< keep the connection open for the next frame
+  kClose,       ///< wind down this connection only
+  kStopServer,  ///< stop the whole server (the shutdown verb)
+};
+
+/// Per-frame context handed to a FrameHandler: where to write the reply,
+/// under which I/O budgets, and the server's lifecycle state.
+struct FrameContext {
+  int fd = -1;
+  FrameTimeouts timeouts;
+  bool draining = false;
+  /// Stable 1-based id of the connection the frame arrived on — the
+  /// router tier folds it into the consistent-hash key so one client's
+  /// stream sticks to one replica.
+  std::uint64_t conn_id = 0;
+  ServeServer* server = nullptr;
+};
+
+/// Application logic behind the socket front-end. ServeServer owns accept,
+/// connection governance, frame deadlines, draining and teardown; the
+/// handler owns what each verb means. The stock EngineFrameHandler serves
+/// a local ServeEngine; the router tier (src/route) implements the same
+/// interface to proxy frames onto replicas.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+
+  /// Serves one decoded request frame, writing the reply with
+  /// write_frame() on ctx.fd under ctx.timeouts. A thrown IoError drops
+  /// the connection (counted as a write timeout when classified so); any
+  /// other exception counts as a protocol error and drops the connection.
+  virtual FrameDisposition on_frame(const FrameContext& ctx,
+                                    const Frame& frame) = 0;
+
+  /// Drain predicate beyond the in-flight frame count: true when no work
+  /// is pending behind the sockets (e.g. the engine queue is empty).
+  virtual bool quiesced() const { return true; }
+};
+
+/// The stock handler: serves a local ServeEngine (predict / reload /
+/// stats / ping / health / shutdown — the verbs serve_tool exposes).
+class EngineFrameHandler final : public FrameHandler {
+ public:
+  explicit EngineFrameHandler(ServeEngine& engine) : engine_(&engine) {}
+  FrameDisposition on_frame(const FrameContext& ctx,
+                            const Frame& frame) override;
+  bool quiesced() const override { return engine_->idle(); }
+
+ private:
+  ServeEngine* engine_;
+};
+
 /// Listener configuration: set `unix_path` for AF_UNIX (preferred), or
 /// leave it empty and set `tcp_port` (0 = kernel-assigned, see port())
 /// for loopback TCP.
@@ -77,11 +133,15 @@ struct ServerStats {
   double drain_seconds = 0.0;             ///< duration of the last drain()
 };
 
-/// Threaded socket server over a ServeEngine. The engine must outlive the
-/// server and is shared — in-process callers can keep using it directly.
+/// Threaded socket server over a FrameHandler. The handler (or engine)
+/// must outlive the server and is shared — in-process callers can keep
+/// using an engine directly while it is being served.
 class ServeServer {
  public:
+  /// Serves a local engine through the stock EngineFrameHandler.
   ServeServer(ServeEngine& engine, ServerOptions opts);
+  /// Serves an arbitrary handler (the router tier's entry point).
+  ServeServer(FrameHandler& handler, ServerOptions opts);
   ~ServeServer();
 
   ServeServer(const ServeServer&) = delete;
@@ -123,12 +183,17 @@ class ServeServer {
   /// Actual TCP port after start() (useful with tcp_port = 0).
   int port() const { return port_; }
 
+  /// Counts one malformed frame / payload. Public so FrameHandler
+  /// implementations can attribute decode failures to this listener.
+  void note_protocol_error();
+
  private:
   /// Per-connection bookkeeping shared between its handler thread and the
   /// accept loop's governance (eviction victim selection).
   struct Conn {
-    explicit Conn(int fd_) : fd(fd_) {}
+    Conn(int fd_, std::uint64_t id_) : fd(fd_), id(id_) {}
     const int fd;
+    const std::uint64_t id;
     std::atomic<std::int64_t> frames{0};
     std::atomic<std::int64_t> last_active_us{0};
     /// False while parked between frames — the eviction predicate.
@@ -138,9 +203,6 @@ class ServeServer {
   void accept_loop();
   void accept_overload_backoff();
   void handle_connection(std::shared_ptr<Conn> conn);
-  /// Serves one decoded frame; returns false when the connection (or the
-  /// whole server, for kShutdownReq) should wind down.
-  bool handle_frame(int fd, const Frame& frame);
   void request_stop();
   /// Joins handler threads whose connections already finished. mu_ held.
   void reap_finished_locked();
@@ -148,7 +210,10 @@ class ServeServer {
   /// connection if needed. Returns false when the newcomer was rejected.
   bool govern_and_register(int fd);
 
-  ServeEngine* engine_;
+  FrameHandler* handler_;
+  /// Set by the engine-taking constructor, which wraps the engine in an
+  /// EngineFrameHandler owned here.
+  std::unique_ptr<FrameHandler> owned_handler_;
   ServerOptions opts_;
   /// Atomic because stop() claims-and-closes it (exchange to -1) while the
   /// accept thread re-reads it each iteration.

@@ -1,0 +1,679 @@
+// Tests of the router tier: consistent-hash ring placement, circuit
+// breaker state machine, endpoint parsing, health probing and the full
+// router-over-replicas request path (failover, breaker failpoints,
+// reload fan-out).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "route/breaker.hpp"
+#include "route/prober.hpp"
+#include "route/replica.hpp"
+#include "route/ring.hpp"
+#include "route/router.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "svm/serialize.hpp"
+
+namespace ls::route {
+namespace {
+
+// --- consistent-hash ring -----------------------------------------------
+
+std::vector<std::string> keyset(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("model-" + std::to_string(i % 7) + "\x1f" +
+                   std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(HashRing, SpreadAcrossReplicasIsBounded) {
+  HashRing ring;
+  ring.add("r0");
+  ring.add("r1");
+  ring.add("r2");
+  std::map<std::string, int> share;
+  const std::vector<std::string> keys = keyset(1000);
+  for (const std::string& k : keys) ++share[ring.owner(k)];
+  ASSERT_EQ(share.size(), 3u);
+  for (const auto& [id, n] : share) {
+    // With 64 vnodes each of 3 replicas owns roughly a third; the bound
+    // is loose enough to be seed-stable but tight enough to catch a
+    // broken hash (everything on one replica) or a missing vnode loop.
+    EXPECT_GE(n, 100) << id << " starved: " << n << "/1000";
+    EXPECT_LE(n, 600) << id << " overloaded: " << n << "/1000";
+  }
+}
+
+TEST(HashRing, AddRemapsOnlyMovedKeysAndOnlyToTheNewMember) {
+  HashRing ring;
+  ring.add("r0");
+  ring.add("r1");
+  ring.add("r2");
+  const std::vector<std::string> keys = keyset(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& k : keys) before[k] = ring.owner(k);
+
+  ring.add("r3");
+  std::size_t moved = 0;
+  for (const std::string& k : keys) {
+    const std::string after = ring.owner(k);
+    if (after != before[k]) {
+      // Consistent hashing's contract: growth steals keys for the new
+      // member, it never shuffles keys between the old members.
+      EXPECT_EQ(after, "r3") << "key " << k << " moved " << before[k]
+                             << " -> " << after;
+      ++moved;
+    }
+  }
+  // The new member should take roughly 1/4 of the keyspace, and nothing
+  // close to a full reshuffle (which would be ~75% moved).
+  EXPECT_GT(moved, 100u);
+  EXPECT_LT(moved, 500u);
+}
+
+TEST(HashRing, RemoveRestoresThePriorMapping) {
+  HashRing ring;
+  ring.add("r0");
+  ring.add("r1");
+  ring.add("r2");
+  const std::vector<std::string> keys = keyset(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& k : keys) before[k] = ring.owner(k);
+
+  ring.add("r3");
+  ASSERT_TRUE(ring.remove("r3"));
+  for (const std::string& k : keys) {
+    EXPECT_EQ(ring.owner(k), before[k]);
+  }
+  EXPECT_FALSE(ring.remove("r3"));  // already gone
+}
+
+TEST(HashRing, PreferenceOrderIsAPermutationOfMembership) {
+  HashRing ring;
+  for (const char* id : {"a", "b", "c", "d"}) ring.add(id);
+  for (const std::string& k : keyset(64)) {
+    const std::vector<std::string> order = ring.route(k, ring.size());
+    std::set<std::string> distinct(order.begin(), order.end());
+    EXPECT_EQ(order.size(), 4u);
+    EXPECT_EQ(distinct.size(), 4u);
+  }
+}
+
+TEST(HashRing, OrderIndependentOfInsertionHistory) {
+  HashRing a;
+  a.add("r0");
+  a.add("r1");
+  a.add("r2");
+
+  HashRing b;
+  b.add("r2");
+  b.add("ghost");
+  b.add("r0");
+  ASSERT_TRUE(b.remove("ghost"));
+  b.add("r1");
+
+  for (const std::string& k : keyset(200)) {
+    EXPECT_EQ(a.route(k, 3), b.route(k, 3)) << "key " << k;
+  }
+}
+
+TEST(HashRing, EmptyAndSingleMemberEdges) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.owner("anything"), "");
+  EXPECT_TRUE(ring.route("anything", 3).empty());
+
+  ring.add("only");
+  for (const std::string& k : keyset(32)) {
+    EXPECT_EQ(ring.owner(k), "only");
+  }
+  EXPECT_EQ(ring.route("k", 5).size(), 1u);  // n > size caps at size
+}
+
+// TSan target: routing while membership churns must be free of data races
+// and must settle to the same deterministic order as a fresh ring.
+TEST(HashRing, ConcurrentMembershipUpdatesKeepRoutingDeterministic) {
+  HashRing ring;
+  ring.add("r0");
+  ring.add("r1");
+  ring.add("r2");
+  std::atomic<bool> stop{false};
+
+  std::thread churn([&] {
+    for (int i = 0; i < 200; ++i) {
+      ring.add("extra-" + std::to_string(i % 3));
+      ring.remove("extra-" + std::to_string((i + 1) % 3));
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      const std::string key = "key-" + std::to_string(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::vector<std::string> order = ring.route(key, 2);
+        // Membership is never below the three stable replicas.
+        ASSERT_GE(order.size(), 2u);
+        ASSERT_NE(order[0], order[1]);
+      }
+    });
+  }
+  churn.join();
+  for (std::thread& th : readers) th.join();
+
+  // Determinism: a fresh ring with the final membership agrees exactly.
+  HashRing fresh;
+  for (const std::string& m : ring.members()) fresh.add(m);
+  for (const std::string& k : keyset(100)) {
+    EXPECT_EQ(ring.route(k, ring.size()), fresh.route(k, fresh.size()));
+  }
+}
+
+// --- circuit breaker -----------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  BreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.open_ms = 100.0;
+  CircuitBreaker breaker(opts);
+
+  EXPECT_TRUE(breaker.allow(0.0));
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.state(3.0), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+  EXPECT_TRUE(breaker.allow(3.0));
+
+  breaker.record_failure(4.0);  // third consecutive: trips
+  EXPECT_EQ(breaker.state(5.0), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(5.0));
+  EXPECT_EQ(breaker.opens_total(), 1);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  BreakerOptions opts;
+  opts.failure_threshold = 3;
+  CircuitBreaker breaker(opts);
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  breaker.record_success(3.0);
+  breaker.record_failure(4.0);
+  breaker.record_failure(5.0);
+  EXPECT_EQ(breaker.state(6.0), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(6.0));
+}
+
+TEST(CircuitBreaker, HalfOpenTrialSuccessCloses) {
+  BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 100.0;
+  opts.half_open_trials = 1;
+  CircuitBreaker breaker(opts);
+  breaker.record_failure(0.0);
+  EXPECT_FALSE(breaker.allow(50.0));  // still cooling down
+  EXPECT_EQ(breaker.state(150.0), BreakerState::kHalfOpen);
+
+  EXPECT_TRUE(breaker.allow(150.0));   // claims the single trial slot
+  EXPECT_FALSE(breaker.allow(151.0));  // no second concurrent trial
+  breaker.record_success(160.0);
+  EXPECT_EQ(breaker.state(161.0), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(161.0));
+}
+
+TEST(CircuitBreaker, HalfOpenTrialFailureReopens) {
+  BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 100.0;
+  CircuitBreaker breaker(opts);
+  breaker.record_failure(0.0);
+  EXPECT_TRUE(breaker.allow(120.0));  // half-open trial
+  breaker.record_failure(121.0);      // trial failed: back to open
+  EXPECT_EQ(breaker.state(122.0), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(150.0));  // new cooldown runs from 121
+  EXPECT_TRUE(breaker.allow(222.0));   // expires again
+  EXPECT_EQ(breaker.opens_total(), 2);
+}
+
+TEST(CircuitBreaker, ForceOpenShortCircuitsImmediately) {
+  CircuitBreaker breaker;
+  EXPECT_TRUE(breaker.allow(0.0));
+  breaker.force_open(1.0);
+  EXPECT_FALSE(breaker.allow(2.0));
+  EXPECT_EQ(breaker.state(2.0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens_total(), 1);
+}
+
+// --- replica endpoints and states ----------------------------------------
+
+TEST(ReplicaEndpoint, ParsesAllSpecForms) {
+  EXPECT_EQ(parse_replica_endpoint("unix:/tmp/a.sock").id(),
+            "unix:/tmp/a.sock");
+  EXPECT_EQ(parse_replica_endpoint("/tmp/a.sock").id(), "unix:/tmp/a.sock");
+  EXPECT_EQ(parse_replica_endpoint("tcp:9000").id(), "tcp:9000");
+  EXPECT_EQ(parse_replica_endpoint("9000").id(), "tcp:9000");
+  EXPECT_THROW(parse_replica_endpoint(""), ls::Error);
+  EXPECT_THROW(parse_replica_endpoint("tcp:ninety"), ls::Error);
+
+  const auto list =
+      parse_replica_list("unix:/a.sock,tcp:9001,/b.sock");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].id(), "unix:/a.sock");
+  EXPECT_EQ(list[1].id(), "tcp:9001");
+  EXPECT_EQ(list[2].id(), "unix:/b.sock");
+}
+
+TEST(ReplicaState, HealthTextMapsToStatesAndRoutability) {
+  EXPECT_EQ(replica_state_from_health("ready"), ReplicaState::kReady);
+  EXPECT_EQ(replica_state_from_health("live"), ReplicaState::kLive);
+  EXPECT_EQ(replica_state_from_health("draining"), ReplicaState::kDraining);
+  EXPECT_EQ(replica_state_from_health("degraded"), ReplicaState::kDegraded);
+  EXPECT_EQ(replica_state_from_health("gibberish"), ReplicaState::kDown);
+
+  EXPECT_TRUE(replica_state_routable(ReplicaState::kUnknown));
+  EXPECT_TRUE(replica_state_routable(ReplicaState::kReady));
+  EXPECT_TRUE(replica_state_routable(ReplicaState::kLive));
+  EXPECT_TRUE(replica_state_routable(ReplicaState::kDegraded));
+  EXPECT_FALSE(replica_state_routable(ReplicaState::kDraining));
+  EXPECT_FALSE(replica_state_routable(ReplicaState::kDown));
+}
+
+TEST(RouteProtocol, DecodePredictModelReadsOnlyThePrefix) {
+  SparseVector x({1, 5, 9}, {0.5, -2.0, 3.25});
+  const std::string payload =
+      serve::encode_predict_request("my-model", x, 123.0);
+  EXPECT_EQ(serve::decode_predict_model(payload), "my-model");
+  EXPECT_THROW(serve::decode_predict_model(""), ls::Error);
+}
+
+// --- router over real replicas -------------------------------------------
+
+SvmModel route_test_model(std::uint64_t seed) {
+  Rng rng(seed);
+  SvmModel model;
+  model.kernel.type = KernelType::kGaussian;
+  model.kernel.gamma = 0.5;
+  model.rho = 0.0;
+  model.num_features = 16;
+  for (index_t s = 0; s < 6; ++s) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < 16; ++c) {
+      if (rng.bernoulli(0.4)) {
+        idx.push_back(c);
+        val.push_back(rng.normal());
+      }
+    }
+    if (idx.empty()) {
+      idx.push_back(0);
+      val.push_back(1.0);
+    }
+    model.support_vectors.emplace_back(std::move(idx), std::move(val));
+    model.coef.push_back(s % 2 == 0 ? 1.0 : -1.0);
+  }
+  return model;
+}
+
+std::string route_socket_path(const char* tag, int i) {
+  return ::testing::TempDir() + "ls_route_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(i) + ".sock";
+}
+
+serve::ServeOptions fixed_engine_options() {
+  serve::ServeOptions opts;
+  opts.sched.policy = SchedulePolicy::kFixed;
+  opts.sched.fixed_format = Format::kCSR;
+  return opts;
+}
+
+RouterOptions fast_router_options() {
+  RouterOptions ropts;
+  // Sped-up clocks so recovery paths run inside a unit test's budget.
+  ropts.probe.interval_ms = 20.0;
+  ropts.probe.probe_timeout_ms = 200.0;
+  ropts.probe.backoff_max_ms = 100.0;
+  ropts.breaker.failure_threshold = 2;
+  ropts.breaker.open_ms = 50.0;
+  ropts.upstream_connect_timeout_ms = 500.0;
+  ropts.upstream_request_timeout_ms = 2000.0;
+  return ropts;
+}
+
+/// N in-process replicas over one shared engine, plus a router fronting
+/// them on its own socket. Mirrors the replicated serve_chaos topology.
+struct RouterFixture {
+  std::string model_path;
+  serve::ServeEngine engine;
+  std::vector<serve::ServerOptions> rep_listen;
+  std::vector<std::unique_ptr<serve::ServeServer>> reps;
+  std::unique_ptr<Router> router;
+  serve::ServerOptions front_listen;
+  std::unique_ptr<serve::ServeServer> front;
+
+  explicit RouterFixture(const char* tag, int n_replicas,
+                         RouterOptions ropts = fast_router_options())
+      : model_path(::testing::TempDir() + "ls_route_model_" + tag + ".txt"),
+        engine(fixed_engine_options()) {
+    save_model_file(model_path, route_test_model(0x407E5));
+    engine.load_model("m", model_path);
+    engine.start();
+
+    std::vector<ReplicaEndpoint> endpoints;
+    for (int i = 0; i < n_replicas; ++i) {
+      serve::ServerOptions listen;
+      listen.unix_path = route_socket_path(tag, i);
+      rep_listen.push_back(listen);
+      reps.push_back(std::make_unique<serve::ServeServer>(engine, listen));
+      reps.back()->start();
+      endpoints.push_back(ReplicaEndpoint{listen.unix_path, -1});
+    }
+    router = std::make_unique<Router>(endpoints, ropts);
+    router->start();
+
+    front_listen.unix_path = route_socket_path(tag, 999);
+    front = std::make_unique<serve::ServeServer>(*router, front_listen);
+    front->start();
+  }
+
+  void stop_replica(int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (reps[idx]) {
+      reps[idx]->stop();
+      reps[idx].reset();
+    }
+  }
+
+  void restart_replica(int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    reps[idx] =
+        std::make_unique<serve::ServeServer>(engine, rep_listen[idx]);
+    reps[idx]->start();
+  }
+
+  serve::ServeClient client(int retries = 0) {
+    serve::ClientOptions copts;
+    copts.max_retries = retries;
+    copts.request_timeout_ms = 2000.0;
+    return serve::ServeClient::connect_unix(front_listen.unix_path, copts);
+  }
+
+  ~RouterFixture() {
+    if (front) front->stop();
+    if (router) router->stop();
+    for (auto& rep : reps) {
+      if (rep) rep->stop();
+    }
+    engine.stop();
+  }
+};
+
+TEST(Router, EndToEndPredictMatchesDirectEngine) {
+  RouterFixture fx("e2e", 3);
+  serve::ServeClient c = fx.client();
+  EXPECT_TRUE(c.ping());
+
+  Rng rng(0xABC);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t f = 0; f < 16; ++f) {
+      if (rng.bernoulli(0.4)) {
+        idx.push_back(f);
+        val.push_back(rng.normal());
+      }
+    }
+    if (idx.empty()) {
+      idx.push_back(0);
+      val.push_back(1.0);
+    }
+    const SparseVector x(std::move(idx), std::move(val));
+    const serve::PredictResult via_router = c.predict("m", x);
+    ASSERT_EQ(via_router.status, serve::Status::kOk);
+    const serve::PredictResult direct = fx.engine.predict("m", x);
+    // The router forwards payload bytes verbatim, so the answer must be
+    // bit-identical to asking the engine directly.
+    EXPECT_EQ(via_router.decision, direct.decision);
+    EXPECT_EQ(via_router.label, direct.label);
+  }
+
+  const RouterStats stats = fx.router->stats();
+  EXPECT_EQ(stats.requests_total, 16);
+  EXPECT_EQ(stats.proxied_ok_total, 16);
+  EXPECT_EQ(stats.exhausted_total, 0);
+}
+
+TEST(Router, HealthAggregatesAndStatsExposeReplicas) {
+  RouterFixture fx("verbs", 3);
+  serve::ServeClient c = fx.client();
+
+  // All three replicas answer probes, so the aggregate converges on
+  // "ready" (kUnknown before the first probe also counts as routable).
+  EXPECT_EQ(c.health(), "ready");
+
+  const std::string stats = c.stats();
+  EXPECT_NE(stats.find("router_replicas 3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("route_requests_total"), std::string::npos);
+  // Per-replica lines and the socket layer's own block both present.
+  EXPECT_NE(stats.find("replica unix:"), std::string::npos);
+  EXPECT_NE(stats.find("connections_open"), std::string::npos);
+}
+
+TEST(Router, ReloadFansOutToEveryReplica) {
+  RouterFixture fx("reload", 3);
+  serve::ServeClient c = fx.client();
+  std::string report;
+  EXPECT_EQ(c.reload("m", &report), serve::Status::kOk);
+  // One report line per replica, each ok.
+  for (const auto& rep : fx.router->replicas()) {
+    EXPECT_NE(report.find(rep->id + ": ok"), std::string::npos) << report;
+  }
+  EXPECT_EQ(fx.router->stats().reload_fanouts_total, 1);
+}
+
+TEST(Router, FailsOverWhenAReplicaDies) {
+  RouterFixture fx("failover", 3);
+  fx.stop_replica(0);
+  fx.stop_replica(1);
+
+  // Whatever replica each connection's key prefers, every request must
+  // end up on the sole survivor with zero client-visible failures.
+  for (int conn = 0; conn < 6; ++conn) {
+    serve::ServeClient c = fx.client();
+    for (int i = 0; i < 4; ++i) {
+      const serve::PredictResult r =
+          c.predict("m", SparseVector({0, 3}, {1.0, -0.5}));
+      ASSERT_EQ(r.status, serve::Status::kOk)
+          << "conn " << conn << " req " << i;
+    }
+  }
+  const RouterStats stats = fx.router->stats();
+  EXPECT_EQ(stats.exhausted_total, 0);
+  EXPECT_EQ(stats.proxied_ok_total, 24);
+}
+
+TEST(Router, ExhaustionAnswersShuttingDownAndRecovers) {
+  RouterFixture fx("exhaust", 2);
+  fx.stop_replica(0);
+  fx.stop_replica(1);
+
+  serve::ServeClient c = fx.client();
+  const serve::PredictResult refused =
+      c.predict("m", SparseVector({0}, {1.0}));
+  // The whole fleet is dark: the router answers with the retryable
+  // refusal instead of an error, exactly like one draining server would.
+  EXPECT_EQ(refused.status, serve::Status::kShuttingDown);
+  EXPECT_GT(fx.router->stats().exhausted_total, 0);
+
+  fx.restart_replica(0);
+  // A retrying client bridges the outage on its own.
+  serve::ServeClient retrying = fx.client(/*retries=*/8);
+  const serve::PredictResult ok =
+      retrying.predict("m", SparseVector({0}, {1.0}));
+  EXPECT_EQ(ok.status, serve::Status::kOk);
+}
+
+TEST(Router, BreakerForceOpenFailpointSkipsAReplica) {
+  RouterFixture fx("fp_breaker", 3);
+  serve::ServeClient c = fx.client();
+  ASSERT_EQ(c.predict("m", SparseVector({0}, {1.0})).status,
+            serve::Status::kOk);
+
+  // Force-open the first replica attempted for exactly one request; the
+  // router must absorb it via failover, not surface it.
+  failpoint::Scoped fp("route.breaker.force_open",
+                       {failpoint::Action::kError, 0, 0, 1});
+  const serve::PredictResult r = c.predict("m", SparseVector({0}, {1.0}));
+  EXPECT_EQ(r.status, serve::Status::kOk);
+
+  const RouterStats stats = fx.router->stats();
+  EXPECT_GT(stats.breaker_short_circuit_total, 0);
+  std::int64_t opens = 0;
+  for (const auto& rep : fx.router->replicas()) {
+    opens += rep->breaker.opens_total();
+  }
+  EXPECT_EQ(opens, 1);
+}
+
+TEST(Router, DrainingReplicaIsSkippedViaFailover) {
+  RouterFixture fx("draining", 2);
+  serve::ServeClient c = fx.client();
+  ASSERT_EQ(c.predict("m", SparseVector({0, 2}, {1.0, 2.0})).status,
+            serve::Status::kOk);
+
+  // Which replica served this connection's key? Its cached upstream
+  // connection is what survives the drain below.
+  const auto& reps = fx.router->replicas();
+  int owner = -1;
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    if (reps[i]->requests_total.load() == 1) owner = static_cast<int>(i);
+  }
+  ASSERT_NE(owner, -1);
+
+  // Stop the prober so it cannot re-mark states mid-test, then drain the
+  // owner: its listener closes but the router's cached connection stays
+  // up and predicts on it now answer kShuttingDown — a healthy refusal
+  // the router must fail over WITHOUT feeding the breaker.
+  fx.router->stop();
+  fx.reps[static_cast<std::size_t>(owner)]->begin_drain();
+
+  const serve::PredictResult r =
+      c.predict("m", SparseVector({0, 2}, {1.0, 2.0}));
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  for (const auto& rep : reps) {
+    EXPECT_EQ(rep->breaker.opens_total(), 0) << rep->id;
+  }
+  // The refusal also marked the replica draining ahead of the next probe.
+  EXPECT_EQ(reps[static_cast<std::size_t>(owner)]->state.load(),
+            ReplicaState::kDraining);
+}
+
+// --- prober --------------------------------------------------------------
+
+TEST(HealthProber, ProbeSetsStateAndBacksOffOnFailure) {
+  ProberOptions popts;
+  popts.interval_ms = 10.0;
+  popts.probe_timeout_ms = 100.0;
+  popts.backoff_max_ms = 80.0;
+  popts.jitter_frac = 0.0;  // exact bounds below
+
+  BreakerOptions bopts;
+  auto dead = std::make_shared<Replica>(
+      ReplicaEndpoint{::testing::TempDir() + "ls_route_nowhere.sock", -1},
+      bopts);
+  HealthProber prober({dead}, popts);  // never started: probe_now directly
+
+  for (int i = 0; i < 6; ++i) prober.probe_now(*dead);
+  EXPECT_EQ(dead->state.load(), ReplicaState::kDown);
+  EXPECT_FALSE(dead->routable_state());
+  EXPECT_EQ(dead->probe_failures.load(), 6);
+  EXPECT_EQ(dead->probe_ok_total.load(), 0);
+  EXPECT_EQ(dead->probe_fail_total.load(), 6);
+  // Backoff is capped: the next due time is at most backoff_max_ms out.
+  const double due = dead->next_probe_ms.load() - steady_now_ms();
+  EXPECT_GT(due, 0.0);
+  EXPECT_LE(due, popts.backoff_max_ms + 1.0);
+}
+
+TEST(HealthProber, SuccessfulProbeRecoversStateAndBreaker) {
+  RouterFixture fx("probe_ok", 1);
+  auto& rep = *fx.router->replicas()[0];
+
+  // Simulate a breaker tripped by request-path failures and a probe-dead
+  // state; one good probe must repair both.
+  rep.breaker.force_open(steady_now_ms());
+  rep.state.store(ReplicaState::kDown);
+
+  ProberOptions popts;
+  popts.interval_ms = 10.0;
+  popts.probe_timeout_ms = 500.0;
+  HealthProber prober({fx.router->replicas()[0]}, popts);
+  prober.probe_now(rep);
+
+  EXPECT_EQ(rep.state.load(), ReplicaState::kReady);
+  EXPECT_EQ(rep.breaker.state(steady_now_ms()), BreakerState::kClosed);
+  EXPECT_EQ(rep.probe_failures.load(), 0);
+  EXPECT_GT(rep.probe_ok_total.load(), 0);
+}
+
+TEST(HealthProber, ProbeDelayFailpointFailsTheProbe) {
+  RouterFixture fx("probe_fp", 1);
+  auto& rep = *fx.router->replicas()[0];
+  ProberOptions popts;
+  popts.interval_ms = 10.0;
+  popts.probe_timeout_ms = 500.0;
+  HealthProber prober({fx.router->replicas()[0]}, popts);
+
+  {
+    // An error action at the probe site fails the probe before any socket
+    // traffic — the replica is marked down even though it is healthy.
+    failpoint::Scoped fp("route.probe.delay",
+                         {failpoint::Action::kError, 0, 0, 1});
+    prober.probe_now(rep);
+    EXPECT_EQ(rep.state.load(), ReplicaState::kDown);
+    EXPECT_GT(rep.probe_fail_total.load(), 0);
+  }
+
+  prober.probe_now(rep);  // failpoint disarmed: recovery
+  EXPECT_EQ(rep.state.load(), ReplicaState::kReady);
+}
+
+TEST(HealthProber, BackgroundLoopConvergesReplicaStates) {
+  RouterFixture fx("probe_loop", 2);
+  fx.stop_replica(1);
+
+  // The router's own prober (20ms cadence) must notice one dead and one
+  // live replica without any request traffic.
+  const auto& reps = fx.router->replicas();
+  for (int spin = 0; spin < 100; ++spin) {
+    if (reps[0]->state.load() == ReplicaState::kReady &&
+        reps[1]->state.load() == ReplicaState::kDown) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(reps[0]->state.load(), ReplicaState::kReady);
+  EXPECT_EQ(reps[1]->state.load(), ReplicaState::kDown);
+  EXPECT_EQ(fx.router->stats().routable_replicas, 1u);
+  EXPECT_STREQ(fx.router->health_name(), "degraded");
+}
+
+}  // namespace
+}  // namespace ls::route
