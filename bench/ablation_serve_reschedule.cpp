@@ -1,0 +1,271 @@
+// Ablation: online layout re-scheduling in the serving engine.
+//
+// Scenario: a model is deployed with a wrong layout decision (here: forced
+// to the measured-worst basic format, emulating a stale deployment hint or
+// a misleading load-time probe). We compare three engines on the same
+// request stream:
+//
+//   stuck        worst layout, rescheduling off — rides out the mistake
+//   rescheduled  worst layout, bandit on — should detect and swap off-path
+//   oracle       measured-best layout from the start
+//
+// Each run has a warm-up phase (where the rescheduled engine's bandit
+// gathers telemetry and performs its swaps) and a measured steady-state
+// phase. The claim: the rescheduled engine's steady-state throughput lands
+// within ~10% of the oracle, with zero lost responses — the swap is
+// invisible to clients.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "serve/engine.hpp"
+#include "svm/serialize.hpp"
+
+namespace {
+
+using ls::index_t;
+using ls::real_t;
+
+/// Hand-built Gaussian model (mirrors serve_load's synthetic_model).
+ls::SvmModel synthetic_model(index_t n_sv, index_t d, double density,
+                             std::uint64_t seed) {
+  ls::Rng rng(seed);
+  ls::SvmModel model;
+  model.kernel.type = ls::KernelType::kGaussian;
+  model.kernel.gamma = 0.5;
+  model.rho = 0.0;
+  model.num_features = d;
+  for (index_t s = 0; s < n_sv; ++s) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < d; ++c) {
+      if (rng.bernoulli(density)) {
+        idx.push_back(c);
+        val.push_back(rng.normal());
+      }
+    }
+    if (idx.empty()) {
+      idx.push_back(rng.uniform_int(0, d - 1));
+      val.push_back(1.0);
+    }
+    model.support_vectors.emplace_back(std::move(idx), std::move(val));
+    model.coef.push_back(s % 2 == 0 ? 1.0 : -1.0);
+  }
+  return model;
+}
+
+std::vector<ls::SparseVector> synthetic_requests(index_t count, index_t d,
+                                                 double density,
+                                                 std::uint64_t seed) {
+  ls::Rng rng(seed);
+  std::vector<ls::SparseVector> rows;
+  rows.reserve(static_cast<std::size_t>(count));
+  for (index_t r = 0; r < count; ++r) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < d; ++c) {
+      if (rng.bernoulli(density)) {
+        idx.push_back(c);
+        val.push_back(rng.normal());
+      }
+    }
+    if (idx.empty()) {
+      idx.push_back(0);
+      val.push_back(1.0);
+    }
+    rows.emplace_back(std::move(idx), std::move(val));
+  }
+  return rows;
+}
+
+struct RunResult {
+  double steady_rps = 0.0;       ///< measured phase only
+  std::int64_t lost = 0;         ///< non-kOk responses across both phases
+  std::int64_t reschedules = 0;
+  std::string final_format;
+};
+
+/// Closed loop in two phases: `warm` requests (bandit telemetry + swaps
+/// happen here for the rescheduled engine), then `measured` requests whose
+/// wall time defines the steady-state throughput.
+RunResult run_serve(const ls::serve::ServeOptions& opts,
+                    const std::string& model_path,
+                    const std::vector<ls::SparseVector>& requests,
+                    int concurrency, std::size_t warm,
+                    std::size_t measured) {
+  ls::serve::ServeEngine engine(opts);
+  engine.load_model("bench", model_path);
+  engine.start();
+
+  std::atomic<std::int64_t> lost{0};
+  const auto phase = [&](std::size_t total) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < concurrency; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t r = static_cast<std::size_t>(t); r < total;
+             r += static_cast<std::size_t>(concurrency)) {
+          const ls::serve::PredictResult res =
+              engine.predict("bench", requests[r % requests.size()]);
+          if (res.status != ls::serve::Status::kOk) lost.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  };
+
+  phase(warm);
+  const ls::Timer wall;
+  phase(measured);
+  const double wall_s = wall.seconds();
+
+  RunResult r;
+  r.steady_rps =
+      wall_s > 0 ? static_cast<double>(measured) / wall_s : 0.0;
+  r.lost = lost.load();
+  r.reschedules = engine.stats().reschedules_total;
+  r.final_format =
+      std::string(ls::format_name(engine.model("bench")->predictor.layout()));
+  engine.stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ls::CliParser cli("ablation_serve_reschedule",
+                    "Online serving-side layout re-scheduling: recovering "
+                    "from a wrong deployment layout with zero downtime");
+  cli.add_flag("warm", "600", "warm-up requests (bandit converges here)");
+  cli.add_flag("measured", "600", "steady-state requests timed per run");
+  cli.add_flag("sv", "1500", "support vectors in the synthetic model");
+  cli.add_flag("features", "1024", "feature dimension");
+  cli.add_flag("density", "0.05", "nonzero fraction per row");
+  cli.add_flag("concurrency", "8", "closed-loop client threads");
+  cli.add_flag("workers", "2", "engine worker threads");
+  if (!cli.parse(argc, argv)) return 0;
+
+  ls::metrics::set_enabled(true);
+  ls::bench::banner("ablation_serve_reschedule",
+                    "bandit-driven online layout swaps in the serving "
+                    "engine");
+
+  const auto warm = static_cast<std::size_t>(cli.get_int("warm"));
+  const auto measured = static_cast<std::size_t>(cli.get_int("measured"));
+  const auto n_sv = static_cast<index_t>(cli.get_int("sv"));
+  const auto d = static_cast<index_t>(cli.get_int("features"));
+  const double density = cli.get_double("density");
+  const int conc = static_cast<int>(cli.get_int("concurrency"));
+  const int workers = static_cast<int>(cli.get_int("workers"));
+
+  const std::string model_path =
+      "bench_results/serve_reschedule_model.txt";
+  std::filesystem::create_directories("bench_results");
+  const ls::SvmModel model = synthetic_model(n_sv, d, density, 0xBAD);
+  ls::save_model_file(model_path, model);
+  const std::vector<ls::SparseVector> requests =
+      synthetic_requests(256, d, density, 0x4E0);
+
+  // Measure per-format batched scoring cost directly to pick the worst
+  // and best basic layouts for this support-vector matrix.
+  ls::Format worst = ls::Format::kCSR, best = ls::Format::kCSR;
+  {
+    double worst_s = 0.0, best_s = 1e300;
+    std::vector<real_t> out(requests.size());
+    for (ls::Format f : ls::kAllFormats) {
+      ls::SchedulerOptions sched;
+      sched.policy = ls::SchedulePolicy::kFixed;
+      sched.fixed_format = f;
+      const ls::BatchPredictor bp(model, sched, 64);
+      const double s = ls::time_best(
+          [&] {
+            bp.decision_values(
+                std::span<const ls::SparseVector>(requests.data(),
+                                                  requests.size()),
+                std::span<real_t>(out.data(), out.size()));
+          },
+          2, 0.01);
+      std::printf("  probe %-4s %.6fs per %zu-row block\n",
+                  std::string(ls::format_name(f)).c_str(), s,
+                  requests.size());
+      if (s > worst_s) {
+        worst_s = s;
+        worst = f;
+      }
+      if (s < best_s) {
+        best_s = s;
+        best = f;
+      }
+    }
+  }
+  std::printf("  worst layout %s, oracle layout %s\n\n",
+              std::string(ls::format_name(worst)).c_str(),
+              std::string(ls::format_name(best)).c_str());
+
+  const auto engine_opts = [&](ls::Format start, bool reschedule) {
+    ls::serve::ServeOptions opts;
+    opts.workers = workers;
+    opts.batcher.max_batch = 64;
+    opts.batcher.deadline_ms = 0.0;
+    opts.sched.policy = ls::SchedulePolicy::kFixed;
+    opts.sched.fixed_format = start;
+    opts.reschedule.enabled = reschedule;
+    opts.reschedule.interval_ms = 10.0;
+    opts.reschedule.min_observations = 4;
+    opts.reschedule.switch_threshold = 1.05;
+    opts.reschedule.max_switches = 4;
+    opts.reschedule.hysteresis_ms = 50.0;
+    return opts;
+  };
+
+  const RunResult stuck =
+      run_serve(engine_opts(worst, false), model_path, requests, conc,
+                warm, measured);
+  const RunResult resched =
+      run_serve(engine_opts(worst, true), model_path, requests, conc,
+                warm, measured);
+  const RunResult oracle =
+      run_serve(engine_opts(best, false), model_path, requests, conc,
+                warm, measured);
+
+  ls::Table table({"config", "start", "final", "swaps", "steady rps",
+                   "vs oracle", "lost"});
+  ls::CsvWriter csv(ls::bench::csv_path("ablation_serve_reschedule"),
+                    {"config", "start_format", "final_format",
+                     "reschedules", "steady_rps", "vs_oracle", "lost"});
+  const auto emit = [&](const char* label, ls::Format start,
+                        const RunResult& r) {
+    const double vs =
+        oracle.steady_rps > 0 ? r.steady_rps / oracle.steady_rps : 0.0;
+    table.add_row({label, std::string(ls::format_name(start)),
+                   r.final_format, std::to_string(r.reschedules),
+                   ls::fmt_double(r.steady_rps, 0),
+                   ls::fmt_double(vs * 100.0, 0) + "%",
+                   std::to_string(r.lost)});
+    csv.write_row({label, std::string(ls::format_name(start)),
+                   r.final_format, std::to_string(r.reschedules),
+                   ls::fmt_double(r.steady_rps, 2), ls::fmt_double(vs, 4),
+                   std::to_string(r.lost)});
+  };
+  emit("stuck", worst, stuck);
+  emit("rescheduled", worst, resched);
+  emit("oracle", best, oracle);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "The bandit samples live per-layout timings during warm-up, swaps "
+      "the model\noff-path and serves the measured phase in the new "
+      "layout: steady-state lands\nnear the oracle while the stuck engine "
+      "keeps paying for the wrong decision.\nNo request is lost across "
+      "the swap (lost column).\n");
+  ls::bench::finish(csv, "ablation_serve_reschedule");
+  return 0;
+}

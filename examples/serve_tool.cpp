@@ -101,9 +101,31 @@ int run(int argc, char** argv) {
                "bound on finishing in-flight work after SIGTERM/SIGINT");
   cli.add_flag("policy", "empirical",
                "layout policy: empirical|heuristic|learned|fixed");
+  cli.add_flag("fixed-format", "CSR",
+               "layout used when --policy fixed (DEN|CSR|COO|ELL|DIA|CSC|"
+               "BCSR|HYB|JDS)");
   cli.add_flag("hint", "throughput",
                "deployment hint for load-time layout probes: "
                "latency|throughput");
+  cli.add_flag("reschedule", "false",
+               "enable the online layout bandit: sample live per-layout "
+               "timings and re-materialise models in a decisively better "
+               "layout off-path");
+  cli.add_flag("reschedule-interval-ms", "100",
+               "cadence of the background layout-policy thread");
+  cli.add_flag("reschedule-threshold", "1.2",
+               "switch only when the candidate layout is at least this "
+               "factor faster than the current one");
+  cli.add_flag("reschedule-min-obs", "8",
+               "batches observed on the current layout before the bandit "
+               "may switch away from it");
+  cli.add_flag("reschedule-max-switches", "4",
+               "per-model lifetime budget of online layout switches");
+  cli.add_flag("reschedule-hysteresis-ms", "500",
+               "minimum dwell time between switches of the same model");
+  cli.add_flag("reschedule-extended", "false",
+               "bandit arms cover all nine formats instead of the basic "
+               "five");
   ls::add_observability_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const ls::ObservabilityScope observability(cli);
@@ -116,7 +138,16 @@ int run(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("max-queue"));
   opts.latency_budget_ms = cli.get_double("latency-budget-ms");
   opts.sched.policy = ls::parse_policy(cli.get("policy"));
+  opts.sched.fixed_format = ls::parse_format(cli.get("fixed-format"));
   opts.hint = ls::parse_deployment_hint(cli.get("hint"));
+  opts.reschedule.enabled = cli.get_bool("reschedule");
+  opts.reschedule.interval_ms = cli.get_double("reschedule-interval-ms");
+  opts.reschedule.switch_threshold = cli.get_double("reschedule-threshold");
+  opts.reschedule.min_observations = cli.get_int("reschedule-min-obs");
+  opts.reschedule.max_switches =
+      static_cast<ls::index_t>(cli.get_int("reschedule-max-switches"));
+  opts.reschedule.hysteresis_ms = cli.get_double("reschedule-hysteresis-ms");
+  opts.reschedule.include_extended = cli.get_bool("reschedule-extended");
 
   ls::serve::ServerOptions listen;
   listen.unix_path = cli.get("socket");
@@ -157,6 +188,16 @@ int run(int argc, char** argv) {
                 static_cast<int>(opts.batcher.max_batch),
                 opts.batcher.deadline_ms, opts.batcher.max_queue,
                 ls::deployment_hint_name(opts.hint));
+  }
+  if (opts.reschedule.enabled) {
+    std::printf("online rescheduling on (interval=%gms threshold=%g "
+                "min-obs=%lld max-switches=%d hysteresis=%gms arms=%s)\n",
+                opts.reschedule.interval_ms,
+                opts.reschedule.switch_threshold,
+                static_cast<long long>(opts.reschedule.min_observations),
+                static_cast<int>(opts.reschedule.max_switches),
+                opts.reschedule.hysteresis_ms,
+                opts.reschedule.include_extended ? "extended" : "basic");
   }
   std::fflush(stdout);
 

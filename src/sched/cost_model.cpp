@@ -162,4 +162,16 @@ CostPrediction predict_cost(const MatrixFeatures& feat,
   return p;
 }
 
+std::array<double, kNumFormats> predicted_arm_priors(
+    const MatrixFeatures& feat, const CostCalibration& cal) {
+  // All nine formats, not just the paper's five: the bandit's arm set is
+  // configurable and a prior of 0.0 would read as "free".
+  std::array<double, kNumFormats> priors{};
+  for (Format f : kExtendedFormats) {
+    const auto i = static_cast<std::size_t>(f);
+    priors[i] = modeled_flops(f, feat) * cal.batch_seconds_per_op(f);
+  }
+  return priors;
+}
+
 }  // namespace ls

@@ -84,4 +84,13 @@ class CostCalibration {
 CostPrediction predict_cost(const MatrixFeatures& feat,
                             const CostCalibration& cal);
 
+/// Bandit arm priors: predicted per-row batched-SMSV seconds for every
+/// format, from the calibrated cost model. The serving-side rescheduler
+/// seeds its UCB1 arms with these so an unexplored layout starts at its
+/// *predicted* cost instead of infinity (or zero) — exploration is guided
+/// by the model instead of being uniform, and a layout the model already
+/// knows to be hopeless is never worth a live experiment.
+std::array<double, kNumFormats> predicted_arm_priors(
+    const MatrixFeatures& feat, const CostCalibration& cal);
+
 }  // namespace ls

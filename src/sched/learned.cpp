@@ -260,4 +260,72 @@ ScheduleDecision LearnedSelector::choose(const MatrixFeatures& f) const {
   return d;
 }
 
+TelemetryIngest& TelemetryIngest::instance() {
+  static TelemetryIngest sink;
+  return sink;
+}
+
+namespace {
+
+/// Signature of a matrix for telemetry grouping: two matrices with the
+/// same shape and nonzero count are the same arm table for our purposes
+/// (the rescheduler reports one matrix per model, so collisions are rare
+/// and harmless — they just merge timings of near-identical matrices).
+std::string feature_signature(const MatrixFeatures& f) {
+  return std::to_string(f.m) + "x" + std::to_string(f.n) + ":" +
+         std::to_string(f.nnz);
+}
+
+}  // namespace
+
+void TelemetryIngest::record(const MatrixFeatures& feat, Format format,
+                             double row_seconds) {
+  if (!(row_seconds > 0.0) || !std::isfinite(row_seconds)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[feature_signature(feat)];
+  e.features = feat;
+  e.row_seconds[static_cast<std::size_t>(format)] = row_seconds;
+}
+
+std::vector<TrainingExample> TelemetryIngest::harvest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TrainingExample> out;
+  for (const auto& [sig, e] : entries_) {
+    int observed = 0;
+    Format best = Format::kCSR;
+    double best_s = std::numeric_limits<double>::infinity();
+    for (Format f : kExtendedFormats) {
+      const double s = e.row_seconds[static_cast<std::size_t>(f)];
+      if (!std::isfinite(s)) continue;
+      ++observed;
+      if (s < best_s) {
+        best_s = s;
+        best = f;
+      }
+    }
+    // One observed format is not a comparison — it would just teach the
+    // tree "whatever layout we happened to serve in".
+    if (observed < 2) continue;
+    TrainingExample ex;
+    ex.features = e.features;
+    ex.best = best;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::size_t TelemetryIngest::observations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [sig, e] : entries_) {
+    for (double s : e.row_seconds) n += std::isfinite(s) ? 1 : 0;
+  }
+  return n;
+}
+
+void TelemetryIngest::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
 }  // namespace ls

@@ -8,7 +8,11 @@
 // heuristic and empirical policies.
 #pragma once
 
+#include <array>
+#include <limits>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,6 +79,46 @@ class DecisionTree {
 /// each labelled by the empirical autotuner's measured pick.
 std::vector<TrainingExample> make_training_corpus(int per_family, Rng& rng,
                                                   const AutotuneOptions& opts = {});
+
+/// Telemetry-ingestion hook: the bridge from production timings to the
+/// learned selector (the "selector v2" feedback pipeline). Live
+/// subsystems — today the serving-side layout rescheduler — upsert the
+/// latest measured per-row seconds for a (matrix signature, format) pair;
+/// harvest() turns every signature that has seen at least two formats
+/// into a TrainingExample labelled with the measured-fastest format, i.e.
+/// ground truth from real traffic instead of offline probe matrices,
+/// ready for DecisionTree::fit.
+///
+/// Thread-safe; record() is upsert (last write wins), so callers report
+/// running means rather than raw samples and the table stays bounded by
+/// the number of distinct matrices observed, not by traffic volume.
+class TelemetryIngest {
+ public:
+  /// Process-wide sink (collection is always on; it is O(#matrices)).
+  static TelemetryIngest& instance();
+
+  /// Upserts the latest mean per-row seconds observed for `format` on a
+  /// matrix with these features.
+  void record(const MatrixFeatures& feat, Format format, double row_seconds);
+
+  /// Labelled examples for every signature with >= 2 observed formats.
+  std::vector<TrainingExample> harvest() const;
+
+  /// Number of (signature, format) cells currently populated.
+  std::size_t observations() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    MatrixFeatures features;
+    std::array<double, kNumFormats> row_seconds;
+    Entry() { row_seconds.fill(std::numeric_limits<double>::infinity()); }
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< keyed by matrix signature
+};
 
 /// Selector wrapping a fitted tree.
 class LearnedSelector {

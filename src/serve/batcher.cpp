@@ -55,9 +55,15 @@ bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
           queue_.front().enqueued +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double, std::milli>(opts_.deadline_ms));
+      // The "full" test must be cohort-aware: a flush only ever takes the
+      // front request's model, so a queue full of interleaved models is
+      // not a full batch — counting raw queue depth here used to flush a
+      // tiny cohort the moment mixed traffic crossed max_batch. A queue at
+      // the admission limit still flushes (shedding at the door while
+      // waiting out a deadline would be worse than a partial batch).
       const bool full_or_stopped = cv_.wait_until(lk, flush_at, [&] {
-        return stopped_ || static_cast<index_t>(queue_.size()) >=
-                               opts_.max_batch;
+        return stopped_ || queue_.empty() || front_cohort_full_locked() ||
+               queue_.size() >= opts_.max_queue;
       });
       if (stopped_) return false;
       if (queue_.empty()) continue;  // another worker drained the queue
@@ -85,8 +91,30 @@ bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
       // to another worker instead of waiting for the next submit.
       cv_.notify_one();
     }
+    // Claim the in-flight slot before the lock drops: from here until
+    // batch_done() the batcher is not quiesced, with no gap in between.
+    ++in_flight_;
     return true;
   }
+}
+
+void MicroBatcher::batch_done() {
+  std::lock_guard<std::mutex> lk(mu_);
+  --in_flight_;
+}
+
+bool MicroBatcher::quiesced() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.empty() && in_flight_ == 0;
+}
+
+bool MicroBatcher::front_cohort_full_locked() const {
+  const LoadedModel* m = queue_.front().model.get();
+  index_t n = 0;
+  for (const BatchRequest& r : queue_) {
+    if (r.model.get() == m && ++n >= opts_.max_batch) return true;
+  }
+  return false;
 }
 
 void MicroBatcher::stop() {

@@ -74,8 +74,21 @@ class MicroBatcher {
   /// Blocks until a batch is ready under the flush policy, then moves it
   /// into `out` (previous contents discarded). Returns false when the
   /// batcher was stopped and the queue fully drained — the worker's exit
-  /// signal.
+  /// signal. A successful extraction claims one in-flight batch *under the
+  /// queue lock*, so there is no instant at which a batch has left the
+  /// queue but is not yet accounted for — the drain predicate
+  /// (quiesced()) can never observe "empty and idle" while a batch is
+  /// about to be scored. The worker releases the claim with batch_done().
   bool next_batch(std::vector<BatchRequest>& out);
+
+  /// Releases the in-flight claim of one extracted batch once its every
+  /// request has been answered.
+  void batch_done();
+
+  /// True when no request is queued and no extracted batch is still being
+  /// scored — evaluated under one lock, so it is an atomic statement about
+  /// both conditions (the engine's drain predicate).
+  bool quiesced() const;
 
   /// Fails every queued request with kShuttingDown and wakes all waiting
   /// workers, whose next_batch() calls then return false. Idempotent;
@@ -88,10 +101,16 @@ class MicroBatcher {
   const BatcherOptions& options() const { return opts_; }
 
  private:
+  /// True when the front request's model has a full cohort queued (the
+  /// only thing a flush can actually take). mu_ held.
+  bool front_cohort_full_locked() const;
+
   BatcherOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<BatchRequest> queue_;
+  /// Batches extracted by next_batch() but not yet batch_done() (mu_).
+  int in_flight_ = 0;
   bool stopped_ = false;
 };
 

@@ -47,6 +47,10 @@ ServeEngine::ServeEngine(ServeOptions opts)
   opts_.workers = std::max(1, opts_.workers);
   opts_.sched = tuned_for_deployment(opts_.sched, opts_.hint);
   metrics::annotate("serve.deployment_hint", deployment_hint_name(opts_.hint));
+  if (opts_.reschedule.enabled) {
+    rescheduler_ = std::make_unique<LayoutRescheduler>(
+        registry_, predictor_batch_rows_, opts_.reschedule);
+  }
 }
 
 ServeEngine::~ServeEngine() { stop(); }
@@ -58,9 +62,13 @@ void ServeEngine::start() {
   for (int w = 0; w < opts_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (rescheduler_) rescheduler_->start();
 }
 
 void ServeEngine::stop() {
+  // Policy thread first: a layout swap concurrent with drain is harmless,
+  // but there is no point re-materialising models nobody will query.
+  if (rescheduler_) rescheduler_->stop();
   batcher_.stop();
   running_.store(false);
   for (std::thread& t : workers_) {
@@ -72,14 +80,23 @@ void ServeEngine::stop() {
 void ServeEngine::load_model(const std::string& name,
                              const std::string& path) {
   LS_FAILPOINT("serve.load_model");
-  const auto previous = registry_.get(name);
-  const std::int64_t version = previous ? previous->version + 1 : 1;
-  // The expensive part — deserialize + layout decision + materialise —
-  // happens off the registry lock; traffic keeps hitting the previous
-  // version until the single-pointer swap below.
+  const bool previous = registry_.get(name) != nullptr;
+  // Reserve the version BEFORE the expensive build: concurrent reloads of
+  // the same name each get a distinct, strictly increasing number, so the
+  // snapshot-then-put race (two loads minting the same version, or an
+  // older build clobbering a newer one) cannot occur. The expensive part —
+  // deserialize + layout decision + materialise — still happens off the
+  // registry lock; traffic keeps hitting the previous version until the
+  // single-pointer swap below.
+  const std::int64_t version = registry_.reserve_version(name);
   auto loaded = std::make_shared<const LoadedModel>(
       name, path, opts_.sched, predictor_batch_rows_, version);
-  registry_.put(loaded);
+  if (!registry_.put_if_newer(std::move(loaded))) {
+    // A concurrent load that reserved a later version already finished:
+    // its content is at least as fresh as ours, so losing this race is a
+    // success from the caller's point of view — just account for it.
+    metrics::counter_add("serve.stale_loads_total");
+  }
   {
     // A successful load clears any degraded flag a failed reload left.
     std::lock_guard<std::mutex> lk(degraded_mu_);
@@ -159,8 +176,11 @@ PredictResult ServeEngine::predict(const std::string& model, SparseVector x,
 }
 
 bool ServeEngine::idle() const {
-  return batcher_.depth() == 0 &&
-         in_flight_batches_.load(std::memory_order_acquire) == 0;
+  // Queue emptiness and in-flight batches are judged under one lock — a
+  // batch is claimed in-flight by next_batch() in the same critical
+  // section that pops it, so there is no instant where a popped-but-not-
+  // yet-counted batch makes the engine look idle.
+  return batcher_.quiesced();
 }
 
 EngineHealth ServeEngine::health() const {
@@ -176,10 +196,11 @@ EngineHealth ServeEngine::health() const {
 
 void ServeEngine::worker_loop() {
   std::vector<BatchRequest> batch;
+  // next_batch() claims the batch in-flight under the batcher's lock;
+  // batch_done() releases the claim once every promise is fulfilled.
   while (batcher_.next_batch(batch)) {
-    in_flight_batches_.fetch_add(1, std::memory_order_acq_rel);
     score_batch(batch);
-    in_flight_batches_.fetch_sub(1, std::memory_order_acq_rel);
+    batcher_.batch_done();
   }
 }
 
@@ -228,10 +249,21 @@ void ServeEngine::score_batch(std::vector<BatchRequest>& batch) {
   metrics::gauge_set("serve.queue_depth",
                      static_cast<double>(batcher_.depth()));
 
+  double compute_seconds = 0.0;
   try {
     LS_FAILPOINT("serve.batch.compute");
-    metrics::ScopedTimer timer("serve.batch_seconds");
+    const auto t0 = std::chrono::steady_clock::now();
     model.predictor.decision_values(rows, values);
+    compute_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    metrics::timer_record("serve.batch_seconds", compute_seconds);
+    if (metrics::enabled()) {
+      metrics::timer_record(
+          "serve.batch_seconds." + model.name + "." +
+              std::string(format_name(model.predictor.layout())),
+          compute_seconds);
+    }
   } catch (const std::exception&) {
     // Scoring died (failpoint, OOM, ...): fail this batch, keep serving.
     for (BatchRequest* req : live) {
@@ -240,6 +272,13 @@ void ServeEngine::score_batch(std::vector<BatchRequest>& batch) {
       req->done.set_value(immediate(Status::kInternal));
     }
     return;
+  }
+
+  // Telemetry for the online layout policy: this batch's rows took
+  // compute_seconds in the model's current layout.
+  if (rescheduler_) {
+    rescheduler_->observe(model, static_cast<index_t>(live.size()),
+                          compute_seconds);
   }
 
   const auto done = std::chrono::steady_clock::now();
@@ -279,6 +318,10 @@ ServeStats ServeEngine::stats() const {
   s.reloads_total = reloads_total_.load(std::memory_order_acquire);
   s.reload_failures_total =
       reload_failures_total_.load(std::memory_order_acquire);
+  if (rescheduler_) {
+    s.reschedules_total = rescheduler_->reschedules_total();
+    s.reschedule_failures_total = rescheduler_->reschedule_failures_total();
+  }
   {
     std::lock_guard<std::mutex> lk(degraded_mu_);
     s.degraded_models = degraded_.size();
@@ -304,6 +347,8 @@ std::string ServeEngine::stats_text() const {
      << "mean_batch_occupancy " << s.mean_batch_occupancy() << '\n'
      << "reloads_total " << s.reloads_total << '\n'
      << "reload_failures_total " << s.reload_failures_total << '\n'
+     << "reschedules_total " << s.reschedules_total << '\n'
+     << "reschedule_failures_total " << s.reschedule_failures_total << '\n'
      << "degraded_models " << s.degraded_models << '\n'
      << "health " << health_name() << '\n'
      << "queue_depth " << s.queue_depth << '\n'
@@ -313,6 +358,18 @@ std::string ServeEngine::stats_text() const {
        << format_name(m->predictor.layout()) << " num_features "
        << m->model.num_features << " num_sv "
        << m->model.support_vectors.size() << '\n';
+  }
+  if (rescheduler_) {
+    for (const ModelBanditStats& mb : rescheduler_->stats()) {
+      os << "bandit " << mb.model << " current "
+         << format_name(mb.current) << " switches " << mb.switches << '\n';
+      for (const ArmStats& a : mb.arms) {
+        os << "arm " << mb.model << ' ' << format_name(a.format)
+           << " pulls " << a.pulls << " rows " << a.rows
+           << " mean_row_seconds " << a.mean_row_seconds
+           << " prior_row_seconds " << a.prior_row_seconds << '\n';
+      }
+    }
   }
   return os.str();
 }

@@ -32,6 +32,7 @@
 #include "serve/batcher.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "serve/rescheduler.hpp"
 
 namespace ls::serve {
 
@@ -47,6 +48,8 @@ struct ServeOptions {
   DeploymentHint hint = DeploymentHint::kThroughput;
   /// Base scheduler options; the hint tunes these at load time.
   SchedulerOptions sched;
+  /// Online layout re-scheduling policy (off unless reschedule.enabled).
+  ReschedulerOptions reschedule;
 };
 
 /// Engine-level health, surfaced through the protocol's health verb (the
@@ -75,6 +78,8 @@ struct ServeStats {
   std::int64_t batched_rows_total = 0;   ///< sum of batch occupancies
   std::int64_t reloads_total = 0;        ///< load_model calls that replaced
   std::int64_t reload_failures_total = 0;
+  std::int64_t reschedules_total = 0;    ///< online layout swaps performed
+  std::int64_t reschedule_failures_total = 0;
   std::size_t degraded_models = 0;       ///< models serving a stale version
   std::size_t queue_depth = 0;
   std::size_t models = 0;
@@ -159,6 +164,11 @@ class ServeEngine {
 
   const ServeOptions& options() const { return opts_; }
 
+  /// The online layout policy, or nullptr when opts.reschedule.enabled is
+  /// false. Exposed so tests and tools can drive tick()/inspect stats().
+  LayoutRescheduler* rescheduler() { return rescheduler_.get(); }
+  const LayoutRescheduler* rescheduler() const { return rescheduler_.get(); }
+
  private:
   void worker_loop();
   void score_batch(std::vector<BatchRequest>& batch);
@@ -167,6 +177,7 @@ class ServeEngine {
   index_t predictor_batch_rows_;  ///< SMSV width models are built with
   ModelRegistry registry_;
   MicroBatcher batcher_;
+  std::unique_ptr<LayoutRescheduler> rescheduler_;  ///< null when disabled
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
@@ -183,7 +194,6 @@ class ServeEngine {
   std::atomic<std::int64_t> batched_rows_total_{0};
   std::atomic<std::int64_t> reloads_total_{0};
   std::atomic<std::int64_t> reload_failures_total_{0};
-  std::atomic<int> in_flight_batches_{0};
 
   /// Models whose latest reload failed (last-good version still serving).
   mutable std::mutex degraded_mu_;

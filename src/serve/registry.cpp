@@ -8,6 +8,17 @@
 
 namespace ls::serve {
 
+namespace {
+
+SchedulerOptions fixed_layout_options(Format f) {
+  SchedulerOptions o;
+  o.policy = SchedulePolicy::kFixed;
+  o.fixed_format = f;
+  return o;
+}
+
+}  // namespace
+
 LoadedModel::LoadedModel(std::string name_, std::string path_,
                          const SchedulerOptions& sched,
                          index_t predictor_batch_rows, std::int64_t version_)
@@ -22,9 +33,47 @@ LoadedModel::LoadedModel(std::string name_, std::string path_,
                     format_name(predictor.layout()));
 }
 
-void ModelRegistry::put(std::shared_ptr<const LoadedModel> m) {
+LoadedModel::LoadedModel(const LoadedModel& basis, Format layout,
+                         index_t predictor_batch_rows, std::int64_t version_)
+    : name(basis.name),
+      source_path(basis.source_path),
+      version(version_),
+      model((LS_FAILPOINT("serve.reschedule.materialize"), basis.model)),
+      predictor(model, fixed_layout_options(layout), predictor_batch_rows),
+      loaded_at(std::chrono::system_clock::now()) {
+  metrics::counter_add("serve.models_rematerialized_total");
+  metrics::annotate("serve.model." + name + ".format",
+                    format_name(predictor.layout()));
+}
+
+std::int64_t ModelRegistry::reserve_version(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
-  models_[m->name] = std::move(m);
+  std::int64_t& next = next_version_[name];
+  if (next == 0) {
+    // First reservation since the registry was built: continue from the
+    // hosted entry's version if one is already installed.
+    const auto it = models_.find(name);
+    if (it != models_.end()) next = it->second->version;
+  }
+  return ++next;
+}
+
+bool ModelRegistry::put_if_newer(std::shared_ptr<const LoadedModel> m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = models_[m->name];
+  if (slot && slot->version >= m->version) return false;  // stale load
+  slot = std::move(m);
+  return true;
+}
+
+bool ModelRegistry::replace_if_current(const LoadedModel* expected,
+                                       std::shared_ptr<const LoadedModel> m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = models_.find(m->name);
+  if (it == models_.end() || it->second.get() != expected) return false;
+  if (it->second->version >= m->version) return false;  // belt and braces
+  it->second = std::move(m);
+  return true;
 }
 
 std::shared_ptr<const LoadedModel> ModelRegistry::get(

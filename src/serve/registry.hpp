@@ -33,6 +33,14 @@ struct LoadedModel {
               const SchedulerOptions& sched, index_t predictor_batch_rows,
               std::int64_t version_);
 
+  /// Re-materialisation constructor for the layout rescheduler: copies the
+  /// already-deserialized model of `basis` and lays its support vectors
+  /// out in `layout` — no file I/O, no layout probe. The result scores the
+  /// same requests as `basis` (same kernel, coefficients and rho); only
+  /// the storage format of the support-vector matrix changes.
+  LoadedModel(const LoadedModel& basis, Format layout,
+              index_t predictor_batch_rows, std::int64_t version_);
+
   LoadedModel(const LoadedModel&) = delete;
   LoadedModel& operator=(const LoadedModel&) = delete;
 
@@ -45,10 +53,35 @@ struct LoadedModel {
 };
 
 /// Thread-safe name -> LoadedModel map with atomic replacement.
+///
+/// Version discipline: every installed version is minted by
+/// reserve_version() under the registry lock, and installs go through
+/// put_if_newer() / replace_if_current(), which reject stale candidates.
+/// Together these make the hosted version of a name strictly increasing no
+/// matter how many loads, reloads and layout swaps race — the guarantee
+/// the hot-reload path documents and the rescheduler's swap depends on.
 class ModelRegistry {
  public:
-  /// Inserts or replaces the entry for `m->name` (the hot-reload swap).
-  void put(std::shared_ptr<const LoadedModel> m);
+  /// Mints the next version number for `name` under the registry lock.
+  /// Counters are per name, monotone over the registry's lifetime (they
+  /// survive erase()), so two concurrent loads can never mint the same
+  /// version. Versions are reserved before the expensive materialisation
+  /// starts; a load that fails simply leaves a gap.
+  std::int64_t reserve_version(const std::string& name);
+
+  /// Installs `m` unless the hosted entry is already newer — i.e. a
+  /// concurrent load that reserved a later version finished first. Returns
+  /// false when `m` was stale and dropped, so an older LoadedModel can
+  /// never clobber a newer one.
+  bool put_if_newer(std::shared_ptr<const LoadedModel> m);
+
+  /// Compare-and-swap for the rescheduler: installs `m` only while
+  /// `expected` is still the hosted entry for `m->name`. A re-materialised
+  /// layout of model content X can therefore never replace a hot reload
+  /// that shipped new content Y while the re-materialisation ran. Returns
+  /// false when the entry moved on (or was unloaded).
+  bool replace_if_current(const LoadedModel* expected,
+                          std::shared_ptr<const LoadedModel> m);
 
   /// Current version for `name`, or nullptr when absent. The returned
   /// shared_ptr pins the model for the caller's lifetime regardless of
@@ -66,6 +99,9 @@ class ModelRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const LoadedModel>> models_;
+  /// Per-name version counters (mu_), surviving erase() so a reloaded name
+  /// continues its sequence instead of reusing old version numbers.
+  std::map<std::string, std::int64_t> next_version_;
 };
 
 }  // namespace ls::serve

@@ -16,21 +16,11 @@ BatchPredictor::BatchPredictor(const SvmModel& model,
            "batch predictor needs at least one support vector");
   // Assemble the SV matrix in canonical COO, then schedule its layout like
   // any other data matrix.
-  std::vector<Triplet> triplets;
   sv_norms_.reserve(model.support_vectors.size());
-  for (std::size_t k = 0; k < model.support_vectors.size(); ++k) {
-    const SparseVector& sv = model.support_vectors[k];
-    const auto idx = sv.indices();
-    const auto val = sv.values();
-    for (index_t e = 0; e < sv.nnz(); ++e) {
-      triplets.push_back({static_cast<index_t>(k),
-                          idx[static_cast<std::size_t>(e)],
-                          val[static_cast<std::size_t>(e)]});
-    }
+  for (const SparseVector& sv : model.support_vectors) {
     sv_norms_.push_back(sv.squared_norm());
   }
-  const CooMatrix coo(static_cast<index_t>(model.support_vectors.size()),
-                      model.num_features, std::move(triplets));
+  const CooMatrix coo = support_vector_matrix(model);
   const LayoutScheduler scheduler(sched);
   decision_ = scheduler.decide(coo);
   sv_matrix_ = scheduler.materialize(coo, decision_);

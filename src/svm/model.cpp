@@ -104,4 +104,20 @@ SvmModel build_model(const AnyMatrix& x, std::span<const real_t> y,
   return model;
 }
 
+CooMatrix support_vector_matrix(const SvmModel& model) {
+  std::vector<Triplet> triplets;
+  for (std::size_t k = 0; k < model.support_vectors.size(); ++k) {
+    const SparseVector& sv = model.support_vectors[k];
+    const auto idx = sv.indices();
+    const auto val = sv.values();
+    for (index_t e = 0; e < sv.nnz(); ++e) {
+      triplets.push_back({static_cast<index_t>(k),
+                          idx[static_cast<std::size_t>(e)],
+                          val[static_cast<std::size_t>(e)]});
+    }
+  }
+  return CooMatrix(static_cast<index_t>(model.support_vectors.size()),
+                   model.num_features, std::move(triplets));
+}
+
 }  // namespace ls

@@ -57,6 +57,13 @@ SvmModel build_model(const AnyMatrix& x, std::span<const real_t> y,
                      std::span<const real_t> alpha, real_t rho,
                      const KernelParams& kernel);
 
+/// The model's support vectors assembled as a canonical #SV x num_features
+/// COO matrix — the thing the layout scheduler decides over. Shared by
+/// BatchPredictor (which materialises it in the chosen format) and the
+/// serving-side rescheduler (which extracts the nine influencing
+/// parameters from it to seed bandit arm priors).
+CooMatrix support_vector_matrix(const SvmModel& model);
+
 /// ROC AUC of the model's decision values over a +-1-labelled dataset
 /// (Mann-Whitney rank statistic; ties contribute 1/2). 0.5 = random,
 /// 1.0 = perfect ranking. Throws when either class is absent.

@@ -8,6 +8,13 @@
 
 namespace ls {
 
+bool decisively_better(double current_score, double best_score,
+                       double switch_threshold) {
+  return std::isfinite(best_score) &&
+         (!std::isfinite(current_score) ||
+          current_score >= switch_threshold * best_score);
+}
+
 ReschedulingKernelEngine::ReschedulingKernelEngine(
     const CooMatrix& x, const KernelParams& params, Format initial,
     RescheduleOptions options)
@@ -43,14 +50,8 @@ void ReschedulingKernelEngine::maybe_reschedule() {
   }
   const double current_score = decision.score_of(current_);
   const double best_score = decision.score_of(decision.format);
-  // An infinite current score means the tuner would not even consider the
-  // current format (storage-inadmissible) — that is the strongest possible
-  // signal to switch. Otherwise require a decisive measured margin.
-  const bool decisive =
-      std::isfinite(best_score) &&
-      (!std::isfinite(current_score) ||
-       current_score >= options_.switch_threshold * best_score);
-  if (!decisive) {
+  if (!decisively_better(current_score, best_score,
+                         options_.switch_threshold)) {
     ++switches_;  // not decisively better: stay put
     return;
   }

@@ -22,6 +22,18 @@
 
 namespace ls {
 
+/// Shared switch-decision core of the training-side (this engine) and
+/// serving-side (serve/rescheduler) reschedulers: switch only when the
+/// measured/estimated best is decisively better than the current format.
+/// An infinite or NaN current score means the current format would not
+/// even be considered (storage-inadmissible or never measured against a
+/// finite alternative) — the strongest possible signal to switch; a
+/// non-finite best is never worth switching to. Otherwise require the
+/// configured multiplicative margin, which is the hysteresis that keeps
+/// near-ties from flapping.
+bool decisively_better(double current_score, double best_score,
+                       double switch_threshold);
+
 /// Re-scheduling policy knobs.
 struct RescheduleOptions {
   /// Kernel rows to serve before the (first) re-evaluation.
