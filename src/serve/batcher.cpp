@@ -33,7 +33,9 @@ std::optional<std::future<PredictResult>> MicroBatcher::submit(
     std::lock_guard<std::mutex> lk(mu_);
     if (stopped_) return ready_future(Status::kShuttingDown);
     if (queue_.size() >= opts_.max_queue) return std::nullopt;
+    const LoadedModel* key = req.model.get();
     queue_.push_back(std::move(req));
+    ++cohort_counts_[key];
   }
   cv_.notify_one();
   return fut;
@@ -76,6 +78,10 @@ bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
     while (!queue_.empty() &&
            static_cast<index_t>(out.size()) < opts_.max_batch) {
       if (queue_.front().model.get() == cohort) {
+        // Leaving the queue for good: release its per-model count. The
+        // skipped other-model requests are re-prepended below and keep
+        // theirs.
+        cohort_release_locked(cohort);
         out.push_back(std::move(queue_.front()));
       } else {
         rest.push_back(std::move(queue_.front()));
@@ -109,12 +115,14 @@ bool MicroBatcher::quiesced() const {
 }
 
 bool MicroBatcher::front_cohort_full_locked() const {
-  const LoadedModel* m = queue_.front().model.get();
-  index_t n = 0;
-  for (const BatchRequest& r : queue_) {
-    if (r.model.get() == m && ++n >= opts_.max_batch) return true;
-  }
-  return false;
+  const auto it = cohort_counts_.find(queue_.front().model.get());
+  return it != cohort_counts_.end() && it->second >= opts_.max_batch;
+}
+
+void MicroBatcher::cohort_release_locked(const LoadedModel* m) {
+  const auto it = cohort_counts_.find(m);
+  if (it == cohort_counts_.end()) return;
+  if (--it->second <= 0) cohort_counts_.erase(it);
 }
 
 void MicroBatcher::stop() {
@@ -123,6 +131,7 @@ void MicroBatcher::stop() {
     std::lock_guard<std::mutex> lk(mu_);
     stopped_ = true;
     drained.swap(queue_);
+    cohort_counts_.clear();
   }
   cv_.notify_all();
   for (BatchRequest& req : drained) {

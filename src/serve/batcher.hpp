@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "formats/sparse_vector.hpp"
@@ -102,13 +103,25 @@ class MicroBatcher {
 
  private:
   /// True when the front request's model has a full cohort queued (the
-  /// only thing a flush can actually take). mu_ held.
+  /// only thing a flush can actually take). One hash lookup against the
+  /// incrementally maintained per-model counts — this runs inside the
+  /// deadline-mode cv_ wait predicate on every submit notification, so it
+  /// must not scan the queue (an O(queue) scan there goes quadratic under
+  /// deep mixed-model queues). mu_ held.
   bool front_cohort_full_locked() const;
+  /// Drops one queued-request count for `m`, erasing the entry at zero so
+  /// the map tracks only models currently queued. mu_ held.
+  void cohort_release_locked(const LoadedModel* m);
 
   BatcherOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<BatchRequest> queue_;
+  /// Queued (not yet extracted) requests per model identity — maintained
+  /// on every push/pop so the flush predicate is O(1). Invariant: for
+  /// every model pointer, cohort_counts_[m] == number of queue_ entries
+  /// whose request pins m, and absent means zero (mu_).
+  std::unordered_map<const LoadedModel*, index_t> cohort_counts_;
   /// Batches extracted by next_batch() but not yet batch_done() (mu_).
   int in_flight_ = 0;
   bool stopped_ = false;

@@ -81,20 +81,25 @@ void ServeEngine::load_model(const std::string& name,
                              const std::string& path) {
   LS_FAILPOINT("serve.load_model");
   const bool previous = registry_.get(name) != nullptr;
-  // Reserve the version BEFORE the expensive build: concurrent reloads of
-  // the same name each get a distinct, strictly increasing number, so the
-  // snapshot-then-put race (two loads minting the same version, or an
-  // older build clobbering a newer one) cannot occur. The expensive part —
-  // deserialize + layout decision + materialise — still happens off the
-  // registry lock; traffic keeps hitting the previous version until the
-  // single-pointer swap below.
-  const std::int64_t version = registry_.reserve_version(name);
-  auto loaded = std::make_shared<const LoadedModel>(
-      name, path, opts_.sched, predictor_batch_rows_, version);
+  // Reserve the version AND content generation BEFORE the expensive build:
+  // concurrent reloads of the same name each get distinct, strictly
+  // increasing numbers, so the snapshot-then-put race (two loads minting
+  // the same version, or an older build clobbering a newer one) cannot
+  // occur. The expensive part — deserialize + layout decision +
+  // materialise — still happens off the registry lock; traffic keeps
+  // hitting the previous version until the single-pointer swap below.
+  const LoadTicket ticket = registry_.reserve_load(name);
+  auto loaded = std::make_shared<LoadedModel>(name, path, opts_.sched,
+                                              predictor_batch_rows_,
+                                              ticket.version,
+                                              ticket.content_gen);
   if (!registry_.put_if_newer(std::move(loaded))) {
-    // A concurrent load that reserved a later version already finished:
-    // its content is at least as fresh as ours, so losing this race is a
-    // success from the caller's point of view — just account for it.
+    // A concurrent load that reserved a later content generation already
+    // finished: its content is at least as fresh as ours, so losing this
+    // race is a success from the caller's point of view — just account
+    // for it. (A rescheduler re-layout of older content can NOT cause
+    // this: put_if_newer re-mints our version past it and installs — new
+    // on-disk content is never clobbered by a re-layout of old weights.)
     metrics::counter_add("serve.stale_loads_total");
   }
   {

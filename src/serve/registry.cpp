@@ -21,10 +21,12 @@ SchedulerOptions fixed_layout_options(Format f) {
 
 LoadedModel::LoadedModel(std::string name_, std::string path_,
                          const SchedulerOptions& sched,
-                         index_t predictor_batch_rows, std::int64_t version_)
+                         index_t predictor_batch_rows, std::int64_t version_,
+                         std::int64_t content_gen_)
     : name(std::move(name_)),
       source_path(std::move(path_)),
       version(version_),
+      content_gen(content_gen_),
       model((LS_FAILPOINT("serve.model.load"), load_model_file(source_path))),
       predictor(model, sched, predictor_batch_rows),
       loaded_at(std::chrono::system_clock::now()) {
@@ -38,6 +40,7 @@ LoadedModel::LoadedModel(const LoadedModel& basis, Format layout,
     : name(basis.name),
       source_path(basis.source_path),
       version(version_),
+      content_gen(basis.content_gen),
       model((LS_FAILPOINT("serve.reschedule.materialize"), basis.model)),
       predictor(model, fixed_layout_options(layout), predictor_batch_rows),
       loaded_at(std::chrono::system_clock::now()) {
@@ -46,8 +49,7 @@ LoadedModel::LoadedModel(const LoadedModel& basis, Format layout,
                     format_name(predictor.layout()));
 }
 
-std::int64_t ModelRegistry::reserve_version(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+std::int64_t ModelRegistry::reserve_version_locked(const std::string& name) {
   std::int64_t& next = next_version_[name];
   if (next == 0) {
     // First reservation since the registry was built: continue from the
@@ -58,10 +60,46 @@ std::int64_t ModelRegistry::reserve_version(const std::string& name) {
   return ++next;
 }
 
-bool ModelRegistry::put_if_newer(std::shared_ptr<const LoadedModel> m) {
+LoadTicket ModelRegistry::reserve_load(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  LoadTicket t;
+  t.version = reserve_version_locked(name);
+  std::int64_t& gen = next_content_gen_[name];
+  if (gen == 0) {
+    const auto it = models_.find(name);
+    if (it != models_.end()) gen = it->second->content_gen;
+  }
+  t.content_gen = ++gen;
+  return t;
+}
+
+std::int64_t ModelRegistry::reserve_version(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reserve_version_locked(name);
+}
+
+bool ModelRegistry::put_if_newer(std::shared_ptr<LoadedModel> m) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = models_[m->name];
-  if (slot && slot->version >= m->version) return false;  // stale load
+  if (slot) {
+    // Content decides: a hosted entry with a newer generation came from a
+    // load that read the file after we reserved — ours is stale. An equal
+    // generation with an equal-or-newer version is already installed.
+    if (slot->content_gen > m->content_gen) return false;
+    if (slot->content_gen == m->content_gen && slot->version >= m->version) {
+      return false;
+    }
+    if (slot->version >= m->version) {
+      // The hosted entry is a re-layout of *older* content that reserved a
+      // later version while our load was building. Our content is fresher
+      // and must win — re-mint a version above the hosted one (under this
+      // same lock) so installs stay strictly version-increasing. `m` is
+      // not yet shared, so the write is unobservable.
+      std::int64_t& next = next_version_[m->name];
+      next = std::max(next, slot->version);
+      m->version = ++next;
+    }
+  }
   slot = std::move(m);
   return true;
 }

@@ -28,16 +28,19 @@ struct LoadedModel {
   /// Deserializes `path` (atomic-write + CRC32-verified via fs_atomic) and
   /// materialises the support vectors under `sched`'s policy.
   /// `predictor_batch_rows` is the SMSV block size the batcher will score
-  /// with (clamped inside BatchPredictor).
+  /// with (clamped inside BatchPredictor). `content_gen_` is the content
+  /// generation minted by ModelRegistry::reserve_load (defaulted only for
+  /// tests that never race loads against layout swaps).
   LoadedModel(std::string name_, std::string path_,
               const SchedulerOptions& sched, index_t predictor_batch_rows,
-              std::int64_t version_);
+              std::int64_t version_, std::int64_t content_gen_ = 1);
 
   /// Re-materialisation constructor for the layout rescheduler: copies the
   /// already-deserialized model of `basis` and lays its support vectors
   /// out in `layout` — no file I/O, no layout probe. The result scores the
   /// same requests as `basis` (same kernel, coefficients and rho); only
-  /// the storage format of the support-vector matrix changes.
+  /// the storage format of the support-vector matrix changes, so it keeps
+  /// `basis`'s content generation.
   LoadedModel(const LoadedModel& basis, Format layout,
               index_t predictor_batch_rows, std::int64_t version_);
 
@@ -47,33 +50,62 @@ struct LoadedModel {
   std::string name;
   std::string source_path;
   std::int64_t version = 1;
+  /// Which *content* (on-disk bytes) this entry carries. Every disk load
+  /// mints a fresh generation; a layout re-materialisation inherits its
+  /// basis's. Versions order *installs* (they bump on layout swaps too);
+  /// generations order *content* — the distinction lets the registry tell
+  /// "lost to a newer load" from "lost to a re-layout of older weights".
+  std::int64_t content_gen = 1;
   SvmModel model;
   BatchPredictor predictor;
   std::chrono::system_clock::time_point loaded_at;
 };
 
+/// Version + content-generation ticket for one disk load, minted
+/// atomically by ModelRegistry::reserve_load.
+struct LoadTicket {
+  std::int64_t version = 0;
+  std::int64_t content_gen = 0;
+};
+
 /// Thread-safe name -> LoadedModel map with atomic replacement.
 ///
 /// Version discipline: every installed version is minted by
-/// reserve_version() under the registry lock, and installs go through
-/// put_if_newer() / replace_if_current(), which reject stale candidates.
-/// Together these make the hosted version of a name strictly increasing no
-/// matter how many loads, reloads and layout swaps race — the guarantee
-/// the hot-reload path documents and the rescheduler's swap depends on.
+/// reserve_load() / reserve_version() under the registry lock, and
+/// installs go through put_if_newer() / replace_if_current(), which reject
+/// stale candidates. Together these make the hosted version of a name
+/// strictly increasing no matter how many loads, reloads and layout swaps
+/// race — the guarantee the hot-reload path documents and the
+/// rescheduler's swap depends on.
+///
+/// Content discipline: generations order on-disk content across loads,
+/// while versions also bump on layout-only swaps. put_if_newer compares
+/// generations, so a reload that reserved its version early can never be
+/// silently beaten by a rescheduler re-layout of *older* weights that
+/// happened to reserve a later version while the reload was building.
 class ModelRegistry {
  public:
-  /// Mints the next version number for `name` under the registry lock.
-  /// Counters are per name, monotone over the registry's lifetime (they
-  /// survive erase()), so two concurrent loads can never mint the same
-  /// version. Versions are reserved before the expensive materialisation
-  /// starts; a load that fails simply leaves a gap.
+  /// Mints the next version number AND the next content generation for
+  /// `name` under one registry lock — the ticket a disk load installs
+  /// with. Counters are per name, monotone over the registry's lifetime
+  /// (they survive erase()), so two concurrent loads can never mint the
+  /// same version or generation. Tickets are reserved before the
+  /// expensive materialisation starts; a load that fails leaves a gap.
+  LoadTicket reserve_load(const std::string& name);
+
+  /// Mints the next version number only — for layout re-materialisations,
+  /// which carry their basis's content generation unchanged.
   std::int64_t reserve_version(const std::string& name);
 
-  /// Installs `m` unless the hosted entry is already newer — i.e. a
-  /// concurrent load that reserved a later version finished first. Returns
-  /// false when `m` was stale and dropped, so an older LoadedModel can
-  /// never clobber a newer one.
-  bool put_if_newer(std::shared_ptr<const LoadedModel> m);
+  /// Installs `m` unless the hosted entry carries newer *content* — i.e. a
+  /// concurrent load that reserved a later generation finished first.
+  /// Returns false when `m` was stale and dropped, so an older load can
+  /// never clobber a newer one. When the hosted entry is a re-layout of
+  /// older content that raced to a higher version while `m` was building,
+  /// `m` still wins: the registry re-mints `m->version` above the hosted
+  /// one under the lock (hence the non-const pointer — `m` must not be
+  /// shared before installation), keeping versions strictly increasing.
+  bool put_if_newer(std::shared_ptr<LoadedModel> m);
 
   /// Compare-and-swap for the rescheduler: installs `m` only while
   /// `expected` is still the hosted entry for `m->name`. A re-materialised
@@ -97,11 +129,15 @@ class ModelRegistry {
   std::size_t size() const;
 
  private:
+  std::int64_t reserve_version_locked(const std::string& name);
+
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const LoadedModel>> models_;
-  /// Per-name version counters (mu_), surviving erase() so a reloaded name
-  /// continues its sequence instead of reusing old version numbers.
+  /// Per-name version / content-generation counters (mu_), surviving
+  /// erase() so a reloaded name continues its sequences instead of
+  /// reusing old numbers.
   std::map<std::string, std::int64_t> next_version_;
+  std::map<std::string, std::int64_t> next_content_gen_;
 };
 
 }  // namespace ls::serve

@@ -80,27 +80,31 @@ void LayoutRescheduler::policy_loop() {
 
 void LayoutRescheduler::observe(const LoadedModel& model, index_t rows,
                                 double seconds) {
-  observe_arm(model.name, model.version, model.predictor.layout(), rows,
+  observe_arm(model.name, model.content_gen, model.predictor.layout(), rows,
               seconds);
 }
 
 void LayoutRescheduler::observe_arm(const std::string& model,
-                                    std::int64_t version, Format layout,
+                                    std::int64_t content_gen, Format layout,
                                     index_t rows, double seconds) {
   if (rows <= 0 || !(seconds >= 0.0)) return;
   std::lock_guard<std::mutex> lk(mu_);
   ModelState& s = models_[model];
-  if (version < s.version) return;  // in-flight batch of a replaced version
-  if (version > s.version) {
-    if (s.version != 0) {
-      // A version bump we did not perform: a hot reload, which may have
-      // shipped different content — every timing the arms hold describes
-      // the old model. Start the bandit over (priors survive only if the
-      // shape is unchanged; cheapest is to reseed).
+  if (content_gen < s.content_gen) return;  // batch of replaced content
+  if (content_gen > s.content_gen) {
+    if (s.content_gen != 0) {
+      // A content-generation bump: a hot reload shipped different weights
+      // — every timing the arms hold describes the old model. Start the
+      // bandit over (priors survive only if the shape is unchanged;
+      // cheapest is to reseed). Our own layout swaps keep the generation,
+      // so a worker observing a freshly swapped-in model — even before
+      // consider() finishes bookkeeping — lands here with an *equal*
+      // generation and the arms survive, as they must: they still
+      // describe the same weights.
       s.arms = {};
       s.priors_ready = false;
     }
-    s.version = version;
+    s.content_gen = content_gen;
   }
   Arm& arm = s.arms[static_cast<std::size_t>(layout)];
   arm.pulls += 1;
@@ -124,15 +128,21 @@ void LayoutRescheduler::seed_priors(const std::string& name,
   s.priors_ready = true;
 }
 
+double LayoutRescheduler::arm_exploit_locked(const ModelState& s,
+                                             Format f) const {
+  const auto i = static_cast<std::size_t>(f);
+  const Arm& arm = s.arms[i];
+  // Measured mean once the arm has been pulled, cost-model prior before
+  // that (the seeding that replaces UCB1's "play every arm once").
+  return arm.rows > 0 ? arm.mean_row_seconds()
+                      : (s.priors[i] > 0.0 ? s.priors[i] : kInf);
+}
+
 double LayoutRescheduler::arm_value_locked(const ModelState& s,
                                            Format f) const {
   const auto i = static_cast<std::size_t>(f);
   const Arm& arm = s.arms[i];
-  // Value: measured mean once the arm has been pulled, cost-model prior
-  // before that (the seeding that replaces UCB1's "play every arm once").
-  const double value =
-      arm.rows > 0 ? arm.mean_row_seconds()
-                   : (s.priors[i] > 0.0 ? s.priors[i] : kInf);
+  const double value = arm_exploit_locked(s, f);
   if (!std::isfinite(value)) return value;
   if (opts_.ucb_exploration <= 0.0) return value;
   // UCB1 for minimisation: optimism subtracts the confidence radius. The
@@ -212,7 +222,10 @@ void LayoutRescheduler::consider(
         }
       }
     }
-    if (s.version != current->version) return;  // arms describe old data
+    // Arms describing other content than the hosted entry (a reload we
+    // have not observed yet, or in-flight telemetry of replaced weights)
+    // must not drive a swap of THIS entry.
+    if (s.content_gen != current->content_gen) return;
     if (s.switches >= opts_.max_switches) return;
     if (s.switched_once && now - s.last_switch < ms_duration(
                                                      opts_.hysteresis_ms)) {
@@ -223,7 +236,13 @@ void LayoutRescheduler::consider(
     if (cur_arm.pulls < opts_.min_observations) return;
     const auto best = best_arm_locked(s);
     if (!best || *best == cur) return;
-    candidate_value = arm_value_locked(s, *best);
+    // The gate compares exploitation estimates on both sides: the UCB
+    // exploration bonus steers which arm gets *considered*, but a
+    // re-materialisation must be justified by the candidate's measured
+    // mean (or its cost-model prior) actually clearing the threshold —
+    // optimism alone, on an arm with zero measurements, is not a reason
+    // to spend a swap.
+    candidate_value = arm_exploit_locked(s, *best);
     current_mean = cur_arm.mean_row_seconds();
     if (!decisively_better(current_mean, candidate_value,
                            opts_.switch_threshold)) {
@@ -273,7 +292,10 @@ void LayoutRescheduler::consider(
       "serve");
   std::lock_guard<std::mutex> lk(mu_);
   ModelState& s = models_[name];
-  s.version = version;  // our own bump: keep the arms, they still apply
+  // No generation bookkeeping: the swap changed layout only, `fresh`
+  // carries the same content generation, so the arms keep applying and a
+  // worker's observe() of the new entry is indistinguishable from one of
+  // the old — no window in which it could be mistaken for a hot reload.
   s.switches += 1;
   s.last_switch = now;
   s.switched_once = true;

@@ -118,7 +118,10 @@ class LayoutRescheduler {
 
   /// Test seam: credit `seconds` for `rows` requests to an explicit
   /// (model, layout) arm, bypassing the "current layout" attribution.
-  void observe_arm(const std::string& model, std::int64_t version,
+  /// `content_gen` is the content generation the timing was measured on —
+  /// a generation bump (hot reload: new weights) resets the arms, while a
+  /// layout-only swap keeps the generation and therefore the arms.
+  void observe_arm(const std::string& model, std::int64_t content_gen,
                    Format layout, index_t rows, double seconds);
 
   /// One decision pass over every hosted model — what the policy thread
@@ -153,9 +156,12 @@ class LayoutRescheduler {
   };
 
   struct ModelState {
-    /// Version whose timings the arms describe. A version bump we did not
-    /// cause (a hot reload — possibly new content) resets the arms.
-    std::int64_t version = 0;
+    /// Content generation whose timings the arms describe. A generation
+    /// bump (a hot reload — new weights, possibly a different best
+    /// layout) resets the arms; our own layout swaps keep the generation,
+    /// so telemetry from workers racing a swap can never be misread as a
+    /// reload (version numbers bump on both and cannot tell them apart).
+    std::int64_t content_gen = 0;
     std::array<Arm, kNumFormats> arms{};
     std::array<double, kNumFormats> priors{};
     MatrixFeatures features{};  ///< SV-matrix features (telemetry key)
@@ -170,9 +176,13 @@ class LayoutRescheduler {
   void consider(const std::shared_ptr<const LoadedModel>& current);
   /// Lowest-UCB arm given state. mu_ held.
   std::optional<Format> best_arm_locked(const ModelState& s) const;
-  /// Optimistic per-row seconds of one arm (mean or prior, minus the
-  /// exploration bonus). mu_ held.
+  /// Optimistic per-row seconds of one arm (exploitation value minus the
+  /// exploration bonus) — steers arm *selection* only. mu_ held.
   double arm_value_locked(const ModelState& s, Format f) const;
+  /// Exploitation estimate of one arm: measured mean once pulled, the
+  /// cost-model prior before that, no optimism — what the switch gate
+  /// compares, so the threshold margin is real. mu_ held.
+  double arm_exploit_locked(const ModelState& s, Format f) const;
   /// Ensures priors are seeded from the cost model. mu_ held by caller?
   /// No — computes features outside the lock, then stores under it.
   void seed_priors(const std::string& name, const LoadedModel& model);

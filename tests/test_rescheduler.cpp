@@ -106,9 +106,9 @@ std::shared_ptr<const LoadedModel> host_model(ModelRegistry& reg,
                                               const std::string& tag) {
   const std::string path = temp_model_path(tag);
   save_model_file(path, make_model(8, 16, 0x5EED));
-  const std::int64_t v = reg.reserve_version("m");
-  auto loaded =
-      std::make_shared<const LoadedModel>("m", path, fixed_csr(), 8, v);
+  const LoadTicket t = reg.reserve_load("m");
+  auto loaded = std::make_shared<LoadedModel>("m", path, fixed_csr(), 8,
+                                              t.version, t.content_gen);
   EXPECT_TRUE(reg.put_if_newer(loaded));
   return loaded;
 }
@@ -155,8 +155,8 @@ TEST(Rescheduler, SwitchesToDecisivelyFasterMeasuredArm) {
   // CSR (the current layout) measures slow; ELL measures far below any
   // plausible cost-model prior, so the bandit's best arm is deterministic.
   for (int i = 0; i < 8; ++i) {
-    rs.observe_arm("m", first->version, Format::kCSR, 8, 8 * 1e-3);
-    rs.observe_arm("m", first->version, Format::kELL, 8, 8 * 1e-15);
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 8 * 1e-3);
+    rs.observe_arm("m", first->content_gen, Format::kELL, 8, 8 * 1e-15);
   }
   rs.tick();
 
@@ -198,8 +198,8 @@ TEST(Rescheduler, InsufficientObservationsNeverSwitch) {
   // Only 3 pulls on the current arm with min_observations = 4: however
   // bad the measurements look, the bandit may not judge it yet.
   for (int i = 0; i < 3; ++i) {
-    rs.observe_arm("m", first->version, Format::kCSR, 8, 8 * 1e-3);
-    rs.observe_arm("m", first->version, Format::kELL, 8, 8 * 1e-15);
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 8 * 1e-3);
+    rs.observe_arm("m", first->content_gen, Format::kELL, 8, 8 * 1e-15);
   }
   rs.tick();
   EXPECT_EQ(rs.reschedules_total(), 0);
@@ -214,8 +214,8 @@ TEST(Rescheduler, MaxSwitchBudgetCapsOnlineSwaps) {
   LayoutRescheduler rs(reg, 8, opts);
 
   for (int i = 0; i < 8; ++i) {
-    rs.observe_arm("m", first->version, Format::kCSR, 8, 8 * 1e-3);
-    rs.observe_arm("m", first->version, Format::kELL, 8, 8 * 1e-15);
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 8 * 1e-3);
+    rs.observe_arm("m", first->content_gen, Format::kELL, 8, 8 * 1e-15);
   }
   rs.tick();
   ASSERT_EQ(rs.reschedules_total(), 1);
@@ -225,8 +225,8 @@ TEST(Rescheduler, MaxSwitchBudgetCapsOnlineSwaps) {
   // ELL now measures terribly and COO looks decisively better — but the
   // per-model budget is spent, so the layout must stay put.
   for (int i = 0; i < 8; ++i) {
-    rs.observe_arm("m", after_first->version, Format::kELL, 8, 8 * 1e-2);
-    rs.observe_arm("m", after_first->version, Format::kCOO, 8, 8 * 1e-15);
+    rs.observe_arm("m", after_first->content_gen, Format::kELL, 8, 8 * 1e-2);
+    rs.observe_arm("m", after_first->content_gen, Format::kCOO, 8, 8 * 1e-15);
   }
   rs.tick();
   EXPECT_EQ(rs.reschedules_total(), 1);
@@ -240,8 +240,8 @@ TEST(Rescheduler, FailedMaterializationLeavesLastGoodServing) {
   LayoutRescheduler rs(reg, 8, test_policy());
 
   for (int i = 0; i < 8; ++i) {
-    rs.observe_arm("m", first->version, Format::kCSR, 8, 8 * 1e-3);
-    rs.observe_arm("m", first->version, Format::kELL, 8, 8 * 1e-15);
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 8 * 1e-3);
+    rs.observe_arm("m", first->content_gen, Format::kELL, 8, 8 * 1e-15);
   }
   {
     // The re-materialisation build blows up: the swap must not happen and
@@ -283,6 +283,149 @@ TEST(Rescheduler, SwapLosesToConcurrentHotReload) {
                                                    reg.reserve_version("m"));
   EXPECT_FALSE(reg.replace_if_current(first.get(), std::move(stale)));
   EXPECT_EQ(reg.get("m").get(), reloaded.get());
+}
+
+TEST(Rescheduler, ReloadNeverLosesToConcurrentRelayoutOfOldContent) {
+  ModelRegistry reg;
+  const auto first = host_model(reg, "reloadrace.txt");
+
+  // The opposite interleaving of SwapLosesToConcurrentHotReload: a hot
+  // reload reserves its ticket FIRST...
+  const LoadTicket reload = reg.reserve_load("m");
+  EXPECT_GT(reload.content_gen, first->content_gen);
+
+  // ...then, while the reload is still building, the rescheduler reserves
+  // a LATER version and swaps in a re-layout of the OLD weights. The
+  // re-layout carries the old content generation.
+  const std::int64_t swap_v = reg.reserve_version("m");
+  EXPECT_GT(swap_v, reload.version);
+  auto relayout =
+      std::make_shared<const LoadedModel>(*first, Format::kELL, 8, swap_v);
+  EXPECT_EQ(relayout->content_gen, first->content_gen);
+  ASSERT_TRUE(reg.replace_if_current(first.get(), relayout));
+
+  // The reload finishes with new on-disk content. Its reserved version is
+  // now below the hosted one, but its content is strictly newer — the
+  // install must WIN (this used to be silently dropped as "stale", losing
+  // the new weights), with a re-minted version above the re-layout's so
+  // hosted versions stay strictly increasing.
+  const std::string path2 = temp_model_path("reloadrace2.txt");
+  save_model_file(path2, make_model(12, 16, 0xF00D));
+  auto reloaded = std::make_shared<LoadedModel>(
+      "m", path2, fixed_csr(), 8, reload.version, reload.content_gen);
+  EXPECT_TRUE(reg.put_if_newer(reloaded));
+
+  const auto hosted = reg.get("m");
+  ASSERT_NE(hosted, nullptr);
+  EXPECT_EQ(hosted.get(), reloaded.get());
+  EXPECT_EQ(hosted->content_gen, reload.content_gen);
+  EXPECT_EQ(hosted->model.support_vectors.size(), 12u);
+  EXPECT_GT(hosted->version, swap_v);
+  // The version counter moved past the re-mint: later reservations stay
+  // above everything ever hosted.
+  EXPECT_GT(reg.reserve_version("m"), hosted->version);
+}
+
+TEST(Rescheduler, HotReloadInFlightSurvivesConcurrentSwap) {
+  // Engine-level version of the race above: the reload stalls in its
+  // build (delay failpoint) while the policy thread swaps the OLD weights
+  // into a new layout at a later version. Whatever the interleaving, the
+  // reload's new content must end up serving.
+  const std::string path = temp_model_path("reloadswap.txt");
+  save_model_file(path, make_model(8, 16, 0x5EED));
+  ServeOptions opts;
+  opts.sched = fixed_csr();
+  opts.reschedule = test_policy();
+  ServeEngine engine(opts);
+  engine.load_model("m", path);
+  const auto first = engine.model("m");
+  ASSERT_NE(engine.rescheduler(), nullptr);
+  LayoutRescheduler& rs = *engine.rescheduler();
+
+  // New, recognisable on-disk content for the reload.
+  save_model_file(path, make_model(12, 16, 0xF00D));
+
+  failpoint::Spec delay;
+  delay.action = failpoint::Action::kDelay;
+  delay.delay_ms = 150;
+  failpoint::Scoped slow_load("serve.model.load", delay);
+  std::thread reloader([&] { engine.reload_model("m"); });
+
+  // While the reload sleeps in its build, make the bandit swap the old
+  // weights to ELL at a later version.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  for (int i = 0; i < 8; ++i) {
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 8 * 1e-3);
+    rs.observe_arm("m", first->content_gen, Format::kELL, 8, 8 * 1e-15);
+  }
+  rs.tick();
+  reloader.join();
+
+  const auto hosted = engine.model("m");
+  ASSERT_NE(hosted, nullptr);
+  EXPECT_EQ(hosted->model.support_vectors.size(), 12u);
+  EXPECT_GT(hosted->version, first->version);
+  EXPECT_GT(hosted->content_gen, first->content_gen);
+  EXPECT_EQ(engine.stats().reloads_total, 1);
+}
+
+TEST(Rescheduler, SelfSwapKeepsArmsAndReloadResetsThem) {
+  ModelRegistry reg;
+  const auto first = host_model(reg, "selfswap.txt");
+  LayoutRescheduler rs(reg, 8, test_policy());
+
+  for (int i = 0; i < 8; ++i) {
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 8 * 1e-3);
+    rs.observe_arm("m", first->content_gen, Format::kELL, 8, 8 * 1e-15);
+  }
+  rs.tick();
+  ASSERT_EQ(rs.reschedules_total(), 1);
+  const auto swapped = reg.get("m");
+  ASSERT_EQ(swapped->predictor.layout(), Format::kELL);
+  EXPECT_EQ(swapped->content_gen, first->content_gen);
+
+  // A worker observing the freshly swapped-in model — in any order
+  // relative to the policy thread's post-swap bookkeeping — must not be
+  // mistaken for a hot reload: the arms and priors survive a self-swap.
+  rs.observe_arm("m", swapped->content_gen, Format::kELL, 8, 8 * 1e-15);
+  auto stats = rs.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  for (const ArmStats& a : stats[0].arms) {
+    if (a.format == Format::kCSR) EXPECT_EQ(a.pulls, 8);
+    if (a.format == Format::kELL) EXPECT_EQ(a.pulls, 9);
+    EXPECT_GT(a.prior_row_seconds, 0.0);  // priors still seeded
+  }
+
+  // A genuine hot reload (content-generation bump) DOES reset the bandit:
+  // every timing the arms held described the old weights.
+  rs.observe_arm("m", swapped->content_gen + 1, Format::kELL, 8, 8 * 1e-3);
+  stats = rs.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  for (const ArmStats& a : stats[0].arms) {
+    if (a.format == Format::kCSR) EXPECT_EQ(a.pulls, 0);
+    if (a.format == Format::kELL) EXPECT_EQ(a.pulls, 1);
+  }
+}
+
+TEST(Rescheduler, OptimismAloneNeverTriggersASwap) {
+  // The UCB exploration bonus steers which arm gets considered, but the
+  // switch gate compares exploitation values: with the current layout
+  // measuring (unbeatably) fast, no candidate — however large its
+  // optimism radius makes it look during selection — may trigger a
+  // re-materialisation on zero measurements of its own.
+  ModelRegistry reg;
+  const auto first = host_model(reg, "optimism.txt");
+  ReschedulerOptions opts = test_policy();
+  opts.ucb_exploration = 50.0;  // radius dwarfs every prior
+  LayoutRescheduler rs(reg, 8, opts);
+
+  for (int i = 0; i < 8; ++i) {
+    rs.observe_arm("m", first->content_gen, Format::kCSR, 8, 0.0);
+  }
+  rs.tick();
+  EXPECT_EQ(rs.reschedules_total(), 0);
+  EXPECT_EQ(reg.get("m").get(), first.get());
+  EXPECT_EQ(reg.get("m")->predictor.layout(), Format::kCSR);
 }
 
 // --- swap atomicity under concurrent traffic -----------------------------
@@ -358,8 +501,8 @@ TEST(Rescheduler, SwapsAreValueStableUnderConcurrentPredicts) {
     }
     const Format target = kAllFormats[(cur_idx + 1) % kAllFormats.size()];
     for (int i = 0; i < 8; ++i) {
-      rs.observe_arm("m", current->version, cur, 8, 8 * 1e-2);
-      rs.observe_arm("m", current->version, target, 8, 8 * 1e-15);
+      rs.observe_arm("m", current->content_gen, cur, 8, 8 * 1e-2);
+      rs.observe_arm("m", current->content_gen, target, 8, 8 * 1e-15);
     }
     const std::int64_t before = rs.reschedules_total();
     rs.tick();

@@ -742,6 +742,58 @@ TEST(ServeBatcher, MixedModelQueueDoesNotFlushTinyCohortEarly) {
   batcher2.stop();
 }
 
+TEST(ServeBatcher, CohortCountsSurvivePartialExtractionAndReprepend) {
+  const std::string p1 = temp_model_path("cohortcnt1.txt");
+  const std::string p2 = temp_model_path("cohortcnt2.txt");
+  save_model_file(p1, make_model(4, 8, 0xC1A));
+  save_model_file(p2, make_model(4, 8, 0xC1B));
+  SchedulerOptions sched;
+  sched.policy = SchedulePolicy::kFixed;
+  sched.fixed_format = Format::kCSR;
+  const auto m1 = std::make_shared<const LoadedModel>("m1", p1, sched, 8, 1);
+  const auto m2 = std::make_shared<const LoadedModel>("m2", p2, sched, 8, 1);
+
+  // m1 holds the front with a partial cohort; m2's cohort behind it is
+  // already full. The first flush takes m1 after the deadline and
+  // re-prepends m2's requests — whose per-model count must survive that
+  // round-trip so the second flush fires on the "full" fast path, not the
+  // deadline.
+  BatcherOptions opts;
+  opts.max_batch = 4;
+  opts.deadline_ms = 80.0;
+  MicroBatcher batcher(opts);
+  ASSERT_TRUE(batcher.submit(m1, SparseVector({0}, {1.0}), 0.0));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(m2, SparseVector({0}, {1.0}), 0.0));
+    if (i == 0) {
+      ASSERT_TRUE(batcher.submit(m1, SparseVector({0}, {1.0}), 0.0));
+    }
+  }
+
+  std::vector<BatchRequest> batch;
+  ASSERT_TRUE(batcher.next_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);
+  for (const BatchRequest& r : batch) EXPECT_EQ(r.model.get(), m1.get());
+  batcher.batch_done();
+  for (BatchRequest& r : batch) {
+    r.done.set_value(PredictResult{Status::kOk, 0.0, 0.0});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(batcher.next_batch(batch));
+  const double fast_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  EXPECT_EQ(batch.size(), 4u);
+  for (const BatchRequest& r : batch) EXPECT_EQ(r.model.get(), m2.get());
+  EXPECT_LT(fast_ms, 0.5 * opts.deadline_ms);
+  batcher.batch_done();
+  for (BatchRequest& r : batch) {
+    r.done.set_value(PredictResult{Status::kOk, 0.0, 0.0});
+  }
+  batcher.stop();
+}
+
 // --- socket server end-to-end -------------------------------------------
 
 struct ServerFixture {
