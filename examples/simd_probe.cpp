@@ -1,0 +1,40 @@
+// Reports the SIMD dispatch state of this host. Used by scripts/check.sh
+// to enumerate the levels worth re-running the suite under, and handy for
+// ops ("which kernels does this box actually run?").
+//
+//   simd_probe            human-readable report
+//   simd_probe --levels   one supported level name per line (script food)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "kernels/simd.hpp"
+
+int main(int argc, char** argv) {
+  const bool levels_only = argc > 1 && std::strcmp(argv[1], "--levels") == 0;
+  using ls::simd::SimdLevel;
+  if (levels_only) {
+    for (int l = 0; l < ls::simd::kNumSimdLevels; ++l) {
+      const auto level = static_cast<SimdLevel>(l);
+      if (ls::simd::level_supported(level)) {
+        std::printf("%s\n", std::string(ls::simd::level_name(level)).c_str());
+      }
+    }
+    return 0;
+  }
+  std::printf("active:  %s (width %d)\n",
+              std::string(ls::simd::level_name(ls::simd::active_level())).c_str(),
+              ls::simd::kernels().width);
+  std::printf("native:  %s\n",
+              std::string(ls::simd::level_name(ls::simd::best_supported())).c_str());
+  for (int l = 0; l < ls::simd::kNumSimdLevels; ++l) {
+    const auto level = static_cast<SimdLevel>(l);
+    std::printf("%-7s  compiled=%s supported=%s\n",
+                std::string(ls::simd::level_name(level)).c_str(),
+                ls::simd::level_compiled(level) ? "yes" : "no",
+                ls::simd::level_supported(level) ? "yes" : "no");
+  }
+  std::printf("fallback_events: %lld\n",
+              static_cast<long long>(ls::simd::fallback_events()));
+  return 0;
+}

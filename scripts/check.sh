@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build and run the full test suite three times — a plain
-# Release build (run twice: serial and OMP_NUM_THREADS=2, which must agree),
-# an AddressSanitizer + UBSan build (-DLS_SANITIZE=ON), and a
+# Tier-1 gate: build and run the full test suite several times — a plain
+# Release build (run serially, with OMP_NUM_THREADS=2, and once per
+# LS_SIMD level the host supports, all of which must agree), an
+# AddressSanitizer + UBSan build (-DLS_SANITIZE=ON), and a
 # ThreadSanitizer build (-DLS_SANITIZE=thread) that checks the kernel-cache
 # prefetch pipeline's std::thread machinery. All must be green before a
 # change lands.
@@ -310,6 +311,14 @@ if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   # WSS folds and the bit-identical-model tests do the real checking).
   echo "==> re-testing build with OMP_NUM_THREADS=2"
   OMP_NUM_THREADS=2 ctest --test-dir build --output-on-failure -j "$(nproc)"
+  # SIMD dispatch-matrix gate: the whole suite must pass at every kernel
+  # level this host supports, not just the native one — the scalar and
+  # AVX2 runs are what catch a vector kernel that only agrees with itself.
+  # simd_probe --levels enumerates what the cpuid path actually detected.
+  for level in $(./build/examples/simd_probe --levels); do
+    echo "==> re-testing build with LS_SIMD=${level}"
+    LS_SIMD="${level}" ctest --test-dir build --output-on-failure -j "$(nproc)"
+  done
   metrics_smoke
   serve_smoke build
   reschedule_smoke build

@@ -30,6 +30,16 @@ class AlignedBuffer {
  public:
   static constexpr std::size_t kAlignment = 64;
 
+  // The SIMD dispatch layer (src/kernels) assumes buffers it streams are at
+  // least 64-byte aligned — one full AVX-512 vector / x86 cache line — and
+  // std::aligned_alloc requires a power-of-two alignment that also satisfies
+  // the element type.
+  static_assert(kAlignment >= 64, "SIMD kernels assume 64-byte alignment");
+  static_assert((kAlignment & (kAlignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(alignof(T) <= kAlignment,
+                "element alignment exceeds buffer alignment");
+
   AlignedBuffer() = default;
 
   explicit AlignedBuffer(std::size_t n) { resize(n); }

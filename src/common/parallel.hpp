@@ -10,6 +10,7 @@
 #include <omp.h>
 #endif
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -54,6 +55,23 @@ void parallel_for(index_t n, Fn&& fn) {
 #else
   for (index_t i = 0; i < n; ++i) fn(i);
 #endif
+}
+
+/// Static-schedule parallel loop over [0, n) in contiguous blocks:
+/// `fn(lo, hi)` is called once per block with lo < hi and the blocks
+/// partition [0, n). Block boundaries depend only on n and the thread
+/// count, matching parallel_for's static schedule. Used where the body
+/// hands a whole contiguous range to a SIMD kernel instead of visiting
+/// one index at a time.
+template <class Fn>
+void parallel_for_blocks(index_t n, Fn&& fn) {
+  if (n <= 0) return;
+  const index_t chunks = std::min<index_t>(static_cast<index_t>(num_threads()), n);
+  parallel_for(chunks, [&](index_t c) {
+    const index_t lo = n * c / chunks;
+    const index_t hi = n * (c + 1) / chunks;
+    if (lo < hi) fn(lo, hi);
+  });
 }
 
 /// Parallel sum-reduction of fn(i) over [0, n).

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
 
@@ -38,14 +39,11 @@ void CsrMatrix::multiply_dense(std::span<const real_t> w,
   const index_t* __restrict cd = col_.data();
   const real_t* __restrict vd = values_.data();
   const index_t* __restrict pd = ptr_.data();
+  const auto& kt = simd::kernels();
   parallel_for(rows_, [&](index_t i) {
     const index_t b = pd[i];
     const index_t e = pd[i + 1];
-    real_t s = 0.0;
-    for (index_t k = b; k < e; ++k) {
-      s += vd[k] * wd[cd[k]];
-    }
-    y[static_cast<std::size_t>(i)] = s;
+    y[static_cast<std::size_t>(i)] = kt.sparse_row_dot(vd + b, cd + b, e - b, wd);
   });
 }
 
@@ -62,17 +60,12 @@ void CsrMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
   const index_t* __restrict cd = col_.data();
   const real_t* __restrict vd = values_.data();
   const index_t* __restrict pd = ptr_.data();
+  const auto& kt = simd::kernels();
   parallel_for(rows_, [&](index_t i) {
     const index_t lo = pd[i];
     const index_t hi = pd[i + 1];
-    real_t acc[kMaxSmsvBatch] = {};
-    for (index_t k = lo; k < hi; ++k) {
-      const real_t v = vd[k];
-      const real_t* __restrict wj = wd + static_cast<std::size_t>(cd[k] * b);
-      for (index_t q = 0; q < b; ++q) acc[q] += v * wj[q];
-    }
     real_t* __restrict yi = y.data() + static_cast<std::size_t>(i * b);
-    for (index_t q = 0; q < b; ++q) yi[q] = acc[q];
+    kt.sparse_row_batch(vd + lo, cd + lo, hi - lo, wd, b, yi);
   });
 }
 
@@ -80,11 +73,8 @@ real_t CsrMatrix::row_dot_dense(index_t i, std::span<const real_t> w) const {
   LS_ASSERT(i >= 0 && i < rows_, "row index out of range");
   const auto cols = row_cols(i);
   const auto vals = row_values(i);
-  real_t s = 0.0;
-  for (std::size_t k = 0; k < cols.size(); ++k) {
-    s += vals[k] * w[static_cast<std::size_t>(cols[k])];
-  }
-  return s;
+  return simd::kernels().sparse_row_dot(
+      vals.data(), cols.data(), static_cast<index_t>(cols.size()), w.data());
 }
 
 void CsrMatrix::gather_row(index_t i, SparseVector& out) const {

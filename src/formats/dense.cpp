@@ -2,8 +2,13 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
+
+static_assert(kMaxSmsvBatch == simd::kMaxKernelBatch,
+              "batched SIMD kernels block their accumulators at "
+              "kMaxKernelBatch rhs lanes");
 
 DenseMatrix::DenseMatrix(index_t rows, index_t cols)
     : rows_(rows), cols_(cols) {
@@ -29,13 +34,10 @@ void DenseMatrix::multiply_dense(std::span<const real_t> w,
   const real_t* __restrict wd = w.data();
   const real_t* __restrict ad = data_.data();
   const index_t n = cols_;
+  const auto& kt = simd::kernels();
   parallel_for(rows_, [&](index_t i) {
     const real_t* __restrict r = ad + static_cast<std::size_t>(i * n);
-    real_t s = 0.0;
-    for (index_t j = 0; j < n; ++j) {
-      s += r[j] * wd[j];
-    }
-    y[static_cast<std::size_t>(i)] = s;
+    y[static_cast<std::size_t>(i)] = kt.dense_row_dot(r, wd, n);
   });
 }
 
@@ -51,16 +53,11 @@ void DenseMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
   const real_t* __restrict wd = w.data();
   const real_t* __restrict ad = data_.data();
   const index_t n = cols_;
+  const auto& kt = simd::kernels();
   parallel_for(rows_, [&](index_t i) {
     const real_t* __restrict r = ad + static_cast<std::size_t>(i * n);
-    real_t acc[kMaxSmsvBatch] = {};
-    for (index_t j = 0; j < n; ++j) {
-      const real_t a = r[j];
-      const real_t* __restrict wj = wd + static_cast<std::size_t>(j * b);
-      for (index_t q = 0; q < b; ++q) acc[q] += a * wj[q];
-    }
     real_t* __restrict yi = y.data() + static_cast<std::size_t>(i * b);
-    for (index_t q = 0; q < b; ++q) yi[q] = acc[q];
+    kt.dense_row_batch(r, n, wd, b, yi);
   });
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
 
@@ -74,14 +75,15 @@ void HybMatrix::multiply_dense(std::span<const real_t> w,
   const real_t* __restrict wd = w.data();
 
   // ELL slab, lane-outer.
+  const auto& kt = simd::kernels();
   for (index_t k = 0; k < width_; ++k) {
     const real_t* __restrict vk = ell_vals_.data() + slot(0, k);
     const index_t* __restrict ck = ell_cols_.data() + slot(0, k);
-    for (index_t i = 0; i < rows_; ++i) {
-      y[static_cast<std::size_t>(i)] += vk[i] * wd[ck[i]];
-    }
+    kt.gather_axpy(vk, ck, rows_, wd, y.data());
   }
-  // COO overflow.
+  // COO overflow stays scalar: a row can spill several nonzeros, so the
+  // pairwise-distinct-rows precondition of gather_scatter_axpy does not
+  // hold here.
   for (std::size_t k = 0; k < coo_vals_.size(); ++k) {
     y[static_cast<std::size_t>(coo_rows_[k])] +=
         coo_vals_[k] * wd[coo_cols_[k]];
@@ -102,15 +104,11 @@ void HybMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
   real_t* __restrict yd = y.data();
 
   // ELL slab, lane-outer.
+  const auto& kt = simd::kernels();
   for (index_t k = 0; k < width_; ++k) {
     const real_t* __restrict vk = ell_vals_.data() + slot(0, k);
     const index_t* __restrict ck = ell_cols_.data() + slot(0, k);
-    for (index_t i = 0; i < rows_; ++i) {
-      const real_t v = vk[i];
-      const real_t* __restrict wj = wd + static_cast<std::size_t>(ck[i] * b);
-      real_t* __restrict yi = yd + static_cast<std::size_t>(i * b);
-      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
-    }
+    kt.gather_axpy_batch(vk, ck, rows_, wd, b, yd);
   }
   // COO overflow.
   for (std::size_t k = 0; k < coo_vals_.size(); ++k) {

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "formats/csr.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
 
@@ -56,16 +57,15 @@ void JdsMatrix::multiply_dense(std::span<const real_t> w,
   std::fill(y.begin(), y.end(), real_t{0});
   const real_t* __restrict wd = w.data();
   const index_t* __restrict pd = perm_.data();
+  const auto& kt = simd::kernels();
   for (index_t k = 0; k < num_jagged(); ++k) {
     const index_t b = jd_ptr_[static_cast<std::size_t>(k)];
     const index_t e = jd_ptr_[static_cast<std::size_t>(k) + 1];
     const real_t* __restrict vd = values_.data() + b;
     const index_t* __restrict cd = col_.data() + b;
-    const index_t len = e - b;
-    // Positions 0..len-1 of this diagonal belong to sorted rows 0..len-1.
-    for (index_t p = 0; p < len; ++p) {
-      y[static_cast<std::size_t>(pd[p])] += vd[p] * wd[cd[p]];
-    }
+    // Positions 0..len-1 of this diagonal belong to sorted rows 0..len-1
+    // (pairwise distinct — the gather_scatter_axpy precondition).
+    kt.gather_scatter_axpy(vd, cd, pd, e - b, wd, y.data());
   }
 }
 
@@ -82,18 +82,13 @@ void JdsMatrix::multiply_dense_batch(std::span<const real_t> w, index_t b,
   const real_t* __restrict wd = w.data();
   real_t* __restrict yd = y.data();
   const index_t* __restrict prm = perm_.data();
+  const auto& kt = simd::kernels();
   for (index_t k = 0; k < num_jagged(); ++k) {
     const index_t lo = jd_ptr_[static_cast<std::size_t>(k)];
     const index_t hi = jd_ptr_[static_cast<std::size_t>(k) + 1];
     const real_t* __restrict vd = values_.data() + lo;
     const index_t* __restrict cd = col_.data() + lo;
-    const index_t len = hi - lo;
-    for (index_t p = 0; p < len; ++p) {
-      const real_t v = vd[p];
-      const real_t* __restrict wj = wd + static_cast<std::size_t>(cd[p] * b);
-      real_t* __restrict yi = yd + static_cast<std::size_t>(prm[p] * b);
-      for (index_t q = 0; q < b; ++q) yi[q] += v * wj[q];
-    }
+    kt.gather_scatter_axpy_batch(vd, cd, prm, hi - lo, wd, b, yd);
   }
 }
 

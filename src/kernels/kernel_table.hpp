@@ -1,0 +1,23 @@
+// Internal: per-ISA table constructors. Each TU is compiled with exactly
+// the flags its ISA needs (see src/kernels/CMakeLists.txt); the dispatcher
+// only dereferences a table after the cpuid check in level_supported().
+#pragma once
+
+#include "kernels/simd.hpp"
+
+namespace ls::simd::detail {
+
+const KernelTable& scalar_table();
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LS_KERNELS_X86 1
+const KernelTable& avx2_table();
+const KernelTable& avx512_table();
+#endif
+
+#if defined(__aarch64__)
+#define LS_KERNELS_NEON 1
+const KernelTable& neon_table();
+#endif
+
+}  // namespace ls::simd::detail

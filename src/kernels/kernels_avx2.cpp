@@ -1,0 +1,42 @@
+// AVX2+FMA kernel table (W = 4). Compiled with -mavx2 -mfma only for
+// this TU; the dispatcher installs it only after __builtin_cpu_supports
+// confirms the host has both.
+#include "kernels/kernel_table.hpp"
+
+#if defined(LS_KERNELS_X86)
+
+#include <immintrin.h>
+
+#include "kernels/vector_kernels.hpp"
+
+namespace ls::simd::detail {
+
+namespace {
+
+struct Avx2Ops {
+  using reg = __m256d;
+  static constexpr int W = 4;
+
+  static reg zero() { return _mm256_setzero_pd(); }
+  static reg loadu(const double* p) { return _mm256_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg broadcast(double a) { return _mm256_set1_pd(a); }
+  static reg fmadd(reg a, reg b, reg c) { return _mm256_fmadd_pd(a, b, c); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg gather(const double* base, const index_t* idx) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm256_i64gather_pd(base, vi, 8);
+  }
+};
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static const KernelTable table = make_vector_table<Avx2Ops>(SimdLevel::kAVX2);
+  return table;
+}
+
+}  // namespace ls::simd::detail
+
+#endif  // LS_KERNELS_X86

@@ -1,0 +1,44 @@
+// AVX-512F kernel table (W = 8). Compiled with -mavx512f only for this
+// TU; the dispatcher installs it only after __builtin_cpu_supports
+// confirms the host has it. No masked loads anywhere — tails run scalar,
+// so the kernels never read past the caller's buffers (ASan-clean on
+// arbitrary CSR row offsets).
+#include "kernels/kernel_table.hpp"
+
+#if defined(LS_KERNELS_X86)
+
+#include <immintrin.h>
+
+#include "kernels/vector_kernels.hpp"
+
+namespace ls::simd::detail {
+
+namespace {
+
+struct Avx512Ops {
+  using reg = __m512d;
+  static constexpr int W = 8;
+
+  static reg zero() { return _mm512_setzero_pd(); }
+  static reg loadu(const double* p) { return _mm512_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm512_storeu_pd(p, v); }
+  static reg broadcast(double a) { return _mm512_set1_pd(a); }
+  static reg fmadd(reg a, reg b, reg c) { return _mm512_fmadd_pd(a, b, c); }
+  static reg add(reg a, reg b) { return _mm512_add_pd(a, b); }
+  static reg gather(const double* base, const index_t* idx) {
+    const __m512i vi = _mm512_loadu_si512(idx);
+    return _mm512_i64gather_pd(vi, base, 8);
+  }
+};
+
+}  // namespace
+
+const KernelTable& avx512_table() {
+  static const KernelTable table =
+      make_vector_table<Avx512Ops>(SimdLevel::kAVX512);
+  return table;
+}
+
+}  // namespace ls::simd::detail
+
+#endif  // LS_KERNELS_X86

@@ -1,0 +1,174 @@
+// Runtime dispatch: cpuid detection, LS_SIMD override, atomic table swap.
+#include "kernels/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/metrics.hpp"
+#include "kernels/kernel_table.hpp"
+
+namespace ls::simd {
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<std::int64_t> g_fallbacks{0};
+std::once_flag g_env_once;
+std::once_flag g_warn_once;
+
+void warn_fallback(std::string_view requested) {
+  g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  metrics::counter_add("simd.fallback_total");
+  std::call_once(g_warn_once, [&] {
+    std::fprintf(stderr,
+                 "[ls] warning: LS_SIMD level \"%.*s\" unknown or unsupported "
+                 "on this host; falling back to scalar kernels\n",
+                 static_cast<int>(requested.size()), requested.data());
+  });
+}
+
+const KernelTable* table_for(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &detail::scalar_table();
+#if defined(LS_KERNELS_NEON)
+    case SimdLevel::kNEON:
+      return &detail::neon_table();
+#endif
+#if defined(LS_KERNELS_X86)
+    case SimdLevel::kAVX2:
+      return &detail::avx2_table();
+    case SimdLevel::kAVX512:
+      return &detail::avx512_table();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+// install_* swap the table without touching the env-init once_flag, so the
+// env-init lambda can reuse them without call_once re-entrancy.
+SimdLevel install_level(SimdLevel want) {
+  SimdLevel actual = want;
+  if (!level_supported(want)) {
+    warn_fallback(level_name(want));
+    actual = SimdLevel::kScalar;
+  }
+  g_active.store(table_for(actual), std::memory_order_release);
+  metrics::annotate("simd.active_level", level_name(actual));
+  return actual;
+}
+
+SimdLevel install_setting(std::string_view setting) {
+  SimdLevel want = SimdLevel::kScalar;
+  if (!parse_level(setting, &want)) {
+    warn_fallback(setting);
+    g_active.store(table_for(SimdLevel::kScalar), std::memory_order_release);
+    metrics::annotate("simd.active_level", "scalar");
+    return SimdLevel::kScalar;
+  }
+  return install_level(want);
+}
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("LS_SIMD");
+    if (env == nullptr || env[0] == '\0') {
+      g_active.store(table_for(best_supported()), std::memory_order_release);
+      return;
+    }
+    install_setting(env);
+  });
+}
+
+}  // namespace
+
+std::string_view level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kNEON:
+      return "neon";
+    case SimdLevel::kAVX2:
+      return "avx2";
+    case SimdLevel::kAVX512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool level_compiled(SimdLevel level) { return table_for(level) != nullptr; }
+
+bool level_supported(SimdLevel level) {
+  if (!level_compiled(level)) return false;
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+#if defined(LS_KERNELS_NEON)
+    case SimdLevel::kNEON:
+      return true;  // baseline on AArch64
+#endif
+#if defined(LS_KERNELS_X86)
+    case SimdLevel::kAVX2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case SimdLevel::kAVX512:
+      return __builtin_cpu_supports("avx512f") != 0;
+#endif
+    default:
+      return false;
+  }
+}
+
+SimdLevel best_supported() {
+  for (int l = kNumSimdLevels - 1; l > 0; --l) {
+    const auto level = static_cast<SimdLevel>(l);
+    if (level_supported(level)) return level;
+  }
+  return SimdLevel::kScalar;
+}
+
+bool parse_level(std::string_view name, SimdLevel* out) {
+  if (name == "scalar") {
+    *out = SimdLevel::kScalar;
+  } else if (name == "neon") {
+    *out = SimdLevel::kNEON;
+  } else if (name == "avx2") {
+    *out = SimdLevel::kAVX2;
+  } else if (name == "avx512") {
+    *out = SimdLevel::kAVX512;
+  } else if (name == "native") {
+    *out = best_supported();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel active_level() { return kernels().level; }
+
+SimdLevel set_level(SimdLevel want) {
+  init_from_env();
+  return install_level(want);
+}
+
+SimdLevel apply_setting(std::string_view setting) {
+  init_from_env();
+  return install_setting(setting);
+}
+
+std::int64_t fallback_events() {
+  return g_fallbacks.load(std::memory_order_relaxed);
+}
+
+const KernelTable& kernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    init_from_env();
+    t = g_active.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+}  // namespace ls::simd

@@ -1,0 +1,151 @@
+// Runtime-dispatched SIMD micro-kernel layer.
+//
+// Every format SMSV hot loop (dense row dots, CSR gather-dots, the
+// ELL/JDS diagonal strips and all their batched-rhs variants) calls
+// through one process-wide KernelTable selected at startup from the CPU's
+// capabilities (cpuid) and overridable with LS_SIMD=scalar|avx2|avx512|
+// neon|native for tests and ops. The scalar table is always present and
+// is the semantic reference the cross-ISA differential harness compares
+// every other table against (tests/test_differential.cpp,
+// tests/test_simd_fuzz.cpp).
+//
+// Numerical contract (see DESIGN.md §16): at any fixed level L with
+// accumulator width W(L), a dot-style kernel accumulates W partial sums
+// p = 0..W-1 over the elements with index ≡ p (mod W) of the full blocks,
+// folds them left to right, then adds the tail elements sequentially —
+// and the batched kernels replicate exactly that per-lane order with
+// fused multiply-adds, so a batched product's lane k is BIT-identical to
+// the single-rhs product at the same level. Across levels results differ
+// only by accumulation order (ULP-bounded vs scalar).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ls::simd {
+
+/// Instruction-set level of a kernel table. Values are stable; order is
+/// "preference order" — best_supported() returns the highest supported.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< portable reference kernels (always available)
+  kNEON = 1,    ///< 128-bit AArch64 (2 doubles/vector)
+  kAVX2 = 2,    ///< 256-bit x86 AVX2+FMA (4 doubles/vector)
+  kAVX512 = 3,  ///< 512-bit x86 AVX-512F (8 doubles/vector)
+};
+
+inline constexpr int kNumSimdLevels = 4;
+
+/// Upper bound on the rhs count `b` a batched kernel call accepts (the
+/// batched kernels block their accumulators at this width). Mirrors
+/// ls::kMaxSmsvBatch — a static_assert in formats/dense.cpp ties them.
+inline constexpr int kMaxKernelBatch = 64;
+
+/// Dispatch table of the format micro-kernels at one ISA level.
+///
+/// Pointer arguments never require alignment (CSR row starts land on
+/// arbitrary offsets); every vector kernel uses unaligned loads. `w` is
+/// the dense workspace (single-rhs kernels) or the interleaved rhs block
+/// (batched kernels: entry j of rhs q at w[j*b + q]).
+struct KernelTable {
+  SimdLevel level;
+  int width;  ///< doubles per vector accumulator block W(L)
+
+  /// sum_j r[j] * w[j] over j in [0, n) — the DEN row dot.
+  real_t (*dense_row_dot)(const real_t* r, const real_t* w, index_t n);
+
+  /// sum_k v[k] * w[c[k]] over k in [0, len) — the CSR row gather-dot.
+  real_t (*sparse_row_dot)(const real_t* v, const index_t* c, index_t len,
+                           const real_t* w);
+
+  /// y[q] = sum_j r[j] * w[j*b + q] for q in [0, b) (overwrites y).
+  void (*dense_row_batch)(const real_t* r, index_t n, const real_t* w,
+                          index_t b, real_t* y);
+
+  /// y[q] = sum_k v[k] * w[c[k]*b + q] for q in [0, b) (overwrites y).
+  void (*sparse_row_batch)(const real_t* v, const index_t* c, index_t len,
+                           const real_t* w, index_t b, real_t* y);
+
+  /// y[i] += v[i] * w[c[i]] for i in [0, len) — an ELL/HYB diagonal strip.
+  void (*gather_axpy)(const real_t* v, const index_t* c, index_t len,
+                      const real_t* w, real_t* y);
+
+  /// y[rows[i]] += v[i] * w[c[i]] for i in [0, len) — a JDS diagonal
+  /// strip. Precondition: rows[0..len) are pairwise distinct (JDS
+  /// diagonals touch each permuted row at most once).
+  void (*gather_scatter_axpy)(const real_t* v, const index_t* c,
+                              const index_t* rows, index_t len,
+                              const real_t* w, real_t* y);
+
+  /// y[i*b + q] += v[i] * w[c[i]*b + q] — batched ELL/HYB strip.
+  void (*gather_axpy_batch)(const real_t* v, const index_t* c, index_t len,
+                            const real_t* w, index_t b, real_t* y);
+
+  /// y[rows[i]*b + q] += v[i] * w[c[i]*b + q] — batched JDS strip.
+  /// Rows may repeat (lanes are updated per i, in i order).
+  void (*gather_scatter_axpy_batch)(const real_t* v, const index_t* c,
+                                    const index_t* rows, index_t len,
+                                    const real_t* w, index_t b, real_t* y);
+};
+
+/// Lower-case level name ("scalar", "neon", "avx2", "avx512").
+std::string_view level_name(SimdLevel level);
+
+/// True when this binary carries a table for `level` (compile-time arch).
+bool level_compiled(SimdLevel level);
+
+/// True when `level` is compiled in AND the running CPU supports it.
+bool level_supported(SimdLevel level);
+
+/// Highest supported level on this host ("native").
+SimdLevel best_supported();
+
+/// Parses "scalar" / "neon" / "avx2" / "avx512" / "native". Returns false
+/// on anything else (caller decides the fallback).
+bool parse_level(std::string_view name, SimdLevel* out);
+
+/// The level the active table actually runs at (initialises from LS_SIMD
+/// on first use; unset or "native" means best_supported()).
+SimdLevel active_level();
+
+/// Installs the table for `want`; returns the level actually installed.
+/// An unsupported level falls back to scalar, increments the fallback
+/// counter and warns once on stderr. Thread-safe (atomic table swap);
+/// callers racing kernels against a level switch see either table, never
+/// a torn one.
+SimdLevel set_level(SimdLevel want);
+
+/// Applies one LS_SIMD-style setting string ("avx2", "native", ...). An
+/// unparsable string falls back to scalar with a warning + counter, per
+/// the dispatch-matrix contract. Returns the installed level. Exposed so
+/// the env-init path is testable in-process.
+SimdLevel apply_setting(std::string_view setting);
+
+/// Number of times a requested level (env or set_level) was unknown or
+/// unsupported and the dispatcher fell back to scalar.
+std::int64_t fallback_events();
+
+/// The active dispatch table.
+const KernelTable& kernels();
+
+/// RAII level override for tests and benches: installs `want` (with the
+/// usual clamp-to-supported) and restores the previous level on scope
+/// exit.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel want)
+      : previous_(active_level()), installed_(set_level(want)) {}
+  ~ScopedSimdLevel() { set_level(previous_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+  /// The level actually installed (scalar when `want` was unsupported).
+  SimdLevel installed() const { return installed_; }
+
+ private:
+  SimdLevel previous_;
+  SimdLevel installed_;
+};
+
+}  // namespace ls::simd

@@ -1,0 +1,258 @@
+// Internal: the vector kernel bodies, written once as templates over a
+// per-ISA vector-ops wrapper `V` and instantiated inside each ISA's TU
+// (kernels_avx2.cpp / kernels_avx512.cpp / kernels_neon.cpp) so every
+// instantiation is compiled with exactly that ISA's flags.
+//
+// `V` provides:
+//   using reg            — the vector register type (W doubles)
+//   static constexpr int W
+//   reg  zero()
+//   reg  loadu(const double*)          — unaligned load of W doubles
+//   void storeu(double*, reg)
+//   reg  broadcast(double)
+//   reg  fmadd(reg a, reg b, reg c)    — fused a*b + c, per lane
+//   reg  add(reg, reg)
+//   reg  gather(const double* base, const index_t* idx)
+//                                      — {base[idx[0]], ..., base[idx[W-1]]}
+//
+// Sharing one body per kernel across ISAs is what enforces the
+// accumulation-order contract of simd.hpp: at width W, W partial sums
+// over the full blocks (partial p owns elements ≡ p mod W), folded left
+// to right, tail elements added sequentially with fused multiply-adds —
+// and the batched variants replicate that order per lane, so batch lane
+// q is bit-identical to the single-rhs kernel at the same level.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "kernels/simd.hpp"
+
+namespace ls::simd::detail {
+
+template <class V>
+real_t vk_dense_row_dot(const real_t* __restrict r,
+                        const real_t* __restrict w, index_t n) {
+  constexpr int W = V::W;
+  if (n < W) {
+    // No full blocks: the W partials stay zero and fold to 0.0, so the
+    // sequential tail alone is bit-identical — skip the vector setup,
+    // which otherwise dominates short CSR rows.
+    real_t s = 0.0;
+    for (index_t j = 0; j < n; ++j) s = std::fma(r[j], w[j], s);
+    return s;
+  }
+  typename V::reg acc = V::zero();
+  index_t j = 0;
+  for (; j + W <= n; j += W) {
+    acc = V::fmadd(V::loadu(r + j), V::loadu(w + j), acc);
+  }
+  alignas(64) double t[W];
+  V::storeu(t, acc);
+  double s = t[0];
+  for (int p = 1; p < W; ++p) s += t[p];
+  for (; j < n; ++j) s = std::fma(r[j], w[j], s);
+  return s;
+}
+
+template <class V>
+real_t vk_sparse_row_dot(const real_t* __restrict v,
+                         const index_t* __restrict c, index_t len,
+                         const real_t* __restrict w) {
+  constexpr int W = V::W;
+  if (len < W) {
+    real_t s = 0.0;
+    for (index_t k = 0; k < len; ++k) s = std::fma(v[k], w[c[k]], s);
+    return s;
+  }
+  typename V::reg acc = V::zero();
+  index_t k = 0;
+  for (; k + W <= len; k += W) {
+    acc = V::fmadd(V::loadu(v + k), V::gather(w, c + k), acc);
+  }
+  alignas(64) double t[W];
+  V::storeu(t, acc);
+  double s = t[0];
+  for (int p = 1; p < W; ++p) s += t[p];
+  for (; k < len; ++k) s = std::fma(v[k], w[c[k]], s);
+  return s;
+}
+
+/// Shared body of the two batched dot kernels: `col(e)` maps element e to
+/// its rhs-block row (e itself for dense, c[e] for sparse).
+template <class V, class ColFn>
+void vk_row_batch(const real_t* __restrict x, index_t n, ColFn&& col,
+                  const real_t* __restrict w, index_t b,
+                  real_t* __restrict y) {
+  constexpr int W = V::W;
+  if (n < W) {
+    // No full blocks: all blocked partials fold to zero, so zeroing y and
+    // running the sequential tail is bit-identical (see vk_dense_row_dot).
+    for (index_t q = 0; q < b; ++q) y[q] = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      const double a = x[j];
+      const typename V::reg av = V::broadcast(a);
+      const real_t* __restrict wj = w + static_cast<std::size_t>(col(j) * b);
+      index_t t = 0;
+      for (; t + W <= b; t += W) {
+        V::storeu(y + t, V::fmadd(av, V::loadu(wj + t), V::loadu(y + t)));
+      }
+      for (; t < b; ++t) y[t] = std::fma(a, wj[t], y[t]);
+    }
+    return;
+  }
+  double acc[W][kMaxKernelBatch];
+  for (int p = 0; p < W; ++p) {
+    for (index_t q = 0; q < b; ++q) acc[p][q] = 0.0;
+  }
+  index_t j = 0;
+  for (; j + W <= n; j += W) {
+    for (int p = 0; p < W; ++p) {
+      const double a = x[j + p];
+      const typename V::reg av = V::broadcast(a);
+      const real_t* __restrict wj =
+          w + static_cast<std::size_t>(col(j + p) * b);
+      index_t q = 0;
+      for (; q + W <= b; q += W) {
+        V::storeu(&acc[p][q],
+                  V::fmadd(av, V::loadu(wj + q), V::loadu(&acc[p][q])));
+      }
+      for (; q < b; ++q) acc[p][q] = std::fma(a, wj[q], acc[p][q]);
+    }
+  }
+  // Fold the W partials left to right (lane-wise: the same ((t0+t1)+t2)+...
+  // sequence the single-rhs kernel applies to its folded scalars).
+  index_t q = 0;
+  for (; q + W <= b; q += W) {
+    typename V::reg s = V::loadu(&acc[0][q]);
+    for (int p = 1; p < W; ++p) s = V::add(s, V::loadu(&acc[p][q]));
+    V::storeu(y + q, s);
+  }
+  for (; q < b; ++q) {
+    double s = acc[0][q];
+    for (int p = 1; p < W; ++p) s += acc[p][q];
+    y[q] = s;
+  }
+  // Tail elements, sequential per lane.
+  for (; j < n; ++j) {
+    const double a = x[j];
+    const typename V::reg av = V::broadcast(a);
+    const real_t* __restrict wj = w + static_cast<std::size_t>(col(j) * b);
+    index_t t = 0;
+    for (; t + W <= b; t += W) {
+      V::storeu(y + t, V::fmadd(av, V::loadu(wj + t), V::loadu(y + t)));
+    }
+    for (; t < b; ++t) y[t] = std::fma(a, wj[t], y[t]);
+  }
+}
+
+template <class V>
+void vk_dense_row_batch(const real_t* __restrict r, index_t n,
+                        const real_t* __restrict w, index_t b,
+                        real_t* __restrict y) {
+  vk_row_batch<V>(r, n, [](index_t e) { return e; }, w, b, y);
+}
+
+template <class V>
+void vk_sparse_row_batch(const real_t* __restrict v,
+                         const index_t* __restrict c, index_t len,
+                         const real_t* __restrict w, index_t b,
+                         real_t* __restrict y) {
+  vk_row_batch<V>(v, len, [c](index_t e) { return c[e]; }, w, b, y);
+}
+
+template <class V>
+void vk_gather_axpy(const real_t* __restrict v, const index_t* __restrict c,
+                    index_t len, const real_t* __restrict w,
+                    real_t* __restrict y) {
+  constexpr int W = V::W;
+  index_t i = 0;
+  for (; i + W <= len; i += W) {
+    V::storeu(y + i,
+              V::fmadd(V::loadu(v + i), V::gather(w, c + i), V::loadu(y + i)));
+  }
+  for (; i < len; ++i) y[i] = std::fma(v[i], w[c[i]], y[i]);
+}
+
+template <class V>
+void vk_gather_scatter_axpy(const real_t* __restrict v,
+                            const index_t* __restrict c,
+                            const index_t* __restrict rows, index_t len,
+                            const real_t* __restrict w, real_t* y) {
+  constexpr int W = V::W;
+  index_t i = 0;
+  // The gather of w is the memory-bound part and vectorises; the scatter
+  // into y stays scalar (per-lane fused multiply-add, so the update is
+  // the same operation the batched strip applies per lane) — which also
+  // makes duplicate-free-ness of `rows` within one vector irrelevant for
+  // correctness of the arithmetic itself.
+  alignas(64) double tw[W];
+  for (; i + W <= len; i += W) {
+    V::storeu(tw, V::gather(w, c + i));
+    for (int l = 0; l < W; ++l) {
+      const auto row = static_cast<std::size_t>(rows[i + l]);
+      y[row] = std::fma(v[i + l], tw[l], y[row]);
+    }
+  }
+  for (; i < len; ++i) {
+    const auto row = static_cast<std::size_t>(rows[i]);
+    y[row] = std::fma(v[i], w[c[i]], y[row]);
+  }
+}
+
+/// Shared body of the two batched strip kernels: `dst(i)` maps strip slot
+/// i to the output row (i for ELL, rows[i] for JDS).
+template <class V, class DstFn>
+void vk_strip_batch(const real_t* __restrict v, const index_t* __restrict c,
+                    DstFn&& dst, index_t len, const real_t* __restrict w,
+                    index_t b, real_t* y) {
+  constexpr int W = V::W;
+  for (index_t i = 0; i < len; ++i) {
+    const double a = v[i];
+    const typename V::reg av = V::broadcast(a);
+    const real_t* __restrict wj = w + static_cast<std::size_t>(c[i] * b);
+    real_t* __restrict yi = y + static_cast<std::size_t>(dst(i) * b);
+    index_t q = 0;
+    for (; q + W <= b; q += W) {
+      V::storeu(yi + q, V::fmadd(av, V::loadu(wj + q), V::loadu(yi + q)));
+    }
+    for (; q < b; ++q) yi[q] = std::fma(a, wj[q], yi[q]);
+  }
+}
+
+template <class V>
+void vk_gather_axpy_batch(const real_t* __restrict v,
+                          const index_t* __restrict c, index_t len,
+                          const real_t* __restrict w, index_t b,
+                          real_t* __restrict y) {
+  vk_strip_batch<V>(v, c, [](index_t i) { return i; }, len, w, b, y);
+}
+
+template <class V>
+void vk_gather_scatter_axpy_batch(const real_t* __restrict v,
+                                  const index_t* __restrict c,
+                                  const index_t* __restrict rows, index_t len,
+                                  const real_t* __restrict w, index_t b,
+                                  real_t* y) {
+  vk_strip_batch<V>(v, c, [rows](index_t i) { return rows[i]; }, len, w, b,
+                    y);
+}
+
+/// Builds the dispatch table for vector-ops wrapper V at `level`.
+template <class V>
+KernelTable make_vector_table(SimdLevel level) {
+  return KernelTable{
+      level,
+      V::W,
+      &vk_dense_row_dot<V>,
+      &vk_sparse_row_dot<V>,
+      &vk_dense_row_batch<V>,
+      &vk_sparse_row_batch<V>,
+      &vk_gather_axpy<V>,
+      &vk_gather_scatter_axpy<V>,
+      &vk_gather_axpy_batch<V>,
+      &vk_gather_scatter_axpy_batch<V>,
+  };
+}
+
+}  // namespace ls::simd::detail

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
 
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "data/synthetic.hpp"
@@ -114,6 +119,37 @@ CostCalibration CostCalibration::measure() {
   time_format(banded, Format::kBCSR);
   time_format(sparse, Format::kHYB);
   time_format(sparse, Format::kJDS);
+
+  // ISA probes: the active dispatch level's streamed vs gathered cost per
+  // element, measured on the level's own micro-kernels. The ratio feeds
+  // CostPrediction.gather_cost_ratio; the level tag makes staleness
+  // detectable after an LS_SIMD switch.
+  const simd::KernelTable& kt = simd::kernels();
+  cal.simd_level_ = kt.level;
+  cal.vector_width_ = kt.width;
+  {
+    const index_t pn = 1 << 16;
+    AlignedBuffer<real_t> av(static_cast<std::size_t>(pn));
+    AlignedBuffer<real_t> wv(static_cast<std::size_t>(pn));
+    AlignedBuffer<index_t> idx(static_cast<std::size_t>(pn));
+    for (index_t i = 0; i < pn; ++i) {
+      av[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+      wv[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+      idx[static_cast<std::size_t>(i)] = rng.uniform_int(0, pn - 1);
+    }
+    volatile real_t sink = 0.0;
+    const double stream_secs = time_best(
+        [&] { sink = sink + kt.dense_row_dot(av.data(), wv.data(), pn); }, 5,
+        0.002);
+    const double gather_secs = time_best(
+        [&] {
+          sink = sink + kt.sparse_row_dot(av.data(), idx.data(), pn, wv.data());
+        },
+        5, 0.002);
+    const double dn = static_cast<double>(pn);
+    cal.stream_seconds_per_elem_ = stream_secs / dn;
+    cal.gather_seconds_per_elem_ = gather_secs / dn;
+  }
   return cal;
 }
 
@@ -121,12 +157,21 @@ CostCalibration CostCalibration::uniform() {
   CostCalibration cal;
   cal.seconds_per_op_.fill(1.0);
   cal.batch_seconds_per_op_.fill(1.0);
+  cal.level_agnostic_ = true;
   return cal;
 }
 
 const CostCalibration& CostCalibration::instance() {
-  static const CostCalibration cal = measure();
-  return cal;
+  static std::mutex mu;
+  static std::map<simd::SimdLevel, std::unique_ptr<const CostCalibration>>
+      per_level;
+  const simd::SimdLevel level = simd::active_level();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = per_level[level];
+  if (slot == nullptr) {
+    slot = std::make_unique<const CostCalibration>(measure());
+  }
+  return *slot;
 }
 
 std::string CostCalibration::to_string() const {
@@ -146,12 +191,30 @@ std::string CostCalibration::to_string() const {
                   batch_seconds_per_op(f));
     out += buf;
   }
+  if (level_agnostic_) {
+    out += "; simd=any";
+  } else {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "; simd=%s width=%d gather/stream=%.2f",
+                  std::string(simd::level_name(simd_level_)).c_str(),
+                  vector_width_, gather_cost_ratio());
+    out += buf;
+  }
   return out;
 }
 
 CostPrediction predict_cost(const MatrixFeatures& feat,
                             const CostCalibration& cal) {
+  LS_CHECK(cal.valid_for_active(),
+           "stale-ISA cost calibration: measured under LS_SIMD level '" +
+               std::string(simd::level_name(cal.simd_level())) +
+               "' but the active level is '" +
+               std::string(simd::level_name(simd::active_level())) +
+               "' — refit via CostCalibration::instance()");
   CostPrediction p;
+  p.simd_level = cal.simd_level();
+  p.vector_width = cal.vector_width();
+  p.gather_cost_ratio = cal.gather_cost_ratio();
   for (Format f : kAllFormats) {
     const auto i = static_cast<std::size_t>(f);
     p.flops[i] = modeled_flops(f, feat);

@@ -17,6 +17,7 @@
 #include "common/types.hpp"
 #include "data/features.hpp"
 #include "formats/format.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
 
@@ -31,6 +32,15 @@ struct CostPrediction {
   /// Predicted seconds per *row* of one batched SMSV at
   /// kCalibrationBatchRows right-hand sides (amortised matrix streaming).
   std::array<double, kNumFormats> batch_seconds{};
+
+  /// ISA terms inherited from the calibration the prediction was made
+  /// with: the dispatch level and accumulator width the measured
+  /// per-format costs embody, and how much a vector gather costs relative
+  /// to a contiguous stream at that level (drives the CSR-vs-ELL/DEN
+  /// trade-off — gathers get comparatively cheaper with hardware gather).
+  simd::SimdLevel simd_level = simd::SimdLevel::kScalar;
+  int vector_width = 1;
+  double gather_cost_ratio = 1.0;
 
   double seconds_of(Format f) const {
     return seconds[static_cast<std::size_t>(f)];
@@ -57,13 +67,45 @@ class CostCalibration {
 
   /// Returns a calibration with uniform cost 1.0 per op — turns the cost
   /// model into a pure flop counter (useful for tests and ablations).
+  /// Level-agnostic: valid under any active dispatch level.
   static CostCalibration uniform();
 
-  /// Process-wide lazily-measured singleton.
+  /// Process-wide lazily-measured calibration for the *active* SIMD
+  /// dispatch level. Kept per level: switching LS_SIMD levels mid-process
+  /// (tests, benches, ops override) refits on first use instead of
+  /// replaying timings measured under different kernels.
   static const CostCalibration& instance();
 
   double seconds_per_op(Format f) const {
     return seconds_per_op_[static_cast<std::size_t>(f)];
+  }
+
+  /// Dispatch level the timings were measured under.
+  simd::SimdLevel simd_level() const { return simd_level_; }
+
+  /// Accumulator width (doubles) of that level's kernels.
+  int vector_width() const { return vector_width_; }
+
+  /// True for synthetic calibrations (uniform()) that carry no machine
+  /// timings and are therefore valid under any dispatch level.
+  bool level_agnostic() const { return level_agnostic_; }
+
+  /// Measured cost of one gathered element relative to one streamed
+  /// element at this level (>= 1.0 in practice; smaller on levels with
+  /// hardware gather).
+  double gather_cost_ratio() const {
+    return stream_seconds_per_elem_ > 0.0
+               ? gather_seconds_per_elem_ / stream_seconds_per_elem_
+               : 1.0;
+  }
+
+  /// True when this calibration may be used under the currently active
+  /// dispatch level. predict_cost refuses stale-ISA calibrations: costs
+  /// measured under one level do not transfer to another (AVX-512 makes
+  /// DEN ~2x cheaper per op while COO stays scalar, say), so replaying
+  /// them would silently skew every schedule.
+  bool valid_for_active() const {
+    return level_agnostic_ || simd_level_ == simd::active_level();
   }
 
   /// Seconds per multiply-add per right-hand side when the format runs its
@@ -78,9 +120,17 @@ class CostCalibration {
  private:
   std::array<double, kNumFormats> seconds_per_op_{};
   std::array<double, kNumFormats> batch_seconds_per_op_{};
+  simd::SimdLevel simd_level_ = simd::SimdLevel::kScalar;
+  int vector_width_ = 1;
+  bool level_agnostic_ = false;
+  double gather_seconds_per_elem_ = 1.0;
+  double stream_seconds_per_elem_ = 1.0;
 };
 
-/// Full prediction for all five formats.
+/// Full prediction for all five formats. Throws when `cal` was measured
+/// under a dispatch level other than the active one (stale-ISA
+/// calibration) — refit via CostCalibration::instance() after a level
+/// switch.
 CostPrediction predict_cost(const MatrixFeatures& feat,
                             const CostCalibration& cal);
 

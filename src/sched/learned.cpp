@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
 
@@ -271,9 +272,13 @@ namespace {
 /// same shape and nonzero count are the same arm table for our purposes
 /// (the rescheduler reports one matrix per model, so collisions are rare
 /// and harmless — they just merge timings of near-identical matrices).
+/// The active SIMD level is part of the key: per-format timings measured
+/// under different kernel ISAs are different distributions and must not
+/// be merged into one training example.
 std::string feature_signature(const MatrixFeatures& f) {
   return std::to_string(f.m) + "x" + std::to_string(f.n) + ":" +
-         std::to_string(f.nnz);
+         std::to_string(f.nnz) + "@" +
+         std::string(simd::level_name(simd::active_level()));
 }
 
 }  // namespace

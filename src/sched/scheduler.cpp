@@ -7,6 +7,7 @@
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "kernels/simd.hpp"
 #include "sched/learned.hpp"
 
 namespace ls {
@@ -117,6 +118,7 @@ void record_decision_metrics(const ScheduleDecision& d) {
   metrics::gauge_set("sched.degraded", d.degraded ? 1.0 : 0.0);
   metrics::annotate("sched.chosen_format", format_name(d.format));
   metrics::annotate("sched.rationale", d.rationale);
+  metrics::annotate("sched.simd_level", simd::level_name(simd::active_level()));
   if (!d.dropped.empty()) {
     std::string joined;
     for (const std::string& note : d.dropped) {

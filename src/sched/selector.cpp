@@ -15,6 +15,7 @@
 #include "formats/any_matrix.hpp"
 #include "formats/sparse_vector.hpp"
 #include "formats/storage.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls {
 
@@ -66,7 +67,9 @@ ScheduleDecision HeuristicSelector::choose(const MatrixFeatures& feat,
     }
   }
   d.rationale = "heuristic cost model: min predicted SMSV time (" +
-                std::string(format_name(d.format)) + ")";
+                std::string(format_name(d.format)) + ") at simd=" +
+                std::string(simd::level_name(pred.simd_level)) + " width=" +
+                std::to_string(pred.vector_width);
   return d;
 }
 

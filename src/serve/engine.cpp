@@ -10,6 +10,7 @@
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "formats/format.hpp"
+#include "kernels/simd.hpp"
 
 namespace ls::serve {
 
@@ -357,6 +358,9 @@ std::string ServeEngine::stats_text() const {
      << "degraded_models " << s.degraded_models << '\n'
      << "health " << health_name() << '\n'
      << "queue_depth " << s.queue_depth << '\n'
+     << "simd " << simd::level_name(simd::active_level()) << " width "
+     << simd::kernels().width << '\n'
+     << "simd_fallbacks_total " << simd::fallback_events() << '\n'
      << "models " << s.models << '\n';
   for (const auto& m : registry_.list()) {
     os << "model " << m->name << " version " << m->version << " format "

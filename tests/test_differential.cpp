@@ -12,14 +12,25 @@
 //    mirrors its format's multiply_dense traversal per output element, so
 //    lane k of a batched product must be BIT-identical to the single-rhs
 //    product of that lane.
+// A third regime covers the SIMD dispatch layer (src/kernels): every
+// dispatchable micro-kernel is run at every level the host supports and
+// compared against the scalar reference — ULP-bounded across levels
+// (accumulation order differs), BIT-identical between a batched lane and
+// the single-rhs kernel at the same level. Shapes are adversarial on
+// purpose: empty and single-element rows, batch widths 1..kMaxSmsvBatch,
+// remainder lengths straddling every vector width (2/4/8), and row
+// starts deliberately misaligned from the 64-byte allocation base.
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <string>
 #include <vector>
 
+#include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
 #include "formats/any_matrix.hpp"
+#include "kernels/simd.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -271,6 +282,272 @@ TEST(Differential, BatchRejectsBadArguments) {
   std::vector<SparseVector> out(3);
   std::vector<index_t> two_ids = {0, 1};
   EXPECT_THROW(mat.gather_rows_batch(two_ids, out), Error);
+}
+
+// ------------------------------------------- cross-ISA kernel harness
+
+/// Every dispatch level the running host supports (scalar included).
+std::vector<simd::SimdLevel> supported_levels() {
+  std::vector<simd::SimdLevel> levels;
+  for (int l = 0; l < simd::kNumSimdLevels; ++l) {
+    const auto level = static_cast<simd::SimdLevel>(l);
+    if (simd::level_supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// Lengths that straddle every vector width in play (2, 4, 8): empty,
+/// single element, each width +-1, and longer runs with every remainder
+/// class around the widest accumulator block.
+const std::vector<index_t>& adversarial_lengths() {
+  static const std::vector<index_t> lens = {0,  1,  2,  3,  4,  5,  7,  8,
+                                            9,  15, 16, 17, 31, 32, 33, 63,
+                                            64, 65, 100, 127};
+  return lens;
+}
+
+/// Fills [0, n) of an aligned buffer with deterministic non-trivial values.
+void fill_values(AlignedBuffer<real_t>& buf, Rng& rng) {
+  for (auto& x : buf) x = rng.uniform(-2.0, 2.0);
+}
+
+/// Scalar version of test::expect_ulp_near — same ULP bound plus the
+/// absolute escape hatch for sums that cancel to ~0.
+void expect_close(real_t got, real_t want) {
+  const std::vector<real_t> g{got}, w{want};
+  test::expect_ulp_near(g, w);
+}
+
+TEST(CrossIsa, DenseRowDotMatchesScalarAtEveryLevel) {
+  Rng rng(0x51D0ull);
+  AlignedBuffer<real_t> r(256), w(256);
+  fill_values(r, rng);
+  fill_values(w, rng);
+  for (simd::SimdLevel level : supported_levels()) {
+    simd::ScopedSimdLevel guard(level);
+    SCOPED_TRACE(std::string(simd::level_name(level)));
+    for (index_t n : adversarial_lengths()) {
+      // Offsets break the 64-byte base alignment: CSR row starts land on
+      // arbitrary element offsets, so the kernels must not assume more
+      // than 8-byte alignment.
+      for (std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{7}}) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " off=" + std::to_string(off));
+        const real_t got =
+            simd::kernels().dense_row_dot(r.data() + off, w.data() + off, n);
+        real_t want;
+        {
+          simd::ScopedSimdLevel scalar(simd::SimdLevel::kScalar);
+          want =
+              simd::kernels().dense_row_dot(r.data() + off, w.data() + off, n);
+        }
+        expect_close(got, want);
+      }
+    }
+  }
+}
+
+TEST(CrossIsa, SparseRowDotMatchesScalarAtEveryLevel) {
+  Rng rng(0x51D1ull);
+  AlignedBuffer<real_t> v(256), w(97);
+  AlignedBuffer<index_t> c(256);
+  fill_values(v, rng);
+  fill_values(w, rng);
+  for (auto& idx : c) idx = rng.uniform_int(0, 96);
+  for (simd::SimdLevel level : supported_levels()) {
+    simd::ScopedSimdLevel guard(level);
+    SCOPED_TRACE(std::string(simd::level_name(level)));
+    for (index_t n : adversarial_lengths()) {
+      for (std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{5}}) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " off=" + std::to_string(off));
+        const real_t got = simd::kernels().sparse_row_dot(
+            v.data() + off, c.data() + off, n, w.data());
+        real_t want;
+        {
+          simd::ScopedSimdLevel scalar(simd::SimdLevel::kScalar);
+          want = simd::kernels().sparse_row_dot(v.data() + off, c.data() + off,
+                                                n, w.data());
+        }
+        expect_close(got, want);
+      }
+    }
+  }
+}
+
+TEST(CrossIsa, BatchKernelLanesBitIdenticalToSingleAtEveryLevel) {
+  // The core numerical contract of the dispatch layer: at a FIXED level,
+  // lane q of a batched kernel is bit-identical to the single-rhs kernel.
+  // Swept over every batch width the engine can issue (1..kMaxSmsvBatch)
+  // and lengths around the widest vector block.
+  Rng rng(0x51D2ull);
+  AlignedBuffer<real_t> r(72);
+  AlignedBuffer<index_t> c(72);
+  fill_values(r, rng);
+  for (auto& idx : c) idx = rng.uniform_int(0, 71);
+  AlignedBuffer<real_t> wblock(72 * static_cast<std::size_t>(kMaxSmsvBatch));
+  fill_values(wblock, rng);
+
+  for (simd::SimdLevel level : supported_levels()) {
+    simd::ScopedSimdLevel guard(level);
+    SCOPED_TRACE(std::string(simd::level_name(level)));
+    const simd::KernelTable& kt = simd::kernels();
+    for (index_t n : {index_t{0}, index_t{1}, index_t{7}, index_t{8},
+                      index_t{9}, index_t{33}, index_t{72}}) {
+      for (index_t b = 1; b <= kMaxSmsvBatch; ++b) {
+        std::vector<real_t> y(static_cast<std::size_t>(b), -7.0);
+        kt.dense_row_batch(r.data(), n, wblock.data(), b, y.data());
+        std::vector<real_t> ys(static_cast<std::size_t>(b), -9.0);
+        kt.sparse_row_batch(r.data(), c.data(), n, wblock.data(), b,
+                            ys.data());
+        // Lane q of the block sees w[j*b + q]; gather it into a contiguous
+        // single-rhs workspace to run the single kernel on the same data.
+        std::vector<real_t> wq(72);
+        for (index_t q = 0; q < b; ++q) {
+          for (std::size_t j = 0; j < 72; ++j) {
+            wq[j] = wblock[j * static_cast<std::size_t>(b) +
+                           static_cast<std::size_t>(q)];
+          }
+          const real_t dq = kt.dense_row_dot(r.data(), wq.data(), n);
+          const real_t sq = kt.sparse_row_dot(r.data(), c.data(), n, wq.data());
+          ASSERT_EQ(y[static_cast<std::size_t>(q)], dq)
+              << "dense lane " << q << " of b=" << b << " n=" << n;
+          ASSERT_EQ(ys[static_cast<std::size_t>(q)], sq)
+              << "sparse lane " << q << " of b=" << b << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(CrossIsa, StripKernelsMatchScalarAtEveryLevel) {
+  // gather_axpy (ELL/HYB strips) and gather_scatter_axpy (JDS strips),
+  // single and batched, against the scalar table. The scatter variant gets
+  // a permutation for rows (its documented precondition).
+  Rng rng(0x51D3ull);
+  constexpr index_t kLen = 67;  // odd: remainder lanes at every width
+  AlignedBuffer<real_t> v(kLen);
+  AlignedBuffer<index_t> c(kLen);
+  fill_values(v, rng);
+  for (auto& idx : c) idx = rng.uniform_int(0, 40);
+  AlignedBuffer<real_t> w(41);
+  fill_values(w, rng);
+  std::vector<index_t> rows(kLen);
+  std::iota(rows.begin(), rows.end(), index_t{0});
+  shuffle(rows.begin(), rows.end(), rng);
+
+  auto run_level = [&](simd::SimdLevel level, index_t len, index_t b,
+                       std::vector<real_t>& y_axpy,
+                       std::vector<real_t>& y_scatter,
+                       std::vector<real_t>& yb_axpy,
+                       std::vector<real_t>& yb_scatter) {
+    simd::ScopedSimdLevel guard(level);
+    const simd::KernelTable& kt = simd::kernels();
+    y_axpy.assign(static_cast<std::size_t>(kLen), 0.25);
+    kt.gather_axpy(v.data(), c.data(), len, w.data(), y_axpy.data());
+    y_scatter.assign(static_cast<std::size_t>(kLen), -0.5);
+    kt.gather_scatter_axpy(v.data(), c.data(), rows.data(), len, w.data(),
+                           y_scatter.data());
+    AlignedBuffer<real_t> wblock(41 * static_cast<std::size_t>(b));
+    Rng wrng(0xB10Cull);  // same block at every level
+    fill_values(wblock, wrng);
+    yb_axpy.assign(static_cast<std::size_t>(kLen * b), 0.125);
+    kt.gather_axpy_batch(v.data(), c.data(), len, wblock.data(), b,
+                         yb_axpy.data());
+    yb_scatter.assign(static_cast<std::size_t>(kLen * b), 1.5);
+    kt.gather_scatter_axpy_batch(v.data(), c.data(), rows.data(), len,
+                                 wblock.data(), b, yb_scatter.data());
+  };
+
+  for (index_t len : {index_t{0}, index_t{1}, index_t{2}, index_t{3},
+                      index_t{8}, index_t{9}, kLen}) {
+    for (index_t b : {index_t{1}, index_t{3}, index_t{8}, index_t{13}}) {
+      std::vector<real_t> sa, ss, sba, sbs;
+      run_level(simd::SimdLevel::kScalar, len, b, sa, ss, sba, sbs);
+      for (simd::SimdLevel level : supported_levels()) {
+        SCOPED_TRACE(std::string(simd::level_name(level)) + " len=" +
+                     std::to_string(len) + " b=" + std::to_string(b));
+        std::vector<real_t> la, ls, lba, lbs;
+        run_level(level, len, b, la, ls, lba, lbs);
+        test::expect_ulp_near(la, sa);
+        test::expect_ulp_near(ls, ss);
+        test::expect_ulp_near(lba, sba);
+        test::expect_ulp_near(lbs, sbs);
+      }
+    }
+  }
+}
+
+TEST(CrossIsa, FormatMultipliesMatchScalarAtEveryLevel) {
+  // End to end through the format layer: every structural case x every
+  // format x every supported level, single and batched, against the same
+  // product computed with the scalar table.
+  for (simd::SimdLevel level : supported_levels()) {
+    if (level == simd::SimdLevel::kScalar) continue;
+    for_each_case_and_format([&](const MatrixCase& c, const AnyMatrix& mat) {
+      SCOPED_TRACE(std::string(simd::level_name(level)));
+      Rng rng(0xC105ull);
+      const std::vector<real_t> w = test::random_vector(mat.cols(), rng);
+      constexpr std::size_t b = 5;
+      std::vector<std::vector<real_t>> lanes(b);
+      for (auto& l : lanes) l = test::random_vector(mat.cols(), rng);
+      const std::vector<real_t> wb = interleave(lanes);
+
+      std::vector<real_t> y_scalar(static_cast<std::size_t>(mat.rows()));
+      std::vector<real_t> yb_scalar(static_cast<std::size_t>(mat.rows()) * b);
+      {
+        simd::ScopedSimdLevel guard(simd::SimdLevel::kScalar);
+        mat.multiply_dense(w, y_scalar);
+        mat.multiply_dense_batch(wb, static_cast<index_t>(b), yb_scalar);
+      }
+      std::vector<real_t> y(static_cast<std::size_t>(mat.rows()));
+      std::vector<real_t> yb(static_cast<std::size_t>(mat.rows()) * b);
+      {
+        simd::ScopedSimdLevel guard(level);
+        mat.multiply_dense(w, y);
+        mat.multiply_dense_batch(wb, static_cast<index_t>(b), yb);
+      }
+      test::expect_ulp_near(y, y_scalar);
+      test::expect_ulp_near(yb, yb_scalar);
+      // And the cross-level results still agree with the COO oracle.
+      test::expect_ulp_near(y, test::reference_multiply(c.coo, w));
+    });
+  }
+}
+
+TEST(CrossIsa, FormatBatchLanesBitIdenticalAtEveryLevel) {
+  // The format-layer bit-identity guarantee (batch lane == single rhs)
+  // holds at every level, not just the env-selected one. Batch widths
+  // sweep 1..kMaxSmsvBatch on a remainder-heavy case.
+  Rng rng(0x1A9Eull);
+  const CooMatrix coo = test::random_matrix(37, 29, 0.35, rng);
+  for (simd::SimdLevel level : supported_levels()) {
+    simd::ScopedSimdLevel guard(level);
+    SCOPED_TRACE(std::string(simd::level_name(level)));
+    for (Format f : {Format::kDEN, Format::kCSR, Format::kELL, Format::kJDS,
+                     Format::kHYB}) {
+      SCOPED_TRACE(std::string(format_name(f)));
+      const AnyMatrix mat = AnyMatrix::from_coo(coo, f);
+      for (index_t b_rows : {index_t{1}, index_t{2}, index_t{3}, index_t{4},
+                             index_t{5}, index_t{7}, index_t{8}, index_t{9},
+                             index_t{16}, index_t{17}, index_t{31},
+                             index_t{33}, index_t{63},
+                             index_t{kMaxSmsvBatch}}) {
+        const auto b = static_cast<std::size_t>(b_rows);
+        std::vector<std::vector<real_t>> lanes(b);
+        for (auto& l : lanes) l = test::random_vector(mat.cols(), rng);
+        const std::vector<real_t> w = interleave(lanes);
+        std::vector<real_t> y(static_cast<std::size_t>(mat.rows()) * b, -7.0);
+        mat.multiply_dense_batch(w, b_rows, y);
+        std::vector<real_t> single(static_cast<std::size_t>(mat.rows()));
+        for (std::size_t k = 0; k < b; ++k) {
+          SCOPED_TRACE("b=" + std::to_string(b_rows) + " lane " +
+                       std::to_string(k));
+          mat.multiply_dense(lanes[k], single);
+          test::expect_bit_identical(lane(y, b, k), single);
+        }
+      }
+    }
+  }
 }
 
 TEST(Differential, UlpHelperSanity) {

@@ -8,6 +8,7 @@
 #include "data/synthetic.hpp"
 #include "common/timer.hpp"
 #include "data/features.hpp"
+#include "sched/selector.hpp"
 #include "svm/batch_predict.hpp"
 #include "svm/kernel_engine.hpp"
 #include "svm/reschedule.hpp"
@@ -298,11 +299,16 @@ TEST(Reschedule, StaysPutWhenTheLayoutIsAlreadyGood) {
   opts.check_after_rows = 8;
   opts.switch_threshold = 1.5;
   // Timing-based: with oversubscribed OpenMP threads the probe can
-  // legitimately measure another format faster, so pin to one thread.
+  // legitimately measure another format faster, so pin to one thread. The
+  // "already good" starting layout is whatever the same empirical probe
+  // ranks best right now — which format that is depends on the active
+  // SIMD kernel level, so ask rather than hard-code.
+  Format good = Format::kCSR;
   const TrainResult r = test::with_threads(1, [&] {
-    return train_reschedulable(ds, params, Format::kCSR, opts);
+    good = EmpiricalAutotuner(opts.autotune).choose(ds.X).format;
+    return train_reschedulable(ds, params, good, opts);
   });
-  EXPECT_EQ(r.decision.format, Format::kCSR);
+  EXPECT_EQ(r.decision.format, good);
 }
 
 TEST(Reschedule, SolutionMatchesFixedFormatTraining) {

@@ -1,0 +1,217 @@
+// Dispatch-matrix tests for the SIMD kernel layer: LS_SIMD-style settings
+// are honored end to end (the serving engine's stats report the active
+// level), unknown or unsupported levels fall back to scalar with a warning
+// counter, the cpuid detection path is exercised on whatever host runs the
+// suite, and the ISA-aware cost-model plumbing refuses stale calibrations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "data/features.hpp"
+#include "kernels/simd.hpp"
+#include "sched/cost_model.hpp"
+#include "serve/engine.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace ls;
+using simd::SimdLevel;
+
+std::vector<SimdLevel> all_levels() {
+  std::vector<SimdLevel> out;
+  for (int l = 0; l < simd::kNumSimdLevels; ++l) {
+    out.push_back(static_cast<SimdLevel>(l));
+  }
+  return out;
+}
+
+TEST(SimdDispatch, LevelNamesRoundTripThroughParse) {
+  for (SimdLevel level : all_levels()) {
+    SimdLevel parsed = SimdLevel::kAVX512;
+    ASSERT_TRUE(simd::parse_level(simd::level_name(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  SimdLevel native = SimdLevel::kScalar;
+  ASSERT_TRUE(simd::parse_level("native", &native));
+  EXPECT_EQ(native, simd::best_supported());
+  SimdLevel out;
+  EXPECT_FALSE(simd::parse_level("", &out));
+  EXPECT_FALSE(simd::parse_level("sse9", &out));
+  EXPECT_FALSE(simd::parse_level("AVX2 ", &out));
+}
+
+TEST(SimdDispatch, CpuidDetectionIsConsistent) {
+  // Scalar is always compiled and supported; anything supported must be
+  // compiled; best_supported() must itself be supported. This exercises
+  // the cpuid probes on whatever host runs the suite.
+  EXPECT_TRUE(simd::level_compiled(SimdLevel::kScalar));
+  EXPECT_TRUE(simd::level_supported(SimdLevel::kScalar));
+  for (SimdLevel level : all_levels()) {
+    if (simd::level_supported(level)) {
+      EXPECT_TRUE(simd::level_compiled(level))
+          << simd::level_name(level) << " supported but not compiled";
+    }
+  }
+  EXPECT_TRUE(simd::level_supported(simd::best_supported()));
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_TRUE(simd::level_compiled(SimdLevel::kAVX2));
+  EXPECT_FALSE(simd::level_supported(SimdLevel::kNEON));
+#endif
+#if defined(__aarch64__)
+  EXPECT_TRUE(simd::level_supported(SimdLevel::kNEON));
+  EXPECT_FALSE(simd::level_supported(SimdLevel::kAVX2));
+#endif
+}
+
+TEST(SimdDispatch, SupportedLevelsInstallWithMatchingWidth) {
+  for (SimdLevel level : all_levels()) {
+    if (!simd::level_supported(level)) continue;
+    simd::ScopedSimdLevel guard(level);
+    EXPECT_EQ(guard.installed(), level);
+    EXPECT_EQ(simd::active_level(), level);
+    const simd::KernelTable& kt = simd::kernels();
+    EXPECT_EQ(kt.level, level);
+    const int expected_width[] = {1, 2, 4, 8};  // scalar, neon, avx2, avx512
+    EXPECT_EQ(kt.width, expected_width[static_cast<int>(level)]);
+  }
+}
+
+TEST(SimdDispatch, UnknownSettingFallsBackToScalarAndCounts) {
+  const SimdLevel before = simd::active_level();
+  const std::int64_t events = simd::fallback_events();
+  EXPECT_EQ(simd::apply_setting("pentium-mmx"), SimdLevel::kScalar);
+  EXPECT_EQ(simd::active_level(), SimdLevel::kScalar);
+  EXPECT_EQ(simd::fallback_events(), events + 1);
+  simd::set_level(before);
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+TEST(SimdDispatch, UnsupportedLevelFallsBackToScalarAndCounts) {
+  SimdLevel unsupported = SimdLevel::kScalar;
+  bool found = false;
+  for (SimdLevel level : all_levels()) {
+    if (!simd::level_supported(level)) {
+      unsupported = level;
+      found = true;
+      break;
+    }
+  }
+  if (!found) GTEST_SKIP() << "host supports every compiled level";
+  const SimdLevel before = simd::active_level();
+  const std::int64_t events = simd::fallback_events();
+  {
+    simd::ScopedSimdLevel guard(unsupported);
+    EXPECT_EQ(guard.installed(), SimdLevel::kScalar);
+    EXPECT_EQ(simd::active_level(), SimdLevel::kScalar);
+    EXPECT_EQ(simd::fallback_events(), events + 1);
+  }
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+TEST(SimdDispatch, ScopedLevelRestoresOnExit) {
+  const SimdLevel before = simd::active_level();
+  {
+    simd::ScopedSimdLevel guard(SimdLevel::kScalar);
+    EXPECT_EQ(simd::active_level(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+TEST(SimdDispatch, EngineStatsReportActiveLevel) {
+  // LS_SIMD honored end to end: whatever level the process runs at shows
+  // up in the serving engine's stats block, alongside the fallback
+  // counter, so ops can verify the override took effect on a live server.
+  serve::ServeEngine engine{serve::ServeOptions{}};
+  const std::string text = engine.stats_text();
+  const std::string expect =
+      "simd " + std::string(simd::level_name(simd::active_level()));
+  EXPECT_NE(text.find(expect), std::string::npos) << text;
+  EXPECT_NE(text.find("simd_fallbacks_total"), std::string::npos) << text;
+}
+
+TEST(SimdDispatch, AlignedBufferGuarantees64ByteAlignment) {
+  static_assert(AlignedBuffer<real_t>::kAlignment == 64,
+                "SIMD kernels assume 64-byte aligned buffers");
+  static_assert(AlignedBuffer<index_t>::kAlignment == 64,
+                "index buffers share the guarantee");
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                        std::size_t{1000}}) {
+    AlignedBuffer<real_t> vals(n);
+    AlignedBuffer<index_t> idx(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(vals.data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(idx.data()) % 64, 0u);
+  }
+}
+
+// -------------------------------------------- ISA-aware cost calibration
+
+MatrixFeatures probe_features() {
+  Rng rng(0xFEA7ull);
+  return extract_features(test::random_matrix(60, 40, 0.2, rng));
+}
+
+TEST(SimdDispatch, CalibrationRecordsTheLevelItMeasuredUnder) {
+  simd::ScopedSimdLevel guard(SimdLevel::kScalar);
+  const CostCalibration cal = CostCalibration::measure();
+  EXPECT_EQ(cal.simd_level(), SimdLevel::kScalar);
+  EXPECT_EQ(cal.vector_width(), 1);
+  EXPECT_FALSE(cal.level_agnostic());
+  EXPECT_TRUE(cal.valid_for_active());
+  EXPECT_GT(cal.gather_cost_ratio(), 0.0);
+  const CostPrediction p = predict_cost(probe_features(), cal);
+  EXPECT_EQ(p.simd_level, SimdLevel::kScalar);
+  EXPECT_EQ(p.vector_width, 1);
+  EXPECT_DOUBLE_EQ(p.gather_cost_ratio, cal.gather_cost_ratio());
+}
+
+TEST(SimdDispatch, StaleIsaCalibrationIsRejected) {
+  const SimdLevel native = simd::best_supported();
+  if (native == SimdLevel::kScalar) {
+    GTEST_SKIP() << "single-level host: a calibration can never go stale";
+  }
+  CostCalibration cal = CostCalibration::uniform();
+  {
+    simd::ScopedSimdLevel guard(SimdLevel::kScalar);
+    cal = CostCalibration::measure();
+  }
+  // Back at the native level the scalar-made calibration is stale: its
+  // per-format costs embody scalar kernels and must not drive schedules
+  // for vector ones.
+  simd::ScopedSimdLevel guard(native);
+  EXPECT_FALSE(cal.valid_for_active());
+  EXPECT_THROW(predict_cost(probe_features(), cal), Error);
+}
+
+TEST(SimdDispatch, InstanceRefitsPerLevel) {
+  const SimdLevel native = simd::best_supported();
+  {
+    simd::ScopedSimdLevel guard(SimdLevel::kScalar);
+    const CostCalibration& cal = CostCalibration::instance();
+    EXPECT_EQ(cal.simd_level(), SimdLevel::kScalar);
+    EXPECT_NO_THROW(predict_cost(probe_features(), cal));
+  }
+  simd::ScopedSimdLevel guard(native);
+  const CostCalibration& cal = CostCalibration::instance();
+  EXPECT_EQ(cal.simd_level(), native);
+  EXPECT_EQ(cal.vector_width(), simd::kernels().width);
+  const CostPrediction p = predict_cost(probe_features(), cal);
+  EXPECT_EQ(p.simd_level, native);
+  EXPECT_EQ(p.vector_width, simd::kernels().width);
+}
+
+TEST(SimdDispatch, UniformCalibrationIsLevelAgnostic) {
+  const CostCalibration cal = CostCalibration::uniform();
+  EXPECT_TRUE(cal.level_agnostic());
+  for (SimdLevel level : all_levels()) {
+    if (!simd::level_supported(level)) continue;
+    simd::ScopedSimdLevel guard(level);
+    EXPECT_TRUE(cal.valid_for_active());
+    EXPECT_NO_THROW(predict_cost(probe_features(), cal));
+  }
+}
+
+}  // namespace
