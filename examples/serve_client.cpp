@@ -12,6 +12,13 @@
 //             (retries exhausted with no definitive answer) — so CI can
 //             use a bench run as a zero-loss assertion
 //   stats     fetch and print the engine + socket-layer stats block
+//   models    list loaded models (name, version, content generation,
+//             active layout) — or, against a trainer, each training stream
+//   ingest    stream labeled rows of --data into a trainer daemon's
+//             sliding window (--count total, cycling; 0 = one pass);
+//             prints ingested= rejected= and exits non-zero on any
+//             transport error — ingest is deliberately never retried,
+//             a duplicated append would skew the window
 //   reload    ask the server to hot-reload --model from its source path
 //   shutdown  stop the daemon
 //
@@ -186,17 +193,51 @@ int run_bench(const ls::CliParser& cli) {
   return (errors == 0 && lost == 0) ? 0 : 1;
 }
 
+int run_ingest(const ls::CliParser& cli) {
+  const std::string model = cli.get("model");
+  const std::string path = cli.get("data");
+  LS_CHECK(!path.empty(), "ingest mode needs --data FILE.libsvm");
+  const ls::Dataset ds = ls::read_libsvm_file(path);
+  LS_CHECK(ds.rows() > 0, "dataset '" << path << "' has no rows");
+  const auto rows = static_cast<std::size_t>(ds.rows());
+  auto count = static_cast<std::size_t>(cli.get_int("count"));
+  if (count == 0) count = rows;
+
+  ServeClient client = connect(cli);
+  std::size_t ingested = 0, rejected = 0;
+  ls::SparseVector x;
+  for (std::size_t r = 0; r < count; ++r) {
+    const auto i = static_cast<ls::index_t>(r % rows);
+    ds.X.gather_row(i, x);
+    std::string message;
+    const ls::serve::Status s =
+        client.ingest(model, ds.y[static_cast<std::size_t>(i)], x, &message);
+    if (s == ls::serve::Status::kOk) {
+      ++ingested;
+    } else {
+      ++rejected;
+      std::fprintf(stderr, "ingest row %zu: status=%s %s\n", r,
+                   ls::serve::status_name(s), message.c_str());
+    }
+  }
+  std::printf("ingested=%zu rejected=%zu\n", ingested, rejected);
+  return rejected == 0 ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   ls::CliParser cli("serve_client",
                     "Client for the serve_tool prediction daemon");
   cli.add_flag("mode", "ping",
-               "ping | health | predict | bench | stats | reload | shutdown");
+               "ping | health | predict | bench | stats | models | ingest | "
+               "reload | shutdown");
   cli.add_flag("socket", "", "unix-domain socket path of the server");
   cli.add_flag("port", "-1", "loopback TCP port of the server");
   cli.add_flag("model", "demo", "model name for predict/bench/reload");
   cli.add_flag("data", "", "libsvm file providing request vectors");
   cli.add_flag("row", "0", "row of --data to score in predict mode");
-  cli.add_flag("count", "1000", "total requests in bench mode");
+  cli.add_flag("count", "1000",
+               "total requests in bench mode; examples to stream in ingest "
+               "mode (0 = one pass over --data)");
   cli.add_flag("concurrency", "8", "concurrent connections in bench mode");
   cli.add_flag("retries", "0",
                "retry idempotent requests up to N times across reconnects");
@@ -209,6 +250,7 @@ int run(int argc, char** argv) {
   const std::string mode = cli.get("mode");
 
   if (mode == "bench") return run_bench(cli);
+  if (mode == "ingest") return run_ingest(cli);
 
   ServeClient client = connect(cli);
   if (mode == "ping") {
@@ -237,6 +279,10 @@ int run(int argc, char** argv) {
   }
   if (mode == "stats") {
     std::printf("%s", client.stats().c_str());
+    return 0;
+  }
+  if (mode == "models") {
+    std::printf("%s", client.models().c_str());
     return 0;
   }
   if (mode == "reload") {

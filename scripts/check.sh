@@ -302,6 +302,121 @@ PY
   rm -f "${base}"_*
 }
 
+train_serve_smoke() {
+  # Continuous-learning smoke: the full train-and-serve loop with real
+  # daemons. First the in-process chaos soak (bench/train_serve_chaos):
+  # mid-save trainer kill + checkpoint resume, reloads landing mid-burst,
+  # weighted-fair queuing under a tenant flood (the binary asserts all of
+  # it and exits 1 otherwise). Then a real train_tool ingests a 500-example
+  # stream over the wire, retrains on its cadence and publishes live
+  # reloads into a real serve_tool while a retrying predict bench hammers
+  # the same socket; >=1 reload must land (served version moves past the
+  # initial load), the bench must lose nothing, and SIGTERM must drain
+  # both daemons to zero open connections.
+  local build_dir="$1"
+  echo "==> train-serve smoke (${build_dir})"
+  "./${build_dir}/bench/train_serve_chaos"
+  local base tsock ssock tlog slog model
+  base="$(mktemp -u /tmp/ls_train_smoke.XXXXXX)"
+  tsock="${base}_trainer.sock"
+  ssock="${base}_serve.sock"
+  tlog="${base}_trainer.log"
+  slog="${base}_serve.log"
+  model="${base}_model.txt"
+  # Generate the stream deterministically rather than reusing whatever
+  # /tmp/ls_demo_*.libsvm a previous run left behind — a stale
+  # high-dimensional file would balloon every retrain solve (painful
+  # under TSan) and make the smoke's timing non-reproducible.
+  python3 - "${base}" <<'PY'
+import random, sys
+base = sys.argv[1]
+rng = random.Random(0xC0FFEE)
+def emit(path, n):
+    with open(path, "w") as f:
+        for _ in range(n):
+            label = 1 if rng.random() < 0.5 else -1
+            cols = sorted(rng.sample(range(1, 25), 12))
+            row = " ".join(f"{c}:{rng.gauss(0.4 * label, 1.0):.6f}"
+                           for c in cols)
+            f.write(f"{label} {row}\n")
+emit(base + "_train.libsvm", 500)
+emit(base + "_test.libsvm", 100)
+PY
+  "./${build_dir}/examples/train_tool" --socket "${tsock}" \
+    --models demo="${model}" --window 600 --retrain-interval-ms 200 \
+    --min-new 50 --publish-socket "${ssock}" --drain-ms 5000 >"${tlog}" &
+  local trainer_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${tsock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${tsock}" ]] || { echo "train_tool never came up"; cat "${tlog}"; exit 1; }
+  # First half of the stream: the trainer must produce its first accepted
+  # model on its own cadence. Publishes fail until the serve tier exists —
+  # the cold-start order is trainer first, and the failures are counted,
+  # not fatal.
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
+    --model demo --data "${base}_train.libsvm" --count 250
+  for _ in $(seq 1 150); do
+    [[ -f "${model}" ]] && break
+    sleep 0.1
+  done
+  [[ -f "${model}" ]] || { echo "trainer never wrote a model"; cat "${tlog}"; exit 1; }
+  "./${build_dir}/examples/serve_tool" --socket "${ssock}" \
+    --models demo="${model}" --workers 2 --drain-ms 5000 >"${slog}" &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${ssock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${ssock}" ]] || { echo "serve_tool never came up"; cat "${slog}"; exit 1; }
+  # Second half of the stream drives fresh retrains whose accepted models
+  # are published as live reloads, while a retrying predict bench hammers
+  # the same serving socket — its exit code asserts zero lost requests.
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
+    --model demo --data "${base}_train.libsvm" --count 250 &
+  local ingest_pid=$!
+  "./${build_dir}/examples/serve_client" --socket "${ssock}" \
+    --mode bench --model demo --data "${base}_test.libsvm" \
+    --count 500 --concurrency 4 --retries 8 --timeout-ms 2000
+  wait "${ingest_pid}" || { echo "ingest stream was rejected"; cat "${tlog}"; exit 1; }
+  # >=1 published reload must land: the served version moves past the
+  # initial load (reloads mint fresh versions; the models verb is exactly
+  # the observability hook for this).
+  local models=""
+  for _ in $(seq 1 150); do
+    models="$("./${build_dir}/examples/serve_client" --socket "${ssock}" \
+      --mode models)"
+    grep -qE 'model demo version ([2-9]|[0-9]{2,})' <<<"${models}" && break
+    models=""
+    sleep 0.1
+  done
+  [[ -n "${models}" ]] || {
+    echo "no published reload ever landed in the serve tier:"
+    "./${build_dir}/examples/serve_client" --socket "${ssock}" --mode models
+    cat "${tlog}"; exit 1; }
+  echo "${models}"
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode models \
+    | grep -qE ' publishes [1-9]' || {
+    echo "trainer reports no successful publishes"; cat "${tlog}"; exit 1; }
+  kill -TERM "${trainer_pid}" "${serve_pid}"
+  if ! wait "${trainer_pid}"; then
+    echo "trainer exited non-zero after SIGTERM"; cat "${tlog}"; exit 1
+  fi
+  if ! wait "${serve_pid}"; then
+    echo "serve daemon exited non-zero after SIGTERM"; cat "${slog}"; exit 1
+  fi
+  local log
+  for log in "${tlog}" "${slog}"; do
+    grep -q 'drain complete' "${log}" || {
+      echo "daemon did not drain cleanly (${log})"; cat "${log}"; exit 1; }
+    grep -q 'connections_open 0' "${log}" || {
+      echo "daemon leaked connections (${log})"; cat "${log}"; exit 1; }
+  done
+  echo "train-serve smoke OK: stream ingested, reload published live, zero lost"
+  rm -f "${base}"_*
+}
+
 mode="${1:-all}"
 
 if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
@@ -324,6 +439,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   reschedule_smoke build
   chaos_smoke build
   route_smoke build
+  train_serve_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--sanitize-only" ]]; then
@@ -341,6 +457,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
   reschedule_smoke build-tsan
   chaos_smoke build-tsan
   route_smoke build-tsan
+  train_serve_smoke build-tsan
 fi
 
 echo "==> all checks passed"

@@ -186,6 +186,31 @@ std::pair<Status, std::string> Router::fan_out_reload(
   return {all_ok ? Status::kOk : Status::kInternal, report.str()};
 }
 
+std::pair<Status, std::string> Router::fan_out_models() {
+  bool all_ok = true;
+  std::ostringstream report;
+  for (const auto& rep : replicas_) {
+    Status s = Status::kInternal;
+    std::string text;
+    try {
+      // Fresh connection per replica, like reload: inventory reads are
+      // rare control-plane traffic and must not poison the request path's
+      // cached connections.
+      serve::ServeClient c = rep->endpoint.connect(upstream_options());
+      const Frame reply =
+          c.forward(MsgType::kModelsReq, "", MsgType::kStatusResp);
+      serve::decode_status_response(reply.payload, s, text);
+    } catch (const std::exception& e) {
+      s = Status::kInternal;
+      text = e.what();
+    }
+    if (s != Status::kOk) all_ok = false;
+    report << "replica " << rep->id << ": " << serve::status_name(s) << '\n';
+    if (!text.empty()) report << text;
+  }
+  return {all_ok ? Status::kOk : Status::kInternal, report.str()};
+}
+
 FrameDisposition Router::on_frame(const FrameContext& ctx,
                                   const Frame& frame) {
   const int fd = ctx.fd;
@@ -234,6 +259,20 @@ FrameDisposition Router::on_frame(const FrameContext& ctx,
           fd, MsgType::kStatusResp,
           serve::encode_status_response(
               Status::kOk, ctx.draining ? "draining" : health_name()),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kModelsReq: {
+      const auto [status, report] = fan_out_models();
+      serve::write_frame(fd, MsgType::kStatusResp,
+                         serve::encode_status_response(status, report), t);
+      return FrameDisposition::kKeep;
+    }
+    case MsgType::kIngestReq:
+      // Training ingest goes to the trainer daemon, not the serving fleet.
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kBadFrame,
+                                        "ingest not supported here"),
           t);
       return FrameDisposition::kKeep;
     case MsgType::kPingReq:

@@ -123,6 +123,11 @@ class Router final : public serve::FrameHandler {
   std::pair<serve::Status, std::string> fan_out_reload(
       const std::string& payload);
 
+  /// Fans a models inventory request out to every replica; returns
+  /// (status, per-replica report). The trainer reads this back through
+  /// the same reload/models round trip it uses against a single replica.
+  std::pair<serve::Status, std::string> fan_out_models();
+
   /// Thread-local persistent upstream connection for `r` (created on
   /// first use per handler thread, dropped on transport failure).
   serve::ServeClient* upstream(const Replica& r);

@@ -1,6 +1,8 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 #include <utility>
 
 namespace ls::serve {
@@ -22,7 +24,8 @@ MicroBatcher::MicroBatcher(BatcherOptions opts) : opts_(opts) {
 
 std::optional<std::future<PredictResult>> MicroBatcher::submit(
     std::shared_ptr<const LoadedModel> model, SparseVector x,
-    double deadline_ms) {
+    double deadline_ms, SubmitReject* reject) {
+  if (reject) *reject = SubmitReject::kNone;
   BatchRequest req;
   req.model = std::move(model);
   req.x = std::move(x);
@@ -32,8 +35,24 @@ std::optional<std::future<PredictResult>> MicroBatcher::submit(
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopped_) return ready_future(Status::kShuttingDown);
-    if (queue_.size() >= opts_.max_queue) return std::nullopt;
+    if (queue_.size() >= opts_.max_queue) {
+      if (reject) *reject = SubmitReject::kQueueFull;
+      return std::nullopt;
+    }
     const LoadedModel* key = req.model.get();
+    const std::string& name = req.model->name;
+    auto [it, inserted] = tenants_.try_emplace(name);
+    if (opts_.max_per_model > 0 && it->second.queued >= opts_.max_per_model) {
+      if (reject) *reject = SubmitReject::kModelQuota;
+      return std::nullopt;
+    }
+    if (it->second.queued == 0) {
+      // Tenant just became active: start its virtual clock at the current
+      // virtual time so idle periods bank no service credit.
+      it->second.service =
+          std::max(it->second.service, virtual_time_ * weight_of(name));
+    }
+    ++it->second.queued;
     queue_.push_back(std::move(req));
     ++cohort_counts_[key];
   }
@@ -64,7 +83,9 @@ bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
       // the admission limit still flushes (shedding at the door while
       // waiting out a deadline would be worse than a partial batch).
       const bool full_or_stopped = cv_.wait_until(lk, flush_at, [&] {
-        return stopped_ || queue_.empty() || front_cohort_full_locked() ||
+        return stopped_ || queue_.empty() ||
+               (opts_.fair ? any_cohort_full_locked()
+                           : front_cohort_full_locked()) ||
                queue_.size() >= opts_.max_queue;
       });
       if (stopped_) return false;
@@ -72,8 +93,12 @@ bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
       (void)full_or_stopped;  // timeout = deadline flush, equally valid
     }
 
-    // Extract the front request's model cohort, preserving arrival order.
-    const LoadedModel* cohort = queue_.front().model.get();
+    // Choose the cohort to flush: plain mode takes the front request's
+    // model (FIFO); fair mode takes the least-served tenant's frontmost
+    // model so a flooding tenant cannot push a trickling one behind its
+    // whole backlog. Extraction preserves arrival order within the cohort.
+    const LoadedModel* cohort =
+        opts_.fair ? fair_cohort_locked() : queue_.front().model.get();
     std::deque<BatchRequest> rest;
     while (!queue_.empty() &&
            static_cast<index_t>(out.size()) < opts_.max_batch) {
@@ -91,6 +116,19 @@ bool MicroBatcher::next_batch(std::vector<BatchRequest>& out) {
     // Re-prepend the skipped other-model requests in their original order.
     for (auto it = rest.rbegin(); it != rest.rend(); ++it) {
       queue_.push_front(std::move(*it));
+    }
+    // Advance the served tenant's virtual clock and release its queued
+    // quota slots.
+    if (!out.empty()) {
+      const std::string& name = out.front().model->name;
+      const auto it = tenants_.find(name);
+      if (it != tenants_.end()) {
+        it->second.service +=
+            static_cast<double>(out.size()) / weight_of(name);
+        virtual_time_ = it->second.service / weight_of(name);
+        it->second.queued -= std::min(it->second.queued, out.size());
+        if (it->second.queued == 0) tenants_.erase(it);
+      }
     }
     if (!queue_.empty()) {
       // Leftover work (other models, or overflow past max_batch): hand it
@@ -119,6 +157,40 @@ bool MicroBatcher::front_cohort_full_locked() const {
   return it != cohort_counts_.end() && it->second >= opts_.max_batch;
 }
 
+bool MicroBatcher::any_cohort_full_locked() const {
+  for (const auto& [model, count] : cohort_counts_) {
+    if (count >= opts_.max_batch) return true;
+  }
+  return false;
+}
+
+const LoadedModel* MicroBatcher::fair_cohort_locked() const {
+  // Least normalised service among tenants with queued work. The queue is
+  // non-empty here, so at least one queued tenant exists.
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [name, st] : tenants_) {
+    if (st.queued == 0) continue;
+    best = std::min(best, st.service / weight_of(name));
+  }
+  // The chosen tenant's frontmost request names the model version to flush
+  // (a tenant can span two versions across a reload; the older one queued
+  // first). Ties across tenants resolve FIFO: first match from the front.
+  for (const BatchRequest& r : queue_) {
+    const auto it = tenants_.find(r.model->name);
+    if (it != tenants_.end() &&
+        it->second.service / weight_of(r.model->name) <= best) {
+      return r.model.get();
+    }
+  }
+  return queue_.front().model.get();  // unreachable fallback
+}
+
+double MicroBatcher::weight_of(const std::string& name) const {
+  const auto it = opts_.weights.find(name);
+  const double w = it == opts_.weights.end() ? 1.0 : it->second;
+  return w > 0.0 ? w : 1.0;
+}
+
 void MicroBatcher::cohort_release_locked(const LoadedModel* m) {
   const auto it = cohort_counts_.find(m);
   if (it == cohort_counts_.end()) return;
@@ -132,6 +204,7 @@ void MicroBatcher::stop() {
     stopped_ = true;
     drained.swap(queue_);
     cohort_counts_.clear();
+    tenants_.clear();
   }
   cv_.notify_all();
   for (BatchRequest& req : drained) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,28 @@ struct BatcherOptions {
   double deadline_ms = 2.0;
   /// Admission limit: submissions beyond this queue depth are shed.
   std::size_t max_queue = 1024;
+  /// Per-tenant admission quota: a model name with this many requests
+  /// already queued has further submissions shed (kOverloaded) even while
+  /// the shared queue has room — one tenant's burst cannot monopolise the
+  /// queue. 0 = no per-tenant limit (default).
+  std::size_t max_per_model = 0;
+  /// Weighted-fair extraction (DESIGN.md §17): instead of always flushing
+  /// the front request's cohort, pick the queued tenant with the least
+  /// normalised service (service / weight, start-time virtual clock), so a
+  /// flooding tenant cannot starve a trickling one. Off by default — the
+  /// plain FIFO cohort policy has lower jitter for cooperating tenants.
+  bool fair = false;
+  /// Tenant weights for fair mode, keyed by model name; absent = 1.0.
+  /// A tenant with weight 2 receives twice the service share of weight 1.
+  std::unordered_map<std::string, double> weights;
+};
+
+/// Why submit() rejected a request (reported via its out-parameter so the
+/// engine can count queue sheds and quota sheds separately).
+enum class SubmitReject : std::uint8_t {
+  kNone = 0,
+  kQueueFull = 1,
+  kModelQuota = 2,
 };
 
 /// Bounded, deadline-flushed request queue (thread-safe).
@@ -65,12 +88,14 @@ class MicroBatcher {
   explicit MicroBatcher(BatcherOptions opts);
 
   /// Enqueues a request and returns the future its worker will fulfill, or
-  /// std::nullopt when the queue is full (admission control; the caller
-  /// maps that to Status::kOverloaded). After stop() the returned future is
-  /// already satisfied with kShuttingDown.
+  /// std::nullopt when the queue is full or the model's tenant quota is
+  /// exhausted (admission control; the caller maps that to
+  /// Status::kOverloaded, with the reject kind reported through `reject`
+  /// when non-null). After stop() the returned future is already satisfied
+  /// with kShuttingDown.
   std::optional<std::future<PredictResult>> submit(
       std::shared_ptr<const LoadedModel> model, SparseVector x,
-      double deadline_ms = 0.0);
+      double deadline_ms = 0.0, SubmitReject* reject = nullptr);
 
   /// Blocks until a batch is ready under the flush policy, then moves it
   /// into `out` (previous contents discarded). Returns false when the
@@ -109,9 +134,19 @@ class MicroBatcher {
   /// must not scan the queue (an O(queue) scan there goes quadratic under
   /// deep mixed-model queues). mu_ held.
   bool front_cohort_full_locked() const;
+  /// Fair-mode flush test: true when ANY queued cohort is full — fair
+  /// extraction may take a cohort other than the front's, so the front-only
+  /// test would sleep through a full cohort further back. O(#distinct
+  /// queued model versions), which tenancy keeps small. mu_ held.
+  bool any_cohort_full_locked() const;
+  /// Fair-mode cohort choice: the model of the frontmost queued request
+  /// belonging to the tenant with minimal normalised service. mu_ held.
+  const LoadedModel* fair_cohort_locked() const;
   /// Drops one queued-request count for `m`, erasing the entry at zero so
   /// the map tracks only models currently queued. mu_ held.
   void cohort_release_locked(const LoadedModel* m);
+  /// Tenant weight (1.0 unless configured).
+  double weight_of(const std::string& name) const;
 
   BatcherOptions opts_;
   mutable std::mutex mu_;
@@ -122,6 +157,20 @@ class MicroBatcher {
   /// every model pointer, cohort_counts_[m] == number of queue_ entries
   /// whose request pins m, and absent means zero (mu_).
   std::unordered_map<const LoadedModel*, index_t> cohort_counts_;
+  /// Per-tenant accounting, keyed by model *name* (a tenant spans versions
+  /// across reloads). `queued` backs the admission quota; `service` is the
+  /// weighted-fair virtual clock: it advances by batch_size / weight on
+  /// every extraction, and a tenant going from idle to active starts at the
+  /// current virtual time (start-time fairness — an idle tenant banks no
+  /// credit). Entries are erased at queued == 0, so the map only holds
+  /// active tenants (mu_).
+  struct TenantState {
+    double service = 0.0;
+    std::size_t queued = 0;
+  };
+  std::unordered_map<std::string, TenantState> tenants_;
+  /// Normalised service of the most recently served tenant (mu_).
+  double virtual_time_ = 0.0;
   /// Batches extracted by next_batch() but not yet batch_done() (mu_).
   int in_flight_ = 0;
   bool stopped_ = false;

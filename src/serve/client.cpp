@@ -280,6 +280,30 @@ std::string ServeClient::stats() {
   return text;
 }
 
+std::string ServeClient::models() {
+  const Frame reply =
+      round_trip_retry(MsgType::kModelsReq, "", MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  LS_CHECK(status == Status::kOk, "serve client: models returned "
+                                      << status_name(status));
+  return text;
+}
+
+Status ServeClient::ingest(std::string_view model, real_t label,
+                           const SparseVector& x, std::string* message) {
+  ensure_connected();
+  const Frame reply = round_trip_once(MsgType::kIngestReq,
+                                      encode_ingest_request(model, label, x),
+                                      MsgType::kStatusResp);
+  Status status = Status::kInternal;
+  std::string text;
+  decode_status_response(reply.payload, status, text);
+  if (message) *message = std::move(text);
+  return status;
+}
+
 std::string ServeClient::health() {
   const Frame reply =
       round_trip_retry(MsgType::kHealthReq, "", MsgType::kStatusResp);

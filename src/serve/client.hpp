@@ -80,6 +80,17 @@ class ServeClient {
   /// Fetches the engine + socket-layer stats block (retried).
   std::string stats();
 
+  /// Fetches the per-model inventory block — one line per hosted model
+  /// with name, version, content generation and active layout (retried).
+  std::string models();
+
+  /// Streams one labeled example into a trainer daemon's sliding window.
+  /// Returns the trainer's status. Never retried: a duplicated append
+  /// would silently skew the training window, and the caller (a streaming
+  /// producer) owns its own at-least-once/at-most-once policy.
+  Status ingest(std::string_view model, real_t label, const SparseVector& x,
+                std::string* message = nullptr);
+
   /// Lifecycle probe: "live" / "ready" / "draining" / "degraded"
   /// (retried).
   std::string health();

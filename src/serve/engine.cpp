@@ -166,11 +166,18 @@ std::future<PredictResult> ServeEngine::predict_async(const std::string& model,
     metrics::counter_add("serve.bad_dimension_total");
     return ready_future(immediate(Status::kBadDimension));
   }
-  auto fut = batcher_.submit(std::move(loaded), std::move(x), deadline_ms);
+  SubmitReject reject = SubmitReject::kNone;
+  auto fut =
+      batcher_.submit(std::move(loaded), std::move(x), deadline_ms, &reject);
   if (!fut) {
-    shed_queue_total_.fetch_add(1, std::memory_order_release);
     metrics::counter_add("serve.shed_total");
-    metrics::counter_add("serve.shed_queue_total");
+    if (reject == SubmitReject::kModelQuota) {
+      shed_quota_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("serve.shed_quota_total");
+    } else {
+      shed_queue_total_.fetch_add(1, std::memory_order_release);
+      metrics::counter_add("serve.shed_queue_total");
+    }
     return ready_future(immediate(Status::kOverloaded));
   }
   return std::move(*fut);
@@ -309,6 +316,7 @@ ServeStats ServeEngine::stats() const {
   // observe outcomes of requests it has not counted yet).
   s.ok_total = ok_total_.load(std::memory_order_acquire);
   s.shed_queue_total = shed_queue_total_.load(std::memory_order_acquire);
+  s.shed_quota_total = shed_quota_total_.load(std::memory_order_acquire);
   s.shed_deadline_total =
       shed_deadline_total_.load(std::memory_order_acquire);
   s.shed_expired_total = shed_expired_total_.load(std::memory_order_acquire);
@@ -343,6 +351,7 @@ std::string ServeEngine::stats_text() const {
   os << "requests_total " << s.requests_total << '\n'
      << "ok_total " << s.ok_total << '\n'
      << "shed_queue_total " << s.shed_queue_total << '\n'
+     << "shed_quota_total " << s.shed_quota_total << '\n'
      << "shed_deadline_total " << s.shed_deadline_total << '\n'
      << "shed_expired_total " << s.shed_expired_total << '\n'
      << "unknown_model_total " << s.unknown_model_total << '\n'
@@ -379,6 +388,17 @@ std::string ServeEngine::stats_text() const {
            << " prior_row_seconds " << a.prior_row_seconds << '\n';
       }
     }
+  }
+  return os.str();
+}
+
+std::string ServeEngine::models_text() const {
+  std::ostringstream os;
+  for (const auto& m : registry_.list()) {
+    os << "model " << m->name << " version " << m->version << " content_gen "
+       << m->content_gen << " layout " << format_name(m->predictor.layout())
+       << " num_features " << m->model.num_features << " num_sv "
+       << m->model.support_vectors.size() << '\n';
   }
   return os.str();
 }

@@ -69,6 +69,7 @@ struct ServeStats {
   std::int64_t requests_total = 0;       ///< admitted + rejected
   std::int64_t ok_total = 0;             ///< scored successfully
   std::int64_t shed_queue_total = 0;     ///< rejected at submit (queue full)
+  std::int64_t shed_quota_total = 0;     ///< rejected at submit (tenant quota)
   std::int64_t shed_deadline_total = 0;  ///< dropped at dequeue (stale)
   std::int64_t shed_expired_total = 0;   ///< client deadline already blown
   std::int64_t unknown_model_total = 0;
@@ -91,7 +92,8 @@ struct ServeStats {
                              : 0.0;
   }
   std::int64_t shed_total() const {
-    return shed_queue_total + shed_deadline_total + shed_expired_total;
+    return shed_queue_total + shed_quota_total + shed_deadline_total +
+           shed_expired_total;
   }
 };
 
@@ -162,6 +164,12 @@ class ServeEngine {
   /// Human-readable stats block (the kStatsReq reply).
   std::string stats_text() const;
 
+  /// Per-model inventory block (the kModelsReq reply): one line per hosted
+  /// model with its name, version, content generation and active layout —
+  /// the fields scripts need to verify that a published reload actually
+  /// landed (version moved) versus a re-layout (generation unchanged).
+  std::string models_text() const;
+
   const ServeOptions& options() const { return opts_; }
 
   /// The online layout policy, or nullptr when opts.reschedule.enabled is
@@ -185,6 +193,7 @@ class ServeEngine {
   std::atomic<std::int64_t> requests_total_{0};
   std::atomic<std::int64_t> ok_total_{0};
   std::atomic<std::int64_t> shed_queue_total_{0};
+  std::atomic<std::int64_t> shed_quota_total_{0};
   std::atomic<std::int64_t> shed_deadline_total_{0};
   std::atomic<std::int64_t> shed_expired_total_{0};
   std::atomic<std::int64_t> unknown_model_total_{0};

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -206,6 +207,54 @@ void decode_status_response(std::string_view payload, Status& status,
   status = static_cast<Status>(s);
   const auto len = c.get_raw<std::uint32_t>("text length");
   text = c.get_string(len, "text");
+  c.expect_end();
+}
+
+std::string encode_ingest_request(std::string_view model, real_t label,
+                                  const SparseVector& x) {
+  LS_CHECK(model.size() <= std::numeric_limits<std::uint16_t>::max(),
+           "model name too long for the wire format");
+  LS_CHECK(!std::isnan(label), "ingest label must not be NaN");
+  std::string out;
+  out.reserve(2 + model.size() + sizeof(real_t) + 4 +
+              static_cast<std::size_t>(x.nnz()) * (4 + sizeof(real_t)));
+  put_raw(out, static_cast<std::uint16_t>(model.size()));
+  out.append(model);
+  put_raw(out, label);
+  put_raw(out, static_cast<std::uint32_t>(x.nnz()));
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (index_t k = 0; k < x.nnz(); ++k) {
+    const index_t i = idx[static_cast<std::size_t>(k)];
+    LS_CHECK(i >= 0 && i <= std::numeric_limits<std::uint32_t>::max(),
+             "feature index " << i << " does not fit the wire format");
+    put_raw(out, static_cast<std::uint32_t>(i));
+    put_raw(out, val[static_cast<std::size_t>(k)]);
+  }
+  return out;
+}
+
+void decode_ingest_request(std::string_view payload, std::string& model,
+                           real_t& label, SparseVector& x) {
+  Cursor c{payload};
+  const auto name_len = c.get_raw<std::uint16_t>("model name length");
+  model = c.get_string(name_len, "model name");
+  label = c.get_raw<real_t>("label");
+  LS_CHECK(label == label, "NaN example label");
+  const auto nnz = c.get_raw<std::uint32_t>("nnz");
+  // Structural bound before trusting nnz: every entry needs 12 bytes.
+  LS_CHECK(static_cast<std::size_t>(nnz) * (4 + sizeof(real_t)) <=
+               payload.size(),
+           "nnz " << nnz << " exceeds the payload size");
+  x.clear();
+  index_t prev = -1;
+  for (std::uint32_t k = 0; k < nnz; ++k) {
+    const auto idx = static_cast<index_t>(c.get_raw<std::uint32_t>("index"));
+    const auto value = c.get_raw<real_t>("value");
+    LS_CHECK(idx > prev, "example indices must be strictly increasing");
+    prev = idx;
+    x.push_back(idx, value);
+  }
   c.expect_end();
 }
 
@@ -409,7 +458,7 @@ bool read_frame(int fd, Frame& out, const FrameTimeouts& t) {
   }
   const auto type = c.get_u8("type");
   if (type < static_cast<std::uint8_t>(MsgType::kPredictReq) ||
-      type > static_cast<std::uint8_t>(MsgType::kHealthReq)) {
+      type > kMaxMsgType) {
     throw IoError(IoErrorKind::kTorn, "serve: unknown message type " +
                                           std::to_string(int{type}));
   }

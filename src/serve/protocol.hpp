@@ -13,9 +13,11 @@
 //                 u32 nnz, nnz x (u32 index, f64 value)
 //   kPredictResp  u8 status, f64 decision, f64 label
 //   kReloadReq    u16 name_len, name
-//   kStatsReq / kPingReq / kShutdownReq / kHealthReq    (empty)
+//   kStatsReq / kPingReq / kShutdownReq / kHealthReq / kModelsReq   (empty)
 //   kStatusResp   u8 status, u32 text_len, text
-//                 (reload / stats / ping / health / shutdown / error)
+//                 (reload / stats / ping / health / shutdown / models / error)
+//   kIngestReq    u16 name_len, name, f64 label,
+//                 u32 nnz, nnz x (u32 index, f64 value)
 //
 // `deadline_ms` is the client's remaining latency budget when it sent the
 // request (0 = no deadline). The server sheds a request whose queue wait
@@ -40,9 +42,10 @@
 namespace ls::serve {
 
 /// Frame magic ("LSRV" little-endian) and protocol version. Version 2
-/// added the predict-request deadline field and the health verb.
+/// added the predict-request deadline field and the health verb; version 3
+/// added the models inventory verb and the trainer ingest verb.
 inline constexpr std::uint32_t kMagic = 0x5652534C;
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersion = 3;
 
 /// Frames larger than this are rejected before any allocation happens, so a
 /// corrupt or hostile length prefix cannot OOM the server.
@@ -58,7 +61,14 @@ enum class MsgType : std::uint8_t {
   kShutdownReq = 6,
   kStatusResp = 7,  ///< status + text; reply to reload/stats/ping/shutdown
   kHealthReq = 8,   ///< lifecycle probe: live / ready / draining / degraded
+  kModelsReq = 9,   ///< per-model inventory: name, version, gen, layout
+  kIngestReq = 10,  ///< streamed labeled example for the trainer daemon
 };
+
+/// Highest MsgType value read_frame() accepts; anything above is a torn
+/// stream. Keep in sync with the enum above when adding verbs.
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::kIngestReq);
 
 /// Result codes carried in responses (the serving error contract).
 enum class Status : std::uint8_t {
@@ -136,6 +146,8 @@ std::string encode_predict_request(std::string_view model,
 std::string encode_predict_response(const PredictResult& r);
 std::string encode_reload_request(std::string_view model);
 std::string encode_status_response(Status status, std::string_view text);
+std::string encode_ingest_request(std::string_view model, real_t label,
+                                  const SparseVector& x);
 
 // --- payload decoders (pure; throw ls::Error on malformed input) ---
 
@@ -150,6 +162,8 @@ PredictResult decode_predict_response(std::string_view payload);
 std::string decode_reload_request(std::string_view payload);
 void decode_status_response(std::string_view payload, Status& status,
                             std::string& text);
+void decode_ingest_request(std::string_view payload, std::string& model,
+                           real_t& label, SparseVector& x);
 
 // --- framed fd I/O ---
 

@@ -424,6 +424,11 @@ FrameDisposition EngineFrameHandler::on_frame(const FrameContext& ctx,
                   encode_status_response(Status::kOk, state), t);
       return FrameDisposition::kKeep;
     }
+    case MsgType::kModelsReq:
+      write_frame(
+          fd, MsgType::kStatusResp,
+          encode_status_response(Status::kOk, engine_->models_text()), t);
+      return FrameDisposition::kKeep;
     case MsgType::kPingReq:
       write_frame(fd, MsgType::kStatusResp,
                   encode_status_response(Status::kOk, "pong"), t);
@@ -432,6 +437,14 @@ FrameDisposition EngineFrameHandler::on_frame(const FrameContext& ctx,
       write_frame(fd, MsgType::kStatusResp,
                   encode_status_response(Status::kOk, "shutting down"), t);
       return FrameDisposition::kStopServer;
+    case MsgType::kIngestReq:
+      // The serve tier hosts no training windows; ingest belongs to the
+      // trainer daemon's handler. Answer rather than desync the stream.
+      write_frame(fd, MsgType::kStatusResp,
+                  encode_status_response(Status::kBadFrame,
+                                         "ingest not supported here"),
+                  t);
+      return FrameDisposition::kKeep;
     case MsgType::kPredictResp:
     case MsgType::kStatusResp:
       // Response types are not valid requests.

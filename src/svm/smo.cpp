@@ -224,6 +224,82 @@ void SmoSolver::restore(const SmoCheckpoint& ck) {
   unshrunk_once_ = false;
 }
 
+index_t SmoSolver::warm_start(std::span<const real_t> alphas) {
+  LS_CHECK(alphas.size() == static_cast<std::size_t>(n_),
+           "warm-start vector length " << alphas.size()
+                                       << " does not match problem size "
+                                       << n_);
+  // Box projection: evicted-window seeds can exceed the (possibly
+  // class-weighted) C of their new position.
+  for (index_t i = 0; i < n_; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    alpha_[iu] = std::clamp(alphas[iu], real_t{0.0}, c_of(i));
+  }
+
+  // Equality repair: sum_i a_i y_i must be exactly 0 or the solver's
+  // pairwise updates can never restore feasibility. Bleed the residual off
+  // the over-represented side, smallest alphas first — zeroing marginal
+  // seeds perturbs the solution less than cutting into a strong support
+  // vector.
+  real_t residual = 0.0;
+  for (index_t i = 0; i < n_; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    residual += alpha_[iu] * y_[iu];
+  }
+  if (std::abs(residual) > kBoundEps) {
+    const real_t side = residual > 0 ? real_t{1.0} : real_t{-1.0};
+    std::vector<index_t> order;
+    for (index_t i = 0; i < n_; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (y_[iu] == side && alpha_[iu] > kBoundEps) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+      return alpha_[static_cast<std::size_t>(a)] <
+             alpha_[static_cast<std::size_t>(b)];
+    });
+    real_t excess = std::abs(residual);
+    for (index_t i : order) {
+      if (excess <= kBoundEps) break;
+      const auto iu = static_cast<std::size_t>(i);
+      const real_t cut = std::min(alpha_[iu], excess);
+      alpha_[iu] -= cut;
+      excess -= cut;
+    }
+    // A leftover excess means one whole class's mass cannot cover the
+    // residual — only possible with a wildly inconsistent seed. Fall back
+    // to a cold start rather than an infeasible one.
+    if (excess > kBoundEps) {
+      std::fill(alpha_.begin(), alpha_.end(), real_t{0.0});
+    }
+  }
+
+  // Recompute f_i = y_i p_i + sum_j a_j y_j K_ij exactly: one kernel row
+  // per surviving support vector. This is the entire cost of the warm
+  // start — proportional to the SV count, not to an optimisation run.
+  index_t seeded = 0;
+  for (index_t i = 0; i < n_; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const real_t pi = p_.empty() ? real_t{-1.0} : p_[iu];
+    f_[iu] = y_[iu] * pi;
+  }
+  for (index_t j = 0; j < n_; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    if (alpha_[ju] <= kBoundEps) continue;
+    ++seeded;
+    const real_t coeff = alpha_[ju] * y_[ju];
+    const std::span<const real_t> row = cache_->get_row(j);
+    for (index_t i = 0; i < n_; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      f_[iu] += coeff * row[iu];
+    }
+  }
+
+  resume_iteration_ = 0;
+  unshrink();
+  unshrunk_once_ = false;
+  return seeded;
+}
+
 double SmoSolver::current_objective() const {
   // Dual objective via the gradient identity grad_i = y_i f_i = (Q a + p)_i:
   // F = -(1/2 a' Q a + p' a) = -1/2 sum_i a_i (y_i f_i + p_i) — O(n), no

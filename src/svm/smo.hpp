@@ -131,6 +131,21 @@ class SmoSolver {
   /// count. Throws ls::Error when the snapshot's size does not match.
   void restore(const SmoCheckpoint& ck);
 
+  /// Seeds the solver from a previous solution's alpha vector — the
+  /// continuous trainer's warm start across sliding-window retrains. Unlike
+  /// restore(), the seed need not come from *this* problem: each alpha is
+  /// clipped to its box [0, C_i], the equality constraint sum_i a_i y_i = 0
+  /// is repaired (evicted support vectors leave a residual, which is bled
+  /// off the over-represented class starting with its smallest seeds), and
+  /// the optimality indicators f are recomputed exactly from one kernel row
+  /// per surviving support vector. solve() then continues from a feasible
+  /// point that is near-optimal when the windows overlap, converging in far
+  /// fewer iterations than a cold start; iteration counting restarts at 0
+  /// so SolveStats measures the warm-started work. Returns the number of
+  /// nonzero seeded alphas. `alphas` must have length n (zeros for new
+  /// samples).
+  index_t warm_start(std::span<const real_t> alphas);
+
   std::span<const real_t> alpha() const { return alpha_; }
 
   /// Bias so that decision(x) = sum_i alpha_i y_i K(X_i, x) - rho.

@@ -1,0 +1,364 @@
+#include "train/continuous_trainer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fs_atomic.hpp"
+#include "common/metrics.hpp"
+#include "formats/any_matrix.hpp"
+#include "serve/client.hpp"
+#include "svm/cache.hpp"
+#include "svm/checkpoint.hpp"
+#include "svm/kernel_engine.hpp"
+#include "svm/model.hpp"
+#include "svm/serialize.hpp"
+
+namespace ls::train {
+
+namespace {
+
+/// Sidecar recording which example ids a mid-solve checkpoint was taken
+/// against. A restored SMO snapshot is only valid for the exact problem it
+/// was saved from; after a crash the window refills from the stream, and
+/// resuming against different rows would silently corrupt the solve. The
+/// sidecar makes the match checkable across process restarts (ids are
+/// deterministic: the k-th append to a fresh window always gets id k).
+std::string ids_sidecar_path(const std::string& ck_path) {
+  return ck_path + ".ids";
+}
+
+std::string encode_ids(const WindowSnapshot& snap) {
+  std::ostringstream os;
+  for (std::int64_t id : snap.ids) os << id << '\n';
+  // The content digest guards the case the ids alone cannot: a replayed
+  // stream of the same length but different examples reuses ids 0..n-1,
+  // and resuming a checkpoint against those rows would silently corrupt
+  // the solve.
+  os << "digest " << std::hex << snap.digest << '\n';
+  return os.str();
+}
+
+bool sidecar_matches(const std::string& ck_path,
+                     const WindowSnapshot& snap) {
+  try {
+    return read_file_verified(ids_sidecar_path(ck_path)) == encode_ids(snap);
+  } catch (const std::exception&) {
+    return false;  // missing or corrupt sidecar: no resume
+  }
+}
+
+}  // namespace
+
+ContinuousTrainer::ContinuousTrainer(TrainerOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.checkpoint_interval <= 0) opts_.checkpoint_interval = 256;
+  if (opts_.retrain_interval_ms <= 0) opts_.retrain_interval_ms = 1000.0;
+}
+
+ContinuousTrainer::~ContinuousTrainer() { stop(); }
+
+void ContinuousTrainer::add_model(const TrainerModelConfig& cfg) {
+  LS_CHECK(!cfg.name.empty(), "trainer model needs a name");
+  LS_CHECK(!cfg.model_path.empty(),
+           "trainer model '" << cfg.name << "' needs a model_path");
+  TrainerModelConfig full = cfg;
+  if (full.checkpoint_path.empty()) {
+    full.checkpoint_path = full.model_path + ".ckpt";
+  }
+  std::lock_guard<std::mutex> lk(models_mu_);
+  LS_CHECK(models_.find(full.name) == models_.end(),
+           "trainer model '" << full.name << "' already registered");
+  // Key copied before the move: emplace constructs its pair only after
+  // both arguments are evaluated, so `full.name` would read a moved-from
+  // string.
+  const std::string key = full.name;
+  models_.emplace(key, std::make_shared<ModelState>(std::move(full)));
+}
+
+std::shared_ptr<ContinuousTrainer::ModelState> ContinuousTrainer::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(models_mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+serve::Status ContinuousTrainer::ingest(const std::string& model,
+                                        SparseVector x, real_t label,
+                                        std::string* message) {
+  const auto st = find(model);
+  if (!st) {
+    if (message) *message = "unknown model " + model;
+    return serve::Status::kUnknownModel;
+  }
+  if (label != 1.0 && label != -1.0) {
+    std::lock_guard<std::mutex> lk(st->mu);
+    ++st->stats.rejected_labels;
+    if (message) *message = "label must be +1 or -1";
+    return serve::Status::kBadFrame;
+  }
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    st->window.append(std::move(x), label);
+    ++st->new_since_train;
+    ++st->stats.ingested;
+  }
+  metrics::counter_add("train.ingested_total");
+  if (message) *message = "ingested";
+  // Wake the cadence thread: with min_new_examples satisfied it can
+  // retrain before the next poll tick.
+  run_cv_.notify_one();
+  return serve::Status::kOk;
+}
+
+void ContinuousTrainer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    stopping_ = false;
+  }
+  cadence_ = std::thread([this] { cadence_loop(); });
+}
+
+void ContinuousTrainer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    stopping_ = true;
+  }
+  run_cv_.notify_all();
+  if (cadence_.joinable()) cadence_.join();
+  running_.store(false);
+}
+
+void ContinuousTrainer::cadence_loop() {
+  // steady_clock throughout: a wall-clock jump (NTP step, suspend) must
+  // neither stall the retrain cadence nor double-fire it.
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              opts_.retrain_interval_ms));
+  const auto poll = std::min(
+      interval / 4,
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::milliseconds(50)));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(run_mu_);
+      run_cv_.wait_for(lk, std::max(poll, interval / 16),
+                       [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    std::vector<std::string> due;
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lk(models_mu_);
+      for (const auto& [name, st] : models_) {
+        std::lock_guard<std::mutex> mlk(st->mu);
+        if (st->new_since_train <
+            static_cast<std::int64_t>(opts_.min_new_examples)) {
+          continue;
+        }
+        if (now - st->last_train < interval) continue;
+        due.push_back(name);
+      }
+    }
+    for (const std::string& name : due) {
+      if (running_.load(std::memory_order_acquire)) train_once(name);
+    }
+  }
+}
+
+bool ContinuousTrainer::train_once(const std::string& name) {
+  const auto st = find(name);
+  if (!st) return false;
+  training_.fetch_add(1, std::memory_order_acq_rel);
+  struct Release {
+    std::atomic<int>* c;
+    ~Release() { c->fetch_sub(1, std::memory_order_acq_rel); }
+  } release{&training_};
+
+  // Snapshot under the model lock, solve off it: ingest keeps flowing
+  // while the solver runs. The rows that arrive mid-solve are counted by
+  // new_since_train and picked up by the next cadence tick.
+  WindowSnapshot snap;
+  std::vector<std::int64_t> prev_ids;
+  std::vector<real_t> prev_alpha;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    snap = st->window.snapshot(st->cfg.name);
+    if (!snap.trainable()) return false;
+    prev_ids = st->prev_ids;
+    prev_alpha = st->prev_alpha;
+    st->new_since_train = 0;
+    st->last_train = std::chrono::steady_clock::now();
+  }
+
+  const std::string& ck_path = st->cfg.checkpoint_path;
+  index_t warm_seeded = 0;
+  bool resumed = false;
+  SolveStats stats;
+  try {
+    const AnyMatrix x = AnyMatrix::from_coo(snap.ds.X, opts_.layout);
+    FormatKernelEngine engine(x, opts_.svm.kernel);
+    SvmParams params = opts_.svm;
+    params.checkpoint_interval = opts_.checkpoint_interval;
+    params.checkpoint_path.clear();  // wired manually below
+    params.on_checkpoint = [&ck_path](const SmoCheckpoint& ck) {
+      save_smo_checkpoint(ck_path, ck);
+    };
+    KernelCache cache(engine, params.cache_bytes);
+    SmoSolver solver(cache, snap.ds.y, params);
+
+    // Warm start: map the previous solution's alphas onto the rows whose
+    // ids survived the window slide (new rows seed at zero).
+    if (!prev_ids.empty()) {
+      std::unordered_map<std::int64_t, real_t> by_id;
+      by_id.reserve(prev_ids.size());
+      for (std::size_t k = 0; k < prev_ids.size(); ++k) {
+        by_id.emplace(prev_ids[k], prev_alpha[k]);
+      }
+      std::vector<real_t> seed(snap.ids.size(), 0.0);
+      bool any = false;
+      for (std::size_t k = 0; k < snap.ids.size(); ++k) {
+        const auto it = by_id.find(snap.ids[k]);
+        if (it != by_id.end() && it->second > 0.0) {
+          seed[k] = it->second;
+          any = true;
+        }
+      }
+      if (any) warm_seeded = solver.warm_start(seed);
+    }
+
+    // Crash resume outranks the warm start: a mid-solve snapshot of THIS
+    // exact window (ids sidecar match) is strictly further along.
+    if (sidecar_matches(ck_path, snap)) {
+      if (const auto ck = try_load_smo_checkpoint(ck_path, snap.ds.rows())) {
+        solver.restore(*ck);
+        resumed = true;
+      }
+    }
+    // Record what the upcoming checkpoints are snapshots of.
+    atomic_write_file(ids_sidecar_path(ck_path), encode_ids(snap),
+                      /*with_crc_footer=*/true);
+
+    stats = solver.solve();
+    const SvmModel model = build_model(x, snap.ds.y, solver.alpha(),
+                                       solver.rho(), params.kernel);
+    save_model_file(st->cfg.model_path, model);
+    if (stats.converged) {
+      remove_checkpoint(ck_path);
+      remove_checkpoint(ids_sidecar_path(ck_path));
+    }
+
+    std::lock_guard<std::mutex> lk(st->mu);
+    st->prev_ids = snap.ids;
+    st->prev_alpha.assign(solver.alpha().begin(), solver.alpha().end());
+    ++st->stats.trains_total;
+    ++st->stats.version;
+    st->stats.last_iterations = stats.iterations;
+    st->stats.last_warm_seeded = warm_seeded;
+    st->stats.last_resumed_from_checkpoint = resumed;
+  } catch (const std::exception&) {
+    // A failed or interrupted retrain (checkpoint-save failpoint, OOM,
+    // torn disk) leaves the last accepted model serving and the last
+    // CRC-valid checkpoint on disk for the next attempt to resume from.
+    std::lock_guard<std::mutex> lk(st->mu);
+    ++st->stats.train_failures_total;
+    metrics::counter_add("train.failures_total");
+    return false;
+  }
+  metrics::counter_add("train.retrains_total");
+
+  if (!opts_.publish_unix.empty() || opts_.publish_tcp >= 0) publish(*st);
+  return true;
+}
+
+bool ContinuousTrainer::publish(ModelState& st) {
+  serve::Status status = serve::Status::kInternal;
+  std::string report;
+  try {
+    serve::ClientOptions copts;
+    copts.request_timeout_ms = opts_.publish_timeout_ms;
+    serve::ServeClient client =
+        opts_.publish_unix.empty()
+            ? serve::ServeClient::connect_tcp(opts_.publish_tcp, copts)
+            : serve::ServeClient::connect_unix(opts_.publish_unix, copts);
+    status = client.reload(st.cfg.name, &report);
+  } catch (const std::exception& e) {
+    report = e.what();
+  }
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.stats.last_publish_report = report;
+  if (status == serve::Status::kOk) {
+    ++st.stats.publishes_total;
+    metrics::counter_add("train.publishes_total");
+    return true;
+  }
+  ++st.stats.publish_failures_total;
+  metrics::counter_add("train.publish_failures_total");
+  return false;
+}
+
+std::vector<std::string> ContinuousTrainer::model_names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lk(models_mu_);
+  names.reserve(models_.size());
+  for (const auto& [name, st] : models_) names.push_back(name);
+  return names;
+}
+
+TrainerModelStats ContinuousTrainer::model_stats(
+    const std::string& name) const {
+  const auto st = find(name);
+  LS_CHECK(st != nullptr, "unknown trainer model '" << name << "'");
+  std::lock_guard<std::mutex> lk(st->mu);
+  TrainerModelStats s = st->stats;
+  s.window_size = st->window.size();
+  return s;
+}
+
+std::string ContinuousTrainer::stats_text() const {
+  std::ostringstream os;
+  std::int64_t ingested = 0, trains = 0, failures = 0, publishes = 0,
+               publish_failures = 0;
+  for (const std::string& name : model_names()) {
+    const TrainerModelStats s = model_stats(name);
+    ingested += s.ingested;
+    trains += s.trains_total;
+    failures += s.train_failures_total;
+    publishes += s.publishes_total;
+    publish_failures += s.publish_failures_total;
+  }
+  os << "ingested_total " << ingested << '\n'
+     << "trains_total " << trains << '\n'
+     << "train_failures_total " << failures << '\n'
+     << "publishes_total " << publishes << '\n'
+     << "publish_failures_total " << publish_failures << '\n';
+  os << models_text();
+  return os.str();
+}
+
+std::string ContinuousTrainer::models_text() const {
+  std::ostringstream os;
+  for (const std::string& name : model_names()) {
+    const TrainerModelStats s = model_stats(name);
+    os << "model " << name << " version " << s.version << " window "
+       << s.window_size << " ingested " << s.ingested << " trains "
+       << s.trains_total << " publishes " << s.publishes_total
+       << " publish_failures " << s.publish_failures_total
+       << " last_iterations " << s.last_iterations << " warm_seeded "
+       << s.last_warm_seeded << '\n';
+    if (!s.last_publish_report.empty()) {
+      os << "publish_report " << name << ": ";
+      // Collapse the (possibly multi-line) reload report to one line.
+      for (char c : s.last_publish_report) os << (c == '\n' ? ';' : c);
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ls::train

@@ -1,0 +1,186 @@
+// ContinuousTrainer: the streaming train-and-serve daemon core.
+//
+// Closes the ROADMAP's continuous-learning loop from parts that already
+// exist but had never been composed:
+//
+//   ingest (LSRV kIngest) --> SlidingWindow per model
+//        --cadence-->  retrain: SmoSolver warm-started from the previous
+//                      alpha vector (smo.hpp warm_start), mid-solve SMO
+//                      snapshots every checkpoint_interval iterations
+//                      (svm/checkpoint.hpp: atomic + CRC via fs_atomic)
+//        --accept-->   save_model_file (atomic + CRC)
+//        --publish-->  ServeClient::reload against one replica or the
+//                      router (fan-out); the per-replica reload report is
+//                      plumbed back into the trainer's stats
+//
+// Crash safety: a trainer killed mid-save leaves either the previous
+// CRC-valid checkpoint (atomic rename) or a valid newer one; the next
+// retrain resumes from whatever try_load_smo_checkpoint accepts. The serve
+// tier's content generations guarantee a published reload can never be
+// shadowed by a concurrent re-layout of older weights (registry.hpp).
+//
+// All cadences use steady_clock — wall-clock jumps must not stall or
+// double-fire a retrain (DESIGN.md §17 clock audit).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "formats/format.hpp"
+#include "formats/sparse_vector.hpp"
+#include "serve/protocol.hpp"
+#include "svm/smo.hpp"
+#include "train/window.hpp"
+
+namespace ls::train {
+
+/// One hosted training stream.
+struct TrainerModelConfig {
+  std::string name;
+  /// Where accepted models are published (atomic CRC-verified write); the
+  /// serve tier hosts this same path so a reload picks the new weights up.
+  std::string model_path;
+  /// Mid-solve SMO snapshot file; "" derives `model_path + ".ckpt"`.
+  std::string checkpoint_path;
+  /// Sliding-window capacity in examples.
+  std::size_t window_capacity = 4096;
+};
+
+/// Daemon configuration.
+struct TrainerOptions {
+  /// Solver parameters for every retrain (kernel, C, tolerance, cache).
+  SvmParams svm;
+  /// Training-matrix layout. The trainer uses a fixed layout rather than
+  /// the empirical scheduler: retrains are frequent and small, so probe
+  /// time would dominate (the serve tier's rescheduler already owns the
+  /// layout question where it pays — on the inference path).
+  Format layout = Format::kCSR;
+  /// Retrain cadence (steady_clock) and the news threshold that lets a
+  /// quiet model skip its tick.
+  double retrain_interval_ms = 1000.0;
+  std::size_t min_new_examples = 1;
+  /// Solver iterations between mid-solve checkpoint saves (0 = default).
+  index_t checkpoint_interval = 256;
+  /// Publish target: a serve daemon or router endpoint. Leave both unset
+  /// (empty / -1) to train without publishing (tests, warm-up before the
+  /// serve tier exists). Publish failures are counted and retried on the
+  /// next accepted model, not queued.
+  std::string publish_unix;
+  int publish_tcp = -1;
+  double publish_timeout_ms = 5000.0;
+};
+
+/// Per-model counters (snapshot; taken under the model lock).
+struct TrainerModelStats {
+  std::int64_t ingested = 0;
+  std::int64_t rejected_labels = 0;
+  std::size_t window_size = 0;
+  std::int64_t trains_total = 0;
+  std::int64_t train_failures_total = 0;
+  std::int64_t publishes_total = 0;
+  std::int64_t publish_failures_total = 0;
+  /// Trainer-side model version: bumped once per accepted (saved) model.
+  /// The serving-side version is minted by the registry on reload; this
+  /// one counts how many distinct weight sets this trainer produced.
+  std::int64_t version = 0;
+  index_t last_iterations = 0;
+  index_t last_warm_seeded = 0;
+  bool last_resumed_from_checkpoint = false;
+  /// The reload report from the last publish: a single replica's status
+  /// text, or the router's per-replica fan-out report.
+  std::string last_publish_report;
+};
+
+/// Streaming trainer daemon core. Thread-safe throughout; start() spawns
+/// the cadence thread, ingest() is called from server handler threads.
+class ContinuousTrainer {
+ public:
+  explicit ContinuousTrainer(TrainerOptions opts = {});
+  ~ContinuousTrainer();
+
+  ContinuousTrainer(const ContinuousTrainer&) = delete;
+  ContinuousTrainer& operator=(const ContinuousTrainer&) = delete;
+
+  /// Registers a training stream. Must be called before start() publishes
+  /// traffic for it; adding while running is allowed.
+  void add_model(const TrainerModelConfig& cfg);
+
+  /// Appends one labeled example to `model`'s window. Returns kOk,
+  /// kUnknownModel, or kBadFrame (label not +-1). Never blocks on a
+  /// retrain: windows are guarded separately from the solve.
+  serve::Status ingest(const std::string& model, SparseVector x,
+                       real_t label, std::string* message = nullptr);
+
+  /// Spawns the cadence thread (idempotent).
+  void start();
+
+  /// Stops the cadence thread and waits for an in-progress retrain to
+  /// finish (idempotent; destructor calls it).
+  void stop();
+
+  /// Runs one synchronous retrain of `model` if its window is trainable.
+  /// Returns true when a model was accepted (solved + saved); false when
+  /// the window is not trainable yet or the retrain failed (failure
+  /// counted in stats). The cadence thread calls exactly this.
+  bool train_once(const std::string& model);
+
+  /// True when no retrain is executing — the drain predicate of the
+  /// trainer's socket server (ingest frames are request/response and do
+  /// not pend).
+  bool idle() const { return training_.load(std::memory_order_acquire) == 0; }
+
+  std::vector<std::string> model_names() const;
+  TrainerModelStats model_stats(const std::string& name) const;
+
+  /// Aggregate + per-model stats block (the trainer's kStatsReq reply).
+  std::string stats_text() const;
+
+  /// Per-model inventory block (the trainer's kModelsReq reply).
+  std::string models_text() const;
+
+  const TrainerOptions& options() const { return opts_; }
+
+ private:
+  struct ModelState {
+    TrainerModelConfig cfg;
+    mutable std::mutex mu;  ///< guards window, prev solution, stats
+    SlidingWindow window;
+    std::int64_t new_since_train = 0;
+    /// Previous accepted solution, keyed by example id — the warm-start
+    /// seed for the next retrain.
+    std::vector<std::int64_t> prev_ids;
+    std::vector<real_t> prev_alpha;
+    std::chrono::steady_clock::time_point last_train;
+    TrainerModelStats stats;
+
+    explicit ModelState(TrainerModelConfig c)
+        : cfg(std::move(c)), window(cfg.window_capacity) {}
+  };
+
+  std::shared_ptr<ModelState> find(const std::string& name) const;
+  void cadence_loop();
+  /// Publishes `name` to the configured endpoint via reload; records the
+  /// report in `st`. Returns true on kOk.
+  bool publish(ModelState& st);
+
+  TrainerOptions opts_;
+  mutable std::mutex models_mu_;
+  std::map<std::string, std::shared_ptr<ModelState>> models_;
+
+  std::thread cadence_;
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stopping_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<int> training_{0};  ///< retrains in progress (drain gate)
+};
+
+}  // namespace ls::train

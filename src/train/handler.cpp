@@ -1,0 +1,107 @@
+#include "train/handler.hpp"
+
+#include <string>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace ls::train {
+
+using serve::FrameContext;
+using serve::FrameDisposition;
+using serve::MsgType;
+using serve::Status;
+
+FrameDisposition TrainFrameHandler::on_frame(const FrameContext& ctx,
+                                             const serve::Frame& frame) {
+  const int fd = ctx.fd;
+  const serve::FrameTimeouts& t = ctx.timeouts;
+  switch (frame.type) {
+    case MsgType::kIngestReq: {
+      std::string model;
+      real_t label = 0.0;
+      SparseVector x;
+      try {
+        serve::decode_ingest_request(frame.payload, model, label, x);
+      } catch (const std::exception&) {
+        ctx.server->note_protocol_error();
+        serve::write_frame(
+            fd, MsgType::kStatusResp,
+            serve::encode_status_response(Status::kBadFrame, "bad frame"),
+            t);
+        return FrameDisposition::kKeep;
+      }
+      if (ctx.draining) {
+        serve::write_frame(fd, MsgType::kStatusResp,
+                           serve::encode_status_response(
+                               Status::kShuttingDown, "draining"),
+                           t);
+        return FrameDisposition::kKeep;
+      }
+      std::string message;
+      const Status s =
+          trainer_->ingest(model, std::move(x), label, &message);
+      serve::write_frame(fd, MsgType::kStatusResp,
+                         serve::encode_status_response(s, message), t);
+      return FrameDisposition::kKeep;
+    }
+    case MsgType::kStatsReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(
+              Status::kOk,
+              trainer_->stats_text() + ctx.server->stats_text()),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kModelsReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kOk,
+                                        trainer_->models_text()),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kHealthReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(
+              Status::kOk, ctx.draining ? "draining" : "ready"),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kPingReq:
+      serve::write_frame(fd, MsgType::kStatusResp,
+                         serve::encode_status_response(Status::kOk, "pong"),
+                         t);
+      return FrameDisposition::kKeep;
+    case MsgType::kShutdownReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kOk, "shutting down"), t);
+      return FrameDisposition::kStopServer;
+    case MsgType::kPredictReq:
+      // The trainer scores nothing; predict goes to the serve tier.
+      serve::write_frame(fd, MsgType::kPredictResp,
+                         serve::encode_predict_response(serve::PredictResult{
+                             Status::kBadFrame, 0.0, 0.0}),
+                         t);
+      return FrameDisposition::kKeep;
+    case MsgType::kReloadReq:
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kBadFrame,
+                                        "reload not supported here"),
+          t);
+      return FrameDisposition::kKeep;
+    case MsgType::kPredictResp:
+    case MsgType::kStatusResp:
+      ctx.server->note_protocol_error();
+      serve::write_frame(
+          fd, MsgType::kStatusResp,
+          serve::encode_status_response(Status::kBadFrame,
+                                        "response type sent as request"),
+          t);
+      return FrameDisposition::kKeep;
+  }
+  return FrameDisposition::kKeep;
+}
+
+}  // namespace ls::train

@@ -1,0 +1,36 @@
+// TrainFrameHandler: the trainer daemon's face on the LSRV protocol.
+//
+// Plugs a ContinuousTrainer behind the stock serve::ServeServer (accept
+// loop, connection governance, drain) — the same FrameHandler seam the
+// engine and the router use. The trainer answers:
+//
+//   kIngestReq   append one labeled example to a model's window
+//   kStatsReq    trainer counters + socket-layer stats
+//   kModelsReq   per-stream inventory (version, window, publishes)
+//   kPingReq / kHealthReq / kShutdownReq   lifecycle
+//
+// Predict and reload are a serve-tier concern and answered kBadFrame.
+#pragma once
+
+#include "serve/server.hpp"
+#include "train/continuous_trainer.hpp"
+
+namespace ls::train {
+
+class TrainFrameHandler final : public serve::FrameHandler {
+ public:
+  explicit TrainFrameHandler(ContinuousTrainer& trainer)
+      : trainer_(&trainer) {}
+
+  serve::FrameDisposition on_frame(const serve::FrameContext& ctx,
+                                   const serve::Frame& frame) override;
+
+  /// Drain predicate: ingest frames are answered inline, so the only
+  /// asynchronous work is an in-progress retrain.
+  bool quiesced() const override { return trainer_->idle(); }
+
+ private:
+  ContinuousTrainer* trainer_;
+};
+
+}  // namespace ls::train

@@ -1,0 +1,95 @@
+#include "train/window.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ls::train {
+
+namespace {
+
+/// FNV-1a over arbitrary bytes, used to fingerprint window contents.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+std::uint64_t fnv1a_real(std::uint64_t h, real_t v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(real_t) <= sizeof(bits));
+  std::memcpy(&bits, &v, sizeof v);
+  return fnv1a_u64(h, bits);
+}
+
+}  // namespace
+
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(2, capacity)) {}
+
+std::int64_t SlidingWindow::append(SparseVector x, real_t label) {
+  LS_CHECK(label == 1.0 || label == -1.0,
+           "streamed example label must be +1 or -1, got " << label);
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  const std::int64_t id = next_id_++;
+  ring_.push_back(Example{id, std::move(x), label});
+  return id;
+}
+
+WindowSnapshot SlidingWindow::snapshot(const std::string& name) const {
+  WindowSnapshot snap;
+  snap.ids.reserve(ring_.size());
+  index_t cols = 1;
+  std::size_t nnz = 0;
+  for (const Example& e : ring_) {
+    nnz += static_cast<std::size_t>(e.x.nnz());
+    if (e.x.nnz() > 0) {
+      cols = std::max<index_t>(
+          cols, e.x.indices()[static_cast<std::size_t>(e.x.nnz()) - 1] + 1);
+    }
+  }
+  std::vector<Triplet> entries;
+  entries.reserve(nnz);
+  std::vector<real_t> y;
+  y.reserve(ring_.size());
+  index_t row = 0;
+  std::uint64_t digest = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const Example& e : ring_) {
+    snap.ids.push_back(e.id);
+    y.push_back(e.label);
+    digest = fnv1a_u64(digest, static_cast<std::uint64_t>(e.id));
+    digest = fnv1a_real(digest, e.label);
+    digest = fnv1a(digest, e.x.indices().data(),
+                   static_cast<std::size_t>(e.x.nnz()) * sizeof(index_t));
+    digest = fnv1a(digest, e.x.values().data(),
+                   static_cast<std::size_t>(e.x.nnz()) * sizeof(real_t));
+    if (e.label > 0) {
+      ++snap.positives;
+    } else {
+      ++snap.negatives;
+    }
+    const auto idx = e.x.indices();
+    const auto val = e.x.values();
+    for (index_t k = 0; k < e.x.nnz(); ++k) {
+      entries.push_back(Triplet{row, idx[static_cast<std::size_t>(k)],
+                                val[static_cast<std::size_t>(k)]});
+    }
+    ++row;
+  }
+  snap.ds.name = name;
+  snap.ds.X = CooMatrix(row, cols, std::move(entries));
+  snap.ds.y = std::move(y);
+  snap.digest = digest;
+  return snap;
+}
+
+}  // namespace ls::train

@@ -1,0 +1,75 @@
+// Bounded sliding window of streamed labeled examples — the continuous
+// trainer's view of "the training set right now".
+//
+// Examples arrive one at a time over the ingest verb; the window keeps the
+// most recent `capacity` of them and assigns each a monotonically
+// increasing id. The ids are what make warm starts work across retrains:
+// a retrain snapshots (ids, Dataset), solves, and remembers (ids, alpha);
+// the next retrain maps the previous alphas onto the rows whose ids
+// survived the slide and seeds the solver from them (smo.hpp warm_start).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/dataset.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls::train {
+
+/// Point-in-time copy of the window as a solvable problem. `ids[i]` is the
+/// example id behind dataset row i (append order, oldest first).
+struct WindowSnapshot {
+  std::vector<std::int64_t> ids;
+  Dataset ds;
+  index_t positives = 0;
+  index_t negatives = 0;
+  /// FNV-1a fingerprint of the window *contents* (ids, labels, indices,
+  /// value bits). The checkpoint sidecar stores it alongside the ids: two
+  /// windows with the same id range but different examples (a replay that
+  /// diverged) must not resume from each other's checkpoints.
+  std::uint64_t digest = 0;
+
+  /// SMO needs both classes present to pose a well-defined dual.
+  bool trainable() const { return positives > 0 && negatives > 0; }
+};
+
+/// Bounded FIFO of labeled examples (not thread-safe; the trainer guards
+/// each model's window with its per-model mutex).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  /// Appends one example, evicting the oldest when full. Returns the
+  /// example's id. `label` must be +1 or -1 (checked by the caller's
+  /// ingest path; re-checked here).
+  std::int64_t append(SparseVector x, real_t label);
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total examples ever appended (ids run [0, total)).
+  std::int64_t total_appended() const { return next_id_; }
+
+  /// Builds the current window as a Dataset named `name`. Feature count is
+  /// the widest example seen in the *current* window (the model's
+  /// num_features follows the live data, and the serve tier's dimension
+  /// gate rejects requests wider than the published model).
+  WindowSnapshot snapshot(const std::string& name) const;
+
+ private:
+  struct Example {
+    std::int64_t id;
+    SparseVector x;
+    real_t label;
+  };
+
+  std::size_t capacity_;
+  std::int64_t next_id_ = 0;
+  std::deque<Example> ring_;
+};
+
+}  // namespace ls::train

@@ -1,0 +1,616 @@
+// Tests of the continuous train-and-serve subsystem: the sliding window,
+// the SMO warm start, checkpoint resume across simulated process death,
+// the trainer daemon's publish path into the serve tier, and the ingest /
+// models wire surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/fs_atomic.hpp"
+#include "common/rng.hpp"
+#include "formats/any_matrix.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "svm/cache.hpp"
+#include "svm/checkpoint.hpp"
+#include "svm/kernel_engine.hpp"
+#include "svm/model.hpp"
+#include "svm/serialize.hpp"
+#include "svm/smo.hpp"
+#include "train/continuous_trainer.hpp"
+#include "train/handler.hpp"
+#include "train/window.hpp"
+
+namespace ls::train {
+namespace {
+
+struct Example {
+  SparseVector x;
+  real_t label;
+};
+
+/// Deterministic overlapping two-class stream (noisy margin => plenty of
+/// support vectors, so solves run long enough to checkpoint).
+std::vector<Example> make_stream(std::size_t n, index_t d,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> out;
+  out.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const real_t label = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < d; ++c) {
+      if (!rng.bernoulli(0.5)) continue;
+      idx.push_back(c);
+      val.push_back(rng.normal() + 0.3 * label);
+    }
+    if (idx.empty()) {
+      idx.push_back(0);
+      val.push_back(label);
+    }
+    out.push_back({SparseVector(std::move(idx), std::move(val)), label});
+  }
+  return out;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ls_train_" + name;
+}
+
+SvmParams gaussian_params(double c = 4.0, double tolerance = 1e-3) {
+  SvmParams params;
+  params.kernel.type = KernelType::kGaussian;
+  params.kernel.gamma = 0.5;
+  params.c = c;
+  params.tolerance = tolerance;
+  return params;
+}
+
+/// Fills a window with stream[from, to) and returns its snapshot.
+WindowSnapshot window_snapshot(const std::vector<Example>& stream,
+                               std::size_t from, std::size_t to,
+                               std::size_t capacity) {
+  SlidingWindow w(capacity);
+  for (std::size_t r = from; r < to; ++r) {
+    w.append(stream[r].x, stream[r].label);
+  }
+  return w.snapshot("w");
+}
+
+// --- sliding window ------------------------------------------------------
+
+TEST(TrainWindow, EvictsOldestAndKeepsMonotoneIds) {
+  SlidingWindow w(4);
+  for (int i = 0; i < 10; ++i) {
+    const std::int64_t id =
+        w.append(SparseVector({0}, {1.0}), i % 2 == 0 ? 1.0 : -1.0);
+    EXPECT_EQ(id, i);  // the k-th append to a fresh window gets id k
+  }
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.total_appended(), 10);
+  const WindowSnapshot snap = w.snapshot("m");
+  ASSERT_EQ(snap.ids.size(), 4u);
+  // The four survivors are the most recent appends, oldest first.
+  EXPECT_EQ(snap.ids.front(), 6);
+  EXPECT_EQ(snap.ids.back(), 9);
+}
+
+TEST(TrainWindow, SnapshotCapturesLabelsAndClassBalance) {
+  SlidingWindow w(8);
+  w.append(SparseVector({0, 3}, {1.0, 2.0}), 1.0);
+  w.append(SparseVector({1}, {-1.0}), -1.0);
+  w.append(SparseVector({5}, {0.5}), 1.0);
+  const WindowSnapshot snap = w.snapshot("m");
+  EXPECT_EQ(snap.positives, 2);
+  EXPECT_EQ(snap.negatives, 1);
+  EXPECT_TRUE(snap.trainable());
+  EXPECT_EQ(snap.ds.rows(), 3);
+  EXPECT_EQ(snap.ds.X.cols(), 6);  // widest live example decides
+  ASSERT_EQ(snap.ds.y.size(), 3u);
+  EXPECT_EQ(snap.ds.y[0], 1.0);
+  EXPECT_EQ(snap.ds.y[1], -1.0);
+}
+
+TEST(TrainWindow, OneClassWindowIsNotTrainable) {
+  SlidingWindow w(8);
+  w.append(SparseVector({0}, {1.0}), 1.0);
+  w.append(SparseVector({1}, {1.0}), 1.0);
+  EXPECT_FALSE(w.snapshot("m").trainable());
+}
+
+TEST(TrainWindow, DigestTracksContentNotJustIds) {
+  SlidingWindow a(4), b(4), c(4);
+  a.append(SparseVector({0}, {1.0}), 1.0);
+  a.append(SparseVector({1}, {2.0}), -1.0);
+  b.append(SparseVector({0}, {1.0}), 1.0);
+  b.append(SparseVector({1}, {2.0}), -1.0);
+  c.append(SparseVector({0}, {1.0}), 1.0);
+  c.append(SparseVector({1}, {2.5}), -1.0);  // same ids, one value differs
+  EXPECT_EQ(a.snapshot("m").digest, b.snapshot("m").digest);
+  EXPECT_NE(a.snapshot("m").digest, c.snapshot("m").digest);
+}
+
+TEST(TrainWindow, RejectsNonBinaryLabels) {
+  SlidingWindow w(4);
+  EXPECT_THROW(w.append(SparseVector({0}, {1.0}), 0.5), Error);
+}
+
+// --- SMO warm start ------------------------------------------------------
+
+struct Solved {
+  SolveStats stats;
+  SvmModel model;
+  std::vector<real_t> alpha;
+};
+
+Solved solve_snapshot(const WindowSnapshot& snap, const SvmParams& params,
+                      const std::vector<real_t>* warm_seed = nullptr,
+                      index_t* seeded_out = nullptr) {
+  const AnyMatrix x = AnyMatrix::from_coo(snap.ds.X, Format::kCSR);
+  FormatKernelEngine engine(x, params.kernel);
+  KernelCache cache(engine, params.cache_bytes);
+  SmoSolver solver(cache, snap.ds.y, params);
+  if (warm_seed != nullptr) {
+    const index_t seeded = solver.warm_start(*warm_seed);
+    if (seeded_out != nullptr) *seeded_out = seeded;
+  }
+  Solved out;
+  out.stats = solver.solve();
+  out.model =
+      build_model(x, snap.ds.y, solver.alpha(), solver.rho(), params.kernel);
+  out.alpha.assign(solver.alpha().begin(), solver.alpha().end());
+  return out;
+}
+
+// The warm-start satellite: retraining on the slid window W u dW seeded
+// from W's solution must reach the same KKT gap as a cold solve, score
+// overlapping data near-identically, and spend strictly fewer iterations.
+TEST(SmoWarmStart, MatchesColdSolveWithFewerIterations) {
+  const index_t d = 16;
+  const std::vector<Example> stream = make_stream(240, d, 0x77A);
+  const SvmParams params = gaussian_params(4.0, 1e-3);
+
+  // Previous window W = [0, 160); the window slides to W' = [60, 240).
+  const WindowSnapshot w1 = window_snapshot(stream, 0, 160, 160);
+  const WindowSnapshot w2 = window_snapshot(stream, 0, 240, 180);
+  ASSERT_TRUE(w1.trainable());
+  ASSERT_TRUE(w2.trainable());
+  const Solved prev = solve_snapshot(w1, params);
+  ASSERT_TRUE(prev.stats.converged);
+
+  const Solved cold = solve_snapshot(w2, params);
+  ASSERT_TRUE(cold.stats.converged);
+
+  // Map W's alphas onto the ids that survived the slide, as the trainer
+  // does (new rows seed at zero).
+  std::vector<real_t> seed(w2.ids.size(), 0.0);
+  for (std::size_t k = 0; k < w2.ids.size(); ++k) {
+    const std::int64_t id = w2.ids[k];
+    for (std::size_t j = 0; j < w1.ids.size(); ++j) {
+      if (w1.ids[j] == id) {
+        seed[k] = prev.alpha[j];
+        break;
+      }
+    }
+  }
+  index_t seeded = 0;
+  const Solved warm = solve_snapshot(w2, params, &seed, &seeded);
+  ASSERT_TRUE(warm.stats.converged);
+  EXPECT_GT(seeded, 0);
+
+  // Same KKT gap: both converged under the same tolerance.
+  EXPECT_LE(warm.stats.b_low - warm.stats.b_high, 2.0 * params.tolerance);
+  EXPECT_LE(cold.stats.b_low - cold.stats.b_high, 2.0 * params.tolerance);
+
+  // Strictly fewer iterations on the overlapping window (warm_start
+  // restarts the iteration counter, so the counts are comparable work).
+  EXPECT_LT(warm.stats.iterations, cold.stats.iterations);
+
+  // Decision-value equivalence on held-out probes, bounded by the solver
+  // tolerance (two tolerance-converged solves of the same dual).
+  const std::vector<Example> probes = make_stream(64, d, 0xF00D);
+  for (const Example& p : probes) {
+    EXPECT_NEAR(warm.model.decision(p.x), cold.model.decision(p.x),
+                20.0 * params.tolerance);
+  }
+}
+
+TEST(SmoWarmStart, RepairsInfeasibleSeedToBoxAndEqualityFeasibility) {
+  const index_t d = 12;
+  const std::vector<Example> stream = make_stream(100, d, 0xFEA);
+  const SvmParams params = gaussian_params(2.0, 1e-3);
+  const WindowSnapshot snap = window_snapshot(stream, 0, 100, 100);
+  const Solved base = solve_snapshot(snap, params);
+  ASSERT_TRUE(base.stats.converged);
+
+  // Corrupt the solution the way a window slide does, only harder: scale
+  // past the box, zero a third of the entries (evicted SVs), and inflate
+  // one alpha far beyond C.
+  std::vector<real_t> seed = base.alpha;
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    seed[i] *= 1.7;
+    if (i % 3 == 0) seed[i] = 0.0;
+  }
+  seed[1] = 50.0 * params.c;
+
+  const AnyMatrix x = AnyMatrix::from_coo(snap.ds.X, Format::kCSR);
+  FormatKernelEngine engine(x, params.kernel);
+  KernelCache cache(engine, params.cache_bytes);
+  SmoSolver solver(cache, snap.ds.y, params);
+  solver.warm_start(seed);
+
+  // SMO's pairwise updates preserve the start's feasibility — so the seed
+  // must already be inside the box and on the equality constraint.
+  real_t dot = 0.0;
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    const real_t a = solver.alpha()[i];
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, params.c + 1e-12);
+    dot += a * snap.ds.y[i];
+  }
+  EXPECT_NEAR(dot, 0.0, 1e-9);
+
+  const SolveStats stats = solver.solve();
+  EXPECT_TRUE(stats.converged);
+}
+
+TEST(SmoWarmStart, AllZeroSeedBehavesLikeColdStart) {
+  const index_t d = 8;
+  const std::vector<Example> stream = make_stream(60, d, 0xC01D);
+  const SvmParams params = gaussian_params();
+  const WindowSnapshot snap = window_snapshot(stream, 0, 60, 60);
+
+  const Solved cold = solve_snapshot(snap, params);
+  const std::vector<real_t> zeros(snap.ids.size(), 0.0);
+  index_t seeded = 99;
+  const Solved warm = solve_snapshot(snap, params, &zeros, &seeded);
+  EXPECT_EQ(seeded, 0);
+  EXPECT_EQ(warm.stats.iterations, cold.stats.iterations);
+  EXPECT_EQ(warm.stats.objective, cold.stats.objective);
+}
+
+// --- trainer daemon core -------------------------------------------------
+
+TrainerModelConfig model_config(const std::string& name,
+                                const std::string& path,
+                                std::size_t window = 256) {
+  TrainerModelConfig cfg;
+  cfg.name = name;
+  cfg.model_path = path;
+  cfg.window_capacity = window;
+  return cfg;
+}
+
+TrainerOptions trainer_options() {
+  TrainerOptions opts;
+  opts.svm = gaussian_params();
+  return opts;
+}
+
+void ingest_all(ContinuousTrainer& t, const std::string& name,
+                const std::vector<Example>& stream, std::size_t from,
+                std::size_t to) {
+  for (std::size_t r = from; r < to && r < stream.size(); ++r) {
+    ASSERT_EQ(t.ingest(name, stream[r].x, stream[r].label),
+              serve::Status::kOk);
+  }
+}
+
+TEST(ContinuousTrainer, IngestValidationAndUnknownModels) {
+  ContinuousTrainer trainer(trainer_options());
+  trainer.add_model(model_config("m", temp_path("validate_model.txt")));
+  EXPECT_EQ(trainer.ingest("nope", SparseVector({0}, {1.0}), 1.0),
+            serve::Status::kUnknownModel);
+  EXPECT_EQ(trainer.ingest("m", SparseVector({0}, {1.0}), 0.5),
+            serve::Status::kBadFrame);
+  EXPECT_EQ(trainer.ingest("m", SparseVector({0}, {1.0}), 1.0),
+            serve::Status::kOk);
+  const TrainerModelStats s = trainer.model_stats("m");
+  EXPECT_EQ(s.ingested, 1);
+  EXPECT_EQ(s.rejected_labels, 1);
+  EXPECT_EQ(s.window_size, 1u);
+}
+
+TEST(ContinuousTrainer, TrainOnceProducesLoadableModelAndMonotoneVersions) {
+  const std::string path = temp_path("monotone_model.txt");
+  const std::vector<Example> stream = make_stream(160, 12, 0x3E0);
+  ContinuousTrainer trainer(trainer_options());
+  trainer.add_model(model_config("m", path));
+
+  // A one-class window must not train.
+  ASSERT_EQ(trainer.ingest("m", SparseVector({0}, {1.0}), 1.0),
+            serve::Status::kOk);
+  EXPECT_FALSE(trainer.train_once("m"));
+  EXPECT_EQ(trainer.model_stats("m").version, 0);
+
+  ingest_all(trainer, "m", stream, 0, 100);
+  ASSERT_TRUE(trainer.train_once("m"));
+  const TrainerModelStats v1 = trainer.model_stats("m");
+  EXPECT_EQ(v1.version, 1);
+  EXPECT_EQ(v1.trains_total, 1);
+  EXPECT_GT(v1.last_iterations, 0);
+  EXPECT_EQ(v1.last_warm_seeded, 0);  // nothing to warm start from yet
+  const SvmModel m1 = load_model_file(path);  // atomic + CRC-verified
+  EXPECT_GT(m1.support_vectors.size(), 0u);
+
+  // Slide the window and retrain: the version moves and the previous
+  // solution seeds the solver.
+  ingest_all(trainer, "m", stream, 100, 160);
+  ASSERT_TRUE(trainer.train_once("m"));
+  const TrainerModelStats v2 = trainer.model_stats("m");
+  EXPECT_EQ(v2.version, 2);
+  EXPECT_GT(v2.last_warm_seeded, 0);
+  (void)load_model_file(path);
+}
+
+TEST(ContinuousTrainer, CadenceThreadRetrainsWithoutExplicitTicks) {
+  const std::string path = temp_path("cadence_model.txt");
+  const std::vector<Example> stream = make_stream(80, 10, 0xCAD);
+  TrainerOptions opts = trainer_options();
+  opts.retrain_interval_ms = 20.0;
+  opts.min_new_examples = 10;
+  ContinuousTrainer trainer(opts);
+  trainer.add_model(model_config("m", path));
+  trainer.start();
+  ingest_all(trainer, "m", stream, 0, 80);
+  // The cadence loop owns the retrain; poll until one lands.
+  for (int spin = 0; spin < 400; ++spin) {
+    if (trainer.model_stats("m").trains_total > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  trainer.stop();
+  EXPECT_GT(trainer.model_stats("m").trains_total, 0);
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_TRUE(trainer.idle());
+}
+
+TEST(ContinuousTrainer, ResumesFromCheckpointAfterMidSaveKill) {
+  const std::string path = temp_path("resume_model.txt");
+  const std::string ckpt = path + ".ckpt";
+  remove_checkpoint(ckpt);
+  remove_checkpoint(ckpt + ".ids");
+  const std::vector<Example> stream = make_stream(150, 16, 0xDEAD);
+  TrainerOptions opts = trainer_options();
+  opts.svm = gaussian_params(8.0, 1e-4);  // long solve => many checkpoints
+  opts.checkpoint_interval = 3;
+
+  {
+    ContinuousTrainer victim(opts);
+    victim.add_model(model_config("m", path));
+    ingest_all(victim, "m", stream, 0, stream.size());
+    failpoint::Spec spec;
+    spec.action = failpoint::Action::kError;
+    spec.skip = 1;  // first save lands, second one "crashes the process"
+    spec.limit = 1;
+    failpoint::Scoped fp("svm.checkpoint.save", spec);
+    EXPECT_FALSE(victim.train_once("m"));
+    EXPECT_EQ(failpoint::trigger_count("svm.checkpoint.save"), 1u);
+    EXPECT_EQ(victim.model_stats("m").train_failures_total, 1);
+    EXPECT_TRUE(file_exists(ckpt));
+  }  // trainer destroyed: simulated process death
+
+  ContinuousTrainer reborn(opts);
+  reborn.add_model(model_config("m", path));
+  // Replay the identical stream: deterministic ids + matching content
+  // digest let the solve resume from the surviving checkpoint.
+  ingest_all(reborn, "m", stream, 0, stream.size());
+  ASSERT_TRUE(reborn.train_once("m"));
+  const TrainerModelStats s = reborn.model_stats("m");
+  EXPECT_TRUE(s.last_resumed_from_checkpoint);
+  EXPECT_EQ(s.version, 1);
+  EXPECT_FALSE(file_exists(ckpt));  // converged solve cleans up
+  (void)load_model_file(path);
+}
+
+TEST(ContinuousTrainer, SidecarContentMismatchPreventsResume) {
+  const std::string path = temp_path("mismatch_model.txt");
+  const std::string ckpt = path + ".ckpt";
+  remove_checkpoint(ckpt);
+  remove_checkpoint(ckpt + ".ids");
+  const std::vector<Example> stream = make_stream(150, 16, 0xAAA);
+  TrainerOptions opts = trainer_options();
+  opts.svm = gaussian_params(8.0, 1e-4);
+  opts.checkpoint_interval = 3;
+
+  {
+    ContinuousTrainer victim(opts);
+    victim.add_model(model_config("m", path));
+    ingest_all(victim, "m", stream, 0, stream.size());
+    failpoint::Scoped fp("svm.checkpoint.save",
+                         {failpoint::Action::kError, 0, 1, 1});
+    EXPECT_FALSE(victim.train_once("m"));
+    EXPECT_TRUE(file_exists(ckpt));
+  }
+
+  // A different stream of the SAME length replays the same ids 0..n-1 —
+  // only the content digest can tell the windows apart. Resuming the
+  // checkpoint against these rows would silently corrupt the solve.
+  const std::vector<Example> other = make_stream(150, 16, 0xBBB);
+  ContinuousTrainer diverged(opts);
+  diverged.add_model(model_config("m", path));
+  ingest_all(diverged, "m", other, 0, other.size());
+  ASSERT_TRUE(diverged.train_once("m"));
+  EXPECT_FALSE(diverged.model_stats("m").last_resumed_from_checkpoint);
+}
+
+TEST(ContinuousTrainer, PublishesReloadIntoServeTier) {
+  const std::string path = temp_path("publish_model.txt");
+  const std::string sock = temp_path("publish.sock");
+  const std::vector<Example> stream = make_stream(140, 12, 0x9B);
+
+  TrainerOptions opts = trainer_options();
+  opts.publish_unix = sock;
+  opts.publish_timeout_ms = 2000.0;
+  ContinuousTrainer trainer(opts);
+  trainer.add_model(model_config("m", path));
+
+  // First train happens before the serve tier exists: the publish fails,
+  // is counted, and does not fail the train.
+  ingest_all(trainer, "m", stream, 0, 80);
+  ASSERT_TRUE(trainer.train_once("m"));
+  EXPECT_EQ(trainer.model_stats("m").publish_failures_total, 1);
+
+  serve::ServeOptions sopts;
+  sopts.sched.policy = SchedulePolicy::kFixed;
+  sopts.sched.fixed_format = Format::kCSR;
+  serve::ServeEngine engine(sopts);
+  engine.load_model("m", path);
+  engine.start();
+  serve::ServerOptions lopts;
+  lopts.unix_path = sock;
+  serve::ServeServer server(engine, lopts);
+  server.start();
+  const std::int64_t gen_before = engine.model("m")->content_gen;
+
+  ingest_all(trainer, "m", stream, 80, 140);
+  ASSERT_TRUE(trainer.train_once("m"));
+  const TrainerModelStats s = trainer.model_stats("m");
+  EXPECT_EQ(s.publishes_total, 1);
+  EXPECT_FALSE(s.last_publish_report.empty());
+  // The reload minted a fresh content generation from the new bytes.
+  EXPECT_GT(engine.model("m")->content_gen, gen_before);
+  EXPECT_EQ(engine.stats().reloads_total, 1);
+
+  server.stop();
+  engine.stop();
+}
+
+// --- ingest codec --------------------------------------------------------
+
+TEST(TrainProtocol, IngestRequestRoundTrip) {
+  const SparseVector x({1, 5, 9}, {0.5, -2.0, 3.25});
+  const std::string payload = serve::encode_ingest_request("model-a", -1.0, x);
+  std::string model;
+  real_t label = 0.0;
+  SparseVector out;
+  serve::decode_ingest_request(payload, model, label, out);
+  EXPECT_EQ(model, "model-a");
+  EXPECT_EQ(label, -1.0);
+  ASSERT_EQ(out.nnz(), 3);
+  EXPECT_EQ(out.indices()[2], 9);
+  EXPECT_EQ(out.values()[1], -2.0);
+}
+
+TEST(TrainProtocol, IngestEmptyVectorRoundTrip) {
+  const std::string payload =
+      serve::encode_ingest_request("m", 1.0, SparseVector());
+  std::string model;
+  real_t label = 0.0;
+  SparseVector out;
+  serve::decode_ingest_request(payload, model, label, out);
+  EXPECT_EQ(out.nnz(), 0);
+  EXPECT_EQ(label, 1.0);
+}
+
+TEST(TrainProtocol, IngestRejectsNanLabelAndMalformedPayloads) {
+  EXPECT_THROW(serve::encode_ingest_request(
+                   "m", std::numeric_limits<real_t>::quiet_NaN(),
+                   SparseVector({0}, {1.0})),
+               Error);
+
+  const std::string good =
+      serve::encode_ingest_request("m", 1.0, SparseVector({0, 2}, {1.0, 2.0}));
+  std::string model;
+  real_t label = 0.0;
+  SparseVector out;
+  // Truncation anywhere in the payload must throw, never misparse.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW(serve::decode_ingest_request(good.substr(0, cut), model,
+                                              label, out),
+                 Error);
+  }
+  // Trailing garbage is structural corruption too.
+  EXPECT_THROW(
+      serve::decode_ingest_request(good + "x", model, label, out), Error);
+}
+
+// --- wire surface --------------------------------------------------------
+
+TEST(TrainServer, IngestAndModelsOverUnixSocket) {
+  const std::string path = temp_path("wire_model.txt");
+  const std::string sock = temp_path("wire.sock");
+  const std::vector<Example> stream = make_stream(8, 8, 0x31);
+
+  ContinuousTrainer trainer(trainer_options());
+  trainer.add_model(model_config("m", path));
+  TrainFrameHandler handler(trainer);
+  serve::ServerOptions lopts;
+  lopts.unix_path = sock;
+  serve::ServeServer server(handler, lopts);
+  server.start();
+
+  serve::ServeClient client = serve::ServeClient::connect_unix(sock);
+  EXPECT_TRUE(client.ping());
+  EXPECT_EQ(client.health(), "ready");
+  for (const Example& e : stream) {
+    EXPECT_EQ(client.ingest("m", e.label, e.x), serve::Status::kOk);
+  }
+  std::string message;
+  EXPECT_EQ(client.ingest("ghost", 1.0, SparseVector({0}, {1.0}), &message),
+            serve::Status::kUnknownModel);
+
+  const std::string models = client.models();
+  EXPECT_NE(models.find("model m"), std::string::npos);
+  EXPECT_NE(models.find("ingested 8"), std::string::npos);
+  const std::string stats = client.stats();
+  EXPECT_NE(stats.find("ingested_total 8"), std::string::npos);
+
+  // The trainer is not a scoring tier: predict and reload are refused
+  // without desyncing the connection.
+  EXPECT_EQ(client.predict("m", SparseVector({0}, {1.0})).status,
+            serve::Status::kBadFrame);
+  EXPECT_EQ(client.reload("m"), serve::Status::kBadFrame);
+  EXPECT_TRUE(client.ping());  // connection still healthy
+
+  EXPECT_EQ(trainer.model_stats("m").ingested, 8);
+  server.stop();
+}
+
+TEST(TrainServer, ServeTierRefusesIngestWithoutDesync) {
+  const std::string path = temp_path("refuse_model.txt");
+  const std::string sock = temp_path("refuse.sock");
+  // Host a real model in a real serve engine; ingest belongs to the
+  // trainer and must bounce with kBadFrame, not break the stream.
+  {
+    const std::vector<Example> stream = make_stream(60, 8, 0x91);
+    ContinuousTrainer bootstrap(trainer_options());
+    bootstrap.add_model(model_config("m", path));
+    ingest_all(bootstrap, "m", stream, 0, 60);
+    ASSERT_TRUE(bootstrap.train_once("m"));
+  }
+  serve::ServeEngine engine;
+  engine.load_model("m", path);
+  engine.start();
+  serve::ServerOptions lopts;
+  lopts.unix_path = sock;
+  serve::ServeServer server(engine, lopts);
+  server.start();
+
+  serve::ServeClient client = serve::ServeClient::connect_unix(sock);
+  std::string message;
+  EXPECT_EQ(client.ingest("m", 1.0, SparseVector({0}, {1.0}), &message),
+            serve::Status::kBadFrame);
+  EXPECT_NE(message.find("not supported"), std::string::npos);
+  EXPECT_TRUE(client.ping());
+
+  // The serve tier's models verb carries the reload-observability fields.
+  const std::string models = client.models();
+  EXPECT_NE(models.find("model m version 1"), std::string::npos);
+  EXPECT_NE(models.find("content_gen"), std::string::npos);
+  EXPECT_NE(models.find("layout"), std::string::npos);
+
+  server.stop();
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace ls::train
