@@ -26,13 +26,29 @@
 //   D  fairness     weighted-fair batcher, one worker, slowed scoring:
 //                   tenant A floods 20x tenant B's traffic up front,
 //                   tenant B's paced requests must still meet their
-//                   latency budget (no starvation in either direction).
+//                   latency budget (no starvation in either direction);
+//   E  durable      a journaling trainer is SIGKILLed mid-ingest (forked
+//      ingest       child; in-process stand-in under TSan, where fork is
+//                   unsafe). A fresh trainer on the same journal replays:
+//                   zero acked examples lost, the rebuilt window's content
+//                   digest matches a no-crash control run, and retried
+//                   ingests of already-acked ids are absorbed as
+//                   duplicates with the digest unchanged;
+//   F  disk full    every journal append fails (wal.append failpoint =
+//                   ENOSPC stand-in). Ingest keeps acking in a counted
+//                   degraded memory-only mode — no crash — and once
+//                   writes succeed the journal re-arms by rewriting
+//                   itself from the live window, proven by a restart
+//                   replaying everything including the degraded-era
+//                   examples.
 //
 // Exit is nonzero on any failed assertion; scripts/check.sh runs this
 // under a timeout, plain and under TSan.
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -136,6 +152,9 @@ int run(int argc, char** argv) {
   cli.add_flag("b-p95-budget-ms", "400",
                "tenant B p95 bound in the fairness phase");
   cli.add_flag("seed", "42", "stream RNG seed");
+  cli.add_flag("kill", "auto",
+               "phase E kill mode: fork (real SIGKILL) | inproc (destroy "
+               "the trainer object) | auto (fork, except under TSan)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto d = static_cast<index_t>(cli.get_int("features"));
@@ -460,16 +479,245 @@ int run(int argc, char** argv) {
   }
   fair_engine.stop();
 
+  // ---- Phase E: SIGKILL mid-ingest, restart, durable replay ------------
+  std::string kill_mode = cli.get("kill");
+  if (kill_mode == "auto") {
+#if defined(__SANITIZE_THREAD__)
+    kill_mode = "inproc";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    kill_mode = "inproc";
+#else
+    kill_mode = "fork";
+#endif
+#else
+    kill_mode = "fork";
+#endif
+  }
+  EXPECT_MSG(kill_mode == "fork" || kill_mode == "inproc",
+             "--kill must be fork|inproc|auto\n");
+  std::printf("[E] durable ingest: %s-kill a journaling trainer "
+              "mid-burst, restart, replay\n", kill_mode.c_str());
+
+  const std::vector<Example> stream_e = make_stream(400, d, seed + 2);
+  constexpr std::size_t kDurableWindow = 128;
+  const std::string durable_path = (dir / "durable_model.txt").string();
+  ls::train::TrainerOptions eopts;
+  eopts.svm = topts.svm;
+  // Tiny segments force rotation + retention inside the kill window, so
+  // replay also covers a journal whose oldest records were retired.
+  eopts.wal_segment_bytes = 4096;
+  const auto add_durable_model = [&](ls::train::ContinuousTrainer& t) {
+    ls::train::TrainerModelConfig cfg;
+    cfg.name = "durable";
+    cfg.model_path = durable_path;
+    cfg.window_capacity = kDurableWindow;
+    cfg.wal_dir = durable_path + ".wal";
+    t.add_model(cfg);
+  };
+  const auto ingest_with_id = [&](ls::train::ContinuousTrainer& t,
+                                  std::size_t r, std::string* msg) {
+    return t.ingest("durable", stream_e[r].x, stream_e[r].label, msg,
+                    static_cast<std::int64_t>(r));
+  };
+
+  std::size_t acked = 0;  // lower bound on acked-and-confirmed examples
+  if (kill_mode == "fork") {
+    int ack_pipe[2] = {-1, -1};
+    EXPECT_MSG(::pipe(ack_pipe) == 0, "pipe() failed\n");
+    const ::pid_t child = ::fork();
+    if (child == 0) {
+      // Child: plain sequential ingest, one ack byte per kOk — the byte
+      // is the client's proof the example was acknowledged. SIGKILL can
+      // land between any two steps; no cleanup runs.
+      ::close(ack_pipe[0]);
+      ls::train::ContinuousTrainer victim(eopts);
+      add_durable_model(victim);
+      for (std::size_t r = 0; r < stream_e.size(); ++r) {
+        if (ingest_with_id(victim, r, nullptr) == ls::serve::Status::kOk) {
+          (void)!::write(ack_pipe[1], "a", 1);
+        }
+      }
+      ::close(ack_pipe[1]);
+      ::_exit(0);
+    }
+    ::close(ack_pipe[1]);
+    // Kill mid-burst: wait for a healthy chunk of acks, then SIGKILL with
+    // the stream still flowing.
+    constexpr std::size_t kKillAfter = 150;
+    char buf[64];
+    while (acked < kKillAfter) {
+      const ::ssize_t n = ::read(ack_pipe[0], buf, sizeof(buf));
+      if (n <= 0) break;
+      acked += static_cast<std::size_t>(n);
+    }
+    EXPECT_MSG(acked >= kKillAfter,
+               "child finished before the kill (%zu acks)\n", acked);
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(child, &wstatus, 0);
+    EXPECT_MSG(WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL,
+               "child did not die from SIGKILL\n");
+    // Acks already in flight in the pipe were acked before death — count
+    // every one of them; "zero acked examples lost" is measured against
+    // this total.
+    for (;;) {
+      const ::ssize_t n = ::read(ack_pipe[0], buf, sizeof(buf));
+      if (n <= 0) break;
+      acked += static_cast<std::size_t>(n);
+    }
+    ::close(ack_pipe[0]);
+  } else {
+    // In-process stand-in (fork is unsafe under TSan): ingest a prefix,
+    // then drop the trainer object with no orderly journal close.
+    constexpr std::size_t kInprocAcked = 200;
+    ls::train::ContinuousTrainer victim(eopts);
+    add_durable_model(victim);
+    for (std::size_t r = 0; r < kInprocAcked; ++r) {
+      if (ingest_with_id(victim, r, nullptr) == ls::serve::Status::kOk) {
+        ++acked;
+      }
+    }
+  }
+
+  std::int64_t wal_replayed = 0;
+  {
+    ls::train::ContinuousTrainer reborn(eopts);
+    add_durable_model(reborn);
+    ls::train::TrainerModelStats rs = reborn.model_stats("durable");
+    wal_replayed = rs.journal_replayed;
+    // Zero acked examples lost: every confirmed ack is in the rebuilt
+    // window (the journal may hold a final un-acked straggler too).
+    EXPECT_MSG(rs.journal_replayed >= static_cast<std::int64_t>(acked),
+               "replay lost acked examples: %lld rebuilt < %zu acked\n",
+               static_cast<long long>(rs.journal_replayed), acked);
+    EXPECT_MSG(rs.journal_quarantines_total == 0,
+               "replay quarantined a journal the crash should not have "
+               "corrupted\n");
+    EXPECT_MSG(!rs.journal_degraded, "replayed trainer came up degraded\n");
+
+    // Digest check: a no-crash control run over the same prefix must land
+    // on the identical window content.
+    const auto replayed_n = static_cast<std::size_t>(rs.journal_replayed);
+    ls::train::ContinuousTrainer control(topts);
+    {
+      ls::train::TrainerModelConfig cfg;
+      cfg.name = "durable";
+      cfg.model_path = (dir / "durable_control.txt").string();
+      cfg.window_capacity = kDurableWindow;
+      control.add_model(cfg);
+    }
+    for (std::size_t r = 0; r < replayed_n; ++r) {
+      (void)control.ingest("durable", stream_e[r].x, stream_e[r].label);
+    }
+    const std::uint64_t control_digest =
+        control.model_stats("durable").window_digest;
+    EXPECT_MSG(rs.window_digest == control_digest,
+               "rebuilt window digest %llx != no-crash digest %llx\n",
+               static_cast<unsigned long long>(rs.window_digest),
+               static_cast<unsigned long long>(control_digest));
+
+    // Idempotent retries: re-sending the last window's worth of acked ids
+    // is absorbed — every one a duplicate, digest untouched.
+    const std::size_t dup_from =
+        replayed_n > kDurableWindow ? replayed_n - kDurableWindow : 0;
+    std::size_t dup_absorbed = 0;
+    for (std::size_t r = dup_from; r < replayed_n; ++r) {
+      std::string msg;
+      if (ingest_with_id(reborn, r, &msg) == ls::serve::Status::kOk &&
+          msg == "duplicate") {
+        ++dup_absorbed;
+      }
+    }
+    rs = reborn.model_stats("durable");
+    EXPECT_MSG(dup_absorbed == replayed_n - dup_from,
+               "retried acked ids not all deduped: %zu of %zu\n",
+               dup_absorbed, replayed_n - dup_from);
+    EXPECT_MSG(rs.window_digest == control_digest,
+               "duplicate retries changed the window digest\n");
+    EXPECT_MSG(rs.duplicates_total >=
+                   static_cast<std::int64_t>(dup_absorbed),
+               "duplicates_total undercounts\n");
+    // And the rebuilt window trains.
+    EXPECT_MSG(reborn.train_once("durable"),
+               "post-crash rebuilt window failed to train\n");
+    std::printf("[E] acked>=%zu replayed=%lld duplicates=%lld digest ok\n",
+                acked, static_cast<long long>(wal_replayed),
+                static_cast<long long>(rs.duplicates_total));
+  }
+
+  // ---- Phase F: disk full — degraded ingest, re-arm, full recovery -----
+  std::printf("[F] ENOSPC: journal appends fail, ingest must keep acking "
+              "(degraded), then re-arm\n");
+  const std::string enospc_path = (dir / "enospc_model.txt").string();
+  ls::train::TrainerOptions fopts_wal = eopts;
+  std::uint64_t live_digest = 0;
+  std::size_t live_size = 0;
+  {
+    ls::train::ContinuousTrainer t(fopts_wal);
+    ls::train::TrainerModelConfig cfg;
+    cfg.name = "durable";
+    cfg.model_path = enospc_path;
+    cfg.window_capacity = kDurableWindow;
+    cfg.wal_dir = enospc_path + ".wal";
+    t.add_model(cfg);
+    for (std::size_t r = 0; r < 20; ++r) {
+      EXPECT_MSG(ingest_with_id(t, r, nullptr) == ls::serve::Status::kOk,
+                 "pre-ENOSPC ingest %zu failed\n", r);
+    }
+    {
+      ls::failpoint::Scoped fp("wal.append");
+      for (std::size_t r = 20; r < 40; ++r) {
+        EXPECT_MSG(ingest_with_id(t, r, nullptr) == ls::serve::Status::kOk,
+                   "ingest %zu failed under ENOSPC (must ack degraded)\n",
+                   r);
+      }
+      EXPECT_MSG(t.journal_degraded(),
+                 "trainer not degraded while every append fails\n");
+      EXPECT_MSG(t.model_stats("durable").journal_failures_total >= 1,
+                 "degraded mode not counted\n");
+    }
+    // Space is back: the next ingest re-arms (journal rewritten from the
+    // live window) and the degraded flag clears.
+    EXPECT_MSG(ingest_with_id(t, 40, nullptr) == ls::serve::Status::kOk,
+               "post-ENOSPC ingest failed\n");
+    EXPECT_MSG(!t.journal_degraded(), "journal did not re-arm\n");
+    const ls::train::TrainerModelStats fs = t.model_stats("durable");
+    EXPECT_MSG(fs.journal_rearms_total >= 1, "re-arm not counted\n");
+    live_digest = fs.window_digest;
+    live_size = fs.window_size;
+  }
+  {
+    // Restart: the rewritten journal holds everything, including the
+    // examples acked while the disk was full.
+    ls::train::ContinuousTrainer t(fopts_wal);
+    ls::train::TrainerModelConfig cfg;
+    cfg.name = "durable";
+    cfg.model_path = enospc_path;
+    cfg.window_capacity = kDurableWindow;
+    cfg.wal_dir = enospc_path + ".wal";
+    t.add_model(cfg);
+    const ls::train::TrainerModelStats fs = t.model_stats("durable");
+    EXPECT_MSG(fs.window_size == live_size,
+               "post-ENOSPC replay lost examples: %zu != %zu\n",
+               fs.window_size, live_size);
+    EXPECT_MSG(fs.window_digest == live_digest,
+               "post-ENOSPC replay digest mismatch\n");
+    std::printf("[F] degraded acked=20 rearmed, restart replayed %zu "
+                "examples, digest ok\n", fs.window_size);
+  }
+
   // ---- Verdict ---------------------------------------------------------
   ls::CsvWriter csv(ls::bench::csv_path("train_serve_chaos"),
                     {"burst_ok", "burst_shed", "burst_errors", "burst_lost",
                      "publishes", "cold_iterations", "b_p95_ms",
-                     "failures"});
+                     "wal_acked", "wal_replayed", "failures"});
   csv.write_row({std::to_string(ok), std::to_string(shed),
                  std::to_string(errors), std::to_string(lost),
                  std::to_string(tstats.publishes_total),
                  std::to_string(cold_iterations),
                  ls::fmt_double(percentile(b_ms, 0.95), 1),
+                 std::to_string(acked), std::to_string(wal_replayed),
                  std::to_string(g_failures)});
   ls::bench::finish(csv, "train_serve_chaos");
 

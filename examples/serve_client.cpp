@@ -16,9 +16,12 @@
 //             active layout) — or, against a trainer, each training stream
 //   ingest    stream labeled rows of --data into a trainer daemon's
 //             sliding window (--count total, cycling; 0 = one pass);
-//             prints ingested= rejected= and exits non-zero on any
-//             transport error — ingest is deliberately never retried,
-//             a duplicated append would skew the window
+//             prints ingested= duplicates= rejected= and exits non-zero
+//             on any transport error. Each row carries the dedup id
+//             --id-base + r, so sends are idempotent and retried with
+//             backoff like every other verb — even across a trainer
+//             restart (the journal-backed dedup set survives it). Pass
+//             --id-base -1 to opt out of dedup; then nothing is retried
 //   reload    ask the server to hot-reload --model from its source path
 //   shutdown  stop the daemon
 //
@@ -203,24 +206,35 @@ int run_ingest(const ls::CliParser& cli) {
   auto count = static_cast<std::size_t>(cli.get_int("count"));
   if (count == 0) count = rows;
 
+  const std::int64_t id_base = cli.get_int("id-base");
   ServeClient client = connect(cli);
-  std::size_t ingested = 0, rejected = 0;
+  std::size_t ingested = 0, duplicates = 0, rejected = 0;
   ls::SparseVector x;
   for (std::size_t r = 0; r < count; ++r) {
     const auto i = static_cast<ls::index_t>(r % rows);
     ds.X.gather_row(i, x);
+    // id-base -1 disables dedup AND retries (see ServeClient::ingest);
+    // any other base makes example r globally identifiable as base + r.
+    const std::int64_t id =
+        id_base < 0 ? -1 : id_base + static_cast<std::int64_t>(r);
     std::string message;
-    const ls::serve::Status s =
-        client.ingest(model, ds.y[static_cast<std::size_t>(i)], x, &message);
+    const ls::serve::Status s = client.ingest(
+        model, id, ds.y[static_cast<std::size_t>(i)], x, &message);
     if (s == ls::serve::Status::kOk) {
-      ++ingested;
+      if (message == "duplicate") {
+        ++duplicates;
+      } else {
+        ++ingested;
+      }
     } else {
       ++rejected;
       std::fprintf(stderr, "ingest row %zu: status=%s %s\n", r,
                    ls::serve::status_name(s), message.c_str());
     }
   }
-  std::printf("ingested=%zu rejected=%zu\n", ingested, rejected);
+  std::printf("ingested=%zu duplicates=%zu rejected=%zu retries=%lld\n",
+              ingested, duplicates, rejected,
+              static_cast<long long>(client.retries_observed()));
   return rejected == 0 ? 0 : 1;
 }
 
@@ -239,6 +253,9 @@ int run(int argc, char** argv) {
                "total requests in bench mode; examples to stream in ingest "
                "mode (0 = one pass over --data)");
   cli.add_flag("concurrency", "8", "concurrent connections in bench mode");
+  cli.add_flag("id-base", "0",
+               "ingest mode: dedup id of the first streamed example "
+               "(example r gets id-base + r; -1 = no dedup, no retries)");
   cli.add_flag("retries", "0",
                "retry idempotent requests up to N times across reconnects");
   cli.add_flag("timeout-ms", "0",

@@ -86,6 +86,14 @@ int run(int argc, char** argv) {
                "arrived since the last retrain");
   cli.add_flag("checkpoint-interval", "256",
                "solver iterations between mid-solve checkpoint saves");
+  cli.add_flag("no-wal", "false",
+               "disable the ingest journal: acked examples are memory-only "
+               "and a crash loses the window (by default every model "
+               "journals to <model_path>.wal and replays it on startup)");
+  cli.add_flag("wal-sync", "always",
+               "journal fsync policy: always (acked implies durable) | "
+               "rotate (fsync per segment) | never (OS decides)");
+  cli.add_flag("wal-segment-bytes", "262144", "journal segment size");
   cli.add_flag("publish-socket", "",
                "serve daemon or router unix socket to publish reloads to");
   cli.add_flag("publish-port", "-1",
@@ -120,6 +128,19 @@ int run(int argc, char** argv) {
   opts.publish_unix = cli.get("publish-socket");
   opts.publish_tcp = static_cast<int>(cli.get_int("publish-port"));
   opts.publish_timeout_ms = cli.get_double("publish-timeout-ms");
+  const std::string wal_sync = cli.get("wal-sync");
+  if (wal_sync == "always") {
+    opts.wal_sync = ls::WalSyncPolicy::kAlways;
+  } else if (wal_sync == "rotate") {
+    opts.wal_sync = ls::WalSyncPolicy::kRotate;
+  } else if (wal_sync == "never") {
+    opts.wal_sync = ls::WalSyncPolicy::kNever;
+  } else {
+    LS_CHECK(false, "--wal-sync must be always|rotate|never, got '"
+                        << wal_sync << "'");
+  }
+  opts.wal_segment_bytes =
+      static_cast<std::size_t>(cli.get_int("wal-segment-bytes"));
 
   ls::serve::ServerOptions listen;
   listen.unix_path = cli.get("socket");
@@ -135,14 +156,20 @@ int run(int argc, char** argv) {
 
   ls::train::ContinuousTrainer trainer(opts);
   const auto window = static_cast<std::size_t>(cli.get_int("window"));
+  const bool no_wal = cli.get_bool("no-wal");
   for (const auto& [name, path] : parse_models(cli.get("models"))) {
     ls::train::TrainerModelConfig cfg;
     cfg.name = name;
     cfg.model_path = path;
     cfg.window_capacity = window;
+    if (!no_wal) cfg.wal_dir = path + ".wal";
     trainer.add_model(cfg);
-    std::printf("training %-16s -> %s  (window=%zu)\n", name.c_str(),
-                path.c_str(), window);
+    const ls::train::TrainerModelStats ms = trainer.model_stats(name);
+    std::printf("training %-16s -> %s  (window=%zu journal=%s replayed=%lld)\n",
+                name.c_str(), path.c_str(), window,
+                no_wal ? "off"
+                       : ms.journal_degraded ? "degraded" : cfg.wal_dir.c_str(),
+                static_cast<long long>(ms.journal_replayed));
   }
   trainer.start();
 

@@ -373,8 +373,11 @@ PY
   # Second half of the stream drives fresh retrains whose accepted models
   # are published as live reloads, while a retrying predict bench hammers
   # the same serving socket — its exit code asserts zero lost requests.
+  # Ids continue from the first batch: ingest is deduped by id now, so a
+  # reused id range would be absorbed as duplicates and starve the
+  # retrain cadence.
   "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
-    --model demo --data "${base}_train.libsvm" --count 250 &
+    --model demo --data "${base}_train.libsvm" --count 250 --id-base 250 &
   local ingest_pid=$!
   "./${build_dir}/examples/serve_client" --socket "${ssock}" \
     --mode bench --model demo --data "${base}_test.libsvm" \
@@ -414,7 +417,139 @@ PY
       echo "daemon leaked connections (${log})"; cat "${log}"; exit 1; }
   done
   echo "train-serve smoke OK: stream ingested, reload published live, zero lost"
-  rm -f "${base}"_*
+  # -r: the trainer's default ingest journal is a directory (<model>.wal).
+  rm -rf "${base}"_*
+}
+
+wal_smoke() {
+  # Durable-ingest smoke (DESIGN.md §18) with real processes: SIGKILL a
+  # journaling train_tool mid-ingest-burst, restart it on the same
+  # journal, and prove (1) every acked example was replayed into the
+  # rebuilt window, (2) retried sends of acked ids are absorbed as
+  # duplicates, and (3) the revived loop still retrains and publishes a
+  # live reload into a serve daemon.
+  local build_dir="$1"
+  echo "==> wal smoke (${build_dir})"
+  local base tsock ssock tlog t2log slog blog model
+  base="$(mktemp -u /tmp/ls_wal_smoke.XXXXXX)"
+  tsock="${base}_trainer.sock"
+  ssock="${base}_serve.sock"
+  tlog="${base}_trainer.log"
+  t2log="${base}_trainer2.log"
+  slog="${base}_serve.log"
+  blog="${base}_burst.log"
+  model="${base}_model.txt"
+  python3 - "${base}" <<'PY'
+import random, sys
+base = sys.argv[1]
+rng = random.Random(0xD00D5EED)
+with open(base + "_train.libsvm", "w") as f:
+    for _ in range(500):
+        label = 1 if rng.random() < 0.5 else -1
+        cols = sorted(rng.sample(range(1, 25), 12))
+        row = " ".join(f"{c}:{rng.gauss(0.4 * label, 1.0):.6f}"
+                       for c in cols)
+        f.write(f"{label} {row}\n")
+PY
+  local trainer_flags=(--models demo="${model}" --window 600
+                       --retrain-interval-ms 200 --min-new 50
+                       --publish-socket "${ssock}" --drain-ms 5000)
+  "./${build_dir}/examples/train_tool" --socket "${tsock}" \
+    "${trainer_flags[@]}" >"${tlog}" &
+  local trainer_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${tsock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${tsock}" ]] || { echo "train_tool never came up"; cat "${tlog}"; exit 1; }
+  grep -q "journal=${model}.wal" "${tlog}" || {
+    echo "train_tool did not open its journal"; cat "${tlog}"; exit 1; }
+  # Burst 1 completes: 250 examples, every one acked (and therefore,
+  # under the default --wal-sync always, durable).
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
+    --model demo --data "${base}_train.libsvm" --count 250 \
+    | grep -q 'ingested=250 duplicates=0 rejected=0' || {
+    echo "burst 1 was not fully acked"; cat "${tlog}"; exit 1; }
+  # Burst 2 is in flight when the trainer takes a SIGKILL: no drain, no
+  # flush, no destructors. The client loses its connection mid-retry and
+  # exits non-zero — expected. The burst cycles the stream (500 sends)
+  # so the kill reliably lands with ingest traffic on the wire.
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
+    --model demo --data "${base}_train.libsvm" --count 500 --id-base 250 \
+    --retries 2 >"${blog}" 2>&1 &
+  local burst_pid=$!
+  sleep 0.05
+  kill -KILL "${trainer_pid}" 2>/dev/null || true
+  wait "${trainer_pid}" 2>/dev/null || true
+  wait "${burst_pid}" 2>/dev/null || true
+  # The SIGKILLed trainer leaves its socket file behind; remove it so the
+  # readiness loop below waits for the *restarted* trainer's bind (which
+  # happens only after journal replay) instead of passing on the corpse.
+  rm -f "${tsock}"
+  # Restart on the same journal: the startup banner reports the replay.
+  "./${build_dir}/examples/train_tool" --socket "${tsock}" \
+    "${trainer_flags[@]}" >"${t2log}" &
+  trainer_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${tsock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${tsock}" ]] || { echo "train_tool never came back"; cat "${t2log}"; exit 1; }
+  local replayed
+  replayed="$(grep -oE 'replayed=[0-9]+' "${t2log}" | head -1 | cut -d= -f2 || true)"
+  [[ -n "${replayed}" && "${replayed}" -ge 250 ]] || {
+    echo "replay lost acked examples (replayed=${replayed:-none}, want >=250)"
+    cat "${t2log}"; exit 1; }
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode health \
+    | grep -q ready || { echo "revived trainer not ready"; exit 1; }
+  # Retrying burst 1 verbatim: every id was acked before the kill, so all
+  # 250 must be absorbed as duplicates — the idempotency the wire-level
+  # retry policy is built on.
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
+    --model demo --data "${base}_train.libsvm" --count 250 \
+    | grep -q 'ingested=0 duplicates=250 rejected=0' || {
+    echo "acked ids were not deduplicated after the restart"; exit 1; }
+  # Re-sending burst 2 finishes the stream: whatever was acked pre-kill
+  # dedupes, the rest ingests fresh — either way nothing is rejected, and
+  # the fresh examples drive a retrain that must publish into a live
+  # serve tier.
+  for _ in $(seq 1 150); do
+    [[ -f "${model}" ]] && break
+    sleep 0.1
+  done
+  [[ -f "${model}" ]] || { echo "revived trainer never wrote a model"; cat "${t2log}"; exit 1; }
+  "./${build_dir}/examples/serve_tool" --socket "${ssock}" \
+    --models demo="${model}" --workers 2 --drain-ms 5000 >"${slog}" &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${ssock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${ssock}" ]] || { echo "serve_tool never came up"; cat "${slog}"; exit 1; }
+  "./${build_dir}/examples/serve_client" --socket "${tsock}" --mode ingest \
+    --model demo --data "${base}_train.libsvm" --count 500 --id-base 250 \
+    | grep -q ' rejected=0' || { echo "burst 2 retry was rejected"; exit 1; }
+  local models=""
+  for _ in $(seq 1 150); do
+    models="$("./${build_dir}/examples/serve_client" --socket "${ssock}" \
+      --mode models)"
+    grep -qE 'model demo version ([2-9]|[0-9]{2,})' <<<"${models}" && break
+    models=""
+    sleep 0.1
+  done
+  [[ -n "${models}" ]] || {
+    echo "no post-crash reload ever landed in the serve tier:"
+    "./${build_dir}/examples/serve_client" --socket "${ssock}" --mode models
+    cat "${t2log}"; exit 1; }
+  kill -TERM "${trainer_pid}" "${serve_pid}"
+  if ! wait "${trainer_pid}"; then
+    echo "revived trainer exited non-zero after SIGTERM"; cat "${t2log}"; exit 1
+  fi
+  if ! wait "${serve_pid}"; then
+    echo "serve daemon exited non-zero after SIGTERM"; cat "${slog}"; exit 1
+  fi
+  echo "wal smoke OK: SIGKILL mid-burst, ${replayed} examples replayed, acked ids deduped, reload published"
+  rm -rf "${base}"_* "${model}.wal"
 }
 
 mode="${1:-all}"
@@ -440,6 +575,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--plain-only" ]]; then
   chaos_smoke build
   route_smoke build
   train_serve_smoke build
+  wal_smoke build
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--sanitize-only" ]]; then
@@ -458,6 +594,7 @@ if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
   chaos_smoke build-tsan
   route_smoke build-tsan
   train_serve_smoke build-tsan
+  wal_smoke build-tsan
 fi
 
 echo "==> all checks passed"

@@ -168,6 +168,28 @@ void hit(const char* name) {
   }
 }
 
+bool hit_check(const char* name) {
+  Spec to_run;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(name);
+    if (it == r.sites.end()) return false;
+    State& st = it->second;
+    ++st.hits;
+    if (!st.armed || st.hits <= st.spec.skip) return false;
+    if (st.spec.limit >= 0 && st.triggers >= st.spec.limit) return false;
+    ++st.triggers;
+    ++r.history[name];
+    to_run = st.spec;
+  }
+  if (to_run.action == Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(to_run.delay_ms));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace detail
 
 }  // namespace ls::failpoint

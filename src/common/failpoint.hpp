@@ -46,6 +46,10 @@ namespace detail {
 extern std::atomic<int> g_active;
 /// Slow path: looks `name` up and triggers its action if armed.
 void hit(const char* name);
+/// Slow path for boolean sites: consumes a trigger like hit() but reports
+/// it as a return value instead of throwing (kDelay still sleeps and
+/// reports false — a slow IO is not a failed IO).
+bool hit_check(const char* name);
 }  // namespace detail
 
 /// Arms `name` (replacing any previous activation of the same site).
@@ -70,6 +74,15 @@ inline void evaluate(const char* name) {
   detail::hit(name);
 }
 
+/// Boolean form for sites that model an errno-style failure rather than an
+/// exception — e.g. a short write under ENOSPC, where the caller's own
+/// error handling (not an injected throw) must take over. Returns true
+/// when the armed site fires; false (without side effects) when disarmed.
+inline bool fails(const char* name) {
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return false;
+  return detail::hit_check(name);
+}
+
 /// RAII activation for tests: arms in the constructor, disarms in the
 /// destructor so a failed EXPECT cannot leak an armed site into later tests.
 class Scoped {
@@ -90,3 +103,7 @@ class Scoped {
 
 /// Tags a potential failure site. `name` must be a string literal.
 #define LS_FAILPOINT(name) ::ls::failpoint::evaluate(name)
+
+/// Tags an errno-style failure site: evaluates to true when armed and
+/// firing, so the caller's own failure handling runs (no injected throw).
+#define LS_FAILPOINT_FAILS(name) ::ls::failpoint::fails(name)

@@ -67,6 +67,10 @@ void atomic_write_file(const std::string& path, const std::string& content,
   LS_CHECK(f != nullptr, "cannot create temp file: " << tmp);
   bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
             content.size();
+  // ENOSPC stand-in: a full disk surfaces as fwrite/fflush reporting fewer
+  // bytes than asked, which must flow through the same `ok` bookkeeping as
+  // the real thing — cleanup of the temp file, destination untouched.
+  ok = ok && !LS_FAILPOINT_FAILS("fs.atomic.short_write");
   // Crash simulation point: payload written, rename not yet performed — a
   // failure here must leave the destination file untouched.
   LS_FAILPOINT("fs.atomic.write");

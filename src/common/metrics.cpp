@@ -1,6 +1,7 @@
 #include "common/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -166,6 +167,12 @@ void reset() {
 
 Report snapshot() {
   Report report;
+  report.wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  report.steady_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
   std::map<std::string, TimerShard, std::less<>> merged;
   {
     Registry& r = registry();
@@ -204,7 +211,10 @@ Report snapshot() {
 }
 
 std::string to_json(const Report& report) {
-  std::string out = "{\n  \"schema\": \"ls.metrics.v1\",\n  \"counters\": {";
+  std::string out = "{\n  \"schema\": \"ls.metrics.v1\",\n  \"clock\": "
+                    "{\"wall_us\": " + json::number(report.wall_us) +
+                    ", \"steady_us\": " + json::number(report.steady_us) +
+                    "},\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : report.counters) {
     out += first ? "\n" : ",\n";
@@ -268,6 +278,8 @@ std::string csv_num(double v) {
 
 std::string to_csv(const Report& report) {
   std::string out = "kind,name,value,count,total,min,mean,p50,p95,max\n";
+  out += "clock,wall_us," + csv_num(report.wall_us) + ",,,,,,,\n";
+  out += "clock,steady_us," + csv_num(report.steady_us) + ",,,,,,,\n";
   for (const auto& [name, value] : report.counters) {
     out += "counter," + csv_escape(name) + "," + std::to_string(value) +
            ",,,,,,,\n";

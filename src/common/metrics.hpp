@@ -77,8 +77,14 @@ struct TimerStats {
   double max = 0.0;
 };
 
-/// One aggregated, point-in-time view of the registry.
+/// One aggregated, point-in-time view of the registry. Snapshots carry
+/// both clocks of DESIGN.md §17: `steady_us` (monotonic, since process
+/// start) orders reports from one process run; `wall_us` (system clock,
+/// since the Unix epoch) pins the snapshot to real time so reports taken
+/// before and after a crash/restart never appear to time-travel.
 struct Report {
+  double wall_us = 0.0;
+  double steady_us = 0.0;
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, TimerStats> timers;

@@ -64,6 +64,14 @@ Shard& local_shard() {
 const std::chrono::steady_clock::time_point g_anchor =
     std::chrono::steady_clock::now();
 
+/// Wall-clock reading taken at (effectively) the same instant as the
+/// steady anchor — the bridge that lets exports pin steady timestamps to
+/// real time without making wall time a timebase.
+const double g_wall_anchor_us =
+    std::chrono::duration<double, std::micro>(
+        std::chrono::system_clock::now().time_since_epoch())
+        .count();
+
 /// LS_TRACE startup hook, same syntax as LS_METRICS (see metrics.cpp).
 const bool g_env_initialised = [] {
   const char* env = std::getenv("LS_TRACE");
@@ -142,6 +150,8 @@ double now_us() {
       .count();
 }
 
+double wall_anchor_us() { return g_wall_anchor_us; }
+
 std::size_t event_count() {
   Recorder& r = recorder();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -165,7 +175,14 @@ std::size_t dropped_count() {
 }
 
 std::string to_chrome_json() {
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  // otherData pins the steady timebase to wall time: every event's "ts"
+  // is steady micros since process start, and its wall time is
+  // wall_anchor_us + ts. Two trace files from a crash/restart pair can be
+  // ordered by their anchors even though both start at ts 0.
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"otherData\": "
+                    "{\"clock\": \"steady_us_since_process_start\", "
+                    "\"wall_anchor_us\": " + json::number(g_wall_anchor_us) +
+                    "}, \"traceEvents\": [";
   bool first = true;
   Recorder& r = recorder();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -195,7 +212,10 @@ std::string to_chrome_json() {
 }
 
 std::string to_csv() {
-  std::string out = "phase,name,cat,ts_us,dur_us,value,tid,args\n";
+  // ts_us is the steady timebase; wall_us = wall anchor + ts_us is the
+  // same instant on the wall clock, carried per row so replay tooling
+  // never has to join against a side channel.
+  std::string out = "phase,name,cat,ts_us,wall_us,dur_us,value,tid,args\n";
   const auto escape = [](const std::string& s) {
     if (s.find_first_of(",\"\n") == std::string::npos) return s;
     std::string q = "\"";
@@ -220,6 +240,9 @@ std::string to_csv() {
       out += e.phase;
       out += ',' + escape(e.name) + ',' + escape(e.cat) + ',';
       std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+      out += num;
+      out += ',';
+      std::snprintf(num, sizeof(num), "%.3f", g_wall_anchor_us + e.ts_us);
       out += num;
       out += ',';
       std::snprintf(num, sizeof(num), "%.3f", e.dur_us);

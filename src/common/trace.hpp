@@ -46,6 +46,15 @@ void reset();
 /// Microseconds since process start (steady clock — the trace timebase).
 double now_us();
 
+/// Wall-clock (system_clock) microseconds since the Unix epoch at the
+/// moment the steady timebase was anchored. Exports carry it so a trace's
+/// steady timestamps can be pinned to real time: wall(event) =
+/// wall_anchor_us() + ts. Keeping events on the steady clock means a
+/// post-crash replay (or an NTP step mid-run) can never produce
+/// time-travelling spans; the wall anchor is metadata, not a timebase
+/// (DESIGN.md §17).
+double wall_anchor_us();
+
 /// Records a complete ("X") event: a span that started at `ts_us` and
 /// lasted `dur_us`. `cat` must be a string literal.
 inline void emit_complete(std::string name, const char* cat, double ts_us,

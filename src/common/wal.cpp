@@ -1,0 +1,316 @@
+#include "common/wal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/failpoint.hpp"
+#include "common/fs_atomic.hpp"
+
+namespace ls {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // u32 len + u32 crc
+constexpr char kSegPrefix[] = "wal-";
+constexpr char kSegSuffix[] = ".seg";
+
+std::string seg_name(std::uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%016llx%s", kSegPrefix,
+                static_cast<unsigned long long>(seq), kSegSuffix);
+  return buf;
+}
+
+/// Parses "wal-<16 hex>.seg"; returns false for anything else so stray
+/// files (editor droppings, quarantined copies) never join the log.
+bool parse_seg_name(const std::string& name, std::uint64_t* seq) {
+  const std::size_t prefix = sizeof(kSegPrefix) - 1;
+  const std::size_t suffix = sizeof(kSegSuffix) - 1;
+  if (name.size() != prefix + 16 + suffix) return false;
+  if (name.compare(0, prefix, kSegPrefix) != 0) return false;
+  if (name.compare(prefix + 16, suffix, kSegSuffix) != 0) return false;
+  const std::string hex = name.substr(prefix, 16);
+  if (hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return false;
+  }
+  *seq = std::strtoull(hex.c_str(), nullptr, 16);
+  return true;
+}
+
+std::vector<std::uint64_t> list_segments(const std::string& dir) {
+  std::vector<std::uint64_t> seqs;
+  ::DIR* d = ::opendir(dir.c_str());
+  LS_CHECK(d != nullptr,
+           "cannot open wal directory " << dir << ": " << std::strerror(errno));
+  while (struct ::dirent* e = ::readdir(d)) {
+    std::uint64_t seq = 0;
+    if (parse_seg_name(e->d_name, &seq)) seqs.push_back(seq);
+  }
+  ::closedir(d);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LS_CHECK(in.good(), "cannot open wal segment: " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  LS_CHECK(!in.bad(), "failed reading wal segment: " << path);
+  return os.str();
+}
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) return;
+  throw Error("cannot create wal directory " + dir + ": " +
+              std::strerror(errno));
+}
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+[[noreturn]] void throw_corrupt(const std::string& path, std::size_t offset,
+                                const char* why) {
+  std::ostringstream os;
+  os << "wal corruption in " << path << " at offset " << offset << ": " << why
+     << " — refusing replay (records after the damage would be silently "
+        "reordered against their acks)";
+  throw WalCorruption(os.str());
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint64_t, std::size_t>> WriteAheadLog::recover_dir(
+    const std::string& dir,
+    const std::function<void(std::string_view)>& on_record,
+    std::int64_t* torn_tail_bytes, std::size_t max_record_bytes) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> out;
+  const std::vector<std::uint64_t> seqs = list_segments(dir);
+  for (std::size_t si = 0; si < seqs.size(); ++si) {
+    const bool last_segment = (si + 1 == seqs.size());
+    const std::string path = dir + "/" + seg_name(seqs[si]);
+    const std::string bytes = read_whole_file(path);
+    std::size_t off = 0;
+    std::size_t records = 0;
+    while (off < bytes.size()) {
+      // Decide whether the damage (if any) at `off` is a torn tail. Only
+      // the final segment may be torn, and only when the broken record's
+      // claimed span swallows the rest of the file — readable bytes after
+      // a bad record mean acked records would vanish mid-stream.
+      const std::size_t avail = bytes.size() - off;
+      if (avail < kHeaderBytes) {
+        if (!last_segment) throw_corrupt(path, off, "truncated record header");
+        break;  // torn header
+      }
+      const std::size_t len = load_u32(bytes.data() + off);
+      const std::uint32_t want_crc = load_u32(bytes.data() + off + 4);
+      if (len == 0 || len > max_record_bytes) {
+        if (last_segment && kHeaderBytes + len >= avail) break;  // torn
+        throw_corrupt(path, off, "impossible record length");
+      }
+      if (kHeaderBytes + len > avail) {
+        if (!last_segment) throw_corrupt(path, off, "truncated record body");
+        break;  // torn body
+      }
+      const char* payload = bytes.data() + off + kHeaderBytes;
+      if (crc32(payload, len) != want_crc) {
+        if (last_segment && kHeaderBytes + len == avail) break;  // torn crc
+        throw_corrupt(path, off, "record checksum mismatch");
+      }
+      if (on_record) on_record(std::string_view(payload, len));
+      off += kHeaderBytes + len;
+      ++records;
+    }
+    if (off < bytes.size()) {
+      // Torn tail on the last segment: cut it so future appends land
+      // right after the final durable record.
+      LS_CHECK(::truncate(path.c_str(), static_cast<::off_t>(off)) == 0,
+               "cannot truncate torn wal tail in " << path << ": "
+                                                   << std::strerror(errno));
+      if (torn_tail_bytes) {
+        *torn_tail_bytes += static_cast<std::int64_t>(bytes.size() - off);
+      }
+    }
+    out.emplace_back(seqs[si], records);
+  }
+  return out;
+}
+
+WriteAheadLog::WriteAheadLog(
+    std::string dir, WalOptions opts,
+    const std::function<void(std::string_view)>& on_record)
+    : dir_(std::move(dir)), opts_(opts) {
+  LS_CHECK(opts_.segment_bytes > 0, "wal segment_bytes must be positive");
+  LS_CHECK(opts_.max_record_bytes > 0, "wal max_record_bytes must be positive");
+  ensure_dir(dir_);
+  const auto recovered =
+      recover_dir(dir_, on_record, &stats_.torn_tail_bytes,
+                  opts_.max_record_bytes);
+  for (const auto& [seq, records] : recovered) {
+    struct ::stat st {};
+    LS_CHECK(::stat(segment_path(seq).c_str(), &st) == 0,
+             "cannot stat wal segment " << segment_path(seq));
+    segments_.push_back(
+        Segment{seq, records, static_cast<std::size_t>(st.st_size)});
+    stats_.recovered_records += static_cast<std::int64_t>(records);
+  }
+  if (segments_.empty()) segments_.push_back(Segment{1, 0, 0});
+  open_active(segments_.back().seq);
+  stats_.segments = segments_.size();
+  stats_.records = static_cast<std::size_t>(stats_.recovered_records);
+}
+
+WriteAheadLog::~WriteAheadLog() { close_active(); }
+
+std::string WriteAheadLog::segment_path(std::uint64_t seq) const {
+  return dir_ + "/" + seg_name(seq);
+}
+
+void WriteAheadLog::open_active(std::uint64_t seq) {
+  close_active();
+  const std::string path = segment_path(seq);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+  LS_CHECK(fd_ >= 0,
+           "cannot open wal segment " << path << ": " << std::strerror(errno));
+}
+
+void WriteAheadLog::close_active() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WriteAheadLog::sync() {
+  LS_FAILPOINT("wal.sync");
+  if (fd_ < 0) return;
+  LS_CHECK(::fsync(fd_) == 0, "wal fsync failed on segment "
+                                  << segments_.back().seq << ": "
+                                  << std::strerror(errno));
+}
+
+void WriteAheadLog::append(std::string_view payload) {
+  LS_CHECK(!payload.empty(), "wal records must be non-empty");
+  LS_CHECK(payload.size() <= opts_.max_record_bytes,
+           "wal record of " << payload.size() << " bytes exceeds max_record_bytes "
+                            << opts_.max_record_bytes);
+  if (segments_.back().bytes >= opts_.segment_bytes &&
+      segments_.back().records > 0) {
+    rotate();
+  }
+  if (fd_ < 0) open_active(segments_.back().seq);
+
+  LS_FAILPOINT("wal.append");
+
+  std::string frame;
+  frame.resize(kHeaderBytes + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  std::memcpy(&frame[0], &len, 4);
+  std::memcpy(&frame[4], &crc, 4);
+  std::memcpy(&frame[kHeaderBytes], payload.data(), payload.size());
+
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ::ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Short or failed write: scrub the partial frame so the in-process log
+    // stays parseable — leaving it would turn the *next* append into
+    // mid-stream corruption. Truncating down needs no free space, so this
+    // holds even under the ENOSPC that caused the failure.
+    const int saved = errno;
+    ::ftruncate(fd_, static_cast<::off_t>(segments_.back().bytes));
+    throw Error("wal append failed on segment " +
+                std::to_string(segments_.back().seq) + ": " +
+                std::strerror(saved));
+  }
+  if (opts_.sync == WalSyncPolicy::kAlways) sync();
+
+  segments_.back().bytes += frame.size();
+  segments_.back().records += 1;
+  ++stats_.appended_total;
+  ++stats_.records;
+}
+
+void WriteAheadLog::rotate() {
+  LS_FAILPOINT("wal.rotate");
+  if (fd_ >= 0 && opts_.sync != WalSyncPolicy::kNever) {
+    LS_CHECK(::fsync(fd_) == 0,
+             "wal fsync failed rotating segment " << segments_.back().seq
+                                                  << ": "
+                                                  << std::strerror(errno));
+  }
+  const std::uint64_t next = segments_.back().seq + 1;
+  open_active(next);
+  segments_.push_back(Segment{next, 0, 0});
+  ++stats_.rotations_total;
+  apply_retention();
+  stats_.segments = segments_.size();
+}
+
+void WriteAheadLog::apply_retention() {
+  if (opts_.retain_records == 0) return;
+  while (segments_.size() > 1 &&
+         stats_.records - segments_.front().records >= opts_.retain_records) {
+    const Segment& oldest = segments_.front();
+    LS_CHECK(std::remove(segment_path(oldest.seq).c_str()) == 0,
+             "cannot retire wal segment " << segment_path(oldest.seq) << ": "
+                                          << std::strerror(errno));
+    stats_.records -= oldest.records;
+    ++stats_.retired_segments;
+    segments_.erase(segments_.begin());
+  }
+}
+
+void WriteAheadLog::reset() {
+  close_active();
+  std::uint64_t next = 1;
+  // Remove every segment on disk, tracked or stray, so a reset log holds
+  // exactly what gets rewritten into it.
+  for (const std::uint64_t seq : list_segments(dir_)) {
+    next = std::max(next, seq + 1);
+    LS_CHECK(std::remove(segment_path(seq).c_str()) == 0,
+             "cannot remove wal segment " << segment_path(seq) << ": "
+                                          << std::strerror(errno));
+  }
+  segments_.clear();
+  segments_.push_back(Segment{next, 0, 0});
+  open_active(next);
+  stats_.records = 0;
+  stats_.segments = 1;
+}
+
+void WriteAheadLog::remove_dir(const std::string& dir) {
+  ::DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> names;
+  while (struct ::dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  for (const std::string& name : names) {
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace ls

@@ -1,0 +1,162 @@
+// Segment-based write-ahead log: the durability substrate of the ingest
+// stream (DESIGN.md §18).
+//
+// A WriteAheadLog is a directory of numbered segment files
+// (`wal-<%016llx>.seg`), each a run of length-prefixed CRC32-framed
+// records:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload_len bytes]
+//
+// append() journals one opaque payload into the active segment and — per
+// the configured fsync policy — flushes it to disk before returning, so a
+// caller that acks only after append() returns can promise the ack
+// survives SIGKILL and power loss. Segments rotate at `segment_bytes`;
+// rotation drops the oldest segments once the surviving ones still hold at
+// least `retain_records` records, which bounds disk usage by the sliding
+// window the log exists to rebuild.
+//
+// recover() (called by open()) replays the surviving records oldest-first
+// and draws a hard line between the two kinds of damage a crash can leave:
+//
+//   - a *torn tail* — the final record of the final segment is truncated
+//     or fails its CRC with nothing readable after it. That is the
+//     expected signature of dying mid-append; the tail is truncated away
+//     and the log reopens for appending at the last durable record.
+//   - *mid-stream corruption* — a record fails its CRC (or is
+//     structurally impossible) with more data behind it, or any damage in
+//     a non-final segment. Replaying around it would silently drop acked
+//     records while pretending completeness, so recovery throws
+//     WalCorruption and refuses the log; the caller decides whether to
+//     quarantine or crash.
+//
+// Failpoints `wal.append`, `wal.rotate` and `wal.sync` stand in for
+// ENOSPC/EIO at each stage; the trainer uses them to rehearse its
+// memory-only degraded mode.
+//
+// Thread-compatibility: not internally synchronised — callers serialize
+// access (the trainer holds its per-model mutex across append()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ls {
+
+/// Recovery refusal: the journal is damaged in a way replay cannot prove
+/// harmless (mid-stream CRC mismatch, impossible framing before the tail,
+/// damage in a non-final segment).
+class WalCorruption : public Error {
+ public:
+  explicit WalCorruption(const std::string& what) : Error(what) {}
+};
+
+/// When append() pushes bytes to the kernel vs to the platter.
+enum class WalSyncPolicy : std::uint8_t {
+  kAlways,   ///< fsync every append — acked implies durable (the default)
+  kRotate,   ///< fsync only on segment rotation and sync() — fast, but the
+             ///< records since the last rotation are best-effort
+  kNever,    ///< never fsync — crash durability is whatever the OS flushed
+};
+
+struct WalOptions {
+  /// Rotate the active segment once it holds at least this many bytes.
+  std::size_t segment_bytes = 1 << 20;
+  /// After a rotation, drop the oldest segments as long as the remaining
+  /// ones still hold >= retain_records records (0 = keep everything).
+  /// Callers rebuilding a bounded window set this to the window capacity.
+  std::size_t retain_records = 0;
+  /// Sanity bound on one record; recovery treats a larger length prefix as
+  /// damage, append() refuses to write one.
+  std::size_t max_record_bytes = 16u << 20;
+  WalSyncPolicy sync = WalSyncPolicy::kAlways;
+};
+
+/// Counters over the log's lifetime (this process).
+struct WalStats {
+  std::int64_t appended_total = 0;    ///< records appended by this process
+  std::int64_t rotations_total = 0;
+  std::int64_t retired_segments = 0;  ///< segments dropped by retention
+  std::int64_t recovered_records = 0; ///< records replayed by recover()
+  std::int64_t torn_tail_bytes = 0;   ///< bytes truncated off the tail
+  std::size_t segments = 0;           ///< live segment count
+  std::size_t records = 0;            ///< records across live segments
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating the directory if needed) and recovers `dir`,
+  /// replaying every surviving record into `on_record` oldest-first.
+  /// Throws WalCorruption on mid-stream damage — the directory is left
+  /// untouched for forensics — and ls::Error on I/O failures. On return
+  /// the log is ready for append().
+  WriteAheadLog(
+      std::string dir, WalOptions opts,
+      const std::function<void(std::string_view)>& on_record = nullptr);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Journals one record. When this returns under WalSyncPolicy::kAlways,
+  /// the record is on disk. Throws ls::Error on any write/sync failure
+  /// (failpoints wal.append / wal.rotate / wal.sync inject these); after a
+  /// failed append the log stays usable — the next append retries against
+  /// a freshly (re)opened active segment.
+  void append(std::string_view payload);
+
+  /// Flushes the active segment to disk regardless of policy.
+  void sync();
+
+  /// Deletes every segment and starts a fresh one. Destroys history —
+  /// callers that still need the old records (e.g. a re-arm whose rewrite
+  /// may yet fail) must rebuild into a side directory and swap instead.
+  void reset();
+
+  /// Removes a journal directory and everything in it (best-effort;
+  /// a missing directory is fine). The re-arm swap's cleanup primitive.
+  static void remove_dir(const std::string& dir);
+
+  const WalStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Lowest-level recovery primitive, shared with tests: scans the
+  /// segment files under `dir` oldest-first, invokes `on_record` per valid
+  /// record, truncates a torn tail in place, throws WalCorruption on
+  /// mid-stream damage. Returns per-segment record counts keyed by
+  /// segment sequence number (empty when the directory has no segments).
+  /// `torn_tail_bytes`, when non-null, reports how many bytes were cut.
+  static std::vector<std::pair<std::uint64_t, std::size_t>> recover_dir(
+      const std::string& dir,
+      const std::function<void(std::string_view)>& on_record,
+      std::int64_t* torn_tail_bytes = nullptr,
+      std::size_t max_record_bytes = 16u << 20);
+
+ private:
+  struct Segment {
+    std::uint64_t seq = 0;
+    std::size_t records = 0;
+    std::size_t bytes = 0;
+  };
+
+  std::string segment_path(std::uint64_t seq) const;
+  /// Opens (appending) the segment with sequence `seq`, creating it empty
+  /// when absent.
+  void open_active(std::uint64_t seq);
+  void close_active();
+  /// Starts a new active segment and applies retention to the old ones.
+  void rotate();
+  void apply_retention();
+
+  std::string dir_;
+  WalOptions opts_;
+  std::vector<Segment> segments_;  // oldest first; back() is active
+  int fd_ = -1;
+  WalStats stats_;
+};
+
+}  // namespace ls

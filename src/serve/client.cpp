@@ -291,17 +291,48 @@ std::string ServeClient::models() {
   return text;
 }
 
-Status ServeClient::ingest(std::string_view model, real_t label,
-                           const SparseVector& x, std::string* message) {
-  ensure_connected();
-  const Frame reply = round_trip_once(MsgType::kIngestReq,
-                                      encode_ingest_request(model, label, x),
-                                      MsgType::kStatusResp);
-  Status status = Status::kInternal;
-  std::string text;
-  decode_status_response(reply.payload, status, text);
-  if (message) *message = std::move(text);
-  return status;
+Status ServeClient::ingest(std::string_view model, std::int64_t example_id,
+                           real_t label, const SparseVector& x,
+                           std::string* message) {
+  const std::string payload = encode_ingest_request(model, example_id, label, x);
+  // A negative id opts out of trainer-side dedup, so resending could
+  // double-count the example — one shot only, exactly the pre-v4 contract.
+  if (example_id < 0) {
+    ensure_connected();
+    const Frame reply =
+        round_trip_once(MsgType::kIngestReq, payload, MsgType::kStatusResp);
+    Status status = Status::kInternal;
+    std::string text;
+    decode_status_response(reply.payload, status, text);
+    if (message) *message = std::move(text);
+    return status;
+  }
+  // Dedup id supplied: the trainer recognises a resend (even across its own
+  // restart, via the replayed journal), so ingest retries exactly like
+  // predict — including through a draining/restarting trainer.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      const Frame reply =
+          round_trip_once(MsgType::kIngestReq, payload, MsgType::kStatusResp);
+      Status status = Status::kInternal;
+      std::string text;
+      decode_status_response(reply.payload, status, text);
+      if (status == Status::kShuttingDown && attempt < opts_.max_retries) {
+        close();
+        note_retry();
+        backoff_sleep(attempt);
+        continue;
+      }
+      if (message) *message = std::move(text);
+      return status;
+    } catch (const IoError&) {
+      close();
+      if (attempt >= opts_.max_retries) throw;
+      note_retry();
+      backoff_sleep(attempt);
+    }
+  }
 }
 
 std::string ServeClient::health() {

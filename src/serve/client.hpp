@@ -11,7 +11,8 @@
 //   - every request is bounded by request_timeout_ms end to end, and that
 //     budget is propagated inside the predict request header so the server
 //     can shed the work when it expires in the queue;
-//   - idempotent verbs (predict / ping / stats / health) are retried up to
+//   - idempotent verbs (predict / ping / stats / health, and ingest when
+//     the caller supplies a dedup id) are retried up to
 //     max_retries times on transient failures — any IoError (timeout, torn
 //     frame, closed or reset connection) and kShuttingDown predict
 //     responses — with exponential backoff plus jitter, reconnecting to
@@ -85,11 +86,14 @@ class ServeClient {
   std::string models();
 
   /// Streams one labeled example into a trainer daemon's sliding window.
-  /// Returns the trainer's status. Never retried: a duplicated append
-  /// would silently skew the training window, and the caller (a streaming
-  /// producer) owns its own at-least-once/at-most-once policy.
-  Status ingest(std::string_view model, real_t label, const SparseVector& x,
-                std::string* message = nullptr);
+  /// Returns the trainer's status. `example_id` is the client-chosen
+  /// identity the trainer dedups on: with a non-negative id the call is
+  /// idempotent and retried like every other verb (including across a
+  /// trainer restart — the journal-backed dedup set survives it). Pass a
+  /// negative id to opt out of dedup; such sends are never retried, since
+  /// a duplicated append would silently skew the training window.
+  Status ingest(std::string_view model, std::int64_t example_id, real_t label,
+                const SparseVector& x, std::string* message = nullptr);
 
   /// Lifecycle probe: "live" / "ready" / "draining" / "degraded"
   /// (retried).

@@ -210,16 +210,18 @@ void decode_status_response(std::string_view payload, Status& status,
   c.expect_end();
 }
 
-std::string encode_ingest_request(std::string_view model, real_t label,
+std::string encode_ingest_request(std::string_view model,
+                                  std::int64_t example_id, real_t label,
                                   const SparseVector& x) {
   LS_CHECK(model.size() <= std::numeric_limits<std::uint16_t>::max(),
            "model name too long for the wire format");
   LS_CHECK(!std::isnan(label), "ingest label must not be NaN");
   std::string out;
-  out.reserve(2 + model.size() + sizeof(real_t) + 4 +
+  out.reserve(2 + model.size() + 8 + sizeof(real_t) + 4 +
               static_cast<std::size_t>(x.nnz()) * (4 + sizeof(real_t)));
   put_raw(out, static_cast<std::uint16_t>(model.size()));
   out.append(model);
+  put_raw(out, example_id);
   put_raw(out, label);
   put_raw(out, static_cast<std::uint32_t>(x.nnz()));
   const auto idx = x.indices();
@@ -235,10 +237,12 @@ std::string encode_ingest_request(std::string_view model, real_t label,
 }
 
 void decode_ingest_request(std::string_view payload, std::string& model,
-                           real_t& label, SparseVector& x) {
+                           std::int64_t& example_id, real_t& label,
+                           SparseVector& x) {
   Cursor c{payload};
   const auto name_len = c.get_raw<std::uint16_t>("model name length");
   model = c.get_string(name_len, "model name");
+  example_id = c.get_raw<std::int64_t>("example id");
   label = c.get_raw<real_t>("label");
   LS_CHECK(label == label, "NaN example label");
   const auto nnz = c.get_raw<std::uint32_t>("nnz");

@@ -16,8 +16,14 @@
 //   kStatsReq / kPingReq / kShutdownReq / kHealthReq / kModelsReq   (empty)
 //   kStatusResp   u8 status, u32 text_len, text
 //                 (reload / stats / ping / health / shutdown / models / error)
-//   kIngestReq    u16 name_len, name, f64 label,
+//   kIngestReq    u16 name_len, name, i64 example_id, f64 label,
 //                 u32 nnz, nnz x (u32 index, f64 value)
+//
+// `example_id` is the client-chosen identity of the example. The trainer
+// dedups by (model, example_id), which makes ingest idempotent: a client
+// that lost the ack can resend the same id across reconnects and restarts
+// without double-counting the example. A negative id opts out of dedup
+// (every send is a distinct example — the pre-v4 behaviour).
 //
 // `deadline_ms` is the client's remaining latency budget when it sent the
 // request (0 = no deadline). The server sheds a request whose queue wait
@@ -43,9 +49,11 @@ namespace ls::serve {
 
 /// Frame magic ("LSRV" little-endian) and protocol version. Version 2
 /// added the predict-request deadline field and the health verb; version 3
-/// added the models inventory verb and the trainer ingest verb.
+/// added the models inventory verb and the trainer ingest verb; version 4
+/// added the client-supplied example id to ingest, making it idempotent
+/// (and therefore safely retryable).
 inline constexpr std::uint32_t kMagic = 0x5652534C;
-inline constexpr std::uint8_t kVersion = 3;
+inline constexpr std::uint8_t kVersion = 4;
 
 /// Frames larger than this are rejected before any allocation happens, so a
 /// corrupt or hostile length prefix cannot OOM the server.
@@ -146,7 +154,8 @@ std::string encode_predict_request(std::string_view model,
 std::string encode_predict_response(const PredictResult& r);
 std::string encode_reload_request(std::string_view model);
 std::string encode_status_response(Status status, std::string_view text);
-std::string encode_ingest_request(std::string_view model, real_t label,
+std::string encode_ingest_request(std::string_view model,
+                                  std::int64_t example_id, real_t label,
                                   const SparseVector& x);
 
 // --- payload decoders (pure; throw ls::Error on malformed input) ---
@@ -163,7 +172,8 @@ std::string decode_reload_request(std::string_view payload);
 void decode_status_response(std::string_view payload, Status& status,
                             std::string& text);
 void decode_ingest_request(std::string_view payload, std::string& model,
-                           real_t& label, SparseVector& x);
+                           std::int64_t& example_id, real_t& label,
+                           SparseVector& x);
 
 // --- framed fd I/O ---
 

@@ -1,9 +1,14 @@
 #include "train/continuous_trainer.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
+
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "common/fs_atomic.hpp"
@@ -15,6 +20,7 @@
 #include "svm/kernel_engine.hpp"
 #include "svm/model.hpp"
 #include "svm/serialize.hpp"
+#include "train/journal.hpp"
 
 namespace ls::train {
 
@@ -68,14 +74,125 @@ void ContinuousTrainer::add_model(const TrainerModelConfig& cfg) {
   if (full.checkpoint_path.empty()) {
     full.checkpoint_path = full.model_path + ".ckpt";
   }
-  std::lock_guard<std::mutex> lk(models_mu_);
-  LS_CHECK(models_.find(full.name) == models_.end(),
-           "trainer model '" << full.name << "' already registered");
   // Key copied before the move: emplace constructs its pair only after
   // both arguments are evaluated, so `full.name` would read a moved-from
   // string.
   const std::string key = full.name;
-  models_.emplace(key, std::make_shared<ModelState>(std::move(full)));
+  auto state = std::make_shared<ModelState>(std::move(full));
+  // Replay the ingest journal before the model becomes reachable by
+  // ingest/train traffic — the rebuilt window must be whole before the
+  // first post-restart example lands on top of it.
+  open_journal(*state);
+  std::lock_guard<std::mutex> lk(models_mu_);
+  LS_CHECK(models_.find(key) == models_.end(),
+           "trainer model '" << key << "' already registered");
+  models_.emplace(key, std::move(state));
+}
+
+void ContinuousTrainer::open_journal(ModelState& st) {
+  if (st.cfg.wal_dir.empty()) return;
+  st.stats.journal_enabled = true;
+  // Finish an interrupted re-arm swap (rearm_journal died between its two
+  // renames): the side rewrite is only ever complete once the main
+  // directory has been moved aside, so promote it when the main one is
+  // missing (the rename fails against a populated main directory);
+  // otherwise it is a dead partial rewrite. The `.stale` pre-outage copy
+  // is superseded either way.
+  {
+    const std::string side = st.cfg.wal_dir + ".rearm";
+    if (std::rename(side.c_str(), st.cfg.wal_dir.c_str()) != 0) {
+      WriteAheadLog::remove_dir(side);
+    }
+    WriteAheadLog::remove_dir(st.cfg.wal_dir + ".stale");
+  }
+  WalOptions wopts;
+  wopts.segment_bytes = opts_.wal_segment_bytes;
+  // Twice the window in records: digest checkpoints ride in the same
+  // stream, and retention must never drop an example the window still
+  // holds. Replay of a retained suffix rebuilds the full window since at
+  // least window_capacity of the retained records are examples.
+  wopts.retain_records = st.cfg.window_capacity * 2;
+  wopts.sync = opts_.wal_sync;
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::int64_t replayed = 0;
+    std::int64_t first_id = -1;  // first replayed example's window id
+    const auto replay = [&](std::string_view payload) {
+      JournalRecord r;
+      try {
+        r = decode_journal_record(payload);
+      } catch (const Error& e) {
+        // CRC-valid but undecodable: the journal lies about itself.
+        throw WalCorruption(std::string("journal record undecodable: ") +
+                            e.what());
+      }
+      if (r.type == JournalRecordType::kExample) {
+        if (r.window_id < st.window.total_appended()) {
+          throw WalCorruption("journal window ids regress at id " +
+                              std::to_string(r.window_id));
+        }
+        if (first_id < 0) first_id = r.window_id;
+        st.window.restore(r.window_id, std::move(r.x), r.label, r.client_id);
+        remember_dedup(st, r.client_id);
+        ++replayed;
+        return;
+      }
+      // Digest checkpoint: always verifiable against the id cursor; size
+      // and content only when replay has seen the checkpoint's whole
+      // window (retention may have started us mid-stream).
+      if (first_id < 0) return;  // checkpoint precedes any replayed example
+      if (st.window.total_appended() != r.next_window_id) {
+        throw WalCorruption(
+            "journal digest checkpoint expects next window id " +
+            std::to_string(r.next_window_id) + ", replay is at " +
+            std::to_string(st.window.total_appended()));
+      }
+      const bool full_view =
+          first_id <= r.next_window_id - static_cast<std::int64_t>(r.window_size);
+      if (full_view && (st.window.size() != r.window_size ||
+                        st.window.content_digest() != r.digest)) {
+        throw WalCorruption(
+            "journal digest mismatch: rebuilt window does not reproduce "
+            "the journaled fingerprint");
+      }
+    };
+
+    try {
+      st.wal = std::make_unique<WriteAheadLog>(st.cfg.wal_dir, wopts, replay);
+      st.stats.journal_replayed = replayed;
+      st.stats.journal_degraded = false;
+      // Replayed examples count as news: a trainer killed after acking a
+      // burst but before saving a model must fold that backlog into a
+      // model on its first cadence tick, not wait for fresh traffic.
+      st.new_since_train += replayed;
+      if (replayed > 0) {
+        metrics::counter_add("train.journal.replayed_total", replayed);
+      }
+      return;
+    } catch (const WalCorruption&) {
+      // Quarantine, don't brick: set the damaged journal aside for
+      // forensics and start fresh. Availability beats completeness here —
+      // the examples are gone either way; refusing to start loses the
+      // model too.
+      st.window = SlidingWindow(st.cfg.window_capacity);
+      st.dedup.clear();
+      st.dedup_order.clear();
+      const std::string aside = st.cfg.wal_dir + ".corrupt." +
+                                std::to_string(::getpid()) + "." +
+                                std::to_string(attempt);
+      ++st.stats.journal_quarantines_total;
+      metrics::counter_add("train.journal.quarantines_total");
+      if (std::rename(st.cfg.wal_dir.c_str(), aside.c_str()) != 0) break;
+    } catch (const Error&) {
+      // I/O failure opening the journal (unwritable disk, bad path):
+      // serve memory-only and let the ingest path re-arm when it can.
+      break;
+    }
+  }
+  st.wal.reset();
+  st.stats.journal_degraded = true;
+  ++st.stats.journal_failures_total;
+  metrics::counter_add("train.journal.failures_total");
 }
 
 std::shared_ptr<ContinuousTrainer::ModelState> ContinuousTrainer::find(
@@ -87,7 +204,8 @@ std::shared_ptr<ContinuousTrainer::ModelState> ContinuousTrainer::find(
 
 serve::Status ContinuousTrainer::ingest(const std::string& model,
                                         SparseVector x, real_t label,
-                                        std::string* message) {
+                                        std::string* message,
+                                        std::int64_t example_id) {
   const auto st = find(model);
   if (!st) {
     if (message) *message = "unknown model " + model;
@@ -101,7 +219,21 @@ serve::Status ContinuousTrainer::ingest(const std::string& model,
   }
   {
     std::lock_guard<std::mutex> lk(st->mu);
-    st->window.append(std::move(x), label);
+    // Idempotency: a client id we have already accepted (in this process
+    // or replayed from the journal) is a retry whose ack got lost — ack
+    // it again, touch nothing.
+    if (example_id >= 0 && st->dedup.count(example_id) != 0) {
+      ++st->stats.duplicates_total;
+      metrics::counter_add("train.ingest.duplicates_total");
+      if (message) *message = "duplicate";
+      return serve::Status::kOk;
+    }
+    // Journal before the in-memory append so the ack below never promises
+    // more than the disk holds (under WalSyncPolicy::kAlways).
+    journal_example(*st, st->window.total_appended(), example_id, label, x);
+    st->window.append(std::move(x), label, example_id);
+    remember_dedup(*st, example_id);
+    journal_digest(*st);
     ++st->new_since_train;
     ++st->stats.ingested;
   }
@@ -111,6 +243,125 @@ serve::Status ContinuousTrainer::ingest(const std::string& model,
   // retrain before the next poll tick.
   run_cv_.notify_one();
   return serve::Status::kOk;
+}
+
+void ContinuousTrainer::remember_dedup(ModelState& st, std::int64_t client_id) {
+  if (client_id < 0) return;
+  if (!st.dedup.insert(client_id).second) return;
+  st.dedup_order.push_back(client_id);
+  // Bounded at 2x the window: a duplicate arriving later than that could
+  // not have landed in the window anyway, so forgetting it is harmless.
+  const std::size_t bound = st.cfg.window_capacity * 2;
+  while (st.dedup_order.size() > bound) {
+    st.dedup.erase(st.dedup_order.front());
+    st.dedup_order.pop_front();
+  }
+}
+
+void ContinuousTrainer::journal_example(ModelState& st, std::int64_t window_id,
+                                        std::int64_t client_id, real_t label,
+                                        const SparseVector& x) {
+  if (!st.stats.journal_enabled) return;
+  if (st.stats.journal_degraded && !rearm_journal(st)) return;
+  try {
+    st.wal->append(encode_journal_example(window_id, client_id, label, x));
+  } catch (const std::exception&) {
+    // Disk fault (ENOSPC/EIO, or their failpoint stand-ins): stay
+    // available. The example lives on in memory, the ack still goes out,
+    // and health/kModels surface the narrowed durability contract.
+    st.stats.journal_degraded = true;
+    ++st.stats.journal_failures_total;
+    metrics::counter_add("train.journal.failures_total");
+  }
+}
+
+void ContinuousTrainer::journal_digest(ModelState& st) {
+  if (!st.stats.journal_enabled || st.stats.journal_degraded || !st.wal) {
+    return;
+  }
+  const std::size_t every = opts_.wal_digest_interval;
+  if (every == 0 ||
+      st.window.total_appended() % static_cast<std::int64_t>(every) != 0) {
+    return;
+  }
+  try {
+    st.wal->append(encode_journal_digest(st.window.total_appended(),
+                                         st.window.size(),
+                                         st.window.content_digest()));
+  } catch (const std::exception&) {
+    st.stats.journal_degraded = true;
+    ++st.stats.journal_failures_total;
+    metrics::counter_add("train.journal.failures_total");
+  }
+}
+
+bool ContinuousTrainer::rearm_journal(ModelState& st) {
+  // One attempt per ingest while degraded: cheap when the disk is still
+  // sick (the first append fails), a full journal rewrite when it healed.
+  //
+  // The rewrite goes to a side directory and is promoted by rename only
+  // once it is complete. The live journal still holds a durable prefix of
+  // the acked stream; rewriting it in place would gamble that prefix on
+  // the rewrite succeeding, and a second failure would turn the degraded
+  // mode's bounded loss into total loss of history. The cost is transient
+  // double disk usage (at most the live window) — a disk with no room
+  // even for that stays degraded with its prefix intact.
+  WalOptions wopts;
+  wopts.segment_bytes = opts_.wal_segment_bytes;
+  wopts.retain_records = st.cfg.window_capacity * 2;
+  wopts.sync = opts_.wal_sync;
+  const std::string side = st.cfg.wal_dir + ".rearm";
+  const std::string stale = st.cfg.wal_dir + ".stale";
+  try {
+    WriteAheadLog::remove_dir(side);  // leftovers of a failed attempt
+    auto fresh = std::make_unique<WriteAheadLog>(side, wopts);
+    st.window.for_each([&](std::int64_t id, std::int64_t client_id,
+                           const SparseVector& x, real_t label) {
+      fresh->append(encode_journal_example(id, client_id, label, x));
+    });
+    if (st.window.size() > 0) {
+      fresh->append(encode_journal_digest(st.window.total_appended(),
+                                          st.window.size(),
+                                          st.window.content_digest()));
+    }
+    // Swap: both logs closed first so no fd outlives its directory's
+    // rename. A crash between the renames is recovered by open_journal,
+    // which promotes a complete side journal when the main one is gone.
+    fresh.reset();
+    st.wal.reset();
+    WriteAheadLog::remove_dir(stale);
+    if (std::rename(st.cfg.wal_dir.c_str(), stale.c_str()) != 0 &&
+        errno != ENOENT) {
+      throw Error("rearm: cannot move stale journal aside: " +
+                  std::string(std::strerror(errno)));
+    }
+    if (std::rename(side.c_str(), st.cfg.wal_dir.c_str()) != 0) {
+      const int err = errno;
+      // Put the stale prefix back: the next restart must still replay it.
+      std::rename(stale.c_str(), st.cfg.wal_dir.c_str());
+      throw Error("rearm: cannot promote rewritten journal: " +
+                  std::string(std::strerror(err)));
+    }
+    WriteAheadLog::remove_dir(stale);
+    st.wal = std::make_unique<WriteAheadLog>(st.cfg.wal_dir, wopts);
+  } catch (const std::exception&) {
+    ++st.stats.journal_failures_total;
+    metrics::counter_add("train.journal.failures_total");
+    return false;
+  }
+  st.stats.journal_degraded = false;
+  ++st.stats.journal_rearms_total;
+  metrics::counter_add("train.journal.rearms_total");
+  return true;
+}
+
+bool ContinuousTrainer::journal_degraded() const {
+  std::lock_guard<std::mutex> lk(models_mu_);
+  for (const auto& [name, st] : models_) {
+    std::lock_guard<std::mutex> mlk(st->mu);
+    if (st->stats.journal_degraded) return true;
+  }
+  return false;
 }
 
 void ContinuousTrainer::start() {
@@ -317,13 +568,15 @@ TrainerModelStats ContinuousTrainer::model_stats(
   std::lock_guard<std::mutex> lk(st->mu);
   TrainerModelStats s = st->stats;
   s.window_size = st->window.size();
+  s.window_digest = st->window.content_digest();
   return s;
 }
 
 std::string ContinuousTrainer::stats_text() const {
   std::ostringstream os;
   std::int64_t ingested = 0, trains = 0, failures = 0, publishes = 0,
-               publish_failures = 0;
+               publish_failures = 0, duplicates = 0, journal_failures = 0,
+               rearms = 0, quarantines = 0;
   for (const std::string& name : model_names()) {
     const TrainerModelStats s = model_stats(name);
     ingested += s.ingested;
@@ -331,12 +584,20 @@ std::string ContinuousTrainer::stats_text() const {
     failures += s.train_failures_total;
     publishes += s.publishes_total;
     publish_failures += s.publish_failures_total;
+    duplicates += s.duplicates_total;
+    journal_failures += s.journal_failures_total;
+    rearms += s.journal_rearms_total;
+    quarantines += s.journal_quarantines_total;
   }
   os << "ingested_total " << ingested << '\n'
      << "trains_total " << trains << '\n'
      << "train_failures_total " << failures << '\n'
      << "publishes_total " << publishes << '\n'
-     << "publish_failures_total " << publish_failures << '\n';
+     << "publish_failures_total " << publish_failures << '\n'
+     << "ingest_duplicates_total " << duplicates << '\n'
+     << "journal_failures_total " << journal_failures << '\n'
+     << "journal_rearms_total " << rearms << '\n'
+     << "journal_quarantines_total " << quarantines << '\n';
   os << models_text();
   return os.str();
 }
@@ -350,7 +611,11 @@ std::string ContinuousTrainer::models_text() const {
        << s.trains_total << " publishes " << s.publishes_total
        << " publish_failures " << s.publish_failures_total
        << " last_iterations " << s.last_iterations << " warm_seeded "
-       << s.last_warm_seeded << '\n';
+       << s.last_warm_seeded << " journal "
+       << (!s.journal_enabled ? "off"
+                              : s.journal_degraded ? "degraded" : "on")
+       << " duplicates " << s.duplicates_total << " replayed "
+       << s.journal_replayed << '\n';
     if (!s.last_publish_report.empty()) {
       os << "publish_report " << name << ": ";
       // Collapse the (possibly multi-line) reload report to one line.

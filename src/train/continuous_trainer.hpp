@@ -27,13 +27,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "common/wal.hpp"
 #include "formats/format.hpp"
 #include "formats/sparse_vector.hpp"
 #include "serve/protocol.hpp"
@@ -52,6 +55,13 @@ struct TrainerModelConfig {
   std::string checkpoint_path;
   /// Sliding-window capacity in examples.
   std::size_t window_capacity = 4096;
+  /// Ingest-journal directory. Empty = no durability (in-process tests,
+  /// throwaway streams): acked examples live only in memory, exactly the
+  /// pre-v4 behaviour. Non-empty: every accepted ingest is journaled to a
+  /// WriteAheadLog here before the ack, add_model() replays it to rebuild
+  /// the window after a crash, and the (model, client id) dedup set
+  /// survives restarts with it.
+  std::string wal_dir;
 };
 
 /// Daemon configuration.
@@ -76,6 +86,14 @@ struct TrainerOptions {
   std::string publish_unix;
   int publish_tcp = -1;
   double publish_timeout_ms = 5000.0;
+  /// Ingest-journal knobs (per-model journals under cfg.wal_dir).
+  /// kAlways holds the acked-implies-durable contract of DESIGN.md §18;
+  /// the weaker policies trade a bounded loss window for ingest latency.
+  WalSyncPolicy wal_sync = WalSyncPolicy::kAlways;
+  std::size_t wal_segment_bytes = 256u << 10;
+  /// Journal a window-digest checkpoint every this many accepted examples
+  /// (0 = never). Replay verifies the rebuilt window against each one.
+  std::size_t wal_digest_interval = 64;
 };
 
 /// Per-model counters (snapshot; taken under the model lock).
@@ -83,6 +101,10 @@ struct TrainerModelStats {
   std::int64_t ingested = 0;
   std::int64_t rejected_labels = 0;
   std::size_t window_size = 0;
+  /// FNV digest of the live window's (id, label, features) content — what
+  /// journal replay verifies against; lets a crash harness prove a rebuilt
+  /// window is byte-equivalent to the no-crash run.
+  std::uint64_t window_digest = 0;
   std::int64_t trains_total = 0;
   std::int64_t train_failures_total = 0;
   std::int64_t publishes_total = 0;
@@ -94,6 +116,14 @@ struct TrainerModelStats {
   index_t last_iterations = 0;
   index_t last_warm_seeded = 0;
   bool last_resumed_from_checkpoint = false;
+  /// Ingest-durability counters (all zero when the journal is off).
+  bool journal_enabled = false;
+  bool journal_degraded = false;      ///< memory-only: journal writes failing
+  std::int64_t duplicates_total = 0;  ///< retried ingests absorbed by dedup
+  std::int64_t journal_replayed = 0;  ///< examples rebuilt at startup
+  std::int64_t journal_failures_total = 0;   ///< failed journal appends
+  std::int64_t journal_rearms_total = 0;     ///< degraded -> journaling again
+  std::int64_t journal_quarantines_total = 0;  ///< corrupt journals set aside
   /// The reload report from the last publish: a single replica's status
   /// text, or the router's per-replica fan-out report.
   std::string last_publish_report;
@@ -116,8 +146,20 @@ class ContinuousTrainer {
   /// Appends one labeled example to `model`'s window. Returns kOk,
   /// kUnknownModel, or kBadFrame (label not +-1). Never blocks on a
   /// retrain: windows are guarded separately from the solve.
+  ///
+  /// With the model's journal enabled, the example is journaled before
+  /// this returns kOk (the ack IS the durability promise under
+  /// WalSyncPolicy::kAlways). `example_id` is the client's dedup
+  /// identity: a non-negative id already seen for this model is absorbed
+  /// — counted, acked kOk with message "duplicate", window untouched —
+  /// which is what makes wire-level ingest retries safe. Negative = no
+  /// dedup. Journal-write failures never fail the ingest: the model flips
+  /// to a counted memory-only degraded mode (health answers "degraded")
+  /// and re-arms by rewriting the journal from the live window once
+  /// writes succeed again.
   serve::Status ingest(const std::string& model, SparseVector x,
-                       real_t label, std::string* message = nullptr);
+                       real_t label, std::string* message = nullptr,
+                       std::int64_t example_id = -1);
 
   /// Spawns the cadence thread (idempotent).
   void start();
@@ -136,6 +178,10 @@ class ContinuousTrainer {
   /// trainer's socket server (ingest frames are request/response and do
   /// not pend).
   bool idle() const { return training_.load(std::memory_order_acquire) == 0; }
+
+  /// True while any model's journal is failing writes (memory-only
+  /// ingest). Surfaced as "degraded" by the trainer's health verb.
+  bool journal_degraded() const;
 
   std::vector<std::string> model_names() const;
   TrainerModelStats model_stats(const std::string& name) const;
@@ -160,6 +206,14 @@ class ContinuousTrainer {
     std::vector<real_t> prev_alpha;
     std::chrono::steady_clock::time_point last_train;
     TrainerModelStats stats;
+    /// Ingest journal (null when cfg.wal_dir is empty). Guarded by `mu`
+    /// like the window it shadows.
+    std::unique_ptr<WriteAheadLog> wal;
+    /// Client ids seen, bounded at 2x window capacity (a retry storm older
+    /// than the window it could have landed in is no longer a duplicate
+    /// worth recognising). Set + FIFO order for O(1) bounded eviction.
+    std::unordered_set<std::int64_t> dedup;
+    std::deque<std::int64_t> dedup_order;
 
     explicit ModelState(TrainerModelConfig c)
         : cfg(std::move(c)), window(cfg.window_capacity) {}
@@ -167,6 +221,27 @@ class ContinuousTrainer {
 
   std::shared_ptr<ModelState> find(const std::string& name) const;
   void cadence_loop();
+  /// Opens (replaying) or re-opens `st`'s journal per cfg.wal_dir; a
+  /// corrupt journal is quarantined (renamed aside) and a fresh one
+  /// started. Called from add_model, never with st->mu held by others.
+  void open_journal(ModelState& st);
+  /// Journals one accepted example under st.mu, re-arming a degraded
+  /// journal first. Called before the matching window append (the caller
+  /// still owns `x`); a failure flips degraded mode. Never throws.
+  void journal_example(ModelState& st, std::int64_t window_id,
+                       std::int64_t client_id, real_t label,
+                       const SparseVector& x);
+  /// Journals a digest checkpoint of the post-append window when the
+  /// digest interval comes due (st.mu held). Never throws.
+  void journal_digest(ModelState& st);
+  /// Rewrites the journal from the live window (st.mu held): every window
+  /// example plus a digest checkpoint is written to a side directory that
+  /// is promoted by rename only once complete, so a re-arm that fails
+  /// halfway leaves the pre-outage journal (a durable prefix of the acked
+  /// stream) untouched. Returns false (still degraded) on any failure.
+  bool rearm_journal(ModelState& st);
+  /// Remembers a client id in the bounded dedup set (st.mu held).
+  static void remember_dedup(ModelState& st, std::int64_t client_id);
   /// Publishes `name` to the configured endpoint via reload; records the
   /// report in `st`. Returns true on kOk.
   bool publish(ModelState& st);

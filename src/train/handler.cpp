@@ -19,10 +19,12 @@ FrameDisposition TrainFrameHandler::on_frame(const FrameContext& ctx,
   switch (frame.type) {
     case MsgType::kIngestReq: {
       std::string model;
+      std::int64_t example_id = -1;
       real_t label = 0.0;
       SparseVector x;
       try {
-        serve::decode_ingest_request(frame.payload, model, label, x);
+        serve::decode_ingest_request(frame.payload, model, example_id, label,
+                                     x);
       } catch (const std::exception&) {
         ctx.server->note_protocol_error();
         serve::write_frame(
@@ -40,7 +42,7 @@ FrameDisposition TrainFrameHandler::on_frame(const FrameContext& ctx,
       }
       std::string message;
       const Status s =
-          trainer_->ingest(model, std::move(x), label, &message);
+          trainer_->ingest(model, std::move(x), label, &message, example_id);
       serve::write_frame(fd, MsgType::kStatusResp,
                          serve::encode_status_response(s, message), t);
       return FrameDisposition::kKeep;
@@ -61,10 +63,14 @@ FrameDisposition TrainFrameHandler::on_frame(const FrameContext& ctx,
           t);
       return FrameDisposition::kKeep;
     case MsgType::kHealthReq:
+      // "degraded" = still ingesting and serving, but the journal is
+      // failing writes, so acked examples are memory-only until re-arm.
       serve::write_frame(
           fd, MsgType::kStatusResp,
           serve::encode_status_response(
-              Status::kOk, ctx.draining ? "draining" : "ready"),
+              Status::kOk, ctx.draining           ? "draining"
+                           : trainer_->journal_degraded() ? "degraded"
+                                                          : "ready"),
           t);
       return FrameDisposition::kKeep;
     case MsgType::kPingReq:

@@ -1,0 +1,114 @@
+#include "train/journal.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ls::train {
+
+namespace {
+
+template <class T>
+void put_raw(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked sequential reader (same shape as the wire protocol's).
+struct Cursor {
+  std::string_view buf;
+  std::size_t at = 0;
+
+  template <class T>
+  T get_raw(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LS_CHECK(at + sizeof(T) <= buf.size(),
+             "journal record truncated reading " << what);
+    T v;
+    std::memcpy(&v, buf.data() + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+  }
+
+  void expect_end() const {
+    LS_CHECK(at == buf.size(), "journal record has "
+                                   << buf.size() - at
+                                   << " trailing bytes");
+  }
+};
+
+}  // namespace
+
+std::string encode_journal_example(std::int64_t window_id,
+                                   std::int64_t client_id, real_t label,
+                                   const SparseVector& x) {
+  LS_CHECK(!std::isnan(label), "journal example label must not be NaN");
+  std::string out;
+  out.reserve(1 + 16 + sizeof(real_t) + 4 +
+              static_cast<std::size_t>(x.nnz()) * (4 + sizeof(real_t)));
+  put_raw(out, static_cast<std::uint8_t>(JournalRecordType::kExample));
+  put_raw(out, window_id);
+  put_raw(out, client_id);
+  put_raw(out, label);
+  put_raw(out, static_cast<std::uint32_t>(x.nnz()));
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (index_t k = 0; k < x.nnz(); ++k) {
+    const index_t i = idx[static_cast<std::size_t>(k)];
+    LS_CHECK(i >= 0 && i <= std::numeric_limits<std::uint32_t>::max(),
+             "feature index " << i << " does not fit the journal format");
+    put_raw(out, static_cast<std::uint32_t>(i));
+    put_raw(out, val[static_cast<std::size_t>(k)]);
+  }
+  return out;
+}
+
+std::string encode_journal_digest(std::int64_t next_window_id,
+                                  std::uint64_t window_size,
+                                  std::uint64_t digest) {
+  std::string out;
+  out.reserve(1 + 24);
+  put_raw(out, static_cast<std::uint8_t>(JournalRecordType::kDigest));
+  put_raw(out, next_window_id);
+  put_raw(out, window_size);
+  put_raw(out, digest);
+  return out;
+}
+
+JournalRecord decode_journal_record(std::string_view payload) {
+  Cursor c{payload};
+  JournalRecord r;
+  const auto type = c.get_raw<std::uint8_t>("record type");
+  if (type == static_cast<std::uint8_t>(JournalRecordType::kExample)) {
+    r.type = JournalRecordType::kExample;
+    r.window_id = c.get_raw<std::int64_t>("window id");
+    r.client_id = c.get_raw<std::int64_t>("client id");
+    r.label = c.get_raw<real_t>("label");
+    LS_CHECK(r.label == r.label, "NaN label in journal example");
+    const auto nnz = c.get_raw<std::uint32_t>("nnz");
+    LS_CHECK(static_cast<std::size_t>(nnz) * (4 + sizeof(real_t)) <=
+                 payload.size(),
+             "journal nnz " << nnz << " exceeds the record size");
+    index_t prev = -1;
+    for (std::uint32_t k = 0; k < nnz; ++k) {
+      const auto idx = static_cast<index_t>(c.get_raw<std::uint32_t>("index"));
+      const auto value = c.get_raw<real_t>("value");
+      LS_CHECK(idx > prev, "journal indices must be strictly increasing");
+      prev = idx;
+      r.x.push_back(idx, value);
+    }
+  } else if (type == static_cast<std::uint8_t>(JournalRecordType::kDigest)) {
+    r.type = JournalRecordType::kDigest;
+    r.next_window_id = c.get_raw<std::int64_t>("next window id");
+    r.window_size = c.get_raw<std::uint64_t>("window size");
+    r.digest = c.get_raw<std::uint64_t>("digest");
+  } else {
+    LS_CHECK(false, "unknown journal record type " << int(type));
+  }
+  c.expect_end();
+  return r;
+}
+
+}  // namespace ls::train

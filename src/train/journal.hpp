@@ -1,0 +1,61 @@
+// Record payloads of the trainer's ingest journal (the WAL wiring of
+// DESIGN.md §18). The WriteAheadLog owns framing, checksums and recovery;
+// these are the opaque payloads it carries:
+//
+//   kExample  u8 type, i64 window_id, i64 client_id, f64 label,
+//             u32 nnz, nnz x (u32 index, f64 value)
+//   kDigest   u8 type, i64 next_window_id, u64 window_size, u64 digest
+//
+// An example record pins the *window id* the append was assigned, so
+// replay rebuilds the exact pre-crash window — same ids, same digest —
+// which is what lets checkpoint sidecars and warm-start maps keyed by id
+// survive a real process restart. The client id rides along to rebuild
+// the dedup set that makes retried ingests idempotent.
+//
+// A digest record is a checkpoint of the rebuilt window's expected
+// fingerprint: replay recomputes SlidingWindow::content_digest() at that
+// point and refuses the journal on mismatch — CRC catches torn bytes,
+// the digest catches a journal that is internally valid but describes a
+// different window than the one it claims (e.g. segments restored from
+// the wrong backup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace ls::train {
+
+enum class JournalRecordType : std::uint8_t {
+  kExample = 1,
+  kDigest = 2,
+};
+
+/// One decoded journal record; which fields are meaningful depends on
+/// `type` (kExample: window_id/client_id/label/x; kDigest: the rest).
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kExample;
+  std::int64_t window_id = 0;
+  std::int64_t client_id = -1;
+  real_t label = 0.0;
+  SparseVector x;
+  std::int64_t next_window_id = 0;
+  std::uint64_t window_size = 0;
+  std::uint64_t digest = 0;
+};
+
+std::string encode_journal_example(std::int64_t window_id,
+                                   std::int64_t client_id, real_t label,
+                                   const SparseVector& x);
+std::string encode_journal_digest(std::int64_t next_window_id,
+                                  std::uint64_t window_size,
+                                  std::uint64_t digest);
+
+/// Throws ls::Error on malformed payloads — the trainer treats that the
+/// same as a WAL digest mismatch: quarantine, don't guess.
+JournalRecord decode_journal_record(std::string_view payload);
+
+}  // namespace ls::train

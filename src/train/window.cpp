@@ -36,13 +36,26 @@ std::uint64_t fnv1a_real(std::uint64_t h, real_t v) {
 SlidingWindow::SlidingWindow(std::size_t capacity)
     : capacity_(std::max<std::size_t>(2, capacity)) {}
 
-std::int64_t SlidingWindow::append(SparseVector x, real_t label) {
+std::int64_t SlidingWindow::append(SparseVector x, real_t label,
+                                   std::int64_t client_id) {
   LS_CHECK(label == 1.0 || label == -1.0,
            "streamed example label must be +1 or -1, got " << label);
   if (ring_.size() >= capacity_) ring_.pop_front();
   const std::int64_t id = next_id_++;
-  ring_.push_back(Example{id, std::move(x), label});
+  ring_.push_back(Example{id, client_id, std::move(x), label});
   return id;
+}
+
+void SlidingWindow::restore(std::int64_t id, SparseVector x, real_t label,
+                            std::int64_t client_id) {
+  LS_CHECK(id >= next_id_,
+           "window restore must replay ids in order: got " << id
+               << " after " << next_id_ - 1);
+  LS_CHECK(label == 1.0 || label == -1.0,
+           "restored example label must be +1 or -1, got " << label);
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(Example{id, client_id, std::move(x), label});
+  next_id_ = id + 1;
 }
 
 WindowSnapshot SlidingWindow::snapshot(const std::string& name) const {
@@ -62,16 +75,9 @@ WindowSnapshot SlidingWindow::snapshot(const std::string& name) const {
   std::vector<real_t> y;
   y.reserve(ring_.size());
   index_t row = 0;
-  std::uint64_t digest = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
   for (const Example& e : ring_) {
     snap.ids.push_back(e.id);
     y.push_back(e.label);
-    digest = fnv1a_u64(digest, static_cast<std::uint64_t>(e.id));
-    digest = fnv1a_real(digest, e.label);
-    digest = fnv1a(digest, e.x.indices().data(),
-                   static_cast<std::size_t>(e.x.nnz()) * sizeof(index_t));
-    digest = fnv1a(digest, e.x.values().data(),
-                   static_cast<std::size_t>(e.x.nnz()) * sizeof(real_t));
     if (e.label > 0) {
       ++snap.positives;
     } else {
@@ -88,8 +94,30 @@ WindowSnapshot SlidingWindow::snapshot(const std::string& name) const {
   snap.ds.name = name;
   snap.ds.X = CooMatrix(row, cols, std::move(entries));
   snap.ds.y = std::move(y);
-  snap.digest = digest;
+  snap.digest = content_digest();
   return snap;
+}
+
+std::uint64_t SlidingWindow::content_digest() const {
+  // Covers (id, label, index bits, value bits) per example — NOT the
+  // client dedup ids, so the fingerprint is stable whether the window was
+  // filled live or rebuilt by journal replay of pre-dedup records.
+  std::uint64_t digest = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const Example& e : ring_) {
+    digest = fnv1a_u64(digest, static_cast<std::uint64_t>(e.id));
+    digest = fnv1a_real(digest, e.label);
+    digest = fnv1a(digest, e.x.indices().data(),
+                   static_cast<std::size_t>(e.x.nnz()) * sizeof(index_t));
+    digest = fnv1a(digest, e.x.values().data(),
+                   static_cast<std::size_t>(e.x.nnz()) * sizeof(real_t));
+  }
+  return digest;
+}
+
+void SlidingWindow::for_each(
+    const std::function<void(std::int64_t, std::int64_t, const SparseVector&,
+                             real_t)>& fn) const {
+  for (const Example& e : ring_) fn(e.id, e.client_id, e.x, e.label);
 }
 
 }  // namespace ls::train

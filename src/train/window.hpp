@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,8 +46,18 @@ class SlidingWindow {
 
   /// Appends one example, evicting the oldest when full. Returns the
   /// example's id. `label` must be +1 or -1 (checked by the caller's
-  /// ingest path; re-checked here).
-  std::int64_t append(SparseVector x, real_t label);
+  /// ingest path; re-checked here). `client_id` is the wire-level dedup
+  /// identity (negative = none); it rides along so the journal can be
+  /// rewritten from the window, but takes no part in ids or digests.
+  std::int64_t append(SparseVector x, real_t label, std::int64_t client_id = -1);
+
+  /// Journal-replay append: re-inserts an example under its original
+  /// window id so checkpoint sidecars and warm-start maps keyed by id stay
+  /// valid across a real process restart. `id` must be >= the next id
+  /// (replay is ordered); ids skipped between records (evicted segments)
+  /// are simply never reused.
+  void restore(std::int64_t id, SparseVector x, real_t label,
+               std::int64_t client_id = -1);
 
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -60,9 +71,20 @@ class SlidingWindow {
   /// gate rejects requests wider than the published model).
   WindowSnapshot snapshot(const std::string& name) const;
 
+  /// The WindowSnapshot content fingerprint without building the dataset —
+  /// what journal digest records carry and replay re-checks.
+  std::uint64_t content_digest() const;
+
+  /// Visits every live example oldest-first (id, client_id, x, label) —
+  /// the journal re-arm path rewrites itself from exactly this.
+  void for_each(const std::function<void(std::int64_t, std::int64_t,
+                                         const SparseVector&, real_t)>& fn)
+      const;
+
  private:
   struct Example {
     std::int64_t id;
+    std::int64_t client_id;
     SparseVector x;
     real_t label;
   };

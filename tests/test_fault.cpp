@@ -13,6 +13,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
@@ -162,6 +163,41 @@ TEST(FsAtomic, FailedWriteLeavesPreviousFileIntact) {
   std::remove(path.c_str());
 }
 
+TEST(FsAtomic, ShortWriteUnderEnospcLeavesLastGoodFileAndNoTempLitter) {
+  const std::string path = tmp_path("enospc.txt");
+  atomic_write_file(path, "version one\n");
+  {
+    // A full disk surfaces as fwrite reporting fewer bytes than asked —
+    // an errno-style failure, not an exception at the syscall site. The
+    // boolean failpoint drives the production `ok` bookkeeping.
+    Scoped fp("fs.atomic.short_write");
+    EXPECT_THROW(atomic_write_file(path, "version two\n"), Error);
+    EXPECT_GE(failpoint::trigger_count("fs.atomic.short_write"), 1u);
+  }
+  // Last-good file: intact, verified, byte-identical.
+  EXPECT_EQ(read_file_verified(path), "version one\n");
+  // No temp litter: the partial ".tmp.<pid>" file was cleaned up, so a
+  // retry loop cannot slowly fill the disk it is already starved of.
+  EXPECT_FALSE(file_exists(path + ".tmp." + std::to_string(::getpid())));
+  // Once space is back the same call succeeds.
+  atomic_write_file(path, "version two\n");
+  EXPECT_EQ(read_file_verified(path), "version two\n");
+  std::remove(path.c_str());
+}
+
+TEST(FsAtomic, ShortWriteSiteWithDelayActionIsNotAFailure) {
+  const std::string path = tmp_path("enospc_delay.txt");
+  // kDelay on a boolean site models slow IO, not failed IO: the write
+  // must go through.
+  Spec spec;
+  spec.action = Action::kDelay;
+  spec.delay_ms = 1;
+  Scoped fp("fs.atomic.short_write", spec);
+  atomic_write_file(path, "slow but fine\n");
+  EXPECT_EQ(read_file_verified(path), "slow but fine\n");
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------- model files
 
 /// Builds a dataset directly from dense rows.
@@ -214,6 +250,48 @@ TEST(ModelFiles, InterruptedSaveLeavesPreviousModelLoadable) {
   EXPECT_DOUBLE_EQ(reloaded.rho, model.rho);
   ASSERT_EQ(reloaded.coef.size(), model.coef.size());
   std::remove(path.c_str());
+}
+
+TEST(ModelFiles, EnospcDuringSaveLeavesPreviousModelLoadable) {
+  const SvmModel model = trained_tiny_model();
+  const std::string path = tmp_path("model_enospc.txt");
+  save_model_file(path, model);
+  const std::string original = read_raw(path);
+
+  SvmModel changed = model;
+  changed.rho += 1.0;
+  {
+    // Disk full mid-save: the short write flows through fs_atomic's own
+    // error handling instead of an injected throw.
+    Scoped fp("fs.atomic.short_write");
+    EXPECT_THROW(save_model_file(path, changed), Error);
+  }
+  EXPECT_EQ(read_raw(path), original);
+  EXPECT_FALSE(file_exists(path + ".tmp." + std::to_string(::getpid())));
+  const SvmModel reloaded = load_model_file(path);
+  EXPECT_DOUBLE_EQ(reloaded.rho, model.rho);
+  std::remove(path.c_str());
+}
+
+TEST(SvmCheckpoint, EnospcDuringSnapshotKeepsLastGoodCheckpoint) {
+  const std::string path = tmp_path("smo_ck_enospc.txt");
+  SmoCheckpoint ck;
+  ck.iteration = 7;
+  ck.alpha = {0.5, 0.5};
+  ck.f = {1.0, -1.0};
+  save_smo_checkpoint(path, ck);
+
+  SmoCheckpoint newer = ck;
+  newer.iteration = 8;
+  {
+    Scoped fp("fs.atomic.short_write");
+    EXPECT_THROW(save_smo_checkpoint(path, newer), Error);
+  }
+  // A resume after the failed save still lands on the last good snapshot.
+  const auto back = try_load_smo_checkpoint(path, 2);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->iteration, 7);
+  remove_checkpoint(path);
 }
 
 TEST(ModelFiles, CorruptFilesThrowLsError) {

@@ -305,6 +305,28 @@ TEST_F(ObservabilityTest, ReportCsvHasStableHeaderAndRows) {
   EXPECT_EQ(header, "kind,name,value,count,total,min,mean,p50,p95,max");
   EXPECT_NE(csv.find("counter,test.c_total,2"), std::string::npos);
   EXPECT_NE(csv.find("timer,test.t_seconds,"), std::string::npos);
+  // Both clocks of the snapshot ride along as rows.
+  EXPECT_NE(csv.find("clock,wall_us,"), std::string::npos);
+  EXPECT_NE(csv.find("clock,steady_us,"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ReportCarriesWallAndSteadyClocks) {
+  metrics::set_enabled(true);
+  const metrics::Report report = metrics::snapshot();
+  // Wall time is epoch micros (sanity: after 2020-01-01, before 2100);
+  // steady time is monotonic and positive.
+  EXPECT_GT(report.wall_us, 1.5778e15);
+  EXPECT_LT(report.wall_us, 4.1025e15);
+  EXPECT_GT(report.steady_us, 0.0);
+  const std::string js = metrics::to_json(report);
+  EXPECT_TRUE(JsonChecker::valid(js)) << js;
+  EXPECT_NE(js.find("\"clock\""), std::string::npos);
+  EXPECT_NE(js.find("\"wall_us\""), std::string::npos);
+  EXPECT_NE(js.find("\"steady_us\""), std::string::npos);
+  // Two snapshots must never run backwards on the steady axis, whatever
+  // the wall clock does in between (the §17 no-time-travel contract).
+  const metrics::Report later = metrics::snapshot();
+  EXPECT_GE(later.steady_us, report.steady_us);
 }
 
 // ----------------------------------------------------------------- trace
@@ -330,6 +352,11 @@ TEST_F(ObservabilityTest, TraceChromeJsonSchema) {
   EXPECT_NE(js.find("\"pid\""), std::string::npos);
   EXPECT_NE(js.find("\"tid\""), std::string::npos);
   EXPECT_NE(js.find("\"unit.span\""), std::string::npos);
+  // The wall anchor pins the steady timebase to real time so traces from
+  // a crash/restart pair order correctly.
+  EXPECT_NE(js.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(js.find("\"wall_anchor_us\""), std::string::npos);
+  EXPECT_GT(trace::wall_anchor_us(), 1.5778e15);
 }
 
 TEST_F(ObservabilityTest, TraceCsvFlavour) {
@@ -339,7 +366,7 @@ TEST_F(ObservabilityTest, TraceCsvFlavour) {
   std::istringstream in(csv);
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "phase,name,cat,ts_us,dur_us,value,tid,args");
+  EXPECT_EQ(header, "phase,name,cat,ts_us,wall_us,dur_us,value,tid,args");
   EXPECT_NE(csv.find("C,unit.series,counter,"), std::string::npos);
 }
 

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
@@ -488,12 +492,15 @@ TEST(ContinuousTrainer, PublishesReloadIntoServeTier) {
 
 TEST(TrainProtocol, IngestRequestRoundTrip) {
   const SparseVector x({1, 5, 9}, {0.5, -2.0, 3.25});
-  const std::string payload = serve::encode_ingest_request("model-a", -1.0, x);
+  const std::string payload =
+      serve::encode_ingest_request("model-a", 42, -1.0, x);
   std::string model;
+  std::int64_t example_id = -1;
   real_t label = 0.0;
   SparseVector out;
-  serve::decode_ingest_request(payload, model, label, out);
+  serve::decode_ingest_request(payload, model, example_id, label, out);
   EXPECT_EQ(model, "model-a");
+  EXPECT_EQ(example_id, 42);
   EXPECT_EQ(label, -1.0);
   ASSERT_EQ(out.nnz(), 3);
   EXPECT_EQ(out.indices()[2], 9);
@@ -502,35 +509,39 @@ TEST(TrainProtocol, IngestRequestRoundTrip) {
 
 TEST(TrainProtocol, IngestEmptyVectorRoundTrip) {
   const std::string payload =
-      serve::encode_ingest_request("m", 1.0, SparseVector());
+      serve::encode_ingest_request("m", -1, 1.0, SparseVector());
   std::string model;
+  std::int64_t example_id = 0;
   real_t label = 0.0;
   SparseVector out;
-  serve::decode_ingest_request(payload, model, label, out);
+  serve::decode_ingest_request(payload, model, example_id, label, out);
   EXPECT_EQ(out.nnz(), 0);
+  EXPECT_EQ(example_id, -1);
   EXPECT_EQ(label, 1.0);
 }
 
 TEST(TrainProtocol, IngestRejectsNanLabelAndMalformedPayloads) {
   EXPECT_THROW(serve::encode_ingest_request(
-                   "m", std::numeric_limits<real_t>::quiet_NaN(),
+                   "m", 0, std::numeric_limits<real_t>::quiet_NaN(),
                    SparseVector({0}, {1.0})),
                Error);
 
-  const std::string good =
-      serve::encode_ingest_request("m", 1.0, SparseVector({0, 2}, {1.0, 2.0}));
+  const std::string good = serve::encode_ingest_request(
+      "m", 7, 1.0, SparseVector({0, 2}, {1.0, 2.0}));
   std::string model;
+  std::int64_t example_id = -1;
   real_t label = 0.0;
   SparseVector out;
   // Truncation anywhere in the payload must throw, never misparse.
   for (std::size_t cut = 0; cut < good.size(); ++cut) {
     EXPECT_THROW(serve::decode_ingest_request(good.substr(0, cut), model,
-                                              label, out),
+                                              example_id, label, out),
                  Error);
   }
   // Trailing garbage is structural corruption too.
-  EXPECT_THROW(
-      serve::decode_ingest_request(good + "x", model, label, out), Error);
+  EXPECT_THROW(serve::decode_ingest_request(good + "x", model, example_id,
+                                            label, out),
+               Error);
 }
 
 // --- wire surface --------------------------------------------------------
@@ -552,11 +563,12 @@ TEST(TrainServer, IngestAndModelsOverUnixSocket) {
   EXPECT_TRUE(client.ping());
   EXPECT_EQ(client.health(), "ready");
   for (const Example& e : stream) {
-    EXPECT_EQ(client.ingest("m", e.label, e.x), serve::Status::kOk);
+    EXPECT_EQ(client.ingest("m", -1, e.label, e.x), serve::Status::kOk);
   }
   std::string message;
-  EXPECT_EQ(client.ingest("ghost", 1.0, SparseVector({0}, {1.0}), &message),
-            serve::Status::kUnknownModel);
+  EXPECT_EQ(
+      client.ingest("ghost", -1, 1.0, SparseVector({0}, {1.0}), &message),
+      serve::Status::kUnknownModel);
 
   const std::string models = client.models();
   EXPECT_NE(models.find("model m"), std::string::npos);
@@ -597,7 +609,7 @@ TEST(TrainServer, ServeTierRefusesIngestWithoutDesync) {
 
   serve::ServeClient client = serve::ServeClient::connect_unix(sock);
   std::string message;
-  EXPECT_EQ(client.ingest("m", 1.0, SparseVector({0}, {1.0}), &message),
+  EXPECT_EQ(client.ingest("m", -1, 1.0, SparseVector({0}, {1.0}), &message),
             serve::Status::kBadFrame);
   EXPECT_NE(message.find("not supported"), std::string::npos);
   EXPECT_TRUE(client.ping());
@@ -610,6 +622,269 @@ TEST(TrainServer, ServeTierRefusesIngestWithoutDesync) {
 
   server.stop();
   engine.stop();
+}
+
+// --- ingest durability (DESIGN.md §18) -----------------------------------
+
+/// Fresh scratch directory path for a model's journal; removes any
+/// leftover journal (and quarantined copies) from a previous run.
+std::string scratch_wal(const std::string& name) {
+  const std::string base = ::testing::TempDir() + "ls_train_wal_" + name;
+  const std::string parent = ::testing::TempDir();
+  if (::DIR* d = ::opendir(parent.c_str())) {
+    while (struct ::dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n.rfind("ls_train_wal_" + name, 0) != 0) continue;
+      const std::string dir = parent + n;
+      if (::DIR* inner = ::opendir(dir.c_str())) {
+        while (struct ::dirent* f = ::readdir(inner)) {
+          const std::string fn = f->d_name;
+          if (fn != "." && fn != "..") std::remove((dir + "/" + fn).c_str());
+        }
+        ::closedir(inner);
+      }
+      ::rmdir(dir.c_str());
+    }
+    ::closedir(d);
+  }
+  return base;
+}
+
+TrainerModelConfig journaled_config(const std::string& name,
+                                    const std::string& tag,
+                                    std::size_t window = 64) {
+  TrainerModelConfig cfg = model_config(name, temp_path(tag + "_model.txt"),
+                                        window);
+  cfg.wal_dir = scratch_wal(tag);
+  return cfg;
+}
+
+TEST(TrainerJournal, DuplicateClientIdsAreAbsorbedAndCounted) {
+  ContinuousTrainer trainer(trainer_options());
+  trainer.add_model(journaled_config("m", "dedup"));
+  std::string message;
+  EXPECT_EQ(trainer.ingest("m", SparseVector({0}, {1.0}), 1.0, &message, 7),
+            serve::Status::kOk);
+  EXPECT_EQ(message, "ingested");
+  // A retry of the same client id is acked kOk but absorbed.
+  EXPECT_EQ(trainer.ingest("m", SparseVector({0}, {1.0}), 1.0, &message, 7),
+            serve::Status::kOk);
+  EXPECT_EQ(message, "duplicate");
+  // Negative id = no dedup identity: never absorbed.
+  EXPECT_EQ(trainer.ingest("m", SparseVector({1}, {1.0}), -1.0, nullptr, -1),
+            serve::Status::kOk);
+  EXPECT_EQ(trainer.ingest("m", SparseVector({1}, {1.0}), -1.0, nullptr, -1),
+            serve::Status::kOk);
+  const TrainerModelStats s = trainer.model_stats("m");
+  EXPECT_EQ(s.ingested, 3);
+  EXPECT_EQ(s.duplicates_total, 1);
+  EXPECT_EQ(s.window_size, 3u);
+  EXPECT_TRUE(s.journal_enabled);
+  EXPECT_FALSE(s.journal_degraded);
+}
+
+TEST(TrainerJournal, CrashReplayRebuildsWindowAndDedupAcrossRestart) {
+  const std::vector<Example> stream = make_stream(120, 10, 0x5E1);
+  TrainerModelConfig cfg = journaled_config("m", "replay", 48);
+  {
+    ContinuousTrainer before(trainer_options());
+    before.add_model(cfg);
+    for (std::size_t r = 0; r < 120; ++r) {
+      ASSERT_EQ(before.ingest("m", stream[r].x, stream[r].label, nullptr,
+                              static_cast<std::int64_t>(r)),
+                serve::Status::kOk);
+    }
+    ASSERT_EQ(before.model_stats("m").window_size, 48u);
+  }  // destructor = crash stand-in: nothing is flushed beyond the acks
+
+  ContinuousTrainer after(trainer_options());
+  after.add_model(cfg);
+  const TrainerModelStats s = after.model_stats("m");
+  // Replay rebuilt the full window (digest checkpoints verified it) and
+  // did not quarantine or degrade anything.
+  EXPECT_EQ(s.window_size, 48u);
+  EXPECT_GE(s.journal_replayed, 48);
+  EXPECT_EQ(s.journal_quarantines_total, 0);
+  EXPECT_FALSE(s.journal_degraded);
+  // The dedup set survived with it: a post-restart retry of an acked id
+  // inside the retained journal is still absorbed.
+  std::string message;
+  EXPECT_EQ(after.ingest("m", stream[119].x, stream[119].label, &message,
+                         119),
+            serve::Status::kOk);
+  EXPECT_EQ(message, "duplicate");
+  EXPECT_EQ(after.model_stats("m").window_size, 48u);
+  // And the rebuilt window is trainable — replay restored real examples,
+  // not placeholders.
+  EXPECT_TRUE(after.train_once("m"));
+}
+
+TEST(TrainerJournal, AppendFailureDegradesThenRearmsAndReplaysEverything) {
+  TrainerModelConfig cfg = journaled_config("m", "degrade", 32);
+  ContinuousTrainer trainer(trainer_options());
+  trainer.add_model(cfg);
+  ASSERT_EQ(trainer.ingest("m", SparseVector({0}, {1.0}), 1.0, nullptr, 0),
+            serve::Status::kOk);
+  {
+    // Disk goes bad: every journal append fails. Ingest must keep acking
+    // (memory-only) while health flips to degraded.
+    failpoint::Scoped fp("wal.append");
+    EXPECT_EQ(trainer.ingest("m", SparseVector({1}, {1.0}), -1.0, nullptr, 1),
+              serve::Status::kOk);
+    EXPECT_TRUE(trainer.journal_degraded());
+    const TrainerModelStats mid = trainer.model_stats("m");
+    EXPECT_TRUE(mid.journal_degraded);
+    EXPECT_GE(mid.journal_failures_total, 1);
+    EXPECT_EQ(mid.window_size, 2u);
+  }
+  // Disk recovers: the next ingest re-arms by rewriting the journal from
+  // the live window, so the example acked while degraded is durable again.
+  EXPECT_EQ(trainer.ingest("m", SparseVector({2}, {1.0}), 1.0, nullptr, 2),
+            serve::Status::kOk);
+  EXPECT_FALSE(trainer.journal_degraded());
+  const TrainerModelStats s = trainer.model_stats("m");
+  EXPECT_FALSE(s.journal_degraded);
+  EXPECT_EQ(s.journal_rearms_total, 1);
+  EXPECT_EQ(s.window_size, 3u);
+
+  // Restart proves the rewrite: all three examples replay, including the
+  // one that was memory-only for a while.
+  ContinuousTrainer after(trainer_options());
+  after.add_model(cfg);
+  EXPECT_EQ(after.model_stats("m").window_size, 3u);
+  EXPECT_EQ(after.model_stats("m").journal_replayed, 3);
+}
+
+TEST(TrainerJournal, FailedRearmPreservesTheDurablePrefix) {
+  TrainerModelConfig cfg = journaled_config("m", "rearm_fail", 32);
+  {
+    ContinuousTrainer trainer(trainer_options());
+    trainer.add_model(cfg);
+    // Three examples land durably before the disk goes bad.
+    for (std::int64_t i = 0; i < 3; ++i) {
+      ASSERT_EQ(trainer.ingest("m", SparseVector({0}, {1.0 + double(i)}),
+                               i % 2 == 0 ? 1.0 : -1.0, nullptr, i),
+                serve::Status::kOk);
+    }
+    failpoint::Scoped fp("wal.append");
+    // The first failing append flips degraded; every ingest after that
+    // retries the re-arm, whose side-directory rewrite fails too. None of
+    // those failed attempts may touch the durable prefix — the old
+    // in-place rewrite deleted it on the first retry.
+    for (std::int64_t i = 3; i < 8; ++i) {
+      EXPECT_EQ(trainer.ingest("m", SparseVector({1}, {2.0}),
+                               i % 2 == 0 ? 1.0 : -1.0, nullptr, i),
+                serve::Status::kOk);
+    }
+    EXPECT_TRUE(trainer.journal_degraded());
+  }  // crash while still degraded
+
+  ContinuousTrainer after(trainer_options());
+  after.add_model(cfg);
+  const TrainerModelStats s = after.model_stats("m");
+  // The pre-outage prefix replays; the memory-only acks are the degraded
+  // mode's documented bounded loss — never the whole history.
+  EXPECT_EQ(s.journal_replayed, 3);
+  EXPECT_EQ(s.window_size, 3u);
+  EXPECT_FALSE(s.journal_degraded);
+  EXPECT_EQ(s.journal_quarantines_total, 0);
+  // The dedup horizon for the durable ids survived with it.
+  std::string message;
+  EXPECT_EQ(after.ingest("m", SparseVector({0}, {3.0}), 1.0, &message, 2),
+            serve::Status::kOk);
+  EXPECT_EQ(message, "duplicate");
+}
+
+TEST(TrainerJournal, CorruptJournalIsQuarantinedAndAFreshOneStarted) {
+  const std::vector<Example> stream = make_stream(40, 8, 0xC0DE);
+  TrainerModelConfig cfg = journaled_config("m", "quarantine", 32);
+  {
+    ContinuousTrainer before(trainer_options());
+    before.add_model(cfg);
+    for (std::size_t r = 0; r < 40; ++r) {
+      ASSERT_EQ(before.ingest("m", stream[r].x, stream[r].label, nullptr,
+                              static_cast<std::int64_t>(r)),
+                serve::Status::kOk);
+    }
+  }
+  // Flip a byte inside the first record's payload: CRC mismatch with more
+  // records after it = mid-stream corruption, which recovery refuses.
+  std::string seg;
+  if (::DIR* d = ::opendir(cfg.wal_dir.c_str())) {
+    while (struct ::dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n.size() > 4 && n.compare(n.size() - 4, 4, ".seg") == 0 &&
+          (seg.empty() || n < seg.substr(seg.rfind('/') + 1))) {
+        seg = cfg.wal_dir + "/" + n;
+      }
+    }
+    ::closedir(d);
+  }
+  ASSERT_FALSE(seg.empty()) << "no journal segment under " << cfg.wal_dir;
+  {
+    std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open()) << seg;
+    f.seekp(10);
+    char b = 0;
+    f.seekg(10);
+    f.get(b);
+    f.seekp(10);
+    f.put(static_cast<char>(b ^ 0x40));
+  }
+
+  ContinuousTrainer after(trainer_options());
+  after.add_model(cfg);
+  const TrainerModelStats s = after.model_stats("m");
+  // The poisoned journal was renamed aside, nothing was replayed, and the
+  // model is journaling again into a fresh directory — not degraded.
+  EXPECT_EQ(s.journal_quarantines_total, 1);
+  EXPECT_EQ(s.journal_replayed, 0);
+  EXPECT_EQ(s.window_size, 0u);
+  EXPECT_TRUE(s.journal_enabled);
+  EXPECT_FALSE(s.journal_degraded);
+  // New ingests journal durably: a restart replays them.
+  ASSERT_EQ(after.ingest("m", stream[0].x, stream[0].label, nullptr, 1000),
+            serve::Status::kOk);
+  ContinuousTrainer again(trainer_options());
+  again.add_model(cfg);
+  EXPECT_EQ(again.model_stats("m").window_size, 1u);
+  EXPECT_EQ(again.model_stats("m").journal_replayed, 1);
+}
+
+TEST(TrainerJournal, WireIngestWithIdsDedupsAndSurfacesJournalState) {
+  const std::string sock = temp_path("journal_wire.sock");
+  TrainerModelConfig cfg = journaled_config("m", "wire", 32);
+  ContinuousTrainer trainer(trainer_options());
+  trainer.add_model(cfg);
+  TrainFrameHandler handler(trainer);
+  serve::ServerOptions lopts;
+  lopts.unix_path = sock;
+  serve::ServeServer server(handler, lopts);
+  server.start();
+
+  serve::ServeClient client = serve::ServeClient::connect_unix(sock);
+  std::string message;
+  EXPECT_EQ(client.ingest("m", 5, 1.0, SparseVector({0}, {1.0}), &message),
+            serve::Status::kOk);
+  EXPECT_EQ(client.ingest("m", 5, 1.0, SparseVector({0}, {1.0}), &message),
+            serve::Status::kOk);
+  EXPECT_EQ(message, "duplicate");
+  EXPECT_EQ(client.health(), "ready");
+  // The models verb carries the per-model journal state.
+  const std::string models = client.models();
+  EXPECT_NE(models.find("journal on"), std::string::npos) << models;
+  EXPECT_NE(models.find("duplicates 1"), std::string::npos) << models;
+  {
+    failpoint::Scoped fp("wal.append");
+    EXPECT_EQ(client.ingest("m", 6, -1.0, SparseVector({1}, {1.0}), &message),
+              serve::Status::kOk);
+    EXPECT_EQ(client.health(), "degraded");
+    EXPECT_NE(client.models().find("journal degraded"), std::string::npos);
+  }
+  EXPECT_EQ(client.ingest("m", 7, 1.0, SparseVector({2}, {1.0}), &message),
+            serve::Status::kOk);
+  EXPECT_EQ(client.health(), "ready");
+  server.stop();
 }
 
 }  // namespace
